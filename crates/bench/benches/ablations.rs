@@ -1,0 +1,128 @@
+//! Ablation benches for the design choices DESIGN.md §7 calls out:
+//!
+//! * representative rule: closest-to-average (paper) vs bin-median vs
+//!   most-frequent member;
+//! * binning: equal-width SL ranges (paper) vs equal-population
+//!   (quantile) bins;
+//! * initial `k` / error-threshold sweep (profiling cost vs accuracy);
+//! * `prior`'s warmup/window sensitivity.
+//!
+//! Besides timing each alternative, the bench prints the accuracy each
+//! achieves on the quick-scale GNMT epoch so the trade-off is visible in
+//! the bench log.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seqpoint_bench::{quantile_bins, select_with_rule, self_error_pct, RepresentativeRule};
+use seqpoint_core::binning::bin_profiles;
+use seqpoint_core::{BaselineKind, EpochLog, SeqPointConfig, SeqPointPipeline};
+use seqpoint_experiments::{Net, Workloads};
+use std::hint::black_box;
+
+fn gnmt_log() -> EpochLog {
+    let mut w = Workloads::quick();
+    w.profile(Net::Gnmt, 0).to_epoch_log()
+}
+
+fn bench_representative_rules(c: &mut Criterion) {
+    let log = gnmt_log();
+    let profiles = log.sl_profiles();
+    let bins = bin_profiles(&profiles, 10).expect("valid");
+    let mut group = c.benchmark_group("ablation_representative");
+    for rule in [
+        RepresentativeRule::ClosestToAverage,
+        RepresentativeRule::MedianStat,
+        RepresentativeRule::MostFrequent,
+    ] {
+        let err = self_error_pct(&select_with_rule(&bins, rule), &log);
+        eprintln!("[ablation] representative {rule:?}: self error {err:.4}%");
+        group.bench_with_input(BenchmarkId::new("select", format!("{rule:?}")), &rule, |b, &rule| {
+            b.iter(|| black_box(select_with_rule(&bins, rule).len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_binning_strategies(c: &mut Criterion) {
+    let log = gnmt_log();
+    let profiles = log.sl_profiles();
+    let mut group = c.benchmark_group("ablation_binning");
+    for &k in &[5u32, 10, 20] {
+        let equal_width = bin_profiles(&profiles, k).expect("valid");
+        let quantile = quantile_bins(&profiles, k);
+        let ew_err = self_error_pct(
+            &select_with_rule(&equal_width, RepresentativeRule::ClosestToAverage),
+            &log,
+        );
+        let q_err = self_error_pct(
+            &select_with_rule(&quantile, RepresentativeRule::ClosestToAverage),
+            &log,
+        );
+        eprintln!(
+            "[ablation] k={k}: equal-width {ew_err:.4}% vs quantile {q_err:.4}%"
+        );
+        group.bench_with_input(BenchmarkId::new("equal_width", k), &k, |b, &k| {
+            b.iter(|| black_box(bin_profiles(&profiles, k).expect("valid").len()))
+        });
+        group.bench_with_input(BenchmarkId::new("quantile", k), &k, |b, &k| {
+            b.iter(|| black_box(quantile_bins(&profiles, k).len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_threshold_sweep(c: &mut Criterion) {
+    let log = gnmt_log();
+    let mut group = c.benchmark_group("ablation_threshold");
+    group.sample_size(20);
+    for &e in &[1.0f64, 0.1, 0.01] {
+        let cfg = SeqPointConfig {
+            error_threshold_pct: e,
+            max_k: 256,
+            ..SeqPointConfig::default()
+        };
+        if let Ok(a) = SeqPointPipeline::with_config(cfg).run(&log) {
+            eprintln!(
+                "[ablation] e={e}%: k={} points={} err={:.4}%",
+                a.k(),
+                a.seqpoints().len(),
+                a.self_error_pct()
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("pipeline_e", format!("{e}")), &cfg, |b, cfg| {
+            b.iter(|| black_box(SeqPointPipeline::with_config(*cfg).run(&log).ok().map(|a| a.k())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_prior_window_sensitivity(c: &mut Criterion) {
+    let log = gnmt_log();
+    let actual = log.actual_total();
+    let n = log.len() as f64;
+    let mut group = c.benchmark_group("ablation_prior");
+    for &(warmup, window) in &[(10usize, 50usize), (50, 50), (150, 50), (10, 200)] {
+        let kind = BaselineKind::Prior { warmup, window };
+        let sel = kind.select(&log).expect("non-empty");
+        let pred = sel.project_total_with(|sl| log.mean_stat_of(sl).expect("observed"));
+        eprintln!(
+            "[ablation] prior warmup={warmup} window={window}: error {:.2}%",
+            ((pred - actual) / actual).abs() * 100.0
+        );
+        let _ = n;
+        group.bench_with_input(
+            BenchmarkId::new("prior", format!("w{warmup}_n{window}")),
+            &kind,
+            |b, kind| b.iter(|| black_box(kind.select(&log).expect("non-empty").seq_lens().len())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_representative_rules,
+    bench_binning_strategies,
+    bench_threshold_sweep,
+    bench_prior_window_sensitivity
+);
+criterion_main!(benches);

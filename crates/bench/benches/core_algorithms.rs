@@ -1,0 +1,86 @@
+//! Microbenches of the SeqPoint core algorithms: per-SL aggregation,
+//! binning, selection, the full refinement pipeline, the baselines, and
+//! the k-means comparator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use seqpoint_core::binning::bin_profiles;
+use seqpoint_core::kmeans::kmeans;
+use seqpoint_core::{BaselineKind, EpochLog, SeqPointPipeline, SeqPointSet};
+use std::hint::black_box;
+
+fn synthetic_log(iterations: usize, unique_sls: u32, seed: u64) -> EpochLog {
+    let mut rng = StdRng::seed_from_u64(seed);
+    EpochLog::from_pairs((0..iterations).map(|_| {
+        let sl = 1 + rng.gen_range(0..unique_sls);
+        (sl, 0.1 + f64::from(sl) * 0.01 + rng.gen::<f64>() * 0.002)
+    }))
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("core");
+    for &iters in &[500usize, 5_000, 50_000] {
+        let log = synthetic_log(iters, 200, 1);
+        group.bench_with_input(
+            BenchmarkId::new("sl_profiles", iters),
+            &log,
+            |b, log| b.iter(|| black_box(log.sl_profiles().len())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("pipeline_full", iters),
+            &log,
+            |b, log| {
+                b.iter(|| {
+                    black_box(
+                        SeqPointPipeline::new()
+                            .run(log)
+                            .expect("converges")
+                            .seqpoints()
+                            .len(),
+                    )
+                })
+            },
+        );
+    }
+    let log = synthetic_log(5_000, 200, 2);
+    let profiles = log.sl_profiles();
+    for &k in &[5u32, 15, 50] {
+        group.bench_with_input(BenchmarkId::new("bin_and_select", k), &k, |b, &k| {
+            b.iter(|| {
+                let bins = bin_profiles(&profiles, k).expect("valid");
+                black_box(SeqPointSet::select(&bins).len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines");
+    let log = synthetic_log(5_000, 200, 3);
+    for kind in BaselineKind::paper_set() {
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| black_box(kind.select(&log).expect("non-empty").seq_lens().len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmeans");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(4);
+    let data: Vec<Vec<f64>> = (0..2_000)
+        .map(|_| (0..9).map(|_| rng.gen::<f64>()).collect())
+        .collect();
+    for &k in &[5usize, 15] {
+        group.bench_with_input(BenchmarkId::new("kmeans_2000x9", k), &k, |b, &k| {
+            b.iter(|| black_box(kmeans(&data, k, 7).expect("valid").inertia))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_baselines, bench_kmeans);
+criterion_main!(benches);

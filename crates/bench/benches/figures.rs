@@ -1,0 +1,93 @@
+//! Criterion benches that regenerate every *figure* of the paper's
+//! evaluation (Figs. 3–9, 11–16). Each bench times one regeneration at
+//! quick scale; the figure data itself is archived by the `repro` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use seqpoint_experiments::{
+    fig03, fig04, fig05, fig06, fig07, fig08, fig09, projection, sensitivity, speedup, Net,
+    Workloads,
+};
+use std::hint::black_box;
+
+fn bench_motivation_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig03_cnn_vs_sqnn", |b| {
+        b.iter(|| {
+            let mut w = Workloads::quick();
+            black_box(fig03::run(&mut w).cnn_cv_pct)
+        })
+    });
+    group.bench_function("fig04_arch_stats", |b| {
+        let mut w = Workloads::quick();
+        w.profile(Net::Ds2, 0);
+        w.profile(Net::Gnmt, 0);
+        b.iter(|| black_box(fig04::run(&mut w).nets.len()))
+    });
+    group.bench_function("fig05_kernel_overlap", |b| {
+        let mut w = Workloads::quick();
+        b.iter(|| black_box(fig05::run(&mut w).rows.len()))
+    });
+    group.bench_function("fig06_kernel_distribution", |b| {
+        let mut w = Workloads::quick();
+        b.iter(|| black_box(fig06::run(&mut w).rows.len()))
+    });
+    group.bench_function("fig07_sl_histograms", |b| {
+        let mut w = Workloads::quick();
+        b.iter(|| black_box(fig07::run(&mut w).nets.len()))
+    });
+    group.bench_function("fig08_profile_similarity", |b| {
+        let mut w = Workloads::quick();
+        b.iter(|| black_box(fig08::run(&mut w).close_pair_distance))
+    });
+    group.bench_function("fig09_runtime_vs_sl", |b| {
+        let mut w = Workloads::quick();
+        b.iter(|| black_box(fig09::run(&mut w).nets[0].r_squared))
+    });
+    group.finish();
+}
+
+fn bench_evaluation_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig11_ds2_time_error", |b| {
+        let mut w = Workloads::quick();
+        for i in 0..5 {
+            w.profile(Net::Ds2, i);
+        }
+        b.iter(|| black_box(projection::run(&mut w, Net::Ds2).seqpoint_count))
+    });
+    group.bench_function("fig12_gnmt_time_error", |b| {
+        let mut w = Workloads::quick();
+        for i in 0..5 {
+            w.profile(Net::Gnmt, i);
+        }
+        b.iter(|| black_box(projection::run(&mut w, Net::Gnmt).seqpoint_count))
+    });
+    group.bench_function("fig13_gnmt_sensitivity", |b| {
+        let mut w = Workloads::quick();
+        b.iter(|| black_box(sensitivity::run(&mut w, Net::Gnmt).variation_pp))
+    });
+    group.bench_function("fig14_ds2_sensitivity", |b| {
+        let mut w = Workloads::quick();
+        b.iter(|| black_box(sensitivity::run(&mut w, Net::Ds2).variation_pp))
+    });
+    group.bench_function("fig15_ds2_speedup_error", |b| {
+        let mut w = Workloads::quick();
+        for i in 0..5 {
+            w.profile(Net::Ds2, i);
+        }
+        b.iter(|| black_box(speedup::run(&mut w, Net::Ds2).actual_uplift_pct))
+    });
+    group.bench_function("fig16_gnmt_speedup_error", |b| {
+        let mut w = Workloads::quick();
+        for i in 0..5 {
+            w.profile(Net::Gnmt, i);
+        }
+        b.iter(|| black_box(speedup::run(&mut w, Net::Gnmt).actual_uplift_pct))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_motivation_figures, bench_evaluation_figures);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion benches regenerating the paper's tables (Table I, Table II)
+//! and the Section VI-F / VII-C / VII summary tables.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use seqpoint_experiments::{
+    extensions, kmeans_ablation, profiling_speedup, table1, table2, Net, Workloads,
+};
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+    group.bench_function("table1_gemm_dims", |b| {
+        let mut w = Workloads::quick();
+        b.iter(|| black_box(table1::run(&mut w).rows.len()))
+    });
+    group.bench_function("table2_configs", |b| {
+        let w = Workloads::quick();
+        b.iter(|| black_box(table2::run(&w).table.row_count()))
+    });
+    group.bench_function("profiling_speedup_vi_f", |b| {
+        let mut w = Workloads::quick();
+        w.profile(Net::Ds2, 0);
+        w.profile(Net::Gnmt, 0);
+        b.iter(|| black_box(profiling_speedup::run(&mut w).nets.len()))
+    });
+    group.bench_function("kmeans_vs_binning_vii_c", |b| {
+        let mut w = Workloads::quick();
+        w.profile(Net::Ds2, 0);
+        w.profile(Net::Gnmt, 0);
+        b.iter(|| black_box(kmeans_ablation::run(&mut w).rows.len()))
+    });
+    group.bench_function("extensions_vii", |b| {
+        let mut w = Workloads::quick();
+        b.iter(|| black_box(extensions::run(&mut w).rows.len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,177 @@
+//! # seqpoint-bench — benchmark harness and ablation strategies
+//!
+//! The Criterion benches under `benches/` regenerate every table and
+//! figure of the paper (timing the regeneration), benchmark the core
+//! algorithms and the simulator, and run the ablation studies DESIGN.md
+//! §7 calls out. This library hosts the alternative design-choice
+//! implementations the ablations compare against:
+//!
+//! * representative selection within a bin: closest-to-average (the
+//!   paper's choice), the median-SL member, or the most frequent member;
+//! * binning: equal-width SL ranges (the paper's choice) or
+//!   equal-population (quantile) bins.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use seqpoint_core::binning::Bin;
+use seqpoint_core::{EpochLog, SeqPoint, SeqPointSet, SlProfile};
+
+/// How a bin's representative sequence length is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepresentativeRule {
+    /// The SL whose statistic is closest to the bin's weighted average —
+    /// the paper's rule (Fig. 10, step 3).
+    ClosestToAverage,
+    /// The member SL with the median statistic.
+    MedianStat,
+    /// The member SL observed most often.
+    MostFrequent,
+}
+
+/// Select one SeqPoint per bin under the given rule.
+pub fn select_with_rule(bins: &[Bin], rule: RepresentativeRule) -> SeqPointSet {
+    if rule == RepresentativeRule::ClosestToAverage {
+        return SeqPointSet::select(bins);
+    }
+    let mut points = Vec::new();
+    for bin in bins {
+        if bin.is_empty() {
+            continue;
+        }
+        let repr: &SlProfile = match rule {
+            RepresentativeRule::ClosestToAverage => unreachable!("handled above"),
+            RepresentativeRule::MedianStat => {
+                let mut sorted: Vec<&SlProfile> = bin.profiles.iter().collect();
+                sorted.sort_by(|a, b| a.mean_stat.total_cmp(&b.mean_stat));
+                sorted[sorted.len() / 2]
+            }
+            RepresentativeRule::MostFrequent => bin
+                .profiles
+                .iter()
+                .max_by(|a, b| a.count.cmp(&b.count).then(b.seq_len.cmp(&a.seq_len)))
+                .expect("bin is non-empty"),
+        };
+        points.push(SeqPoint {
+            seq_len: repr.seq_len,
+            stat: repr.mean_stat,
+            weight: bin.weight(),
+        });
+    }
+    SeqPointSet::from_points(points)
+}
+
+/// Split profiles into `k` equal-*population* bins (quantiles over
+/// iterations) instead of the paper's equal-width SL ranges.
+pub fn quantile_bins(profiles: &[SlProfile], k: u32) -> Vec<Bin> {
+    if profiles.is_empty() || k == 0 {
+        return Vec::new();
+    }
+    let total: u64 = profiles.iter().map(|p| p.count).sum();
+    let per_bin = (total as f64 / f64::from(k)).max(1.0);
+    let mut bins: Vec<Bin> = Vec::new();
+    let mut current: Vec<SlProfile> = Vec::new();
+    let mut filled = 0.0;
+    for p in profiles {
+        current.push(*p);
+        filled += p.count as f64;
+        if filled >= per_bin && bins.len() + 1 < k as usize {
+            bins.push(Bin {
+                lo: current.first().expect("non-empty").seq_len,
+                hi: current.last().expect("non-empty").seq_len,
+                profiles: std::mem::take(&mut current),
+            });
+            filled = 0.0;
+        }
+    }
+    if !current.is_empty() {
+        bins.push(Bin {
+            lo: current.first().expect("non-empty").seq_len,
+            hi: current.last().expect("non-empty").seq_len,
+            profiles: current,
+        });
+    }
+    bins
+}
+
+/// Identification-time projection error (%) of a selection against a log.
+pub fn self_error_pct(set: &SeqPointSet, log: &EpochLog) -> f64 {
+    let actual = log.actual_total();
+    if actual == 0.0 {
+        return 0.0;
+    }
+    ((set.project_total() - actual) / actual).abs() * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqpoint_core::binning::bin_profiles;
+
+    fn log() -> EpochLog {
+        EpochLog::from_pairs((0..300).map(|i| {
+            let sl = 5 + (i * 13) % 140;
+            (sl, 0.2 + f64::from(sl) * 0.012)
+        }))
+    }
+
+    #[test]
+    fn all_rules_cover_every_iteration() {
+        let l = log();
+        let bins = bin_profiles(&l.sl_profiles(), 8).unwrap();
+        for rule in [
+            RepresentativeRule::ClosestToAverage,
+            RepresentativeRule::MedianStat,
+            RepresentativeRule::MostFrequent,
+        ] {
+            let set = select_with_rule(&bins, rule);
+            assert_eq!(set.total_weight() as usize, l.len(), "{rule:?}");
+        }
+    }
+
+    #[test]
+    fn closest_to_average_is_at_least_as_accurate_as_alternatives_here() {
+        let l = log();
+        let bins = bin_profiles(&l.sl_profiles(), 8).unwrap();
+        let paper = self_error_pct(
+            &select_with_rule(&bins, RepresentativeRule::ClosestToAverage),
+            &l,
+        );
+        let median = self_error_pct(&select_with_rule(&bins, RepresentativeRule::MedianStat), &l);
+        let frequent =
+            self_error_pct(&select_with_rule(&bins, RepresentativeRule::MostFrequent), &l);
+        assert!(paper <= median + 1e-9, "paper {paper} vs median {median}");
+        assert!(paper <= frequent + 1e-9, "paper {paper} vs frequent {frequent}");
+    }
+
+    #[test]
+    fn quantile_bins_partition_and_balance() {
+        let l = log();
+        let profiles = l.sl_profiles();
+        let bins = quantile_bins(&profiles, 6);
+        assert!(bins.len() <= 6);
+        let total: u64 = bins.iter().map(|b| b.weight()).sum();
+        assert_eq!(total as usize, l.len());
+        // Populations are balanced within a factor ~3 (far tighter than
+        // equal-width bins on a skewed distribution).
+        let weights: Vec<u64> = bins.iter().map(|b| b.weight()).collect();
+        let (min, max) = (
+            *weights.iter().min().unwrap(),
+            *weights.iter().max().unwrap(),
+        );
+        assert!(max <= min * 3, "weights = {weights:?}");
+    }
+
+    #[test]
+    fn quantile_bins_edge_cases() {
+        assert!(quantile_bins(&[], 4).is_empty());
+        let one = vec![SlProfile {
+            seq_len: 7,
+            count: 5,
+            mean_stat: 1.0,
+        }];
+        let bins = quantile_bins(&one, 4);
+        assert_eq!(bins.len(), 1);
+        assert_eq!(bins[0].weight(), 5);
+    }
+}

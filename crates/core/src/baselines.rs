@@ -1,0 +1,328 @@
+//! The alternative iteration selectors the paper compares against
+//! (Section VI-C):
+//!
+//! * **Frequent** — the single most frequently occurring SL (most likely
+//!   random pick).
+//! * **Median** — the iteration with the median SL.
+//! * **Worst** — the single SL with the worst-case projection error (a
+//!   bound on arbitrary single-iteration selection).
+//! * **Prior** — the sampling approach of Zhu et al. (IISWC'18): a window
+//!   of contiguous iterations after a fixed warmup, averaged and scaled.
+//!
+//! All baselines project a whole-epoch statistic as *average selected
+//! statistic × iterations per epoch* — the paper's projection rule for
+//! single-iteration proxies.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{CoreError, EpochLog};
+
+/// Which baseline selector to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum BaselineKind {
+    /// The most frequently occurring sequence length.
+    Frequent,
+    /// The median sequence length (over iterations).
+    Median,
+    /// The single SL with the worst projection error (error bound).
+    Worst,
+    /// `window` contiguous iterations after `warmup` iterations.
+    Prior {
+        /// Iterations skipped before sampling (framework warm-up).
+        warmup: usize,
+        /// Number of contiguous iterations sampled (50 in the paper).
+        window: usize,
+    },
+}
+
+impl BaselineKind {
+    /// The paper's `prior` configuration: 50 iterations after warmup.
+    pub fn prior_default() -> Self {
+        BaselineKind::Prior {
+            warmup: 10,
+            window: 50,
+        }
+    }
+
+    /// Short label used in result tables (matches the paper's figures).
+    pub fn label(&self) -> &'static str {
+        match self {
+            BaselineKind::Frequent => "frequent",
+            BaselineKind::Median => "median",
+            BaselineKind::Worst => "worst",
+            BaselineKind::Prior { .. } => "prior",
+        }
+    }
+
+    /// All evaluation baselines in the paper's figure order.
+    pub fn paper_set() -> Vec<BaselineKind> {
+        vec![
+            BaselineKind::Worst,
+            BaselineKind::Frequent,
+            BaselineKind::Median,
+            BaselineKind::prior_default(),
+        ]
+    }
+
+    /// Select iterations from `log` according to this baseline.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::EmptyLog`] if the log is empty, or
+    /// [`CoreError::InvalidParameter`] for a zero `Prior` window.
+    pub fn select(&self, log: &EpochLog) -> Result<BaselineSelection, CoreError> {
+        if log.is_empty() {
+            return Err(CoreError::EmptyLog);
+        }
+        let iterations = log.len();
+        match *self {
+            BaselineKind::Frequent => {
+                let profiles = log.sl_profiles();
+                let best = profiles
+                    .iter()
+                    .max_by(|a, b| a.count.cmp(&b.count).then(b.seq_len.cmp(&a.seq_len)))
+                    .expect("non-empty");
+                Ok(BaselineSelection {
+                    kind: *self,
+                    seq_lens: vec![best.seq_len],
+                    iterations,
+                })
+            }
+            BaselineKind::Median => {
+                let mut sls: Vec<u32> = log.records().iter().map(|r| r.seq_len).collect();
+                sls.sort_unstable();
+                Ok(BaselineSelection {
+                    kind: *self,
+                    seq_lens: vec![sls[sls.len() / 2]],
+                    iterations,
+                })
+            }
+            BaselineKind::Worst => {
+                let actual = log.actual_total();
+                let worst = log
+                    .sl_profiles()
+                    .iter()
+                    .max_by(|a, b| {
+                        let ea = (a.mean_stat * iterations as f64 - actual).abs();
+                        let eb = (b.mean_stat * iterations as f64 - actual).abs();
+                        ea.total_cmp(&eb)
+                    })
+                    .map(|p| p.seq_len)
+                    .expect("non-empty");
+                Ok(BaselineSelection {
+                    kind: *self,
+                    seq_lens: vec![worst],
+                    iterations,
+                })
+            }
+            BaselineKind::Prior { warmup, window } => {
+                if window == 0 {
+                    return Err(CoreError::invalid("window", "must be positive"));
+                }
+                // Clamp the window into the log: skip the warmup if it
+                // fits, then take up to `window` iterations.
+                let start = warmup.min(iterations.saturating_sub(1));
+                let end = (start + window).min(iterations);
+                let seq_lens = log.records()[start..end]
+                    .iter()
+                    .map(|r| r.seq_len)
+                    .collect();
+                Ok(BaselineSelection {
+                    kind: *self,
+                    seq_lens,
+                    iterations,
+                })
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for BaselineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The iterations a baseline picked, with its projection rule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaselineSelection {
+    kind: BaselineKind,
+    seq_lens: Vec<u32>,
+    iterations: usize,
+}
+
+impl BaselineSelection {
+    /// Which baseline produced this selection.
+    pub fn kind(&self) -> BaselineKind {
+        self.kind
+    }
+
+    /// The selected sequence lengths, with multiplicity, in log order
+    /// (one entry for single-iteration baselines; `window` entries for
+    /// `Prior`).
+    pub fn seq_lens(&self) -> &[u32] {
+        &self.seq_lens
+    }
+
+    /// The distinct sequence lengths that must be re-profiled on a new
+    /// configuration.
+    pub fn unique_seq_lens(&self) -> Vec<u32> {
+        let mut v = self.seq_lens.clone();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Iterations in the profiled epoch (the projection scale factor).
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Project the whole-epoch total: mean selected statistic ×
+    /// iterations. `stat_of` supplies the (re-)measured statistic per SL.
+    pub fn project_total_with(&self, mut stat_of: impl FnMut(u32) -> f64) -> f64 {
+        if self.seq_lens.is_empty() {
+            return 0.0;
+        }
+        let mean = self
+            .seq_lens
+            .iter()
+            .map(|&sl| stat_of(sl))
+            .sum::<f64>()
+            / self.seq_lens.len() as f64;
+        mean * self.iterations as f64
+    }
+
+    /// Project a ratio statistic: the plain mean over selected iterations.
+    pub fn project_ratio_with(&self, mut stat_of: impl FnMut(u32) -> f64) -> f64 {
+        if self.seq_lens.is_empty() {
+            return 0.0;
+        }
+        self.seq_lens.iter().map(|&sl| stat_of(sl)).sum::<f64>() / self.seq_lens.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log() -> EpochLog {
+        // SLs: 10 ×4, 20 ×2, 30 ×1; stats = SL/10.
+        EpochLog::from_pairs([
+            (10, 1.0),
+            (20, 2.0),
+            (10, 1.0),
+            (30, 3.0),
+            (10, 1.0),
+            (20, 2.0),
+            (10, 1.0),
+        ])
+    }
+
+    #[test]
+    fn frequent_picks_the_modal_sl() {
+        let s = BaselineKind::Frequent.select(&log()).unwrap();
+        assert_eq!(s.seq_lens(), &[10]);
+    }
+
+    #[test]
+    fn median_picks_the_middle_iteration_sl() {
+        let s = BaselineKind::Median.select(&log()).unwrap();
+        // Sorted SLs: 10,10,10,10,20,20,30 → median 10.
+        assert_eq!(s.seq_lens(), &[10]);
+        let balanced = EpochLog::from_pairs([(1, 0.1), (2, 0.2), (3, 0.3)]);
+        let s = BaselineKind::Median.select(&balanced).unwrap();
+        assert_eq!(s.seq_lens(), &[2]);
+    }
+
+    #[test]
+    fn worst_maximizes_projection_error() {
+        let l = log();
+        let s = BaselineKind::Worst.select(&l).unwrap();
+        // Actual = 11.0; candidates: 10→7.0 (err 4), 20→14 (err 3),
+        // 30→21 (err 10). Worst = 30.
+        assert_eq!(s.seq_lens(), &[30]);
+        let pred = s.project_total_with(|sl| l.mean_stat_of(sl).unwrap());
+        assert!((pred - 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prior_takes_a_contiguous_window() {
+        let l = log();
+        let s = BaselineKind::Prior {
+            warmup: 2,
+            window: 3,
+        }
+        .select(&l)
+        .unwrap();
+        assert_eq!(s.seq_lens(), &[10, 30, 10]); // records 2..5
+        let pred = s.project_total_with(|sl| l.mean_stat_of(sl).unwrap());
+        // Mean(1,3,1) × 7 = 11.666…
+        assert!((pred - 35.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prior_window_clamps_to_log_end() {
+        let l = log();
+        let s = BaselineKind::Prior {
+            warmup: 5,
+            window: 50,
+        }
+        .select(&l)
+        .unwrap();
+        assert_eq!(s.seq_lens().len(), 2);
+        // Degenerate: warmup beyond the log falls back to the tail.
+        let s = BaselineKind::Prior {
+            warmup: 100,
+            window: 2,
+        }
+        .select(&l)
+        .unwrap();
+        assert_eq!(s.seq_lens().len(), 1);
+    }
+
+    #[test]
+    fn single_iteration_projection_rule() {
+        let l = log();
+        let s = BaselineKind::Frequent.select(&l).unwrap();
+        let pred = s.project_total_with(|sl| l.mean_stat_of(sl).unwrap());
+        assert!((pred - 7.0).abs() < 1e-12); // 1.0 × 7 iterations
+        let ratio = s.project_ratio_with(|_| 42.0);
+        assert!((ratio - 42.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn errors_on_empty_or_invalid() {
+        assert_eq!(
+            BaselineKind::Frequent.select(&EpochLog::new()),
+            Err(CoreError::EmptyLog)
+        );
+        assert!(BaselineKind::Prior {
+            warmup: 0,
+            window: 0
+        }
+        .select(&log())
+        .is_err());
+    }
+
+    #[test]
+    fn paper_set_has_four_baselines() {
+        let set = BaselineKind::paper_set();
+        assert_eq!(set.len(), 4);
+        let labels: Vec<&str> = set.iter().map(|b| b.label()).collect();
+        assert_eq!(labels, vec!["worst", "frequent", "median", "prior"]);
+    }
+
+    #[test]
+    fn unique_seq_lens_dedupes() {
+        let l = log();
+        let s = BaselineKind::Prior {
+            warmup: 0,
+            window: 7,
+        }
+        .select(&l)
+        .unwrap();
+        assert_eq!(s.unique_seq_lens(), vec![10, 20, 30]);
+    }
+}

@@ -1,0 +1,181 @@
+//! Contiguous sequence-length binning (the paper's Fig. 10, step 2).
+//!
+//! SLs close to each other have similar execution profiles (paper
+//! Figs. 8–9), so SeqPoint bins the observed SL range into `k` contiguous,
+//! equal-width ranges rather than clustering in profile space.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{CoreError, SlProfile};
+
+/// One contiguous sequence-length bin with its aggregated statistics.
+///
+/// `lo`/`hi` are the smallest and largest *observed* SLs assigned to the
+/// bin's range (the nominal equal-width range may extend further on
+/// either side where no SL was observed).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Bin {
+    /// Smallest observed SL in the bin.
+    pub lo: u32,
+    /// Largest observed SL in the bin.
+    pub hi: u32,
+    /// The unique-SL profiles falling in `[lo, hi]`, ascending.
+    pub profiles: Vec<SlProfile>,
+}
+
+impl Bin {
+    /// Total iterations in the bin — the weight its SeqPoint receives
+    /// (Fig. 10, step 4).
+    pub fn weight(&self) -> u64 {
+        self.profiles.iter().map(|p| p.count).sum()
+    }
+
+    /// Iteration-weighted mean statistic of the bin (Fig. 10, step 3's
+    /// comparison target).
+    pub fn mean_stat(&self) -> f64 {
+        let w = self.weight();
+        if w == 0 {
+            return 0.0;
+        }
+        self.profiles
+            .iter()
+            .map(|p| p.mean_stat * p.count as f64)
+            .sum::<f64>()
+            / w as f64
+    }
+
+    /// Whether the bin contains no observed SLs.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+}
+
+/// Split `profiles` (ascending unique-SL aggregates) into `k` contiguous
+/// equal-width SL-range bins spanning `[min_sl, max_sl]`.
+///
+/// Empty bins (ranges with no observed SL) are dropped — they would have
+/// zero weight and no representative. The returned bins are therefore at
+/// most `k` and cover every input profile exactly once.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] if `k == 0`, and
+/// [`CoreError::EmptyLog`] if `profiles` is empty.
+pub fn bin_profiles(profiles: &[SlProfile], k: u32) -> Result<Vec<Bin>, CoreError> {
+    if k == 0 {
+        return Err(CoreError::invalid("k", "bin count must be positive"));
+    }
+    if profiles.is_empty() {
+        return Err(CoreError::EmptyLog);
+    }
+    let min_sl = profiles.first().expect("non-empty").seq_len;
+    let max_sl = profiles.last().expect("non-empty").seq_len;
+    debug_assert!(profiles.windows(2).all(|w| w[0].seq_len < w[1].seq_len));
+    let span = f64::from(max_sl - min_sl) + 1.0;
+    let width = span / f64::from(k);
+    // Bin i covers the half-open real interval [i·width, (i+1)·width)
+    // offset by min_sl. Assign every profile by that rule, then derive
+    // each bin's integer bounds from its members — computing nominal
+    // integer bounds separately is prone to floating-point disagreements
+    // at exact multiples of `width`.
+    let mut groups: Vec<Vec<SlProfile>> = vec![Vec::new(); k as usize];
+    for p in profiles {
+        let idx = (f64::from(p.seq_len - min_sl) / width) as usize;
+        groups[idx.min(k as usize - 1)].push(*p);
+    }
+    let bins: Vec<Bin> = groups
+        .into_iter()
+        .filter(|g| !g.is_empty())
+        .map(|g| Bin {
+            lo: g.first().expect("non-empty").seq_len,
+            hi: g.last().expect("non-empty").seq_len,
+            profiles: g,
+        })
+        .collect();
+    Ok(bins)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profiles(sls: &[(u32, u64, f64)]) -> Vec<SlProfile> {
+        sls.iter()
+            .map(|&(seq_len, count, mean_stat)| SlProfile {
+                seq_len,
+                count,
+                mean_stat,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bins_cover_all_profiles_once() {
+        let p = profiles(&[(1, 2, 1.0), (10, 1, 2.0), (20, 3, 3.0), (50, 1, 4.0), (100, 2, 5.0)]);
+        let bins = bin_profiles(&p, 5).unwrap();
+        let total: u64 = bins.iter().map(Bin::weight).sum();
+        assert_eq!(total, 9);
+        let sls: Vec<u32> = bins
+            .iter()
+            .flat_map(|b| b.profiles.iter().map(|p| p.seq_len))
+            .collect();
+        assert_eq!(sls, vec![1, 10, 20, 50, 100]);
+    }
+
+    #[test]
+    fn bins_are_contiguous_and_ordered() {
+        let p = profiles(&[(5, 1, 1.0), (25, 1, 1.0), (45, 1, 1.0), (65, 1, 1.0), (85, 1, 1.0)]);
+        let bins = bin_profiles(&p, 4).unwrap();
+        for w in bins.windows(2) {
+            assert!(w[0].hi < w[1].lo);
+        }
+        for b in &bins {
+            for prof in &b.profiles {
+                assert!(prof.seq_len >= b.lo && prof.seq_len <= b.hi);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_ranges_are_dropped() {
+        // SLs cluster at the extremes: middle bins are empty.
+        let p = profiles(&[(1, 1, 1.0), (2, 1, 1.0), (99, 1, 9.0), (100, 1, 9.0)]);
+        let bins = bin_profiles(&p, 10).unwrap();
+        assert_eq!(bins.len(), 2);
+        assert_eq!(bins[0].weight(), 2);
+    }
+
+    #[test]
+    fn single_sl_fits_one_bin() {
+        let p = profiles(&[(42, 7, 1.5)]);
+        let bins = bin_profiles(&p, 5).unwrap();
+        assert_eq!(bins.len(), 1);
+        assert_eq!(bins[0].lo, 42);
+        assert_eq!(bins[0].hi, 42);
+        assert_eq!(bins[0].weight(), 7);
+    }
+
+    #[test]
+    fn weighted_mean_uses_iteration_counts() {
+        let p = profiles(&[(1, 3, 1.0), (2, 1, 5.0)]);
+        let bins = bin_profiles(&p, 1).unwrap();
+        assert!((bins[0].mean_stat() - 2.0).abs() < 1e-12); // (3·1 + 1·5)/4
+    }
+
+    #[test]
+    fn more_bins_than_sls_degenerates_to_one_bin_per_sl() {
+        let p = profiles(&[(10, 1, 1.0), (20, 1, 2.0), (30, 1, 3.0)]);
+        let bins = bin_profiles(&p, 100).unwrap();
+        assert_eq!(bins.len(), 3);
+        for b in &bins {
+            assert_eq!(b.profiles.len(), 1);
+        }
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let p = profiles(&[(1, 1, 1.0)]);
+        assert!(bin_profiles(&p, 0).is_err());
+        assert_eq!(bin_profiles(&[], 5), Err(CoreError::EmptyLog));
+    }
+}

@@ -1,0 +1,77 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the SeqPoint pipeline and clustering utilities.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The epoch log contains no iterations.
+    EmptyLog,
+    /// A pipeline or clustering parameter was invalid.
+    InvalidParameter {
+        /// The offending parameter name.
+        parameter: &'static str,
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// The refinement loop hit `max_k` without meeting the error
+    /// threshold; the best analysis found is embedded so callers can
+    /// still use it.
+    ThresholdNotMet {
+        /// The error (percent) achieved at `max_k`.
+        achieved_error_pct: f64,
+        /// The configured threshold (percent).
+        threshold_pct: f64,
+    },
+}
+
+impl CoreError {
+    pub(crate) fn invalid(parameter: &'static str, reason: impl Into<String>) -> Self {
+        CoreError::InvalidParameter {
+            parameter,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::EmptyLog => write!(f, "epoch log contains no iterations"),
+            CoreError::InvalidParameter { parameter, reason } => {
+                write!(f, "invalid parameter `{parameter}`: {reason}")
+            }
+            CoreError::ThresholdNotMet {
+                achieved_error_pct,
+                threshold_pct,
+            } => write!(
+                f,
+                "error threshold not met: achieved {achieved_error_pct:.3}% > {threshold_pct:.3}% at max_k"
+            ),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(CoreError::EmptyLog.to_string().contains("no iterations"));
+        assert!(CoreError::invalid("k", "zero").to_string().contains("`k`"));
+        let e = CoreError::ThresholdNotMet {
+            achieved_error_pct: 5.0,
+            threshold_pct: 1.0,
+        };
+        assert!(e.to_string().contains("5.000%"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,203 @@
+use serde::{Deserialize, Serialize};
+
+/// One training iteration as SeqPoint sees it: the padded batch sequence
+/// length and one scalar statistic (by default the iteration runtime in
+/// seconds, though any statistic that varies with SL works — Section V-C).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IterationRecord {
+    /// The iteration's padded sequence length.
+    pub seq_len: u32,
+    /// The observed statistic (e.g. runtime in seconds).
+    pub stat: f64,
+}
+
+/// Aggregated view of all iterations sharing one unique sequence length.
+///
+/// Per the paper's key observation 4, iterations with the same SL behave
+/// alike, so their mean statistic characterizes the SL.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlProfile {
+    /// The unique sequence length.
+    pub seq_len: u32,
+    /// Number of iterations observed at this SL (the SeqPoint weight in
+    /// the unbinned case).
+    pub count: u64,
+    /// Mean statistic across those iterations.
+    pub mean_stat: f64,
+}
+
+/// The per-iteration log of one profiled training epoch.
+///
+/// This is the sole input the SeqPoint methodology needs (paper Fig. 10,
+/// step 1): no simulation, tracing, or model knowledge — just `(SL, stat)`
+/// per iteration.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct EpochLog {
+    records: Vec<IterationRecord>,
+}
+
+impl EpochLog {
+    /// Create an empty log.
+    pub fn new() -> Self {
+        EpochLog::default()
+    }
+
+    /// Build a log from `(seq_len, stat)` pairs in iteration order.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (u32, f64)>) -> Self {
+        EpochLog {
+            records: pairs
+                .into_iter()
+                .map(|(seq_len, stat)| IterationRecord { seq_len, stat })
+                .collect(),
+        }
+    }
+
+    /// Append one iteration (in execution order — the `Prior` baseline
+    /// depends on it).
+    pub fn push(&mut self, seq_len: u32, stat: f64) {
+        self.records.push(IterationRecord { seq_len, stat });
+    }
+
+    /// The raw records in execution order.
+    pub fn records(&self) -> &[IterationRecord] {
+        &self.records
+    }
+
+    /// Number of iterations.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The measured whole-epoch total of the statistic (the ground truth
+    /// every projection is scored against).
+    pub fn actual_total(&self) -> f64 {
+        self.records.iter().map(|r| r.stat).sum()
+    }
+
+    /// Mean statistic per iteration.
+    pub fn mean_stat(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.actual_total() / self.records.len() as f64
+    }
+
+    /// Aggregate the log per unique sequence length, ascending by SL.
+    pub fn sl_profiles(&self) -> Vec<SlProfile> {
+        let mut sorted: Vec<(u32, f64)> =
+            self.records.iter().map(|r| (r.seq_len, r.stat)).collect();
+        sorted.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        let mut out: Vec<SlProfile> = Vec::new();
+        for (sl, stat) in sorted {
+            match out.last_mut() {
+                Some(p) if p.seq_len == sl => {
+                    p.count += 1;
+                    p.mean_stat += (stat - p.mean_stat) / p.count as f64;
+                }
+                _ => out.push(SlProfile {
+                    seq_len: sl,
+                    count: 1,
+                    mean_stat: stat,
+                }),
+            }
+        }
+        out
+    }
+
+    /// Number of distinct sequence lengths in the log.
+    pub fn unique_sl_count(&self) -> usize {
+        self.sl_profiles().len()
+    }
+
+    /// The mean statistic of a specific sequence length, if present.
+    pub fn mean_stat_of(&self, seq_len: u32) -> Option<f64> {
+        let (mut n, mut sum) = (0u64, 0.0);
+        for r in &self.records {
+            if r.seq_len == seq_len {
+                n += 1;
+                sum += r.stat;
+            }
+        }
+        (n > 0).then(|| sum / n as f64)
+    }
+}
+
+impl FromIterator<(u32, f64)> for EpochLog {
+    fn from_iter<T: IntoIterator<Item = (u32, f64)>>(iter: T) -> Self {
+        EpochLog::from_pairs(iter)
+    }
+}
+
+impl Extend<(u32, f64)> for EpochLog {
+    fn extend<T: IntoIterator<Item = (u32, f64)>>(&mut self, iter: T) {
+        for (sl, stat) in iter {
+            self.push(sl, stat);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log() -> EpochLog {
+        EpochLog::from_pairs([(5, 1.0), (3, 0.5), (5, 2.0), (8, 3.0), (3, 0.7)])
+    }
+
+    #[test]
+    fn totals_and_means() {
+        let l = log();
+        assert_eq!(l.len(), 5);
+        assert!((l.actual_total() - 7.2).abs() < 1e-12);
+        assert!((l.mean_stat() - 1.44).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profiles_are_sorted_and_aggregated() {
+        let p = log().sl_profiles();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p[0].seq_len, 3);
+        assert_eq!(p[0].count, 2);
+        assert!((p[0].mean_stat - 0.6).abs() < 1e-12);
+        assert_eq!(p[1].seq_len, 5);
+        assert!((p[1].mean_stat - 1.5).abs() < 1e-12);
+        assert_eq!(p[2].seq_len, 8);
+        assert_eq!(p[2].count, 1);
+    }
+
+    #[test]
+    fn counts_sum_to_iterations() {
+        let l = log();
+        let total: u64 = l.sl_profiles().iter().map(|p| p.count).sum();
+        assert_eq!(total as usize, l.len());
+    }
+
+    #[test]
+    fn mean_stat_of_specific_sl() {
+        let l = log();
+        assert_eq!(l.mean_stat_of(5), Some(1.5));
+        assert_eq!(l.mean_stat_of(99), None);
+    }
+
+    #[test]
+    fn empty_log_edge_cases() {
+        let l = EpochLog::new();
+        assert!(l.is_empty());
+        assert_eq!(l.actual_total(), 0.0);
+        assert_eq!(l.mean_stat(), 0.0);
+        assert!(l.sl_profiles().is_empty());
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut l: EpochLog = [(1u32, 1.0)].into_iter().collect();
+        l.extend([(2, 2.0), (3, 3.0)]);
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.records()[2].seq_len, 3);
+    }
+}

@@ -1,0 +1,280 @@
+//! k-means clustering over per-iteration execution-profile vectors.
+//!
+//! Section VII-C of the paper: the authors also tried clustering the
+//! iterations' execution profiles with k-means and found that simple SL
+//! binning "performs as well", because iteration runtime is already a
+//! good proxy for the execution profile. This module provides that
+//! comparator (k-means++ seeding, Lloyd iterations, BIC model selection)
+//! so the claim can be reproduced as an ablation.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::CoreError;
+
+/// The result of one k-means run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KMeansResult {
+    /// Cluster index per input point.
+    pub assignments: Vec<usize>,
+    /// Cluster centroids.
+    pub centroids: Vec<Vec<f64>>,
+    /// Sum of squared distances to assigned centroids.
+    pub inertia: f64,
+}
+
+impl KMeansResult {
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Per-cluster sizes.
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.centroids.len()];
+        for &a in &self.assignments {
+            sizes[a] += 1;
+        }
+        sizes
+    }
+
+    /// For each cluster, the index of the input point closest to its
+    /// centroid (the cluster's representative, SimPoint-style), paired
+    /// with the cluster size as its weight. Empty clusters are skipped.
+    pub fn representatives(&self, data: &[Vec<f64>]) -> Vec<(usize, u64)> {
+        let sizes = self.cluster_sizes();
+        let mut reps = Vec::new();
+        for (c, centroid) in self.centroids.iter().enumerate() {
+            if sizes[c] == 0 {
+                continue;
+            }
+            let best = self
+                .assignments
+                .iter()
+                .enumerate()
+                .filter(|&(_, &a)| a == c)
+                .min_by(|&(i, _), &(j, _)| {
+                    sq_dist(&data[i], centroid).total_cmp(&sq_dist(&data[j], centroid))
+                })
+                .map(|(i, _)| i)
+                .expect("cluster is non-empty");
+            reps.push((best, sizes[c] as u64));
+        }
+        reps
+    }
+
+    /// Bayesian information criterion of the clustering under a
+    /// spherical-Gaussian model (higher is better) — the model-selection
+    /// score SimPoint uses to choose `k`.
+    pub fn bic(&self, data: &[Vec<f64>]) -> f64 {
+        let n = data.len() as f64;
+        let d = data.first().map_or(1, |v| v.len()) as f64;
+        let k = self.k() as f64;
+        if n <= k {
+            return f64::NEG_INFINITY;
+        }
+        // Variance MLE (floored to avoid log(0) on degenerate data).
+        let variance = (self.inertia / (d * (n - k))).max(1e-12);
+        let sizes = self.cluster_sizes();
+        let mut log_likelihood = 0.0;
+        for &size in &sizes {
+            if size == 0 {
+                continue;
+            }
+            let ni = size as f64;
+            log_likelihood += ni * (ni / n).ln()
+                - ni * d / 2.0 * (2.0 * std::f64::consts::PI * variance).ln()
+                - (ni - 1.0) * d / 2.0;
+        }
+        let params = k * (d + 1.0);
+        log_likelihood - params / 2.0 * n.ln()
+    }
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum()
+}
+
+/// Run k-means with k-means++ seeding and Lloyd iterations.
+///
+/// Deterministic for a given `seed`. Converges when assignments stop
+/// changing or after 100 sweeps.
+///
+/// # Errors
+///
+/// [`CoreError::EmptyLog`] for empty data,
+/// [`CoreError::InvalidParameter`] for `k == 0`, `k > len`, or ragged
+/// dimensionality.
+pub fn kmeans(data: &[Vec<f64>], k: usize, seed: u64) -> Result<KMeansResult, CoreError> {
+    if data.is_empty() {
+        return Err(CoreError::EmptyLog);
+    }
+    if k == 0 || k > data.len() {
+        return Err(CoreError::invalid(
+            "k",
+            format!("k must be in 1..={}, got {k}", data.len()),
+        ));
+    }
+    let dim = data[0].len();
+    if data.iter().any(|v| v.len() != dim) {
+        return Err(CoreError::invalid("data", "ragged feature vectors"));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // k-means++ seeding.
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(data[rng.gen_range(0..data.len())].clone());
+    let mut d2: Vec<f64> = data.iter().map(|p| sq_dist(p, &centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            rng.gen_range(0..data.len())
+        } else {
+            let mut draw = rng.gen::<f64>() * total;
+            let mut pick = data.len() - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                if draw < w {
+                    pick = i;
+                    break;
+                }
+                draw -= w;
+            }
+            pick
+        };
+        centroids.push(data[next].clone());
+        for (i, p) in data.iter().enumerate() {
+            d2[i] = d2[i].min(sq_dist(p, centroids.last().expect("just pushed")));
+        }
+    }
+
+    // Lloyd iterations.
+    let mut assignments = vec![0usize; data.len()];
+    for _sweep in 0..100 {
+        let mut changed = false;
+        for (i, p) in data.iter().enumerate() {
+            let best = (0..k)
+                .min_by(|&a, &b| sq_dist(p, &centroids[a]).total_cmp(&sq_dist(p, &centroids[b])))
+                .expect("k >= 1");
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (i, p) in data.iter().enumerate() {
+            counts[assignments[i]] += 1;
+            for (s, &x) in sums[assignments[i]].iter_mut().zip(p) {
+                *s += x;
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for s in &mut sums[c] {
+                    *s /= counts[c] as f64;
+                }
+                centroids[c] = sums[c].clone();
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let inertia = data
+        .iter()
+        .zip(&assignments)
+        .map(|(p, &a)| sq_dist(p, &centroids[a]))
+        .sum();
+    Ok(KMeansResult {
+        assignments,
+        centroids,
+        inertia,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Vec<Vec<f64>> {
+        let mut data = Vec::new();
+        for i in 0..20 {
+            data.push(vec![0.0 + (i % 5) as f64 * 0.01, 0.0]);
+            data.push(vec![10.0 + (i % 5) as f64 * 0.01, 10.0]);
+        }
+        data
+    }
+
+    #[test]
+    fn separates_obvious_blobs() {
+        let data = two_blobs();
+        let r = kmeans(&data, 2, 42).unwrap();
+        assert_eq!(r.k(), 2);
+        // All even indices (blob A) share a cluster; odd (blob B) the other.
+        let a = r.assignments[0];
+        for i in (0..data.len()).step_by(2) {
+            assert_eq!(r.assignments[i], a);
+        }
+        assert_ne!(r.assignments[1], a);
+        assert!(r.inertia < 1.0);
+    }
+
+    #[test]
+    fn representatives_are_cluster_members() {
+        let data = two_blobs();
+        let r = kmeans(&data, 2, 1).unwrap();
+        let reps = r.representatives(&data);
+        assert_eq!(reps.len(), 2);
+        let total: u64 = reps.iter().map(|&(_, w)| w).sum();
+        assert_eq!(total as usize, data.len());
+        for &(idx, _) in &reps {
+            assert!(idx < data.len());
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data = two_blobs();
+        assert_eq!(kmeans(&data, 3, 7).unwrap(), kmeans(&data, 3, 7).unwrap());
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let data: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64]).collect();
+        let r = kmeans(&data, 5, 3).unwrap();
+        assert!(r.inertia < 1e-18);
+    }
+
+    #[test]
+    fn bic_prefers_the_true_k() {
+        let data = two_blobs();
+        let bic1 = kmeans(&data, 1, 5).unwrap().bic(&data);
+        let bic2 = kmeans(&data, 2, 5).unwrap().bic(&data);
+        assert!(bic2 > bic1, "bic2 {bic2} should beat bic1 {bic1}");
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(kmeans(&[], 1, 0).is_err());
+        let data = vec![vec![1.0], vec![2.0]];
+        assert!(kmeans(&data, 0, 0).is_err());
+        assert!(kmeans(&data, 3, 0).is_err());
+        let ragged = vec![vec![1.0], vec![1.0, 2.0]];
+        assert!(kmeans(&ragged, 1, 0).is_err());
+    }
+
+    #[test]
+    fn identical_points_collapse() {
+        let data = vec![vec![5.0, 5.0]; 10];
+        let r = kmeans(&data, 3, 9).unwrap();
+        assert!(r.inertia < 1e-18);
+        let reps = r.representatives(&data);
+        let total: u64 = reps.iter().map(|&(_, w)| w).sum();
+        assert_eq!(total, 10);
+    }
+}

@@ -1,0 +1,70 @@
+//! # seqpoint-core — the SeqPoint methodology
+//!
+//! This crate implements the paper's contribution (Section V): given the
+//! per-iteration log of **one** training epoch — each iteration's padded
+//! sequence length (SL) and a cheap statistic such as runtime — select a
+//! small set of representative iterations (*SeqPoints*) whose weighted
+//! statistics project the behaviour of the whole training run.
+//!
+//! The mechanism (the paper's Fig. 10):
+//!
+//! 1. aggregate the log per unique SL ([`EpochLog::sl_profiles`]);
+//! 2. if the number of unique SLs is at most the threshold `n`, every
+//!    unique SL is a SeqPoint;
+//! 3. otherwise bin the SLs into `k` contiguous ranges
+//!    ([`binning::bin_profiles`]), pick per bin the SL whose statistic is
+//!    closest to the bin average, and weight it by the bin's iteration
+//!    count;
+//! 4. project the whole-epoch statistic as the weighted sum (Eq. 1) and
+//!    compare against the measured total; if the error exceeds the
+//!    threshold `e`, increment `k` and repeat.
+//!
+//! The resulting [`SeqPointSet`] is architecture independent: identified
+//! once (the paper uses config #1), it can be re-profiled on any hardware
+//! configuration with [`SeqPointSet::project_total_with`].
+//!
+//! The crate also ships the comparison machinery of the paper's
+//! evaluation: the `Frequent` / `Median` / `Worst` single-iteration
+//! selectors and the `Prior` contiguous-window sampler
+//! ([`baselines`]), plus the k-means execution-profile clustering the
+//! authors found unnecessary (Section VII-C; [`kmeans`], [`simpoint`]).
+//!
+//! ```
+//! use seqpoint_core::{EpochLog, SeqPointPipeline};
+//!
+//! # fn main() -> Result<(), seqpoint_core::CoreError> {
+//! // A synthetic epoch: runtime grows linearly with sequence length.
+//! let log = EpochLog::from_pairs(
+//!     (0..500).map(|i| {
+//!         let sl = 10 + (i * 37) % 150;
+//!         (sl as u32, 0.5 + sl as f64 * 0.01)
+//!     }),
+//! );
+//! let analysis = SeqPointPipeline::new().run(&log)?;
+//! assert!(analysis.self_error_pct() < 1.0);
+//! println!("{} SeqPoints (k = {})", analysis.seqpoints().len(), analysis.k());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod binning;
+pub mod kmeans;
+pub mod multi;
+pub mod online;
+pub mod simpoint;
+pub mod stats;
+
+mod error;
+mod iteration;
+mod pipeline;
+mod select;
+
+pub use baselines::{BaselineKind, BaselineSelection};
+pub use error::CoreError;
+pub use iteration::{EpochLog, IterationRecord, SlProfile};
+pub use pipeline::{SeqPointAnalysis, SeqPointConfig, SeqPointPipeline};
+pub use select::{SeqPoint, SeqPointSet};

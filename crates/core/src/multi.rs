@@ -1,0 +1,237 @@
+//! Multi-statistic epoch logs.
+//!
+//! The paper identifies SeqPoints from a *single* statistic (runtime)
+//! and notes the methodology "can use any other statistic (or collection
+//! of statistics) that varies with SL" (Section V-C), with runtime being
+//! "a good enough proxy of the program execution behavior"
+//! (Section VII-C). This module makes that checkable: log several
+//! statistics per iteration, identify SeqPoints from one *primary*
+//! statistic, and measure how well those same SeqPoints project every
+//! other statistic.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{CoreError, EpochLog, SeqPointConfig, SeqPointPipeline, SeqPointSet};
+
+/// A per-iteration log carrying several named statistics.
+///
+/// ```
+/// use seqpoint_core::multi::MultiStatLog;
+///
+/// # fn main() -> Result<(), seqpoint_core::CoreError> {
+/// let mut log = MultiStatLog::new(["runtime", "dram_bytes"])?;
+/// for i in 0..100u32 {
+///     let sl = 10 + i % 40;
+///     log.push(sl, [f64::from(sl) * 0.01, f64::from(sl) * 2e6])?;
+/// }
+/// let analysis = log.analyze_with_primary(0, Default::default())?;
+/// assert!(analysis.secondary_error_pct("dram_bytes").unwrap() < 5.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiStatLog {
+    names: Vec<String>,
+    records: Vec<(u32, Vec<f64>)>,
+}
+
+impl MultiStatLog {
+    /// Create a log for the given statistic names.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] if no names are given or names
+    /// repeat.
+    pub fn new<S: Into<String>>(names: impl IntoIterator<Item = S>) -> Result<Self, CoreError> {
+        let names: Vec<String> = names.into_iter().map(Into::into).collect();
+        if names.is_empty() {
+            return Err(CoreError::invalid("names", "need at least one statistic"));
+        }
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() != names.len() {
+            return Err(CoreError::invalid("names", "statistic names must be unique"));
+        }
+        Ok(MultiStatLog {
+            names,
+            records: Vec::new(),
+        })
+    }
+
+    /// Append one iteration.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] if the value count does not match
+    /// the statistic count.
+    pub fn push(
+        &mut self,
+        seq_len: u32,
+        stats: impl IntoIterator<Item = f64>,
+    ) -> Result<(), CoreError> {
+        let stats: Vec<f64> = stats.into_iter().collect();
+        if stats.len() != self.names.len() {
+            return Err(CoreError::invalid(
+                "stats",
+                format!("expected {} values, got {}", self.names.len(), stats.len()),
+            ));
+        }
+        self.records.push((seq_len, stats));
+        Ok(())
+    }
+
+    /// The statistic names, in column order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Number of iterations logged.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no iterations have been logged.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Column index of a statistic name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// Extract one statistic as a single-stat [`EpochLog`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] for an out-of-range index.
+    pub fn log_of(&self, stat: usize) -> Result<EpochLog, CoreError> {
+        if stat >= self.names.len() {
+            return Err(CoreError::invalid("stat", "index out of range"));
+        }
+        Ok(EpochLog::from_pairs(
+            self.records.iter().map(|(sl, v)| (*sl, v[stat])),
+        ))
+    }
+
+    /// Identify SeqPoints from the `primary` statistic and evaluate the
+    /// projection error of *every* statistic with those SeqPoints.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline errors and rejects out-of-range indices.
+    pub fn analyze_with_primary(
+        &self,
+        primary: usize,
+        config: SeqPointConfig,
+    ) -> Result<MultiStatAnalysis, CoreError> {
+        let primary_log = self.log_of(primary)?;
+        let analysis = SeqPointPipeline::with_config(config).run(&primary_log)?;
+        let set = analysis.seqpoints().clone();
+        let mut errors = Vec::with_capacity(self.names.len());
+        for stat in 0..self.names.len() {
+            let log = self.log_of(stat)?;
+            let actual = log.actual_total();
+            let predicted = set.project_total_with(|sl| {
+                log.mean_stat_of(sl)
+                    .expect("SeqPoint SLs come from this log")
+            });
+            let err = if actual == 0.0 {
+                0.0
+            } else {
+                ((predicted - actual) / actual).abs() * 100.0
+            };
+            errors.push((self.names[stat].clone(), err));
+        }
+        Ok(MultiStatAnalysis {
+            primary: self.names[primary].clone(),
+            seqpoints: set,
+            errors,
+        })
+    }
+}
+
+/// Result of [`MultiStatLog::analyze_with_primary`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiStatAnalysis {
+    primary: String,
+    seqpoints: SeqPointSet,
+    errors: Vec<(String, f64)>,
+}
+
+impl MultiStatAnalysis {
+    /// The statistic SeqPoints were identified from.
+    pub fn primary(&self) -> &str {
+        &self.primary
+    }
+
+    /// The identified SeqPoints.
+    pub fn seqpoints(&self) -> &SeqPointSet {
+        &self.seqpoints
+    }
+
+    /// `(name, projection error %)` for every statistic.
+    pub fn errors(&self) -> &[(String, f64)] {
+        &self.errors
+    }
+
+    /// Projection error of a secondary statistic, by name.
+    pub fn secondary_error_pct(&self, name: &str) -> Option<f64> {
+        self.errors.iter().find(|(n, _)| n == name).map(|&(_, e)| e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log() -> MultiStatLog {
+        let mut log = MultiStatLog::new(["runtime", "valu", "dram"]).unwrap();
+        for i in 0..400u32 {
+            let sl = 5 + (i * 7) % 120;
+            let f = f64::from(sl);
+            log.push(sl, [0.1 + f * 0.01, f * 1e9, 1e8 + f * 4e7]).unwrap();
+        }
+        log
+    }
+
+    #[test]
+    fn runtime_chosen_seqpoints_project_other_stats() {
+        // Section VII-C's claim: runtime is a good proxy for the whole
+        // execution profile.
+        let analysis = log().analyze_with_primary(0, SeqPointConfig::default()).unwrap();
+        assert_eq!(analysis.primary(), "runtime");
+        for (name, err) in analysis.errors() {
+            assert!(*err < 3.0, "{name}: {err}%");
+        }
+    }
+
+    #[test]
+    fn column_extraction_round_trips() {
+        let log = log();
+        let runtime = log.log_of(0).unwrap();
+        assert_eq!(runtime.len(), 400);
+        assert_eq!(log.index_of("dram"), Some(2));
+        assert!(log.index_of("nope").is_none());
+        assert!(log.log_of(9).is_err());
+    }
+
+    #[test]
+    fn construction_validates_names_and_rows() {
+        assert!(MultiStatLog::new(Vec::<String>::new()).is_err());
+        assert!(MultiStatLog::new(["a", "a"]).is_err());
+        let mut l = MultiStatLog::new(["a", "b"]).unwrap();
+        assert!(l.push(3, [1.0]).is_err());
+        assert!(l.push(3, [1.0, 2.0]).is_ok());
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn secondary_error_lookup() {
+        let analysis = log().analyze_with_primary(0, SeqPointConfig::default()).unwrap();
+        assert!(analysis.secondary_error_pct("valu").is_some());
+        assert!(analysis.secondary_error_pct("nope").is_none());
+        assert!(!analysis.seqpoints().is_empty());
+    }
+}

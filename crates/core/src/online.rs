@@ -1,0 +1,172 @@
+//! Online sequence-length coverage tracking.
+//!
+//! The paper's mechanism profiles exactly one epoch (Fig. 10, step 1).
+//! For very large datasets even one epoch is expensive; since SeqPoint
+//! only needs the *unique SLs* and their frequencies, logging can stop
+//! early once new sequence lengths stop appearing. This tracker ingests
+//! iterations as they execute and reports when the SL space has
+//! saturated, plus a Good–Turing estimate of the probability that the
+//! next iteration shows an unseen SL.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming tracker of the sequence-length space observed so far.
+///
+/// ```
+/// use seqpoint_core::online::OnlineSlTracker;
+///
+/// let mut tracker = OnlineSlTracker::new();
+/// for sl in [10, 20, 10, 30, 20, 10, 10, 20, 30, 10] {
+///     tracker.observe(sl, 0.1);
+/// }
+/// assert_eq!(tracker.unique_count(), 3);
+/// assert!(tracker.saturated(5)); // no new SL in the last 5 iterations
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct OnlineSlTracker {
+    counts: BTreeMap<u32, u64>,
+    stat_sums: BTreeMap<u32, f64>,
+    iterations: u64,
+    last_new_sl_at: u64,
+}
+
+impl OnlineSlTracker {
+    /// Create an empty tracker.
+    pub fn new() -> Self {
+        OnlineSlTracker::default()
+    }
+
+    /// Record one iteration's sequence length and statistic.
+    pub fn observe(&mut self, seq_len: u32, stat: f64) {
+        self.iterations += 1;
+        let count = self.counts.entry(seq_len).or_insert(0);
+        if *count == 0 {
+            self.last_new_sl_at = self.iterations;
+        }
+        *count += 1;
+        *self.stat_sums.entry(seq_len).or_insert(0.0) += stat;
+    }
+
+    /// Iterations observed so far.
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// Distinct sequence lengths observed so far.
+    pub fn unique_count(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether no new SL has appeared within the last `window`
+    /// iterations (and at least `window` iterations have been seen).
+    pub fn saturated(&self, window: u64) -> bool {
+        self.iterations >= window.max(1)
+            && self.iterations - self.last_new_sl_at >= window.max(1)
+    }
+
+    /// Good–Turing estimate of the probability that the *next* iteration
+    /// exercises an unseen SL: `(#SLs seen exactly once) / iterations`.
+    pub fn unseen_probability(&self) -> f64 {
+        if self.iterations == 0 {
+            return 1.0;
+        }
+        let singletons = self.counts.values().filter(|&&c| c == 1).count();
+        singletons as f64 / self.iterations as f64
+    }
+
+    /// Convert the observations collected so far into an [`crate::EpochLog`]
+    /// with one record per observed iteration (means preserved per SL).
+    pub fn to_epoch_log(&self) -> crate::EpochLog {
+        let mut log = crate::EpochLog::new();
+        for (&sl, &count) in &self.counts {
+            let mean = self.stat_sums[&sl] / count as f64;
+            for _ in 0..count {
+                log.push(sl, mean);
+            }
+        }
+        log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn saturation_detects_a_closed_sl_space() {
+        let mut t = OnlineSlTracker::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        // 20 possible SLs: after a few hundred draws all are seen.
+        for _ in 0..500 {
+            t.observe(10 + rng.gen_range(0..20), 1.0);
+        }
+        assert_eq!(t.unique_count(), 20);
+        assert!(t.saturated(100));
+        assert!(t.unseen_probability() < 0.01);
+    }
+
+    #[test]
+    fn open_ended_space_does_not_saturate() {
+        let mut t = OnlineSlTracker::new();
+        for i in 0..100u32 {
+            t.observe(i, 1.0); // every iteration is a new SL
+        }
+        assert!(!t.saturated(10));
+        assert!(t.unseen_probability() > 0.9);
+    }
+
+    #[test]
+    fn epoch_log_preserves_counts_and_means() {
+        let mut t = OnlineSlTracker::new();
+        t.observe(5, 1.0);
+        t.observe(5, 3.0);
+        t.observe(9, 10.0);
+        let log = t.to_epoch_log();
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.mean_stat_of(5), Some(2.0));
+        assert_eq!(log.mean_stat_of(9), Some(10.0));
+        assert!((log.actual_total() - 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_tracker_edge_cases() {
+        let t = OnlineSlTracker::new();
+        assert_eq!(t.unique_count(), 0);
+        assert!(!t.saturated(1));
+        assert_eq!(t.unseen_probability(), 1.0);
+        assert!(t.to_epoch_log().is_empty());
+    }
+
+    #[test]
+    fn early_stop_log_matches_full_log_projection() {
+        // Stopping once saturated loses little: the tracked prefix's
+        // SL-frequency profile converges to the full epoch's.
+        let mut rng = StdRng::seed_from_u64(9);
+        let all: Vec<(u32, f64)> = (0..2_000)
+            .map(|_| {
+                let sl = 10 + rng.gen_range(0..40);
+                (sl, 0.1 + f64::from(sl) * 0.01)
+            })
+            .collect();
+        let mut t = OnlineSlTracker::new();
+        let mut stopped_at = all.len();
+        for (i, &(sl, stat)) in all.iter().enumerate() {
+            t.observe(sl, stat);
+            if t.saturated(200) {
+                stopped_at = i + 1;
+                break;
+            }
+        }
+        assert!(stopped_at < all.len(), "should stop early");
+        // Mean iteration statistic of the prefix is close to the epoch's.
+        let prefix_mean = t.to_epoch_log().mean_stat();
+        let full_mean: f64 =
+            all.iter().map(|&(_, s)| s).sum::<f64>() / all.len() as f64;
+        let rel = ((prefix_mean - full_mean) / full_mean).abs();
+        assert!(rel < 0.05, "rel = {rel}");
+    }
+}

@@ -1,0 +1,369 @@
+use serde::{Deserialize, Serialize};
+
+use crate::binning::bin_profiles;
+use crate::{CoreError, EpochLog, SeqPointSet};
+
+/// Tunable thresholds of the SeqPoint mechanism (paper Section V-C).
+///
+/// Defaults match the paper: `n = 10` (below this many unique SLs, all of
+/// them become SeqPoints), initial `k = 5` bins, and an error threshold
+/// `e` of 1% on the identification configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeqPointConfig {
+    /// If the log has at most this many unique SLs, every SL is a
+    /// SeqPoint (the paper's `n`, default 10).
+    pub sl_threshold_n: usize,
+    /// Starting bin count (the paper's initial `k`, default 5).
+    pub initial_k: u32,
+    /// Projection-error target in percent (the paper's user-specified
+    /// `e`, default 1%).
+    pub error_threshold_pct: f64,
+    /// Safety cap on `k`; refinement stops here even if `e` is unmet.
+    pub max_k: u32,
+}
+
+impl Default for SeqPointConfig {
+    fn default() -> Self {
+        SeqPointConfig {
+            sl_threshold_n: 10,
+            initial_k: 5,
+            error_threshold_pct: 1.0,
+            max_k: 64,
+        }
+    }
+}
+
+/// The outcome of running the SeqPoint pipeline on one epoch log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeqPointAnalysis {
+    seqpoints: SeqPointSet,
+    k: u32,
+    refinements: u32,
+    actual_total: f64,
+    predicted_total: f64,
+    iterations: usize,
+    unique_sls: usize,
+}
+
+impl SeqPointAnalysis {
+    /// The selected representative iterations.
+    pub fn seqpoints(&self) -> &SeqPointSet {
+        &self.seqpoints
+    }
+
+    /// The bin count the refinement loop settled on (equals the number of
+    /// unique SLs when the `n` threshold short-circuited).
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// How many times `k` was incremented (Fig. 10's feedback edge).
+    pub fn refinements(&self) -> u32 {
+        self.refinements
+    }
+
+    /// The measured epoch total of the statistic.
+    pub fn actual_total(&self) -> f64 {
+        self.actual_total
+    }
+
+    /// Eq. 1 evaluated with the identification-time statistics.
+    pub fn predicted_total(&self) -> f64 {
+        self.predicted_total
+    }
+
+    /// Identification-time projection error, percent.
+    pub fn self_error_pct(&self) -> f64 {
+        if self.actual_total == 0.0 {
+            return 0.0;
+        }
+        ((self.predicted_total - self.actual_total) / self.actual_total).abs() * 100.0
+    }
+
+    /// Iterations in the profiled epoch.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Unique sequence lengths in the profiled epoch.
+    pub fn unique_sls(&self) -> usize {
+        self.unique_sls
+    }
+
+    /// The profiling reduction factor: epoch iterations per SeqPoint.
+    pub fn iteration_reduction(&self) -> f64 {
+        if self.seqpoints.is_empty() {
+            return 0.0;
+        }
+        self.iterations as f64 / self.seqpoints.len() as f64
+    }
+}
+
+/// The iterative SeqPoint mechanism of the paper's Fig. 10.
+///
+/// ```
+/// use seqpoint_core::{EpochLog, SeqPointConfig, SeqPointPipeline};
+///
+/// # fn main() -> Result<(), seqpoint_core::CoreError> {
+/// let log = EpochLog::from_pairs((0..200).map(|i| (10 + i % 90, 1.0 + (i % 90) as f64 * 0.05)));
+/// let analysis = SeqPointPipeline::with_config(SeqPointConfig {
+///     error_threshold_pct: 0.5,
+///     ..SeqPointConfig::default()
+/// })
+/// .run(&log)?;
+/// assert!(analysis.self_error_pct() <= 0.5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SeqPointPipeline {
+    config: SeqPointConfig,
+}
+
+impl SeqPointPipeline {
+    /// A pipeline with the paper's default thresholds.
+    pub fn new() -> Self {
+        SeqPointPipeline::default()
+    }
+
+    /// A pipeline with custom thresholds.
+    pub fn with_config(config: SeqPointConfig) -> Self {
+        SeqPointPipeline { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SeqPointConfig {
+        &self.config
+    }
+
+    /// Run the mechanism on an epoch log.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::EmptyLog`] — the log has no iterations.
+    /// * [`CoreError::InvalidParameter`] — zero `initial_k`/`max_k` or a
+    ///   non-positive, non-finite error threshold.
+    /// * [`CoreError::ThresholdNotMet`] — `max_k` was reached with the
+    ///   error still above `e` (callers wanting the best-effort result can
+    ///   raise `max_k`; with `k` = number of unique SLs the error is 0, so
+    ///   this only fires when `max_k` is set below that).
+    pub fn run(&self, log: &EpochLog) -> Result<SeqPointAnalysis, CoreError> {
+        let cfg = &self.config;
+        if log.is_empty() {
+            return Err(CoreError::EmptyLog);
+        }
+        if cfg.initial_k == 0 || cfg.max_k == 0 {
+            return Err(CoreError::invalid("initial_k/max_k", "must be positive"));
+        }
+        if cfg.error_threshold_pct <= 0.0 || !cfg.error_threshold_pct.is_finite() {
+            return Err(CoreError::invalid(
+                "error_threshold_pct",
+                "must be positive and finite",
+            ));
+        }
+        let profiles = log.sl_profiles();
+        let actual_total = log.actual_total();
+        let unique = profiles.len();
+
+        // Fig. 10, step 1 short-circuit: few unique SLs ⇒ take them all.
+        // Binning by the SL span guarantees one bin (and thus one
+        // SeqPoint) per unique SL, making the projection exact.
+        if unique <= cfg.sl_threshold_n {
+            let span = profiles.last().expect("non-empty").seq_len
+                - profiles.first().expect("non-empty").seq_len
+                + 1;
+            let bins = bin_profiles(&profiles, span)?;
+            let set = SeqPointSet::select(&bins);
+            let predicted = set.project_total();
+            return Ok(SeqPointAnalysis {
+                k: set.len() as u32,
+                refinements: 0,
+                predicted_total: predicted,
+                seqpoints: set,
+                actual_total,
+                iterations: log.len(),
+                unique_sls: unique,
+            });
+        }
+
+        // Steps 2–6: bin, select, project, and refine k until the error
+        // threshold is met.
+        let mut k = cfg.initial_k;
+        let mut refinements = 0;
+        loop {
+            let bins = bin_profiles(&profiles, k)?;
+            let set = SeqPointSet::select(&bins);
+            let predicted = set.project_total();
+            let error_pct = if actual_total == 0.0 {
+                0.0
+            } else {
+                ((predicted - actual_total) / actual_total).abs() * 100.0
+            };
+            let converged = error_pct <= cfg.error_threshold_pct;
+            // Once every unique SL has its own bin the projection is exact;
+            // no point refining further.
+            let exhausted = k >= cfg.max_k || set.len() == unique;
+            if converged || exhausted {
+                if !converged {
+                    return Err(CoreError::ThresholdNotMet {
+                        achieved_error_pct: error_pct,
+                        threshold_pct: cfg.error_threshold_pct,
+                    });
+                }
+                return Ok(SeqPointAnalysis {
+                    k,
+                    refinements,
+                    predicted_total: predicted,
+                    seqpoints: set,
+                    actual_total,
+                    iterations: log.len(),
+                    unique_sls: unique,
+                });
+            }
+            k += 1;
+            refinements += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A log resembling the paper's setting: linear stat in SL with a
+    /// skewed SL distribution.
+    fn skewed_log() -> EpochLog {
+        let mut pairs = Vec::new();
+        for i in 0..400u32 {
+            // Many short, few long: sl in [10, 160].
+            let sl = 10 + ((i * i) % 151);
+            pairs.push((sl, 0.3 + f64::from(sl) * 0.01));
+        }
+        EpochLog::from_pairs(pairs)
+    }
+
+    #[test]
+    fn meets_error_threshold() {
+        let a = SeqPointPipeline::new().run(&skewed_log()).unwrap();
+        assert!(a.self_error_pct() <= 1.0);
+        assert!(a.k() >= 5);
+        assert_eq!(
+            a.seqpoints().total_weight() as usize,
+            a.iterations(),
+            "weights must cover every iteration"
+        );
+    }
+
+    #[test]
+    fn few_unique_sls_short_circuits() {
+        let log = EpochLog::from_pairs([(5, 1.0), (5, 1.1), (9, 2.0), (14, 3.0)]);
+        let a = SeqPointPipeline::new().run(&log).unwrap();
+        assert_eq!(a.seqpoints().len(), 3); // all unique SLs
+        assert_eq!(a.refinements(), 0);
+        // With every SL a SeqPoint, the projection is exact.
+        assert!(a.self_error_pct() < 1e-9);
+    }
+
+    #[test]
+    fn tighter_threshold_needs_more_seqpoints() {
+        let log = skewed_log();
+        let loose = SeqPointPipeline::with_config(SeqPointConfig {
+            error_threshold_pct: 5.0,
+            ..SeqPointConfig::default()
+        })
+        .run(&log)
+        .unwrap();
+        let tight = SeqPointPipeline::with_config(SeqPointConfig {
+            error_threshold_pct: 0.05,
+            max_k: 256,
+            ..SeqPointConfig::default()
+        })
+        .run(&log)
+        .unwrap();
+        assert!(tight.k() >= loose.k());
+        assert!(tight.self_error_pct() <= 0.05);
+    }
+
+    #[test]
+    fn k_equal_to_unique_sls_is_exact_for_evenly_spaced_sls() {
+        // Evenly spaced SLs (gap 3 > bin width) so that k = #unique puts
+        // each SL in its own bin, making the projection exact.
+        let log = EpochLog::from_pairs(
+            (0..400u32).map(|i| {
+                let sl = 10 + (i % 50) * 3;
+                (sl, 0.3 + f64::from(sl) * 0.01)
+            }),
+        );
+        let unique = log.unique_sl_count() as u32;
+        let a = SeqPointPipeline::with_config(SeqPointConfig {
+            initial_k: unique,
+            max_k: unique.max(1),
+            error_threshold_pct: 1e-6,
+            sl_threshold_n: 0,
+        })
+        .run(&log)
+        .unwrap();
+        assert!(a.self_error_pct() < 1e-9);
+        assert_eq!(a.seqpoints().len(), unique as usize);
+    }
+
+    #[test]
+    fn equal_width_bins_may_need_more_k_than_unique_sls() {
+        // With irregularly spaced SLs, k = #unique equal-width bins can
+        // leave two SLs sharing a bin; the loop must keep refining.
+        let a = SeqPointPipeline::with_config(SeqPointConfig {
+            error_threshold_pct: 0.5,
+            max_k: 256,
+            ..SeqPointConfig::default()
+        })
+        .run(&skewed_log())
+        .unwrap();
+        assert!(a.self_error_pct() <= 0.5);
+    }
+
+    #[test]
+    fn max_k_failure_reports_achieved_error() {
+        // A pathological log where 1 bin cannot meet a microscopic
+        // threshold, and max_k forbids refinement.
+        let log = EpochLog::from_pairs(
+            (0..100).flat_map(|i| {
+                let sl = 1 + i % 50;
+                vec![(sl, f64::from(sl) * f64::from(sl))]
+            }),
+        );
+        let result = SeqPointPipeline::with_config(SeqPointConfig {
+            initial_k: 1,
+            max_k: 1,
+            error_threshold_pct: 1e-9,
+            sl_threshold_n: 0,
+        })
+        .run(&log);
+        assert!(matches!(result, Err(CoreError::ThresholdNotMet { .. })));
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        let log = skewed_log();
+        assert_eq!(
+            SeqPointPipeline::new().run(&EpochLog::new()),
+            Err(CoreError::EmptyLog)
+        );
+        let bad_k = SeqPointConfig {
+            initial_k: 0,
+            ..SeqPointConfig::default()
+        };
+        assert!(SeqPointPipeline::with_config(bad_k).run(&log).is_err());
+        let bad_e = SeqPointConfig {
+            error_threshold_pct: 0.0,
+            ..SeqPointConfig::default()
+        };
+        assert!(SeqPointPipeline::with_config(bad_e).run(&log).is_err());
+    }
+
+    #[test]
+    fn reduction_factor_counts_iterations_per_point() {
+        let a = SeqPointPipeline::new().run(&skewed_log()).unwrap();
+        let expected = 400.0 / a.seqpoints().len() as f64;
+        assert!((a.iteration_reduction() - expected).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,201 @@
+use serde::{Deserialize, Serialize};
+
+use crate::binning::Bin;
+
+/// One representative iteration: a sequence length, the statistic observed
+/// for it during identification, and the weight of the bin it represents.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeqPoint {
+    /// The representative sequence length.
+    pub seq_len: u32,
+    /// The mean statistic of that SL on the identification configuration.
+    pub stat: f64,
+    /// The number of epoch iterations this SeqPoint stands for.
+    pub weight: u64,
+}
+
+/// A weighted set of SeqPoints — the paper's distilled representative
+/// training run.
+///
+/// The set is architecture independent: to evaluate new hardware or
+/// software, re-profile only these `len()` sequence lengths and combine
+/// them with [`SeqPointSet::project_total_with`] (Eq. 1) or
+/// [`SeqPointSet::project_ratio_with`] (for ratio statistics like
+/// throughput, which Eq. 1 normalizes by the total weight).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SeqPointSet {
+    points: Vec<SeqPoint>,
+}
+
+impl SeqPointSet {
+    /// Build a set from points (kept in the given order).
+    pub fn from_points(points: Vec<SeqPoint>) -> Self {
+        SeqPointSet { points }
+    }
+
+    /// Select one SeqPoint per bin: the SL whose mean statistic is closest
+    /// to the bin's iteration-weighted average (Fig. 10, step 3), weighted
+    /// by the bin size (step 4).
+    ///
+    /// Empty bins are skipped.
+    pub fn select(bins: &[Bin]) -> Self {
+        let mut points = Vec::with_capacity(bins.len());
+        for bin in bins {
+            if bin.is_empty() {
+                continue;
+            }
+            let target = bin.mean_stat();
+            let repr = bin
+                .profiles
+                .iter()
+                .min_by(|a, b| {
+                    (a.mean_stat - target)
+                        .abs()
+                        .total_cmp(&(b.mean_stat - target).abs())
+                })
+                .expect("bin is non-empty");
+            points.push(SeqPoint {
+                seq_len: repr.seq_len,
+                stat: repr.mean_stat,
+                weight: bin.weight(),
+            });
+        }
+        SeqPointSet { points }
+    }
+
+    /// The SeqPoints, ascending by the order of their bins.
+    pub fn points(&self) -> &[SeqPoint] {
+        &self.points
+    }
+
+    /// Number of SeqPoints (the iterations one must profile).
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The representative sequence lengths.
+    pub fn seq_lens(&self) -> Vec<u32> {
+        self.points.iter().map(|p| p.seq_len).collect()
+    }
+
+    /// Sum of all weights (= iterations in the profiled epoch).
+    pub fn total_weight(&self) -> u64 {
+        self.points.iter().map(|p| p.weight).sum()
+    }
+
+    /// Eq. 1 with the identification-time statistics:
+    /// `Σ wᵢ · sᵢ`.
+    pub fn project_total(&self) -> f64 {
+        self.points
+            .iter()
+            .map(|p| p.stat * p.weight as f64)
+            .sum()
+    }
+
+    /// Eq. 1 with re-measured statistics: `Σ wᵢ · stat(slᵢ)`.
+    ///
+    /// `stat_of` re-profiles a single SeqPoint SL on the target system —
+    /// the cross-configuration use the paper evaluates in Section VI-D.
+    pub fn project_total_with(&self, mut stat_of: impl FnMut(u32) -> f64) -> f64 {
+        self.points
+            .iter()
+            .map(|p| stat_of(p.seq_len) * p.weight as f64)
+            .sum()
+    }
+
+    /// Weight-normalized projection for ratio statistics (throughput,
+    /// IPC): `Σ wᵢ · stat(slᵢ) / Σ wᵢ` (the normalization the paper notes
+    /// under Eq. 1).
+    pub fn project_ratio_with(&self, stat_of: impl FnMut(u32) -> f64) -> f64 {
+        let w = self.total_weight();
+        if w == 0 {
+            return 0.0;
+        }
+        self.project_total_with(stat_of) / w as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binning::bin_profiles;
+    use crate::SlProfile;
+
+    fn profiles() -> Vec<SlProfile> {
+        vec![
+            SlProfile { seq_len: 10, count: 5, mean_stat: 1.0 },
+            SlProfile { seq_len: 12, count: 3, mean_stat: 1.2 },
+            SlProfile { seq_len: 14, count: 2, mean_stat: 1.4 },
+            SlProfile { seq_len: 90, count: 1, mean_stat: 9.0 },
+            SlProfile { seq_len: 95, count: 1, mean_stat: 9.5 },
+        ]
+    }
+
+    #[test]
+    fn representative_is_closest_to_bin_mean() {
+        let bins = bin_profiles(&profiles(), 2).unwrap();
+        let set = SeqPointSet::select(&bins);
+        assert_eq!(set.len(), 2);
+        // Bin 1 weighted mean = (5·1.0 + 3·1.2 + 2·1.4)/10 = 1.12 → SL 12.
+        assert_eq!(set.points()[0].seq_len, 12);
+        assert_eq!(set.points()[0].weight, 10);
+        // Bin 2 mean = 9.25; both are 0.25 away, min_by keeps the first.
+        assert_eq!(set.points()[1].weight, 2);
+    }
+
+    #[test]
+    fn weights_sum_to_iteration_count() {
+        let bins = bin_profiles(&profiles(), 3).unwrap();
+        let set = SeqPointSet::select(&bins);
+        assert_eq!(set.total_weight(), 12);
+    }
+
+    #[test]
+    fn projection_uses_weights() {
+        let set = SeqPointSet::from_points(vec![
+            SeqPoint { seq_len: 10, stat: 1.0, weight: 4 },
+            SeqPoint { seq_len: 20, stat: 2.0, weight: 6 },
+        ]);
+        assert!((set.project_total() - 16.0).abs() < 1e-12);
+        // Cross-config projection: stats doubled.
+        let doubled = set.project_total_with(|sl| match sl {
+            10 => 2.0,
+            20 => 4.0,
+            _ => unreachable!(),
+        });
+        assert!((doubled - 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_projection_normalizes_by_weight() {
+        let set = SeqPointSet::from_points(vec![
+            SeqPoint { seq_len: 1, stat: 0.0, weight: 1 },
+            SeqPoint { seq_len: 2, stat: 0.0, weight: 3 },
+        ]);
+        let ratio = set.project_ratio_with(|sl| if sl == 1 { 100.0 } else { 20.0 });
+        assert!((ratio - 40.0).abs() < 1e-12); // (100 + 3·20)/4
+    }
+
+    #[test]
+    fn empty_set_is_harmless() {
+        let set = SeqPointSet::default();
+        assert!(set.is_empty());
+        assert_eq!(set.project_total(), 0.0);
+        assert_eq!(set.project_ratio_with(|_| 1.0), 0.0);
+    }
+
+    #[test]
+    fn one_bin_per_unique_sl_reproduces_totals_exactly() {
+        let p = profiles();
+        let bins = bin_profiles(&p, 1000).unwrap();
+        let set = SeqPointSet::select(&bins);
+        assert_eq!(set.len(), p.len());
+        let actual: f64 = p.iter().map(|x| x.mean_stat * x.count as f64).sum();
+        assert!((set.project_total() - actual).abs() < 1e-9);
+    }
+}

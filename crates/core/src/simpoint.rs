@@ -1,0 +1,245 @@
+//! A generic SimPoint-style representative selector.
+//!
+//! SimPoint (Sherwood et al., ASPLOS'02) — the methodology SeqPoint
+//! extends — slices program execution, embeds each slice as a feature
+//! vector (basic-block vector), optionally random-projects to a low
+//! dimension, clusters with k-means over a range of `k`, picks the best
+//! clustering by BIC, and keeps one weighted representative per cluster.
+//!
+//! This module reproduces that front-end over arbitrary per-iteration
+//! feature vectors (e.g. kernel-runtime histograms from the profiler). It
+//! powers the Section VII-C comparison showing SL binning matches the
+//! sophisticated clustering approach.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::kmeans::{kmeans, KMeansResult};
+use crate::CoreError;
+
+/// Options for [`simpoint`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimPointOptions {
+    /// Largest `k` tried (the classic tool's `maxK`, default 30).
+    pub max_k: usize,
+    /// Random-projection dimensionality (default 15, as in the original
+    /// tool). Projection is skipped when the data is already narrower.
+    pub projected_dim: usize,
+    /// PRNG seed for projection and k-means seeding.
+    pub seed: u64,
+    /// BIC tolerance: the smallest `k` whose BIC reaches this fraction of
+    /// the best BIC observed is kept (default 0.9, as in SimPoint).
+    pub bic_fraction: f64,
+}
+
+impl Default for SimPointOptions {
+    fn default() -> Self {
+        SimPointOptions {
+            max_k: 30,
+            projected_dim: 15,
+            seed: 0,
+            bic_fraction: 0.9,
+        }
+    }
+}
+
+/// The selected representatives: input indices with cluster weights.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimPointSet {
+    /// `(input index, weight)` per kept cluster.
+    pub representatives: Vec<(usize, u64)>,
+    /// The `k` the BIC criterion settled on.
+    pub chosen_k: usize,
+}
+
+impl SimPointSet {
+    /// Project a total statistic: `Σ weight · stat(index)`.
+    pub fn project_total_with(&self, mut stat_of: impl FnMut(usize) -> f64) -> f64 {
+        self.representatives
+            .iter()
+            .map(|&(idx, w)| stat_of(idx) * w as f64)
+            .sum()
+    }
+
+    /// Sum of weights (= number of input vectors).
+    pub fn total_weight(&self) -> u64 {
+        self.representatives.iter().map(|&(_, w)| w).sum()
+    }
+}
+
+/// Run the SimPoint selection over per-iteration feature vectors.
+///
+/// # Errors
+///
+/// [`CoreError::EmptyLog`] for empty input;
+/// [`CoreError::InvalidParameter`] for zero `max_k`/`projected_dim` or a
+/// `bic_fraction` outside `(0, 1]`.
+pub fn simpoint(data: &[Vec<f64>], options: SimPointOptions) -> Result<SimPointSet, CoreError> {
+    if data.is_empty() {
+        return Err(CoreError::EmptyLog);
+    }
+    if options.max_k == 0 || options.projected_dim == 0 {
+        return Err(CoreError::invalid("max_k/projected_dim", "must be positive"));
+    }
+    if !(options.bic_fraction > 0.0 && options.bic_fraction <= 1.0) {
+        return Err(CoreError::invalid("bic_fraction", "must be in (0, 1]"));
+    }
+    let dim = data[0].len();
+    if data.iter().any(|v| v.len() != dim) {
+        return Err(CoreError::invalid("data", "ragged feature vectors"));
+    }
+
+    // Random projection (dimension reduction), as in the original tool.
+    let projected: Vec<Vec<f64>> = if dim > options.projected_dim {
+        let mut rng = StdRng::seed_from_u64(options.seed);
+        let proj: Vec<Vec<f64>> = (0..options.projected_dim)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        data.iter()
+            .map(|v| {
+                proj.iter()
+                    .map(|row| row.iter().zip(v).map(|(a, b)| a * b).sum())
+                    .collect()
+            })
+            .collect()
+    } else {
+        data.to_vec()
+    };
+
+    // Cluster for every k, keep the smallest k within bic_fraction of the
+    // best BIC.
+    let max_k = options.max_k.min(projected.len());
+    let mut results: Vec<(usize, KMeansResult, f64)> = Vec::new();
+    for k in 1..=max_k {
+        let r = kmeans(&projected, k, options.seed.wrapping_add(k as u64))?;
+        let bic = r.bic(&projected);
+        results.push((k, r, bic));
+    }
+    let best_bic = results
+        .iter()
+        .map(|&(_, _, b)| b)
+        .fold(f64::NEG_INFINITY, f64::max);
+    // BIC values can be negative; use the classic "within fraction of the
+    // span above the worst" rule for robustness.
+    let worst_bic = results
+        .iter()
+        .map(|&(_, _, b)| b)
+        .filter(|b| b.is_finite())
+        .fold(f64::INFINITY, f64::min);
+    let threshold = worst_bic + (best_bic - worst_bic) * options.bic_fraction;
+    let chosen = results
+        .iter()
+        .find(|&&(_, _, b)| b >= threshold)
+        .or_else(|| results.last())
+        .expect("at least one k was tried");
+    let representatives = chosen.1.representatives(&projected);
+    Ok(SimPointSet {
+        representatives,
+        chosen_k: chosen.0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(n_per: usize, centers: &[f64]) -> Vec<Vec<f64>> {
+        let mut data = Vec::new();
+        for &c in centers {
+            for i in 0..n_per {
+                data.push(vec![c + (i % 7) as f64 * 0.01, c * 0.5]);
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn finds_representatives_covering_all_points() {
+        let data = blobs(30, &[0.0, 50.0, 100.0]);
+        let sp = simpoint(&data, SimPointOptions::default()).unwrap();
+        assert_eq!(sp.total_weight() as usize, data.len());
+        assert!(!sp.representatives.is_empty());
+    }
+
+    #[test]
+    fn chosen_k_is_near_the_true_cluster_count() {
+        let data = blobs(40, &[0.0, 50.0, 100.0]);
+        let sp = simpoint(
+            &data,
+            SimPointOptions {
+                max_k: 10,
+                ..SimPointOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            (2..=5).contains(&sp.chosen_k),
+            "chosen_k = {}",
+            sp.chosen_k
+        );
+    }
+
+    #[test]
+    fn projection_applies_for_wide_vectors() {
+        // 100-dim input with 2 genuine groups.
+        let mut data = Vec::new();
+        for g in 0..2 {
+            for i in 0..25 {
+                let mut v = vec![0.0; 100];
+                v[g * 50] = 10.0 + (i % 3) as f64 * 0.01;
+                data.push(v);
+            }
+        }
+        let sp = simpoint(&data, SimPointOptions::default()).unwrap();
+        assert_eq!(sp.total_weight(), 50);
+    }
+
+    #[test]
+    fn projection_total_matches_exact_for_k_equals_n() {
+        let data: Vec<Vec<f64>> = (0..6).map(|i| vec![i as f64 * 10.0]).collect();
+        let sp = simpoint(
+            &data,
+            SimPointOptions {
+                max_k: 6,
+                bic_fraction: 1.0,
+                ..SimPointOptions::default()
+            },
+        )
+        .unwrap();
+        let stats: Vec<f64> = (0..6).map(|i| i as f64).collect();
+        let projected = sp.project_total_with(|i| stats[i]);
+        assert!(projected >= 0.0);
+        assert_eq!(sp.total_weight(), 6);
+    }
+
+    #[test]
+    fn rejects_invalid_options() {
+        let data = vec![vec![1.0], vec![2.0]];
+        assert!(simpoint(&[], SimPointOptions::default()).is_err());
+        assert!(simpoint(
+            &data,
+            SimPointOptions {
+                max_k: 0,
+                ..SimPointOptions::default()
+            }
+        )
+        .is_err());
+        assert!(simpoint(
+            &data,
+            SimPointOptions {
+                bic_fraction: 0.0,
+                ..SimPointOptions::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data = blobs(20, &[0.0, 10.0]);
+        let opts = SimPointOptions::default();
+        assert_eq!(simpoint(&data, opts).unwrap(), simpoint(&data, opts).unwrap());
+    }
+}

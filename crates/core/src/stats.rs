@@ -1,0 +1,120 @@
+//! Small statistics helpers shared by the pipeline, the experiments, and
+//! the benchmark harness (geomean error reporting, relative errors).
+
+/// Relative error of `predicted` against `actual`, in percent
+/// (`|p − a| / |a| · 100`). Returns 0 when both are 0, and infinity when
+/// only `actual` is 0.
+pub fn relative_error_pct(predicted: f64, actual: f64) -> f64 {
+    if actual == 0.0 {
+        return if predicted == 0.0 { 0.0 } else { f64::INFINITY };
+    }
+    ((predicted - actual) / actual).abs() * 100.0
+}
+
+/// Geometric mean of a set of positive values, the paper's summary metric
+/// for per-configuration errors. Non-positive values are clamped to a
+/// small epsilon first (a 0.00% error would otherwise zero the geomean).
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    const EPS: f64 = 1e-6;
+    let (mut log_sum, mut n) = (0.0, 0usize);
+    for v in values {
+        log_sum += v.max(EPS).ln();
+        n += 1;
+    }
+    if n == 0 {
+        return 0.0;
+    }
+    (log_sum / n as f64).exp()
+}
+
+/// Arithmetic mean (0 for an empty input).
+pub fn mean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let (mut sum, mut n) = (0.0, 0usize);
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        return 0.0;
+    }
+    sum / n as f64
+}
+
+/// Population coefficient of variation (stddev / mean) of the values,
+/// in percent. Used by the Fig. 3 homogeneity comparison.
+pub fn coefficient_of_variation_pct(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let m = mean(values.iter().copied());
+    if m == 0.0 {
+        return 0.0;
+    }
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64;
+    var.sqrt() / m.abs() * 100.0
+}
+
+/// Max-to-min spread of the values, in percent (`(max/min − 1)·100`).
+/// The paper quotes Fig. 4 swings this way (e.g. "differ by about 24%").
+pub fn spread_pct(values: &[f64]) -> f64 {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for &v in values {
+        min = min.min(v);
+        max = max.max(v);
+    }
+    if !min.is_finite() || !max.is_finite() || min <= 0.0 {
+        return 0.0;
+    }
+    (max / min - 1.0) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_error_basics() {
+        assert!((relative_error_pct(110.0, 100.0) - 10.0).abs() < 1e-9);
+        assert!((relative_error_pct(90.0, 100.0) - 10.0).abs() < 1e-9);
+        assert_eq!(relative_error_pct(0.0, 0.0), 0.0);
+        assert!(relative_error_pct(1.0, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn geomean_of_identical_values() {
+        assert!((geomean([2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_is_between_min_and_max() {
+        let g = geomean([1.0, 4.0, 16.0]);
+        assert!((g - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geomean_handles_zeros_and_empty() {
+        assert!(geomean([0.0, 1.0]) > 0.0);
+        assert_eq!(geomean(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn cv_of_constant_series_is_zero() {
+        assert_eq!(coefficient_of_variation_pct(&[3.0, 3.0, 3.0]), 0.0);
+        assert!(coefficient_of_variation_pct(&[1.0, 2.0, 3.0]) > 0.0);
+        assert_eq!(coefficient_of_variation_pct(&[]), 0.0);
+    }
+
+    #[test]
+    fn spread_matches_max_over_min() {
+        assert!((spread_pct(&[1.0, 1.24]) - 24.0).abs() < 1e-9);
+        assert_eq!(spread_pct(&[]), 0.0);
+        assert_eq!(spread_pct(&[0.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn mean_basics() {
+        assert_eq!(mean([1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(std::iter::empty()), 0.0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based invariants of the SeqPoint methodology.
+
+use proptest::prelude::*;
+use seqpoint_core::binning::bin_profiles;
+use seqpoint_core::{
+    BaselineKind, EpochLog, SeqPointConfig, SeqPointPipeline, SeqPointSet,
+};
+
+fn arb_log() -> impl Strategy<Value = EpochLog> {
+    proptest::collection::vec((1u32..400, 0.01f64..10.0), 1..500)
+        .prop_map(EpochLog::from_pairs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn bins_partition_the_iterations(log in arb_log(), k in 1u32..40) {
+        let profiles = log.sl_profiles();
+        let bins = bin_profiles(&profiles, k).unwrap();
+        // Every iteration is counted exactly once.
+        let total: u64 = bins.iter().map(|b| b.weight()).sum();
+        prop_assert_eq!(total as usize, log.len());
+        // Bins are disjoint, ordered, and contain only in-range profiles.
+        for w in bins.windows(2) {
+            prop_assert!(w[0].hi < w[1].lo);
+        }
+        for b in &bins {
+            prop_assert!(!b.is_empty());
+            for p in &b.profiles {
+                prop_assert!(p.seq_len >= b.lo && p.seq_len <= b.hi);
+            }
+        }
+        prop_assert!(bins.len() <= k as usize);
+    }
+
+    #[test]
+    fn seqpoint_weights_always_cover_the_epoch(log in arb_log(), k in 1u32..40) {
+        let profiles = log.sl_profiles();
+        let bins = bin_profiles(&profiles, k).unwrap();
+        let set = SeqPointSet::select(&bins);
+        prop_assert_eq!(set.total_weight() as usize, log.len());
+        // Every representative is an observed SL.
+        for p in set.points() {
+            prop_assert!(log.mean_stat_of(p.seq_len).is_some());
+        }
+    }
+
+    #[test]
+    fn representative_stat_is_within_bin_extremes(log in arb_log(), k in 1u32..20) {
+        let profiles = log.sl_profiles();
+        let bins = bin_profiles(&profiles, k).unwrap();
+        let set = SeqPointSet::select(&bins);
+        for (bin, point) in bins.iter().zip(set.points()) {
+            let lo = bin.profiles.iter().map(|p| p.mean_stat).fold(f64::INFINITY, f64::min);
+            let hi = bin.profiles.iter().map(|p| p.mean_stat).fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(point.stat >= lo - 1e-12 && point.stat <= hi + 1e-12);
+            prop_assert!(point.seq_len >= bin.lo && point.seq_len <= bin.hi);
+        }
+    }
+
+    #[test]
+    fn pipeline_projection_error_monotone_resources(log in arb_log()) {
+        // Run with a generous threshold and with max_k = span: the error
+        // with the span-sized k is (near) zero.
+        let span_k = {
+            let p = log.sl_profiles();
+            p.last().unwrap().seq_len - p.first().unwrap().seq_len + 1
+        };
+        let exact = SeqPointPipeline::with_config(SeqPointConfig {
+            initial_k: span_k,
+            max_k: span_k,
+            error_threshold_pct: 100.0,
+            sl_threshold_n: 0,
+        })
+        .run(&log)
+        .unwrap();
+        prop_assert!(exact.self_error_pct() < 1e-6, "err = {}", exact.self_error_pct());
+        prop_assert_eq!(exact.seqpoints().len(), log.unique_sl_count());
+    }
+
+    #[test]
+    fn pipeline_satisfies_its_threshold_when_it_returns(log in arb_log(), e in 0.1f64..20.0) {
+        let result = SeqPointPipeline::with_config(SeqPointConfig {
+            error_threshold_pct: e,
+            max_k: 512,
+            ..SeqPointConfig::default()
+        })
+        .run(&log);
+        if let Ok(a) = result {
+            prop_assert!(a.self_error_pct() <= e + 1e-9);
+            prop_assert!(a.seqpoints().len() <= log.unique_sl_count());
+        }
+    }
+
+    #[test]
+    fn projection_scales_linearly_with_stats(log in arb_log(), factor in 0.1f64..10.0) {
+        // Projecting with uniformly scaled statistics scales the
+        // projection by the same factor — the property that makes
+        // SeqPoints transferable across clock-scaled configurations.
+        let a = SeqPointPipeline::with_config(SeqPointConfig {
+            error_threshold_pct: 50.0,
+            ..SeqPointConfig::default()
+        })
+        .run(&log)
+        .unwrap();
+        let base = a.seqpoints().project_total();
+        let scaled = a
+            .seqpoints()
+            .project_total_with(|sl| log.mean_stat_of(sl).unwrap() * factor);
+        prop_assert!((scaled - base * factor).abs() <= 1e-9 * base.abs().max(1.0) * factor);
+    }
+
+    #[test]
+    fn baselines_project_finite_totals(log in arb_log()) {
+        for kind in BaselineKind::paper_set() {
+            let sel = kind.select(&log).unwrap();
+            let pred = sel.project_total_with(|sl| log.mean_stat_of(sl).unwrap_or(0.0));
+            prop_assert!(pred.is_finite());
+            prop_assert!(pred >= 0.0);
+            prop_assert!(!sel.seq_lens().is_empty());
+        }
+    }
+
+    #[test]
+    fn worst_baseline_bounds_single_sl_choices(log in arb_log()) {
+        let actual = log.actual_total();
+        let n = log.len() as f64;
+        let worst = BaselineKind::Worst.select(&log).unwrap();
+        let worst_err = (worst.project_total_with(|sl| log.mean_stat_of(sl).unwrap()) - actual).abs();
+        for p in log.sl_profiles() {
+            let err = (p.mean_stat * n - actual).abs();
+            prop_assert!(err <= worst_err + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,249 @@
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::{Corpus, DataError};
+
+/// The shape of one training iteration's input batch after padding.
+///
+/// Most SQNN frameworks pick a single sequence length for the whole batch
+/// (the maximum over its samples) and pad the rest — so the batch SL, the
+/// sample count, and the padding fraction fully determine the iteration's
+/// computation (the paper's Section IV-B1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatchShape {
+    /// The padded sequence length (maximum over the batch's samples).
+    pub seq_len: u32,
+    /// Number of real samples in the batch (the last batch may be short).
+    pub samples: u32,
+    /// Fraction of the padded tensor occupied by real data, in `(0, 1]`.
+    pub payload_fraction: f64,
+}
+
+/// How samples are grouped into fixed-size batches.
+///
+/// * [`BatchPolicy::shuffled`] — uniform shuffle, the generic default.
+/// * [`BatchPolicy::sorted_first_epoch`] — ascending length sort, as
+///   DeepSpeech2 does in its first epoch (the paper notes this is why the
+///   "Prior" contiguous-window baseline accidentally lands on
+///   representative iterations for DS2).
+/// * [`BatchPolicy::bucketed`] — GNMT-style length bucketing: samples are
+///   grouped into similar-length buckets, batched within buckets, and the
+///   batch order shuffled. This minimizes padding while keeping batch SLs
+///   spread over the whole range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchPolicy {
+    batch_size: u32,
+    order: BatchOrder,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum BatchOrder {
+    Shuffled,
+    SortedAscending,
+    Bucketed { buckets: u32 },
+}
+
+impl BatchPolicy {
+    /// Uniformly shuffled batches of `batch_size`.
+    pub fn shuffled(batch_size: u32) -> Self {
+        BatchPolicy {
+            batch_size,
+            order: BatchOrder::Shuffled,
+        }
+    }
+
+    /// Length-sorted (ascending) batches of `batch_size` — DS2's first
+    /// training epoch.
+    pub fn sorted_first_epoch(batch_size: u32) -> Self {
+        BatchPolicy {
+            batch_size,
+            order: BatchOrder::SortedAscending,
+        }
+    }
+
+    /// Length-bucketed batches of `batch_size` using `buckets` equal-width
+    /// length ranges — GNMT-style batching.
+    pub fn bucketed(batch_size: u32, buckets: u32) -> Self {
+        BatchPolicy {
+            batch_size,
+            order: BatchOrder::Bucketed {
+                buckets: buckets.max(1),
+            },
+        }
+    }
+
+    /// The configured batch size.
+    pub fn batch_size(&self) -> u32 {
+        self.batch_size
+    }
+
+    /// Group `corpus` into batch shapes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::EmptyCorpus`] for an empty corpus and
+    /// [`DataError::InvalidBatching`] for a zero batch size.
+    pub fn plan(&self, corpus: &Corpus, seed: u64) -> Result<Vec<BatchShape>, DataError> {
+        if corpus.is_empty() {
+            return Err(DataError::EmptyCorpus);
+        }
+        if self.batch_size == 0 {
+            return Err(DataError::InvalidBatching {
+                reason: "batch size must be positive".to_owned(),
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut lengths: Vec<u32> = corpus.lengths().to_vec();
+        match self.order {
+            BatchOrder::Shuffled => lengths.shuffle(&mut rng),
+            BatchOrder::SortedAscending | BatchOrder::Bucketed { .. } => {
+                // Sorting groups similar lengths; bucketed batching carves
+                // batches from the sorted order too.
+                lengths.sort_unstable();
+            }
+        }
+        let mut batches: Vec<BatchShape> = lengths
+            .chunks(self.batch_size as usize)
+            .map(|chunk| {
+                let max = *chunk.iter().max().expect("chunks are non-empty");
+                let payload: u64 = chunk.iter().map(|&l| u64::from(l)).sum();
+                BatchShape {
+                    seq_len: max,
+                    samples: chunk.len() as u32,
+                    payload_fraction: payload as f64
+                        / (u64::from(max) * chunk.len() as u64) as f64,
+                }
+            })
+            .collect();
+        if let BatchOrder::Bucketed { buckets } = self.order {
+            // Real length-bucketed input pipelines drain one bucket's
+            // queue at a time, so the *bucket order* is randomized while
+            // batches within a bucket stay adjacent. This produces the
+            // runs of similar-SL iterations that make a contiguous
+            // profiling window ("Prior") non-diverse — the failure mode
+            // the paper describes in Section VI-E.
+            let bucket_len = batches.len().div_ceil(buckets.max(1) as usize).max(1);
+            let mut groups: Vec<Vec<BatchShape>> = batches
+                .chunks(bucket_len)
+                .map(|c| c.to_vec())
+                .collect();
+            groups.shuffle(&mut rng);
+            batches = groups.into_iter().flatten().collect();
+        }
+        Ok(batches)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Corpus {
+        Corpus::iwslt15_like(10_000, 77)
+    }
+
+    #[test]
+    fn plan_covers_every_sample() {
+        let c = corpus();
+        for policy in [
+            BatchPolicy::shuffled(64),
+            BatchPolicy::sorted_first_epoch(64),
+            BatchPolicy::bucketed(64, 16),
+        ] {
+            let plan = policy.plan(&c, 1).unwrap();
+            let samples: u32 = plan.iter().map(|b| b.samples).sum();
+            assert_eq!(samples as usize, c.len());
+            assert_eq!(plan.len(), c.len().div_ceil(64));
+        }
+    }
+
+    #[test]
+    fn batch_seq_len_is_max_of_members() {
+        let c = Corpus::from_lengths("t", [5, 9, 2, 7], 10);
+        let plan = BatchPolicy::sorted_first_epoch(2).plan(&c, 0).unwrap();
+        assert_eq!(plan[0].seq_len, 5); // sorted: [2,5] [7,9]
+        assert_eq!(plan[1].seq_len, 9);
+        assert!((plan[0].payload_fraction - 7.0 / 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sorted_plan_is_ascending() {
+        let plan = BatchPolicy::sorted_first_epoch(64)
+            .plan(&corpus(), 3)
+            .unwrap();
+        for w in plan.windows(2) {
+            assert!(w[0].seq_len <= w[1].seq_len);
+        }
+    }
+
+    #[test]
+    fn bucketed_plan_minimizes_padding_vs_shuffled() {
+        let c = corpus();
+        let avg_payload = |plan: &[BatchShape]| {
+            plan.iter().map(|b| b.payload_fraction).sum::<f64>() / plan.len() as f64
+        };
+        let bucketed = BatchPolicy::bucketed(64, 16).plan(&c, 5).unwrap();
+        let shuffled = BatchPolicy::shuffled(64).plan(&c, 5).unwrap();
+        assert!(avg_payload(&bucketed) > avg_payload(&shuffled));
+    }
+
+    #[test]
+    fn bucketed_batches_span_the_length_range() {
+        let plan = BatchPolicy::bucketed(64, 16).plan(&corpus(), 5).unwrap();
+        let min = plan.iter().map(|b| b.seq_len).min().unwrap();
+        let max = plan.iter().map(|b| b.seq_len).max().unwrap();
+        // Unlike pure shuffling (where every batch max lands in the upper
+        // tail), bucketing preserves short-SL iterations.
+        assert!(min < 20, "min batch SL = {min}");
+        assert!(max > 60, "max batch SL = {max}");
+    }
+
+    #[test]
+    fn shuffled_batch_sls_concentrate_high() {
+        // Max over 64 random draws lands in the distribution's tail: the
+        // motivation for bucketing in GNMT.
+        let plan = BatchPolicy::shuffled(64).plan(&corpus(), 5).unwrap();
+        let min = plan.iter().map(|b| b.seq_len).min().unwrap();
+        assert!(min > 30, "min batch SL = {min}");
+    }
+
+    #[test]
+    fn bucketed_order_is_shuffled() {
+        let plan = BatchPolicy::bucketed(64, 16).plan(&corpus(), 5).unwrap();
+        let ascending = plan.windows(2).all(|w| w[0].seq_len <= w[1].seq_len);
+        assert!(!ascending, "bucketed batches should not arrive sorted");
+    }
+
+    #[test]
+    fn last_batch_may_be_partial() {
+        let c = Corpus::from_lengths("t", [1, 2, 3, 4, 5], 10);
+        let plan = BatchPolicy::shuffled(2).plan(&c, 0).unwrap();
+        assert_eq!(plan.len(), 3);
+        assert_eq!(plan.iter().map(|b| b.samples).sum::<u32>(), 5);
+        assert_eq!(plan.last().unwrap().samples, 1);
+    }
+
+    #[test]
+    fn plan_rejects_bad_inputs() {
+        let empty = Corpus::from_lengths("e", Vec::<u32>::new(), 1);
+        assert_eq!(
+            BatchPolicy::shuffled(4).plan(&empty, 0),
+            Err(DataError::EmptyCorpus)
+        );
+        let c = corpus();
+        assert!(matches!(
+            BatchPolicy::shuffled(0).plan(&c, 0),
+            Err(DataError::InvalidBatching { .. })
+        ));
+    }
+
+    #[test]
+    fn plans_are_deterministic_per_seed() {
+        let c = corpus();
+        let p = BatchPolicy::bucketed(64, 16);
+        assert_eq!(p.plan(&c, 9).unwrap(), p.plan(&c, 9).unwrap());
+        assert_ne!(p.plan(&c, 9).unwrap(), p.plan(&c, 10).unwrap());
+    }
+}

@@ -1,0 +1,297 @@
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::LengthModel;
+
+/// A dataset reduced to what SeqPoint observes: one sequence length per
+/// sample, plus the vocabulary size (which the paper's key observation 6
+/// says must never be scaled down when sampling iterations).
+///
+/// ```
+/// use sqnn_data::Corpus;
+///
+/// let corpus = Corpus::librispeech100_like(7);
+/// assert_eq!(corpus.vocab_size(), 29); // DS2's character alphabet
+/// assert!(corpus.len() > 20_000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Corpus {
+    name: String,
+    lengths: Vec<u32>,
+    vocab_size: u32,
+}
+
+/// Number of sentence pairs in the IWSLT'15 English–Vietnamese training
+/// set (used by GNMT in the paper).
+pub(crate) const IWSLT15_SENTENCES: usize = 133_000;
+
+/// Number of utterances in the LibriSpeech `train-clean-100` split (used
+/// by DeepSpeech2 in the paper).
+pub(crate) const LIBRISPEECH100_UTTERANCES: usize = 28_539;
+
+impl Corpus {
+    /// Build a corpus from explicit lengths.
+    pub fn from_lengths(
+        name: impl Into<String>,
+        lengths: impl IntoIterator<Item = u32>,
+        vocab_size: u32,
+    ) -> Self {
+        Corpus {
+            name: name.into(),
+            lengths: lengths.into_iter().map(|l| l.max(1)).collect(),
+            vocab_size: vocab_size.max(1),
+        }
+    }
+
+    /// Sample a corpus of `samples` lengths from `model`.
+    pub fn sampled(
+        name: impl Into<String>,
+        model: &LengthModel,
+        samples: usize,
+        vocab_size: u32,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let lengths = (0..samples).map(|_| model.sample(&mut rng).max(1)).collect();
+        Corpus {
+            name: name.into(),
+            lengths,
+            vocab_size: vocab_size.max(1),
+        }
+    }
+
+    /// An IWSLT'15-like machine-translation corpus: `sentences` sentence
+    /// pairs with long-tail word counts in `[1, 200]` (median ≈ 18) and
+    /// GNMT's 36 549-entry target vocabulary.
+    ///
+    /// Matches the decaying histogram of the paper's Fig. 7(b).
+    pub fn iwslt15_like(sentences: usize, seed: u64) -> Self {
+        Corpus::sampled(
+            "iwslt15-like",
+            &LengthModel::log_normal(18.0, 0.65, 1, 200),
+            sentences,
+            36_549,
+            seed,
+        )
+    }
+
+    /// The full-size IWSLT'15-like corpus (~133k sentences).
+    pub fn iwslt15_full(seed: u64) -> Self {
+        Corpus::iwslt15_like(IWSLT15_SENTENCES, seed)
+    }
+
+    /// A WMT'16-like corpus: the larger machine-translation dataset of
+    /// Section VI-F, with a similar SL range but ~4.5M sentences.
+    ///
+    /// `scale` shrinks the sentence count proportionally (1.0 = full size)
+    /// so experiments can trade runtime for fidelity.
+    pub fn wmt16_like(scale: f64, seed: u64) -> Self {
+        let sentences = (4_500_000_f64 * scale.clamp(0.0001, 1.0)) as usize;
+        Corpus::sampled(
+            "wmt16-like",
+            &LengthModel::log_normal(20.0, 0.68, 1, 200),
+            sentences.max(1),
+            36_549,
+            seed,
+        )
+    }
+
+    /// The sequence-length model shared by the LibriSpeech-like corpora:
+    /// log-normal recurrent-step counts over `[50, 450]` with median 120
+    /// — right-skewed with the mode near SL ≈ 90, so short utterances
+    /// dominate (the paper's Fig. 7(a)) while the clamp at 50 stays a
+    /// small tail rather than a spike.
+    pub fn librispeech_length_model() -> LengthModel {
+        LengthModel::log_normal(120.0, 0.55, 50, 450)
+    }
+
+    /// A LibriSpeech-100h-like speech corpus: ~28.5k utterances with
+    /// DS2's 29-character alphabet and the skewed SL histogram of the
+    /// paper's Fig. 7(a).
+    pub fn librispeech100_like(seed: u64) -> Self {
+        Corpus::sampled(
+            "librispeech100-like",
+            &Corpus::librispeech_length_model(),
+            LIBRISPEECH100_UTTERANCES,
+            29,
+            seed,
+        )
+    }
+
+    /// A LibriSpeech-500h-like corpus (Section VI-F): same SL range,
+    /// roughly 5x the utterances. `scale` shrinks proportionally.
+    pub fn librispeech500_like(scale: f64, seed: u64) -> Self {
+        let utterances =
+            ((LIBRISPEECH100_UTTERANCES * 5) as f64 * scale.clamp(0.0001, 1.0)) as usize;
+        Corpus::sampled(
+            "librispeech500-like",
+            &Corpus::librispeech_length_model(),
+            utterances.max(1),
+            29,
+            seed,
+        )
+    }
+
+    /// A degenerate fixed-length corpus, as a CNN sees (every input scaled
+    /// to the same size). Used by the Fig. 3 contrast experiments.
+    pub fn fixed_length(name: impl Into<String>, len: u32, samples: usize) -> Self {
+        Corpus::from_lengths(name, std::iter::repeat_n(len.max(1), samples), 1000)
+    }
+
+    /// The corpus name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.lengths.len()
+    }
+
+    /// Whether the corpus has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.lengths.is_empty()
+    }
+
+    /// The per-sample sequence lengths.
+    pub fn lengths(&self) -> &[u32] {
+        &self.lengths
+    }
+
+    /// Vocabulary size (symbol inventory) of the dataset.
+    pub fn vocab_size(&self) -> u32 {
+        self.vocab_size
+    }
+
+    /// Minimum sequence length (None if empty).
+    pub fn min_len(&self) -> Option<u32> {
+        self.lengths.iter().copied().min()
+    }
+
+    /// Maximum sequence length (None if empty).
+    pub fn max_len(&self) -> Option<u32> {
+        self.lengths.iter().copied().max()
+    }
+
+    /// Mean sequence length (0 if empty).
+    pub fn mean_len(&self) -> f64 {
+        if self.lengths.is_empty() {
+            return 0.0;
+        }
+        self.lengths.iter().map(|&l| f64::from(l)).sum::<f64>() / self.lengths.len() as f64
+    }
+
+    /// Number of distinct sequence lengths present.
+    pub fn unique_len_count(&self) -> usize {
+        let mut v: Vec<u32> = self.lengths.clone();
+        v.sort_unstable();
+        v.dedup();
+        v.len()
+    }
+
+    /// Histogram of sample counts per `bin_width`-wide SL range, covering
+    /// `[min_len, max_len]`. Returns `(bin_start, count)` pairs.
+    pub fn histogram(&self, bin_width: u32) -> Vec<(u32, usize)> {
+        let bin_width = bin_width.max(1);
+        let (Some(min), Some(max)) = (self.min_len(), self.max_len()) else {
+            return Vec::new();
+        };
+        let bins = ((max - min) / bin_width + 1) as usize;
+        let mut counts = vec![0usize; bins];
+        for &l in &self.lengths {
+            counts[((l - min) / bin_width) as usize] += 1;
+        }
+        counts
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| (min + i as u32 * bin_width, c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iwslt_matches_paper_shape() {
+        let c = Corpus::iwslt15_like(20_000, 1);
+        assert_eq!(c.len(), 20_000);
+        assert_eq!(c.vocab_size(), 36_549);
+        assert!(c.min_len().unwrap() >= 1);
+        assert!(c.max_len().unwrap() <= 200);
+        // Long-tail: counts decay across the Fig. 7(b) histogram bins.
+        let hist = c.histogram(33);
+        assert!(hist[0].1 > hist[1].1);
+        assert!(hist[1].1 > hist[2].1);
+    }
+
+    #[test]
+    fn librispeech_is_skewed_low() {
+        let c = Corpus::librispeech100_like(2);
+        assert_eq!(c.len(), LIBRISPEECH100_UTTERANCES);
+        assert!(c.min_len().unwrap() >= 50);
+        assert!(c.max_len().unwrap() <= 450);
+        let hist = c.histogram(40);
+        // First bins dominate, as in Fig. 7(a).
+        assert!(hist[0].1 + hist[1].1 > c.len() / 2);
+        // But a tail exists past SL 250.
+        let tail: usize = hist.iter().filter(|(lo, _)| *lo >= 250).map(|(_, n)| n).sum();
+        assert!(tail > 0);
+    }
+
+    #[test]
+    fn larger_datasets_have_same_range_more_samples() {
+        let small = Corpus::librispeech100_like(3);
+        let large = Corpus::librispeech500_like(0.2, 3);
+        assert_eq!(large.len(), LIBRISPEECH100_UTTERANCES); // 5x * 0.2
+        assert_eq!(small.vocab_size(), large.vocab_size());
+        let wmt = Corpus::wmt16_like(0.01, 3);
+        assert_eq!(wmt.len(), 45_000);
+        assert!(wmt.max_len().unwrap() <= 200);
+    }
+
+    #[test]
+    fn corpora_are_deterministic_per_seed() {
+        assert_eq!(Corpus::iwslt15_like(1000, 9), Corpus::iwslt15_like(1000, 9));
+        assert_ne!(Corpus::iwslt15_like(1000, 9), Corpus::iwslt15_like(1000, 10));
+    }
+
+    #[test]
+    fn fixed_length_corpus_has_one_unique_length() {
+        let c = Corpus::fixed_length("cnn-images", 224, 500);
+        assert_eq!(c.unique_len_count(), 1);
+        assert_eq!(c.mean_len(), 224.0);
+    }
+
+    #[test]
+    fn histogram_covers_all_samples() {
+        let c = Corpus::iwslt15_like(5_000, 4);
+        for width in [1, 7, 25, 100] {
+            let total: usize = c.histogram(width).iter().map(|(_, n)| n).sum();
+            assert_eq!(total, c.len(), "width {width}");
+        }
+    }
+
+    #[test]
+    fn empty_corpus_edge_cases() {
+        let c = Corpus::from_lengths("empty", Vec::<u32>::new(), 10);
+        assert!(c.is_empty());
+        assert_eq!(c.min_len(), None);
+        assert_eq!(c.histogram(10), Vec::new());
+        assert_eq!(c.mean_len(), 0.0);
+    }
+
+    #[test]
+    fn zero_lengths_are_lifted_to_one() {
+        let c = Corpus::from_lengths("z", [0, 0, 5], 10);
+        assert_eq!(c.min_len(), Some(1));
+    }
+
+    #[test]
+    fn unique_len_count_counts_distinct() {
+        let c = Corpus::from_lengths("u", [3, 3, 7, 9, 9, 9], 10);
+        assert_eq!(c.unique_len_count(), 3);
+    }
+}

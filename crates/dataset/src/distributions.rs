@@ -1,0 +1,240 @@
+//! Sequence-length distributions, implemented directly on [`rand`]'s
+//! `Rng` trait (no external distribution crates).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A parametric model of a dataset's sequence-length distribution.
+///
+/// All variants clamp their samples into `[min_len, max_len]` so corpora
+/// stay within the unrolling range their network supports.
+///
+/// ```
+/// use rand::SeedableRng;
+/// use sqnn_data::LengthModel;
+///
+/// let model = LengthModel::log_normal(18.0, 0.65, 1, 200);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let len = model.sample(&mut rng);
+/// assert!((1..=200).contains(&len));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum LengthModel {
+    /// Log-normal over lengths: `exp(N(ln(median), sigma))`. The natural
+    /// model for sentence word counts and utterance durations.
+    LogNormal {
+        /// Median length (the exponential of the underlying mean).
+        median: f64,
+        /// Standard deviation of the underlying normal.
+        sigma: f64,
+        /// Inclusive lower clamp.
+        min_len: u32,
+        /// Inclusive upper clamp.
+        max_len: u32,
+    },
+    /// Geometric tail: `min_len + Geom(p)`, truncated at `max_len`.
+    Geometric {
+        /// Per-step continuation probability in `(0, 1)`.
+        continue_p: f64,
+        /// Inclusive lower clamp.
+        min_len: u32,
+        /// Inclusive upper clamp.
+        max_len: u32,
+    },
+    /// Uniform over `[min_len, max_len]`.
+    Uniform {
+        /// Inclusive lower bound.
+        min_len: u32,
+        /// Inclusive upper bound.
+        max_len: u32,
+    },
+    /// An empirical histogram: weights over length buckets, sampled by
+    /// bucket then uniformly within.
+    Empirical {
+        /// `(bucket_start, bucket_end_inclusive, weight)` triples.
+        buckets: Vec<(u32, u32, f64)>,
+    },
+}
+
+impl LengthModel {
+    /// A log-normal model with the given `median` and log-space `sigma`,
+    /// clamped to `[min_len, max_len]`.
+    pub fn log_normal(median: f64, sigma: f64, min_len: u32, max_len: u32) -> Self {
+        LengthModel::LogNormal {
+            median: median.max(1.0),
+            sigma: sigma.abs(),
+            min_len: min_len.min(max_len),
+            max_len: max_len.max(min_len),
+        }
+    }
+
+    /// A geometric-tail model.
+    pub fn geometric(continue_p: f64, min_len: u32, max_len: u32) -> Self {
+        LengthModel::Geometric {
+            continue_p: continue_p.clamp(1e-6, 1.0 - 1e-6),
+            min_len: min_len.min(max_len),
+            max_len: max_len.max(min_len),
+        }
+    }
+
+    /// A uniform model over `[min_len, max_len]`.
+    pub fn uniform(min_len: u32, max_len: u32) -> Self {
+        LengthModel::Uniform {
+            min_len: min_len.min(max_len),
+            max_len: max_len.max(min_len),
+        }
+    }
+
+    /// An empirical histogram model. Buckets with non-positive weight are
+    /// ignored; an empty histogram degenerates to constant length 1.
+    pub fn empirical(buckets: Vec<(u32, u32, f64)>) -> Self {
+        LengthModel::Empirical { buckets }
+    }
+
+    /// Draw one sequence length.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        match self {
+            LengthModel::LogNormal {
+                median,
+                sigma,
+                min_len,
+                max_len,
+            } => {
+                let z = standard_normal(rng);
+                let len = (median.ln() + sigma * z).exp().round();
+                (len as i64).clamp(i64::from(*min_len), i64::from(*max_len)) as u32
+            }
+            LengthModel::Geometric {
+                continue_p,
+                min_len,
+                max_len,
+            } => {
+                let mut len = *min_len;
+                while len < *max_len && rng.gen::<f64>() < *continue_p {
+                    len += 1;
+                }
+                len
+            }
+            LengthModel::Uniform { min_len, max_len } => rng.gen_range(*min_len..=*max_len),
+            LengthModel::Empirical { buckets } => {
+                let total: f64 = buckets.iter().map(|b| b.2.max(0.0)).sum();
+                if total <= 0.0 {
+                    return 1;
+                }
+                let mut draw = rng.gen::<f64>() * total;
+                for &(lo, hi, w) in buckets {
+                    let w = w.max(0.0);
+                    if draw < w {
+                        let (lo, hi) = (lo.min(hi), hi.max(lo));
+                        return rng.gen_range(lo..=hi);
+                    }
+                    draw -= w;
+                }
+                buckets.last().map(|b| b.1).unwrap_or(1)
+            }
+        }
+    }
+}
+
+/// A standard-normal draw via the Box–Muller transform.
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_many(model: &LengthModel, n: usize, seed: u64) -> Vec<u32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| model.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn log_normal_median_is_roughly_right() {
+        let model = LengthModel::log_normal(80.0, 0.5, 1, 10_000);
+        let mut samples = sample_many(&model, 20_000, 7);
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        assert!((70..=90).contains(&median), "median = {median}");
+    }
+
+    #[test]
+    fn samples_respect_clamps() {
+        for model in [
+            LengthModel::log_normal(100.0, 1.5, 50, 450),
+            LengthModel::geometric(0.97, 50, 450),
+            LengthModel::uniform(50, 450),
+        ] {
+            for s in sample_many(&model, 5_000, 3) {
+                assert!((50..=450).contains(&s), "{model:?} produced {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn log_normal_is_right_skewed() {
+        let model = LengthModel::log_normal(20.0, 0.8, 1, 1_000);
+        let samples = sample_many(&model, 50_000, 11);
+        let mean = samples.iter().map(|&s| f64::from(s)).sum::<f64>() / samples.len() as f64;
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let median = f64::from(sorted[sorted.len() / 2]);
+        assert!(mean > median, "mean {mean} should exceed median {median}");
+    }
+
+    #[test]
+    fn empirical_respects_buckets() {
+        let model = LengthModel::empirical(vec![(10, 19, 3.0), (50, 59, 1.0)]);
+        let samples = sample_many(&model, 10_000, 5);
+        let low = samples.iter().filter(|&&s| (10..=19).contains(&s)).count();
+        let high = samples.iter().filter(|&&s| (50..=59).contains(&s)).count();
+        assert_eq!(low + high, samples.len());
+        let ratio = low as f64 / high as f64;
+        assert!((2.0..4.5).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn empirical_ignores_negative_weights() {
+        let model = LengthModel::empirical(vec![(1, 5, -2.0), (10, 10, 1.0)]);
+        for s in sample_many(&model, 100, 9) {
+            assert_eq!(s, 10);
+        }
+    }
+
+    #[test]
+    fn empty_empirical_degenerates() {
+        let model = LengthModel::empirical(vec![]);
+        assert_eq!(sample_many(&model, 10, 1), vec![1; 10]);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let model = LengthModel::log_normal(30.0, 0.6, 1, 200);
+        assert_eq!(sample_many(&model, 100, 42), sample_many(&model, 100, 42));
+        assert_ne!(sample_many(&model, 100, 42), sample_many(&model, 100, 43));
+    }
+
+    #[test]
+    fn geometric_tail_decays() {
+        let model = LengthModel::geometric(0.9, 1, 1_000);
+        let samples = sample_many(&model, 50_000, 13);
+        let short = samples.iter().filter(|&&s| s <= 10).count();
+        let long = samples.iter().filter(|&&s| s > 30).count();
+        assert!(short > long * 5, "short={short}, long={long}");
+    }
+
+    #[test]
+    fn constructor_clamps_degenerate_params() {
+        // min > max gets swapped-ish (clamped) rather than panicking.
+        let m = LengthModel::uniform(100, 10);
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = m.sample(&mut rng);
+        assert!((10..=100).contains(&s) || s == 100 || s == 10);
+    }
+}

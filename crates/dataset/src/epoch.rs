@@ -1,0 +1,213 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{BatchPolicy, BatchShape, Corpus, DataError};
+
+/// One training epoch's worth of iteration shapes: the batches produced
+/// by applying a [`BatchPolicy`] to a [`Corpus`], plus the dataset
+/// metadata the network model needs (vocabulary size).
+///
+/// ```
+/// use sqnn_data::{BatchPolicy, Corpus, EpochPlan};
+///
+/// # fn main() -> Result<(), sqnn_data::DataError> {
+/// let corpus = Corpus::librispeech100_like(1);
+/// let plan = EpochPlan::new(&corpus, BatchPolicy::sorted_first_epoch(64), 1)?;
+/// assert_eq!(plan.iterations(), corpus.len().div_ceil(64));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochPlan {
+    dataset: String,
+    vocab_size: u32,
+    batch_size: u32,
+    batches: Vec<BatchShape>,
+}
+
+impl EpochPlan {
+    /// Plan one epoch of `corpus` under `policy`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DataError`] from [`BatchPolicy::plan`] (empty corpus
+    /// or zero batch size).
+    pub fn new(corpus: &Corpus, policy: BatchPolicy, seed: u64) -> Result<Self, DataError> {
+        let batches = policy.plan(corpus, seed)?;
+        Ok(EpochPlan {
+            dataset: corpus.name().to_owned(),
+            vocab_size: corpus.vocab_size(),
+            batch_size: policy.batch_size(),
+            batches,
+        })
+    }
+
+    /// Build a plan directly from batch shapes (for tests and synthetic
+    /// workloads).
+    pub fn from_batches(
+        dataset: impl Into<String>,
+        vocab_size: u32,
+        batch_size: u32,
+        batches: Vec<BatchShape>,
+    ) -> Self {
+        EpochPlan {
+            dataset: dataset.into(),
+            vocab_size: vocab_size.max(1),
+            batch_size: batch_size.max(1),
+            batches,
+        }
+    }
+
+    /// The source dataset's name.
+    pub fn dataset(&self) -> &str {
+        &self.dataset
+    }
+
+    /// The dataset's vocabulary size.
+    pub fn vocab_size(&self) -> u32 {
+        self.vocab_size
+    }
+
+    /// The nominal batch size.
+    pub fn batch_size(&self) -> u32 {
+        self.batch_size
+    }
+
+    /// Number of iterations in the epoch.
+    pub fn iterations(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// The per-iteration batch shapes, in execution order.
+    pub fn batches(&self) -> &[BatchShape] {
+        &self.batches
+    }
+
+    /// Total number of samples across all batches.
+    pub fn total_samples(&self) -> usize {
+        self.batches.iter().map(|b| b.samples as usize).sum()
+    }
+
+    /// The distinct padded sequence lengths exercised by this epoch,
+    /// ascending. This is the space SeqPoint bins (paper Section V-A).
+    pub fn unique_seq_lens(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.batches.iter().map(|b| b.seq_len).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Iteration counts per distinct sequence length, ascending by SL —
+    /// the paper's Fig. 7 histogram.
+    pub fn seq_len_frequencies(&self) -> Vec<(u32, usize)> {
+        let mut v: Vec<u32> = self.batches.iter().map(|b| b.seq_len).collect();
+        v.sort_unstable();
+        let mut out: Vec<(u32, usize)> = Vec::new();
+        for sl in v {
+            match out.last_mut() {
+                Some((prev, n)) if *prev == sl => *n += 1,
+                _ => out.push((sl, 1)),
+            }
+        }
+        out
+    }
+
+    /// A sub-plan containing only the iterations at the given sequence
+    /// lengths (used to re-profile just the SeqPoints on new hardware).
+    pub fn restrict_to_seq_lens(&self, seq_lens: &[u32]) -> EpochPlan {
+        let keep: Vec<BatchShape> = self
+            .batches
+            .iter()
+            .filter(|b| seq_lens.contains(&b.seq_len))
+            .copied()
+            .collect();
+        EpochPlan {
+            dataset: self.dataset.clone(),
+            vocab_size: self.vocab_size,
+            batch_size: self.batch_size,
+            batches: keep,
+        }
+    }
+
+    /// One representative batch per requested sequence length (the first
+    /// occurrence), preserving the order of `seq_lens`. Lengths absent
+    /// from the plan are skipped.
+    pub fn one_batch_per_seq_len(&self, seq_lens: &[u32]) -> Vec<BatchShape> {
+        seq_lens
+            .iter()
+            .filter_map(|&sl| self.batches.iter().find(|b| b.seq_len == sl).copied())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> EpochPlan {
+        let corpus = Corpus::iwslt15_like(5_000, 21);
+        EpochPlan::new(&corpus, BatchPolicy::bucketed(64, 16), 21).unwrap()
+    }
+
+    #[test]
+    fn iteration_count_matches_ceil_division() {
+        let p = plan();
+        assert_eq!(p.iterations(), 5_000usize.div_ceil(64));
+        assert_eq!(p.total_samples(), 5_000);
+        assert_eq!(p.batch_size(), 64);
+    }
+
+    #[test]
+    fn unique_seq_lens_sorted_and_deduped() {
+        let p = plan();
+        let lens = p.unique_seq_lens();
+        assert!(!lens.is_empty());
+        for w in lens.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn frequencies_sum_to_iterations() {
+        let p = plan();
+        let total: usize = p.seq_len_frequencies().iter().map(|(_, n)| n).sum();
+        assert_eq!(total, p.iterations());
+    }
+
+    #[test]
+    fn restrict_keeps_only_requested_lens() {
+        let p = plan();
+        let lens = p.unique_seq_lens();
+        let subset = vec![lens[0], lens[lens.len() - 1]];
+        let r = p.restrict_to_seq_lens(&subset);
+        assert!(r.iterations() > 0);
+        for b in r.batches() {
+            assert!(subset.contains(&b.seq_len));
+        }
+    }
+
+    #[test]
+    fn one_batch_per_seq_len_returns_at_most_one_each() {
+        let p = plan();
+        let lens = p.unique_seq_lens();
+        let picks = p.one_batch_per_seq_len(&lens);
+        assert_eq!(picks.len(), lens.len());
+        // Absent lengths are skipped silently.
+        let picks = p.one_batch_per_seq_len(&[9999]);
+        assert!(picks.is_empty());
+    }
+
+    #[test]
+    fn from_batches_clamps_degenerate_params() {
+        let p = EpochPlan::from_batches("x", 0, 0, Vec::new());
+        assert_eq!(p.vocab_size(), 1);
+        assert_eq!(p.batch_size(), 1);
+        assert_eq!(p.iterations(), 0);
+        assert!(p.unique_seq_lens().is_empty());
+    }
+
+    #[test]
+    fn propagates_corpus_errors() {
+        let empty = Corpus::from_lengths("e", Vec::<u32>::new(), 1);
+        assert!(EpochPlan::new(&empty, BatchPolicy::shuffled(4), 0).is_err());
+    }
+}

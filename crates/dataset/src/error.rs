@@ -1,0 +1,48 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing corpora or epoch plans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DataError {
+    /// The corpus contains no samples.
+    EmptyCorpus,
+    /// A batching parameter was invalid.
+    InvalidBatching {
+        /// Description of the violated constraint.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::EmptyCorpus => write!(f, "corpus contains no samples"),
+            DataError::InvalidBatching { reason } => {
+                write!(f, "invalid batching parameters: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(DataError::EmptyCorpus.to_string().contains("no samples"));
+        let err = DataError::InvalidBatching {
+            reason: "batch size must be positive".into(),
+        };
+        assert!(err.to_string().contains("batch size"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DataError>();
+    }
+}

@@ -1,0 +1,45 @@
+//! # sqnn-data — synthetic sequence-length corpora and batching
+//!
+//! SeqPoint never inspects the *content* of training samples; everything
+//! it observes flows from each sample's **sequence length** (SL) and the
+//! batching policy that turns samples into padded iterations. This crate
+//! therefore models datasets as corpora of sequence lengths whose marginal
+//! distributions match the datasets the paper evaluates:
+//!
+//! * [`Corpus::iwslt15_like`] — IWSLT'15 English–Vietnamese: ~133k
+//!   sentences, long-tail word counts in 1–200 (paper Fig. 7b).
+//! * [`Corpus::librispeech100_like`] — LibriSpeech 100-hour: ~28.5k
+//!   utterances, skewed recurrent-step counts in 50–450 (paper Fig. 7a).
+//! * [`Corpus::wmt16_like`] / [`Corpus::librispeech500_like`] — the larger
+//!   datasets of Section VI-F, with similar SL ranges but more samples.
+//!
+//! Batching reproduces the behaviours the paper calls out: fixed batch
+//! size, padding to the batch maximum, GNMT-style length bucketing, and
+//! DeepSpeech2's length-sorted first epoch (the reason the "Prior"
+//! baseline accidentally works on DS2).
+//!
+//! ```
+//! use sqnn_data::{BatchPolicy, Corpus, EpochPlan};
+//!
+//! # fn main() -> Result<(), sqnn_data::DataError> {
+//! let corpus = Corpus::iwslt15_like(10_000, 42);
+//! let plan = EpochPlan::new(&corpus, BatchPolicy::bucketed(64, 16), 42)?;
+//! assert_eq!(plan.total_samples(), 10_000);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batching;
+mod corpus;
+mod distributions;
+mod epoch;
+mod error;
+
+pub use batching::{BatchPolicy, BatchShape};
+pub use corpus::Corpus;
+pub use distributions::LengthModel;
+pub use epoch::EpochPlan;
+pub use error::DataError;

@@ -1,0 +1,151 @@
+//! `repro` — regenerate every table and figure of the SeqPoint paper.
+//!
+//! ```text
+//! repro [--quick] [--out DIR] [--only LIST]
+//!
+//!   --quick      reduced dataset scale (default: paper scale)
+//!   --out DIR    results directory (default: results)
+//!   --only LIST  comma-separated subset, e.g. --only fig11,fig12,table1
+//! ```
+//!
+//! Each experiment prints its table to stdout and archives it as CSV
+//! under the results directory.
+
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+use seqpoint_experiments::{
+    extensions, fig03, fig04, fig05, fig06, fig07, fig08, fig09, kmeans_ablation,
+    larger_datasets, profiling_speedup, projection, sensitivity, speedup, table1, table2, Net,
+    Workloads,
+};
+use sqnn_profiler::report::Table;
+
+struct Args {
+    quick: bool,
+    out: String,
+    only: Option<BTreeSet<String>>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        out: "results".to_owned(),
+        only: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => args.quick = true,
+            "--out" => {
+                args.out = it.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a directory");
+                    std::process::exit(2);
+                })
+            }
+            "--only" => {
+                let list = it.next().unwrap_or_else(|| {
+                    eprintln!("--only requires a comma-separated list");
+                    std::process::exit(2);
+                });
+                args.only = Some(list.split(',').map(|s| s.trim().to_lowercase()).collect());
+            }
+            "--help" | "-h" => {
+                println!("repro [--quick] [--out DIR] [--only LIST]");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let wants = |id: &str| args.only.as_ref().is_none_or(|set| set.contains(id));
+    let mut w = if args.quick {
+        println!("# SeqPoint reproduction (QUICK scale)\n");
+        Workloads::quick()
+    } else {
+        println!("# SeqPoint reproduction (paper scale)\n");
+        Workloads::paper()
+    };
+
+    let emit = |id: &str, table: &Table, out: &str| {
+        println!("{}", table.to_markdown());
+        let path = format!("{out}/{id}.csv");
+        if let Err(e) = table.write_csv(&path) {
+            eprintln!("warning: {e}");
+        }
+    };
+
+    let t0 = Instant::now();
+    if wants("table2") {
+        emit("table2", &table2::run(&w).table, &args.out);
+    }
+    if wants("fig03") {
+        emit("fig03", &fig03::run(&mut w).table, &args.out);
+    }
+    if wants("fig04") {
+        emit("fig04", &fig04::run(&mut w).table, &args.out);
+    }
+    if wants("table1") {
+        emit("table1", &table1::run(&mut w).table, &args.out);
+    }
+    if wants("fig05") {
+        emit("fig05", &fig05::run(&mut w).table, &args.out);
+    }
+    if wants("fig06") {
+        emit("fig06", &fig06::run(&mut w).table, &args.out);
+    }
+    if wants("fig07") {
+        emit("fig07", &fig07::run(&mut w).table, &args.out);
+    }
+    if wants("fig08") {
+        emit("fig08", &fig08::run(&mut w).table, &args.out);
+    }
+    if wants("fig09") {
+        emit("fig09", &fig09::run(&mut w).table, &args.out);
+    }
+    if wants("fig11") {
+        emit("fig11", &projection::run(&mut w, Net::Ds2).table, &args.out);
+    }
+    if wants("fig12") {
+        emit("fig12", &projection::run(&mut w, Net::Gnmt).table, &args.out);
+    }
+    if wants("fig13") {
+        emit("fig13", &sensitivity::run(&mut w, Net::Gnmt).table, &args.out);
+    }
+    if wants("fig14") {
+        emit("fig14", &sensitivity::run(&mut w, Net::Ds2).table, &args.out);
+    }
+    if wants("fig15") {
+        emit("fig15", &speedup::run(&mut w, Net::Ds2).table, &args.out);
+    }
+    if wants("fig16") {
+        emit("fig16", &speedup::run(&mut w, Net::Gnmt).table, &args.out);
+    }
+    if wants("profiling") {
+        emit("profiling_speedup", &profiling_speedup::run(&mut w).table, &args.out);
+    }
+    if wants("larger") {
+        // Large datasets are sampled at 1/8 scale to keep the run short;
+        // the small:large ratio (and thus the speedup scaling) holds.
+        let scale = if args.quick { 1.0 } else { 0.125 };
+        emit("larger_datasets", &larger_datasets::run(&mut w, scale).table, &args.out);
+    }
+    if wants("kmeans") {
+        emit("kmeans_ablation", &kmeans_ablation::run(&mut w).table, &args.out);
+    }
+    if wants("extensions") {
+        emit("extensions", &extensions::run(&mut w).table, &args.out);
+    }
+    println!(
+        "\n_All requested experiments regenerated in {:.1} s; CSVs under `{}/`._",
+        t0.elapsed().as_secs_f64(),
+        args.out
+    );
+}

@@ -1,0 +1,112 @@
+//! Fig. 3 — comparing iterations of CNNs and SQNNs.
+//!
+//! The paper's motivating contrast: per-iteration statistics are flat for
+//! a CNN (fixed-size inputs; only hardware jitter moves them) but swing
+//! widely for an SQNN (sequence-length-driven heterogeneity). We profile
+//! a window of consecutive training iterations of the reference CNN and
+//! of GNMT on config #1 with a ±2% jitter model, and report each
+//! iteration's runtime normalized to the window mean, plus the
+//! coefficient of variation.
+
+use gpu_sim::{Device, GpuConfig, JitterModel};
+use seqpoint_core::stats::coefficient_of_variation_pct;
+use sqnn::models::cnn_reference;
+use sqnn_data::{BatchPolicy, Corpus, EpochPlan};
+use sqnn_profiler::{report::Table, Profiler};
+
+use crate::{Net, Workloads};
+
+/// Result of the Fig. 3 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig03 {
+    /// Normalized per-iteration runtimes, `(iteration, cnn, rnn)`.
+    pub rows: Vec<(usize, f64, f64)>,
+    /// Coefficient of variation of the CNN series, percent.
+    pub cnn_cv_pct: f64,
+    /// Coefficient of variation of the SQNN series, percent.
+    pub rnn_cv_pct: f64,
+    /// Rendered table.
+    pub table: Table,
+}
+
+/// Number of consecutive iterations compared (the paper draws 12 bars).
+pub const WINDOW: usize = 12;
+
+/// Run the experiment.
+pub fn run(w: &mut Workloads) -> Fig03 {
+    let jitter = JitterModel::new(0.02, w.scale().seed);
+    let device = Device::with_jitter(GpuConfig::vega_fe(), jitter);
+    let profiler = Profiler::new();
+
+    // CNN: a fixed-length "corpus" (every image scaled to one size).
+    let cnn_corpus = Corpus::fixed_length("imagenet-like", 224, WINDOW * 64);
+    let cnn_plan = EpochPlan::new(&cnn_corpus, BatchPolicy::shuffled(64), w.scale().seed)
+        .expect("corpus is non-empty");
+    // Jitter must differ per iteration: profile without memoization by
+    // running each batch separately (memoization would copy one jittered
+    // sample everywhere).
+    let cnn_net = cnn_reference();
+    let mut cnn_times = Vec::with_capacity(WINDOW);
+    for (i, b) in cnn_plan.batches().iter().take(WINDOW).enumerate() {
+        let d = Device::with_jitter(
+            GpuConfig::vega_fe(),
+            JitterModel::new(0.02, w.scale().seed.wrapping_add(i as u64)),
+        );
+        let shape = sqnn::IterationShape::new(b.samples, b.seq_len);
+        cnn_times.push(profiler.profile_iteration(&cnn_net, &shape, &d).time_s);
+    }
+
+    // SQNN: consecutive GNMT iterations from the real (bucketed) plan.
+    let gnmt_net = w.network(Net::Gnmt);
+    let mut rnn_times = Vec::with_capacity(WINDOW);
+    // Sample a stride across the plan so the window sees several buckets,
+    // as consecutive iterations of a full training run would over time.
+    let batches = w.plan(Net::Gnmt).batches();
+    let stride = (batches.len() / WINDOW).max(1);
+    for (i, b) in batches.iter().step_by(stride).take(WINDOW).enumerate() {
+        let d = Device::with_jitter(
+            GpuConfig::vega_fe(),
+            JitterModel::new(0.02, w.scale().seed.wrapping_add(1000 + i as u64)),
+        );
+        let shape = sqnn::IterationShape::new(b.samples, b.seq_len);
+        rnn_times.push(profiler.profile_iteration(gnmt_net, &shape, &d).time_s);
+    }
+    drop(device);
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let (cm, rm) = (mean(&cnn_times), mean(&rnn_times));
+    let rows: Vec<(usize, f64, f64)> = (0..WINDOW)
+        .map(|i| (i, cnn_times[i] / cm, rnn_times[i] / rm))
+        .collect();
+
+    let mut table = Table::new(
+        "Fig. 3 — normalized per-iteration runtime, CNN vs SQNN (config #1, ±2% jitter)",
+        ["iteration", "CNN (norm)", "RNN/GNMT (norm)"],
+    );
+    for &(i, c, r) in &rows {
+        table.push_row([i.to_string(), format!("{c:.3}"), format!("{r:.3}")]);
+    }
+    Fig03 {
+        cnn_cv_pct: coefficient_of_variation_pct(&cnn_times),
+        rnn_cv_pct: coefficient_of_variation_pct(&rnn_times),
+        rows,
+        table,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sqnn_iterations_are_far_more_heterogeneous() {
+        let mut w = Workloads::quick();
+        let r = run(&mut w);
+        assert_eq!(r.rows.len(), WINDOW);
+        // CNN variation is jitter-scale; SQNN variation is structural.
+        assert!(r.cnn_cv_pct < 3.0, "cnn cv = {}", r.cnn_cv_pct);
+        assert!(r.rnn_cv_pct > 15.0, "rnn cv = {}", r.rnn_cv_pct);
+        assert!(r.rnn_cv_pct > 5.0 * r.cnn_cv_pct);
+        assert_eq!(r.table.row_count(), WINDOW);
+    }
+}

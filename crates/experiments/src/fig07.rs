@@ -1,0 +1,118 @@
+//! Fig. 7 — histogram of SQNN sequence lengths.
+//!
+//! The per-iteration SL histograms of one epoch: DS2/LibriSpeech-100h is
+//! heavily skewed toward short utterances; GNMT/IWSLT'15 decays over
+//! 1–200 tokens. These distributions are why "Frequent"/"Median" single
+//! iterations misproject, and why DS2's skew accidentally helps "Prior".
+
+use sqnn_profiler::report::Table;
+
+use crate::{Net, Workloads};
+
+/// Histogram of one network's epoch.
+#[derive(Debug, Clone)]
+pub struct Fig07Net {
+    /// Which network.
+    pub net: Net,
+    /// `(bin_start, bin_end, iteration count)` rows.
+    pub bins: Vec<(u32, u32, usize)>,
+    /// Number of distinct SLs in the epoch.
+    pub unique_sls: usize,
+    /// Total iterations in the epoch.
+    pub iterations: usize,
+}
+
+/// Result of the Fig. 7 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig07 {
+    /// Per-network histograms.
+    pub nets: Vec<Fig07Net>,
+    /// Rendered table.
+    pub table: Table,
+}
+
+/// Number of histogram bars (the paper draws ~10).
+pub const BINS: u32 = 10;
+
+/// Run the experiment.
+pub fn run(w: &mut Workloads) -> Fig07 {
+    let mut table = Table::new(
+        "Fig. 7 — histogram of per-iteration sequence lengths (one epoch)",
+        ["network", "SL range", "iterations"],
+    );
+    let mut nets = Vec::new();
+    for net in Net::both() {
+        let freqs = w.plan(net).seq_len_frequencies();
+        let lo = freqs.first().map(|&(sl, _)| sl).unwrap_or(0);
+        let hi = freqs.last().map(|&(sl, _)| sl).unwrap_or(0);
+        let width = ((hi - lo) / BINS + 1).max(1);
+        let mut bins = vec![0usize; BINS as usize];
+        for &(sl, n) in &freqs {
+            let idx = (((sl - lo) / width) as usize).min(bins.len() - 1);
+            bins[idx] += n;
+        }
+        let rows: Vec<(u32, u32, usize)> = bins
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                let start = lo + i as u32 * width;
+                (start, (start + width - 1).min(hi), n)
+            })
+            .collect();
+        for &(start, end, n) in &rows {
+            table.push_row([
+                net.label().to_owned(),
+                format!("{start}-{end}"),
+                n.to_string(),
+            ]);
+        }
+        nets.push(Fig07Net {
+            net,
+            bins: rows,
+            unique_sls: freqs.len(),
+            iterations: w.plan(net).iterations(),
+        });
+    }
+    Fig07 { nets, table }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histograms_have_the_paper_shapes() {
+        let mut w = Workloads::quick();
+        let r = run(&mut w);
+        let ds2 = r.nets.iter().find(|n| n.net == Net::Ds2).unwrap();
+        let gnmt = r.nets.iter().find(|n| n.net == Net::Gnmt).unwrap();
+        // All iterations are binned.
+        for n in &r.nets {
+            let total: usize = n.bins.iter().map(|&(_, _, c)| c).sum();
+            assert_eq!(total, n.iterations);
+        }
+        // DS2: first two bins dominate (Fig. 7a's 193/104 spike).
+        let ds2_head: usize = ds2.bins[..2].iter().map(|&(_, _, c)| c).sum();
+        assert!(ds2_head * 2 > ds2.iterations, "head = {ds2_head}");
+        // GNMT: decaying counts across the first few bins (Fig. 7b).
+        assert!(gnmt.bins[0].2 >= gnmt.bins[1].2);
+        assert!(gnmt.bins[1].2 >= gnmt.bins[2].2);
+    }
+
+    #[test]
+    fn unique_sls_are_a_large_share_of_iterations() {
+        // Section V-A: including all unique SLs can mean up to half of
+        // all iterations — the motivation for binning.
+        let mut w = Workloads::quick();
+        let r = run(&mut w);
+        for n in &r.nets {
+            assert!(
+                n.unique_sls * 20 > n.iterations,
+                "{}: unique {} of {}",
+                n.net.label(),
+                n.unique_sls,
+                n.iterations
+            );
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Fig. 9 — runtime vs sequence length (GNMT and DS2).
+//!
+//! Iteration runtime is near-linear in SL within the observed range —
+//! the property that lets a bin's average-runtime SL stand for the whole
+//! bin. We sweep each network's SL range and fit a least-squares line,
+//! reporting the series and the fit's R².
+
+use gpu_sim::Device;
+use sqnn_profiler::{report::Table, Profiler};
+
+use crate::{Net, Workloads};
+
+/// Sweep result for one network.
+#[derive(Debug, Clone)]
+pub struct Fig09Net {
+    /// Which network.
+    pub net: Net,
+    /// `(seq_len, normalized runtime)` series (normalized to the first).
+    pub series: Vec<(u32, f64)>,
+    /// Coefficient of determination of the linear fit.
+    pub r_squared: f64,
+    /// Intercept share: fitted runtime at SL 0 over runtime at max SL —
+    /// the constant (optimizer/launch) component of iteration cost.
+    pub intercept_share: f64,
+}
+
+/// Result of the Fig. 9 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig09 {
+    /// Both sweeps.
+    pub nets: Vec<Fig09Net>,
+    /// Rendered table.
+    pub table: Table,
+}
+
+fn linear_fit(points: &[(f64, f64)]) -> (f64, f64, f64) {
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    let intercept = (sy - slope * sx) / n;
+    let mean_y = sy / n;
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|p| (p.1 - (slope * p.0 + intercept)).powi(2))
+        .sum();
+    let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    (slope, intercept, r2)
+}
+
+/// Run the experiment.
+pub fn run(w: &mut Workloads) -> Fig09 {
+    let mut table = Table::new(
+        "Fig. 9 — iteration runtime vs sequence length (config #1, normalized)",
+        ["network", "SL", "normalized runtime"],
+    );
+    let mut nets = Vec::new();
+    for net in Net::both() {
+        let sls: Vec<u32> = match net {
+            Net::Gnmt => (1..=20).map(|i| i * 10).collect(),
+            Net::Ds2 => (2..=18).map(|i| i * 25).collect(),
+        };
+        let device = Device::new(w.config(0).clone());
+        let profiles =
+            Profiler::new().profile_seq_lens(w.network(net), 64, &sls, &device);
+        let base = profiles.first().expect("non-empty sweep").time_s;
+        let series: Vec<(u32, f64)> = profiles
+            .iter()
+            .map(|p| (p.seq_len, p.time_s / base))
+            .collect();
+        for &(sl, t) in &series {
+            table.push_row([net.label().to_owned(), sl.to_string(), format!("{t:.3}")]);
+        }
+        let pts: Vec<(f64, f64)> = series
+            .iter()
+            .map(|&(sl, t)| (f64::from(sl), t))
+            .collect();
+        let (slope, intercept, r2) = linear_fit(&pts);
+        let max_sl = f64::from(*sls.last().expect("non-empty"));
+        nets.push(Fig09Net {
+            net,
+            series,
+            r_squared: r2,
+            intercept_share: intercept / (slope * max_sl + intercept),
+        });
+    }
+    Fig09 { nets, table }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtime_is_near_linear_in_sl() {
+        let mut w = Workloads::quick();
+        let r = run(&mut w);
+        for n in &r.nets {
+            assert!(
+                n.r_squared > 0.99,
+                "{}: R² = {}",
+                n.net.label(),
+                n.r_squared
+            );
+            // Monotone increasing.
+            for pair in n.series.windows(2) {
+                assert!(pair[1].1 >= pair[0].1);
+            }
+            // There is a visible constant component but it does not
+            // dominate (Fig. 9's positive intercept).
+            assert!(
+                n.intercept_share > 0.0 && n.intercept_share < 0.4,
+                "{}: intercept share = {}",
+                n.net.label(),
+                n.intercept_share
+            );
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Section VII-C — sophisticated clustering vs simple SL binning.
+//!
+//! The authors also clustered iterations' execution profiles with k-means
+//! and found the simple SL-binning approach "performs as well". We
+//! reproduce the comparison: SL binning (SeqPoint), k-means over
+//! kernel-kind runtime-share features at the same cluster budget, and the
+//! SimPoint-style auto-k front-end, all projecting total training time on
+//! the identification configuration and on config #3.
+
+use seqpoint_core::simpoint::{simpoint, SimPointOptions};
+use seqpoint_core::stats::relative_error_pct;
+use seqpoint_core::{kmeans::kmeans, SeqPointPipeline};
+use sqnn_profiler::report::{fmt_f, Table};
+
+use crate::{Net, Workloads};
+
+/// One comparison row.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Which network.
+    pub net: Net,
+    /// Scheme label.
+    pub scheme: String,
+    /// Representative iterations used.
+    pub points: usize,
+    /// Self-configuration (config #1) projection error, %.
+    pub self_error_pct: f64,
+    /// Cross-configuration (config #3) projection error, %.
+    pub cross_error_pct: f64,
+}
+
+/// Result of the Section VII-C ablation.
+#[derive(Debug, Clone)]
+pub struct KmeansAblation {
+    /// All rows.
+    pub rows: Vec<AblationRow>,
+    /// Rendered table.
+    pub table: Table,
+}
+
+/// Run the ablation.
+pub fn run(w: &mut Workloads) -> KmeansAblation {
+    let mut table = Table::new(
+        "Section VII-C — SL binning vs k-means vs SimPoint-style clustering",
+        ["network", "scheme", "points", "self error %", "config#3 error %"],
+    );
+    let mut rows = Vec::new();
+    for net in Net::both() {
+        let (log, features, iter_sls): (_, Vec<Vec<f64>>, Vec<u32>) = {
+            let profile = w.profile(net, 0);
+            let log = profile.to_epoch_log();
+            // Feature vectors: kernel-kind runtime shares + normalized
+            // runtime (what "execution profile" means in Section VII-C).
+            let mut features = profile
+                .feature_matrix()
+                .expect("workloads profile with kernel detail");
+            let max_t = profile
+                .iterations()
+                .iter()
+                .map(|i| i.time_s)
+                .fold(0.0, f64::max);
+            for (f, it) in features.iter_mut().zip(profile.iterations()) {
+                f.push(it.time_s / max_t);
+            }
+            let sls = profile.iterations().iter().map(|i| i.seq_len).collect();
+            (log, features, sls)
+        };
+        let actual_self = log.actual_total();
+        let actual_cross = w.profile(net, 2).training_time_s();
+
+        // Scheme 1: SeqPoint SL binning.
+        let analysis = SeqPointPipeline::with_config(crate::identification_config())
+            .run(&log)
+            .expect("epoch logs are non-empty and defaults converge");
+        let set = analysis.seqpoints().clone();
+        let k_budget = set.len();
+        {
+            let stats = w.reprofile_seq_lens(net, 2, &set.seq_lens());
+            let cross = set.project_total_with(|sl| stats[&sl]);
+            rows.push(AblationRow {
+                net,
+                scheme: "sl-binning (seqpoint)".to_owned(),
+                points: set.len(),
+                self_error_pct: analysis.self_error_pct(),
+                cross_error_pct: relative_error_pct(cross, actual_cross),
+            });
+        }
+
+        // Scheme 2: k-means on execution profiles at the same budget.
+        {
+            let km = kmeans(&features, k_budget.min(features.len()), w.scale().seed)
+                .expect("features are non-empty");
+            let reps = km.representatives(&features);
+            let self_pred: f64 = reps
+                .iter()
+                .map(|&(idx, wt)| log.records()[idx].stat * wt as f64)
+                .sum();
+            let rep_sls: Vec<u32> = {
+                let mut v: Vec<u32> = reps.iter().map(|&(idx, _)| iter_sls[idx]).collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            };
+            let stats = w.reprofile_seq_lens(net, 2, &rep_sls);
+            let cross_pred: f64 = reps
+                .iter()
+                .map(|&(idx, wt)| stats[&iter_sls[idx]] * wt as f64)
+                .sum();
+            rows.push(AblationRow {
+                net,
+                scheme: "k-means (profiles)".to_owned(),
+                points: reps.len(),
+                self_error_pct: relative_error_pct(self_pred, actual_self),
+                cross_error_pct: relative_error_pct(cross_pred, actual_cross),
+            });
+        }
+
+        // Scheme 3: SimPoint-style auto-k.
+        {
+            let sp = simpoint(
+                &features,
+                SimPointOptions {
+                    max_k: (k_budget * 2).max(10),
+                    seed: w.scale().seed,
+                    ..SimPointOptions::default()
+                },
+            )
+            .expect("features are non-empty");
+            let self_pred = sp.project_total_with(|idx| log.records()[idx].stat);
+            let rep_sls: Vec<u32> = {
+                let mut v: Vec<u32> = sp
+                    .representatives
+                    .iter()
+                    .map(|&(idx, _)| iter_sls[idx])
+                    .collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            };
+            let stats = w.reprofile_seq_lens(net, 2, &rep_sls);
+            let cross_pred: f64 = sp
+                .representatives
+                .iter()
+                .map(|&(idx, wt)| stats[&iter_sls[idx]] * wt as f64)
+                .sum();
+            rows.push(AblationRow {
+                net,
+                scheme: "simpoint (auto-k)".to_owned(),
+                points: sp.representatives.len(),
+                self_error_pct: relative_error_pct(self_pred, actual_self),
+                cross_error_pct: relative_error_pct(cross_pred, actual_cross),
+            });
+        }
+    }
+    for r in &rows {
+        table.push_row([
+            r.net.label().to_owned(),
+            r.scheme.clone(),
+            r.points.to_string(),
+            fmt_f(r.self_error_pct, 3),
+            fmt_f(r.cross_error_pct, 3),
+        ]);
+    }
+    KmeansAblation { rows, table }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sl_binning_matches_sophisticated_clustering() {
+        let mut w = Workloads::quick();
+        let r = run(&mut w);
+        assert_eq!(r.rows.len(), 6);
+        for net in Net::both() {
+            let binning = r
+                .rows
+                .iter()
+                .find(|x| x.net == net && x.scheme.starts_with("sl-binning"))
+                .unwrap();
+            let km = r
+                .rows
+                .iter()
+                .find(|x| x.net == net && x.scheme.starts_with("k-means"))
+                .unwrap();
+            // Section VII-C's claim: the simple approach performs as well
+            // (within a couple of percentage points either way).
+            assert!(
+                binning.cross_error_pct <= km.cross_error_pct + 2.0,
+                "{}: binning {} vs k-means {}",
+                net.label(),
+                binning.cross_error_pct,
+                km.cross_error_pct
+            );
+            assert!(binning.self_error_pct < 1.5);
+        }
+    }
+}

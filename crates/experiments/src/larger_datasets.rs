@@ -1,0 +1,151 @@
+//! Section VI-F (closing observation) — larger datasets, larger
+//! speedups.
+//!
+//! "Applying SeqPoint to larger datasets such as the LibriSpeech 500
+//! hours and WMT16, which we observed to have similar SL ranges to the
+//! evaluated shorter datasets, can lead to much higher speedups." The SL
+//! *range* (and thus the SeqPoint count) barely grows with dataset size,
+//! while the epoch cost grows linearly — so the profiling-reduction
+//! factor scales with the dataset.
+
+use gpu_sim::Device;
+use seqpoint_core::SeqPointPipeline;
+use sqnn_data::{BatchPolicy, Corpus, EpochPlan};
+use sqnn_profiler::report::{fmt_f, Table};
+use sqnn_profiler::Profiler;
+
+use crate::{Net, Workloads};
+
+/// One dataset's row.
+#[derive(Debug, Clone)]
+pub struct DatasetRow {
+    /// Which network.
+    pub net: Net,
+    /// Dataset label.
+    pub dataset: String,
+    /// Samples in the corpus.
+    pub samples: usize,
+    /// Iterations per epoch.
+    pub iterations: usize,
+    /// SeqPoints identified.
+    pub seqpoints: usize,
+    /// Epoch time ÷ serial SeqPoint time.
+    pub serial_speedup: f64,
+}
+
+/// Result of the larger-datasets experiment.
+#[derive(Debug, Clone)]
+pub struct LargerDatasets {
+    /// Rows in (network, dataset-size) order.
+    pub rows: Vec<DatasetRow>,
+    /// Rendered table.
+    pub table: Table,
+}
+
+/// Run the experiment. `dataset_scale` shrinks the large datasets
+/// proportionally (1.0 = full size; the `repro` binary uses a reduced
+/// scale to keep wall time sensible — the *ratio* between the small and
+/// large dataset is preserved either way).
+pub fn run(w: &mut Workloads, dataset_scale: f64) -> LargerDatasets {
+    let seed = w.scale().seed;
+    let base_gnmt = (w.scale().gnmt_sentences as f64 / 133_000.0).min(1.0);
+    let base_ds2 = (w.scale().ds2_utterances as f64 / 28_539.0).min(1.0);
+    let cases: Vec<(Net, String, Corpus, BatchPolicy)> = vec![
+        (
+            Net::Ds2,
+            "librispeech-100h".to_owned(),
+            Corpus::sampled(
+                "librispeech100-like",
+                &Corpus::librispeech_length_model(),
+                w.scale().ds2_utterances,
+                29,
+                seed,
+            ),
+            BatchPolicy::sorted_first_epoch(64),
+        ),
+        (
+            Net::Ds2,
+            "librispeech-500h".to_owned(),
+            // Never shrink below 2x the 100h corpus, or the size ratio
+            // (the whole point of the comparison) would invert.
+            Corpus::librispeech500_like((dataset_scale * base_ds2).max(0.4 * base_ds2), seed),
+            BatchPolicy::sorted_first_epoch(64),
+        ),
+        (
+            Net::Gnmt,
+            "iwslt15".to_owned(),
+            Corpus::iwslt15_like(w.scale().gnmt_sentences, seed),
+            BatchPolicy::bucketed(64, 16),
+        ),
+        (
+            Net::Gnmt,
+            "wmt16".to_owned(),
+            // WMT'16 is ~34x IWSLT'15; keep the same ratio at any scale.
+            Corpus::wmt16_like(dataset_scale * base_gnmt, seed),
+            BatchPolicy::bucketed(64, 64),
+        ),
+    ];
+    let mut table = Table::new(
+        "Section VI-F — larger datasets give larger profiling speedups",
+        ["network", "dataset", "samples", "iterations", "seqpoints", "serial speedup"],
+    );
+    let mut rows = Vec::new();
+    for (net, dataset, corpus, policy) in cases {
+        let plan = EpochPlan::new(&corpus, policy, seed).expect("corpus is non-empty");
+        let device = Device::new(w.config(0).clone());
+        let profiler = Profiler::new();
+        let profile = profiler
+            .profile_epoch(w.network(net), &plan, &device)
+            .expect("plan is non-empty");
+        let analysis = SeqPointPipeline::with_config(crate::identification_config())
+            .run(&profile.to_epoch_log())
+            .expect("log converges");
+        let sls = analysis.seqpoints().seq_lens();
+        let reprofiled = profiler.profile_seq_lens(w.network(net), plan.batch_size(), &sls, &device);
+        let serial: f64 = reprofiled.iter().map(|p| p.time_s).sum();
+        let row = DatasetRow {
+            net,
+            dataset: dataset.clone(),
+            samples: corpus.len(),
+            iterations: plan.iterations(),
+            seqpoints: sls.len(),
+            serial_speedup: profile.total_time_s() / serial,
+        };
+        table.push_row([
+            net.label().to_owned(),
+            dataset,
+            row.samples.to_string(),
+            row.iterations.to_string(),
+            row.seqpoints.to_string(),
+            format!("{}x", fmt_f(row.serial_speedup, 1)),
+        ]);
+        rows.push(row);
+    }
+    LargerDatasets { rows, table }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bigger_datasets_bigger_speedups() {
+        let mut w = Workloads::quick();
+        let r = run(&mut w, 1.0);
+        assert_eq!(r.rows.len(), 4);
+        for pair in r.rows.chunks(2) {
+            let (small, large) = (&pair[0], &pair[1]);
+            assert!(large.samples > small.samples);
+            // SL ranges are similar, so the SeqPoint count barely moves …
+            assert!(large.seqpoints <= small.seqpoints * 3);
+            // … while the speedup grows with the dataset.
+            assert!(
+                large.serial_speedup > small.serial_speedup * 1.5,
+                "{}: {} vs {}",
+                large.dataset,
+                large.serial_speedup,
+                small.serial_speedup
+            );
+        }
+    }
+}

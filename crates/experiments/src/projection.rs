@@ -1,0 +1,176 @@
+//! Figs. 11–12 — error in projecting total training time.
+//!
+//! SeqPoints are identified **once on config #1**; every scheme then
+//! projects each Table II configuration's total training time from
+//! re-profiled iterations only, and is scored against the measured
+//! full-epoch total. The paper's headline: SeqPoint geomean error 0.11%
+//! (DS2) / 0.53% (GNMT) while single-iteration schemes reach 10–35% and
+//! `worst` up to 85%+.
+
+use std::collections::HashMap;
+
+use seqpoint_core::stats::{geomean, relative_error_pct};
+use seqpoint_core::SeqPointPipeline;
+use sqnn_profiler::report::{fmt_f, Table};
+
+use crate::{Net, Workloads};
+
+/// Per-scheme projection errors across the five configurations.
+#[derive(Debug, Clone)]
+pub struct SchemeErrors {
+    /// Scheme label (`worst`, `frequent`, `median`, `prior`, `seqpoint`).
+    pub scheme: String,
+    /// Error (%) per configuration (index 0 = config #1).
+    pub errors: Vec<f64>,
+    /// Geometric mean across configurations.
+    pub geomean_pct: f64,
+}
+
+/// Result of the Fig. 11 (DS2) or Fig. 12 (GNMT) experiment.
+#[derive(Debug, Clone)]
+pub struct Projection {
+    /// Which network.
+    pub net: Net,
+    /// Per-scheme error rows, in the paper's legend order (SeqPoint last).
+    pub schemes: Vec<SchemeErrors>,
+    /// Number of SeqPoints identified.
+    pub seqpoint_count: usize,
+    /// The `k` the refinement settled on.
+    pub seqpoint_k: u32,
+    /// Rendered table.
+    pub table: Table,
+}
+
+impl Projection {
+    /// The error row for a scheme label.
+    pub fn scheme(&self, label: &str) -> Option<&SchemeErrors> {
+        self.schemes.iter().find(|s| s.scheme == label)
+    }
+}
+
+/// Run the experiment for one network.
+pub fn run(w: &mut Workloads, net: Net) -> Projection {
+    // 1. Profile one epoch on config #1 and identify SeqPoints.
+    let log = w.profile(net, 0).to_epoch_log();
+    let analysis = SeqPointPipeline::with_config(crate::identification_config())
+        .run(&log)
+        .expect("epoch logs are non-empty and defaults converge");
+    let seqpoints = analysis.seqpoints().clone();
+
+    // 2. Baseline selections on the same config #1 log.
+    let baselines: Vec<_> = crate::paper_baselines(log.len())
+        .into_iter()
+        .map(|kind| (kind, kind.select(&log).expect("log is non-empty")))
+        .collect();
+
+    // 3. The union of SLs any scheme needs re-profiled.
+    let mut needed: Vec<u32> = seqpoints.seq_lens();
+    for (_, sel) in &baselines {
+        needed.extend(sel.unique_seq_lens());
+    }
+    needed.sort_unstable();
+    needed.dedup();
+
+    // 4. Project every configuration from re-profiled iterations only.
+    let mut scheme_errors: Vec<SchemeErrors> = baselines
+        .iter()
+        .map(|(kind, _)| SchemeErrors {
+            scheme: kind.label().to_owned(),
+            errors: Vec::new(),
+            geomean_pct: 0.0,
+        })
+        .collect();
+    scheme_errors.push(SchemeErrors {
+        scheme: "seqpoint".to_owned(),
+        errors: Vec::new(),
+        geomean_pct: 0.0,
+    });
+
+    for idx in 0..w.configs().len() {
+        let actual = w.profile(net, idx).training_time_s();
+        let stats: HashMap<u32, f64> = w.reprofile_seq_lens(net, idx, &needed);
+        for (row, (_, sel)) in scheme_errors.iter_mut().zip(&baselines) {
+            let pred = sel.project_total_with(|sl| stats[&sl]);
+            row.errors.push(relative_error_pct(pred, actual));
+        }
+        let pred = seqpoints.project_total_with(|sl| stats[&sl]);
+        scheme_errors
+            .last_mut()
+            .expect("seqpoint row exists")
+            .errors
+            .push(relative_error_pct(pred, actual));
+    }
+    for row in &mut scheme_errors {
+        row.geomean_pct = geomean(row.errors.iter().copied());
+    }
+
+    // 5. Render.
+    let fig = match net {
+        Net::Ds2 => "Fig. 11",
+        Net::Gnmt => "Fig. 12",
+    };
+    let mut table = Table::new(
+        format!(
+            "{fig} — error (%) in total training-time projections for {}",
+            net.label()
+        ),
+        ["scheme", "config#1", "config#2", "config#3", "config#4", "config#5", "geomean"],
+    );
+    for row in &scheme_errors {
+        let mut cells = vec![row.scheme.clone()];
+        cells.extend(row.errors.iter().map(|&e| fmt_f(e, 2)));
+        cells.push(fmt_f(row.geomean_pct, 2));
+        table.push_row(cells);
+    }
+    Projection {
+        net,
+        schemes: scheme_errors,
+        seqpoint_count: seqpoints.len(),
+        seqpoint_k: analysis.k(),
+        table,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(net: Net) {
+        let mut w = Workloads::quick();
+        let r = run(&mut w, net);
+        let seqpoint = r.scheme("seqpoint").unwrap();
+        let worst = r.scheme("worst").unwrap();
+        let frequent = r.scheme("frequent").unwrap();
+        // The paper's headline ordering: SeqPoint ≲ 1% everywhere, far
+        // better than the single-iteration schemes, with `worst` the
+        // upper bound.
+        assert!(
+            seqpoint.geomean_pct < 1.5,
+            "{}: seqpoint geomean = {}",
+            net.label(),
+            seqpoint.geomean_pct
+        );
+        assert!(worst.geomean_pct > 10.0 * seqpoint.geomean_pct.max(0.01));
+        assert!(worst.geomean_pct >= frequent.geomean_pct);
+        assert!(frequent.geomean_pct > seqpoint.geomean_pct);
+        // Few SeqPoints suffice (paper: 8–15 at paper scale; the quick
+        // scale can converge with as few as k₀'s non-empty bins).
+        assert!(
+            r.seqpoint_count >= 4 && r.seqpoint_count <= 40,
+            "{}: {} seqpoints",
+            net.label(),
+            r.seqpoint_count
+        );
+        assert_eq!(r.table.row_count(), 5);
+    }
+
+    #[test]
+    fn ds2_projection_ordering_holds() {
+        check(Net::Ds2);
+    }
+
+    #[test]
+    fn gnmt_projection_ordering_holds() {
+        check(Net::Gnmt);
+    }
+}

@@ -1,0 +1,143 @@
+//! Figs. 13–14 — sensitivity of different sequence lengths to hardware
+//! changes.
+//!
+//! For a sweep of SLs, the per-iteration throughput uplift of moving from
+//! each degraded configuration back to config #1. The paper's point: the
+//! uplift *varies with SL* (up to ~30% for GNMT, ~45% for DS2 across the
+//! range), so a scheme that samples a narrow SL region (like `prior`'s
+//! contiguous window, region O1 in Fig. 14) mispredicts speedups — most
+//! visibly for config #4, whose uplift trends across the low-SL region.
+
+use gpu_sim::Device;
+use sqnn_profiler::{report::Table, Profiler};
+
+use crate::{Net, Workloads};
+
+/// The uplift series of one network.
+#[derive(Debug, Clone)]
+pub struct Sensitivity {
+    /// Which network.
+    pub net: Net,
+    /// `(seq_len, [uplift% for configs #2→#1 … #5→#1])`.
+    pub series: Vec<(u32, [f64; 4])>,
+    /// Max − min uplift (percentage points) per config pair.
+    pub variation_pp: [f64; 4],
+    /// Max/min − 1 (relative variation, %) per config pair.
+    pub variation_rel_pct: [f64; 4],
+    /// Rendered table.
+    pub table: Table,
+}
+
+/// Run the experiment for one network.
+pub fn run(w: &mut Workloads, net: Net) -> Sensitivity {
+    let sls: Vec<u32> = match net {
+        Net::Gnmt => (1..=20).map(|i| i * 10).collect(),
+        Net::Ds2 => (2..=18).map(|i| i * 25).collect(),
+    };
+    // Time each SL on every configuration.
+    let mut times: Vec<Vec<f64>> = Vec::new(); // [config][sl]
+    for cfg in w.configs() {
+        let device = Device::new(cfg.clone());
+        let profiles = Profiler::new().profile_seq_lens(w.network(net), 64, &sls, &device);
+        times.push(profiles.into_iter().map(|p| p.time_s).collect());
+    }
+    let series: Vec<(u32, [f64; 4])> = sls
+        .iter()
+        .enumerate()
+        .map(|(i, &sl)| {
+            let mut uplift = [0.0; 4];
+            for c in 1..5 {
+                uplift[c - 1] = (times[c][i] / times[0][i] - 1.0) * 100.0;
+            }
+            (sl, uplift)
+        })
+        .collect();
+    let mut variation_pp = [0.0; 4];
+    let mut variation_rel = [0.0; 4];
+    for c in 0..4 {
+        let vals: Vec<f64> = series.iter().map(|&(_, u)| u[c]).collect();
+        let min = vals.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        variation_pp[c] = max - min;
+        variation_rel[c] = if min > 0.0 { (max / min - 1.0) * 100.0 } else { 0.0 };
+    }
+    let fig = match net {
+        Net::Gnmt => "Fig. 13",
+        Net::Ds2 => "Fig. 14",
+    };
+    let mut table = Table::new(
+        format!(
+            "{fig} — per-SL throughput uplift (%) to config #1 for {}",
+            net.label()
+        ),
+        ["SL", "#2→#1", "#3→#1", "#4→#1", "#5→#1"],
+    );
+    for &(sl, u) in &series {
+        table.push_row([
+            sl.to_string(),
+            format!("{:.1}", u[0]),
+            format!("{:.1}", u[1]),
+            format!("{:.1}", u[2]),
+            format!("{:.1}", u[3]),
+        ]);
+    }
+    Sensitivity {
+        net,
+        series,
+        variation_pp,
+        variation_rel_pct: variation_rel,
+        table,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uplifts_vary_with_sequence_length() {
+        let mut w = Workloads::quick();
+        for net in Net::both() {
+            let r = run(&mut w, net);
+            // Every uplift is positive (config #1 dominates the others).
+            for &(_, u) in &r.series {
+                for v in u {
+                    assert!(v > 0.0, "{}: uplift {v}", net.label());
+                }
+            }
+            // At least one configuration's uplift varies noticeably with
+            // SL (the figure's whole point).
+            let max_rel = r
+                .variation_rel_pct
+                .iter()
+                .copied()
+                .fold(0.0, f64::max);
+            assert!(max_rel > 5.0, "{}: max rel variation = {max_rel}", net.label());
+        }
+    }
+
+    #[test]
+    fn config4_uplift_trends_in_the_low_sl_region_for_ds2() {
+        // The paper's O1/O2 argument: in DS2's low-SL region the uplifts
+        // are flat for all configs except #4 (L1 disabled), whose trend
+        // is what breaks `prior` on the #4→#1 speedup.
+        let mut w = Workloads::quick();
+        let r = run(&mut w, Net::Ds2);
+        let low: Vec<&(u32, [f64; 4])> =
+            r.series.iter().filter(|&&(sl, _)| sl <= 150).collect();
+        let rel_var = |c: usize| -> f64 {
+            let vals: Vec<f64> = low.iter().map(|&&(_, u)| u[c]).collect();
+            let min = vals.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            (max / min - 1.0) * 100.0
+        };
+        let l1_var = rel_var(2); // config #4
+        for (c, label) in [(0usize, "#2"), (1, "#3"), (3, "#5")] {
+            assert!(
+                l1_var > rel_var(c),
+                "config #4 rel variation {l1_var:.2}% should exceed {label}'s {:.2}%",
+                rel_var(c)
+            );
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Figs. 15–16 — error in performance-speedup projections.
+//!
+//! For each configuration pair #X→#1 the schemes predict the end-to-end
+//! training throughput uplift; the error is the relative deviation from
+//! the measured uplift. The paper's headline: SeqPoint geomean 0.13%
+//! (DS2) / 1.50% (GNMT); `worst` up to 22–27%; `prior` fine everywhere
+//! except DS2 #4→#1.
+
+use std::collections::HashMap;
+
+use seqpoint_core::stats::{geomean, relative_error_pct};
+use seqpoint_core::SeqPointPipeline;
+use sqnn_profiler::report::{fmt_f, Table};
+
+use crate::{Net, Workloads};
+
+/// Per-scheme speedup-projection errors across the four config pairs.
+#[derive(Debug, Clone)]
+pub struct SpeedupErrors {
+    /// Scheme label.
+    pub scheme: String,
+    /// Error (%) per config pair (#2→#1 … #5→#1).
+    pub errors: [f64; 4],
+    /// Geometric mean across pairs.
+    pub geomean_pct: f64,
+}
+
+/// Result of the Fig. 15 (DS2) / Fig. 16 (GNMT) experiment.
+#[derive(Debug, Clone)]
+pub struct Speedup {
+    /// Which network.
+    pub net: Net,
+    /// Measured uplift (%) per config pair.
+    pub actual_uplift_pct: [f64; 4],
+    /// Per-scheme error rows (SeqPoint last).
+    pub schemes: Vec<SpeedupErrors>,
+    /// Rendered table.
+    pub table: Table,
+}
+
+impl Speedup {
+    /// The error row for a scheme label.
+    pub fn scheme(&self, label: &str) -> Option<&SpeedupErrors> {
+        self.schemes.iter().find(|s| s.scheme == label)
+    }
+}
+
+/// Run the experiment for one network.
+pub fn run(w: &mut Workloads, net: Net) -> Speedup {
+    let log = w.profile(net, 0).to_epoch_log();
+    let analysis = SeqPointPipeline::with_config(crate::identification_config())
+        .run(&log)
+        .expect("epoch logs are non-empty and defaults converge");
+    let seqpoints = analysis.seqpoints().clone();
+    let baselines: Vec<_> = crate::paper_baselines(log.len())
+        .into_iter()
+        .map(|kind| (kind, kind.select(&log).expect("log is non-empty")))
+        .collect();
+
+    let mut needed: Vec<u32> = seqpoints.seq_lens();
+    for (_, sel) in &baselines {
+        needed.extend(sel.unique_seq_lens());
+    }
+    needed.sort_unstable();
+    needed.dedup();
+
+    // Re-profiled per-SL times on every configuration.
+    let stats: Vec<HashMap<u32, f64>> = (0..5)
+        .map(|idx| w.reprofile_seq_lens(net, idx, &needed))
+        .collect();
+
+    // Measured uplift: throughput_1 / throughput_X − 1 = t_X / t_1 − 1
+    // over the full epoch (sample counts cancel).
+    let actual_times: Vec<f64> = (0..5).map(|idx| w.profile(net, idx).training_time_s()).collect();
+    let mut actual_uplift = [0.0; 4];
+    for c in 1..5 {
+        actual_uplift[c - 1] = (actual_times[c] / actual_times[0] - 1.0) * 100.0;
+    }
+
+    let mut schemes: Vec<SpeedupErrors> = Vec::new();
+    // Baselines predict uplift from their own projected totals.
+    for (kind, sel) in &baselines {
+        let mut errors = [0.0; 4];
+        let t1 = sel.project_total_with(|sl| stats[0][&sl]);
+        for c in 1..5 {
+            let tx = sel.project_total_with(|sl| stats[c][&sl]);
+            let pred = (tx / t1 - 1.0) * 100.0;
+            errors[c - 1] = relative_error_pct(pred, actual_uplift[c - 1]);
+        }
+        schemes.push(SpeedupErrors {
+            scheme: kind.label().to_owned(),
+            errors,
+            geomean_pct: geomean(errors),
+        });
+    }
+    // SeqPoint.
+    {
+        let mut errors = [0.0; 4];
+        let t1 = seqpoints.project_total_with(|sl| stats[0][&sl]);
+        for c in 1..5 {
+            let tx = seqpoints.project_total_with(|sl| stats[c][&sl]);
+            let pred = (tx / t1 - 1.0) * 100.0;
+            errors[c - 1] = relative_error_pct(pred, actual_uplift[c - 1]);
+        }
+        schemes.push(SpeedupErrors {
+            scheme: "seqpoint".to_owned(),
+            errors,
+            geomean_pct: geomean(errors),
+        });
+    }
+
+    let fig = match net {
+        Net::Ds2 => "Fig. 15",
+        Net::Gnmt => "Fig. 16",
+    };
+    let mut table = Table::new(
+        format!(
+            "{fig} — error (%) in throughput-uplift projections for {}",
+            net.label()
+        ),
+        ["scheme", "#2→#1", "#3→#1", "#4→#1", "#5→#1", "geomean"],
+    );
+    table.push_row([
+        "(actual uplift %)".to_owned(),
+        fmt_f(actual_uplift[0], 1),
+        fmt_f(actual_uplift[1], 1),
+        fmt_f(actual_uplift[2], 1),
+        fmt_f(actual_uplift[3], 1),
+        String::new(),
+    ]);
+    for row in &schemes {
+        let mut cells = vec![row.scheme.clone()];
+        cells.extend(row.errors.iter().map(|&e| fmt_f(e, 2)));
+        cells.push(fmt_f(row.geomean_pct, 2));
+        table.push_row(cells);
+    }
+    Speedup {
+        net,
+        actual_uplift_pct: actual_uplift,
+        schemes,
+        table,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seqpoint_projects_speedups_best() {
+        let mut w = Workloads::quick();
+        for net in Net::both() {
+            let r = run(&mut w, net);
+            let sp = r.scheme("seqpoint").unwrap();
+            let worst = r.scheme("worst").unwrap();
+            assert!(
+                sp.geomean_pct < 3.0,
+                "{}: seqpoint geomean = {}",
+                net.label(),
+                sp.geomean_pct
+            );
+            assert!(
+                worst.geomean_pct > sp.geomean_pct,
+                "{}: worst {} vs seqpoint {}",
+                net.label(),
+                worst.geomean_pct,
+                sp.geomean_pct
+            );
+        }
+    }
+
+    #[test]
+    fn prior_struggles_most_on_ds2_config4() {
+        // The paper: "prior does as well as SeqPoint in all cases except
+        // when predicting config #4 to #1 speedup for DS2."
+        let mut w = Workloads::quick();
+        let r = run(&mut w, Net::Ds2);
+        let prior = r.scheme("prior").unwrap();
+        let c4_err = prior.errors[2];
+        let other_max = prior.errors[0].max(prior.errors[1]).max(prior.errors[3]);
+        assert!(
+            c4_err > other_max,
+            "prior #4 error {c4_err} should exceed others (max {other_max})"
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! Table II — the hardware configurations used to evaluate SeqPoint.
+
+use sqnn_profiler::report::Table;
+
+use crate::Workloads;
+
+/// Result of the Table II listing.
+#[derive(Debug, Clone)]
+pub struct Table2 {
+    /// Rendered table.
+    pub table: Table,
+}
+
+/// Run (render) the table.
+pub fn run(w: &Workloads) -> Table2 {
+    let mut table = Table::new(
+        "Table II — configurations used to evaluate SeqPoint",
+        ["config", "GCLK", "#CU", "L1 $", "L2 $"],
+    );
+    for cfg in w.configs() {
+        table.push_row([
+            cfg.name().to_owned(),
+            if cfg.gclk_ghz() >= 1.0 {
+                format!("{:.1} GHz", cfg.gclk_ghz())
+            } else {
+                format!("{:.0} MHz", cfg.gclk_ghz() * 1000.0)
+            },
+            cfg.cu_count().to_string(),
+            format!("{:.0} KB", cfg.l1_bytes() / 1024.0),
+            format!("{:.0} MB", cfg.l2_bytes() / (1024.0 * 1024.0)),
+        ]);
+    }
+    Table2 { table }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Workloads;
+
+    #[test]
+    fn renders_five_configs() {
+        let w = Workloads::quick();
+        let t = run(&w);
+        assert_eq!(t.table.row_count(), 5);
+        let md = t.table.to_markdown();
+        assert!(md.contains("852 MHz"));
+        assert!(md.contains("0 KB"));
+        assert!(md.contains("0 MB"));
+    }
+}

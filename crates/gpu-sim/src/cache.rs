@@ -1,0 +1,146 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{GpuConfig, KernelDesc};
+
+/// Fraction of a kernel's reusable accesses a cache of `capacity_bytes` can
+/// capture given the kernel's `working_set` bytes.
+///
+/// The model is the classic capacity rule: if the working set fits, all
+/// reusable accesses hit; otherwise hits degrade proportionally to the
+/// fraction of the working set that fits. A capacity of zero (a disabled
+/// cache, the paper's configs #4/#5) captures nothing.
+///
+/// ```
+/// use gpu_sim::capture_fraction;
+///
+/// assert_eq!(capture_fraction(0.0, 1024.0), 0.0);       // disabled cache
+/// assert_eq!(capture_fraction(1024.0, 512.0), 1.0);     // fits entirely
+/// assert_eq!(capture_fraction(1024.0, 4096.0), 0.25);   // partial fit
+/// assert_eq!(capture_fraction(1024.0, 0.0), 1.0);       // nothing to hold
+/// ```
+pub fn capture_fraction(capacity_bytes: f64, working_set: f64) -> f64 {
+    if capacity_bytes <= 0.0 {
+        return 0.0;
+    }
+    if working_set <= 0.0 {
+        return 1.0;
+    }
+    (capacity_bytes / working_set).min(1.0)
+}
+
+/// Resolved cache behaviour of one kernel on one configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheModel {
+    /// L1 hit rate over read traffic, in `[0, 1]`.
+    pub l1_hit_rate: f64,
+    /// L2 hit rate over post-L1 read traffic, in `[0, 1]`.
+    pub l2_hit_rate: f64,
+    /// Read bytes presented to the L2 (post-L1 misses).
+    pub l2_read_bytes: f64,
+    /// Bytes that reach DRAM (reads that miss both levels, plus all
+    /// writes, floored at the kernel's compulsory footprint).
+    pub dram_bytes: f64,
+}
+
+impl CacheModel {
+    /// Evaluate the cache hierarchy for `kernel` on `cfg`.
+    ///
+    /// Writes are modelled as streaming through to DRAM (write-through with
+    /// no write-allocate), matching the store behaviour of GCN's vector L1.
+    /// Reads are filtered first by the per-CU L1 (locality × capacity
+    /// capture) and then by the shared L2. DRAM traffic never drops below
+    /// the kernel's compulsory footprint.
+    pub fn evaluate(cfg: &GpuConfig, kernel: &KernelDesc) -> CacheModel {
+        let l1_hit_rate =
+            kernel.l1_locality() * capture_fraction(cfg.l1_bytes(), kernel.l1_working_set());
+        let l2_read_bytes = kernel.read_bytes() * (1.0 - l1_hit_rate);
+        let l2_hit_rate =
+            kernel.l2_locality() * capture_fraction(cfg.l2_bytes(), kernel.l2_working_set());
+        let dram_reads = l2_read_bytes * (1.0 - l2_hit_rate);
+        let dram_bytes = (dram_reads + kernel.write_bytes()).max(kernel.footprint_bytes());
+        CacheModel {
+            l1_hit_rate,
+            l2_hit_rate,
+            l2_read_bytes,
+            dram_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KernelKind;
+
+    fn reuse_kernel() -> KernelDesc {
+        KernelDesc::builder("gemm_like", KernelKind::Gemm)
+            .flops(1e9)
+            .read_bytes(1e8)
+            .write_bytes(1e6)
+            .footprint_bytes(2e6)
+            .l1_reuse(0.5, 8.0 * 1024.0)
+            .l2_reuse(0.9, 1024.0 * 1024.0)
+            .build()
+    }
+
+    #[test]
+    fn disabling_l1_increases_l2_traffic() {
+        let base = GpuConfig::vega_fe();
+        let no_l1 = GpuConfig::builder("nl1").l1_kib_per_cu(0).build().unwrap();
+        let k = reuse_kernel();
+        let with = CacheModel::evaluate(&base, &k);
+        let without = CacheModel::evaluate(&no_l1, &k);
+        assert!(without.l2_read_bytes > with.l2_read_bytes);
+        assert_eq!(without.l1_hit_rate, 0.0);
+    }
+
+    #[test]
+    fn disabling_l2_increases_dram_traffic() {
+        let base = GpuConfig::vega_fe();
+        let no_l2 = GpuConfig::builder("nl2").l2_mib(0).build().unwrap();
+        let k = reuse_kernel();
+        let with = CacheModel::evaluate(&base, &k);
+        let without = CacheModel::evaluate(&no_l2, &k);
+        assert!(without.dram_bytes > with.dram_bytes);
+        assert_eq!(without.l2_hit_rate, 0.0);
+    }
+
+    #[test]
+    fn dram_traffic_never_below_footprint() {
+        let cfg = GpuConfig::vega_fe();
+        let k = KernelDesc::builder("tiny", KernelKind::Gemm)
+            .read_bytes(1e6)
+            .write_bytes(1e5)
+            .footprint_bytes(5e5)
+            .l1_reuse(1.0, 16.0)
+            .l2_reuse(1.0, 16.0)
+            .build();
+        let cm = CacheModel::evaluate(&cfg, &k);
+        assert!(cm.dram_bytes >= 5e5);
+    }
+
+    #[test]
+    fn streaming_kernel_ignores_caches() {
+        let k = KernelDesc::builder("ew", KernelKind::Elementwise)
+            .read_bytes(1e7)
+            .write_bytes(1e7)
+            .build();
+        for cfg in GpuConfig::table2_configs() {
+            let cm = CacheModel::evaluate(&cfg, &k);
+            assert_eq!(cm.l1_hit_rate, 0.0);
+            assert_eq!(cm.dram_bytes, 2e7);
+        }
+    }
+
+    #[test]
+    fn capture_fraction_is_monotone_in_capacity() {
+        let ws = 64.0 * 1024.0;
+        let mut prev = -1.0;
+        for cap_kib in [0u32, 4, 8, 16, 32, 64, 128] {
+            let f = capture_fraction(f64::from(cap_kib) * 1024.0, ws);
+            assert!(f >= prev);
+            prev = f;
+        }
+        assert_eq!(capture_fraction(128.0 * 1024.0, ws), 1.0);
+    }
+}

@@ -1,0 +1,49 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing simulator configurations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A configuration field was outside its valid range.
+    InvalidConfig {
+        /// The offending field name.
+        field: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig { field, reason } => {
+                write!(f, "invalid gpu config field `{field}`: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_field() {
+        let err = SimError::InvalidConfig {
+            field: "gclk_ghz",
+            reason: "must be positive".to_owned(),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("gclk_ghz"));
+        assert!(msg.contains("must be positive"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,152 @@
+//! Data-movement kernels: gathers (embedding lookups), copies,
+//! transposes, concatenations, and padding.
+//!
+//! The paper's "vocabulary" observation (key observation 6) is that symbol
+//! → vector lookup time depends on the vocabulary and must not be scaled
+//! down when sampling iterations; the gather kernel here carries that
+//! cost.
+
+use crate::{KernelDesc, KernelKind};
+
+/// An embedding-table gather: `rows` lookups of `row_bytes` each from a
+/// table of `table_bytes` total. Lookup locality depends on how much of
+/// the table the cache can hold, so vocabulary size affects runtime.
+pub fn gather(rows: u64, row_bytes: u64, table_bytes: u64) -> KernelDesc {
+    let bytes = (rows * row_bytes) as f64;
+    // Compulsory traffic: the distinct table rows actually touched (at
+    // most the whole table), the index vector, and the gathered output.
+    let touched = bytes.min(table_bytes as f64);
+    let footprint = touched + rows as f64 * 4.0 + bytes;
+    KernelDesc::builder("gather_rows", KernelKind::Memory)
+        .flops(0.0)
+        .read_bytes(bytes + rows as f64 * 4.0) // rows + index vector
+        .write_bytes(bytes)
+        .footprint_bytes(footprint)
+        .l1_reuse(0.05, row_bytes as f64 * 64.0)
+        .l2_reuse(0.5, table_bytes as f64)
+        .workgroups((bytes / 4096.0).ceil().max(1.0))
+        .efficiency(0.5)
+        .build()
+}
+
+/// The backward pass of a gather: scatter-add of `rows` gradient rows of
+/// `row_bytes` each into a table of `table_bytes` (embedding-gradient
+/// accumulation). Atomics make it slower than the forward gather.
+pub fn scatter_add(rows: u64, row_bytes: u64, table_bytes: u64) -> KernelDesc {
+    let bytes = (rows * row_bytes) as f64;
+    let touched = bytes.min(table_bytes as f64);
+    KernelDesc::builder("scatter_add_rows", KernelKind::Memory)
+        .flops(bytes / 4.0)
+        .read_bytes(bytes * 2.0 + rows as f64 * 4.0) // grads + old values + indices
+        .write_bytes(bytes)
+        .footprint_bytes(bytes + touched + rows as f64 * 4.0)
+        .l1_reuse(0.05, row_bytes as f64 * 64.0)
+        .l2_reuse(0.4, table_bytes as f64)
+        .workgroups((bytes / 4096.0).ceil().max(1.0))
+        .efficiency(0.35)
+        .build()
+}
+
+/// A contiguous device-to-device copy of `bytes`.
+pub fn copy(bytes: u64) -> KernelDesc {
+    let b = bytes as f64;
+    KernelDesc::builder("copy_v4", KernelKind::Memory)
+        .read_bytes(b)
+        .write_bytes(b)
+        .workgroups((b / 4096.0).ceil().max(1.0))
+        .efficiency(0.9)
+        .build()
+}
+
+/// A tiled 2-D transpose of a `rows × cols` FP32 matrix.
+pub fn transpose(rows: u64, cols: u64) -> KernelDesc {
+    let b = (rows * cols * 4) as f64;
+    KernelDesc::builder("transpose_tiled32", KernelKind::Memory)
+        .read_bytes(b)
+        .write_bytes(b)
+        .l1_reuse(0.5, 2.0 * 32.0 * 32.0 * 4.0)
+        .workgroups(((rows as f64 / 32.0).ceil() * (cols as f64 / 32.0).ceil()).max(1.0))
+        .efficiency(0.8)
+        .build()
+}
+
+/// Concatenation of tensors totalling `bytes` into one buffer.
+pub fn concat(bytes: u64) -> KernelDesc {
+    let b = bytes as f64;
+    KernelDesc::builder("concat_v2", KernelKind::Memory)
+        .read_bytes(b)
+        .write_bytes(b)
+        .workgroups((b / 4096.0).ceil().max(1.0))
+        .efficiency(0.85)
+        .build()
+}
+
+/// Zero-padding a batch of sequences up to the batch maximum: writes
+/// `bytes` of padded output while reading the `payload` fraction.
+pub fn pad(bytes: u64, payload_fraction: f64) -> KernelDesc {
+    let b = bytes as f64;
+    KernelDesc::builder("pad_seq", KernelKind::Memory)
+        .read_bytes(b * payload_fraction.clamp(0.0, 1.0))
+        .write_bytes(b)
+        .workgroups((b / 4096.0).ceil().max(1.0))
+        .efficiency(0.85)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{kernel_time, GpuConfig};
+
+    #[test]
+    fn gather_scales_with_rows() {
+        let small = gather(100, 4096, 1 << 27);
+        let large = gather(10_000, 4096, 1 << 27);
+        assert!(large.read_bytes() > small.read_bytes());
+    }
+
+    #[test]
+    fn bigger_vocab_gathers_slower_on_cache_configs() {
+        // Same number of lookups, bigger table ⇒ worse L2 capture ⇒ slower.
+        let cfg = GpuConfig::vega_fe();
+        let small_tab = gather(100_000, 4096, 8 << 20);
+        let large_tab = gather(100_000, 4096, 512 << 20);
+        let t_small = kernel_time(&cfg, &small_tab).time_s;
+        let t_large = kernel_time(&cfg, &large_tab).time_s;
+        assert!(t_large > t_small);
+    }
+
+    #[test]
+    fn scatter_add_slower_than_gather() {
+        let cfg = GpuConfig::vega_fe();
+        let g = gather(10_000, 4096, 64 << 20);
+        let s = scatter_add(10_000, 4096, 64 << 20);
+        assert!(kernel_time(&cfg, &s).time_s > kernel_time(&cfg, &g).time_s);
+    }
+
+    #[test]
+    fn copy_moves_bytes_both_ways() {
+        let k = copy(1 << 20);
+        assert_eq!(k.read_bytes(), k.write_bytes());
+        assert_eq!(k.kind(), KernelKind::Memory);
+    }
+
+    #[test]
+    fn transpose_has_l1_reuse() {
+        let k = transpose(1024, 1024);
+        assert!(k.l1_locality() > 0.0);
+    }
+
+    #[test]
+    fn pad_reads_only_payload() {
+        let k = pad(1000, 0.25);
+        assert_eq!(k.read_bytes(), 250.0);
+        assert_eq!(k.write_bytes(), 1000.0);
+    }
+
+    #[test]
+    fn pad_fraction_is_clamped() {
+        let k = pad(1000, 7.0);
+        assert_eq!(k.read_bytes(), 1000.0);
+    }
+}

@@ -1,0 +1,217 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{CacheModel, GpuConfig, KernelDesc};
+
+/// The timing breakdown of one kernel invocation on one configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelTiming {
+    /// Total wall time including launch overhead, in seconds.
+    pub time_s: f64,
+    /// Pure compute time at the achieved throughput, in seconds.
+    pub compute_s: f64,
+    /// L2 transfer time, in seconds (0 when the L2 is disabled).
+    pub l2_s: f64,
+    /// DRAM transfer time, in seconds.
+    pub dram_s: f64,
+    /// Fixed launch overhead, in seconds.
+    pub launch_s: f64,
+    /// Achieved occupancy factor in `(0, 1]`.
+    pub occupancy: f64,
+    /// Resolved cache behaviour (hit rates and traffic).
+    pub cache: CacheModel,
+}
+
+impl KernelTiming {
+    /// Whether the kernel was limited by memory rather than compute.
+    pub fn memory_bound(&self) -> bool {
+        self.l2_s.max(self.dram_s) > self.compute_s
+    }
+}
+
+/// Occupancy model: how much of peak throughput a kernel with `workgroups`
+/// independent workgroups can use on `cfg`.
+///
+/// A kernel needs roughly `cu_count` workgroups to put work on every CU and
+/// several per CU to hide latency. Below that, throughput degrades — this
+/// is why small-sequence-length iterations are insensitive to the CU count
+/// (the paper's config #3 sensitivity, Figs. 13–14).
+fn occupancy(cfg: &GpuConfig, workgroups: f64) -> f64 {
+    let cus = f64::from(cfg.cu_count());
+    let fill = (workgroups / cus).min(1.0);
+    let latency_hiding = 0.6 + 0.4 * (workgroups / cfg.saturating_workgroups()).min(1.0);
+    (fill * latency_hiding).clamp(0.0, 1.0)
+}
+
+/// Compute the runtime and timing breakdown of `kernel` on `cfg`.
+///
+/// The model is a launch-overhead-augmented roofline:
+///
+/// ```text
+/// t = t_launch + max(t_compute, t_L2, t_DRAM)
+/// ```
+///
+/// with `t_compute = flops / (peak · efficiency · occupancy)`, `t_L2` the
+/// post-L1 traffic over the (clock-scaled) L2 bandwidth, and `t_DRAM` the
+/// cache-filtered traffic over DRAM bandwidth. See [`CacheModel::evaluate`]
+/// for the traffic model.
+///
+/// ```
+/// use gpu_sim::{kernel_time, GpuConfig, KernelDesc, KernelKind};
+///
+/// let cfg = GpuConfig::vega_fe();
+/// let k = KernelDesc::builder("ew_add_v4", KernelKind::Elementwise)
+///     .flops(1e6)
+///     .read_bytes(8e6)
+///     .write_bytes(4e6)
+///     .workgroups(4096.0)
+///     .build();
+/// let t = kernel_time(&cfg, &k);
+/// assert!(t.memory_bound());
+/// assert!(t.time_s > t.launch_s);
+/// ```
+pub fn kernel_time(cfg: &GpuConfig, kernel: &KernelDesc) -> KernelTiming {
+    let cache = CacheModel::evaluate(cfg, kernel);
+    let occ = occupancy(cfg, kernel.workgroups());
+    let achieved_flops = cfg.peak_flops() * kernel.efficiency() * occ;
+    let compute_s = if kernel.flops() > 0.0 {
+        kernel.flops() / achieved_flops
+    } else {
+        0.0
+    };
+    // Post-L1 traffic (reads that missed L1 plus all writes) crosses the L2
+    // interconnect when an L2 is present; otherwise it goes straight to DRAM.
+    let post_l1 = cache.l2_read_bytes + kernel.write_bytes();
+    let l2_s = if cfg.l2_enabled() {
+        post_l1 / cfg.l2_bandwidth()
+    } else {
+        0.0
+    };
+    let dram_s = cache.dram_bytes / cfg.dram_bandwidth();
+    let launch_s = cfg.launch_overhead_s();
+    let exec_s = compute_s.max(l2_s).max(dram_s);
+    KernelTiming {
+        time_s: launch_s + exec_s,
+        compute_s,
+        l2_s,
+        dram_s,
+        launch_s,
+        occupancy: occ,
+        cache,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KernelKind;
+
+    fn big_gemm() -> KernelDesc {
+        KernelDesc::builder("gemm_128x128x16", KernelKind::Gemm)
+            .flops(5e11)
+            .read_bytes(2e9)
+            .write_bytes(1e8)
+            .footprint_bytes(3e8)
+            .l1_reuse(0.4, 12.0 * 1024.0)
+            .l2_reuse(0.8, 2.0 * 1024.0 * 1024.0)
+            .workgroups(4096.0)
+            .efficiency(0.9)
+            .build()
+    }
+
+    fn tiny_gemm() -> KernelDesc {
+        KernelDesc::builder("gemm_32x32x16", KernelKind::Gemm)
+            .flops(2e7)
+            .read_bytes(2e6)
+            .write_bytes(2e5)
+            .footprint_bytes(1e6)
+            .l1_reuse(0.4, 8.0 * 1024.0)
+            .l2_reuse(0.8, 5e5)
+            .workgroups(16.0)
+            .efficiency(0.7)
+            .build()
+    }
+
+    #[test]
+    fn compute_bound_kernel_scales_with_clock() {
+        let base = GpuConfig::vega_fe();
+        let slow = GpuConfig::builder("slow").gclk_ghz(0.8).build().unwrap();
+        let k = big_gemm();
+        let t_base = kernel_time(&base, &k);
+        let t_slow = kernel_time(&slow, &k);
+        assert!(!t_base.memory_bound());
+        let exec_ratio = (t_slow.time_s - t_slow.launch_s) / (t_base.time_s - t_base.launch_s);
+        assert!((exec_ratio - 2.0).abs() < 0.05, "ratio = {exec_ratio}");
+    }
+
+    #[test]
+    fn small_kernel_is_cu_insensitive() {
+        let base = GpuConfig::vega_fe();
+        let few_cu = GpuConfig::builder("cu16").cu_count(16).build().unwrap();
+        let k = tiny_gemm();
+        let t64 = kernel_time(&base, &k).time_s;
+        let t16 = kernel_time(&few_cu, &k).time_s;
+        // 16 workgroups fill 16 CUs as well as they fill 64: slowdown well
+        // below the 4x peak-throughput ratio.
+        assert!(t16 / t64 < 1.5, "t16/t64 = {}", t16 / t64);
+    }
+
+    #[test]
+    fn large_kernel_is_cu_sensitive() {
+        let base = GpuConfig::vega_fe();
+        let few_cu = GpuConfig::builder("cu16").cu_count(16).build().unwrap();
+        let k = big_gemm();
+        let t64 = kernel_time(&base, &k).time_s;
+        let t16 = kernel_time(&few_cu, &k).time_s;
+        assert!(t16 / t64 > 2.5, "t16/t64 = {}", t16 / t64);
+    }
+
+    #[test]
+    fn disabling_l2_slows_reuse_kernels() {
+        let base = GpuConfig::vega_fe();
+        let no_l2 = GpuConfig::builder("nl2").l2_mib(0).build().unwrap();
+        let mut k = big_gemm();
+        // Make it memory-sensitive by inflating traffic.
+        k = KernelDesc::builder(k.name().to_owned(), k.kind())
+            .flops(1e9)
+            .read_bytes(4e9)
+            .write_bytes(1e8)
+            .footprint_bytes(4e8)
+            .l1_reuse(0.2, 12.0 * 1024.0)
+            .l2_reuse(0.9, 2.0 * 1024.0 * 1024.0)
+            .workgroups(4096.0)
+            .build();
+        let with = kernel_time(&base, &k).time_s;
+        let without = kernel_time(&no_l2, &k).time_s;
+        assert!(without > with * 1.5, "with={with}, without={without}");
+    }
+
+    #[test]
+    fn launch_overhead_dominates_empty_kernels() {
+        let cfg = GpuConfig::vega_fe();
+        let k = KernelDesc::builder("noop", KernelKind::Memory).build();
+        let t = kernel_time(&cfg, &k);
+        assert!((t.time_s - cfg.launch_overhead_s()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn occupancy_increases_with_workgroups() {
+        let cfg = GpuConfig::vega_fe();
+        let mut prev = 0.0;
+        for wgs in [1.0, 8.0, 64.0, 128.0, 256.0, 1024.0] {
+            let occ = occupancy(&cfg, wgs);
+            assert!(occ >= prev, "occupancy not monotone at {wgs}");
+            assert!(occ > 0.0 && occ <= 1.0);
+            prev = occ;
+        }
+        assert_eq!(occupancy(&cfg, 1.0e9), 1.0);
+    }
+
+    #[test]
+    fn timing_is_deterministic() {
+        let cfg = GpuConfig::vega_fe();
+        let k = big_gemm();
+        let a = kernel_time(&cfg, &k);
+        let b = kernel_time(&cfg, &k);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,45 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the profiling harness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProfileError {
+    /// The epoch plan contains no iterations.
+    EmptyPlan,
+    /// Writing a report file failed.
+    Io {
+        /// The destination path.
+        path: String,
+        /// The underlying error message.
+        message: String,
+    },
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileError::EmptyPlan => write!(f, "epoch plan contains no iterations"),
+            ProfileError::Io { path, message } => {
+                write!(f, "failed writing report to `{path}`: {message}")
+            }
+        }
+    }
+}
+
+impl Error for ProfileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(ProfileError::EmptyPlan.to_string().contains("no iterations"));
+        let e = ProfileError::Io {
+            path: "/tmp/x".into(),
+            message: "denied".into(),
+        };
+        assert!(e.to_string().contains("/tmp/x"));
+    }
+}

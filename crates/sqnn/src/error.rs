@@ -1,0 +1,47 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing network models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A model hyper-parameter was outside its valid range.
+    InvalidParameter {
+        /// The offending parameter name.
+        parameter: &'static str,
+        /// Description of the violated constraint.
+        reason: String,
+    },
+}
+
+impl ModelError {
+    pub(crate) fn invalid(parameter: &'static str, reason: impl Into<String>) -> Self {
+        ModelError::InvalidParameter {
+            parameter,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidParameter { parameter, reason } => {
+                write!(f, "invalid model parameter `{parameter}`: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_parameter() {
+        let e = ModelError::invalid("hidden", "must be positive");
+        assert!(e.to_string().contains("hidden"));
+    }
+}

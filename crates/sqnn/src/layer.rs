@@ -1,0 +1,27 @@
+use crate::{IterationShape, TraceCtx};
+
+/// One layer of a network: a generator of forward- and backward-pass
+/// kernels for a given iteration shape.
+///
+/// Implementations live in [`crate::layers`]. The contract mirrors how
+/// the paper reasons about layers (Section IV-B1): some layers unroll
+/// per time step (LSTM/GRU), some process whole sequences (attention,
+/// convolution, classifier), and each contributes parameters to the
+/// sequence-length-independent optimizer pass.
+pub trait Layer: std::fmt::Debug + Send + Sync {
+    /// A short human-readable layer name (e.g. `"enc-lstm-3"`).
+    fn name(&self) -> &str;
+
+    /// Number of learnable parameters (drives optimizer cost).
+    fn param_count(&self) -> u64;
+
+    /// Emit the forward-pass kernels for one iteration of `shape`.
+    fn emit_forward(&self, shape: &IterationShape, ctx: &mut TraceCtx<'_>);
+
+    /// Emit the backward-pass kernels for one iteration of `shape`.
+    ///
+    /// Called in reverse layer order by [`crate::Network`]. The default
+    /// contract is that backward work ≈ 2× forward flops (dgrad + wgrad),
+    /// which every bundled layer follows.
+    fn emit_backward(&self, shape: &IterationShape, ctx: &mut TraceCtx<'_>);
+}

@@ -1,0 +1,86 @@
+use crate::{IterationShape, Layer, Stream, TraceCtx};
+
+/// Batch normalization over per-token activations, as DS2 applies between
+/// its convolutional front-end and GRU stack.
+#[derive(Debug, Clone)]
+pub struct BatchNorm {
+    name: String,
+    channels: u64,
+    elems_per_step: u64,
+    stream: Stream,
+}
+
+impl BatchNorm {
+    /// Normalize `elems_per_step` activations per token of `stream`
+    /// across `channels` feature groups.
+    pub fn new(
+        name: impl Into<String>,
+        channels: u64,
+        elems_per_step: u64,
+        stream: Stream,
+    ) -> Self {
+        BatchNorm {
+            name: name.into(),
+            channels: channels.max(1),
+            elems_per_step: elems_per_step.max(1),
+            stream,
+        }
+    }
+}
+
+impl Layer for BatchNorm {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn param_count(&self) -> u64 {
+        2 * self.channels // scale + shift
+    }
+
+    fn emit_forward(&self, shape: &IterationShape, ctx: &mut TraceCtx<'_>) {
+        let elems = shape.tokens(self.stream) * self.elems_per_step;
+        ctx.emit_batchnorm(elems, self.channels, false);
+    }
+
+    fn emit_backward(&self, shape: &IterationShape, ctx: &mut TraceCtx<'_>) {
+        let elems = shape.tokens(self.stream) * self.elems_per_step;
+        ctx.emit_batchnorm(elems, self.channels, true);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{AutotuneTable, GpuConfig};
+
+    #[test]
+    fn emits_forward_and_backward_kernels() {
+        let cfg = GpuConfig::vega_fe();
+        let mut tuner = AutotuneTable::new();
+        let mut ctx = TraceCtx::new(&cfg, &mut tuner);
+        let bn = BatchNorm::new("bn", 32, 32 * 81, Stream::Source);
+        let shape = IterationShape::new(64, 100);
+        bn.emit_forward(&shape, &mut ctx);
+        bn.emit_backward(&shape, &mut ctx);
+        let trace = ctx.into_trace();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[0].name(), "bnorm_fwd");
+        assert_eq!(trace[1].name(), "bnorm_bwd");
+        assert_eq!(bn.param_count(), 64);
+    }
+
+    #[test]
+    fn work_scales_with_sequence_length() {
+        let cfg = GpuConfig::vega_fe();
+        let mut tuner = AutotuneTable::new();
+        let bn = BatchNorm::new("bn", 32, 100, Stream::Source);
+        let mut short_ctx = TraceCtx::new(&cfg, &mut tuner);
+        bn.emit_forward(&IterationShape::new(8, 10), &mut short_ctx);
+        let short = short_ctx.into_trace();
+        let mut tuner2 = AutotuneTable::new();
+        let mut long_ctx = TraceCtx::new(&cfg, &mut tuner2);
+        bn.emit_forward(&IterationShape::new(8, 100), &mut long_ctx);
+        let long = long_ctx.into_trace();
+        assert!(long[0].flops() > short[0].flops());
+    }
+}

@@ -1,0 +1,58 @@
+use crate::{IterationShape, Layer, Stream, TraceCtx};
+
+/// Per-token dropout over a `dim`-wide activation tensor.
+#[derive(Debug, Clone)]
+pub struct Dropout {
+    name: String,
+    dim: u64,
+    stream: Stream,
+}
+
+impl Dropout {
+    /// Dropout over `dim` features per token of `stream`.
+    pub fn new(name: impl Into<String>, dim: u64, stream: Stream) -> Self {
+        Dropout {
+            name: name.into(),
+            dim: dim.max(1),
+            stream,
+        }
+    }
+}
+
+impl Layer for Dropout {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn param_count(&self) -> u64 {
+        0
+    }
+
+    fn emit_forward(&self, shape: &IterationShape, ctx: &mut TraceCtx<'_>) {
+        ctx.emit_dropout(shape.tokens(self.stream) * self.dim);
+    }
+
+    fn emit_backward(&self, shape: &IterationShape, ctx: &mut TraceCtx<'_>) {
+        // Gradient masked by the stored dropout mask.
+        ctx.emit_ew("dropout_bwd", shape.tokens(self.stream) * self.dim, 1.0, 2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{AutotuneTable, GpuConfig};
+
+    #[test]
+    fn emits_one_kernel_each_way_and_no_params() {
+        let cfg = GpuConfig::vega_fe();
+        let mut tuner = AutotuneTable::new();
+        let mut ctx = TraceCtx::new(&cfg, &mut tuner);
+        let d = Dropout::new("drop", 1024, Stream::Source);
+        let shape = IterationShape::new(64, 20);
+        d.emit_forward(&shape, &mut ctx);
+        d.emit_backward(&shape, &mut ctx);
+        assert_eq!(ctx.len(), 2);
+        assert_eq!(d.param_count(), 0);
+    }
+}

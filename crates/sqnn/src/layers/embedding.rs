@@ -1,0 +1,106 @@
+use crate::{IterationShape, Layer, Stream, TraceCtx};
+
+/// A symbol-to-vector lookup table.
+///
+/// The paper's key observation 6: the vocabulary determines a considerable
+/// fraction of per-iteration time (lookup cost, classifier width), so
+/// representative iterations must keep the *full* vocabulary. Here the
+/// vocabulary size feeds the gather's table size (cache behaviour) and the
+/// scatter-add of the backward pass.
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    name: String,
+    vocab: u64,
+    dim: u64,
+    stream: Stream,
+}
+
+impl Embedding {
+    /// Create an embedding of `vocab` symbols into `dim`-wide vectors for
+    /// the given stream.
+    pub fn new(name: impl Into<String>, vocab: u64, dim: u64, stream: Stream) -> Self {
+        Embedding {
+            name: name.into(),
+            vocab: vocab.max(1),
+            dim: dim.max(1),
+            stream,
+        }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> u64 {
+        self.vocab
+    }
+}
+
+impl Layer for Embedding {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn param_count(&self) -> u64 {
+        self.vocab * self.dim
+    }
+
+    fn emit_forward(&self, shape: &IterationShape, ctx: &mut TraceCtx<'_>) {
+        let rows = shape.tokens(self.stream);
+        ctx.emit_gather(rows, self.dim * 4, self.vocab * self.dim * 4);
+    }
+
+    fn emit_backward(&self, shape: &IterationShape, ctx: &mut TraceCtx<'_>) {
+        let rows = shape.tokens(self.stream);
+        ctx.emit_scatter_add(rows, self.dim * 4, self.vocab * self.dim * 4);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{AutotuneTable, Device, GpuConfig};
+
+    fn run(emb: &Embedding, shape: IterationShape) -> f64 {
+        let cfg = GpuConfig::vega_fe();
+        let device = Device::new(cfg.clone());
+        let mut tuner = AutotuneTable::new();
+        let mut ctx = TraceCtx::new(&cfg, &mut tuner);
+        emb.emit_forward(&shape, &mut ctx);
+        emb.emit_backward(&shape, &mut ctx);
+        device.run_trace(&ctx.into_trace()).total_time_s()
+    }
+
+    #[test]
+    fn lookup_cost_scales_with_tokens() {
+        let emb = Embedding::new("src-emb", 36_549, 1024, Stream::Source);
+        let short = run(&emb, IterationShape::new(64, 10));
+        let long = run(&emb, IterationShape::new(64, 100));
+        assert!(long > short);
+    }
+
+    #[test]
+    fn bigger_vocabulary_costs_more() {
+        let small = Embedding::new("e", 1_000, 1024, Stream::Source);
+        let large = Embedding::new("e", 36_549, 1024, Stream::Source);
+        let shape = IterationShape::new(64, 50);
+        assert!(run(&large, shape) > run(&small, shape));
+    }
+
+    #[test]
+    fn params_are_table_size() {
+        let emb = Embedding::new("e", 36_549, 1024, Stream::Target);
+        assert_eq!(emb.param_count(), 36_549 * 1024);
+    }
+
+    #[test]
+    fn forward_and_backward_use_distinct_kernels() {
+        let cfg = GpuConfig::vega_fe();
+        let mut tuner = AutotuneTable::new();
+        let mut ctx = TraceCtx::new(&cfg, &mut tuner);
+        let emb = Embedding::new("e", 100, 16, Stream::Source);
+        let shape = IterationShape::new(4, 4);
+        emb.emit_forward(&shape, &mut ctx);
+        emb.emit_backward(&shape, &mut ctx);
+        let trace = ctx.into_trace();
+        assert_eq!(trace.len(), 2);
+        assert_ne!(trace[0].name(), trace[1].name());
+    }
+}

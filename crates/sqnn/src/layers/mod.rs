@@ -1,0 +1,32 @@
+//! The layer zoo: every layer type the paper's networks are built from.
+//!
+//! | Layer | Scaling with sequence length | Used by |
+//! |---|---|---|
+//! | [`Dense`] | linear (per-token) or none (per-sample) | all |
+//! | [`Embedding`] | linear | GNMT, Transformer |
+//! | [`Lstm`] / [`Gru`] | linear, unrolled per step | GNMT / DS2 |
+//! | [`Conv2d`] | linear (time axis) or none (fixed) | DS2, CNN |
+//! | [`BatchNorm`] | linear | DS2 |
+//! | [`Attention`] | quadratic (T_dec · T_enc) | GNMT |
+//! | [`SelfAttention`] | quadratic | Transformer |
+//! | [`Dropout`] | linear | GNMT, Transformer |
+//! | [`SoftmaxCrossEntropy`] | linear (per-token classifier) | GNMT, CNN |
+//! | [`CtcLoss`] | linear | DS2 |
+
+mod attention;
+mod batchnorm;
+mod classifier;
+mod conv2d;
+mod dense;
+mod dropout;
+mod embedding;
+mod recurrent;
+
+pub use attention::{Attention, SelfAttention};
+pub use batchnorm::BatchNorm;
+pub use classifier::{CtcLoss, SoftmaxCrossEntropy};
+pub use conv2d::{Conv2d, TimeSpec};
+pub use dense::{Dense, RowSpec};
+pub use dropout::Dropout;
+pub use embedding::Embedding;
+pub use recurrent::{Gru, Lstm};

@@ -1,0 +1,19 @@
+//! The model zoo: the paper's two evaluation networks (GNMT, DS2), the
+//! fixed-input CNN used as the homogeneous-iteration contrast (Fig. 3),
+//! and the Section VII-B families SeqPoint generalizes to — Transformer
+//! (attention), ConvS2S (convolutional seq2seq), and the classic Seq2Seq
+//! LSTM encoder–decoder.
+
+mod cnn;
+mod convs2s;
+mod ds2;
+mod gnmt;
+mod seq2seq;
+mod transformer;
+
+pub use cnn::{cnn_reference, cnn_with};
+pub use convs2s::{conv_s2s, conv_s2s_with};
+pub use ds2::{ds2, ds2_softmax, ds2_with, DS2_ALPHABET};
+pub use gnmt::{gnmt, gnmt_with, GNMT_HIDDEN, GNMT_VOCAB};
+pub use seq2seq::{seq2seq, seq2seq_with};
+pub use transformer::{transformer_base, transformer_with};

@@ -1,0 +1,157 @@
+use gpu_sim::gemm::GemmShape;
+use gpu_sim::{conv, elementwise, memops, reduce, AutotuneTable, GpuConfig, KernelDesc};
+
+/// The emission context layers write kernels into: the target hardware
+/// configuration (needed for autotuned kernel selection), the autotune
+/// table, and the growing trace.
+///
+/// Layers call the `emit_*` helpers rather than constructing
+/// [`KernelDesc`]s directly, which keeps kernel naming and the traffic
+/// models consistent across the whole network zoo.
+#[derive(Debug)]
+pub struct TraceCtx<'a> {
+    cfg: &'a GpuConfig,
+    tuner: &'a mut AutotuneTable,
+    kernels: Vec<KernelDesc>,
+}
+
+impl<'a> TraceCtx<'a> {
+    /// Create an empty context targeting `cfg`.
+    pub fn new(cfg: &'a GpuConfig, tuner: &'a mut AutotuneTable) -> Self {
+        TraceCtx {
+            cfg,
+            tuner,
+            kernels: Vec::new(),
+        }
+    }
+
+    /// The hardware configuration being targeted.
+    pub fn config(&self) -> &GpuConfig {
+        self.cfg
+    }
+
+    /// Number of kernels emitted so far.
+    pub fn len(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// Whether no kernels have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.kernels.is_empty()
+    }
+
+    /// Consume the context, returning the emitted trace.
+    pub fn into_trace(self) -> Vec<KernelDesc> {
+        self.kernels
+    }
+
+    /// Emit a raw kernel descriptor.
+    pub fn emit(&mut self, kernel: KernelDesc) {
+        self.kernels.push(kernel);
+    }
+
+    /// Emit an autotuned GEMM `C[m×n] += A[m×k]·B[k×n]` with layout
+    /// `flavor` (`"nn"` forward, `"nt"` backward-data, `"tn"`
+    /// backward-weights, `"bnn"`/`"bnt"` strided-batched).
+    pub fn emit_gemm(&mut self, flavor: &str, m: u64, k: u64, n: u64) {
+        let kernel = self
+            .tuner
+            .gemm_flavored(self.cfg, flavor, GemmShape::new(m, k, n));
+        self.kernels.push(kernel);
+    }
+
+    /// Emit an element-wise map kernel.
+    pub fn emit_ew(&mut self, op: &str, elems: u64, flops_per_elem: f64, inputs: u32) {
+        self.kernels
+            .push(elementwise::map(op, elems, flops_per_elem, inputs));
+    }
+
+    /// Emit a dropout kernel.
+    pub fn emit_dropout(&mut self, elems: u64) {
+        self.kernels.push(elementwise::dropout(elems));
+    }
+
+    /// Emit a row-wise reduction.
+    pub fn emit_reduce(&mut self, op: &str, rows: u64, width: u64) {
+        self.kernels.push(reduce::reduce(op, rows, width));
+    }
+
+    /// Emit a row-wise softmax.
+    pub fn emit_softmax(&mut self, rows: u64, width: u64) {
+        self.kernels.push(reduce::softmax(rows, width));
+    }
+
+    /// Emit a batch-norm kernel.
+    pub fn emit_batchnorm(&mut self, elems: u64, channels: u64, backward: bool) {
+        self.kernels.push(reduce::batchnorm(elems, channels, backward));
+    }
+
+    /// Emit an embedding-table gather.
+    pub fn emit_gather(&mut self, rows: u64, row_bytes: u64, table_bytes: u64) {
+        self.kernels.push(memops::gather(rows, row_bytes, table_bytes));
+    }
+
+    /// Emit an embedding-gradient scatter-add.
+    pub fn emit_scatter_add(&mut self, rows: u64, row_bytes: u64, table_bytes: u64) {
+        self.kernels
+            .push(memops::scatter_add(rows, row_bytes, table_bytes));
+    }
+
+    /// Emit a device copy.
+    pub fn emit_copy(&mut self, bytes: u64) {
+        self.kernels.push(memops::copy(bytes));
+    }
+
+    /// Emit a concatenation.
+    pub fn emit_concat(&mut self, bytes: u64) {
+        self.kernels.push(memops::concat(bytes));
+    }
+
+    /// Emit a tiled transpose.
+    pub fn emit_transpose(&mut self, rows: u64, cols: u64) {
+        self.kernels.push(memops::transpose(rows, cols));
+    }
+
+    /// Emit one convolution pass.
+    pub fn emit_conv(&mut self, shape: &conv::ConvShape, pass: conv::ConvPass) {
+        self.kernels.push(conv::kernel(self.cfg, shape, pass));
+    }
+
+    /// Emit an optimizer parameter-update sweep.
+    pub fn emit_optimizer(&mut self, params: u64) {
+        self.kernels.push(elementwise::sgd_momentum_update(params));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_append_kernels() {
+        let cfg = GpuConfig::vega_fe();
+        let mut tuner = AutotuneTable::new();
+        let mut ctx = TraceCtx::new(&cfg, &mut tuner);
+        assert!(ctx.is_empty());
+        ctx.emit_gemm("nn", 128, 128, 128);
+        ctx.emit_ew("tanh", 1024, 4.0, 1);
+        ctx.emit_softmax(64, 100);
+        ctx.emit_gather(64, 4096, 1 << 20);
+        assert_eq!(ctx.len(), 4);
+        let trace = ctx.into_trace();
+        assert!(trace[0].name().starts_with("gemm_nn_"));
+        assert!(trace[1].name().starts_with("ew_tanh"));
+    }
+
+    #[test]
+    fn gemm_emission_uses_shared_tuner() {
+        let cfg = GpuConfig::vega_fe();
+        let mut tuner = AutotuneTable::new();
+        {
+            let mut ctx = TraceCtx::new(&cfg, &mut tuner);
+            ctx.emit_gemm("nn", 256, 256, 256);
+            ctx.emit_gemm("nn", 256, 256, 256);
+        }
+        assert_eq!(tuner.shapes_tuned(), 1);
+    }
+}

@@ -1,0 +1,58 @@
+//! The paper's motivation (Fig. 3) as a runnable demo: why picking "a few
+//! iterations" works for CNNs but not for sequence-based networks.
+//!
+//! ```text
+//! cargo run --release --example cnn_vs_sqnn
+//! ```
+
+use gpu_sim::JitterModel;
+use seqpoint::prelude::*;
+use seqpoint_core::stats::coefficient_of_variation_pct;
+
+fn bar(value: f64, scale: f64) -> String {
+    let n = ((value * scale).round() as usize).clamp(1, 60);
+    "#".repeat(n)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let profiler = Profiler::new();
+    let iterations = 12;
+
+    // CNN: every input scaled to 224x224 — iterations are homogeneous up
+    // to hardware jitter.
+    let cnn = cnn_reference();
+    let mut cnn_times = Vec::new();
+    for i in 0..iterations {
+        let device = Device::with_jitter(GpuConfig::vega_fe(), JitterModel::new(0.02, i as u64));
+        let shape = IterationShape::new(64, 1);
+        cnn_times.push(profiler.profile_iteration(&cnn, &shape, &device).time_s);
+    }
+
+    // SQNN: batch sequence lengths drawn from a real-ish epoch plan.
+    let corpus = Corpus::iwslt15_like(4_096, 5);
+    let plan = EpochPlan::new(&corpus, BatchPolicy::bucketed(64, 16), 5)?;
+    let net = gnmt();
+    let mut rnn_times = Vec::new();
+    let stride = (plan.iterations() / iterations).max(1);
+    for (i, b) in plan.batches().iter().step_by(stride).take(iterations).enumerate() {
+        let device =
+            Device::with_jitter(GpuConfig::vega_fe(), JitterModel::new(0.02, 100 + i as u64));
+        let shape = IterationShape::new(b.samples, b.seq_len);
+        rnn_times.push(profiler.profile_iteration(&net, &shape, &device).time_s);
+    }
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let (cm, rm) = (mean(&cnn_times), mean(&rnn_times));
+    println!("iter   CNN (normalized)                RNN (normalized)");
+    for i in 0..iterations {
+        let (c, r) = (cnn_times[i] / cm, rnn_times[i] / rm);
+        println!("{i:>4}   {c:<5.2} {:<24} {r:<5.2} {}", bar(c, 12.0), bar(r, 12.0));
+    }
+    println!(
+        "\ncoefficient of variation: CNN {:.1}%  vs  RNN {:.1}%",
+        coefficient_of_variation_pct(&cnn_times),
+        coefficient_of_variation_pct(&rnn_times)
+    );
+    println!("-> any CNN iteration is representative; RNN iterations need SeqPoint.");
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Section VII-E: applying SeqPoint's SL binning to *inference*.
+//!
+//! A serving fleet sees requests of wildly different sequence lengths.
+//! Binning the request-length space and profiling one representative per
+//! bin characterizes the latency distribution with a handful of
+//! measurements — the same mechanism as training SeqPoints, applied to a
+//! forward-only log.
+//!
+//! ```text
+//! cargo run --release --example inference_binning
+//! ```
+
+use gpu_sim::AutotuneTable;
+use seqpoint::prelude::*;
+use seqpoint_core::EpochLog;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let network = gnmt();
+    let device = Device::new(GpuConfig::vega_fe());
+    let mut tuner = AutotuneTable::new();
+
+    // A day of requests: sequence lengths drawn from the translation
+    // corpus distribution, served one at a time.
+    let requests = Corpus::iwslt15_like(30_000, 99);
+    let mut latency_of = std::collections::HashMap::new();
+    let mut log = EpochLog::new();
+    for &sl in requests.lengths() {
+        let t = *latency_of.entry(sl).or_insert_with(|| {
+            let trace =
+                network.inference_trace(&IterationShape::new(1, sl), device.config(), &mut tuner);
+            device.run_trace(&trace).total_time_s()
+        });
+        log.push(sl, t);
+    }
+    let total: f64 = log.actual_total();
+    println!(
+        "{} requests, {} unique lengths, {:.1} s total GPU time",
+        log.len(),
+        log.unique_sl_count(),
+        total
+    );
+
+    // Bin the request-length space exactly as for training iterations.
+    let analysis = SeqPointPipeline::new().run(&log)?;
+    println!(
+        "\n{} representative request lengths (self error {:.3}%):",
+        analysis.seqpoints().len(),
+        analysis.self_error_pct()
+    );
+    println!("  SL    requests   latency      share of fleet time");
+    for p in analysis.seqpoints().points() {
+        println!(
+            "  {:>4}  {:>8}   {:>7.2} ms   {:>5.1}%",
+            p.seq_len,
+            p.weight,
+            p.stat * 1e3,
+            p.stat * p.weight as f64 / total * 100.0
+        );
+    }
+
+    // Capacity planning from representatives only.
+    let projected = analysis.seqpoints().project_total();
+    println!(
+        "\nfleet-time projection from {} measurements: {:.1} s (measured {:.1} s, {:+.3}%)",
+        analysis.seqpoints().len(),
+        projected,
+        total,
+        (projected / total - 1.0) * 100.0
+    );
+    Ok(())
+}

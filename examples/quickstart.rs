@@ -1,0 +1,56 @@
+//! Quickstart: profile one epoch of GNMT training on a simulated GPU and
+//! distill it into SeqPoints.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use seqpoint::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A machine-translation corpus (sequence lengths only — that is
+    //    all SeqPoint observes) and GNMT-style length-bucketed batching.
+    let corpus = Corpus::iwslt15_like(20_000, 7);
+    let plan = EpochPlan::new(&corpus, BatchPolicy::bucketed(64, 16), 7)?;
+    println!(
+        "dataset: {} sentences -> {} iterations/epoch, {} unique batch SLs",
+        corpus.len(),
+        plan.iterations(),
+        plan.unique_seq_lens().len()
+    );
+
+    // 2. Profile one epoch on the paper's baseline GPU (Vega FE).
+    let device = Device::new(GpuConfig::vega_fe());
+    let network = gnmt();
+    let profile = Profiler::new().profile_epoch(&network, &plan, &device)?;
+    println!(
+        "epoch: {:.1} s training, {:.1} s eval, {:.1} s autotune",
+        profile.training_time_s(),
+        profile.eval_s(),
+        profile.autotune_s()
+    );
+
+    // 3. Identify SeqPoints from the per-iteration (SL, runtime) log.
+    let analysis = SeqPointPipeline::new().run(&profile.to_epoch_log())?;
+    println!(
+        "\nSeqPoints: {} iterations stand for {} (k = {}, self error {:.3}%)",
+        analysis.seqpoints().len(),
+        analysis.iterations(),
+        analysis.k(),
+        analysis.self_error_pct()
+    );
+    println!("\n  SL    weight   runtime");
+    for p in analysis.seqpoints().points() {
+        println!("  {:>4}  {:>6}   {:.4} s", p.seq_len, p.weight, p.stat);
+    }
+
+    // 4. Project the whole epoch from the SeqPoints alone (Eq. 1).
+    let predicted = analysis.seqpoints().project_total();
+    println!(
+        "\nprojected epoch time {:.1} s vs measured {:.1} s ({:.1}x fewer iterations profiled)",
+        predicted,
+        analysis.actual_total(),
+        analysis.iteration_reduction()
+    );
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Hardware design-space study for DeepSpeech2 using SeqPoints.
+//!
+//! A hardware architect wants to know how DS2 training responds to cache
+//! sizing and CU count. Instead of simulating full epochs for every
+//! candidate design, identify SeqPoints once and evaluate each candidate
+//! from a handful of iterations (the Section VII-A "enabling simulation"
+//! use case).
+//!
+//! ```text
+//! cargo run --release --example speech_hw_study
+//! ```
+
+use seqpoint::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let corpus = Corpus::librispeech100_like(3);
+    let plan = EpochPlan::new(&corpus, BatchPolicy::sorted_first_epoch(64), 3)?;
+    let network = ds2();
+    let profiler = Profiler::new();
+
+    // Identify SeqPoints once on the baseline.
+    let baseline = Device::new(GpuConfig::vega_fe());
+    let profile = profiler.profile_epoch(&network, &plan, &baseline)?;
+    let analysis = SeqPointPipeline::new().run(&profile.to_epoch_log())?;
+    let points = analysis.seqpoints();
+    let base_throughput = profile.throughput();
+    println!(
+        "baseline: {:.1} samples/s, {} SeqPoints for {} iterations\n",
+        base_throughput,
+        points.len(),
+        plan.iterations()
+    );
+
+    // Candidate designs: sweep L2 capacity and CU count.
+    let mut candidates = Vec::new();
+    for l2 in [0u32, 2, 4, 8] {
+        candidates.push(GpuConfig::builder(format!("l2-{l2}mb")).l2_mib(l2).build()?);
+    }
+    for cu in [16u32, 32, 64, 96] {
+        candidates.push(GpuConfig::builder(format!("cu-{cu}")).cu_count(cu).build()?);
+    }
+
+    println!("design      projected samples/s    vs baseline");
+    let samples: u64 = plan.total_samples() as u64;
+    for cfg in candidates {
+        let device = Device::new(cfg.clone());
+        let reprofiled =
+            profiler.profile_seq_lens(&network, plan.batch_size(), &points.seq_lens(), &device);
+        let projected_epoch = points.project_total_with(|sl| {
+            reprofiled
+                .iter()
+                .find(|p| p.seq_len == sl)
+                .expect("every SeqPoint SL was re-profiled")
+                .time_s
+        });
+        let throughput = samples as f64 / projected_epoch;
+        println!(
+            "{:<10}  {:>10.1}            {:>+6.1}%",
+            cfg.name(),
+            throughput,
+            (throughput / base_throughput - 1.0) * 100.0
+        );
+    }
+    println!(
+        "\nEach design was evaluated from {} iterations, not {}.",
+        points.len(),
+        plan.iterations()
+    );
+    Ok(())
+}

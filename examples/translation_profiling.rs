@@ -1,0 +1,60 @@
+//! End-to-end cross-configuration study: identify GNMT SeqPoints once on
+//! the baseline GPU, then project total training time for every Table II
+//! hardware configuration by re-profiling only the SeqPoints — the
+//! paper's headline workflow (Section VI-D).
+//!
+//! ```text
+//! cargo run --release --example translation_profiling
+//! ```
+
+use seqpoint::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let corpus = Corpus::iwslt15_like(20_000, 11);
+    let plan = EpochPlan::new(&corpus, BatchPolicy::bucketed(64, 16), 11)?;
+    let network = gnmt();
+    let profiler = Profiler::new();
+
+    // Identify SeqPoints once, on config #1.
+    let configs = GpuConfig::table2_configs();
+    let base = Device::new(configs[0].clone());
+    let base_profile = profiler.profile_epoch(&network, &plan, &base)?;
+    let analysis = SeqPointPipeline::new().run(&base_profile.to_epoch_log())?;
+    let seqpoints = analysis.seqpoints();
+    println!(
+        "identified {} SeqPoints on {} ({} iterations/epoch)\n",
+        seqpoints.len(),
+        configs[0].name(),
+        plan.iterations()
+    );
+
+    println!("config     measured    projected    error");
+    for cfg in &configs {
+        let device = Device::new(cfg.clone());
+        // Ground truth: the full epoch (what SeqPoint lets you avoid).
+        let measured = profiler.profile_epoch(&network, &plan, &device)?.training_time_s();
+        // SeqPoint path: re-profile only the representative SLs.
+        let reprofiled =
+            profiler.profile_seq_lens(&network, plan.batch_size(), &seqpoints.seq_lens(), &device);
+        let projected = seqpoints.project_total_with(|sl| {
+            reprofiled
+                .iter()
+                .find(|p| p.seq_len == sl)
+                .expect("every SeqPoint SL was re-profiled")
+                .time_s
+        });
+        println!(
+            "{}   {:>8.1} s   {:>8.1} s   {:>6.3}%",
+            cfg.name(),
+            measured,
+            projected,
+            ((projected - measured) / measured).abs() * 100.0
+        );
+    }
+    println!(
+        "\nEach projection needed {} iterations instead of {}.",
+        seqpoints.len(),
+        plan.iterations()
+    );
+    Ok(())
+}

@@ -1,0 +1,126 @@
+//! The `seqpoint` command-line tool: simulate SQNN training epochs,
+//! identify SeqPoints from epoch-log CSVs, compare baselines, and
+//! project whole-training statistics.
+//!
+//! ```text
+//! seqpoint simulate --model gnmt --dataset iwslt15 --samples 20000 --config 1 > epoch.csv
+//! seqpoint identify --log epoch.csv --error 0.1
+//! seqpoint baselines --log epoch.csv
+//! seqpoint project --log epoch.csv --restats new_hw_stats.csv
+//! ```
+
+use std::fs::File;
+use std::io::BufReader;
+use std::process::ExitCode;
+
+use seqpoint::cli::{self, CliError};
+use seqpoint::seqpoint_core::SeqPointConfig;
+
+const USAGE: &str = "\
+seqpoint — representative iterations of sequence-based neural networks
+
+USAGE:
+  seqpoint simulate  --model <gnmt|ds2|cnn|transformer|convs2s|seq2seq>
+                     --dataset <iwslt15|wmt16|librispeech100>
+                     [--samples N] [--config 1..5] [--seed S]
+  seqpoint identify  --log <epoch.csv> [--error PCT] [--k0 K] [--n N] [--max-k K]
+  seqpoint baselines --log <epoch.csv> [--error PCT]
+  seqpoint project   --log <epoch.csv> --restats <sl_stats.csv> [--error PCT]
+
+Epoch-log CSV format: one `seq_len,stat` pair per line (header optional).";
+
+struct Flags {
+    args: Vec<(String, String)>,
+}
+
+impl Flags {
+    fn parse(argv: &[String]) -> Result<Flags, CliError> {
+        let mut args = Vec::new();
+        let mut it = argv.iter();
+        while let Some(flag) = it.next() {
+            let Some(name) = flag.strip_prefix("--") else {
+                return Err(CliError::Usage(format!("unexpected argument `{flag}`")));
+            };
+            let value = it
+                .next()
+                .ok_or_else(|| CliError::Usage(format!("--{name} needs a value")))?;
+            args.push((name.to_owned(), value.clone()));
+        }
+        Ok(Flags { args })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.args
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn required(&self, name: &str) -> Result<&str, CliError> {
+        self.get(name)
+            .ok_or_else(|| CliError::Usage(format!("--{name} is required")))
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--{name}: cannot parse `{v}`"))),
+        }
+    }
+}
+
+fn pipeline_config(flags: &Flags) -> Result<SeqPointConfig, CliError> {
+    Ok(SeqPointConfig {
+        error_threshold_pct: flags.num("error", 1.0)?,
+        initial_k: flags.num("k0", 5)?,
+        sl_threshold_n: flags.num("n", 10)?,
+        max_k: flags.num("max-k", 64)?,
+    })
+}
+
+fn open_log(flags: &Flags) -> Result<seqpoint::seqpoint_core::EpochLog, CliError> {
+    let path = flags.required("log")?;
+    cli::parse_epoch_log(BufReader::new(File::open(path)?))
+}
+
+fn run() -> Result<String, CliError> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        return Err(CliError::Usage(USAGE.to_owned()));
+    };
+    let flags = Flags::parse(rest)?;
+    match cmd.as_str() {
+        "simulate" => cli::simulate(
+            flags.required("model")?,
+            flags.required("dataset")?,
+            flags.num("samples", 20_000usize)?,
+            flags.num("config", 1usize)?,
+            flags.num("seed", 7u64)?,
+        ),
+        "identify" => cli::identify(&open_log(&flags)?, pipeline_config(&flags)?),
+        "baselines" => cli::baselines(&open_log(&flags)?, pipeline_config(&flags)?),
+        "project" => {
+            let restats = cli::parse_sl_stats(BufReader::new(File::open(
+                flags.required("restats")?,
+            )?))?;
+            cli::project(&open_log(&flags)?, &restats, pipeline_config(&flags)?)
+        }
+        "--help" | "-h" | "help" => Ok(USAGE.to_owned()),
+        other => Err(CliError::Usage(format!("unknown command `{other}`\n\n{USAGE}"))),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,400 @@
+//! The `seqpoint` command-line interface.
+//!
+//! Everything the binary does lives here as testable functions over
+//! readers/writers; `src/bin/seqpoint.rs` is a thin argv wrapper.
+//!
+//! Subcommands:
+//!
+//! * `simulate` — run one training epoch of a bundled model on a
+//!   Table II configuration and write the per-iteration `(seq_len, stat)`
+//!   log as CSV;
+//! * `identify` — run the SeqPoint pipeline on an epoch-log CSV and
+//!   print the SeqPoints with their weights;
+//! * `baselines` — compare the paper's baseline selectors against
+//!   SeqPoint on an epoch-log CSV;
+//! * `project` — combine an identified SeqPoint set with re-profiled
+//!   per-SL statistics to project a whole-epoch total.
+
+use std::fmt::Write as _;
+use std::io::BufRead;
+
+use gpu_sim::{Device, GpuConfig};
+use seqpoint_core::stats::relative_error_pct;
+use seqpoint_core::{BaselineKind, EpochLog, SeqPointConfig, SeqPointPipeline};
+use sqnn::models;
+use sqnn::Network;
+use sqnn_data::{BatchPolicy, Corpus, EpochPlan};
+use sqnn_profiler::Profiler;
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command-line usage; the string is a help-style message.
+    Usage(String),
+    /// Malformed input data.
+    Parse {
+        /// 1-based line number in the input.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// Anything the underlying library rejected.
+    Library(String),
+    /// I/O failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}"),
+            CliError::Parse { line, reason } => write!(f, "parse error at line {line}: {reason}"),
+            CliError::Library(msg) => write!(f, "{msg}"),
+            CliError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+fn lib_err(e: impl std::fmt::Display) -> CliError {
+    CliError::Library(e.to_string())
+}
+
+/// Parse an epoch-log CSV (`seq_len,stat` per line; optional header).
+///
+/// # Errors
+///
+/// [`CliError::Parse`] on malformed lines; [`CliError::Io`] on read
+/// failure.
+pub fn parse_epoch_log(reader: impl BufRead) -> Result<EpochLog, CliError> {
+    let mut log = EpochLog::new();
+    let mut seen_data = false;
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line_no = i + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if !seen_data && trimmed.to_lowercase().starts_with("seq_len") {
+            continue; // header
+        }
+        seen_data = true;
+        let mut parts = trimmed.split(',');
+        let sl = parts
+            .next()
+            .and_then(|s| s.trim().parse::<u32>().ok())
+            .ok_or_else(|| CliError::Parse {
+                line: line_no,
+                reason: "expected integer seq_len".to_owned(),
+            })?;
+        let stat = parts
+            .next()
+            .and_then(|s| s.trim().parse::<f64>().ok())
+            .ok_or_else(|| CliError::Parse {
+                line: line_no,
+                reason: "expected float stat".to_owned(),
+            })?;
+        log.push(sl, stat);
+    }
+    if log.is_empty() {
+        return Err(CliError::Parse {
+            line: 0,
+            reason: "log contains no iterations".to_owned(),
+        });
+    }
+    Ok(log)
+}
+
+/// Parse a per-SL statistic CSV (`seq_len,stat` per line) into a lookup.
+///
+/// # Errors
+///
+/// As [`parse_epoch_log`].
+pub fn parse_sl_stats(
+    reader: impl BufRead,
+) -> Result<std::collections::HashMap<u32, f64>, CliError> {
+    let log = parse_epoch_log(reader)?;
+    Ok(log
+        .sl_profiles()
+        .into_iter()
+        .map(|p| (p.seq_len, p.mean_stat))
+        .collect())
+}
+
+/// Resolve a bundled model by name.
+///
+/// # Errors
+///
+/// [`CliError::Usage`] for an unknown name.
+pub fn model_by_name(name: &str) -> Result<Network, CliError> {
+    match name {
+        "gnmt" => Ok(models::gnmt()),
+        "ds2" => Ok(models::ds2()),
+        "cnn" => Ok(models::cnn_reference()),
+        "transformer" => Ok(models::transformer_base()),
+        "convs2s" => Ok(models::conv_s2s()),
+        "seq2seq" => Ok(models::seq2seq()),
+        other => Err(CliError::Usage(format!(
+            "unknown model `{other}` (expected gnmt|ds2|cnn|transformer|convs2s|seq2seq)"
+        ))),
+    }
+}
+
+/// Resolve a bundled dataset by name at the given sample count.
+///
+/// # Errors
+///
+/// [`CliError::Usage`] for an unknown name.
+pub fn corpus_by_name(name: &str, samples: usize, seed: u64) -> Result<Corpus, CliError> {
+    match name {
+        "iwslt15" => Ok(Corpus::iwslt15_like(samples, seed)),
+        "wmt16" => Ok(Corpus::wmt16_like(samples as f64 / 4_500_000.0, seed)),
+        "librispeech100" => {
+            let full = Corpus::librispeech100_like(seed);
+            let n = samples.min(full.len());
+            Ok(Corpus::from_lengths(
+                "librispeech100-like",
+                full.lengths()[..n].to_vec(),
+                full.vocab_size(),
+            ))
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown dataset `{other}` (expected iwslt15|wmt16|librispeech100)"
+        ))),
+    }
+}
+
+/// `simulate`: profile one epoch and render the log as CSV.
+///
+/// # Errors
+///
+/// Usage errors for unknown names/configs; library errors from planning
+/// or profiling.
+pub fn simulate(
+    model: &str,
+    dataset: &str,
+    samples: usize,
+    config_no: usize,
+    seed: u64,
+) -> Result<String, CliError> {
+    if !(1..=5).contains(&config_no) {
+        return Err(CliError::Usage("config must be 1..=5 (Table II)".to_owned()));
+    }
+    let network = model_by_name(model)?;
+    let corpus = corpus_by_name(dataset, samples, seed)?;
+    let policy = if model == "ds2" {
+        BatchPolicy::sorted_first_epoch(64)
+    } else {
+        BatchPolicy::bucketed(64, 16)
+    };
+    let plan = EpochPlan::new(&corpus, policy, seed).map_err(lib_err)?;
+    let cfg = GpuConfig::table2_configs()[config_no - 1].clone();
+    let profile = Profiler::new()
+        .profile_epoch(&network, &plan, &Device::new(cfg))
+        .map_err(lib_err)?;
+    let mut out = String::from("seq_len,stat\n");
+    for it in profile.iterations() {
+        let _ = writeln!(out, "{},{}", it.seq_len, it.time_s);
+    }
+    Ok(out)
+}
+
+/// `identify`: run the pipeline and render the SeqPoints.
+///
+/// # Errors
+///
+/// Library errors from the pipeline (empty log, unmet threshold, …).
+pub fn identify(log: &EpochLog, config: SeqPointConfig) -> Result<String, CliError> {
+    let analysis = SeqPointPipeline::with_config(config)
+        .run(log)
+        .map_err(lib_err)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# {} SeqPoints for {} iterations ({} unique SLs), k={}, self error {:.4}%",
+        analysis.seqpoints().len(),
+        analysis.iterations(),
+        analysis.unique_sls(),
+        analysis.k(),
+        analysis.self_error_pct()
+    );
+    let _ = writeln!(out, "seq_len,weight,stat");
+    for p in analysis.seqpoints().points() {
+        let _ = writeln!(out, "{},{},{}", p.seq_len, p.weight, p.stat);
+    }
+    Ok(out)
+}
+
+/// `baselines`: compare every scheme's self-projection error.
+///
+/// # Errors
+///
+/// Library errors from selection or the pipeline.
+pub fn baselines(log: &EpochLog, config: SeqPointConfig) -> Result<String, CliError> {
+    let actual = log.actual_total();
+    let mut out = String::from("scheme,points,projected,error_pct\n");
+    for kind in BaselineKind::paper_set() {
+        let sel = kind.select(log).map_err(lib_err)?;
+        let pred = sel.project_total_with(|sl| {
+            log.mean_stat_of(sl).expect("selection SLs come from the log")
+        });
+        let _ = writeln!(
+            out,
+            "{},{},{:.6},{:.4}",
+            kind.label(),
+            sel.unique_seq_lens().len(),
+            pred,
+            relative_error_pct(pred, actual)
+        );
+    }
+    let analysis = SeqPointPipeline::with_config(config)
+        .run(log)
+        .map_err(lib_err)?;
+    let _ = writeln!(
+        out,
+        "seqpoint,{},{:.6},{:.4}",
+        analysis.seqpoints().len(),
+        analysis.predicted_total(),
+        analysis.self_error_pct()
+    );
+    Ok(out)
+}
+
+/// `project`: Eq. 1 with re-profiled statistics.
+///
+/// # Errors
+///
+/// [`CliError::Usage`] if a SeqPoint SL is missing from the re-profiled
+/// statistics; library errors from the pipeline.
+pub fn project(
+    log: &EpochLog,
+    restats: &std::collections::HashMap<u32, f64>,
+    config: SeqPointConfig,
+) -> Result<String, CliError> {
+    let analysis = SeqPointPipeline::with_config(config)
+        .run(log)
+        .map_err(lib_err)?;
+    let mut missing = Vec::new();
+    for sl in analysis.seqpoints().seq_lens() {
+        if !restats.contains_key(&sl) {
+            missing.push(sl);
+        }
+    }
+    if !missing.is_empty() {
+        return Err(CliError::Usage(format!(
+            "re-profiled stats missing SeqPoint SLs {missing:?}"
+        )));
+    }
+    let projected = analysis
+        .seqpoints()
+        .project_total_with(|sl| restats[&sl]);
+    Ok(format!(
+        "projected_total,{projected:.6}\nseqpoints,{}\n",
+        analysis.seqpoints().len()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn sample_csv() -> String {
+        let mut s = String::from("seq_len,stat\n");
+        for i in 0..200u32 {
+            let sl = 10 + (i * 13) % 90;
+            s.push_str(&format!("{},{}\n", sl, 0.2 + f64::from(sl) * 0.01));
+        }
+        s
+    }
+
+    #[test]
+    fn parse_accepts_header_comments_and_blanks() {
+        let csv = format!("# comment\n\n{}", sample_csv());
+        let log = parse_epoch_log(Cursor::new(csv)).unwrap();
+        assert_eq!(log.len(), 200);
+    }
+
+    #[test]
+    fn parse_rejects_garbage_with_line_numbers() {
+        let err = parse_epoch_log(Cursor::new("seq_len,stat\nnot,a,number\n")).unwrap_err();
+        match err {
+            CliError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other}"),
+        }
+        assert!(parse_epoch_log(Cursor::new("")).is_err());
+    }
+
+    #[test]
+    fn identify_round_trips_through_csv() {
+        let log = parse_epoch_log(Cursor::new(sample_csv())).unwrap();
+        let out = identify(&log, SeqPointConfig::default()).unwrap();
+        assert!(out.starts_with('#'));
+        assert!(out.contains("seq_len,weight,stat"));
+        // The weights printed sum to the iteration count.
+        let total: u64 = out
+            .lines()
+            .skip(2)
+            .map(|l| l.split(',').nth(1).unwrap().parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(total, 200);
+    }
+
+    #[test]
+    fn baselines_reports_all_five_schemes() {
+        let log = parse_epoch_log(Cursor::new(sample_csv())).unwrap();
+        let out = baselines(&log, SeqPointConfig::default()).unwrap();
+        for scheme in ["worst", "frequent", "median", "prior", "seqpoint"] {
+            assert!(out.contains(&format!("\n{scheme},")) || out.starts_with(scheme));
+        }
+    }
+
+    #[test]
+    fn project_needs_every_seqpoint_sl() {
+        let log = parse_epoch_log(Cursor::new(sample_csv())).unwrap();
+        let empty = std::collections::HashMap::new();
+        assert!(matches!(
+            project(&log, &empty, SeqPointConfig::default()),
+            Err(CliError::Usage(_))
+        ));
+        // Self-projection: reuse the log's own per-SL means.
+        let stats = parse_sl_stats(Cursor::new(sample_csv())).unwrap();
+        let out = project(&log, &stats, SeqPointConfig::default()).unwrap();
+        assert!(out.starts_with("projected_total,"));
+    }
+
+    #[test]
+    fn simulate_emits_a_parseable_log() {
+        let csv = simulate("gnmt", "iwslt15", 1_500, 1, 5).unwrap();
+        let log = parse_epoch_log(Cursor::new(csv)).unwrap();
+        assert_eq!(log.len(), 1_500usize.div_ceil(64));
+        assert!(log.actual_total() > 0.0);
+    }
+
+    #[test]
+    fn simulate_validates_inputs() {
+        assert!(matches!(simulate("nope", "iwslt15", 100, 1, 0), Err(CliError::Usage(_))));
+        assert!(matches!(simulate("gnmt", "nope", 100, 1, 0), Err(CliError::Usage(_))));
+        assert!(matches!(simulate("gnmt", "iwslt15", 100, 9, 0), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn model_and_corpus_lookups_cover_the_zoo() {
+        for m in ["gnmt", "ds2", "cnn", "transformer", "convs2s", "seq2seq"] {
+            assert!(model_by_name(m).is_ok(), "{m}");
+        }
+        for d in ["iwslt15", "wmt16", "librispeech100"] {
+            assert!(corpus_by_name(d, 500, 1).is_ok(), "{d}");
+        }
+        let ls = corpus_by_name("librispeech100", 500, 1).unwrap();
+        assert_eq!(ls.len(), 500);
+    }
+}

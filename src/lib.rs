@@ -1,0 +1,64 @@
+//! # SeqPoint — representative iterations of sequence-based neural networks
+//!
+//! This crate is the facade of a full reproduction of the ISPASS 2020 paper
+//! *SeqPoint: Identifying Representative Iterations of Sequence-based Neural
+//! Networks* (Pati, Aga, Sinclair, Jayasena). It re-exports the workspace
+//! member crates so downstream users can depend on a single package:
+//!
+//! * [`seqpoint_core`] — the SeqPoint methodology itself: sequence-length
+//!   binning, representative selection, weighting, projection, and the
+//!   baseline selectors the paper compares against.
+//! * [`gpu_sim`] — an analytic GPU timing and performance-counter simulator
+//!   standing in for the paper's AMD Vega FE hardware (Table II configs).
+//! * [`sqnn`] — layer-level models of GNMT, DeepSpeech2, a CNN contrast
+//!   network, and a Transformer that emit per-iteration kernel traces.
+//! * [`sqnn_data`] — synthetic corpora reproducing the sequence-length
+//!   distributions of IWSLT15 and LibriSpeech-100h, plus batching policies.
+//! * [`sqnn_profiler`] — the profiling harness that ties a network, a
+//!   dataset and a simulated device into per-iteration epoch logs.
+//! * [`seqpoint_experiments`] — drivers regenerating every table and figure
+//!   of the paper's evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use seqpoint::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Profile one epoch of GNMT on the paper's config #1 …
+//! let device = Device::new(GpuConfig::vega_fe());
+//! let corpus = Corpus::iwslt15_like(2_000, 7);
+//! let plan = EpochPlan::new(&corpus, BatchPolicy::shuffled(64), 7)?;
+//! let net = gnmt();
+//! let profile = Profiler::new().profile_epoch(&net, &plan, &device)?;
+//!
+//! // … and distill it into a handful of SeqPoints.
+//! let analysis = SeqPointPipeline::new().run(&profile.to_epoch_log())?;
+//! println!("{} SeqPoints, {:.2}% self error",
+//!          analysis.seqpoints().len(),
+//!          analysis.self_error_pct());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use gpu_sim;
+pub use seqpoint_core;
+pub use seqpoint_experiments;
+pub use sqnn;
+pub use sqnn_data;
+pub use sqnn_profiler;
+
+pub mod cli;
+
+/// Commonly used types, re-exported for convenient glob import.
+pub mod prelude {
+    pub use gpu_sim::{Device, GpuConfig, KernelDesc, KernelKind};
+    pub use seqpoint_core::{
+        BaselineKind, EpochLog, IterationRecord, SeqPoint, SeqPointAnalysis, SeqPointConfig,
+        SeqPointPipeline, SeqPointSet,
+    };
+    pub use sqnn::models::{cnn_reference, ds2, gnmt, transformer_base};
+    pub use sqnn::{IterationShape, Network};
+    pub use sqnn_data::{BatchPolicy, Corpus, EpochPlan};
+    pub use sqnn_profiler::{EpochProfile, Profiler};
+}

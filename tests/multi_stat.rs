@@ -1,0 +1,70 @@
+//! Cross-crate check of the Section V-C remark: SeqPoints identified
+//! from *runtime* project any other SL-varying statistic — hardware
+//! counters and even energy — with comparable accuracy.
+
+use seqpoint::prelude::*;
+use seqpoint::seqpoint_core::multi::MultiStatLog;
+use seqpoint::sqnn_profiler::StatKind;
+
+#[test]
+fn multi_stat_projection_from_runtime_seqpoints() {
+    let corpus = Corpus::iwslt15_like(4_000, 23);
+    let plan = EpochPlan::new(&corpus, BatchPolicy::bucketed(64, 16), 23).unwrap();
+    let device = Device::new(GpuConfig::vega_fe());
+    let profile = Profiler::new()
+        .profile_epoch(&gnmt(), &plan, &device)
+        .unwrap();
+
+    let kinds = [
+        StatKind::Runtime,
+        StatKind::ValuInsts,
+        StatKind::DramBytes,
+        StatKind::MemWriteStalls,
+        StatKind::EnergyJ,
+    ];
+    let mut log = MultiStatLog::new(kinds.iter().map(|k| k.label())).unwrap();
+    for it in profile.iterations() {
+        log.push(it.seq_len, kinds.iter().map(|&k| it.stat(k))).unwrap();
+    }
+
+    let analysis = log
+        .analyze_with_primary(0, seqpoint::seqpoint_core::SeqPointConfig {
+            error_threshold_pct: 0.05,
+            max_k: 64,
+            ..Default::default()
+        })
+        .unwrap();
+    for (name, err) in analysis.errors() {
+        assert!(*err < 3.0, "{name}: {err}%");
+    }
+    // Energy specifically projects tightly: it is nearly affine in SL.
+    assert!(analysis.secondary_error_pct("energy_j").unwrap() < 1.0);
+}
+
+#[test]
+fn energy_totals_track_runtime_totals_across_configs() {
+    // Sanity on the energy substrate itself: a slower clock saves dynamic
+    // power but pays static energy for longer, so energy moves less than
+    // time does.
+    let corpus = Corpus::iwslt15_like(1_500, 29);
+    let plan = EpochPlan::new(&corpus, BatchPolicy::bucketed(64, 8), 29).unwrap();
+    let net = gnmt();
+    let profiler = Profiler::new();
+    let configs = GpuConfig::table2_configs();
+    let base = profiler
+        .profile_epoch(&net, &plan, &Device::new(configs[0].clone()))
+        .unwrap();
+    let slow = profiler
+        .profile_epoch(&net, &plan, &Device::new(configs[1].clone()))
+        .unwrap();
+    let time_ratio = slow.training_time_s() / base.training_time_s();
+    let energy = |p: &EpochProfile| -> f64 {
+        p.iterations().iter().map(|i| i.energy_j).sum()
+    };
+    let energy_ratio = energy(&slow) / energy(&base);
+    assert!(time_ratio > 1.5, "clock halving must slow training");
+    assert!(
+        energy_ratio > 1.0 && energy_ratio < time_ratio,
+        "energy ratio {energy_ratio} should sit between 1 and the time ratio {time_ratio}"
+    );
+}
