@@ -1,4 +1,4 @@
-//! Ablation benches for the design choices DESIGN.md §7 calls out:
+//! Ablation benches for the reproduction's open design choices:
 //!
 //! * representative rule: closest-to-average (paper) vs bin-median vs
 //!   most-frequent member;

@@ -2,9 +2,10 @@
 //!
 //! The Criterion benches under `benches/` regenerate every table and
 //! figure of the paper (timing the regeneration), benchmark the core
-//! algorithms and the simulator, and run the ablation studies DESIGN.md
-//! §7 calls out. This library hosts the alternative design-choice
-//! implementations the ablations compare against:
+//! algorithms and the simulator, and run ablation studies over the
+//! reproduction's open design choices. This library hosts the
+//! alternative design-choice implementations the ablations compare
+//! against:
 //!
 //! * representative selection within a bin: closest-to-average (the
 //!   paper's choice), the median-SL member, or the most frequent member;

@@ -16,7 +16,10 @@ use sqnn_profiler::{EpochProfile, Profiler};
 pub fn identification_config() -> SeqPointConfig {
     SeqPointConfig {
         error_threshold_pct: 0.05,
-        max_k: 64,
+        // Generous bin headroom: reduced-scale test epochs sometimes need
+        // k beyond 64 to reach the 0.05% target (refinement stops as soon
+        // as the threshold is met, so paper-scale counts are unaffected).
+        max_k: 256,
         ..SeqPointConfig::default()
     }
 }
@@ -88,11 +91,13 @@ impl Scale {
     }
 
     /// A reduced scale for tests and quick runs (same SL ranges, fewer
-    /// iterations).
+    /// iterations). DS2 keeps enough utterances that its epoch is still
+    /// several times larger than a SeqPoint set — the ratio the
+    /// profiling-speedup experiment measures.
     pub fn quick() -> Self {
         Scale {
             gnmt_sentences: 6_000,
-            ds2_utterances: 3_000,
+            ds2_utterances: 8_000,
             seed: 20,
         }
     }

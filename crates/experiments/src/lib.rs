@@ -1,7 +1,7 @@
 //! # seqpoint-experiments — regenerating every table and figure
 //!
-//! One module per artifact of the paper's evaluation (see DESIGN.md §5
-//! for the experiment index). Each module exposes a `run(&mut Workloads)`
+//! One module per artifact of the paper's evaluation (the table below is
+//! the index). Each module exposes a `run(&mut Workloads)`
 //! function returning a rendered [`sqnn_profiler::report::Table`] plus
 //! the headline numbers the paper quotes, so the `repro` binary, the
 //! integration tests, and the Criterion benches all share one

@@ -24,25 +24,23 @@ pub fn profile_seq_lens_parallel(
     seq_lens: &[u32],
     device: &Device,
 ) -> Vec<IterationProfile> {
-    let mut out: Vec<Option<IterationProfile>> = vec![None; seq_lens.len()];
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(seq_lens.len());
-        for &sl in seq_lens {
-            let device = device.clone();
-            handles.push(scope.spawn(move |_| {
-                profiler
-                    .profile_seq_lens(network, batch, &[sl], &device)
-                    .remove(0)
-            }));
-        }
-        for (slot, handle) in out.iter_mut().zip(handles) {
-            *slot = Some(handle.join().expect("profiling thread panicked"));
-        }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = seq_lens
+            .iter()
+            .map(|&sl| {
+                let device = device.clone();
+                scope.spawn(move || {
+                    profiler
+                        .profile_seq_lens(network, batch, &[sl], &device)
+                        .remove(0)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("profiling thread panicked"))
+            .collect()
     })
-    .expect("crossbeam scope failed");
-    out.into_iter()
-        .map(|p| p.expect("every slot is filled"))
-        .collect()
 }
 
 /// The serial and parallel profiling costs of a SeqPoint set: the sum and

@@ -29,8 +29,9 @@ pub struct IterationShape {
 }
 
 impl IterationShape {
-    /// A shape whose target length equals its source length (the GNMT
-    /// simplification documented in DESIGN.md §4).
+    /// A shape whose target length equals its source length (a deliberate
+    /// simplification: translation pairs have strongly correlated source
+    /// and target lengths, and the paper bins on a single padded SL).
     pub fn new(batch: u32, seq_len: u32) -> Self {
         IterationShape {
             batch: batch.max(1),

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Full verification: the tier-1 command plus workspace-wide tests,
+# clippy (warnings are errors), and a warning-free doc build.
+# CI (.github/workflows/ci.yml) runs exactly this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> release build"
+cargo build --release
+
+# Covers tier-1's `cargo test -q` as a strict subset (the root package is
+# a workspace member), so the root suite isn't run twice.
+echo "==> workspace tests"
+cargo test -q --workspace
+
+echo "==> clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> docs (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+echo "==> bench + example targets compile"
+cargo build --workspace --benches --examples --quiet
+
+echo "verify: OK"

@@ -30,7 +30,9 @@ fn multi_stat_projection_from_runtime_seqpoints() {
     let analysis = log
         .analyze_with_primary(0, seqpoint::seqpoint_core::SeqPointConfig {
             error_threshold_pct: 0.05,
-            max_k: 64,
+            // The 0.05% identification target needs more than 64 bins on
+            // this corpus draw; give refinement room to converge.
+            max_k: 256,
             ..Default::default()
         })
         .unwrap();

@@ -1,0 +1,248 @@
+//! Offline shim for `criterion`.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the benchmark-definition API the workspace's `benches/` targets use —
+//! [`Criterion`], [`BenchmarkId`], benchmark groups, `Bencher::iter`, and
+//! the [`criterion_group!`] / [`criterion_main!`] macros — backed by a
+//! plain wall-clock loop instead of criterion's statistical engine. Each
+//! bench warms up once, runs `sample_size` timed iterations, and prints
+//! the mean per-iteration time. No outlier analysis, no HTML reports.
+//! Swap in the real crate once network access exists (`vendor/README.md`).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver (mirror of `criterion::Criterion`).
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+
+    /// Run a single free-standing benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into().render(), self.sample_size, &mut f);
+        self
+    }
+}
+
+/// A named cluster of benchmarks sharing settings (mirror of
+/// `criterion::BenchmarkGroup`).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed iterations each bench in this group runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().render());
+        run_one(&label, self.sample_size, &mut f);
+        self
+    }
+
+    /// Run one benchmark that borrows an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into().render());
+        run_one(&label, self.sample_size, &mut |b: &mut Bencher| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Close the group (upstream flushes reports here; the shim has
+    /// nothing buffered).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier, optionally parameterized (mirror of
+/// `criterion::BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function_name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id for `function_name` at the given parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function_name: function_name.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            function_name: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match &self.parameter {
+            Some(p) if self.function_name.is_empty() => p.clone(),
+            Some(p) => format!("{}/{}", self.function_name, p),
+            None => self.function_name.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            function_name: name.to_owned(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            function_name: name,
+            parameter: None,
+        }
+    }
+}
+
+/// Passed to every benchmark closure; its [`iter`](Bencher::iter) runs
+/// and times the workload.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, called repeatedly; results are averaged.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up also sizes the batch so very fast routines get a
+        // measurable number of calls per sample.
+        let warm = Instant::now();
+        black_box(routine());
+        let once = warm.elapsed();
+        let per_sample = if once < Duration::from_micros(50) {
+            (Duration::from_micros(200).as_nanos() / once.as_nanos().max(1)) as usize + 1
+        } else {
+            1
+        };
+        self.iters_per_sample = per_sample;
+        let start = Instant::now();
+        for _ in 0..per_sample {
+            black_box(routine());
+        }
+        self.samples.push(start.elapsed());
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, f: &mut F) {
+    let mut samples = Vec::with_capacity(sample_size);
+    let mut iters = 1usize;
+    for _ in 0..sample_size {
+        let mut b = Bencher::default();
+        f(&mut b);
+        iters = b.iters_per_sample.max(1);
+        samples.extend(b.samples);
+    }
+    if samples.is_empty() {
+        println!("{label:<60} (no measurement: bencher.iter never called)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / (samples.len() as u32 * iters as u32).max(1);
+    let best = *samples.iter().min().expect("non-empty") / iters as u32;
+    println!("{label:<60} mean {mean:>12?}   best {best:>12?}");
+}
+
+/// Bundle benchmark functions into one group runner (mirror of
+/// `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups (mirror of
+/// `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sq", 7), &7u64, |b, &x| b.iter(|| x * x));
+        group.finish();
+    }
+
+    criterion_group!(unit_benches, quick);
+
+    #[test]
+    fn harness_runs_without_panicking() {
+        unit_benches();
+    }
+
+    #[test]
+    fn ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", 32).render(), "f/32");
+        assert_eq!(BenchmarkId::from(String::from("plain")).render(), "plain");
+        assert_eq!(BenchmarkId::from_parameter(9).render(), "9");
+    }
+}

@@ -1,0 +1,488 @@
+//! Offline shim for `proptest`.
+//!
+//! The build environment has no crates.io access, so this crate
+//! re-implements the subset of proptest the workspace's property tests
+//! use: the [`Strategy`] trait with `prop_map`, range and tuple
+//! strategies, [`collection::vec`], the [`proptest!`] macro with
+//! `#![proptest_config(...)]`, and the `prop_assert*` / [`prop_assume!`]
+//! macros. Each test runs its configured number of random cases seeded
+//! deterministically from the test's name, so failures reproduce across
+//! runs.
+//!
+//! **Not implemented:** shrinking. A failing case reports the inputs via
+//! their `Debug`-free panic message (case index + seed) instead of a
+//! minimized counterexample. Swap in the real crate once network access
+//! exists (`vendor/README.md`).
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod test_runner {
+    //! Case generation plumbing (mirror of `proptest::test_runner`).
+
+    use super::*;
+
+    /// How many random cases each property runs (mirror of
+    /// `proptest::test_runner::Config`).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of successful cases required for the property to pass.
+        pub cases: u32,
+        /// Maximum rejected (`prop_assume!`) cases before giving up.
+        pub max_global_rejects: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config {
+                cases,
+                ..Config::default()
+            }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config {
+                cases: 256,
+                max_global_rejects: 1024,
+            }
+        }
+    }
+
+    /// Why a single test case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is retried.
+        Reject(String),
+        /// An assertion failed; the property fails.
+        Fail(String),
+    }
+
+    /// Outcome of a closure-wrapped test case body.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Drives one property: owns the RNG and the case budget.
+    #[derive(Debug)]
+    pub struct TestRunner {
+        config: Config,
+        seed: u64,
+        rng: StdRng,
+    }
+
+    impl TestRunner {
+        /// A runner seeded deterministically from the test name, so a
+        /// failure seen once is seen on every run.
+        pub fn new(config: Config, name: &str) -> Self {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            name.hash(&mut h);
+            let seed = h.finish();
+            TestRunner {
+                config,
+                seed,
+                rng: StdRng::seed_from_u64(seed),
+            }
+        }
+
+        /// The seed the case stream was derived from (reported on
+        /// failure).
+        pub fn seed(&self) -> u64 {
+            self.seed
+        }
+
+        /// The configured case count.
+        pub fn cases(&self) -> u32 {
+            self.config.cases
+        }
+
+        /// The configured reject budget.
+        pub fn max_rejects(&self) -> u32 {
+            self.config.max_global_rejects
+        }
+
+        /// The runner's RNG, for strategies to draw from.
+        pub fn rng(&mut self) -> &mut StdRng {
+            &mut self.rng
+        }
+    }
+}
+
+pub use test_runner::Config as ProptestConfig;
+
+/// A recipe for generating random values (mirror of
+/// `proptest::strategy::Strategy`, minus shrinking).
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draw one value.
+    fn new_value(&self, runner: &mut test_runner::TestRunner) -> Self::Value;
+
+    /// A strategy that applies `f` to every generated value.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// A strategy that keeps only values satisfying `f`, re-drawing (up
+    /// to a bounded number of attempts) otherwise.
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            f,
+            whence,
+        }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn new_value(&self, runner: &mut test_runner::TestRunner) -> O {
+        (self.f)(self.inner.new_value(runner))
+    }
+}
+
+/// Output of [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn new_value(&self, runner: &mut test_runner::TestRunner) -> S::Value {
+        for _ in 0..1024 {
+            let v = self.inner.new_value(runner);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter `{}` rejected 1024 draws in a row", self.whence);
+    }
+}
+
+/// A strategy that always yields clones of one value (mirror of
+/// `proptest::strategy::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _runner: &mut test_runner::TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, runner: &mut test_runner::TestRunner) -> $t {
+                rand::Rng::gen_range(runner.rng(), self.clone())
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, runner: &mut test_runner::TestRunner) -> $t {
+                rand::Rng::gen_range(runner.rng(), self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn new_value(&self, runner: &mut test_runner::TestRunner) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(runner),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K, L);
+
+pub mod collection {
+    //! Collection strategies (mirror of `proptest::collection`).
+
+    use super::*;
+
+    /// Bounds on a generated collection's length (mirror of
+    /// `proptest::collection::SizeRange`); half-open upper bound.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// A strategy producing `Vec`s whose length is drawn from `size` and
+    /// whose elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Output of [`vec()`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, runner: &mut test_runner::TestRunner) -> Vec<S::Value> {
+            assert!(self.size.lo < self.size.hi, "empty collection size range");
+            let n = (self.size.lo..self.size.hi).new_value(runner);
+            (0..n).map(|_| self.element.new_value(runner)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface (mirror of `proptest::prelude`).
+
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, Strategy,
+    };
+}
+
+/// Property-test assertion: fails the current case without unwinding.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Property-test equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($lhs), stringify!($rhs), l, r
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Property-test inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($lhs), stringify!($rhs), l
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*l != *r, $($fmt)*);
+    }};
+}
+
+/// Reject the current inputs; the case is retried with fresh draws and
+/// does not count against the case budget.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+/// Define property tests (mirror of `proptest::proptest!`).
+///
+/// Supports the subset this workspace uses:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn my_property(x in 0u32..10, mut v in my_strategy()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config) $($rest)*);
+    };
+    (@impl ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            let mut runner =
+                $crate::test_runner::TestRunner::new(config, concat!(module_path!(), "::", stringify!($name)));
+            let mut passed = 0u32;
+            let mut rejected = 0u32;
+            while passed < runner.cases() {
+                let case: $crate::test_runner::TestCaseResult = (|| {
+                    $(let $pat = $crate::Strategy::new_value(&($strategy), &mut runner);)+
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                match case {
+                    ::core::result::Result::Ok(()) => passed += 1,
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(why)) => {
+                        rejected += 1;
+                        if rejected > runner.max_rejects() {
+                            panic!(
+                                "property `{}` rejected {} cases ({}); giving up",
+                                stringify!($name), rejected, why
+                            );
+                        }
+                    }
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "property `{}` failed at case {} (seed {:#x}, after {} rejects): {}",
+                            stringify!($name), passed, runner.seed(), rejected, msg
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_even() -> impl Strategy<Value = u32> {
+        (0u32..1000).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 5u32..17, f in 0.25f64..0.75) {
+            prop_assert!((5..17).contains(&x));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn map_and_vec_compose(v in crate::collection::vec(arb_even(), 1..20)) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            for x in v {
+                prop_assert_eq!(x % 2, 0);
+            }
+        }
+
+        #[test]
+        fn tuples_and_assume(pair in (1u32..10, 1u32..10)) {
+            prop_assume!(pair.0 != pair.1);
+            prop_assert_ne!(pair.0, pair.1);
+        }
+
+        #[test]
+        fn mut_bindings_work(mut v in crate::collection::vec(0u32..5, 0..8)) {
+            v.push(99);
+            prop_assert_eq!(*v.last().unwrap(), 99);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runners() {
+        let mut a = crate::test_runner::TestRunner::new(ProptestConfig::with_cases(8), "same");
+        let mut b = crate::test_runner::TestRunner::new(ProptestConfig::with_cases(8), "same");
+        let s = 0u64..1_000_000;
+        let va: Vec<u64> = (0..32).map(|_| s.new_value(&mut a)).collect();
+        let vb: Vec<u64> = (0..32).map(|_| s.new_value(&mut b)).collect();
+        assert_eq!(va, vb);
+    }
+}

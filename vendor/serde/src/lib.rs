@@ -1,0 +1,22 @@
+//! Offline shim for `serde`.
+//!
+//! The build environment has no crates.io access, so this crate stands in
+//! for the real `serde`: it provides the `Serialize` / `Deserialize`
+//! trait names and re-exports the no-op derives from the sibling
+//! `serde_derive` shim. Nothing in the workspace performs actual
+//! serialization yet — types merely derive the traits so that the code
+//! is source-compatible with the real crates the moment they can be
+//! fetched (see `vendor/README.md` for the swap instructions).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+///
+/// The shim derive does not implement it; it exists so `use` paths and
+/// trait bounds written against real serde keep compiling.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+///
+/// Lifetime parameter kept for signature compatibility with real serde.
+pub trait Deserialize<'de>: Sized {}

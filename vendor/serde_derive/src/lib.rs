@@ -1,0 +1,23 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The build environment for this repository has no access to crates.io,
+//! so the real `serde_derive` cannot be fetched. The workspace only needs
+//! the `#[derive(Serialize, Deserialize)]` attributes to *parse* (no code
+//! actually serializes anything yet), so these derives accept the same
+//! syntax — including `#[serde(...)]` field attributes — and expand to
+//! nothing. Swap in the real crates once the build has network access;
+//! see `vendor/README.md`.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for serde's `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for serde's `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
