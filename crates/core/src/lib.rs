@@ -29,6 +29,13 @@
 //! ([`baselines`]), plus the k-means execution-profile clustering the
 //! authors found unnecessary (Section VII-C; [`kmeans`], [`simpoint`]).
 //!
+//! For epochs too large to materialize, [`stream`] scales the mechanism
+//! to a sharded streaming ingestion path built on [`online`]: worker
+//! shards merge [`online::OnlineSlTracker`] state round by round,
+//! measurement stops once the SL space saturates, and the remainder of
+//! the epoch is counted as free shape metadata — the selection over the
+//! streamed counts matches the full-epoch path exactly.
+//!
 //! ```
 //! use seqpoint_core::{EpochLog, SeqPointPipeline};
 //!
@@ -57,6 +64,7 @@ pub mod multi;
 pub mod online;
 pub mod simpoint;
 pub mod stats;
+pub mod stream;
 
 mod error;
 mod iteration;
@@ -68,3 +76,4 @@ pub use error::CoreError;
 pub use iteration::{EpochLog, IterationRecord, SlProfile};
 pub use pipeline::{SeqPointAnalysis, SeqPointConfig, SeqPointPipeline};
 pub use select::{SeqPoint, SeqPointSet};
+pub use stream::{select_streaming, StreamConfig, StreamingAnalysis, StreamingSelector};

@@ -40,13 +40,22 @@ impl OnlineSlTracker {
 
     /// Record one iteration's sequence length and statistic.
     pub fn observe(&mut self, seq_len: u32, stat: f64) {
-        self.iterations += 1;
+        self.observe_n(seq_len, stat, 1);
+    }
+
+    /// Record `n` iterations of the same sequence length and statistic
+    /// at once (the first occurrence marks the new-SL position).
+    pub fn observe_n(&mut self, seq_len: u32, stat: f64, n: u64) {
+        if n == 0 {
+            return;
+        }
         let count = self.counts.entry(seq_len).or_insert(0);
         if *count == 0 {
-            self.last_new_sl_at = self.iterations;
+            self.last_new_sl_at = self.iterations + 1;
         }
-        *count += 1;
-        *self.stat_sums.entry(seq_len).or_insert(0.0) += stat;
+        *count += n;
+        self.iterations += n;
+        *self.stat_sums.entry(seq_len).or_insert(0.0) += stat * n as f64;
     }
 
     /// Iterations observed so far.
@@ -59,11 +68,58 @@ impl OnlineSlTracker {
         self.counts.len()
     }
 
+    /// Whether this sequence length has been observed.
+    pub fn contains(&self, seq_len: u32) -> bool {
+        self.counts.contains_key(&seq_len)
+    }
+
+    /// `(seq_len, count)` pairs observed so far, ascending by SL.
+    pub fn sl_counts(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.counts.iter().map(|(&sl, &count)| (sl, count))
+    }
+
+    /// Mean statistic of a sequence length, if observed.
+    pub fn mean_stat_of(&self, seq_len: u32) -> Option<f64> {
+        let count = *self.counts.get(&seq_len)?;
+        Some(self.stat_sums[&seq_len] / count as f64)
+    }
+
     /// Whether no new SL has appeared within the last `window`
     /// iterations (and at least `window` iterations have been seen).
     pub fn saturated(&self, window: u64) -> bool {
         self.iterations >= window.max(1)
             && self.iterations - self.last_new_sl_at >= window.max(1)
+    }
+
+    /// Absorb another tracker's observations, as if its stream had been
+    /// replayed after this one's.
+    ///
+    /// Counts, statistic sums, and iteration totals add exactly, so the
+    /// merged [`Self::to_epoch_log`] is independent of how observations
+    /// were sharded. Saturation is merged *conservatively*: every SL new
+    /// to the merged space first occurred in `other` at a position no
+    /// later than `other`'s own last first-occurrence, so the merged
+    /// last-new-SL marker is placed there (never earlier than the true
+    /// position — merging can only delay [`Self::saturated`], not fire it
+    /// early).
+    pub fn merge(&mut self, other: &OnlineSlTracker) {
+        if other.iterations == 0 {
+            return;
+        }
+        let introduces_new = other
+            .counts
+            .keys()
+            .any(|sl| !self.counts.contains_key(sl));
+        if introduces_new {
+            self.last_new_sl_at = self.iterations + other.last_new_sl_at;
+        }
+        self.iterations += other.iterations;
+        for (&sl, &count) in &other.counts {
+            *self.counts.entry(sl).or_insert(0) += count;
+        }
+        for (&sl, &sum) in &other.stat_sums {
+            *self.stat_sums.entry(sl).or_insert(0.0) += sum;
+        }
     }
 
     /// Good–Turing estimate of the probability that the *next* iteration
@@ -74,6 +130,20 @@ impl OnlineSlTracker {
         }
         let singletons = self.counts.values().filter(|&&c| c == 1).count();
         singletons as f64 / self.iterations as f64
+    }
+
+    /// The per-SL aggregate of the observations so far, ascending by SL —
+    /// ready for [`crate::SeqPointPipeline::run_profiles`] without
+    /// materializing a per-iteration log.
+    pub fn to_sl_profiles(&self) -> Vec<crate::SlProfile> {
+        self.counts
+            .iter()
+            .map(|(&seq_len, &count)| crate::SlProfile {
+                seq_len,
+                count,
+                mean_stat: self.stat_sums[&seq_len] / count as f64,
+            })
+            .collect()
     }
 
     /// Convert the observations collected so far into an [`crate::EpochLog`]
@@ -139,6 +209,87 @@ mod tests {
         assert!(!t.saturated(1));
         assert_eq!(t.unseen_probability(), 1.0);
         assert!(t.to_epoch_log().is_empty());
+    }
+
+    #[test]
+    fn observe_n_matches_repeated_observe() {
+        let mut bulk = OnlineSlTracker::new();
+        bulk.observe_n(5, 1.5, 3);
+        bulk.observe_n(9, 2.0, 1);
+        bulk.observe_n(9, 2.0, 0); // no-op
+        let mut single = OnlineSlTracker::new();
+        for _ in 0..3 {
+            single.observe(5, 1.5);
+        }
+        single.observe(9, 2.0);
+        assert_eq!(bulk.iterations(), single.iterations());
+        assert_eq!(bulk.unseen_probability(), single.unseen_probability());
+        assert_eq!(
+            bulk.sl_counts().collect::<Vec<_>>(),
+            vec![(5, 3), (9, 1)]
+        );
+        assert_eq!(bulk.mean_stat_of(5), Some(1.5));
+        // The bulk first-occurrence marks the start of the run, so
+        // saturation is no laxer than the per-iteration equivalent.
+        assert_eq!(bulk.saturated(3), single.saturated(3));
+    }
+
+    #[test]
+    fn merge_is_equivalent_to_sequential_observation() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let stream: Vec<(u32, f64)> = (0..300)
+            .map(|_| (5 + rng.gen_range(0..25), rng.gen_range(0.0..2.0)))
+            .collect();
+        let mut whole = OnlineSlTracker::new();
+        for &(sl, stat) in &stream {
+            whole.observe(sl, stat);
+        }
+        // Shard round-robin over 3 trackers, then merge.
+        let mut shards = vec![OnlineSlTracker::new(); 3];
+        for (i, &(sl, stat)) in stream.iter().enumerate() {
+            shards[i % 3].observe(sl, stat);
+        }
+        let mut merged = OnlineSlTracker::new();
+        for shard in &shards {
+            merged.merge(shard);
+        }
+        assert_eq!(merged.iterations(), whole.iterations());
+        assert_eq!(merged.unique_count(), whole.unique_count());
+        assert_eq!(merged.unseen_probability(), whole.unseen_probability());
+        // Per-SL means agree up to summation-order rounding.
+        let (m, w) = (merged.to_epoch_log(), whole.to_epoch_log());
+        assert_eq!(m.len(), w.len());
+        for (mp, wp) in m.sl_profiles().iter().zip(w.sl_profiles()) {
+            assert_eq!(mp.seq_len, wp.seq_len);
+            assert_eq!(mp.count, wp.count);
+            assert!((mp.mean_stat - wp.mean_stat).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn merge_saturation_is_conservative() {
+        // Replaying `b` after `a` saturates immediately (no SL in `b` is
+        // new), but the conservative merge only knows `b`'s internal
+        // last-first-occurrence, so it must not report saturation earlier
+        // than an exact replay would.
+        let mut a = OnlineSlTracker::new();
+        for _ in 0..50 {
+            a.observe(7, 1.0);
+        }
+        let mut b = OnlineSlTracker::new();
+        b.observe(7, 1.0); // nothing new to `a`
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert!(merged.saturated(40));
+        // A shard that introduces a new SL resets the marker to its end.
+        let mut c = OnlineSlTracker::new();
+        c.observe(9, 2.0);
+        merged.merge(&c);
+        assert!(!merged.saturated(40));
+        // Merging an empty tracker is a no-op.
+        let snapshot = merged.clone();
+        merged.merge(&OnlineSlTracker::new());
+        assert_eq!(merged, snapshot);
     }
 
     #[test]

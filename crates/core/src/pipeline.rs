@@ -1,7 +1,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::binning::bin_profiles;
-use crate::{CoreError, EpochLog, SeqPointSet};
+use crate::{CoreError, EpochLog, SeqPointSet, SlProfile};
 
 /// Tunable thresholds of the SeqPoint mechanism (paper Section V-C).
 ///
@@ -148,10 +148,50 @@ impl SeqPointPipeline {
     ///   raise `max_k`; with `k` = number of unique SLs the error is 0, so
     ///   this only fires when `max_k` is set below that).
     pub fn run(&self, log: &EpochLog) -> Result<SeqPointAnalysis, CoreError> {
-        let cfg = &self.config;
         if log.is_empty() {
             return Err(CoreError::EmptyLog);
         }
+        self.run_aggregated(&log.sl_profiles(), log.actual_total(), log.len())
+    }
+
+    /// Run the mechanism on per-SL aggregates directly, without a
+    /// materialized per-iteration log — the entry point of the streaming
+    /// path ([`crate::stream`]), whose merged tracker state *is* this
+    /// aggregate. The epoch total and iteration count are derived from
+    /// the profiles.
+    ///
+    /// `profiles` must be ascending by `seq_len` with no duplicates
+    /// (the shape [`EpochLog::sl_profiles`] produces).
+    ///
+    /// # Errors
+    ///
+    /// As [`SeqPointPipeline::run`], plus [`CoreError::InvalidParameter`]
+    /// for unsorted or duplicated profiles.
+    pub fn run_profiles(&self, profiles: &[SlProfile]) -> Result<SeqPointAnalysis, CoreError> {
+        if profiles.is_empty() {
+            return Err(CoreError::EmptyLog);
+        }
+        if profiles.windows(2).any(|w| w[0].seq_len >= w[1].seq_len) {
+            return Err(CoreError::invalid(
+                "profiles",
+                "must be ascending by seq_len without duplicates",
+            ));
+        }
+        let actual_total = profiles
+            .iter()
+            .map(|p| p.mean_stat * p.count as f64)
+            .sum();
+        let iterations = profiles.iter().map(|p| p.count).sum::<u64>() as usize;
+        self.run_aggregated(profiles, actual_total, iterations)
+    }
+
+    fn run_aggregated(
+        &self,
+        profiles: &[SlProfile],
+        actual_total: f64,
+        iterations: usize,
+    ) -> Result<SeqPointAnalysis, CoreError> {
+        let cfg = &self.config;
         if cfg.initial_k == 0 || cfg.max_k == 0 {
             return Err(CoreError::invalid("initial_k/max_k", "must be positive"));
         }
@@ -161,8 +201,6 @@ impl SeqPointPipeline {
                 "must be positive and finite",
             ));
         }
-        let profiles = log.sl_profiles();
-        let actual_total = log.actual_total();
         let unique = profiles.len();
 
         // Fig. 10, step 1 short-circuit: few unique SLs ⇒ take them all.
@@ -172,7 +210,7 @@ impl SeqPointPipeline {
             let span = profiles.last().expect("non-empty").seq_len
                 - profiles.first().expect("non-empty").seq_len
                 + 1;
-            let bins = bin_profiles(&profiles, span)?;
+            let bins = bin_profiles(profiles, span)?;
             let set = SeqPointSet::select(&bins);
             let predicted = set.project_total();
             return Ok(SeqPointAnalysis {
@@ -181,7 +219,7 @@ impl SeqPointPipeline {
                 predicted_total: predicted,
                 seqpoints: set,
                 actual_total,
-                iterations: log.len(),
+                iterations,
                 unique_sls: unique,
             });
         }
@@ -191,7 +229,7 @@ impl SeqPointPipeline {
         let mut k = cfg.initial_k;
         let mut refinements = 0;
         loop {
-            let bins = bin_profiles(&profiles, k)?;
+            let bins = bin_profiles(profiles, k)?;
             let set = SeqPointSet::select(&bins);
             let predicted = set.project_total();
             let error_pct = if actual_total == 0.0 {
@@ -216,7 +254,7 @@ impl SeqPointPipeline {
                     predicted_total: predicted,
                     seqpoints: set,
                     actual_total,
-                    iterations: log.len(),
+                    iterations,
                     unique_sls: unique,
                 });
             }

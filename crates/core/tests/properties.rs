@@ -2,6 +2,7 @@
 
 use proptest::prelude::*;
 use seqpoint_core::binning::bin_profiles;
+use seqpoint_core::stream::{select_streaming, StreamConfig};
 use seqpoint_core::{
     BaselineKind, EpochLog, SeqPointConfig, SeqPointPipeline, SeqPointSet,
 };
@@ -9,6 +10,23 @@ use seqpoint_core::{
 fn arb_log() -> impl Strategy<Value = EpochLog> {
     proptest::collection::vec((1u32..400, 0.01f64..10.0), 1..500)
         .prop_map(EpochLog::from_pairs)
+}
+
+/// Streams for the sharded-selection properties: a narrower SL space so
+/// saturation is reachable, still long-tailed enough to exercise the
+/// count-only phase's on-demand measurements.
+fn arb_stream() -> impl Strategy<Value = EpochLog> {
+    proptest::collection::vec((1u32..120, 0.01f64..10.0), 1..800)
+        .prop_map(EpochLog::from_pairs)
+}
+
+/// A pipeline configuration that converges on any `arb_stream` log
+/// (`max_k` above the SL-space size guarantees an exact fallback).
+fn stream_pipeline() -> SeqPointConfig {
+    SeqPointConfig {
+        max_k: 512,
+        ..SeqPointConfig::default()
+    }
 }
 
 proptest! {
@@ -132,5 +150,70 @@ proptest! {
             let err = (p.mean_stat * n - actual).abs();
             prop_assert!(err <= worst_err + 1e-9);
         }
+    }
+
+    #[test]
+    fn sharded_merge_selection_equals_single_shard(
+        log in arb_stream(),
+        shards in 2usize..9,
+        round_len in 1usize..100,
+        window in 1u64..300,
+        quantization in 1u32..16,
+    ) {
+        let config = StreamConfig {
+            saturation_window: window,
+            quantization,
+            pipeline: stream_pipeline(),
+            ..StreamConfig::default()
+        };
+        let single = select_streaming(&log, 1, round_len, &config).unwrap();
+        let sharded = select_streaming(&log, shards, round_len, &config).unwrap();
+        // The stop decision sees the same stream prefix either way …
+        prop_assert_eq!(sharded.stopped_at(), single.stopped_at());
+        prop_assert_eq!(
+            sharded.iterations_measured(),
+            single.iterations_measured()
+        );
+        prop_assert_eq!(sharded.rounds(), single.rounds());
+        // … so the selections are identical: same SLs, same weights,
+        // same statistics up to merge-order rounding.
+        prop_assert_eq!(sharded.seqpoints().len(), single.seqpoints().len());
+        for (a, b) in sharded
+            .seqpoints()
+            .points()
+            .iter()
+            .zip(single.seqpoints().points())
+        {
+            prop_assert_eq!(a.seq_len, b.seq_len);
+            prop_assert_eq!(a.weight, b.weight);
+            prop_assert!((a.stat - b.stat).abs() <= 1e-9 * b.stat.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn early_stop_never_fires_before_the_window(
+        log in arb_stream(),
+        shards in 1usize..6,
+        round_len in 1usize..50,
+        window in 1u64..250,
+        unseen in 0.0f64..0.5,
+    ) {
+        let config = StreamConfig {
+            saturation_window: window,
+            unseen_threshold: unseen,
+            pipeline: stream_pipeline(),
+            ..StreamConfig::default()
+        };
+        let streamed = select_streaming(&log, shards, round_len, &config).unwrap();
+        // The stop may never fire before a full window has been measured.
+        if let Some(stopped_at) = streamed.stopped_at() {
+            prop_assert!(stopped_at >= window);
+        } else {
+            prop_assert_eq!(streamed.iterations_measured(), log.len() as u64);
+        }
+        // Whatever the stop did, the streamed counts cover the epoch.
+        prop_assert_eq!(streamed.iterations_total(), log.len() as u64);
+        prop_assert_eq!(streamed.seqpoints().total_weight(), log.len() as u64);
+        prop_assert!(streamed.iterations_measured() <= log.len() as u64);
     }
 }

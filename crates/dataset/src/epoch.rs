@@ -111,6 +111,39 @@ impl EpochPlan {
         out
     }
 
+    /// The epoch as contiguous rounds of at most `round_len` iterations
+    /// (the last round may be short) — the ingestion granularity of the
+    /// streaming profiling path. Concatenating the rounds reproduces
+    /// [`EpochPlan::batches`] exactly.
+    ///
+    /// `round_len` is clamped to at least 1.
+    pub fn rounds(&self, round_len: usize) -> impl Iterator<Item = &[BatchShape]> {
+        self.batches.chunks(round_len.max(1))
+    }
+
+    /// The strided sub-stream of iterations assigned to worker `shard` of
+    /// `num_shards` under round-robin dealing: global iteration `i` goes
+    /// to shard `i % num_shards`. The `num_shards` shard streams
+    /// partition the epoch, and within any contiguous round every shard
+    /// sees an equal share (±1) of the round's iterations.
+    ///
+    /// This is exactly the rule the streaming harness uses to deal each
+    /// [`EpochPlan::rounds`] block to its worker threads, so a worker's
+    /// measured sub-stream is always a prefix of its `shard` stream
+    /// (invariant cross-checked by this module's tests).
+    ///
+    /// `num_shards` is clamped to at least 1; a `shard` index at or past
+    /// `num_shards` yields an empty stream.
+    pub fn shard(
+        &self,
+        shard: usize,
+        num_shards: usize,
+    ) -> impl Iterator<Item = BatchShape> + '_ {
+        let num_shards = num_shards.max(1);
+        let assigned = if shard < num_shards { &self.batches[..] } else { &[] };
+        assigned.iter().skip(shard).step_by(num_shards).copied()
+    }
+
     /// A sub-plan containing only the iterations at the given sequence
     /// lengths (used to re-profile just the SeqPoints on new hardware).
     pub fn restrict_to_seq_lens(&self, seq_lens: &[u32]) -> EpochPlan {
@@ -194,6 +227,75 @@ mod tests {
         // Absent lengths are skipped silently.
         let picks = p.one_batch_per_seq_len(&[9999]);
         assert!(picks.is_empty());
+    }
+
+    #[test]
+    fn rounds_concatenate_to_the_full_epoch() {
+        let p = plan();
+        for round_len in [1, 7, 64, 10_000] {
+            let rejoined: Vec<BatchShape> =
+                p.rounds(round_len).flatten().copied().collect();
+            assert_eq!(rejoined, p.batches(), "round_len = {round_len}");
+            for (i, round) in p.rounds(round_len).enumerate() {
+                let is_last = (i + 1) * round_len >= p.iterations();
+                assert!(round.len() == round_len || is_last);
+            }
+        }
+        // Degenerate round length is clamped.
+        assert_eq!(p.rounds(0).count(), p.iterations());
+    }
+
+    #[test]
+    fn shards_partition_the_epoch_round_robin() {
+        let p = plan();
+        for num_shards in [1usize, 2, 3, 8] {
+            let shards: Vec<Vec<BatchShape>> = (0..num_shards)
+                .map(|s| p.shard(s, num_shards).collect())
+                .collect();
+            let total: usize = shards.iter().map(Vec::len).sum();
+            assert_eq!(total, p.iterations());
+            // Round-robin interleave reconstructs the epoch order.
+            let mut rebuilt = Vec::with_capacity(total);
+            for i in 0..p.iterations() {
+                rebuilt.push(shards[i % num_shards][i / num_shards]);
+            }
+            assert_eq!(rebuilt, p.batches(), "num_shards = {num_shards}");
+            // Balanced to within one iteration.
+            let (min, max) = (
+                shards.iter().map(Vec::len).min().unwrap(),
+                shards.iter().map(Vec::len).max().unwrap(),
+            );
+            assert!(max - min <= 1);
+        }
+        // Out-of-range shard index and zero shard count are harmless.
+        assert_eq!(p.shard(3, 3).count(), 0);
+        assert_eq!(p.shard(0, 0).count(), p.iterations());
+    }
+
+    #[test]
+    fn round_dealing_concatenates_to_the_shard_streams() {
+        // Dealing each round block by global index (the streaming
+        // harness's rule) and concatenating a worker's chunks across
+        // rounds must reproduce exactly that worker's `shard` stream —
+        // including when round_len is not a multiple of num_shards.
+        let p = plan();
+        for (num_shards, round_len) in [(3usize, 25usize), (4, 30), (5, 7)] {
+            let mut dealt: Vec<Vec<BatchShape>> = vec![Vec::new(); num_shards];
+            let mut consumed = 0;
+            for block in p.rounds(round_len) {
+                for (offset, &batch) in block.iter().enumerate() {
+                    dealt[(consumed + offset) % num_shards].push(batch);
+                }
+                consumed += block.len();
+            }
+            for (s, worker) in dealt.iter().enumerate() {
+                let stream: Vec<BatchShape> = p.shard(s, num_shards).collect();
+                assert_eq!(
+                    worker, &stream,
+                    "shard {s} of {num_shards}, round_len {round_len}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,11 +1,14 @@
 //! `repro` — regenerate every table and figure of the SeqPoint paper.
 //!
 //! ```text
-//! repro [--quick] [--out DIR] [--only LIST]
+//! repro [--quick] [--out DIR] [--only LIST] [--online] [--shards N]
 //!
 //!   --quick      reduced dataset scale (default: paper scale)
 //!   --out DIR    results directory (default: results)
-//!   --only LIST  comma-separated subset, e.g. --only fig11,fig12,table1
+//!   --only LIST  comma-separated subset of artifact keys (see --help)
+//!   --online     run only the streaming online-selection comparison
+//!                (shorthand for --only streaming)
+//!   --shards N   worker shards for the streaming runs (default 4)
 //! ```
 //!
 //! Each experiment prints its table to stdout and archives it as CSV
@@ -16,15 +19,68 @@ use std::time::Instant;
 
 use seqpoint_experiments::{
     extensions, fig03, fig04, fig05, fig06, fig07, fig08, fig09, kmeans_ablation,
-    larger_datasets, profiling_speedup, projection, sensitivity, speedup, table1, table2, Net,
-    Workloads,
+    larger_datasets, profiling_speedup, projection, sensitivity, speedup, streaming, table1,
+    table2, Net, Workloads,
 };
 use sqnn_profiler::report::Table;
+
+/// Every artifact `repro` can emit: canonical key (also the CSV file
+/// stem), accepted aliases, and what it regenerates.
+const ARTIFACTS: &[(&str, &[&str], &str)] = &[
+    ("table2", &[], "Table II — hardware configurations"),
+    ("fig03", &[], "Fig. 3 — CNN vs SQNN iteration homogeneity"),
+    ("fig04", &[], "Fig. 4 — architectural statistics across iterations"),
+    ("table1", &[], "Table I — GEMM dimensions across iterations"),
+    ("fig05", &[], "Fig. 5 — unique-kernel overlap between iterations"),
+    ("fig06", &[], "Fig. 6 — kernel runtime distribution by SL"),
+    ("fig07", &[], "Fig. 7 — sequence-length histograms"),
+    ("fig08", &[], "Fig. 8 — execution-profile similarity of close SLs"),
+    ("fig09", &[], "Fig. 9 — runtime vs SL linearity"),
+    ("fig11", &[], "Fig. 11 — DS2 training-time projection errors"),
+    ("fig12", &[], "Fig. 12 — GNMT training-time projection errors"),
+    ("fig13", &[], "Fig. 13 — GNMT per-SL sensitivity"),
+    ("fig14", &[], "Fig. 14 — DS2 per-SL sensitivity"),
+    ("fig15", &[], "Fig. 15 — DS2 speedup projection errors"),
+    ("fig16", &[], "Fig. 16 — GNMT speedup projection errors"),
+    ("profiling_speedup", &["profiling"], "§VI-F — profiling-time reduction factors"),
+    ("larger_datasets", &["larger"], "§VI-F — larger-dataset scaling"),
+    ("kmeans_ablation", &["kmeans"], "§VII-C — k-means vs SL binning"),
+    ("extensions", &[], "§VII-B/E — Transformer and inference binning"),
+    ("streaming", &["online"], "extension — sharded online selection vs full epoch"),
+];
+
+fn canonical_key(key: &str) -> Option<&'static str> {
+    ARTIFACTS
+        .iter()
+        .find(|(id, aliases, _)| *id == key || aliases.contains(&key))
+        .map(|(id, _, _)| *id)
+}
+
+fn print_help() {
+    println!(
+        "repro [--quick] [--out DIR] [--only LIST] [--online] [--shards N]\n\n\
+         --quick      reduced dataset scale (default: paper scale)\n\
+         --out DIR    results directory (default: results)\n\
+         --only LIST  comma-separated subset of the artifact keys below\n\
+         --online     run only the streaming online-selection comparison\n\
+         --shards N   worker shards for the streaming runs (default 4)\n\n\
+         Artifact keys:"
+    );
+    for (id, aliases, desc) in ARTIFACTS {
+        let alias = if aliases.is_empty() {
+            String::new()
+        } else {
+            format!(" (alias: {})", aliases.join(", "))
+        };
+        println!("  {id:<18}{desc}{alias}");
+    }
+}
 
 struct Args {
     quick: bool,
     out: String,
     only: Option<BTreeSet<String>>,
+    shards: usize,
 }
 
 fn parse_args() -> Args {
@@ -32,6 +88,7 @@ fn parse_args() -> Args {
         quick: false,
         out: "results".to_owned(),
         only: None,
+        shards: 4,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -48,10 +105,41 @@ fn parse_args() -> Args {
                     eprintln!("--only requires a comma-separated list");
                     std::process::exit(2);
                 });
-                args.only = Some(list.split(',').map(|s| s.trim().to_lowercase()).collect());
+                let set = args.only.get_or_insert_with(BTreeSet::new);
+                for key in list.split(',').map(|s| s.trim().to_lowercase()) {
+                    match canonical_key(&key) {
+                        Some(id) => {
+                            set.insert(id.to_owned());
+                        }
+                        None => {
+                            let known: Vec<&str> =
+                                ARTIFACTS.iter().map(|(id, _, _)| *id).collect();
+                            eprintln!(
+                                "unknown --only key `{key}`; valid keys are: {}",
+                                known.join(", ")
+                            );
+                            std::process::exit(2);
+                        }
+                    }
+                }
+            }
+            "--online" => {
+                args.only
+                    .get_or_insert_with(BTreeSet::new)
+                    .insert("streaming".to_owned());
+            }
+            "--shards" => {
+                let value = it.next().unwrap_or_else(|| {
+                    eprintln!("--shards requires a positive count");
+                    std::process::exit(2);
+                });
+                args.shards = value.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+                    eprintln!("--shards: cannot parse `{value}` as a positive count");
+                    std::process::exit(2);
+                });
             }
             "--help" | "-h" => {
-                println!("repro [--quick] [--out DIR] [--only LIST]");
+                print_help();
                 std::process::exit(0);
             }
             other => {
@@ -128,20 +216,23 @@ fn main() {
     if wants("fig16") {
         emit("fig16", &speedup::run(&mut w, Net::Gnmt).table, &args.out);
     }
-    if wants("profiling") {
+    if wants("profiling_speedup") {
         emit("profiling_speedup", &profiling_speedup::run(&mut w).table, &args.out);
     }
-    if wants("larger") {
+    if wants("larger_datasets") {
         // Large datasets are sampled at 1/8 scale to keep the run short;
         // the small:large ratio (and thus the speedup scaling) holds.
         let scale = if args.quick { 1.0 } else { 0.125 };
         emit("larger_datasets", &larger_datasets::run(&mut w, scale).table, &args.out);
     }
-    if wants("kmeans") {
+    if wants("kmeans_ablation") {
         emit("kmeans_ablation", &kmeans_ablation::run(&mut w).table, &args.out);
     }
     if wants("extensions") {
         emit("extensions", &extensions::run(&mut w).table, &args.out);
+    }
+    if wants("streaming") {
+        emit("streaming", &streaming::run(&mut w, args.shards).table, &args.out);
     }
     println!(
         "\n_All requested experiments regenerated in {:.1} s; CSVs under `{}/`._",

@@ -115,6 +115,8 @@ pub struct Workloads {
     scale: Scale,
     gnmt: Network,
     ds2: Network,
+    gnmt_corpus: Corpus,
+    ds2_corpus: Corpus,
     gnmt_plan: EpochPlan,
     ds2_plan: EpochPlan,
     configs: [GpuConfig; 5],
@@ -143,6 +145,8 @@ impl Workloads {
             scale,
             gnmt: gnmt(),
             ds2: ds2(),
+            gnmt_corpus,
+            ds2_corpus,
             gnmt_plan,
             ds2_plan,
             configs: GpuConfig::table2_configs(),
@@ -179,6 +183,27 @@ impl Workloads {
             Net::Gnmt => &self.gnmt_plan,
             Net::Ds2 => &self.ds2_plan,
         }
+    }
+
+    /// The corpus behind `net`'s epoch plan.
+    pub fn corpus(&self, net: Net) -> &Corpus {
+        match net {
+            Net::Gnmt => &self.gnmt_corpus,
+            Net::Ds2 => &self.ds2_corpus,
+        }
+    }
+
+    /// A steady-state epoch plan for `net`: uniformly shuffled batches
+    /// of `batch_size`, as every epoch after the first looks (DS2 only
+    /// sorts its first epoch; GNMT reshuffles bucket order). This is the
+    /// regime the streaming/online selection path targets.
+    pub fn steady_state_plan(&self, net: Net, batch_size: u32) -> EpochPlan {
+        EpochPlan::new(
+            self.corpus(net),
+            BatchPolicy::shuffled(batch_size),
+            self.scale.seed,
+        )
+        .expect("corpora are non-empty")
     }
 
     /// The Table II configurations (index 0 = config #1).

@@ -24,6 +24,7 @@
 //! | [`profiling_speedup`] | §VI-F — profiling-time reduction factors |
 //! | [`kmeans_ablation`] | §VII-C — k-means vs SL binning |
 //! | [`extensions`] | §VII-B/E — Transformer and inference binning |
+//! | [`streaming`] | extension — sharded online selection vs full epoch |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -44,6 +45,7 @@ pub mod profiling_speedup;
 pub mod projection;
 pub mod sensitivity;
 pub mod speedup;
+pub mod streaming;
 pub mod table1;
 pub mod table2;
 

@@ -1,0 +1,191 @@
+//! Streaming ablation — full-epoch vs early-stop (online) selection.
+//!
+//! The paper's mechanism logs one complete epoch before identifying
+//! SeqPoints. The streaming path
+//! ([`sqnn_profiler::stream::profile_epoch_streaming`]) shards the log
+//! across workers and stops *measuring* once the SL space saturates,
+//! counting the remainder as free shape metadata. This ablation runs
+//! both paths on a steady-state (shuffled) epoch of each evaluation
+//! network and compares: iterations measured vs skipped, the resulting
+//! epoch-logging speedup, and whether the streamed selection matches the
+//! full-epoch selection (it must — counts stay exact).
+
+use gpu_sim::Device;
+use seqpoint_core::stream::StreamConfig;
+use seqpoint_core::SeqPointPipeline;
+use sqnn_profiler::report::{fmt_f, Table};
+use sqnn_profiler::stream::{profile_epoch_streaming, StreamOptions};
+use sqnn_profiler::Profiler;
+
+use crate::{identification_config, Net, Workloads};
+
+/// Steady-state batch size used by the ablation: small enough that even
+/// the quick-scale corpora yield a few hundred iterations to stream.
+pub const STREAM_BATCH: u32 = 16;
+
+/// Streaming parameters of the ablation (and the `repro --online` run):
+/// saturation window 128, Good–Turing threshold 5%, novelty at SL-bucket
+/// width 8 (the granularity at which the paper's Fig. 8 calls close SLs
+/// interchangeable).
+pub fn stream_config() -> StreamConfig {
+    StreamConfig {
+        saturation_window: 128,
+        unseen_threshold: 0.05,
+        quantization: 8,
+        pipeline: identification_config(),
+    }
+}
+
+/// Streaming-vs-full comparison for one network.
+#[derive(Debug, Clone)]
+pub struct StreamingNet {
+    /// Which network.
+    pub net: Net,
+    /// Iterations in the steady-state epoch.
+    pub epoch_iterations: usize,
+    /// Iterations the streaming path actually profiled.
+    pub measured_iterations: u64,
+    /// Iterations whose measurement the early stop skipped.
+    pub skipped_iterations: u64,
+    /// Epoch ÷ measured — the logging-cost reduction.
+    pub logging_speedup: f64,
+    /// Whether the early stop fired before the epoch ended.
+    pub early_stopped: bool,
+    /// Good–Turing unseen probability at the stop rule's granularity.
+    pub unseen_probability: f64,
+    /// SeqPoints from the full-epoch path.
+    pub full_points: usize,
+    /// SeqPoints from the streamed path.
+    pub streamed_points: usize,
+    /// Whether the streamed selection equals the full-epoch selection
+    /// (same SLs, same weights).
+    pub selection_matches: bool,
+}
+
+/// Result of the streaming ablation.
+#[derive(Debug, Clone)]
+pub struct Streaming {
+    /// Per-network comparisons.
+    pub nets: Vec<StreamingNet>,
+    /// Worker shards used by the streamed runs.
+    pub shards: usize,
+    /// Rendered table.
+    pub table: Table,
+}
+
+/// Run the ablation with `shards` streaming workers.
+pub fn run(w: &mut Workloads, shards: usize) -> Streaming {
+    let shards = shards.max(1);
+    let mut table = Table::new(
+        "Streaming ablation — full-epoch vs early-stop selection (steady-state epoch)",
+        [
+            "network",
+            "epoch iterations",
+            "measured",
+            "skipped",
+            "logging speedup",
+            "unseen probability",
+            "seqpoints (full/streamed)",
+            "selection matches",
+        ],
+    );
+    let mut nets = Vec::new();
+    for net in Net::both() {
+        let plan = w.steady_state_plan(net, STREAM_BATCH);
+        let device = Device::new(w.config(0).clone());
+        let profiler = Profiler::new();
+        let full_log = profiler
+            .profile_epoch(w.network(net), &plan, &device)
+            .expect("steady-state plans are non-empty")
+            .to_epoch_log();
+        let full = SeqPointPipeline::with_config(identification_config())
+            .run(&full_log)
+            .expect("identification thresholds converge");
+        let options = StreamOptions {
+            shards,
+            round_len: 32,
+            stream: stream_config(),
+            ..StreamOptions::default()
+        };
+        let streamed =
+            profile_epoch_streaming(&profiler, w.network(net), &plan, &device, &options)
+                .expect("streaming the same plan cannot fail");
+        let selection = &streamed.selection;
+        let selection_matches = selection.seqpoints().seq_lens() == full.seqpoints().seq_lens()
+            && selection
+                .seqpoints()
+                .points()
+                .iter()
+                .zip(full.seqpoints().points())
+                .all(|(s, f)| s.weight == f.weight);
+        let row = StreamingNet {
+            net,
+            epoch_iterations: plan.iterations(),
+            measured_iterations: selection.iterations_measured(),
+            skipped_iterations: selection.iterations_skipped(),
+            logging_speedup: selection.logging_speedup(),
+            early_stopped: selection.early_stopped(),
+            unseen_probability: selection.unseen_probability(),
+            full_points: full.seqpoints().len(),
+            streamed_points: selection.seqpoints().len(),
+            selection_matches,
+        };
+        table.push_row([
+            net.label().to_owned(),
+            row.epoch_iterations.to_string(),
+            row.measured_iterations.to_string(),
+            row.skipped_iterations.to_string(),
+            format!("{}x", fmt_f(row.logging_speedup, 2)),
+            fmt_f(row.unseen_probability, 4),
+            format!("{}/{}", row.full_points, row.streamed_points),
+            if row.selection_matches { "yes" } else { "NO" }.to_owned(),
+        ]);
+        nets.push(row);
+    }
+    Streaming { nets, shards, table }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streamed_selection_matches_full_epoch_while_measuring_less() {
+        let mut w = Workloads::quick();
+        let r = run(&mut w, 4);
+        assert_eq!(r.nets.len(), 2);
+        for n in &r.nets {
+            assert!(
+                n.selection_matches,
+                "{}: streamed selection diverged from the full epoch",
+                n.net.label()
+            );
+            assert!(
+                n.early_stopped,
+                "{}: expected an early stop on the steady-state epoch",
+                n.net.label()
+            );
+            assert!(
+                (n.measured_iterations as usize) < n.epoch_iterations,
+                "{}: measured {} of {}",
+                n.net.label(),
+                n.measured_iterations,
+                n.epoch_iterations
+            );
+            assert!(n.logging_speedup > 1.5, "{}", n.logging_speedup);
+            assert_eq!(n.full_points, n.streamed_points);
+        }
+        assert_eq!(r.table.row_count(), 2);
+    }
+
+    #[test]
+    fn shard_count_does_not_affect_the_comparison() {
+        let mut w = Workloads::quick();
+        let a = run(&mut w, 1);
+        let b = run(&mut w, 6);
+        for (x, y) in a.nets.iter().zip(&b.nets) {
+            assert_eq!(x.measured_iterations, y.measured_iterations);
+            assert_eq!(x.selection_matches, y.selection_matches);
+        }
+    }
+}

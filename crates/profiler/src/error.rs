@@ -14,6 +14,16 @@ pub enum ProfileError {
         /// The underlying error message.
         message: String,
     },
+    /// The streaming harness was configured with degenerate parameters.
+    InvalidStream {
+        /// What was wrong.
+        message: String,
+    },
+    /// The selection pipeline rejected the streamed counts.
+    Selection {
+        /// The underlying [`seqpoint_core::CoreError`] rendered.
+        message: String,
+    },
 }
 
 impl fmt::Display for ProfileError {
@@ -22,6 +32,12 @@ impl fmt::Display for ProfileError {
             ProfileError::EmptyPlan => write!(f, "epoch plan contains no iterations"),
             ProfileError::Io { path, message } => {
                 write!(f, "failed writing report to `{path}`: {message}")
+            }
+            ProfileError::InvalidStream { message } => {
+                write!(f, "invalid streaming options: {message}")
+            }
+            ProfileError::Selection { message } => {
+                write!(f, "streamed selection failed: {message}")
             }
         }
     }

@@ -19,6 +19,10 @@
 //! * [`parallel::profile_seq_lens_parallel`] — the Section VI-F
 //!   observation that SeqPoints are independent iterations and can be
 //!   profiled on separate machines concurrently;
+//! * [`stream::profile_epoch_streaming`] — sharded streaming ingestion
+//!   with saturation early stop: the epoch log is never materialized,
+//!   worker shards profile rounds concurrently, and selection runs on
+//!   merged streamed counts;
 //! * evaluation-phase and autotune-phase cost models (Section IV-C);
 //! * [`export`] — SeqPoint kernel-trace bundles for architecture-
 //!   simulator hand-off (Section VII-A);
@@ -35,6 +39,7 @@ mod phases;
 pub mod export;
 pub mod parallel;
 pub mod report;
+pub mod stream;
 
 pub use error::ProfileError;
 pub use harness::{EpochProfile, IterationProfile, Profiler, StatKind};

@@ -1,0 +1,435 @@
+//! Streaming epoch profiling with sharded logs and saturation early stop.
+//!
+//! [`crate::Profiler::profile_epoch`] materializes the whole epoch in
+//! memory on one device. This module is the scalable counterpart: the
+//! epoch plan is consumed in rounds ([`sqnn_data::EpochPlan::rounds`]),
+//! each round's iterations are dealt round-robin to worker shards that
+//! profile concurrently on their own thread (one simulated device each,
+//! as in [`crate::parallel`]), and the per-shard
+//! [`OnlineSlTracker`] states are merged into a
+//! [`StreamingSelector`] after every round. Once the sequence-length
+//! space saturates, the harness stops *executing* iterations and keeps
+//! consuming the rest of the plan as free shape metadata: an iteration
+//! whose `(seq_len, samples)` shape was already profiled is replayed
+//! against the recorded statistic (the paper's key observation 4 —
+//! identical shapes behave identically), and a never-seen shape is
+//! profiled on demand. Whole-epoch counts *and* per-SL statistic sums
+//! stay exact, so the selection matches the full-epoch path while only
+//! a fraction of the iterations were ever executed — and the full
+//! per-iteration epoch log never exists anywhere.
+
+use std::collections::HashMap;
+
+use gpu_sim::Device;
+use seqpoint_core::online::OnlineSlTracker;
+use seqpoint_core::stream::{StreamConfig, StreamingAnalysis, StreamingSelector};
+use sqnn::{IterationShape, Network};
+use sqnn_data::EpochPlan;
+
+use crate::{IterationProfile, ProfileError, Profiler, StatKind};
+
+/// How the streaming harness shards and paces ingestion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamOptions {
+    /// Worker shards profiling concurrently (≥ 1).
+    pub shards: usize,
+    /// Iterations ingested per round before the merged early-stop check
+    /// (≥ 1).
+    pub round_len: usize,
+    /// Which per-iteration statistic feeds the selection.
+    pub stat: StatKind,
+    /// Early-stop thresholds and the selection pipeline configuration.
+    pub stream: StreamConfig,
+}
+
+impl Default for StreamOptions {
+    fn default() -> Self {
+        StreamOptions {
+            shards: 4,
+            round_len: 64,
+            stat: StatKind::Runtime,
+            stream: StreamConfig::default(),
+        }
+    }
+}
+
+/// The outcome of one streamed profiling run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamedEpochProfile {
+    /// The selection over the streamed counts, with measured/total
+    /// iteration accounting.
+    pub selection: StreamingAnalysis,
+    /// Worker shards used.
+    pub shards: usize,
+    /// Profiling cost when the measured iterations run back to back on
+    /// one machine, in (simulated) seconds.
+    pub profiled_serial_s: f64,
+    /// Profiling wall time with the shards running concurrently: per
+    /// round, the slowest shard bounds the round; on-demand measurements
+    /// in the replay phase run serially.
+    pub profiled_wall_s: f64,
+}
+
+impl StreamedEpochProfile {
+    /// Speedup of sharding the profiling itself (serial ÷ wall).
+    pub fn shard_speedup(&self) -> f64 {
+        if self.profiled_wall_s <= 0.0 {
+            return 1.0;
+        }
+        self.profiled_serial_s / self.profiled_wall_s
+    }
+}
+
+/// Profile an epoch plan in streaming mode: sharded, round-paced, and
+/// early-stopped once the SL space saturates.
+///
+/// Iterations are dealt to shards round-robin by **global** iteration
+/// index (`index % shards` — exactly [`sqnn_data::EpochPlan::shard`]'s
+/// rule, so worker `s`'s measured sub-stream is a prefix of
+/// `plan.shard(s, shards)`), and the union measured after `r` rounds is
+/// the plan's first `r * round_len` iterations regardless of the shard
+/// count — sharded and unsharded runs select the same SeqPoints.
+/// Per-shard `(seq_len, samples)` memoization mirrors
+/// [`Profiler::profile_epoch`]; memoized iterations still charge their
+/// full simulated runtime to the profiling cost, as the paper does.
+///
+/// # Errors
+///
+/// * [`ProfileError::EmptyPlan`] — the plan has no iterations.
+/// * [`ProfileError::InvalidStream`] — zero `shards`/`round_len`/
+///   `quantization`, or a negative/non-finite unseen threshold.
+/// * [`ProfileError::Selection`] — the selection pipeline rejected the
+///   streamed counts (e.g. unmet error threshold at `max_k`).
+pub fn profile_epoch_streaming(
+    profiler: &Profiler,
+    network: &Network,
+    plan: &EpochPlan,
+    device: &Device,
+    options: &StreamOptions,
+) -> Result<StreamedEpochProfile, ProfileError> {
+    if plan.iterations() == 0 {
+        return Err(ProfileError::EmptyPlan);
+    }
+    if options.shards == 0 || options.round_len == 0 {
+        return Err(ProfileError::InvalidStream {
+            message: "shards and round_len must be positive".to_owned(),
+        });
+    }
+    if options.stream.unseen_threshold < 0.0 || !options.stream.unseen_threshold.is_finite() {
+        return Err(ProfileError::InvalidStream {
+            message: "unseen_threshold must be non-negative and finite".to_owned(),
+        });
+    }
+    if options.stream.quantization == 0 {
+        return Err(ProfileError::InvalidStream {
+            message: "quantization must be positive".to_owned(),
+        });
+    }
+    let mut selector = StreamingSelector::with_config(options.stream);
+    let mut memos: Vec<HashMap<(u32, u32), IterationProfile>> =
+        vec![HashMap::new(); options.shards];
+    let mut profiled_serial_s = 0.0;
+    let mut profiled_wall_s = 0.0;
+    let mut consumed = 0;
+    for block in plan.rounds(options.round_len) {
+        let round_results: Vec<(OnlineSlTracker, f64)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = memos
+                .iter_mut()
+                .enumerate()
+                .map(|(shard, memo)| {
+                    let device = device.clone();
+                    // First block index dealt to this shard under the
+                    // global round-robin rule (EpochPlan::shard).
+                    let start = (shard + options.shards - consumed % options.shards)
+                        % options.shards;
+                    scope.spawn(move || {
+                        let mut tracker = OnlineSlTracker::new();
+                        let mut chunk_time_s = 0.0;
+                        for batch in block.iter().skip(start).step_by(options.shards) {
+                            let key = (batch.seq_len, batch.samples);
+                            let profile = memo.entry(key).or_insert_with(|| {
+                                let shape =
+                                    IterationShape::new(batch.samples, batch.seq_len);
+                                profiler.profile_iteration(network, &shape, &device)
+                            });
+                            tracker.observe(profile.seq_len, profile.stat(options.stat));
+                            chunk_time_s += profile.time_s;
+                        }
+                        (tracker, chunk_time_s)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("profiling shard panicked"))
+                .collect()
+        });
+        let mut round = OnlineSlTracker::new();
+        let mut slowest_shard_s = 0.0;
+        for (tracker, chunk_time_s) in &round_results {
+            round.merge(tracker);
+            profiled_serial_s += chunk_time_s;
+            slowest_shard_s = f64::max(slowest_shard_s, *chunk_time_s);
+        }
+        profiled_wall_s += slowest_shard_s;
+        consumed += block.len();
+        if selector.ingest_round(&round) {
+            break;
+        }
+    }
+    // Replay phase: batch shapes are free metadata from the data
+    // pipeline; a shape profiled during the rounds replays its recorded
+    // statistic, and only a never-seen shape costs a measurement.
+    let mut shapes: HashMap<(u32, u32), IterationProfile> = HashMap::new();
+    for memo in memos {
+        shapes.extend(memo);
+    }
+    for batch in &plan.batches()[consumed..] {
+        let key = (batch.seq_len, batch.samples);
+        match shapes.get(&key) {
+            Some(profile) => {
+                selector.observe_replayed(profile.seq_len, profile.stat(options.stat));
+            }
+            None => {
+                let shape = IterationShape::new(batch.samples, batch.seq_len);
+                let profile = profiler.profile_iteration(network, &shape, device);
+                profiled_serial_s += profile.time_s;
+                profiled_wall_s += profile.time_s;
+                selector.observe_measured(profile.seq_len, profile.stat(options.stat));
+                shapes.insert(key, profile);
+            }
+        }
+    }
+    let selection = selector.finalize().map_err(|e| ProfileError::Selection {
+        message: e.to_string(),
+    })?;
+    Ok(StreamedEpochProfile {
+        selection,
+        shards: options.shards,
+        profiled_serial_s,
+        profiled_wall_s,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::GpuConfig;
+    use seqpoint_core::SeqPointPipeline;
+    use sqnn::models::gnmt_with;
+    use sqnn_data::{BatchPolicy, Corpus};
+
+    fn device() -> Device {
+        Device::new(GpuConfig::vega_fe())
+    }
+
+    /// A steady-state (shuffled) epoch large enough to saturate: 12k
+    /// sentences at batch 16 → 750 full batches.
+    fn big_workload() -> (Network, EpochPlan) {
+        let corpus = Corpus::iwslt15_like(12_000, 13);
+        let plan = EpochPlan::new(&corpus, BatchPolicy::shuffled(16), 13).unwrap();
+        (gnmt_with(400, 48), plan)
+    }
+
+    /// A small epoch for the exhaustive (no early stop) comparisons.
+    fn small_workload() -> (Network, EpochPlan) {
+        let corpus = Corpus::iwslt15_like(3_000, 13);
+        let plan = EpochPlan::new(&corpus, BatchPolicy::bucketed(16, 12), 13).unwrap();
+        (gnmt_with(400, 48), plan)
+    }
+
+    #[test]
+    fn early_stop_measures_fewer_iterations_and_selects_identically() {
+        let (net, plan) = big_workload();
+        let device = device();
+        let options = StreamOptions {
+            shards: 3,
+            round_len: 25,
+            ..StreamOptions::default()
+        };
+        let profiler = Profiler::new();
+        let streamed =
+            profile_epoch_streaming(&profiler, &net, &plan, &device, &options).unwrap();
+        assert!(streamed.selection.early_stopped());
+        assert!(
+            (streamed.selection.iterations_measured() as usize) < plan.iterations(),
+            "measured {} of {}",
+            streamed.selection.iterations_measured(),
+            plan.iterations()
+        );
+        assert_eq!(
+            streamed.selection.iterations_total() as usize,
+            plan.iterations()
+        );
+        assert!(streamed.profiled_wall_s > 0.0);
+        assert!(streamed.profiled_wall_s <= streamed.profiled_serial_s + 1e-12);
+        assert!(streamed.shard_speedup() >= 1.0);
+        // Exact counts ⇒ the streamed selection equals the full-epoch
+        // selection, weights included.
+        let full_log = profiler
+            .profile_epoch(&net, &plan, &device)
+            .unwrap()
+            .to_epoch_log();
+        let full = SeqPointPipeline::new().run(&full_log).unwrap();
+        assert_eq!(
+            streamed.selection.seqpoints().seq_lens(),
+            full.seqpoints().seq_lens()
+        );
+        let weights =
+            |s: &seqpoint_core::SeqPointSet| -> Vec<u64> { s.points().iter().map(|p| p.weight).collect() };
+        assert_eq!(
+            weights(streamed.selection.seqpoints()),
+            weights(full.seqpoints())
+        );
+    }
+
+    #[test]
+    fn partial_batch_after_the_stop_is_measured_on_demand() {
+        // 12,010 sentences at batch 16: the final batch has 10 samples —
+        // a (seq_len, samples) shape the rounds never profiled. It must
+        // be measured, not imputed, so per-SL statistics stay exact.
+        let corpus = Corpus::iwslt15_like(12_010, 13);
+        let plan = EpochPlan::new(&corpus, BatchPolicy::shuffled(16), 13).unwrap();
+        let net = gnmt_with(400, 48);
+        let device = device();
+        let profiler = Profiler::new();
+        let options = StreamOptions {
+            shards: 3,
+            round_len: 25,
+            ..StreamOptions::default()
+        };
+        let streamed =
+            profile_epoch_streaming(&profiler, &net, &plan, &device, &options).unwrap();
+        assert!(streamed.selection.early_stopped());
+        // At least the short final batch was measured after the stop.
+        assert!(
+            streamed.selection.iterations_measured()
+                > streamed.selection.stopped_at().unwrap()
+        );
+        // Exact per-shape replay ⇒ the streamed selection matches the
+        // full-epoch path in SLs, weights, AND statistics.
+        let full_log = profiler
+            .profile_epoch(&net, &plan, &device)
+            .unwrap()
+            .to_epoch_log();
+        let full = SeqPointPipeline::new().run(&full_log).unwrap();
+        let streamed_points = streamed.selection.seqpoints().points();
+        let full_points = full.seqpoints().points();
+        assert_eq!(streamed_points.len(), full_points.len());
+        for (s, f) in streamed_points.iter().zip(full_points) {
+            assert_eq!(s.seq_len, f.seq_len);
+            assert_eq!(s.weight, f.weight);
+            assert!((s.stat - f.stat).abs() < 1e-9 * f.stat.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn exhaustive_stream_matches_the_full_epoch_selection() {
+        let (net, plan) = small_workload();
+        let device = device();
+        // A window no epoch reaches: ingestion never stops measuring.
+        let options = StreamOptions {
+            shards: 4,
+            round_len: 32,
+            stream: StreamConfig {
+                saturation_window: u64::MAX,
+                ..StreamConfig::default()
+            },
+            ..StreamOptions::default()
+        };
+        let profiler = Profiler::new();
+        let streamed =
+            profile_epoch_streaming(&profiler, &net, &plan, &device, &options).unwrap();
+        assert!(!streamed.selection.early_stopped());
+        assert_eq!(
+            streamed.selection.iterations_measured() as usize,
+            plan.iterations()
+        );
+        let full_log = profiler
+            .profile_epoch(&net, &plan, &device)
+            .unwrap()
+            .to_epoch_log();
+        let full = SeqPointPipeline::new().run(&full_log).unwrap();
+        assert_eq!(
+            streamed.selection.seqpoints().seq_lens(),
+            full.seqpoints().seq_lens()
+        );
+    }
+
+    #[test]
+    fn shard_count_does_not_change_the_selection() {
+        let (net, plan) = big_workload();
+        let device = device();
+        let profiler = Profiler::new();
+        let run = |shards: usize| {
+            let options = StreamOptions {
+                shards,
+                round_len: 25,
+                ..StreamOptions::default()
+            };
+            profile_epoch_streaming(&profiler, &net, &plan, &device, &options).unwrap()
+        };
+        let single = run(1);
+        assert!(single.selection.early_stopped());
+        for shards in [2, 5] {
+            let sharded = run(shards);
+            assert_eq!(
+                sharded.selection.iterations_measured(),
+                single.selection.iterations_measured(),
+                "shards = {shards}"
+            );
+            assert_eq!(sharded.selection.stopped_at(), single.selection.stopped_at());
+            assert_eq!(
+                sharded.selection.seqpoints().seq_lens(),
+                single.selection.seqpoints().seq_lens(),
+                "shards = {shards}"
+            );
+            // Serial profiling cost is the same work, just dealt out.
+            assert!(
+                (sharded.profiled_serial_s - single.profiled_serial_s).abs()
+                    < 1e-9 * single.profiled_serial_s
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        let (net, plan) = small_workload();
+        let device = device();
+        let empty = EpochPlan::from_batches("e", 1, 1, Vec::new());
+        let profiler = Profiler::new();
+        assert_eq!(
+            profile_epoch_streaming(&profiler, &net, &empty, &device, &StreamOptions::default()),
+            Err(ProfileError::EmptyPlan)
+        );
+        for bad in [
+            StreamOptions {
+                shards: 0,
+                ..StreamOptions::default()
+            },
+            StreamOptions {
+                round_len: 0,
+                ..StreamOptions::default()
+            },
+            StreamOptions {
+                stream: StreamConfig {
+                    unseen_threshold: -0.05,
+                    ..StreamConfig::default()
+                },
+                ..StreamOptions::default()
+            },
+            StreamOptions {
+                stream: StreamConfig {
+                    quantization: 0,
+                    ..StreamConfig::default()
+                },
+                ..StreamOptions::default()
+            },
+        ] {
+            assert!(matches!(
+                profile_epoch_streaming(&profiler, &net, &plan, &device, &bad),
+                Err(ProfileError::InvalidStream { .. })
+            ));
+        }
+    }
+}

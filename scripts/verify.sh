@@ -1,25 +1,35 @@
 #!/usr/bin/env bash
 # Full verification: the tier-1 command plus workspace-wide tests,
 # clippy (warnings are errors), and a warning-free doc build.
-# CI (.github/workflows/ci.yml) runs exactly this script.
+# CI (.github/workflows/ci.yml) runs the same phases, split into jobs so
+# a clippy regression cannot mask a test failure.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> release build"
+CURRENT_STEP="init"
+step() {
+  CURRENT_STEP="$1"
+  echo
+  echo "==> [${CURRENT_STEP}] $2"
+}
+trap 'echo "verify: FAILED at step [${CURRENT_STEP}]" >&2' ERR
+
+step build "release build (tier-1)"
 cargo build --release
 
 # Covers tier-1's `cargo test -q` as a strict subset (the root package is
 # a workspace member), so the root suite isn't run twice.
-echo "==> workspace tests"
+step test "workspace tests"
 cargo test -q --workspace
 
-echo "==> clippy (deny warnings)"
+step clippy "clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> docs (deny warnings)"
+step docs "docs (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
-echo "==> bench + example targets compile"
+step targets "bench + example targets compile"
 cargo build --workspace --benches --examples --quiet
 
+echo
 echo "verify: OK"

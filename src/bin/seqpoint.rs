@@ -7,6 +7,7 @@
 //! seqpoint identify --log epoch.csv --error 0.1
 //! seqpoint baselines --log epoch.csv
 //! seqpoint project --log epoch.csv --restats new_hw_stats.csv
+//! seqpoint stream   --model gnmt --dataset iwslt15 --samples 20000 --shards 4
 //! ```
 
 use std::fs::File;
@@ -26,6 +27,16 @@ USAGE:
   seqpoint identify  --log <epoch.csv> [--error PCT] [--k0 K] [--n N] [--max-k K]
   seqpoint baselines --log <epoch.csv> [--error PCT]
   seqpoint project   --log <epoch.csv> --restats <sl_stats.csv> [--error PCT]
+  seqpoint stream    --model <...> --dataset <...> [--samples N] [--config 1..5]
+                     [--seed S] [--batch B] [--shards K] [--round R]
+                     [--window W] [--unseen P] [--quant Q] [pipeline flags]
+
+`stream` profiles a steady-state (shuffled) epoch with K worker shards,
+stops measuring once the SL space saturates (no new SL bucket within W
+iterations, or Good-Turing unseen probability at most P at bucket width
+Q), replays the rest of the epoch from already-profiled shapes (only
+never-seen shapes are measured on demand), and selects SeqPoints from
+the streamed aggregates.
 
 Epoch-log CSV format: one `seq_len,stat` pair per line (header optional).";
 
@@ -99,6 +110,29 @@ fn run() -> Result<String, CliError> {
             flags.num("config", 1usize)?,
             flags.num("seed", 7u64)?,
         ),
+        "stream" => {
+            let stream_config = seqpoint::seqpoint_core::stream::StreamConfig {
+                saturation_window: flags.num("window", 256u64)?,
+                unseen_threshold: flags.num("unseen", 0.05f64)?,
+                quantization: flags.num("quant", 8u32)?,
+                pipeline: pipeline_config(&flags)?,
+            };
+            let options = seqpoint::sqnn_profiler::stream::StreamOptions {
+                shards: flags.num("shards", 4usize)?,
+                round_len: flags.num("round", 64usize)?,
+                stream: stream_config,
+                ..Default::default()
+            };
+            cli::stream(
+                flags.required("model")?,
+                flags.required("dataset")?,
+                flags.num("samples", 20_000usize)?,
+                flags.num("config", 1usize)?,
+                flags.num("seed", 7u64)?,
+                flags.num("batch", 64u32)?,
+                &options,
+            )
+        }
         "identify" => cli::identify(&open_log(&flags)?, pipeline_config(&flags)?),
         "baselines" => cli::baselines(&open_log(&flags)?, pipeline_config(&flags)?),
         "project" => {

@@ -13,7 +13,9 @@
 //! * `baselines` — compare the paper's baseline selectors against
 //!   SeqPoint on an epoch-log CSV;
 //! * `project` — combine an identified SeqPoint set with re-profiled
-//!   per-SL statistics to project a whole-epoch total.
+//!   per-SL statistics to project a whole-epoch total;
+//! * `stream` — profile a steady-state epoch in streaming mode: sharded
+//!   workers, saturation early stop, selection on streamed counts.
 
 use std::fmt::Write as _;
 use std::io::BufRead;
@@ -24,6 +26,7 @@ use seqpoint_core::{BaselineKind, EpochLog, SeqPointConfig, SeqPointPipeline};
 use sqnn::models;
 use sqnn::Network;
 use sqnn_data::{BatchPolicy, Corpus, EpochPlan};
+use sqnn_profiler::stream::{profile_epoch_streaming, StreamOptions};
 use sqnn_profiler::Profiler;
 
 /// Errors surfaced to the CLI user.
@@ -207,6 +210,77 @@ pub fn simulate(
     Ok(out)
 }
 
+/// `stream`: profile a steady-state (shuffled) epoch in streaming mode
+/// and render the early-stop accounting plus the selected SeqPoints.
+///
+/// Every epoch after the first is shuffled (DS2 only sorts its first;
+/// GNMT reshuffles bucket order), so the streaming path batches the
+/// corpus uniformly at `batch` samples per iteration.
+///
+/// # Errors
+///
+/// Usage errors for unknown names/configs or a zero batch size; library
+/// errors from planning, profiling, or selection.
+pub fn stream(
+    model: &str,
+    dataset: &str,
+    samples: usize,
+    config_no: usize,
+    seed: u64,
+    batch: u32,
+    options: &StreamOptions,
+) -> Result<String, CliError> {
+    if !(1..=5).contains(&config_no) {
+        return Err(CliError::Usage("config must be 1..=5 (Table II)".to_owned()));
+    }
+    if batch == 0 {
+        return Err(CliError::Usage("--batch must be positive".to_owned()));
+    }
+    let network = model_by_name(model)?;
+    let corpus = corpus_by_name(dataset, samples, seed)?;
+    let plan = EpochPlan::new(&corpus, BatchPolicy::shuffled(batch), seed).map_err(lib_err)?;
+    let cfg = GpuConfig::table2_configs()[config_no - 1].clone();
+    let streamed = profile_epoch_streaming(
+        &Profiler::new(),
+        &network,
+        &plan,
+        &Device::new(cfg),
+        options,
+    )
+    .map_err(lib_err)?;
+    let selection = &streamed.selection;
+    let analysis = selection.analysis();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# streaming selection: {model} on {dataset} (config {config_no}), {} shards",
+        streamed.shards
+    );
+    let _ = writeln!(out, "iterations_total,{}", selection.iterations_total());
+    let _ = writeln!(out, "iterations_measured,{}", selection.iterations_measured());
+    let _ = writeln!(out, "iterations_skipped,{}", selection.iterations_skipped());
+    let _ = writeln!(out, "logging_speedup,{:.2}", selection.logging_speedup());
+    let _ = writeln!(out, "early_stopped,{}", selection.early_stopped());
+    let _ = writeln!(out, "unseen_probability,{:.4}", selection.unseen_probability());
+    let _ = writeln!(out, "profiled_serial_s,{:.6}", streamed.profiled_serial_s);
+    let _ = writeln!(out, "profiled_wall_s,{:.6}", streamed.profiled_wall_s);
+    let _ = writeln!(out, "shard_speedup,{:.2}", streamed.shard_speedup());
+    let _ = writeln!(
+        out,
+        "# {} SeqPoints for {} iterations ({} unique SLs), k={}, self error {:.4}%",
+        analysis.seqpoints().len(),
+        analysis.iterations(),
+        analysis.unique_sls(),
+        analysis.k(),
+        analysis.self_error_pct()
+    );
+    let _ = writeln!(out, "seq_len,weight,stat");
+    for p in analysis.seqpoints().points() {
+        let _ = writeln!(out, "{},{},{}", p.seq_len, p.weight, p.stat);
+    }
+    Ok(out)
+}
+
 /// `identify`: run the pipeline and render the SeqPoints.
 ///
 /// # Errors
@@ -377,6 +451,68 @@ mod tests {
         let log = parse_epoch_log(Cursor::new(csv)).unwrap();
         assert_eq!(log.len(), 1_500usize.div_ceil(64));
         assert!(log.actual_total() > 0.0);
+    }
+
+    #[test]
+    fn stream_reports_accounting_and_a_selection() {
+        use seqpoint_core::stream::StreamConfig;
+        // A shuffled epoch large enough to saturate under the lenient
+        // thresholds (cf. the streaming ablation's quick-scale setup).
+        let options = StreamOptions {
+            shards: 3,
+            round_len: 32,
+            stream: StreamConfig {
+                saturation_window: 128,
+                unseen_threshold: 0.05,
+                quantization: 8,
+                ..StreamConfig::default()
+            },
+            ..StreamOptions::default()
+        };
+        let out = stream("gnmt", "iwslt15", 6_000, 1, 20, 16, &options).unwrap();
+        assert!(out.starts_with("# streaming selection"));
+        for field in [
+            "iterations_total,375",
+            "iterations_measured,",
+            "early_stopped,true",
+            "seq_len,weight,stat",
+        ] {
+            assert!(out.contains(field), "missing `{field}` in:\n{out}");
+        }
+        // The weights cover the WHOLE epoch even though measurement
+        // stopped early.
+        let total: u64 = out
+            .lines()
+            .skip_while(|l| !l.starts_with("seq_len"))
+            .skip(1)
+            .map(|l| l.split(',').nth(1).unwrap().parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(total, 375);
+    }
+
+    #[test]
+    fn stream_validates_inputs() {
+        let options = StreamOptions::default();
+        assert!(matches!(
+            stream("nope", "iwslt15", 100, 1, 0, 16, &options),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            stream("gnmt", "iwslt15", 100, 9, 0, 16, &options),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            stream("gnmt", "iwslt15", 100, 1, 0, 0, &options),
+            Err(CliError::Usage(_))
+        ));
+        let bad = StreamOptions {
+            shards: 0,
+            ..StreamOptions::default()
+        };
+        assert!(matches!(
+            stream("gnmt", "iwslt15", 100, 1, 0, 16, &bad),
+            Err(CliError::Library(_))
+        ));
     }
 
     #[test]

@@ -55,10 +55,11 @@ pub mod prelude {
     pub use gpu_sim::{Device, GpuConfig, KernelDesc, KernelKind};
     pub use seqpoint_core::{
         BaselineKind, EpochLog, IterationRecord, SeqPoint, SeqPointAnalysis, SeqPointConfig,
-        SeqPointPipeline, SeqPointSet,
+        SeqPointPipeline, SeqPointSet, StreamConfig, StreamingAnalysis, StreamingSelector,
     };
     pub use sqnn::models::{cnn_reference, ds2, gnmt, transformer_base};
     pub use sqnn::{IterationShape, Network};
     pub use sqnn_data::{BatchPolicy, Corpus, EpochPlan};
+    pub use sqnn_profiler::stream::{profile_epoch_streaming, StreamOptions};
     pub use sqnn_profiler::{EpochProfile, Profiler};
 }
