@@ -12,6 +12,8 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
+use crate::stats::CompensatedSum;
+
 /// Streaming tracker of the sequence-length space observed so far.
 ///
 /// ```
@@ -27,7 +29,10 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct OnlineSlTracker {
     counts: BTreeMap<u32, u64>,
-    stat_sums: BTreeMap<u32, f64>,
+    // Neumaier-compensated so that sharded merges and sequential scans
+    // of the same stream produce bit-identical per-SL statistics.
+    stat_sums: BTreeMap<u32, CompensatedSum>,
+    stat_sq_sums: BTreeMap<u32, CompensatedSum>,
     iterations: u64,
     last_new_sl_at: u64,
 }
@@ -55,7 +60,14 @@ impl OnlineSlTracker {
         }
         *count += n;
         self.iterations += n;
-        *self.stat_sums.entry(seq_len).or_insert(0.0) += stat * n as f64;
+        self.stat_sums
+            .entry(seq_len)
+            .or_default()
+            .add_scaled(stat, n);
+        self.stat_sq_sums
+            .entry(seq_len)
+            .or_default()
+            .add_scaled(stat * stat, n);
     }
 
     /// Iterations observed so far.
@@ -81,7 +93,33 @@ impl OnlineSlTracker {
     /// Mean statistic of a sequence length, if observed.
     pub fn mean_stat_of(&self, seq_len: u32) -> Option<f64> {
         let count = *self.counts.get(&seq_len)?;
-        Some(self.stat_sums[&seq_len] / count as f64)
+        Some(self.stat_sums[&seq_len].value() / count as f64)
+    }
+
+    /// Population variance of a sequence length's statistic, if observed
+    /// (`E[s²] − E[s]²`, floored at 0 against rounding).
+    ///
+    /// Per the paper's key observation 4, iterations sharing an SL behave
+    /// near-identically, so this is close to zero on well-behaved
+    /// workloads — a cheap runtime check of that assumption, and the
+    /// signal [`Self::to_epoch_log`] discards (it reconstructs every
+    /// iteration at the per-SL *mean*).
+    ///
+    /// **Precision**: the sum-of-squares formula keeps the accumulator
+    /// mergeable (sharded merges stay order-independent, which Welford
+    /// recurrences are not), at the cost of catastrophic cancellation
+    /// when the spread is many orders of magnitude below the mean: the
+    /// result is reliable down to a floor of roughly `ε · mean²`
+    /// (`ε` = `f64::EPSILON`). Below that floor read the value as
+    /// "indistinguishable from zero at this magnitude", not as an exact
+    /// variance — which answers the homogeneity question above either
+    /// way, but is not suitable for, say, ULP-level jitter measurement
+    /// of billion-scale counter statistics.
+    pub fn stat_variance_of(&self, seq_len: u32) -> Option<f64> {
+        let count = *self.counts.get(&seq_len)?;
+        let mean = self.stat_sums[&seq_len].value() / count as f64;
+        let mean_sq = self.stat_sq_sums[&seq_len].value() / count as f64;
+        Some((mean_sq - mean * mean).max(0.0))
     }
 
     /// Whether no new SL has appeared within the last `window`
@@ -94,9 +132,11 @@ impl OnlineSlTracker {
     /// Absorb another tracker's observations, as if its stream had been
     /// replayed after this one's.
     ///
-    /// Counts, statistic sums, and iteration totals add exactly, so the
-    /// merged [`Self::to_epoch_log`] is independent of how observations
-    /// were sharded. Saturation is merged *conservatively*: every SL new
+    /// Counts and iteration totals add exactly, and the per-SL statistic
+    /// sums are Neumaier-compensated ([`CompensatedSum`]), so the merged
+    /// [`Self::to_epoch_log`] is independent of how observations were
+    /// sharded — bit-for-bit, not merely up to rounding.
+    /// Saturation is merged *conservatively*: every SL new
     /// to the merged space first occurred in `other` at a position no
     /// later than `other`'s own last first-occurrence, so the merged
     /// last-new-SL marker is placed there (never earlier than the true
@@ -118,8 +158,48 @@ impl OnlineSlTracker {
             *self.counts.entry(sl).or_insert(0) += count;
         }
         for (&sl, &sum) in &other.stat_sums {
-            *self.stat_sums.entry(sl).or_insert(0.0) += sum;
+            self.stat_sums.entry(sl).or_default().merge(sum);
         }
+        for (&sl, &sum) in &other.stat_sq_sums {
+            self.stat_sq_sums.entry(sl).or_default().merge(sum);
+        }
+    }
+
+    /// Structural consistency check for state adopted from outside the
+    /// type's own methods (a deserialized checkpoint): the three per-SL
+    /// maps must cover the same SLs, the counts must sum to the
+    /// iteration total, and the last-new-SL marker must lie inside the
+    /// stream. Every accessor indexes the maps on the assumption these
+    /// hold, so adopting unvalidated state would turn a corrupt (but
+    /// parseable) checkpoint into a later panic instead of an error.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.stat_sums.len() != self.counts.len()
+            || self.stat_sq_sums.len() != self.counts.len()
+            || self
+                .counts
+                .keys()
+                .any(|sl| !self.stat_sums.contains_key(sl) || !self.stat_sq_sums.contains_key(sl))
+        {
+            return Err("per-SL counts and statistic sums cover different SLs".to_owned());
+        }
+        let total: u64 = self.counts.values().sum();
+        if total != self.iterations {
+            return Err(format!(
+                "per-SL counts sum to {total} but the tracker claims {} iterations",
+                self.iterations
+            ));
+        }
+        if self.last_new_sl_at > self.iterations {
+            return Err(format!(
+                "last new SL at {} lies beyond the {}-iteration stream",
+                self.last_new_sl_at, self.iterations
+            ));
+        }
+        Ok(())
     }
 
     /// Good–Turing estimate of the probability that the *next* iteration
@@ -141,17 +221,25 @@ impl OnlineSlTracker {
             .map(|(&seq_len, &count)| crate::SlProfile {
                 seq_len,
                 count,
-                mean_stat: self.stat_sums[&seq_len] / count as f64,
+                mean_stat: self.stat_sums[&seq_len].value() / count as f64,
             })
             .collect()
     }
 
     /// Convert the observations collected so far into an [`crate::EpochLog`]
-    /// with one record per observed iteration (means preserved per SL).
+    /// with one record per observed iteration.
+    ///
+    /// **Mean-only reconstruction**: the tracker keeps per-SL aggregates,
+    /// not individual records, so every reconstructed iteration of an SL
+    /// carries that SL's *mean* statistic. Counts, per-SL means, and the
+    /// epoch total are preserved, but all within-SL variation is
+    /// flattened to zero — a consumer computing per-SL variance over this
+    /// log gets 0 for every SL. Read the true spread from
+    /// [`Self::stat_variance_of`] instead.
     pub fn to_epoch_log(&self) -> crate::EpochLog {
         let mut log = crate::EpochLog::new();
         for (&sl, &count) in &self.counts {
-            let mean = self.stat_sums[&sl] / count as f64;
+            let mean = self.stat_sums[&sl].value() / count as f64;
             for _ in 0..count {
                 log.push(sl, mean);
             }
@@ -256,13 +344,68 @@ mod tests {
         assert_eq!(merged.iterations(), whole.iterations());
         assert_eq!(merged.unique_count(), whole.unique_count());
         assert_eq!(merged.unseen_probability(), whole.unseen_probability());
-        // Per-SL means agree up to summation-order rounding.
+        // Compensated sums: per-SL means agree bit-for-bit, not merely
+        // up to summation-order rounding.
         let (m, w) = (merged.to_epoch_log(), whole.to_epoch_log());
         assert_eq!(m.len(), w.len());
         for (mp, wp) in m.sl_profiles().iter().zip(w.sl_profiles()) {
             assert_eq!(mp.seq_len, wp.seq_len);
             assert_eq!(mp.count, wp.count);
-            assert!((mp.mean_stat - wp.mean_stat).abs() < 1e-12);
+            assert_eq!(
+                mp.mean_stat.to_bits(),
+                wp.mean_stat.to_bits(),
+                "SL {}: {} vs {}",
+                mp.seq_len,
+                mp.mean_stat,
+                wp.mean_stat
+            );
+        }
+    }
+
+    #[test]
+    fn variance_tracks_within_sl_spread() {
+        let mut t = OnlineSlTracker::new();
+        t.observe(5, 1.0);
+        t.observe(5, 3.0);
+        t.observe(9, 10.0);
+        // SL 5: mean 2, E[s²] = 5, variance 1; SL 9: single observation.
+        assert!((t.stat_variance_of(5).unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(t.stat_variance_of(9), Some(0.0));
+        assert_eq!(t.stat_variance_of(99), None);
+        // The reconstructed epoch log flattens that spread to the mean —
+        // the documented mean-only reconstruction.
+        let log = t.to_epoch_log();
+        assert_eq!(log.mean_stat_of(5), Some(2.0));
+        assert!(log
+            .records()
+            .iter()
+            .filter(|r| r.seq_len == 5)
+            .all(|r| r.stat == 2.0));
+    }
+
+    #[test]
+    fn variance_survives_sharded_merges() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let stream: Vec<(u32, f64)> = (0..400)
+            .map(|_| (3 + rng.gen_range(0..9), rng.gen_range(0.5..4.5)))
+            .collect();
+        let mut whole = OnlineSlTracker::new();
+        let mut shards = vec![OnlineSlTracker::new(); 4];
+        for (i, &(sl, stat)) in stream.iter().enumerate() {
+            whole.observe(sl, stat);
+            shards[i % 4].observe(sl, stat);
+        }
+        let mut merged = OnlineSlTracker::new();
+        for shard in &shards {
+            merged.merge(shard);
+        }
+        for (sl, _) in whole.sl_counts() {
+            assert_eq!(
+                merged.stat_variance_of(sl).unwrap().to_bits(),
+                whole.stat_variance_of(sl).unwrap().to_bits(),
+                "SL {sl}"
+            );
+            assert!(whole.stat_variance_of(sl).unwrap() > 0.0, "SL {sl}");
         }
     }
 

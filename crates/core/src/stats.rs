@@ -1,5 +1,99 @@
 //! Small statistics helpers shared by the pipeline, the experiments, and
-//! the benchmark harness (geomean error reporting, relative errors).
+//! the benchmark harness (geomean error reporting, relative errors), plus
+//! the [`CompensatedSum`] accumulator the streaming trackers use to make
+//! sharded merges agree with sequential summation.
+
+use serde::{Deserialize, Serialize};
+
+/// A Neumaier-compensated floating-point sum.
+///
+/// Plain `f64 +=` accumulation makes the result depend on summation
+/// order at the last-ulp level, so a sharded merge and a sequential scan
+/// of the same stream disagree. Compensation tracks the rounding error of
+/// every addition in a second term, so [`CompensatedSum::value`] is the
+/// exact sum evaluated in (effectively) doubled precision — order-
+/// independent in practice, which is what lets the sharded==unsharded
+/// streaming property tests assert bit-exact statistic equality.
+///
+/// The compensation term is part of the carried state: it survives
+/// [`CompensatedSum::merge`] and (de)serialization, so a
+/// checkpoint/restore cycle resumes with the identical accumulator.
+///
+/// ```
+/// use seqpoint_core::stats::CompensatedSum;
+///
+/// let mut naive = 0.0f64;
+/// let mut compensated = CompensatedSum::new();
+/// for _ in 0..10_000 {
+///     naive += 0.1;
+///     compensated.add(0.1);
+/// }
+/// assert!((compensated.value() - 1000.0).abs() <= (naive - 1000.0).abs());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CompensatedSum {
+    sum: f64,
+    compensation: f64,
+}
+
+impl CompensatedSum {
+    /// An empty (zero) sum.
+    pub fn new() -> Self {
+        CompensatedSum::default()
+    }
+
+    /// Add one value (Neumaier's variant of Kahan summation: the
+    /// compensation also absorbs the error when the addend dominates the
+    /// running sum).
+    pub fn add(&mut self, x: f64) {
+        let t = self.sum + x;
+        // An overflowed (or NaN) total has no meaningful rounding error;
+        // updating the compensation would turn it into `inf - inf` = NaN.
+        if t.is_finite() {
+            if self.sum.abs() >= x.abs() {
+                self.compensation += (self.sum - t) + x;
+            } else {
+                self.compensation += (x - t) + self.sum;
+            }
+        }
+        self.sum = t;
+    }
+
+    /// Add `x · n` as if `x` had been [`CompensatedSum::add`]ed `n`
+    /// times, in O(1): the product is split into its rounded value and
+    /// exact residual (via fused multiply-add), and both are added with
+    /// compensation.
+    pub fn add_scaled(&mut self, x: f64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if n == 1 {
+            self.add(x);
+            return;
+        }
+        let scale = n as f64;
+        let product = x * scale;
+        if product.is_finite() {
+            let residual = x.mul_add(scale, -product);
+            self.add(product);
+            self.add(residual);
+        } else {
+            self.add(product);
+        }
+    }
+
+    /// Absorb another compensated sum, carrying its compensation term
+    /// through rather than collapsing it first.
+    pub fn merge(&mut self, other: CompensatedSum) {
+        self.add(other.sum);
+        self.add(other.compensation);
+    }
+
+    /// The compensated total.
+    pub fn value(&self) -> f64 {
+        self.sum + self.compensation
+    }
+}
 
 /// Relative error of `predicted` against `actual`, in percent
 /// (`|p − a| / |a| · 100`). Returns 0 when both are 0, and infinity when
@@ -116,5 +210,64 @@ mod tests {
     fn mean_basics() {
         assert_eq!(mean([1.0, 2.0, 3.0]), 2.0);
         assert_eq!(mean(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn compensated_sum_beats_naive_accumulation() {
+        // (1 + ε) added 1e6 times: naive summation absorbs every ε once
+        // the running sum passes 2/ε; compensation keeps them all.
+        let addend = 1.0 + f64::EPSILON;
+        let mut naive = 0.0f64;
+        let mut c = CompensatedSum::new();
+        for _ in 0..1_000_000 {
+            naive += addend;
+            c.add(addend);
+        }
+        // The exact sum is the real product 1e6 · (1 + ε), so the
+        // correctly rounded product is the compensated result.
+        let exact = 1_000_000.0 * addend;
+        assert_eq!(c.value().to_bits(), exact.to_bits(), "{}", c.value());
+        assert!((naive - exact).abs() > (c.value() - exact).abs());
+    }
+
+    #[test]
+    fn compensated_merge_matches_sequential_bits() {
+        // Split an adversarial stream across 7 shards, merge, and demand
+        // bit equality with the sequential scan.
+        let values: Vec<f64> = (0..5_000)
+            .map(|i| 0.1 + (i % 97) as f64 * 1e-3 + (i % 13) as f64 * 1e17)
+            .collect();
+        let mut sequential = CompensatedSum::new();
+        for &v in &values {
+            sequential.add(v);
+        }
+        let mut shards = vec![CompensatedSum::new(); 7];
+        for (i, &v) in values.iter().enumerate() {
+            shards[i % 7].add(v);
+        }
+        let mut merged = CompensatedSum::new();
+        for shard in &shards {
+            merged.merge(*shard);
+        }
+        assert_eq!(merged.value().to_bits(), sequential.value().to_bits());
+    }
+
+    #[test]
+    fn add_scaled_matches_repeated_add() {
+        let mut bulk = CompensatedSum::new();
+        bulk.add_scaled(0.3, 1_000);
+        bulk.add_scaled(0.3, 0); // no-op
+        let mut single = CompensatedSum::new();
+        for _ in 0..1_000 {
+            single.add(0.3);
+        }
+        assert_eq!(bulk.value().to_bits(), single.value().to_bits());
+    }
+
+    #[test]
+    fn compensated_sum_handles_non_finite_inputs() {
+        let mut c = CompensatedSum::new();
+        c.add_scaled(f64::MAX, u64::MAX); // overflows to infinity
+        assert!(c.value().is_infinite());
     }
 }

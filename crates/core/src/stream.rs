@@ -233,6 +233,72 @@ impl StreamingSelector {
         self.stopped_at
     }
 
+    /// Serialize the selector's complete state — configuration, measured/
+    /// replayed/novelty trackers (compensation terms included), round
+    /// count, and stop state — to a JSON checkpoint string.
+    ///
+    /// [`Self::restore`] rebuilds a selector that continues *bit-for-bit*
+    /// identically to the original: every float is written with
+    /// round-trip-exact formatting, so a run interrupted at any round
+    /// boundary and resumed from its checkpoint reaches the same
+    /// [`Self::stopped_at`] and the same [`Self::finalize`] selection as
+    /// an uninterrupted run (enforced by the workspace property tests).
+    pub fn checkpoint(&self) -> String {
+        serde::json::to_string(self).expect("selector serialization is infallible")
+    }
+
+    /// Rebuild a selector from a [`Self::checkpoint`] string.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] when the checkpoint is malformed
+    /// or structurally incompatible ([`Self::validate`]).
+    pub fn restore(checkpoint: &str) -> Result<Self, CoreError> {
+        let selector: StreamingSelector = serde::json::from_str(checkpoint)
+            .map_err(|e| CoreError::invalid("checkpoint", e.to_string()))?;
+        selector
+            .validate()
+            .map_err(|reason| CoreError::invalid("checkpoint", reason))?;
+        Ok(selector)
+    }
+
+    /// Structural consistency of state adopted from a checkpoint: each
+    /// tracker's internal invariants ([`OnlineSlTracker::validate`]) and
+    /// a stop marker that lies inside the ingested stream. A corrupt but
+    /// parseable checkpoint fails here, at the restore boundary, instead
+    /// of panicking later inside an accessor.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, tracker) in [
+            ("measured", &self.measured),
+            ("replayed", &self.replayed),
+            ("novelty", &self.novelty),
+        ] {
+            tracker
+                .validate()
+                .map_err(|reason| format!("{name} tracker: {reason}"))?;
+        }
+        let seen = self.measured.iterations() + self.replayed.iterations();
+        if self.novelty.iterations() != seen {
+            return Err(format!(
+                "novelty tracker covers {} iterations but measured + replayed is {seen}",
+                self.novelty.iterations()
+            ));
+        }
+        if let Some(stopped_at) = self.stopped_at {
+            if stopped_at > self.novelty.iterations() {
+                return Err(format!(
+                    "stop marker at {stopped_at} lies beyond the {}-iteration stream",
+                    self.novelty.iterations()
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Run the selection pipeline on the streamed aggregates: exact
     /// per-SL counts and statistic sums from the measured and replayed
     /// trackers, with no per-iteration log ever materialized
@@ -427,9 +493,9 @@ mod tests {
         }))
     }
 
-    /// Structural selection equality with rounding-tolerant statistics
-    /// (the streamed path sums per SL, the full path averages
-    /// incrementally — last-ulp differences are expected).
+    /// Selection equality across *different algorithms* (streamed per-SL
+    /// sums vs the full path's incremental per-SL averages): structure
+    /// and weights exact, statistics tolerant to last-ulp rounding.
     fn assert_same_selection(a: &SeqPointSet, b: &SeqPointSet) {
         assert_eq!(a.len(), b.len());
         for (x, y) in a.points().iter().zip(b.points()) {
@@ -437,6 +503,25 @@ mod tests {
             assert_eq!(x.weight, y.weight);
             let tolerance = 1e-9 * y.stat.abs().max(1.0);
             assert!((x.stat - y.stat).abs() < tolerance);
+        }
+    }
+
+    /// Bit-exact selection equality, for runs of the *same* streaming
+    /// algorithm (different shard counts, or interrupted/resumed): the
+    /// compensated per-SL sums make the statistics order-independent.
+    fn assert_identical_selection(a: &SeqPointSet, b: &SeqPointSet) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.points().iter().zip(b.points()) {
+            assert_eq!(x.seq_len, y.seq_len);
+            assert_eq!(x.weight, y.weight);
+            assert_eq!(
+                x.stat.to_bits(),
+                y.stat.to_bits(),
+                "SL {}: {} vs {}",
+                x.seq_len,
+                x.stat,
+                y.stat
+            );
         }
     }
 
@@ -498,7 +583,116 @@ mod tests {
                 "shards = {shards}"
             );
             assert_eq!(sharded.stopped_at(), unsharded.stopped_at());
-            assert_same_selection(sharded.seqpoints(), unsharded.seqpoints());
+            assert_identical_selection(sharded.seqpoints(), unsharded.seqpoints());
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trips_and_rejects_garbage() {
+        let log = cyclic_log(500, 30);
+        let mut selector = StreamingSelector::with_config(StreamConfig::default());
+        let mut round = OnlineSlTracker::new();
+        for record in &log.records()[..200] {
+            round.observe(record.seq_len, record.stat);
+        }
+        selector.ingest_round(&round);
+        let restored = StreamingSelector::restore(&selector.checkpoint()).unwrap();
+        assert_eq!(restored, selector);
+        assert!(StreamingSelector::restore("not json").is_err());
+        assert!(StreamingSelector::restore("{\"config\":3}").is_err());
+    }
+
+    #[test]
+    fn restore_rejects_parseable_but_inconsistent_state() {
+        // A hand-edited checkpoint whose measured tracker has counts but
+        // empty statistic sums: parseable, structurally wrong. Without
+        // validation this would panic later in `finalize`/`mean_stat_of`
+        // instead of erroring at the restore boundary.
+        let empty =
+            "{\"counts\":{},\"stat_sums\":{},\"stat_sq_sums\":{},\"iterations\":0,\"last_new_sl_at\":0}";
+        let corrupt_measured =
+            "{\"counts\":{\"5\":2},\"stat_sums\":{},\"stat_sq_sums\":{},\"iterations\":2,\"last_new_sl_at\":1}";
+        let config = "{\"saturation_window\":256,\"unseen_threshold\":0.05,\"quantization\":1,\
+             \"pipeline\":{\"sl_threshold_n\":10,\"initial_k\":5,\"error_threshold_pct\":1.0,\"max_k\":64}}";
+        let build = |measured: &str, stopped_at: &str| {
+            format!(
+                "{{\"config\":{config},\"measured\":{measured},\"replayed\":{empty},\
+                 \"novelty\":{empty},\"last_new_at\":0,\"rounds\":1,\"stopped_at\":{stopped_at}}}"
+            )
+        };
+        assert!(matches!(
+            StreamingSelector::restore(&build(corrupt_measured, "null")),
+            Err(CoreError::InvalidParameter { parameter: "checkpoint", .. })
+        ));
+        // A stop marker beyond the ingested stream is equally rejected.
+        assert!(matches!(
+            StreamingSelector::restore(&build(empty, "100")),
+            Err(CoreError::InvalidParameter { parameter: "checkpoint", .. })
+        ));
+        // The well-formed variant of the same JSON restores fine.
+        assert!(StreamingSelector::restore(&build(empty, "null")).is_ok());
+    }
+
+    /// The ISSUE's kill-and-resume property: for every round boundary k,
+    /// checkpointing after round k and finishing in a fresh selector
+    /// produces exactly the uninterrupted run's outcome.
+    #[test]
+    fn resume_from_any_round_matches_the_uninterrupted_run() {
+        let log = cyclic_log(2_000, 48);
+        let config = StreamConfig {
+            saturation_window: 200,
+            ..StreamConfig::default()
+        };
+        let round_len = 64;
+        let uninterrupted = select_streaming(&log, 3, round_len, &config).unwrap();
+        let total_rounds = uninterrupted.rounds() as usize;
+        assert!(total_rounds >= 3, "need several rounds to interrupt");
+        for kill_after in 1..=total_rounds {
+            // Run the measurement phase up to the kill point...
+            let mut selector = StreamingSelector::with_config(config);
+            let mut consumed = 0;
+            for block in log.records().chunks(round_len).take(kill_after) {
+                let mut round = OnlineSlTracker::new();
+                for record in block {
+                    round.observe(record.seq_len, record.stat);
+                }
+                consumed += block.len();
+                if selector.ingest_round(&round) {
+                    break;
+                }
+            }
+            // ... persist, "crash", restore into a fresh selector ...
+            let mut resumed = StreamingSelector::restore(&selector.checkpoint()).unwrap();
+            drop(selector);
+            // ... and finish the stream from the same position.
+            if !resumed.should_stop() {
+                for block in log.records()[consumed..].chunks(round_len) {
+                    let mut round = OnlineSlTracker::new();
+                    for record in block {
+                        round.observe(record.seq_len, record.stat);
+                    }
+                    consumed += block.len();
+                    if resumed.ingest_round(&round) {
+                        break;
+                    }
+                }
+            }
+            for record in &log.records()[consumed..] {
+                resumed.observe_replayed(record.seq_len, record.stat);
+            }
+            let finished = resumed.finalize().unwrap();
+            assert_eq!(
+                finished.stopped_at(),
+                uninterrupted.stopped_at(),
+                "kill after round {kill_after}"
+            );
+            assert_eq!(
+                finished.iterations_measured(),
+                uninterrupted.iterations_measured()
+            );
+            assert_eq!(finished.iterations_total(), uninterrupted.iterations_total());
+            assert_eq!(finished.rounds(), uninterrupted.rounds());
+            assert_identical_selection(finished.seqpoints(), uninterrupted.seqpoints());
         }
     }
 

@@ -175,8 +175,9 @@ proptest! {
             single.iterations_measured()
         );
         prop_assert_eq!(sharded.rounds(), single.rounds());
-        // … so the selections are identical: same SLs, same weights,
-        // same statistics up to merge-order rounding.
+        // … so the selections are identical: same SLs, same weights, and
+        // — thanks to the Neumaier-compensated per-SL sums — bit-exact
+        // statistics, not merely equality up to merge-order rounding.
         prop_assert_eq!(sharded.seqpoints().len(), single.seqpoints().len());
         for (a, b) in sharded
             .seqpoints()
@@ -186,7 +187,83 @@ proptest! {
         {
             prop_assert_eq!(a.seq_len, b.seq_len);
             prop_assert_eq!(a.weight, b.weight);
-            prop_assert!((a.stat - b.stat).abs() <= 1e-9 * b.stat.abs().max(1.0));
+            prop_assert_eq!(
+                a.stat.to_bits(),
+                b.stat.to_bits(),
+                "SL {}: {} vs {}",
+                a.seq_len,
+                a.stat,
+                b.stat
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_matches_uninterrupted_run(
+        log in arb_stream(),
+        shards in 1usize..6,
+        round_len in 1usize..80,
+        window in 1u64..250,
+        kill_fraction in 0.0f64..1.0,
+    ) {
+        use seqpoint_core::online::OnlineSlTracker;
+        use seqpoint_core::StreamingSelector;
+
+        let config = StreamConfig {
+            saturation_window: window,
+            pipeline: stream_pipeline(),
+            ..StreamConfig::default()
+        };
+        let uninterrupted = select_streaming(&log, shards, round_len, &config).unwrap();
+        let total_rounds = log.records().len().div_ceil(round_len);
+        let kill_after = ((total_rounds as f64 * kill_fraction) as usize).max(1);
+
+        // Measure up to the kill point, checkpoint, restore, finish.
+        let mut selector = StreamingSelector::with_config(config);
+        let mut consumed = 0;
+        for block in log.records().chunks(round_len).take(kill_after) {
+            let mut round = OnlineSlTracker::new();
+            for r in block {
+                round.observe(r.seq_len, r.stat);
+            }
+            consumed += block.len();
+            if selector.ingest_round(&round) {
+                break;
+            }
+        }
+        let mut resumed = StreamingSelector::restore(&selector.checkpoint()).unwrap();
+        prop_assert_eq!(&resumed, &selector);
+        if !resumed.should_stop() {
+            for block in log.records()[consumed..].chunks(round_len) {
+                let mut round = OnlineSlTracker::new();
+                for r in block {
+                    round.observe(r.seq_len, r.stat);
+                }
+                consumed += block.len();
+                if resumed.ingest_round(&round) {
+                    break;
+                }
+            }
+        }
+        for r in &log.records()[consumed..] {
+            resumed.observe_replayed(r.seq_len, r.stat);
+        }
+        let finished = resumed.finalize().unwrap();
+        prop_assert_eq!(finished.stopped_at(), uninterrupted.stopped_at());
+        prop_assert_eq!(
+            finished.iterations_measured(),
+            uninterrupted.iterations_measured()
+        );
+        prop_assert_eq!(finished.iterations_total(), uninterrupted.iterations_total());
+        for (a, b) in finished
+            .seqpoints()
+            .points()
+            .iter()
+            .zip(uninterrupted.seqpoints().points())
+        {
+            prop_assert_eq!(a.seq_len, b.seq_len);
+            prop_assert_eq!(a.weight, b.weight);
+            prop_assert_eq!(a.stat.to_bits(), b.stat.to_bits());
         }
     }
 

@@ -1,0 +1,245 @@
+//! JSON round-trip properties for every `#[derive(Serialize, Deserialize)]`
+//! type in `seqpoint_core`.
+//!
+//! These pin the vendored serde shim's encoder before anything (the
+//! streaming checkpoints, trace export, a future service surface)
+//! depends on it: every derived type must survive
+//! `json::to_string` → `json::from_str` unchanged, including f64 edge
+//! values (`-0.0`, subnormals, `f64::MAX`/`MIN`), and re-serializing the
+//! round-tripped value must reproduce the byte-identical JSON — which
+//! `PartialEq` alone would not guarantee (`-0.0 == 0.0`).
+
+use proptest::prelude::*;
+use seqpoint_core::baselines::{BaselineKind, BaselineSelection};
+use seqpoint_core::binning::{bin_profiles, Bin};
+use seqpoint_core::kmeans::KMeansResult;
+use seqpoint_core::multi::{MultiStatAnalysis, MultiStatLog};
+use seqpoint_core::online::OnlineSlTracker;
+use seqpoint_core::simpoint::{simpoint, SimPointOptions, SimPointSet};
+use seqpoint_core::stats::CompensatedSum;
+use seqpoint_core::stream::{select_streaming, StreamConfig, StreamingAnalysis};
+use seqpoint_core::{
+    EpochLog, IterationRecord, SeqPoint, SeqPointAnalysis, SeqPointConfig, SeqPointPipeline,
+    SeqPointSet, SlProfile, StreamingSelector,
+};
+
+/// Assert a bit-exact JSON round trip: the value survives decoding, and
+/// re-encoding the decoded value reproduces the identical JSON text.
+fn assert_round_trips<T>(value: &T)
+where
+    T: serde::Serialize + for<'de> serde::Deserialize<'de> + PartialEq + std::fmt::Debug,
+{
+    let json = serde::json::to_string(value).expect("serialization cannot fail");
+    let back: T = serde::json::from_str(&json)
+        .unwrap_or_else(|e| panic!("failed to parse back `{json}`: {e}"));
+    assert_eq!(&back, value, "decoded value diverged; JSON was `{json}`");
+    let rejson = serde::json::to_string(&back).expect("serialization cannot fail");
+    assert_eq!(rejson, json, "re-encoding changed the JSON (float bits lost?)");
+}
+
+/// Statistic values biased toward the f64 edge cases the ISSUE calls out:
+/// signed zero, subnormals, and the extremes of the finite range.
+fn arb_stat() -> impl Strategy<Value = f64> {
+    (0u32..16, 0.001f64..100.0).prop_map(|(edge, x)| match edge {
+        0 => 0.0,
+        1 => -0.0,
+        2 => 5e-324, // smallest positive subnormal
+        3 => -5e-324,
+        4 => f64::MIN_POSITIVE,
+        5 => f64::MAX,
+        6 => f64::MIN,
+        7 => f64::EPSILON,
+        8 => 1.234_567_890_123_456_7e300,
+        9 => -9.876_543_210_987_654e-300,
+        _ => x,
+    })
+}
+
+fn arb_pairs() -> impl Strategy<Value = Vec<(u32, f64)>> {
+    proptest::collection::vec((1u32..300, arb_stat()), 1..120)
+}
+
+/// Pairs with positive statistics, for code paths (pipeline, baselines)
+/// that assume well-formed measurements.
+fn arb_positive_pairs() -> impl Strategy<Value = Vec<(u32, f64)>> {
+    proptest::collection::vec((1u32..200, 0.01f64..10.0), 1..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn iteration_record_and_profile(
+        seq_len in 0u32..=u32::MAX,
+        stat in arb_stat(),
+        count in 0u64..=u64::MAX,
+    ) {
+        assert_round_trips(&IterationRecord { seq_len, stat });
+        assert_round_trips(&SlProfile { seq_len, count, mean_stat: stat });
+    }
+
+    #[test]
+    fn epoch_log(pairs in arb_pairs()) {
+        assert_round_trips(&EpochLog::from_pairs(pairs));
+    }
+
+    #[test]
+    fn seqpoint_set_and_bins(pairs in arb_pairs(), k in 1u32..20) {
+        let log = EpochLog::from_pairs(pairs);
+        let bins: Vec<Bin> = bin_profiles(&log.sl_profiles(), k).unwrap();
+        assert_round_trips(&bins);
+        let set = SeqPointSet::select(&bins);
+        assert_round_trips(&set);
+        for point in set.points() {
+            assert_round_trips::<SeqPoint>(point);
+        }
+    }
+
+    #[test]
+    fn pipeline_config_and_analysis(pairs in arb_positive_pairs(), e in 0.5f64..20.0) {
+        let config = SeqPointConfig {
+            error_threshold_pct: e,
+            max_k: 512,
+            ..SeqPointConfig::default()
+        };
+        assert_round_trips(&config);
+        let log = EpochLog::from_pairs(pairs);
+        let analysis: SeqPointAnalysis =
+            SeqPointPipeline::with_config(config).run(&log).unwrap();
+        assert_round_trips(&analysis);
+    }
+
+    #[test]
+    fn baseline_kinds_and_selections(pairs in arb_positive_pairs(), warmup in 0usize..50, window in 1usize..60) {
+        let log = EpochLog::from_pairs(pairs);
+        assert_round_trips(&BaselineKind::Prior { warmup, window });
+        for kind in BaselineKind::paper_set() {
+            assert_round_trips(&kind);
+            let selection: BaselineSelection = kind.select(&log).unwrap();
+            assert_round_trips(&selection);
+        }
+    }
+
+    #[test]
+    fn online_tracker(pairs in arb_pairs()) {
+        let mut tracker = OnlineSlTracker::new();
+        for &(sl, stat) in &pairs {
+            tracker.observe(sl, stat);
+        }
+        assert_round_trips(&tracker);
+        // The restored tracker continues identically: same aggregates
+        // after observing the same suffix.
+        let json = serde::json::to_string(&tracker).unwrap();
+        let mut restored: OnlineSlTracker = serde::json::from_str(&json).unwrap();
+        for &(sl, stat) in &pairs {
+            tracker.observe(sl, stat);
+            restored.observe(sl, stat);
+        }
+        prop_assert_eq!(restored, tracker);
+    }
+
+    #[test]
+    fn compensated_sum(values in proptest::collection::vec(arb_stat(), 0..80)) {
+        let mut sum = CompensatedSum::new();
+        for v in values {
+            sum.add(v);
+        }
+        assert_round_trips(&sum);
+    }
+
+    #[test]
+    fn streaming_selector_and_analysis(
+        pairs in arb_positive_pairs(),
+        window in 1u64..200,
+        round_len in 1usize..60,
+    ) {
+        let config = StreamConfig {
+            saturation_window: window,
+            pipeline: SeqPointConfig { max_k: 512, ..SeqPointConfig::default() },
+            ..StreamConfig::default()
+        };
+        assert_round_trips(&config);
+        let log = EpochLog::from_pairs(pairs);
+        let analysis: StreamingAnalysis =
+            select_streaming(&log, 2, round_len, &config).unwrap();
+        assert_round_trips(&analysis);
+        // A mid-stream selector (the checkpointing type) round-trips too.
+        let mut selector = StreamingSelector::with_config(config);
+        let mut round = OnlineSlTracker::new();
+        for record in log.records().iter().take(round_len) {
+            round.observe(record.seq_len, record.stat);
+        }
+        selector.ingest_round(&round);
+        assert_round_trips(&selector);
+    }
+
+    #[test]
+    fn multi_stat_types(pairs in arb_positive_pairs()) {
+        let mut log = MultiStatLog::new(["runtime", "energy"]).unwrap();
+        for &(sl, stat) in &pairs {
+            log.push(sl, [stat, stat * 2.5]).unwrap();
+        }
+        assert_round_trips(&log);
+        let config = SeqPointConfig { max_k: 512, ..SeqPointConfig::default() };
+        let analysis: MultiStatAnalysis = log.analyze_with_primary(0, config).unwrap();
+        assert_round_trips(&analysis);
+    }
+
+    #[test]
+    fn clustering_types(
+        assignments in proptest::collection::vec(0usize..4, 1..40),
+        seed in 0u64..1000,
+        stat in arb_stat(),
+    ) {
+        let result = KMeansResult {
+            assignments,
+            centroids: vec![vec![stat, 1.0], vec![2.0, stat]],
+            inertia: stat.abs(),
+        };
+        assert_round_trips(&result);
+        let options = SimPointOptions { seed, ..SimPointOptions::default() };
+        assert_round_trips(&options);
+        let data: Vec<Vec<f64>> =
+            (0..20).map(|i| vec![f64::from(i % 5), f64::from(i % 3)]).collect();
+        let set: SimPointSet = simpoint(&data, options).unwrap();
+        assert_round_trips(&set);
+    }
+}
+
+/// Non-finite floats cannot ride through `PartialEq`-based helpers; pin
+/// their bit-exact hex fallback directly.
+#[test]
+fn non_finite_stats_round_trip_bit_exactly() {
+    for f in [
+        f64::NAN,
+        -f64::NAN,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::from_bits(0x7ff8_dead_beef_0001), // NaN with payload
+    ] {
+        let record = IterationRecord { seq_len: 7, stat: f };
+        let json = serde::json::to_string(&record).unwrap();
+        let back: IterationRecord = serde::json::from_str(&json).unwrap();
+        assert_eq!(back.seq_len, 7);
+        assert_eq!(back.stat.to_bits(), f.to_bits(), "{json}");
+    }
+}
+
+/// The checkpoint format is JSON text: hand-written or truncated inputs
+/// must fail loudly, never produce a half-restored value.
+#[test]
+fn malformed_json_is_rejected() {
+    for bad in [
+        "",
+        "{",
+        "{\"records\":}",
+        "{\"records\":[{\"seq_len\":1}]}",       // missing field
+        "{\"records\":[{\"seq_len\":-1,\"stat\":0.0}]}", // u32 range
+        "[1,2,3]",
+    ] {
+        assert!(
+            serde::json::from_str::<EpochLog>(bad).is_err(),
+            "`{bad}` should not deserialize"
+        );
+    }
+}

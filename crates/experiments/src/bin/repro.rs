@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the SeqPoint paper.
 //!
 //! ```text
-//! repro [--quick] [--out DIR] [--only LIST] [--online] [--shards N]
+//! repro [--quick] [--out DIR] [--only LIST] [--online] [--shards N] [--checkpoint]
 //!
 //!   --quick      reduced dataset scale (default: paper scale)
 //!   --out DIR    results directory (default: results)
@@ -9,6 +9,8 @@
 //!   --online     run only the streaming online-selection comparison
 //!                (shorthand for --only streaming)
 //!   --shards N   worker shards for the streaming runs (default 4)
+//!   --checkpoint persist the streaming runs' state under
+//!                DIR/checkpoints and verify the resume path
 //! ```
 //!
 //! Each experiment prints its table to stdout and archives it as CSV
@@ -58,12 +60,14 @@ fn canonical_key(key: &str) -> Option<&'static str> {
 
 fn print_help() {
     println!(
-        "repro [--quick] [--out DIR] [--only LIST] [--online] [--shards N]\n\n\
+        "repro [--quick] [--out DIR] [--only LIST] [--online] [--shards N] [--checkpoint]\n\n\
          --quick      reduced dataset scale (default: paper scale)\n\
          --out DIR    results directory (default: results)\n\
          --only LIST  comma-separated subset of the artifact keys below\n\
          --online     run only the streaming online-selection comparison\n\
-         --shards N   worker shards for the streaming runs (default 4)\n\n\
+         --shards N   worker shards for the streaming runs (default 4)\n\
+         --checkpoint persist streaming-run state under DIR/checkpoints\n\
+                      (atomic, resumable) and verify the resume path\n\n\
          Artifact keys:"
     );
     for (id, aliases, desc) in ARTIFACTS {
@@ -81,6 +85,7 @@ struct Args {
     out: String,
     only: Option<BTreeSet<String>>,
     shards: usize,
+    checkpoint: bool,
 }
 
 fn parse_args() -> Args {
@@ -89,6 +94,7 @@ fn parse_args() -> Args {
         out: "results".to_owned(),
         only: None,
         shards: 4,
+        checkpoint: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -123,6 +129,7 @@ fn parse_args() -> Args {
                     }
                 }
             }
+            "--checkpoint" => args.checkpoint = true,
             "--online" => {
                 args.only
                     .get_or_insert_with(BTreeSet::new)
@@ -232,7 +239,14 @@ fn main() {
         emit("extensions", &extensions::run(&mut w).table, &args.out);
     }
     if wants("streaming") {
-        emit("streaming", &streaming::run(&mut w, args.shards).table, &args.out);
+        let checkpoint_dir = args
+            .checkpoint
+            .then(|| std::path::PathBuf::from(&args.out).join("checkpoints"));
+        emit(
+            "streaming",
+            &streaming::run(&mut w, args.shards, checkpoint_dir.as_deref()).table,
+            &args.out,
+        );
     }
     println!(
         "\n_All requested experiments regenerated in {:.1} s; CSVs under `{}/`._",

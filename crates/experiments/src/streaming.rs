@@ -10,11 +10,16 @@
 //! epoch-logging speedup, and whether the streamed selection matches the
 //! full-epoch selection (it must — counts stay exact).
 
+use std::path::Path;
+
 use gpu_sim::Device;
 use seqpoint_core::stream::StreamConfig;
 use seqpoint_core::SeqPointPipeline;
 use sqnn_profiler::report::{fmt_f, Table};
-use sqnn_profiler::stream::{profile_epoch_streaming, StreamOptions};
+use sqnn_profiler::stream::{
+    profile_epoch_streaming, profile_epoch_streaming_checkpointed, CheckpointOptions,
+    StreamOptions, StreamOutcome,
+};
 use sqnn_profiler::Profiler;
 
 use crate::{identification_config, Net, Workloads};
@@ -60,6 +65,9 @@ pub struct StreamingNet {
     /// Whether the streamed selection equals the full-epoch selection
     /// (same SLs, same weights).
     pub selection_matches: bool,
+    /// Whether a checkpointed run resumed from its own file to the
+    /// identical selection (`None` when checkpointing was off).
+    pub resume_verified: Option<bool>,
 }
 
 /// Result of the streaming ablation.
@@ -74,7 +82,13 @@ pub struct Streaming {
 }
 
 /// Run the ablation with `shards` streaming workers.
-pub fn run(w: &mut Workloads, shards: usize) -> Streaming {
+///
+/// `checkpoint_dir`, when set, makes each network's streamed run persist
+/// its state to `<dir>/<net>.ckpt.json` (the `repro --online
+/// --checkpoint` path) — and then *proves* the fault-tolerance claim by
+/// re-invoking the run against its own completed checkpoint and
+/// comparing the selections.
+pub fn run(w: &mut Workloads, shards: usize, checkpoint_dir: Option<&Path>) -> Streaming {
     let shards = shards.max(1);
     let mut table = Table::new(
         "Streaming ablation — full-epoch vs early-stop selection (steady-state epoch)",
@@ -87,6 +101,7 @@ pub fn run(w: &mut Workloads, shards: usize) -> Streaming {
             "unseen probability",
             "seqpoints (full/streamed)",
             "selection matches",
+            "checkpoint resume",
         ],
     );
     let mut nets = Vec::new();
@@ -107,9 +122,41 @@ pub fn run(w: &mut Workloads, shards: usize) -> Streaming {
             stream: stream_config(),
             ..StreamOptions::default()
         };
-        let streamed =
-            profile_epoch_streaming(&profiler, w.network(net), &plan, &device, &options)
-                .expect("streaming the same plan cannot fail");
+        let (streamed, resume_verified) = match checkpoint_dir {
+            None => (
+                profile_epoch_streaming(&profiler, w.network(net), &plan, &device, &options)
+                    .expect("streaming the same plan cannot fail"),
+                None,
+            ),
+            Some(dir) => {
+                std::fs::create_dir_all(dir).expect("checkpoint directory is creatable");
+                let mut path = dir.to_path_buf();
+                path.push(format!("{}.ckpt.json", net.label()));
+                let _ = std::fs::remove_file(&path);
+                let policy = CheckpointOptions::new(path);
+                let run_once = |profiler: &Profiler, w: &Workloads| match profile_epoch_streaming_checkpointed(
+                    profiler,
+                    w.network(net),
+                    &plan,
+                    &device,
+                    &options,
+                    &policy,
+                )
+                .expect("checkpointed streaming cannot fail")
+                {
+                    StreamOutcome::Complete(profile) => profile,
+                    StreamOutcome::Paused(_) => {
+                        unreachable!("no max_rounds configured, the run cannot pause")
+                    }
+                };
+                let first = run_once(&profiler, w);
+                // Resume path: the second invocation adopts the completed
+                // checkpoint and must reproduce the selection exactly.
+                let resumed = run_once(&profiler, w);
+                let verified = resumed.selection == first.selection;
+                (first, Some(verified))
+            }
+        };
         let selection = &streamed.selection;
         let selection_matches = selection.seqpoints().seq_lens() == full.seqpoints().seq_lens()
             && selection
@@ -129,6 +176,7 @@ pub fn run(w: &mut Workloads, shards: usize) -> Streaming {
             full_points: full.seqpoints().len(),
             streamed_points: selection.seqpoints().len(),
             selection_matches,
+            resume_verified,
         };
         table.push_row([
             net.label().to_owned(),
@@ -139,6 +187,11 @@ pub fn run(w: &mut Workloads, shards: usize) -> Streaming {
             fmt_f(row.unseen_probability, 4),
             format!("{}/{}", row.full_points, row.streamed_points),
             if row.selection_matches { "yes" } else { "NO" }.to_owned(),
+            match row.resume_verified {
+                None => "off".to_owned(),
+                Some(true) => "verified".to_owned(),
+                Some(false) => "DIVERGED".to_owned(),
+            },
         ]);
         nets.push(row);
     }
@@ -152,7 +205,7 @@ mod tests {
     #[test]
     fn streamed_selection_matches_full_epoch_while_measuring_less() {
         let mut w = Workloads::quick();
-        let r = run(&mut w, 4);
+        let r = run(&mut w, 4, None);
         assert_eq!(r.nets.len(), 2);
         for n in &r.nets {
             assert!(
@@ -181,11 +234,31 @@ mod tests {
     #[test]
     fn shard_count_does_not_affect_the_comparison() {
         let mut w = Workloads::quick();
-        let a = run(&mut w, 1);
-        let b = run(&mut w, 6);
+        let a = run(&mut w, 1, None);
+        let b = run(&mut w, 6, None);
         for (x, y) in a.nets.iter().zip(&b.nets) {
             assert_eq!(x.measured_iterations, y.measured_iterations);
             assert_eq!(x.selection_matches, y.selection_matches);
         }
+    }
+
+    #[test]
+    fn checkpointed_ablation_verifies_the_resume_path() {
+        let mut w = Workloads::quick();
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("seqpoint-repro-ckpt-{}", std::process::id()));
+        let r = run(&mut w, 3, Some(&dir));
+        for n in &r.nets {
+            assert_eq!(
+                n.resume_verified,
+                Some(true),
+                "{}: checkpoint resume diverged",
+                n.net.label()
+            );
+            // The same run without checkpointing is unaffected by the
+            // persistence machinery.
+            assert!(n.selection_matches, "{}", n.net.label());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

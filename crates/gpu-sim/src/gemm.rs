@@ -48,7 +48,11 @@ impl std::fmt::Display for GemmShape {
 }
 
 /// One compiled GEMM kernel variant (a tile configuration).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// `Serialize`-only: the `&'static str` label refers into the compiled-in
+/// kernel library ([`VARIANTS`]), so a variant cannot be deserialized —
+/// it is looked up by label instead.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct GemmVariant {
     /// Variant label embedded in kernel names.
     pub label: &'static str,

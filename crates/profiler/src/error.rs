@@ -24,6 +24,13 @@ pub enum ProfileError {
         /// The underlying [`seqpoint_core::CoreError`] rendered.
         message: String,
     },
+    /// Reading, writing, or validating a streaming checkpoint failed.
+    Checkpoint {
+        /// The checkpoint file path.
+        path: String,
+        /// What went wrong.
+        message: String,
+    },
 }
 
 impl fmt::Display for ProfileError {
@@ -38,6 +45,9 @@ impl fmt::Display for ProfileError {
             }
             ProfileError::Selection { message } => {
                 write!(f, "streamed selection failed: {message}")
+            }
+            ProfileError::Checkpoint { path, message } => {
+                write!(f, "checkpoint `{path}`: {message}")
             }
         }
     }

@@ -1,4 +1,5 @@
-//! Streaming epoch profiling with sharded logs and saturation early stop.
+//! Streaming epoch profiling with sharded logs, saturation early stop,
+//! and checkpoint/resume.
 //!
 //! [`crate::Profiler::profile_epoch`] materializes the whole epoch in
 //! memory on one device. This module is the scalable counterpart: the
@@ -17,12 +18,30 @@
 //! stay exact, so the selection matches the full-epoch path while only
 //! a fraction of the iterations were ever executed — and the full
 //! per-iteration epoch log never exists anywhere.
+//!
+//! # Fault tolerance
+//!
+//! [`profile_epoch_streaming_checkpointed`] persists the complete run
+//! state — selector (compensated statistic sums included), consumed
+//! position, memoized shape profiles, and cost accounting — to a JSON
+//! checkpoint file, atomically (write-temp-then-rename) every
+//! [`CheckpointOptions::every_rounds`] rounds. When the file already
+//! exists the run resumes from it instead of starting over, and the
+//! resumed run's stop decision, selection, and cost totals are
+//! bit-identical to an uninterrupted run's. The checkpoint embeds a
+//! fingerprint of the plan/network/device/options, so a stale file from
+//! a different run configuration is rejected instead of silently
+//! corrupting the selection. The worker shard count is deliberately
+//! *not* fingerprinted: selection is shard-count independent, so a run
+//! may resume on a machine with more or fewer workers.
 
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 
 use gpu_sim::Device;
 use seqpoint_core::online::OnlineSlTracker;
 use seqpoint_core::stream::{StreamConfig, StreamingAnalysis, StreamingSelector};
+use serde::{Deserialize, Serialize};
 use sqnn::{IterationShape, Network};
 use sqnn_data::EpochPlan;
 
@@ -53,6 +72,64 @@ impl Default for StreamOptions {
     }
 }
 
+/// Checkpoint policy for [`profile_epoch_streaming_checkpointed`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointOptions {
+    /// Checkpoint file. Resumed from automatically when it exists;
+    /// written atomically (`<path>.tmp` + rename) during the run.
+    pub path: PathBuf,
+    /// Write the checkpoint every this many processed rounds (≥ 1).
+    pub every_rounds: u32,
+    /// Stop after this many rounds processed *in this invocation*,
+    /// persisting state and returning [`StreamOutcome::Paused`] — a
+    /// cooperative preemption hook (and the test harness's kill switch).
+    pub max_rounds: Option<u64>,
+}
+
+impl CheckpointOptions {
+    /// Checkpoint to `path` every 8 rounds, with no pause limit.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        CheckpointOptions {
+            path: path.into(),
+            every_rounds: 8,
+            max_rounds: None,
+        }
+    }
+}
+
+/// Format version of [`StreamCheckpoint`] files.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// The persisted state of a streamed profiling run: everything needed to
+/// resume bit-identically after a crash or preemption.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamCheckpoint {
+    version: u32,
+    fingerprint: u64,
+    selector: StreamingSelector,
+    consumed: u64,
+    shapes: Vec<IterationProfile>,
+    profiled_serial_s: f64,
+    profiled_wall_s: f64,
+}
+
+impl StreamCheckpoint {
+    /// The selector state at the checkpoint.
+    pub fn selector(&self) -> &StreamingSelector {
+        &self.selector
+    }
+
+    /// Plan iterations fully processed (measured or replayed) so far.
+    pub fn consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// Distinct `(seq_len, samples)` shapes profiled so far.
+    pub fn shapes_profiled(&self) -> usize {
+        self.shapes.len()
+    }
+}
+
 /// The outcome of one streamed profiling run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StreamedEpochProfile {
@@ -78,6 +155,104 @@ impl StreamedEpochProfile {
         }
         self.profiled_serial_s / self.profiled_wall_s
     }
+}
+
+/// Where a checkpointed run stopped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamPause {
+    /// Rounds merged into the selector so far (across all invocations).
+    pub rounds_ingested: u32,
+    /// Plan iterations fully processed so far.
+    pub iterations_consumed: u64,
+    /// Iterations in the whole plan.
+    pub iterations_total: u64,
+    /// The checkpoint file holding the persisted state.
+    pub path: PathBuf,
+}
+
+/// Result of a checkpointed streaming run: finished, or paused with
+/// state persisted for a later resume.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(clippy::large_enum_variant)]
+pub enum StreamOutcome {
+    /// The run finished; the selection is final.
+    Complete(StreamedEpochProfile),
+    /// [`CheckpointOptions::max_rounds`] was reached; re-run with the
+    /// same checkpoint path to continue.
+    Paused(StreamPause),
+}
+
+/// FNV-1a accumulation helper for the run fingerprint.
+fn fnv_mix(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= u64::from(b);
+        *hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+/// Fingerprint of everything that determines a streamed run's results —
+/// plan contents, network, device, statistic, round length, and stop
+/// thresholds — but *not* the shard count (selection is shard-count
+/// independent, so resumes may reshard).
+fn stream_fingerprint(
+    network: &Network,
+    plan: &EpochPlan,
+    device: &Device,
+    options: &StreamOptions,
+) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    fnv_mix(&mut hash, network.name().as_bytes());
+    fnv_mix(&mut hash, plan.dataset().as_bytes());
+    fnv_mix(&mut hash, &plan.batch_size().to_le_bytes());
+    for batch in plan.batches() {
+        fnv_mix(&mut hash, &batch.seq_len.to_le_bytes());
+        fnv_mix(&mut hash, &batch.samples.to_le_bytes());
+    }
+    let device_json =
+        serde::json::to_string(device).expect("device serialization is infallible");
+    fnv_mix(&mut hash, device_json.as_bytes());
+    let stream_json =
+        serde::json::to_string(&options.stream).expect("config serialization is infallible");
+    fnv_mix(&mut hash, stream_json.as_bytes());
+    fnv_mix(&mut hash, options.stat.label().as_bytes());
+    fnv_mix(&mut hash, &(options.round_len as u64).to_le_bytes());
+    hash
+}
+
+fn checkpoint_error(path: &Path, message: impl Into<String>) -> ProfileError {
+    ProfileError::Checkpoint {
+        path: path.display().to_string(),
+        message: message.into(),
+    }
+}
+
+/// Atomically persist a checkpoint: write the JSON to `<path>.tmp`, then
+/// rename over `path`, so a crash mid-write never leaves a torn file.
+fn write_checkpoint(path: &Path, checkpoint: &StreamCheckpoint) -> Result<(), ProfileError> {
+    let json = serde::json::to_string(checkpoint)
+        .map_err(|e| checkpoint_error(path, e.to_string()))?;
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, json)
+        .map_err(|e| checkpoint_error(path, format!("writing temp file: {e}")))?;
+    std::fs::rename(&tmp, path)
+        .map_err(|e| checkpoint_error(path, format!("renaming into place: {e}")))?;
+    Ok(())
+}
+
+fn read_checkpoint(path: &Path) -> Result<StreamCheckpoint, ProfileError> {
+    let json = std::fs::read_to_string(path)
+        .map_err(|e| checkpoint_error(path, format!("reading: {e}")))?;
+    let checkpoint: StreamCheckpoint =
+        serde::json::from_str(&json).map_err(|e| checkpoint_error(path, e.to_string()))?;
+    // A parseable but internally inconsistent file (hand-edited, or from
+    // a buggy writer) must fail here, not panic later mid-run.
+    checkpoint
+        .selector
+        .validate()
+        .map_err(|reason| checkpoint_error(path, format!("inconsistent selector state: {reason}")))?;
+    Ok(checkpoint)
 }
 
 /// Profile an epoch plan in streaming mode: sharded, round-paced, and
@@ -107,6 +282,43 @@ pub fn profile_epoch_streaming(
     device: &Device,
     options: &StreamOptions,
 ) -> Result<StreamedEpochProfile, ProfileError> {
+    match run_streaming(profiler, network, plan, device, options, None)? {
+        StreamOutcome::Complete(profile) => Ok(profile),
+        StreamOutcome::Paused(_) => unreachable!("pausing requires a checkpoint policy"),
+    }
+}
+
+/// [`profile_epoch_streaming`] with crash tolerance: state is persisted
+/// to [`CheckpointOptions::path`] every
+/// [`CheckpointOptions::every_rounds`] rounds, and a run whose
+/// checkpoint file already exists resumes from it — reaching the exact
+/// `stopped_at`, selection, and cost totals of an uninterrupted run.
+///
+/// # Errors
+///
+/// As [`profile_epoch_streaming`], plus
+/// [`ProfileError::Checkpoint`] for unreadable, torn, version-skewed, or
+/// configuration-mismatched checkpoint files, and
+/// [`ProfileError::InvalidStream`] for a zero `every_rounds`.
+pub fn profile_epoch_streaming_checkpointed(
+    profiler: &Profiler,
+    network: &Network,
+    plan: &EpochPlan,
+    device: &Device,
+    options: &StreamOptions,
+    checkpoint: &CheckpointOptions,
+) -> Result<StreamOutcome, ProfileError> {
+    run_streaming(profiler, network, plan, device, options, Some(checkpoint))
+}
+
+fn run_streaming(
+    profiler: &Profiler,
+    network: &Network,
+    plan: &EpochPlan,
+    device: &Device,
+    options: &StreamOptions,
+    checkpoint: Option<&CheckpointOptions>,
+) -> Result<StreamOutcome, ProfileError> {
     if plan.iterations() == 0 {
         return Err(ProfileError::EmptyPlan);
     }
@@ -125,90 +337,264 @@ pub fn profile_epoch_streaming(
             message: "quantization must be positive".to_owned(),
         });
     }
+    if checkpoint.is_some_and(|c| c.every_rounds == 0) {
+        return Err(ProfileError::InvalidStream {
+            message: "checkpoint every_rounds must be positive".to_owned(),
+        });
+    }
+
+    let total_iterations = plan.iterations();
+    let fingerprint = stream_fingerprint(network, plan, device, options);
     let mut selector = StreamingSelector::with_config(options.stream);
-    let mut memos: Vec<HashMap<(u32, u32), IterationProfile>> =
-        vec![HashMap::new(); options.shards];
+    let mut shapes: HashMap<(u32, u32), IterationProfile> = HashMap::new();
+    let mut consumed: usize = 0;
     let mut profiled_serial_s = 0.0;
     let mut profiled_wall_s = 0.0;
-    let mut consumed = 0;
-    for block in plan.rounds(options.round_len) {
-        let round_results: Vec<(OnlineSlTracker, f64)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = memos
-                .iter_mut()
-                .enumerate()
-                .map(|(shard, memo)| {
-                    let device = device.clone();
-                    // First block index dealt to this shard under the
-                    // global round-robin rule (EpochPlan::shard).
-                    let start = (shard + options.shards - consumed % options.shards)
-                        % options.shards;
-                    scope.spawn(move || {
-                        let mut tracker = OnlineSlTracker::new();
-                        let mut chunk_time_s = 0.0;
-                        for batch in block.iter().skip(start).step_by(options.shards) {
-                            let key = (batch.seq_len, batch.samples);
-                            let profile = memo.entry(key).or_insert_with(|| {
-                                let shape =
-                                    IterationShape::new(batch.samples, batch.seq_len);
-                                profiler.profile_iteration(network, &shape, &device)
-                            });
-                            tracker.observe(profile.seq_len, profile.stat(options.stat));
-                            chunk_time_s += profile.time_s;
-                        }
-                        (tracker, chunk_time_s)
-                    })
-                })
-                .collect();
-            handles
+
+    // Resume: adopt the persisted state when a checkpoint file exists.
+    if let Some(ckpt) = checkpoint {
+        if ckpt.path.exists() {
+            let loaded = read_checkpoint(&ckpt.path)?;
+            if loaded.version != CHECKPOINT_VERSION {
+                return Err(checkpoint_error(
+                    &ckpt.path,
+                    format!(
+                        "version {} is not the supported {CHECKPOINT_VERSION}",
+                        loaded.version
+                    ),
+                ));
+            }
+            if loaded.fingerprint != fingerprint {
+                return Err(checkpoint_error(
+                    &ckpt.path,
+                    "checkpoint was written by a different run configuration \
+                     (plan, network, device, statistic, round length, or thresholds differ)",
+                ));
+            }
+            if loaded.consumed as usize > total_iterations {
+                return Err(checkpoint_error(
+                    &ckpt.path,
+                    "checkpoint is ahead of the plan it claims to match",
+                ));
+            }
+            selector = loaded.selector;
+            consumed = loaded.consumed as usize;
+            shapes = loaded
+                .shapes
                 .into_iter()
-                .map(|h| h.join().expect("profiling shard panicked"))
-                .collect()
-        });
-        let mut round = OnlineSlTracker::new();
-        let mut slowest_shard_s = 0.0;
-        for (tracker, chunk_time_s) in &round_results {
-            round.merge(tracker);
-            profiled_serial_s += chunk_time_s;
-            slowest_shard_s = f64::max(slowest_shard_s, *chunk_time_s);
-        }
-        profiled_wall_s += slowest_shard_s;
-        consumed += block.len();
-        if selector.ingest_round(&round) {
-            break;
+                .map(|p| ((p.seq_len, p.samples), p))
+                .collect();
+            profiled_serial_s = loaded.profiled_serial_s;
+            profiled_wall_s = loaded.profiled_wall_s;
         }
     }
+
+    // Every shard memo starts as the union of shapes profiled so far
+    // (empty on a fresh run). Profiles are deterministic per shape, so
+    // seeding resumed shards with each other's work changes nothing
+    // observable — it only avoids re-simulating.
+    let mut memos: Vec<HashMap<(u32, u32), IterationProfile>> =
+        vec![shapes.clone(); options.shards];
+
+    let mut blocks_this_run: u64 = 0;
+    let mut since_checkpoint: u32 = 0;
+    let snapshot = |selector: &StreamingSelector,
+                    shapes: &HashMap<(u32, u32), IterationProfile>,
+                    memos: &[HashMap<(u32, u32), IterationProfile>],
+                    consumed: usize,
+                    serial: f64,
+                    wall: f64| {
+        let mut union = shapes.clone();
+        for memo in memos {
+            union.extend(memo.iter().map(|(k, v)| (*k, v.clone())));
+        }
+        let mut shapes: Vec<IterationProfile> = union.into_values().collect();
+        shapes.sort_by_key(|p| (p.seq_len, p.samples));
+        StreamCheckpoint {
+            version: CHECKPOINT_VERSION,
+            fingerprint,
+            selector: selector.clone(),
+            consumed: consumed as u64,
+            shapes,
+            profiled_serial_s: serial,
+            profiled_wall_s: wall,
+        }
+    };
+    let pause = |selector: &StreamingSelector, consumed: usize, path: &Path| {
+        StreamOutcome::Paused(StreamPause {
+            rounds_ingested: selector.rounds(),
+            iterations_consumed: consumed as u64,
+            iterations_total: total_iterations as u64,
+            path: path.to_path_buf(),
+        })
+    };
+
+    // Measure phase. `consumed` only ever advances by whole blocks, so
+    // div_ceil lands on the correct next block even after the final
+    // (possibly short) one.
+    if !selector.should_stop() && consumed < total_iterations {
+        for block in plan
+            .rounds(options.round_len)
+            .skip(consumed.div_ceil(options.round_len))
+        {
+            if let Some(ckpt) = checkpoint {
+                if ckpt.max_rounds.is_some_and(|m| blocks_this_run >= m) {
+                    let state = snapshot(
+                        &selector,
+                        &shapes,
+                        &memos,
+                        consumed,
+                        profiled_serial_s,
+                        profiled_wall_s,
+                    );
+                    write_checkpoint(&ckpt.path, &state)?;
+                    return Ok(pause(&selector, consumed, &ckpt.path));
+                }
+            }
+            let round_results: Vec<(OnlineSlTracker, f64)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = memos
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(shard, memo)| {
+                        let device = device.clone();
+                        // First block index dealt to this shard under the
+                        // global round-robin rule (EpochPlan::shard).
+                        let start = (shard + options.shards - consumed % options.shards)
+                            % options.shards;
+                        scope.spawn(move || {
+                            let mut tracker = OnlineSlTracker::new();
+                            let mut chunk_time_s = 0.0;
+                            for batch in block.iter().skip(start).step_by(options.shards) {
+                                let key = (batch.seq_len, batch.samples);
+                                let profile = memo.entry(key).or_insert_with(|| {
+                                    let shape =
+                                        IterationShape::new(batch.samples, batch.seq_len);
+                                    profiler.profile_iteration(network, &shape, &device)
+                                });
+                                tracker.observe(profile.seq_len, profile.stat(options.stat));
+                                chunk_time_s += profile.time_s;
+                            }
+                            (tracker, chunk_time_s)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("profiling shard panicked"))
+                    .collect()
+            });
+            let mut round = OnlineSlTracker::new();
+            let mut slowest_shard_s = 0.0;
+            for (tracker, chunk_time_s) in &round_results {
+                round.merge(tracker);
+                profiled_serial_s += chunk_time_s;
+                slowest_shard_s = f64::max(slowest_shard_s, *chunk_time_s);
+            }
+            profiled_wall_s += slowest_shard_s;
+            consumed += block.len();
+            blocks_this_run += 1;
+            since_checkpoint += 1;
+            let stopped = selector.ingest_round(&round);
+            if let Some(ckpt) = checkpoint {
+                if since_checkpoint >= ckpt.every_rounds {
+                    let state = snapshot(
+                        &selector,
+                        &shapes,
+                        &memos,
+                        consumed,
+                        profiled_serial_s,
+                        profiled_wall_s,
+                    );
+                    write_checkpoint(&ckpt.path, &state)?;
+                    since_checkpoint = 0;
+                }
+            }
+            if stopped {
+                break;
+            }
+        }
+    }
+
     // Replay phase: batch shapes are free metadata from the data
     // pipeline; a shape profiled during the rounds replays its recorded
-    // statistic, and only a never-seen shape costs a measurement.
-    let mut shapes: HashMap<(u32, u32), IterationProfile> = HashMap::new();
-    for memo in memos {
-        shapes.extend(memo);
+    // statistic, and only a never-seen shape costs a measurement. Paced
+    // in round-sized blocks so checkpoints keep landing.
+    for memo in &memos {
+        shapes.extend(memo.iter().map(|(k, v)| (*k, v.clone())));
     }
-    for batch in &plan.batches()[consumed..] {
-        let key = (batch.seq_len, batch.samples);
-        match shapes.get(&key) {
-            Some(profile) => {
-                selector.observe_replayed(profile.seq_len, profile.stat(options.stat));
+    while consumed < total_iterations {
+        if let Some(ckpt) = checkpoint {
+            if ckpt.max_rounds.is_some_and(|m| blocks_this_run >= m) {
+                let state = snapshot(
+                    &selector,
+                    &shapes,
+                    &[],
+                    consumed,
+                    profiled_serial_s,
+                    profiled_wall_s,
+                );
+                write_checkpoint(&ckpt.path, &state)?;
+                return Ok(pause(&selector, consumed, &ckpt.path));
             }
-            None => {
-                let shape = IterationShape::new(batch.samples, batch.seq_len);
-                let profile = profiler.profile_iteration(network, &shape, device);
-                profiled_serial_s += profile.time_s;
-                profiled_wall_s += profile.time_s;
-                selector.observe_measured(profile.seq_len, profile.stat(options.stat));
-                shapes.insert(key, profile);
+        }
+        let end = (consumed + options.round_len).min(total_iterations);
+        for batch in &plan.batches()[consumed..end] {
+            let key = (batch.seq_len, batch.samples);
+            match shapes.get(&key) {
+                Some(profile) => {
+                    selector.observe_replayed(profile.seq_len, profile.stat(options.stat));
+                }
+                None => {
+                    let shape = IterationShape::new(batch.samples, batch.seq_len);
+                    let profile = profiler.profile_iteration(network, &shape, device);
+                    profiled_serial_s += profile.time_s;
+                    profiled_wall_s += profile.time_s;
+                    selector.observe_measured(profile.seq_len, profile.stat(options.stat));
+                    shapes.insert(key, profile);
+                }
+            }
+        }
+        consumed = end;
+        blocks_this_run += 1;
+        since_checkpoint += 1;
+        if let Some(ckpt) = checkpoint {
+            if since_checkpoint >= ckpt.every_rounds {
+                let state = snapshot(
+                    &selector,
+                    &shapes,
+                    &[],
+                    consumed,
+                    profiled_serial_s,
+                    profiled_wall_s,
+                );
+                write_checkpoint(&ckpt.path, &state)?;
+                since_checkpoint = 0;
             }
         }
     }
+
     let selection = selector.finalize().map_err(|e| ProfileError::Selection {
         message: e.to_string(),
     })?;
-    Ok(StreamedEpochProfile {
+    if let Some(ckpt) = checkpoint {
+        // Final state: a re-run with the same path resumes straight to
+        // this completed selection without re-profiling anything.
+        let state = snapshot(
+            &selector,
+            &shapes,
+            &[],
+            consumed,
+            profiled_serial_s,
+            profiled_wall_s,
+        );
+        write_checkpoint(&ckpt.path, &state)?;
+    }
+    Ok(StreamOutcome::Complete(StreamedEpochProfile {
         selection,
         shards: options.shards,
         profiled_serial_s,
         profiled_wall_s,
-    })
+    }))
 }
 
 #[cfg(test)]
@@ -236,6 +622,34 @@ mod tests {
         let corpus = Corpus::iwslt15_like(3_000, 13);
         let plan = EpochPlan::new(&corpus, BatchPolicy::bucketed(16, 12), 13).unwrap();
         (gnmt_with(400, 48), plan)
+    }
+
+    /// A unique, self-cleaning checkpoint path under the target tmp dir.
+    struct TempCheckpoint(PathBuf);
+
+    impl TempCheckpoint {
+        fn new(tag: &str) -> Self {
+            let mut path = std::env::temp_dir();
+            path.push(format!(
+                "seqpoint-ckpt-{}-{tag}.json",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_file(&path);
+            TempCheckpoint(path)
+        }
+
+        fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for TempCheckpoint {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+            let mut tmp = self.0.as_os_str().to_owned();
+            tmp.push(".tmp");
+            let _ = std::fs::remove_file(PathBuf::from(tmp));
+        }
     }
 
     #[test]
@@ -431,5 +845,223 @@ mod tests {
                 Err(ProfileError::InvalidStream { .. })
             ));
         }
+        // Checkpointed flavor: every_rounds must be positive.
+        let ckpt = TempCheckpoint::new("degenerate");
+        let zero_every = CheckpointOptions {
+            every_rounds: 0,
+            ..CheckpointOptions::new(ckpt.path())
+        };
+        assert!(matches!(
+            profile_epoch_streaming_checkpointed(
+                &profiler,
+                &net,
+                &plan,
+                &device,
+                &StreamOptions::default(),
+                &zero_every
+            ),
+            Err(ProfileError::InvalidStream { .. })
+        ));
+    }
+
+    #[test]
+    fn interrupted_and_resumed_run_matches_the_uninterrupted_run() {
+        let (net, plan) = big_workload();
+        let device = device();
+        let profiler = Profiler::new();
+        let options = StreamOptions {
+            shards: 3,
+            round_len: 25,
+            ..StreamOptions::default()
+        };
+        let uninterrupted =
+            profile_epoch_streaming(&profiler, &net, &plan, &device, &options).unwrap();
+
+        let ckpt = TempCheckpoint::new("resume");
+        // "Kill" the run every 2 rounds until it completes; every
+        // invocation resumes from the previous one's persisted state.
+        let mut invocations = 0;
+        let completed = loop {
+            invocations += 1;
+            assert!(invocations < 1_000, "checkpointed run never finished");
+            let policy = CheckpointOptions {
+                every_rounds: 1,
+                max_rounds: Some(2),
+                ..CheckpointOptions::new(ckpt.path())
+            };
+            match profile_epoch_streaming_checkpointed(
+                &profiler, &net, &plan, &device, &options, &policy,
+            )
+            .unwrap()
+            {
+                StreamOutcome::Complete(profile) => break profile,
+                StreamOutcome::Paused(pause) => {
+                    assert!(pause.iterations_consumed < pause.iterations_total);
+                    assert!(ckpt.path().exists());
+                }
+            }
+        };
+        assert!(
+            invocations > 2,
+            "expected several pauses, got {invocations} invocation(s)"
+        );
+        // Bit-identical outcome: selection, accounting, and cost totals.
+        assert_eq!(completed, uninterrupted);
+
+        // A further re-run resumes from the completed checkpoint and
+        // reproduces the same result without re-profiling.
+        let rerun = match profile_epoch_streaming_checkpointed(
+            &profiler,
+            &net,
+            &plan,
+            &device,
+            &options,
+            &CheckpointOptions::new(ckpt.path()),
+        )
+        .unwrap()
+        {
+            StreamOutcome::Complete(profile) => profile,
+            StreamOutcome::Paused(_) => panic!("completed checkpoint must not pause"),
+        };
+        assert_eq!(rerun, uninterrupted);
+    }
+
+    #[test]
+    fn resume_may_reshard_the_workers() {
+        let (net, plan) = big_workload();
+        let device = device();
+        let profiler = Profiler::new();
+        let options = |shards| StreamOptions {
+            shards,
+            round_len: 25,
+            ..StreamOptions::default()
+        };
+        let uninterrupted =
+            profile_epoch_streaming(&profiler, &net, &plan, &device, &options(3)).unwrap();
+
+        let ckpt = TempCheckpoint::new("reshard");
+        let paused = profile_epoch_streaming_checkpointed(
+            &profiler,
+            &net,
+            &plan,
+            &device,
+            &options(3),
+            &CheckpointOptions {
+                every_rounds: 1,
+                max_rounds: Some(3),
+                ..CheckpointOptions::new(ckpt.path())
+            },
+        )
+        .unwrap();
+        assert!(matches!(paused, StreamOutcome::Paused(_)));
+        // Resume with a different worker count: the selection is
+        // shard-count independent, so the outcome still matches.
+        let resumed = match profile_epoch_streaming_checkpointed(
+            &profiler,
+            &net,
+            &plan,
+            &device,
+            &options(5),
+            &CheckpointOptions::new(ckpt.path()),
+        )
+        .unwrap()
+        {
+            StreamOutcome::Complete(profile) => profile,
+            StreamOutcome::Paused(_) => panic!("no max_rounds, must complete"),
+        };
+        assert_eq!(resumed.selection, uninterrupted.selection);
+    }
+
+    #[test]
+    fn checkpoint_from_a_different_configuration_is_rejected() {
+        let (net, plan) = small_workload();
+        let device = device();
+        let profiler = Profiler::new();
+        let options = StreamOptions {
+            shards: 2,
+            round_len: 32,
+            ..StreamOptions::default()
+        };
+        let ckpt = TempCheckpoint::new("mismatch");
+        let outcome = profile_epoch_streaming_checkpointed(
+            &profiler,
+            &net,
+            &plan,
+            &device,
+            &options,
+            &CheckpointOptions::new(ckpt.path()),
+        )
+        .unwrap();
+        assert!(matches!(outcome, StreamOutcome::Complete(_)));
+        // Same path, different round length ⇒ different stop decisions ⇒
+        // the fingerprint must refuse the resume.
+        let different = StreamOptions {
+            round_len: 16,
+            ..options
+        };
+        assert!(matches!(
+            profile_epoch_streaming_checkpointed(
+                &profiler,
+                &net,
+                &plan,
+                &device,
+                &different,
+                &CheckpointOptions::new(ckpt.path()),
+            ),
+            Err(ProfileError::Checkpoint { .. })
+        ));
+    }
+
+    #[test]
+    fn torn_or_garbage_checkpoints_are_rejected() {
+        let (net, plan) = small_workload();
+        let device = device();
+        let profiler = Profiler::new();
+        let ckpt = TempCheckpoint::new("torn");
+        std::fs::write(ckpt.path(), "{\"version\":1,\"truncat").unwrap();
+        assert!(matches!(
+            profile_epoch_streaming_checkpointed(
+                &profiler,
+                &net,
+                &plan,
+                &device,
+                &StreamOptions::default(),
+                &CheckpointOptions::new(ckpt.path()),
+            ),
+            Err(ProfileError::Checkpoint { .. })
+        ));
+    }
+
+    #[test]
+    fn checkpoint_reports_its_contents() {
+        let (net, plan) = small_workload();
+        let device = device();
+        let profiler = Profiler::new();
+        let ckpt = TempCheckpoint::new("contents");
+        let outcome = profile_epoch_streaming_checkpointed(
+            &profiler,
+            &net,
+            &plan,
+            &device,
+            &StreamOptions {
+                shards: 2,
+                round_len: 32,
+                ..StreamOptions::default()
+            },
+            &CheckpointOptions {
+                every_rounds: 1,
+                max_rounds: Some(2),
+                ..CheckpointOptions::new(ckpt.path())
+            },
+        )
+        .unwrap();
+        let StreamOutcome::Paused(pause) = outcome else {
+            panic!("max_rounds = 2 must pause on this workload");
+        };
+        assert_eq!(pause.iterations_consumed, 64);
+        let state = read_checkpoint(ckpt.path()).unwrap();
+        assert_eq!(state.consumed(), 64);
+        assert!(state.shapes_profiled() > 0);
+        assert_eq!(state.selector().rounds(), pause.rounds_ingested);
     }
 }

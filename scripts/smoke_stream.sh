@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Checkpoint/resume smoke test, end to end through the real binary: an
+# uninterrupted `seqpoint stream` run, a run preempted after 2 rounds
+# (state checkpointed), and a resume from that checkpoint must print
+# byte-identical selections. Shared by scripts/verify.sh and CI so the
+# two cannot drift apart.
+#
+# Usage: scripts/smoke_stream.sh [path/to/seqpoint]
+set -euo pipefail
+
+BIN="${1:-target/release/seqpoint}"
+SMOKE_DIR="$(mktemp -d)"
+cleanup() { rm -rf "$SMOKE_DIR"; }
+trap cleanup EXIT
+
+STREAM_ARGS=(--model gnmt --dataset iwslt15 --samples 6000 --batch 16
+             --shards 3 --round 32 --window 128 --quant 8)
+
+"$BIN" stream "${STREAM_ARGS[@]}" > "$SMOKE_DIR/uninterrupted.txt"
+"$BIN" stream "${STREAM_ARGS[@]}" \
+  --checkpoint "$SMOKE_DIR/ckpt.json" --checkpoint-every 1 --max-rounds 2 \
+  > "$SMOKE_DIR/paused.txt"
+grep -q "paused" "$SMOKE_DIR/paused.txt"
+test -s "$SMOKE_DIR/ckpt.json"
+"$BIN" stream "${STREAM_ARGS[@]}" \
+  --checkpoint "$SMOKE_DIR/ckpt.json" > "$SMOKE_DIR/resumed.txt"
+diff "$SMOKE_DIR/uninterrupted.txt" "$SMOKE_DIR/resumed.txt"
+echo "smoke: interrupted+resumed run matches the uninterrupted run"

@@ -22,6 +22,9 @@ cargo build --release
 step test "workspace tests"
 cargo test -q --workspace
 
+step smoke "checkpoint/resume smoke (seqpoint stream)"
+bash scripts/smoke_stream.sh target/release/seqpoint
+
 step clippy "clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -30,6 +30,7 @@ USAGE:
   seqpoint stream    --model <...> --dataset <...> [--samples N] [--config 1..5]
                      [--seed S] [--batch B] [--shards K] [--round R]
                      [--window W] [--unseen P] [--quant Q] [pipeline flags]
+                     [--checkpoint FILE] [--checkpoint-every N] [--max-rounds M]
 
 `stream` profiles a steady-state (shuffled) epoch with K worker shards,
 stops measuring once the SL space saturates (no new SL bucket within W
@@ -37,6 +38,13 @@ iterations, or Good-Turing unseen probability at most P at bucket width
 Q), replays the rest of the epoch from already-profiled shapes (only
 never-seen shapes are measured on demand), and selects SeqPoints from
 the streamed aggregates.
+
+With --checkpoint FILE the run persists its state to FILE atomically
+every N rounds (default 8) and **resumes from FILE automatically when it
+exists** — an interrupted run re-invoked with the same flags finishes
+with the exact selection of an uninterrupted one. --max-rounds M stops
+after M rounds in this invocation (writing the checkpoint), simulating
+preemption for tests and batch schedulers.
 
 Epoch-log CSV format: one `seq_len,stat` pair per line (header optional).";
 
@@ -123,6 +131,25 @@ fn run() -> Result<String, CliError> {
                 stream: stream_config,
                 ..Default::default()
             };
+            let checkpoint = match flags.get("checkpoint") {
+                Some(path) => Some(seqpoint::sqnn_profiler::stream::CheckpointOptions {
+                    path: path.into(),
+                    every_rounds: flags.num("checkpoint-every", 8u32)?,
+                    max_rounds: if flags.get("max-rounds").is_some() {
+                        Some(flags.num("max-rounds", 0u64)?)
+                    } else {
+                        None
+                    },
+                }),
+                None if flags.get("checkpoint-every").is_some()
+                    || flags.get("max-rounds").is_some() =>
+                {
+                    return Err(CliError::Usage(
+                        "--checkpoint-every/--max-rounds need --checkpoint FILE".to_owned(),
+                    ));
+                }
+                None => None,
+            };
             cli::stream(
                 flags.required("model")?,
                 flags.required("dataset")?,
@@ -131,6 +158,7 @@ fn run() -> Result<String, CliError> {
                 flags.num("seed", 7u64)?,
                 flags.num("batch", 64u32)?,
                 &options,
+                checkpoint.as_ref(),
             )
         }
         "identify" => cli::identify(&open_log(&flags)?, pipeline_config(&flags)?),

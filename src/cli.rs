@@ -26,7 +26,9 @@ use seqpoint_core::{BaselineKind, EpochLog, SeqPointConfig, SeqPointPipeline};
 use sqnn::models;
 use sqnn::Network;
 use sqnn_data::{BatchPolicy, Corpus, EpochPlan};
-use sqnn_profiler::stream::{profile_epoch_streaming, StreamOptions};
+use sqnn_profiler::stream::{
+    profile_epoch_streaming_checkpointed, CheckpointOptions, StreamOptions, StreamOutcome,
+};
 use sqnn_profiler::Profiler;
 
 /// Errors surfaced to the CLI user.
@@ -217,10 +219,18 @@ pub fn simulate(
 /// GNMT reshuffles bucket order), so the streaming path batches the
 /// corpus uniformly at `batch` samples per iteration.
 ///
+/// With a `checkpoint` policy the run persists its state to the policy's
+/// path (atomically, every `every_rounds` rounds), resumes automatically
+/// when that file already exists, and — when the policy's `max_rounds`
+/// preemption limit is hit — reports the pause instead of a selection.
+///
 /// # Errors
 ///
 /// Usage errors for unknown names/configs or a zero batch size; library
-/// errors from planning, profiling, or selection.
+/// errors from planning, profiling, selection, or checkpoint I/O.
+// One parameter per CLI flag: bundling them would just move the flag
+// list into a struct literal at the single argv call site.
+#[allow(clippy::too_many_arguments)]
 pub fn stream(
     model: &str,
     dataset: &str,
@@ -229,6 +239,7 @@ pub fn stream(
     seed: u64,
     batch: u32,
     options: &StreamOptions,
+    checkpoint: Option<&CheckpointOptions>,
 ) -> Result<String, CliError> {
     if !(1..=5).contains(&config_no) {
         return Err(CliError::Usage("config must be 1..=5 (Table II)".to_owned()));
@@ -240,14 +251,35 @@ pub fn stream(
     let corpus = corpus_by_name(dataset, samples, seed)?;
     let plan = EpochPlan::new(&corpus, BatchPolicy::shuffled(batch), seed).map_err(lib_err)?;
     let cfg = GpuConfig::table2_configs()[config_no - 1].clone();
-    let streamed = profile_epoch_streaming(
-        &Profiler::new(),
-        &network,
-        &plan,
-        &Device::new(cfg),
-        options,
-    )
-    .map_err(lib_err)?;
+    let device = Device::new(cfg);
+    let profiler = Profiler::new();
+    let streamed = match checkpoint {
+        Some(policy) => {
+            match profile_epoch_streaming_checkpointed(
+                &profiler, &network, &plan, &device, options, policy,
+            )
+            .map_err(lib_err)?
+            {
+                StreamOutcome::Complete(profile) => profile,
+                StreamOutcome::Paused(pause) => {
+                    return Ok(format!(
+                        "# streaming selection paused: {}/{} iterations consumed \
+                         ({} rounds ingested)\n\
+                         # state checkpointed to {}\n\
+                         # re-run the same command to resume\n",
+                        pause.iterations_consumed,
+                        pause.iterations_total,
+                        pause.rounds_ingested,
+                        pause.path.display()
+                    ));
+                }
+            }
+        }
+        None => sqnn_profiler::stream::profile_epoch_streaming(
+            &profiler, &network, &plan, &device, options,
+        )
+        .map_err(lib_err)?,
+    };
     let selection = &streamed.selection;
     let analysis = selection.analysis();
     let mut out = String::new();
@@ -469,7 +501,7 @@ mod tests {
             },
             ..StreamOptions::default()
         };
-        let out = stream("gnmt", "iwslt15", 6_000, 1, 20, 16, &options).unwrap();
+        let out = stream("gnmt", "iwslt15", 6_000, 1, 20, 16, &options, None).unwrap();
         assert!(out.starts_with("# streaming selection"));
         for field in [
             "iterations_total,375",
@@ -491,18 +523,73 @@ mod tests {
     }
 
     #[test]
+    fn stream_checkpoint_pauses_then_resumes_to_the_same_selection() {
+        use seqpoint_core::stream::StreamConfig;
+        let options = StreamOptions {
+            shards: 3,
+            round_len: 32,
+            stream: StreamConfig {
+                saturation_window: 128,
+                unseen_threshold: 0.05,
+                quantization: 8,
+                ..StreamConfig::default()
+            },
+            ..StreamOptions::default()
+        };
+        let reference =
+            stream("gnmt", "iwslt15", 6_000, 1, 20, 16, &options, None).unwrap();
+
+        let mut path = std::env::temp_dir();
+        path.push(format!("seqpoint-cli-ckpt-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        // First invocation: preempted after 2 rounds.
+        let paused = stream(
+            "gnmt",
+            "iwslt15",
+            6_000,
+            1,
+            20,
+            16,
+            &options,
+            Some(&CheckpointOptions {
+                path: path.clone(),
+                every_rounds: 1,
+                max_rounds: Some(2),
+            }),
+        )
+        .unwrap();
+        assert!(paused.contains("paused"), "{paused}");
+        assert!(path.exists());
+        // Second invocation: resumes from the file and completes with
+        // the exact selection of the uninterrupted run.
+        let resumed = stream(
+            "gnmt",
+            "iwslt15",
+            6_000,
+            1,
+            20,
+            16,
+            &options,
+            Some(&CheckpointOptions::new(path.clone())),
+        )
+        .unwrap();
+        assert_eq!(resumed, reference);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn stream_validates_inputs() {
         let options = StreamOptions::default();
         assert!(matches!(
-            stream("nope", "iwslt15", 100, 1, 0, 16, &options),
+            stream("nope", "iwslt15", 100, 1, 0, 16, &options, None),
             Err(CliError::Usage(_))
         ));
         assert!(matches!(
-            stream("gnmt", "iwslt15", 100, 9, 0, 16, &options),
+            stream("gnmt", "iwslt15", 100, 9, 0, 16, &options, None),
             Err(CliError::Usage(_))
         ));
         assert!(matches!(
-            stream("gnmt", "iwslt15", 100, 1, 0, 0, &options),
+            stream("gnmt", "iwslt15", 100, 1, 0, 0, &options, None),
             Err(CliError::Usage(_))
         ));
         let bad = StreamOptions {
@@ -510,7 +597,7 @@ mod tests {
             ..StreamOptions::default()
         };
         assert!(matches!(
-            stream("gnmt", "iwslt15", 100, 1, 0, 16, &bad),
+            stream("gnmt", "iwslt15", 100, 1, 0, 16, &bad, None),
             Err(CliError::Library(_))
         ));
     }

@@ -1,0 +1,461 @@
+//! JSON rendering and parsing of the [`crate::Value`] data model.
+//!
+//! The entry points mirror `serde_json`: [`to_string`] and [`from_str`].
+//! Swapping to the real crates replaces `serde::json::` with
+//! `serde_json::` (see `vendor/README.md`).
+//!
+//! Finite floats are written with Rust's shortest round-trip formatting
+//! and parse back bit-exactly; non-finite floats are written as
+//! bit-exact hex strings (`"f64:<16 hex digits>"`) because JSON has no
+//! literal for them.
+
+use crate::{Deserialize, Error, Serialize, Value};
+
+/// Serialize `value` as compact JSON text.
+///
+/// # Errors
+///
+/// Infallible in the shim; the `Result` keeps the call-site signature of
+/// `serde_json::to_string`.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value());
+    Ok(out)
+}
+
+/// Deserialize a `T` from JSON text.
+///
+/// # Errors
+///
+/// [`Error`] on malformed JSON or a shape mismatch with `T`.
+pub fn from_str<T: for<'de> Deserialize<'de>>(text: &str) -> Result<T, Error> {
+    T::from_value(&parse(text)?)
+}
+
+/// Parse JSON text into a [`Value`].
+///
+/// # Errors
+///
+/// [`Error`] on malformed JSON or trailing garbage.
+pub fn parse(text: &str) -> Result<Value, Error> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.fail("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+fn write_value(out: &mut String, value: &Value) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::F64(f) => write_f64(out, *f),
+        Value::Str(s) => write_string(out, s),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(out, key);
+                out.push(':');
+                write_value(out, item);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_f64(out: &mut String, f: f64) {
+    if f.is_finite() {
+        // `{:?}` is Rust's shortest representation that parses back to
+        // the identical bits (also preserves the sign of -0.0).
+        out.push_str(&format!("{f:?}"));
+    } else {
+        // JSON has no NaN/Infinity literal: bit-exact hex fallback.
+        write_string(out, &format!("{}{:016x}", crate::F64_HEX_PREFIX, f.to_bits()));
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Maximum container nesting accepted by the parser. A recursive-descent
+/// parser with no bound would blow the stack (a process abort, not an
+/// `Err`) on adversarially deep input; 128 matches `serde_json`'s
+/// default and is far beyond any derived type in the workspace.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn fail(&self, message: &str) -> Error {
+        Error::custom(format!("{message} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.fail(&format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, literal: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            None => Err(self.fail("unexpected end of input")),
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_seq(),
+            Some(b'{') => self.parse_map(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(other) => Err(self.fail(&format!("unexpected byte `{}`", other as char))),
+        }
+    }
+
+    fn enter(&mut self) -> Result<(), Error> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.fail("nesting deeper than the supported maximum"));
+        }
+        Ok(())
+    }
+
+    fn parse_seq(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        self.enter()?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => return Err(self.fail("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_map(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        self.enter()?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Map(entries));
+                }
+                _ => return Err(self.fail("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain bytes.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.fail("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    out.push(self.parse_escape()?);
+                }
+                _ => return Err(self.fail("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_escape(&mut self) -> Result<char, Error> {
+        let escape = self.peek().ok_or_else(|| self.fail("truncated escape"))?;
+        self.pos += 1;
+        Ok(match escape {
+            b'"' => '"',
+            b'\\' => '\\',
+            b'/' => '/',
+            b'n' => '\n',
+            b'r' => '\r',
+            b't' => '\t',
+            b'b' => '\u{8}',
+            b'f' => '\u{c}',
+            b'u' => {
+                let unit = self.parse_hex4()?;
+                if (0xd800..0xdc00).contains(&unit) {
+                    // High surrogate: a \uXXXX low surrogate must follow.
+                    if !self.eat_literal("\\u") {
+                        return Err(self.fail("unpaired surrogate"));
+                    }
+                    let low = self.parse_hex4()?;
+                    if !(0xdc00..0xe000).contains(&low) {
+                        return Err(self.fail("invalid low surrogate"));
+                    }
+                    let code = 0x10000 + ((unit - 0xd800) << 10) + (low - 0xdc00);
+                    char::from_u32(code).ok_or_else(|| self.fail("invalid surrogate pair"))?
+                } else {
+                    char::from_u32(unit).ok_or_else(|| self.fail("invalid \\u escape"))?
+                }
+            }
+            other => {
+                return Err(self.fail(&format!("unknown escape `\\{}`", other as char)));
+            }
+        })
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.fail("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.fail("invalid \\u escape"))?;
+        let unit =
+            u32::from_str_radix(hex, 16).map_err(|_| self.fail("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(unit)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number bytes are ASCII");
+        if !is_float {
+            if let Some(digits) = text.strip_prefix('-') {
+                if let Ok(n) = digits.parse::<u64>() {
+                    // i64::MIN's magnitude is i64::MAX + 1; wrapping_neg
+                    // maps that single case onto itself correctly.
+                    if n <= i64::MAX as u64 + 1 {
+                        return Ok(Value::I64((n as i64).wrapping_neg()));
+                    }
+                }
+            } else if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+            // Integer overflow: fall through to the float representation.
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| self.fail(&format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(value: &Value) -> Value {
+        parse(&to_string(value).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::I64(-42),
+            Value::U64(u64::MAX),
+            Value::F64(1.5),
+            Value::Str("hello".into()),
+        ] {
+            assert_eq!(round_trip(&v), v);
+        }
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = Value::Map(vec![
+            ("a".into(), Value::Seq(vec![Value::U64(1), Value::Null])),
+            ("b".into(), Value::Map(vec![])),
+            ("weird key\n\"\\".into(), Value::Str("\u{1f600}\t".into())),
+        ]);
+        assert_eq!(round_trip(&v), v);
+    }
+
+    #[test]
+    fn finite_floats_round_trip_bit_exactly() {
+        for f in [
+            0.0,
+            -0.0,
+            1.0 / 3.0,
+            f64::MAX,
+            f64::MIN,
+            f64::MIN_POSITIVE,
+            5e-324, // smallest subnormal
+            -5e-324,
+            1.2345678901234567e300,
+        ] {
+            let back = round_trip(&Value::F64(f));
+            match back {
+                Value::F64(g) => assert_eq!(g.to_bits(), f.to_bits(), "{f:?}"),
+                // Small integral floats parse back as integers only if
+                // formatting dropped the fraction — `{:?}` never does.
+                other => panic!("f64 {f:?} came back as {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_round_trip_via_typed_path() {
+        for f in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -f64::NAN] {
+            let json = to_string(&f).unwrap();
+            let back: f64 = from_str(&json).unwrap();
+            assert_eq!(back.to_bits(), f.to_bits(), "{json}");
+        }
+    }
+
+    #[test]
+    fn surrogate_pairs_and_escapes_parse() {
+        let v: String = from_str("\"\\ud83d\\ude00 \\u0041\\n\"").unwrap();
+        assert_eq!(v, "\u{1f600} A\n");
+        assert!(from_str::<String>("\"\\ud83d\"").is_err());
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        for bad in [
+            "", "{", "[1,", "\"abc", "{\"a\":}", "01a", "nul", "[1 2]", "1 2",
+            "{\"a\" 1}", "\"\\q\"",
+        ] {
+            assert!(parse(bad).is_err(), "`{bad}` should not parse");
+        }
+    }
+
+    #[test]
+    fn adversarially_deep_nesting_errors_instead_of_overflowing() {
+        let deep_seq = "[".repeat(200_000);
+        assert!(parse(&deep_seq).is_err());
+        let deep_map = "{\"k\":".repeat(200_000);
+        assert!(parse(&deep_map).is_err());
+        // Moderate nesting (well under the limit) still parses.
+        let ok = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn integers_keep_their_width() {
+        assert_eq!(parse("18446744073709551615").unwrap(), Value::U64(u64::MAX));
+        assert_eq!(parse("-9223372036854775808").unwrap(), Value::I64(i64::MIN));
+        // Beyond u64: degrade to float rather than failing.
+        assert!(matches!(
+            parse("99999999999999999999999").unwrap(),
+            Value::F64(_)
+        ));
+    }
+}

@@ -1,22 +1,510 @@
-//! Offline shim for `serde`.
+//! Offline shim for `serde` — a *functional* one.
 //!
 //! The build environment has no crates.io access, so this crate stands in
-//! for the real `serde`: it provides the `Serialize` / `Deserialize`
-//! trait names and re-exports the no-op derives from the sibling
-//! `serde_derive` shim. Nothing in the workspace performs actual
-//! serialization yet — types merely derive the traits so that the code
-//! is source-compatible with the real crates the moment they can be
-//! fetched (see `vendor/README.md` for the swap instructions).
+//! for the real `serde`. Unlike the original no-op shim, it actually
+//! serializes: values convert to and from a small self-describing
+//! [`Value`] model (null / bool / i64 / u64 / f64 / string / seq / map),
+//! and [`json`] renders that model as JSON text and parses it back.
+//! The sibling `serde_derive` shim generates real field-by-field
+//! [`Serialize`] / [`Deserialize`] impls for structs and enums, honoring
+//! the `#[serde(skip)]`, `#[serde(default)]`, and `#[serde(rename)]`
+//! field attributes.
+//!
+//! The public surface the workspace uses — the derive macros, the trait
+//! names in bounds, and `serde::json::{to_string, from_str}` — stays
+//! source-compatible with the real crates: swapping to registry `serde` +
+//! `serde_json` needs only the dependency change and a `serde::json` →
+//! `serde_json` import rename (see `vendor/README.md`).
+//!
+//! # Float fidelity
+//!
+//! Finite `f64`s are emitted with Rust's shortest round-trip formatting
+//! (`{:?}`), which parses back bit-exactly — including `-0.0`,
+//! subnormals, and `f64::MAX`/`MIN`. Non-finite values, which JSON cannot
+//! express as numbers, fall back to a bit-exact hex string
+//! (`"f64:7ff8000000000000"` for a NaN), so even NaN payloads survive a
+//! round trip.
 
 pub use serde_derive::{Deserialize, Serialize};
 
-/// Marker stand-in for `serde::Serialize`.
-///
-/// The shim derive does not implement it; it exists so `use` paths and
-/// trait bounds written against real serde keep compiling.
-pub trait Serialize {}
+pub mod json;
 
-/// Marker stand-in for `serde::Deserialize`.
+use std::collections::{BTreeMap, HashMap};
+
+/// The self-describing data model every [`Serialize`] impl produces and
+/// every [`Deserialize`] impl consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also the encoding of `None` and unit structs).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer (negative numbers).
+    I64(i64),
+    /// An unsigned integer (non-negative numbers).
+    U64(u64),
+    /// A double-precision float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence (JSON array).
+    Seq(Vec<Value>),
+    /// An ordered key–value map (JSON object). Kept as a vector so field
+    /// order is stable and duplicate detection stays cheap.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The map entries, if this is a [`Value::Map`].
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The sequence elements, if this is a [`Value::Seq`].
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Look up a map entry by key (first match wins).
+    pub fn get_field<'v>(&'v self, key: &str) -> Option<&'v Value> {
+        self.as_map()?
+            .iter()
+            .find(|(name, _)| name == key)
+            .map(|(_, value)| value)
+    }
+}
+
+/// Serialization/deserialization failure: a human-readable message, as in
+/// `serde_json::Error`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// An error with a custom message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+
+    /// "expected X while deserializing T" — wrong [`Value`] kind.
+    pub fn expected(what: &str, type_name: &str) -> Self {
+        Error::custom(format!("expected {what} while deserializing {type_name}"))
+    }
+
+    /// A required field was absent from the map.
+    pub fn missing_field(field: &str, type_name: &str) -> Self {
+        Error::custom(format!("missing field `{field}` in {type_name}"))
+    }
+
+    /// An enum tag named no known variant.
+    pub fn unknown_variant(variant: &str, type_name: &str) -> Self {
+        Error::custom(format!("unknown variant `{variant}` for {type_name}"))
+    }
+
+    /// A sequence had the wrong number of elements.
+    pub fn invalid_length(got: usize, want: usize, type_name: &str) -> Self {
+        Error::custom(format!(
+            "invalid length {got} (expected {want}) while deserializing {type_name}"
+        ))
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into the [`Value`] data model.
 ///
-/// Lifetime parameter kept for signature compatibility with real serde.
-pub trait Deserialize<'de>: Sized {}
+/// The shim's counterpart of `serde::Serialize`: user code derives it and
+/// never calls [`Serialize::to_value`] directly, so the surface stays
+/// swap-compatible with the real crate.
+pub trait Serialize {
+    /// Represent `self` in the data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion out of the [`Value`] data model.
+///
+/// Lifetime parameter kept for signature compatibility with real serde
+/// (every impl here is owned, i.e. `DeserializeOwned`).
+pub trait Deserialize<'de>: Sized {
+    /// Rebuild `Self` from the data model.
+    ///
+    /// # Errors
+    ///
+    /// [`Error`] when `value` has the wrong shape for `Self`.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+/// Map keys, which JSON forces to be strings. Mirrors `serde_json`'s
+/// behaviour of stringifying integer keys.
+pub trait JsonKey: Sized {
+    /// Render the key as a JSON object key.
+    fn to_key(&self) -> String;
+    /// Parse the key back from a JSON object key.
+    ///
+    /// # Errors
+    ///
+    /// [`Error`] when `key` does not parse as `Self`.
+    fn from_key(key: &str) -> Result<Self, Error>;
+}
+
+impl JsonKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+
+    fn from_key(key: &str) -> Result<Self, Error> {
+        Ok(key.to_owned())
+    }
+}
+
+macro_rules! int_json_key {
+    ($($t:ty),*) => {$(
+        impl JsonKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+
+            fn from_key(key: &str) -> Result<Self, Error> {
+                key.parse().map_err(|_| {
+                    Error::custom(format!(
+                        "map key `{key}` is not a valid {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+int_json_key!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::expected("bool", "bool")),
+        }
+    }
+}
+
+macro_rules! uint_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw = match value {
+                    Value::U64(n) => Some(*n),
+                    Value::I64(n) => u64::try_from(*n).ok(),
+                    _ => None,
+                };
+                raw.and_then(|n| <$t>::try_from(n).ok())
+                    .ok_or_else(|| Error::expected("unsigned integer", stringify!($t)))
+            }
+        }
+    )*};
+}
+
+macro_rules! sint_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n < 0 {
+                    Value::I64(n)
+                } else {
+                    Value::U64(n as u64)
+                }
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw = match value {
+                    Value::I64(n) => Some(*n),
+                    Value::U64(n) => i64::try_from(*n).ok(),
+                    _ => None,
+                };
+                raw.and_then(|n| <$t>::try_from(n).ok())
+                    .ok_or_else(|| Error::expected("signed integer", stringify!($t)))
+            }
+        }
+    )*};
+}
+
+uint_impls!(u8, u16, u32, u64, usize);
+sint_impls!(i8, i16, i32, i64, isize);
+
+/// Prefix of the bit-exact hex fallback for non-finite floats.
+pub(crate) const F64_HEX_PREFIX: &str = "f64:";
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::F64(f) => Ok(*f),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            Value::Str(s) => s
+                .strip_prefix(F64_HEX_PREFIX)
+                .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+                .map(f64::from_bits)
+                .ok_or_else(|| Error::expected("number", "f64")),
+            _ => Err(Error::expected("number", "f64")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        f64::from_value(value).map(|f| f as f32)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::expected("string", "String"))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_seq()
+            .ok_or_else(|| Error::expected("sequence", "Vec"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<K: JsonKey, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<'de, K: JsonKey + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_map()
+            .ok_or_else(|| Error::expected("map", "BTreeMap"))?
+            .iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<K: JsonKey, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        // Deterministic output: order entries by their rendered key.
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_key(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+impl<'de, K, V, S> Deserialize<'de> for HashMap<K, V, S>
+where
+    K: JsonKey + Eq + std::hash::Hash,
+    V: Deserialize<'de>,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_map()
+            .ok_or_else(|| Error::expected("map", "HashMap"))?
+            .iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($len:expr => $($t:ident . $idx:tt),+)),*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let seq = value
+                    .as_seq()
+                    .ok_or_else(|| Error::expected("sequence", "tuple"))?;
+                if seq.len() != $len {
+                    return Err(Error::invalid_length(seq.len(), $len, "tuple"));
+                }
+                Ok(($($t::from_value(&seq[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_impls!(
+    (1 => A.0),
+    (2 => A.0, B.1),
+    (3 => A.0, B.1, C.2),
+    (4 => A.0, B.1, C.2, D.3)
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_accessors() {
+        let map = Value::Map(vec![("a".into(), Value::U64(1))]);
+        assert_eq!(map.get_field("a"), Some(&Value::U64(1)));
+        assert_eq!(map.get_field("b"), None);
+        assert!(Value::Null.as_map().is_none());
+        assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
+    }
+
+    #[test]
+    fn integer_range_checks() {
+        assert_eq!(u8::from_value(&Value::U64(255)), Ok(255));
+        assert!(u8::from_value(&Value::U64(256)).is_err());
+        assert_eq!(i8::from_value(&Value::I64(-128)), Ok(-128));
+        assert!(u32::from_value(&Value::I64(-1)).is_err());
+        assert_eq!(i64::from_value(&Value::U64(7)), Ok(7));
+    }
+
+    #[test]
+    fn option_round_trips_through_null() {
+        assert_eq!(None::<u32>.to_value(), Value::Null);
+        assert_eq!(Option::<u32>::from_value(&Value::Null), Ok(None));
+        assert_eq!(Option::<u32>::from_value(&Value::U64(3)), Ok(Some(3)));
+    }
+
+    #[test]
+    fn map_keys_stringify() {
+        let mut m = BTreeMap::new();
+        m.insert(42u32, 1.5f64);
+        let v = m.to_value();
+        assert_eq!(v.get_field("42"), Some(&Value::F64(1.5)));
+        let back = BTreeMap::<u32, f64>::from_value(&v).unwrap();
+        assert_eq!(back, m);
+        assert!(BTreeMap::<u32, f64>::from_value(&Value::Map(vec![(
+            "nope".into(),
+            Value::F64(0.0)
+        )]))
+        .is_err());
+    }
+
+    #[test]
+    fn non_finite_floats_use_hex_fallback() {
+        let nan = f64::from_value(&Value::Str("f64:7ff8000000000000".into())).unwrap();
+        assert!(nan.is_nan());
+        assert!(f64::from_value(&Value::Str("not-a-float".into())).is_err());
+    }
+}

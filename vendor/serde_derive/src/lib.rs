@@ -1,23 +1,662 @@
-//! Offline shim for `serde_derive`.
+//! Offline shim for `serde_derive` — with *real* derives.
 //!
 //! The build environment for this repository has no access to crates.io,
-//! so the real `serde_derive` cannot be fetched. The workspace only needs
-//! the `#[derive(Serialize, Deserialize)]` attributes to *parse* (no code
-//! actually serializes anything yet), so these derives accept the same
-//! syntax — including `#[serde(...)]` field attributes — and expand to
-//! nothing. Swap in the real crates once the build has network access;
-//! see `vendor/README.md`.
+//! so the real `serde_derive` (and its `syn`/`quote` stack) cannot be
+//! fetched. This crate parses the derive input by hand from the raw
+//! token stream and generates field-by-field `serde::Serialize` /
+//! `serde::Deserialize` impls against the vendored `serde` shim's
+//! `Value` data model.
+//!
+//! Supported shapes — everything the workspace uses:
+//!
+//! * structs with named fields, tuple structs, unit structs;
+//! * enums with unit, newtype, tuple, and struct variants
+//!   (externally tagged, like real serde: `"Variant"` for unit variants,
+//!   `{"Variant": …}` otherwise);
+//! * the field attributes `#[serde(skip)]` (not serialized; rebuilt with
+//!   `Default::default()`), `#[serde(default)]` (optional on input), and
+//!   `#[serde(rename = "…")]`.
+//!
+//! Generic types and other `#[serde(...)]` attributes are rejected with
+//! a `compile_error!` rather than silently mis-serialized. Swap in the
+//! real crates once the build has network access; see `vendor/README.md`.
 
-use proc_macro::TokenStream;
+use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-/// No-op stand-in for serde's `Serialize` derive.
+/// Real stand-in for serde's `Serialize` derive.
 #[proc_macro_derive(Serialize, attributes(serde))]
-pub fn derive_serialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
 }
 
-/// No-op stand-in for serde's `Deserialize` derive.
+/// Real stand-in for serde's `Deserialize` derive.
 #[proc_macro_derive(Deserialize, attributes(serde))]
-pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let code = match Item::parse(input) {
+        Ok(item) => match mode {
+            Mode::Serialize => gen_serialize(&item),
+            Mode::Deserialize => gen_deserialize(&item),
+        },
+        Err(message) => Err(message),
+    };
+    match code {
+        Ok(code) => code
+            .parse()
+            .unwrap_or_else(|e| error_tokens(&format!("serde_derive shim generated invalid code: {e}"))),
+        Err(message) => error_tokens(&message),
+    }
+}
+
+fn error_tokens(message: &str) -> TokenStream {
+    format!("compile_error!({message:?});")
+        .parse()
+        .expect("compile_error! invocation always parses")
+}
+
+/// Per-field `#[serde(...)]` switches.
+#[derive(Default, Clone)]
+struct FieldAttrs {
+    skip: bool,
+    default: bool,
+    rename: Option<String>,
+}
+
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+impl Field {
+    /// The key this field uses in the serialized map.
+    fn key(&self) -> &str {
+        self.attrs.rename.as_deref().unwrap_or(&self.name)
+    }
+}
+
+enum VariantBody {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    body: VariantBody,
+}
+
+enum Body {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+/// Token cursor over a flattened `TokenStream`.
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<TokenTree> {
+        let token = self.tokens.get(self.pos).cloned();
+        if token.is_some() {
+            self.pos += 1;
+        }
+        token
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if self.peek_punct(ch) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_ident(&mut self, name: &str) -> bool {
+        if matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == name) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.bump() {
+            Some(TokenTree::Ident(i)) => {
+                let name = i.to_string();
+                Ok(name.strip_prefix("r#").unwrap_or(&name).to_owned())
+            }
+            other => Err(format!("serde shim derive: expected identifier, found {other:?}")),
+        }
+    }
+
+    /// Collect `#[...]` attribute groups, folding any `#[serde(...)]`
+    /// contents into a `FieldAttrs`.
+    fn parse_attrs(&mut self) -> Result<FieldAttrs, String> {
+        let mut attrs = FieldAttrs::default();
+        while self.peek_punct('#') {
+            self.pos += 1;
+            let group = match self.bump() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                other => {
+                    return Err(format!(
+                        "serde shim derive: malformed attribute, found {other:?}"
+                    ))
+                }
+            };
+            let mut inner = Cursor::new(group.stream());
+            if inner.eat_ident("serde") {
+                let args = match inner.bump() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+                    other => {
+                        return Err(format!(
+                            "serde shim derive: expected #[serde(...)], found {other:?}"
+                        ))
+                    }
+                };
+                attrs.merge(Self::parse_serde_args(args.stream())?)?;
+            }
+        }
+        Ok(attrs)
+    }
+
+    fn parse_serde_args(stream: TokenStream) -> Result<FieldAttrs, String> {
+        let mut attrs = FieldAttrs::default();
+        let mut cursor = Cursor::new(stream);
+        while !cursor.at_end() {
+            let name = cursor.expect_ident()?;
+            match name.as_str() {
+                "skip" => attrs.skip = true,
+                "default" => attrs.default = true,
+                "rename" => {
+                    if !cursor.eat_punct('=') {
+                        return Err("serde shim derive: expected #[serde(rename = \"...\")]".into());
+                    }
+                    match cursor.bump() {
+                        Some(TokenTree::Literal(lit)) => {
+                            let text = lit.to_string();
+                            let trimmed = text
+                                .strip_prefix('"')
+                                .and_then(|t| t.strip_suffix('"'))
+                                .ok_or("serde shim derive: rename value must be a plain string literal")?;
+                            attrs.rename = Some(trimmed.to_owned());
+                        }
+                        other => {
+                            return Err(format!(
+                                "serde shim derive: expected string literal after rename =, found {other:?}"
+                            ))
+                        }
+                    }
+                }
+                other => {
+                    return Err(format!(
+                        "serde shim derive: unsupported #[serde({other})] — the vendored shim \
+                         only honors skip, default, and rename"
+                    ))
+                }
+            }
+            cursor.eat_punct(',');
+        }
+        Ok(attrs)
+    }
+
+    /// Skip a `pub` / `pub(...)` visibility qualifier, if present.
+    fn skip_visibility(&mut self) {
+        if self.eat_ident("pub") {
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    /// Skip tokens until a top-level `,` (consumed) or the end, treating
+    /// `<`/`>` as nesting so commas inside generic arguments like
+    /// `BTreeMap<String, V>` don't terminate the field early.
+    fn skip_to_comma(&mut self) {
+        let mut angle_depth = 0u32;
+        while let Some(token) = self.peek() {
+            if let TokenTree::Punct(p) = token {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth = angle_depth.saturating_sub(1),
+                    ',' if angle_depth == 0 => {
+                        self.pos += 1;
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+impl FieldAttrs {
+    fn merge(&mut self, other: FieldAttrs) -> Result<(), String> {
+        self.skip |= other.skip;
+        self.default |= other.default;
+        if other.rename.is_some() {
+            if self.rename.is_some() {
+                return Err("serde shim derive: duplicate #[serde(rename)]".into());
+            }
+            self.rename = other.rename;
+        }
+        Ok(())
+    }
+}
+
+impl Item {
+    fn parse(input: TokenStream) -> Result<Item, String> {
+        let mut cursor = Cursor::new(input);
+        // Container attributes: any #[serde(...)] here would change the
+        // wire format in ways the shim does not implement.
+        let container_attrs = cursor.parse_attrs()?;
+        if container_attrs.skip || container_attrs.default || container_attrs.rename.is_some() {
+            return Err(
+                "serde shim derive: container-level #[serde(...)] attributes are not supported"
+                    .into(),
+            );
+        }
+        cursor.skip_visibility();
+        let is_enum = if cursor.eat_ident("struct") {
+            false
+        } else if cursor.eat_ident("enum") {
+            true
+        } else {
+            return Err("serde shim derive: expected `struct` or `enum`".into());
+        };
+        let name = cursor.expect_ident()?;
+        if cursor.peek_punct('<') {
+            return Err(format!(
+                "serde shim derive: generic type `{name}` is not supported by the vendored shim"
+            ));
+        }
+        if cursor.eat_ident("where") {
+            return Err(format!(
+                "serde shim derive: `where` clause on `{name}` is not supported by the vendored shim"
+            ));
+        }
+        let body = if is_enum {
+            match cursor.bump() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Body::Enum(Self::parse_variants(g.stream())?)
+                }
+                other => {
+                    return Err(format!(
+                        "serde shim derive: expected enum body, found {other:?}"
+                    ))
+                }
+            }
+        } else {
+            match cursor.bump() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Body::NamedStruct(Self::parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Body::TupleStruct(Self::parse_tuple_fields(g.stream())?)
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::UnitStruct,
+                other => {
+                    return Err(format!(
+                        "serde shim derive: expected struct body, found {other:?}"
+                    ))
+                }
+            }
+        };
+        Ok(Item { name, body })
+    }
+
+    fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+        let mut cursor = Cursor::new(stream);
+        let mut fields = Vec::new();
+        while !cursor.at_end() {
+            let attrs = cursor.parse_attrs()?;
+            cursor.skip_visibility();
+            let name = cursor.expect_ident()?;
+            if !cursor.eat_punct(':') {
+                return Err(format!(
+                    "serde shim derive: expected `:` after field `{name}`"
+                ));
+            }
+            cursor.skip_to_comma();
+            fields.push(Field { name, attrs });
+        }
+        Ok(fields)
+    }
+
+    fn parse_tuple_fields(stream: TokenStream) -> Result<usize, String> {
+        let mut cursor = Cursor::new(stream);
+        let mut count = 0;
+        while !cursor.at_end() {
+            let attrs = cursor.parse_attrs()?;
+            if attrs.skip || attrs.default || attrs.rename.is_some() {
+                return Err(
+                    "serde shim derive: #[serde(...)] on tuple fields is not supported".into(),
+                );
+            }
+            cursor.skip_visibility();
+            if cursor.at_end() {
+                break; // trailing comma
+            }
+            cursor.skip_to_comma();
+            count += 1;
+        }
+        Ok(count)
+    }
+
+    fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+        let mut cursor = Cursor::new(stream);
+        let mut variants = Vec::new();
+        while !cursor.at_end() {
+            let attrs = cursor.parse_attrs()?;
+            if attrs.skip || attrs.default || attrs.rename.is_some() {
+                return Err("serde shim derive: #[serde(...)] on variants is not supported".into());
+            }
+            let name = cursor.expect_ident()?;
+            let body = match cursor.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let fields = Self::parse_named_fields(g.stream())?;
+                    cursor.pos += 1;
+                    VariantBody::Named(fields)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let count = Self::parse_tuple_fields(g.stream())?;
+                    cursor.pos += 1;
+                    VariantBody::Tuple(count)
+                }
+                _ => VariantBody::Unit,
+            };
+            // Discriminant (`= expr`) and the separating comma.
+            cursor.skip_to_comma();
+            variants.push(Variant { name, body });
+        }
+        Ok(variants)
+    }
+}
+
+/// Render the map-building expression for a list of named fields, where
+/// `access` maps a field name to the expression that borrows it.
+fn named_fields_to_value(fields: &[Field], access: impl Fn(&str) -> String) -> String {
+    let live: Vec<&Field> = fields.iter().filter(|f| !f.attrs.skip).collect();
+    if live.is_empty() {
+        return "serde::Value::Map(Vec::new())".to_owned();
+    }
+    let mut out = String::from("{\n let mut fields: Vec<(String, serde::Value)> = Vec::new();\n");
+    for field in live {
+        out.push_str(&format!(
+            " fields.push((String::from({key:?}), serde::Serialize::to_value({access})));\n",
+            key = field.key(),
+            access = access(&field.name),
+        ));
+    }
+    out.push_str(" serde::Value::Map(fields)\n}");
+    out
+}
+
+/// Render the struct-literal field initializers for deserializing a list
+/// of named fields out of `source` (an expression of type `&Value`).
+fn named_fields_from_value(fields: &[Field], source: &str, type_name: &str) -> String {
+    let mut out = String::new();
+    for field in fields {
+        if field.attrs.skip {
+            out.push_str(&format!(
+                " {}: std::default::Default::default(),\n",
+                field.name
+            ));
+            continue;
+        }
+        let missing = if field.attrs.default {
+            "std::default::Default::default()".to_owned()
+        } else {
+            format!(
+                "return std::result::Result::Err(serde::Error::missing_field({:?}, {:?}))",
+                field.key(),
+                type_name
+            )
+        };
+        out.push_str(&format!(
+            " {name}: match serde::Value::get_field({source}, {key:?}) {{\n\
+             std::option::Option::Some(v) => serde::Deserialize::from_value(v)?,\n\
+             std::option::Option::None => {missing},\n\
+             }},\n",
+            name = field.name,
+            key = field.key(),
+        ));
+    }
+    out
+}
+
+fn gen_serialize(item: &Item) -> Result<String, String> {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            named_fields_to_value(fields, |field| format!("&self.{field}"))
+        }
+        Body::TupleStruct(count) => {
+            let items: Vec<String> = (0..*count)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Body::UnitStruct => "serde::Value::Null".to_owned(),
+        Body::Enum(variants) => {
+            if variants.is_empty() {
+                // An empty enum has no values; the match is vacuous.
+                "match *self {}".to_owned()
+            } else {
+                let mut arms = String::new();
+                for variant in variants {
+                    let vname = &variant.name;
+                    match &variant.body {
+                        VariantBody::Unit => arms.push_str(&format!(
+                            "{name}::{vname} => serde::Value::Str(String::from({vname:?})),\n"
+                        )),
+                        VariantBody::Tuple(1) => arms.push_str(&format!(
+                            "{name}::{vname}(f0) => serde::Value::Map(vec![(String::from({vname:?}), serde::Serialize::to_value(f0))]),\n"
+                        )),
+                        VariantBody::Tuple(count) => {
+                            let binds: Vec<String> = (0..*count).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_value({b})"))
+                                .collect();
+                            arms.push_str(&format!(
+                                "{name}::{vname}({binds}) => serde::Value::Map(vec![(String::from({vname:?}), serde::Value::Seq(vec![{items}]))]),\n",
+                                binds = binds.join(", "),
+                                items = items.join(", "),
+                            ));
+                        }
+                        VariantBody::Named(fields) => {
+                            let binds: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    if f.attrs.skip {
+                                        format!("{}: _", f.name)
+                                    } else {
+                                        f.name.clone()
+                                    }
+                                })
+                                .collect();
+                            let payload = named_fields_to_value(fields, |field| field.to_owned());
+                            arms.push_str(&format!(
+                                "{name}::{vname} {{ {binds} }} => serde::Value::Map(vec![(String::from({vname:?}), {payload})]),\n",
+                                binds = binds.join(", "),
+                            ));
+                        }
+                    }
+                }
+                format!("match self {{\n{arms}}}")
+            }
+        }
+    };
+    Ok(format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> serde::Value {{\n{body}\n}}\n\
+         }}"
+    ))
+}
+
+fn gen_deserialize(item: &Item) -> Result<String, String> {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) => format!(
+            "if serde::Value::as_map(value).is_none() {{\n\
+             return std::result::Result::Err(serde::Error::expected(\"map\", {name:?}));\n\
+             }}\n\
+             std::result::Result::Ok({name} {{\n{fields}\n}})",
+            fields = named_fields_from_value(fields, "value", name),
+        ),
+        Body::TupleStruct(count) => {
+            let items: Vec<String> = (0..*count)
+                .map(|i| format!("serde::Deserialize::from_value(&seq[{i}])?"))
+                .collect();
+            format!(
+                "let seq = serde::Value::as_seq(value)\n\
+                 .ok_or_else(|| serde::Error::expected(\"sequence\", {name:?}))?;\n\
+                 if seq.len() != {count} {{\n\
+                 return std::result::Result::Err(serde::Error::invalid_length(seq.len(), {count}, {name:?}));\n\
+                 }}\n\
+                 std::result::Result::Ok({name}({items}))",
+                items = items.join(", "),
+            )
+        }
+        Body::UnitStruct => format!(
+            "match value {{\n\
+             serde::Value::Null => std::result::Result::Ok({name}),\n\
+             _ => std::result::Result::Err(serde::Error::expected(\"null\", {name:?})),\n\
+             }}"
+        ),
+        Body::Enum(variants) => gen_deserialize_enum(name, variants),
+    };
+    Ok(format!(
+        "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+         fn from_value(value: &serde::Value) -> std::result::Result<Self, serde::Error> {{\n{body}\n}}\n\
+         }}"
+    ))
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit: Vec<&Variant> = variants
+        .iter()
+        .filter(|v| matches!(v.body, VariantBody::Unit))
+        .collect();
+    let payload: Vec<&Variant> = variants
+        .iter()
+        .filter(|v| !matches!(v.body, VariantBody::Unit))
+        .collect();
+    let mut out = String::new();
+    // Unit variants arrive as a bare string tag.
+    out.push_str("if let std::option::Option::Some(tag) = serde::Value::as_str(value) {\n");
+    if unit.is_empty() {
+        out.push_str(&format!(
+            "return std::result::Result::Err(serde::Error::unknown_variant(tag, {name:?}));\n"
+        ));
+    } else {
+        out.push_str("return match tag {\n");
+        for variant in &unit {
+            out.push_str(&format!(
+                "{tag:?} => std::result::Result::Ok({name}::{vname}),\n",
+                tag = variant.name,
+                vname = variant.name,
+            ));
+        }
+        out.push_str(&format!(
+            "other => std::result::Result::Err(serde::Error::unknown_variant(other, {name:?})),\n}};\n"
+        ));
+    }
+    out.push_str("}\n");
+    // Payload variants arrive as a single-entry map keyed by the tag.
+    if payload.is_empty() {
+        out.push_str(&format!(
+            "std::result::Result::Err(serde::Error::expected(\"variant string\", {name:?}))"
+        ));
+        return out;
+    }
+    out.push_str(&format!(
+        "let entries = serde::Value::as_map(value)\n\
+         .ok_or_else(|| serde::Error::expected(\"variant string or single-entry map\", {name:?}))?;\n\
+         if entries.len() != 1 {{\n\
+         return std::result::Result::Err(serde::Error::expected(\"single-entry variant map\", {name:?}));\n\
+         }}\n\
+         let inner = &entries[0].1;\n\
+         match entries[0].0.as_str() {{\n"
+    ));
+    for variant in &payload {
+        let vname = &variant.name;
+        match &variant.body {
+            VariantBody::Unit => unreachable!("unit variants handled above"),
+            VariantBody::Tuple(1) => out.push_str(&format!(
+                "{vname:?} => std::result::Result::Ok({name}::{vname}(serde::Deserialize::from_value(inner)?)),\n"
+            )),
+            VariantBody::Tuple(count) => {
+                let items: Vec<String> = (0..*count)
+                    .map(|i| format!("serde::Deserialize::from_value(&seq[{i}])?"))
+                    .collect();
+                out.push_str(&format!(
+                    "{vname:?} => {{\n\
+                     let seq = serde::Value::as_seq(inner)\n\
+                     .ok_or_else(|| serde::Error::expected(\"sequence\", {name:?}))?;\n\
+                     if seq.len() != {count} {{\n\
+                     return std::result::Result::Err(serde::Error::invalid_length(seq.len(), {count}, {name:?}));\n\
+                     }}\n\
+                     std::result::Result::Ok({name}::{vname}({items}))\n\
+                     }},\n",
+                    items = items.join(", "),
+                ));
+            }
+            VariantBody::Named(fields) => out.push_str(&format!(
+                "{vname:?} => {{\n\
+                 if serde::Value::as_map(inner).is_none() {{\n\
+                 return std::result::Result::Err(serde::Error::expected(\"map\", {name:?}));\n\
+                 }}\n\
+                 std::result::Result::Ok({name}::{vname} {{\n{fields}\n}})\n\
+                 }},\n",
+                fields = named_fields_from_value(fields, "inner", name),
+            )),
+        }
+    }
+    out.push_str(&format!(
+        "other => std::result::Result::Err(serde::Error::unknown_variant(other, {name:?})),\n}}"
+    ));
+    out
 }
