@@ -35,9 +35,11 @@ fn bench_representative_rules(c: &mut Criterion) {
     ] {
         let err = self_error_pct(&select_with_rule(&bins, rule), &log);
         eprintln!("[ablation] representative {rule:?}: self error {err:.4}%");
-        group.bench_with_input(BenchmarkId::new("select", format!("{rule:?}")), &rule, |b, &rule| {
-            b.iter(|| black_box(select_with_rule(&bins, rule).len()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("select", format!("{rule:?}")),
+            &rule,
+            |b, &rule| b.iter(|| black_box(select_with_rule(&bins, rule).len())),
+        );
     }
     group.finish();
 }
@@ -57,9 +59,7 @@ fn bench_binning_strategies(c: &mut Criterion) {
             &select_with_rule(&quantile, RepresentativeRule::ClosestToAverage),
             &log,
         );
-        eprintln!(
-            "[ablation] k={k}: equal-width {ew_err:.4}% vs quantile {q_err:.4}%"
-        );
+        eprintln!("[ablation] k={k}: equal-width {ew_err:.4}% vs quantile {q_err:.4}%");
         group.bench_with_input(BenchmarkId::new("equal_width", k), &k, |b, &k| {
             b.iter(|| black_box(bin_profiles(&profiles, k).expect("valid").len()))
         });
@@ -88,9 +88,20 @@ fn bench_threshold_sweep(c: &mut Criterion) {
                 a.self_error_pct()
             );
         }
-        group.bench_with_input(BenchmarkId::new("pipeline_e", format!("{e}")), &cfg, |b, cfg| {
-            b.iter(|| black_box(SeqPointPipeline::with_config(*cfg).run(&log).ok().map(|a| a.k())))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("pipeline_e", format!("{e}")),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| {
+                    black_box(
+                        SeqPointPipeline::with_config(*cfg)
+                            .run(&log)
+                            .ok()
+                            .map(|a| a.k()),
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }

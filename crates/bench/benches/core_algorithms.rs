@@ -22,26 +22,20 @@ fn bench_pipeline(c: &mut Criterion) {
     let mut group = c.benchmark_group("core");
     for &iters in &[500usize, 5_000, 50_000] {
         let log = synthetic_log(iters, 200, 1);
-        group.bench_with_input(
-            BenchmarkId::new("sl_profiles", iters),
-            &log,
-            |b, log| b.iter(|| black_box(log.sl_profiles().len())),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("pipeline_full", iters),
-            &log,
-            |b, log| {
-                b.iter(|| {
-                    black_box(
-                        SeqPointPipeline::new()
-                            .run(log)
-                            .expect("converges")
-                            .seqpoints()
-                            .len(),
-                    )
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("sl_profiles", iters), &log, |b, log| {
+            b.iter(|| black_box(log.sl_profiles().len()))
+        });
+        group.bench_with_input(BenchmarkId::new("pipeline_full", iters), &log, |b, log| {
+            b.iter(|| {
+                black_box(
+                    SeqPointPipeline::new()
+                        .run(log)
+                        .expect("converges")
+                        .seqpoints()
+                        .len(),
+                )
+            })
+        });
     }
     let log = synthetic_log(5_000, 200, 2);
     let profiles = log.sl_profiles();

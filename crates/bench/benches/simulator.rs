@@ -40,7 +40,11 @@ fn bench_kernels(c: &mut Criterion) {
         b.iter(|| {
             let mut buf = Vec::new();
             gpu_sim::trace_format::write_trace(&mut buf, &trace).expect("write");
-            black_box(gpu_sim::trace_format::read_trace(&buf[..]).expect("read").len())
+            black_box(
+                gpu_sim::trace_format::read_trace(&buf[..])
+                    .expect("read")
+                    .len(),
+            )
         })
     });
     group.finish();

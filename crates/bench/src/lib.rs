@@ -139,10 +139,15 @@ mod tests {
             &l,
         );
         let median = self_error_pct(&select_with_rule(&bins, RepresentativeRule::MedianStat), &l);
-        let frequent =
-            self_error_pct(&select_with_rule(&bins, RepresentativeRule::MostFrequent), &l);
+        let frequent = self_error_pct(
+            &select_with_rule(&bins, RepresentativeRule::MostFrequent),
+            &l,
+        );
         assert!(paper <= median + 1e-9, "paper {paper} vs median {median}");
-        assert!(paper <= frequent + 1e-9, "paper {paper} vs frequent {frequent}");
+        assert!(
+            paper <= frequent + 1e-9,
+            "paper {paper} vs frequent {frequent}"
+        );
     }
 
     #[test]

@@ -185,12 +185,8 @@ impl BaselineSelection {
         if self.seq_lens.is_empty() {
             return 0.0;
         }
-        let mean = self
-            .seq_lens
-            .iter()
-            .map(|&sl| stat_of(sl))
-            .sum::<f64>()
-            / self.seq_lens.len() as f64;
+        let mean =
+            self.seq_lens.iter().map(|&sl| stat_of(sl)).sum::<f64>() / self.seq_lens.len() as f64;
         mean * self.iterations as f64
     }
 

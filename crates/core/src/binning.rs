@@ -111,7 +111,13 @@ mod tests {
 
     #[test]
     fn bins_cover_all_profiles_once() {
-        let p = profiles(&[(1, 2, 1.0), (10, 1, 2.0), (20, 3, 3.0), (50, 1, 4.0), (100, 2, 5.0)]);
+        let p = profiles(&[
+            (1, 2, 1.0),
+            (10, 1, 2.0),
+            (20, 3, 3.0),
+            (50, 1, 4.0),
+            (100, 2, 5.0),
+        ]);
         let bins = bin_profiles(&p, 5).unwrap();
         let total: u64 = bins.iter().map(Bin::weight).sum();
         assert_eq!(total, 9);
@@ -124,7 +130,13 @@ mod tests {
 
     #[test]
     fn bins_are_contiguous_and_ordered() {
-        let p = profiles(&[(5, 1, 1.0), (25, 1, 1.0), (45, 1, 1.0), (65, 1, 1.0), (85, 1, 1.0)]);
+        let p = profiles(&[
+            (5, 1, 1.0),
+            (25, 1, 1.0),
+            (45, 1, 1.0),
+            (65, 1, 1.0),
+            (85, 1, 1.0),
+        ]);
         let bins = bin_profiles(&p, 4).unwrap();
         for w in bins.windows(2) {
             assert!(w[0].hi < w[1].lo);

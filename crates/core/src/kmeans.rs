@@ -94,10 +94,7 @@ impl KMeansResult {
 }
 
 fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| (x - y) * (x - y))
-        .sum()
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
 }
 
 /// Run k-means with k-means++ seeding and Lloyd iterations.

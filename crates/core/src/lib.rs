@@ -62,6 +62,7 @@ pub mod binning;
 pub mod kmeans;
 pub mod multi;
 pub mod online;
+pub mod protocol;
 pub mod simpoint;
 pub mod stats;
 pub mod stream;

@@ -51,7 +51,10 @@ impl MultiStatLog {
         sorted.sort_unstable();
         sorted.dedup();
         if sorted.len() != names.len() {
-            return Err(CoreError::invalid("names", "statistic names must be unique"));
+            return Err(CoreError::invalid(
+                "names",
+                "statistic names must be unique",
+            ));
         }
         Ok(MultiStatLog {
             names,
@@ -191,7 +194,8 @@ mod tests {
         for i in 0..400u32 {
             let sl = 5 + (i * 7) % 120;
             let f = f64::from(sl);
-            log.push(sl, [0.1 + f * 0.01, f * 1e9, 1e8 + f * 4e7]).unwrap();
+            log.push(sl, [0.1 + f * 0.01, f * 1e9, 1e8 + f * 4e7])
+                .unwrap();
         }
         log
     }
@@ -200,7 +204,9 @@ mod tests {
     fn runtime_chosen_seqpoints_project_other_stats() {
         // Section VII-C's claim: runtime is a good proxy for the whole
         // execution profile.
-        let analysis = log().analyze_with_primary(0, SeqPointConfig::default()).unwrap();
+        let analysis = log()
+            .analyze_with_primary(0, SeqPointConfig::default())
+            .unwrap();
         assert_eq!(analysis.primary(), "runtime");
         for (name, err) in analysis.errors() {
             assert!(*err < 3.0, "{name}: {err}%");
@@ -229,7 +235,9 @@ mod tests {
 
     #[test]
     fn secondary_error_lookup() {
-        let analysis = log().analyze_with_primary(0, SeqPointConfig::default()).unwrap();
+        let analysis = log()
+            .analyze_with_primary(0, SeqPointConfig::default())
+            .unwrap();
         assert!(analysis.secondary_error_pct("valu").is_some());
         assert!(analysis.secondary_error_pct("nope").is_none());
         assert!(!analysis.seqpoints().is_empty());

@@ -125,8 +125,7 @@ impl OnlineSlTracker {
     /// Whether no new SL has appeared within the last `window`
     /// iterations (and at least `window` iterations have been seen).
     pub fn saturated(&self, window: u64) -> bool {
-        self.iterations >= window.max(1)
-            && self.iterations - self.last_new_sl_at >= window.max(1)
+        self.iterations >= window.max(1) && self.iterations - self.last_new_sl_at >= window.max(1)
     }
 
     /// Absorb another tracker's observations, as if its stream had been
@@ -146,10 +145,7 @@ impl OnlineSlTracker {
         if other.iterations == 0 {
             return;
         }
-        let introduces_new = other
-            .counts
-            .keys()
-            .any(|sl| !self.counts.contains_key(sl));
+        let introduces_new = other.counts.keys().any(|sl| !self.counts.contains_key(sl));
         if introduces_new {
             self.last_new_sl_at = self.iterations + other.last_new_sl_at;
         }
@@ -312,10 +308,7 @@ mod tests {
         single.observe(9, 2.0);
         assert_eq!(bulk.iterations(), single.iterations());
         assert_eq!(bulk.unseen_probability(), single.unseen_probability());
-        assert_eq!(
-            bulk.sl_counts().collect::<Vec<_>>(),
-            vec![(5, 3), (9, 1)]
-        );
+        assert_eq!(bulk.sl_counts().collect::<Vec<_>>(), vec![(5, 3), (9, 1)]);
         assert_eq!(bulk.mean_stat_of(5), Some(1.5));
         // The bulk first-occurrence marks the start of the run, so
         // saturation is no laxer than the per-iteration equivalent.
@@ -458,8 +451,7 @@ mod tests {
         assert!(stopped_at < all.len(), "should stop early");
         // Mean iteration statistic of the prefix is close to the epoch's.
         let prefix_mean = t.to_epoch_log().mean_stat();
-        let full_mean: f64 =
-            all.iter().map(|&(_, s)| s).sum::<f64>() / all.len() as f64;
+        let full_mean: f64 = all.iter().map(|&(_, s)| s).sum::<f64>() / all.len() as f64;
         let rel = ((prefix_mean - full_mean) / full_mean).abs();
         assert!(rel < 0.05, "rel = {rel}");
     }

@@ -177,10 +177,7 @@ impl SeqPointPipeline {
                 "must be ascending by seq_len without duplicates",
             ));
         }
-        let actual_total = profiles
-            .iter()
-            .map(|p| p.mean_stat * p.count as f64)
-            .sum();
+        let actual_total = profiles.iter().map(|p| p.mean_stat * p.count as f64).sum();
         let iterations = profiles.iter().map(|p| p.count).sum::<u64>() as usize;
         self.run_aggregated(profiles, actual_total, iterations)
     }
@@ -326,12 +323,10 @@ mod tests {
     fn k_equal_to_unique_sls_is_exact_for_evenly_spaced_sls() {
         // Evenly spaced SLs (gap 3 > bin width) so that k = #unique puts
         // each SL in its own bin, making the projection exact.
-        let log = EpochLog::from_pairs(
-            (0..400u32).map(|i| {
-                let sl = 10 + (i % 50) * 3;
-                (sl, 0.3 + f64::from(sl) * 0.01)
-            }),
-        );
+        let log = EpochLog::from_pairs((0..400u32).map(|i| {
+            let sl = 10 + (i % 50) * 3;
+            (sl, 0.3 + f64::from(sl) * 0.01)
+        }));
         let unique = log.unique_sl_count() as u32;
         let a = SeqPointPipeline::with_config(SeqPointConfig {
             initial_k: unique,
@@ -363,12 +358,10 @@ mod tests {
     fn max_k_failure_reports_achieved_error() {
         // A pathological log where 1 bin cannot meet a microscopic
         // threshold, and max_k forbids refinement.
-        let log = EpochLog::from_pairs(
-            (0..100).flat_map(|i| {
-                let sl = 1 + i % 50;
-                vec![(sl, f64::from(sl) * f64::from(sl))]
-            }),
-        );
+        let log = EpochLog::from_pairs((0..100).flat_map(|i| {
+            let sl = 1 + i % 50;
+            vec![(sl, f64::from(sl) * f64::from(sl))]
+        }));
         let result = SeqPointPipeline::with_config(SeqPointConfig {
             initial_k: 1,
             max_k: 1,

@@ -1,0 +1,407 @@
+//! Wire vocabulary of the `seqpoint serve` profiling service.
+//!
+//! The service speaks newline-delimited JSON over a Unix domain socket:
+//! one [`Request`] per line from clients (and the initial hello from
+//! workers), one [`Response`] per line back, and — on connections that
+//! announced themselves as workers — [`WorkerTask`] lines from the
+//! server answered by [`WorkerReply`] lines.
+//!
+//! This module only defines the *frames*. Heavy payloads that belong to
+//! other crates (per-shard tracker state, iteration profiles) travel as
+//! embedded JSON strings in the **checkpoint interchange format**: the
+//! exact serialization `StreamingSelector::checkpoint` and the streaming
+//! checkpoints use, with round-trip-exact floats — which is what makes
+//! a subprocess worker's round reports bit-identical to the in-process
+//! thread executor's. Framing stays in `seqpoint_core`, payload
+//! semantics stay with their owning crates, and a future TCP transport
+//! reuses both unchanged.
+//!
+//! Parsing goes through the vendored depth-limited JSON parser, so a
+//! malformed or adversarially nested request line fails with a
+//! [`CoreError`] instead of aborting the daemon (pinned by the protocol
+//! property tests).
+
+use serde::{Deserialize, Serialize};
+
+use crate::stream::StreamConfig;
+use crate::CoreError;
+
+/// Version of the request/response vocabulary. Servers reject lines
+/// whose semantics they cannot honor; bumped on breaking changes.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Everything that defines one profiling/selection job: the workload
+/// (model × dataset × scale × batch), the device configuration, and the
+/// per-job streaming/early-stop thresholds.
+///
+/// The spec deliberately mirrors the `seqpoint stream` flags so a served
+/// job and an offline run are the same experiment — the service smoke
+/// test asserts their outputs are byte-identical.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Bundled model name (`gnmt`, `ds2`, …).
+    pub model: String,
+    /// Bundled dataset name (`iwslt15`, `wmt16`, `librispeech100`).
+    pub dataset: String,
+    /// Corpus samples to draw.
+    #[serde(default)]
+    pub samples: u64,
+    /// Table II hardware configuration (1..=5).
+    #[serde(default)]
+    pub config: u32,
+    /// Corpus/shuffle seed.
+    #[serde(default)]
+    pub seed: u64,
+    /// Samples per iteration (shuffled steady-state batching).
+    #[serde(default)]
+    pub batch: u32,
+    /// Worker shards each round is dealt across.
+    #[serde(default)]
+    pub shards: u32,
+    /// Iterations per ingestion round.
+    #[serde(default)]
+    pub round_len: u32,
+    /// Early-stop thresholds and selection pipeline configuration.
+    #[serde(default)]
+    pub stream: StreamConfig,
+    /// Pause the job after this many rounds per scheduling attempt — a
+    /// cooperative preemption budget; the server re-queues the job so
+    /// other jobs get a slot (round-robin fairness across jobs).
+    #[serde(default)]
+    pub max_rounds: Option<u64>,
+    /// Sleep this long between rounds, pacing the job (for shared hosts,
+    /// and for deterministic mid-run drain in the smoke tests).
+    #[serde(default)]
+    pub throttle_ms: u64,
+}
+
+impl Default for JobSpec {
+    fn default() -> Self {
+        JobSpec {
+            model: String::new(),
+            dataset: String::new(),
+            samples: 20_000,
+            config: 1,
+            seed: 7,
+            batch: 64,
+            shards: 4,
+            round_len: 64,
+            stream: StreamConfig::default(),
+            max_rounds: None,
+            throttle_ms: 0,
+        }
+    }
+}
+
+impl JobSpec {
+    /// Replace zero-valued scale fields (the wire default for a field a
+    /// hand-written submission omitted) with the standard `seqpoint
+    /// stream` defaults. `seed` and `throttle_ms` keep their value — 0
+    /// is meaningful for both.
+    pub fn normalize(mut self) -> JobSpec {
+        let d = JobSpec::default();
+        if self.samples == 0 {
+            self.samples = d.samples;
+        }
+        if self.config == 0 {
+            self.config = d.config;
+        }
+        if self.batch == 0 {
+            self.batch = d.batch;
+        }
+        if self.shards == 0 {
+            self.shards = d.shards;
+        }
+        if self.round_len == 0 {
+            self.round_len = d.round_len;
+        }
+        self
+    }
+}
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobState {
+    /// Accepted and waiting for a job slot.
+    Queued,
+    /// A runner is executing rounds right now.
+    Running,
+    /// Progress is persisted in a checkpoint; the job will resume (after
+    /// a preemption pause, a lost worker, or a server restart).
+    Paused,
+    /// Finished; the rendered selection is available.
+    Done,
+    /// Terminally failed; the reason is recorded.
+    Failed,
+    /// Cancelled by request before completion.
+    Cancelled,
+}
+
+impl JobState {
+    /// Whether the state is terminal (no further transitions).
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Failed | JobState::Cancelled
+        )
+    }
+
+    /// Lowercase label for human-facing output.
+    pub fn label(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Paused => "paused",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// One client → server line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Liveness/stats probe.
+    Ping,
+    /// Enqueue a job. `job` names it (idempotent resubmission across
+    /// restarts); when `None` the server assigns `job-<n>`.
+    Submit {
+        /// Client-chosen job id, if any.
+        job: Option<String>,
+        /// The job to run.
+        spec: JobSpec,
+    },
+    /// Report a job's lifecycle state.
+    Status {
+        /// The job id.
+        job: String,
+    },
+    /// Fetch a job's rendered output. With `wait`, the response is
+    /// deferred until the job reaches a terminal state.
+    Result {
+        /// The job id.
+        job: String,
+        /// Block until terminal instead of failing on a pending job.
+        wait: bool,
+    },
+    /// Cancel a queued or running job.
+    Cancel {
+        /// The job id.
+        job: String,
+    },
+    /// Drain and exit: stop accepting work, checkpoint in-flight jobs,
+    /// then shut the server down (the request-level twin of SIGTERM).
+    Shutdown,
+    /// Announce this connection as a worker; the server will send
+    /// [`WorkerTask`] lines down it from now on.
+    WorkerHello {
+        /// The worker process id (for supervision and the kill tests).
+        pid: u64,
+    },
+}
+
+/// One server → client line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong {
+        /// The server's [`PROTOCOL_VERSION`].
+        version: u32,
+        /// Jobs waiting for a slot.
+        queued: u64,
+        /// Jobs currently executing.
+        running: u64,
+        /// Pids of the live subprocess workers (empty under thread
+        /// placement).
+        workers: Vec<u64>,
+    },
+    /// The job was accepted.
+    Submitted {
+        /// The (possibly server-assigned) job id.
+        job: String,
+    },
+    /// Backpressure: the bounded queue is full, try again later.
+    Rejected {
+        /// Why the job was not accepted.
+        reason: String,
+    },
+    /// Answer to [`Request::Status`].
+    Status {
+        /// The job id.
+        job: String,
+        /// Lifecycle state.
+        state: JobState,
+        /// Human-readable progress detail.
+        detail: String,
+    },
+    /// A finished job's rendered output.
+    Result {
+        /// The job id.
+        job: String,
+        /// The rendered selection (byte-identical to `seqpoint stream`).
+        output: String,
+    },
+    /// The job failed; no output exists.
+    Failed {
+        /// The job id.
+        job: String,
+        /// The failure reason.
+        reason: String,
+    },
+    /// The job was cancelled.
+    Cancelled {
+        /// The job id.
+        job: String,
+    },
+    /// The server acknowledged a drain request and is shutting down.
+    ShuttingDown,
+    /// The request could not be honored (unknown job, malformed line,
+    /// draining, …).
+    Error {
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+/// One server → worker line: a unit of placed work.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkerTask {
+    /// Profile one shard chunk of one round.
+    Round {
+        /// Bundled model name.
+        model: String,
+        /// Table II hardware configuration (1..=5).
+        config: u32,
+        /// Statistic label (`runtime`, `valu_insts`, …).
+        stat: String,
+        /// Shard index within the round.
+        shard: u32,
+        /// `(seq_len, samples)` batch shapes, in stream order.
+        batches: Vec<(u32, u32)>,
+    },
+    /// Profile a single shape (the replay phase's on-demand path).
+    Profile {
+        /// Bundled model name.
+        model: String,
+        /// Table II hardware configuration (1..=5).
+        config: u32,
+        /// The shape's padded sequence length.
+        seq_len: u32,
+        /// The shape's batch size.
+        samples: u32,
+    },
+    /// Exit cleanly (drain).
+    Shutdown,
+}
+
+/// One worker → server line: the result of a [`WorkerTask`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkerReply {
+    /// Answer to [`WorkerTask::Round`].
+    Round {
+        /// Shard index this report answers.
+        shard: u32,
+        /// The chunk's `OnlineSlTracker` state, serialized in the
+        /// checkpoint interchange format (round-trip-exact floats, so
+        /// the merged selection is bit-identical to in-process runs).
+        tracker: String,
+        /// Simulated seconds the chunk's iterations take back to back.
+        chunk_time_s: f64,
+        /// The distinct shapes appearing in the chunk, as a serialized
+        /// `Vec<IterationProfile>` in the checkpoint interchange format.
+        shapes: String,
+    },
+    /// Answer to [`WorkerTask::Profile`]: one serialized
+    /// `IterationProfile`.
+    Profile {
+        /// The profile, in the checkpoint interchange format.
+        profile: String,
+    },
+    /// The task could not be executed (unknown model/config/stat).
+    Error {
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+/// Render one protocol frame as a single NDJSON line (no trailing
+/// newline; the transport adds it). The JSON encoder escapes embedded
+/// newlines, so a frame can never span lines.
+pub fn encode_frame<T: Serialize>(frame: &T) -> String {
+    serde::json::to_string(frame).expect("protocol frames serialize infallibly")
+}
+
+/// Parse one NDJSON line into a protocol frame.
+///
+/// # Errors
+///
+/// [`CoreError::InvalidParameter`] on malformed JSON (including
+/// adversarially deep nesting, which the depth-limited parser rejects
+/// instead of overflowing the stack) or a shape mismatch with `T`.
+pub fn decode_frame<T: for<'de> Deserialize<'de>>(line: &str) -> Result<T, CoreError> {
+    serde::json::from_str(line.trim()).map_err(|e| CoreError::invalid("frame", e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_are_single_lines() {
+        let request = Request::Submit {
+            job: Some("job with\nnewline".to_owned()),
+            spec: JobSpec {
+                model: "gnmt".to_owned(),
+                dataset: "iwslt15".to_owned(),
+                ..JobSpec::default()
+            },
+        };
+        let line = encode_frame(&request);
+        assert!(!line.contains('\n'), "frame must never span lines: {line}");
+        let back: Request = decode_frame(&line).unwrap();
+        assert_eq!(back, request);
+    }
+
+    #[test]
+    fn decode_rejects_garbage_with_an_error() {
+        assert!(decode_frame::<Request>("").is_err());
+        assert!(decode_frame::<Request>("not json").is_err());
+        assert!(decode_frame::<Request>("{\"Nope\":{}}").is_err());
+        // A request whose variant exists but whose payload is malformed.
+        assert!(decode_frame::<Request>("{\"Status\":{}}").is_err());
+    }
+
+    #[test]
+    fn job_state_labels_and_terminality() {
+        assert!(JobState::Done.is_terminal());
+        assert!(JobState::Failed.is_terminal());
+        assert!(JobState::Cancelled.is_terminal());
+        assert!(!JobState::Queued.is_terminal());
+        assert!(!JobState::Running.is_terminal());
+        assert!(!JobState::Paused.is_terminal());
+        assert_eq!(JobState::Paused.label(), "paused");
+    }
+
+    #[test]
+    fn spec_defaults_fill_missing_fields() {
+        let spec: JobSpec = decode_frame("{\"model\":\"gnmt\",\"dataset\":\"iwslt15\"}").unwrap();
+        // Omitted numeric fields arrive as the wire default (0) and
+        // normalize to the standard `seqpoint stream` defaults.
+        let spec = spec.normalize();
+        assert_eq!(spec.batch, 64);
+        assert_eq!(spec.shards, 4);
+        assert_eq!(spec.samples, 20_000);
+        assert_eq!(spec.stream, StreamConfig::default());
+        assert_eq!(spec.max_rounds, None);
+        // Normalization never touches explicitly provided fields.
+        let explicit: JobSpec =
+            decode_frame("{\"model\":\"gnmt\",\"dataset\":\"iwslt15\",\"batch\":16,\"shards\":3}")
+                .unwrap();
+        let explicit = explicit.normalize();
+        assert_eq!(explicit.batch, 16);
+        assert_eq!(explicit.shards, 3);
+        // But the workload itself is required.
+        assert!(decode_frame::<JobSpec>("{\"dataset\":\"iwslt15\"}").is_err());
+    }
+}

@@ -91,10 +91,7 @@ impl SeqPointSet {
     /// Eq. 1 with the identification-time statistics:
     /// `Σ wᵢ · sᵢ`.
     pub fn project_total(&self) -> f64 {
-        self.points
-            .iter()
-            .map(|p| p.stat * p.weight as f64)
-            .sum()
+        self.points.iter().map(|p| p.stat * p.weight as f64).sum()
     }
 
     /// Eq. 1 with re-measured statistics: `Σ wᵢ · stat(slᵢ)`.
@@ -128,11 +125,31 @@ mod tests {
 
     fn profiles() -> Vec<SlProfile> {
         vec![
-            SlProfile { seq_len: 10, count: 5, mean_stat: 1.0 },
-            SlProfile { seq_len: 12, count: 3, mean_stat: 1.2 },
-            SlProfile { seq_len: 14, count: 2, mean_stat: 1.4 },
-            SlProfile { seq_len: 90, count: 1, mean_stat: 9.0 },
-            SlProfile { seq_len: 95, count: 1, mean_stat: 9.5 },
+            SlProfile {
+                seq_len: 10,
+                count: 5,
+                mean_stat: 1.0,
+            },
+            SlProfile {
+                seq_len: 12,
+                count: 3,
+                mean_stat: 1.2,
+            },
+            SlProfile {
+                seq_len: 14,
+                count: 2,
+                mean_stat: 1.4,
+            },
+            SlProfile {
+                seq_len: 90,
+                count: 1,
+                mean_stat: 9.0,
+            },
+            SlProfile {
+                seq_len: 95,
+                count: 1,
+                mean_stat: 9.5,
+            },
         ]
     }
 
@@ -158,8 +175,16 @@ mod tests {
     #[test]
     fn projection_uses_weights() {
         let set = SeqPointSet::from_points(vec![
-            SeqPoint { seq_len: 10, stat: 1.0, weight: 4 },
-            SeqPoint { seq_len: 20, stat: 2.0, weight: 6 },
+            SeqPoint {
+                seq_len: 10,
+                stat: 1.0,
+                weight: 4,
+            },
+            SeqPoint {
+                seq_len: 20,
+                stat: 2.0,
+                weight: 6,
+            },
         ]);
         assert!((set.project_total() - 16.0).abs() < 1e-12);
         // Cross-config projection: stats doubled.
@@ -174,8 +199,16 @@ mod tests {
     #[test]
     fn ratio_projection_normalizes_by_weight() {
         let set = SeqPointSet::from_points(vec![
-            SeqPoint { seq_len: 1, stat: 0.0, weight: 1 },
-            SeqPoint { seq_len: 2, stat: 0.0, weight: 3 },
+            SeqPoint {
+                seq_len: 1,
+                stat: 0.0,
+                weight: 1,
+            },
+            SeqPoint {
+                seq_len: 2,
+                stat: 0.0,
+                weight: 3,
+            },
         ]);
         let ratio = set.project_ratio_with(|sl| if sl == 1 { 100.0 } else { 20.0 });
         assert!((ratio - 40.0).abs() < 1e-12); // (100 + 3·20)/4

@@ -81,7 +81,10 @@ pub fn simpoint(data: &[Vec<f64>], options: SimPointOptions) -> Result<SimPointS
         return Err(CoreError::EmptyLog);
     }
     if options.max_k == 0 || options.projected_dim == 0 {
-        return Err(CoreError::invalid("max_k/projected_dim", "must be positive"));
+        return Err(CoreError::invalid(
+            "max_k/projected_dim",
+            "must be positive",
+        ));
     }
     if !(options.bic_fraction > 0.0 && options.bic_fraction <= 1.0) {
         return Err(CoreError::invalid("bic_fraction", "must be in (0, 1]"));
@@ -174,11 +177,7 @@ mod tests {
             },
         )
         .unwrap();
-        assert!(
-            (2..=5).contains(&sp.chosen_k),
-            "chosen_k = {}",
-            sp.chosen_k
-        );
+        assert!((2..=5).contains(&sp.chosen_k), "chosen_k = {}", sp.chosen_k);
     }
 
     #[test]
@@ -240,6 +239,9 @@ mod tests {
     fn deterministic_per_seed() {
         let data = blobs(20, &[0.0, 10.0]);
         let opts = SimPointOptions::default();
-        assert_eq!(simpoint(&data, opts).unwrap(), simpoint(&data, opts).unwrap());
+        assert_eq!(
+            simpoint(&data, opts).unwrap(),
+            simpoint(&data, opts).unwrap()
+        );
     }
 }

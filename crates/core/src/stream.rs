@@ -622,12 +622,18 @@ mod tests {
         };
         assert!(matches!(
             StreamingSelector::restore(&build(corrupt_measured, "null")),
-            Err(CoreError::InvalidParameter { parameter: "checkpoint", .. })
+            Err(CoreError::InvalidParameter {
+                parameter: "checkpoint",
+                ..
+            })
         ));
         // A stop marker beyond the ingested stream is equally rejected.
         assert!(matches!(
             StreamingSelector::restore(&build(empty, "100")),
-            Err(CoreError::InvalidParameter { parameter: "checkpoint", .. })
+            Err(CoreError::InvalidParameter {
+                parameter: "checkpoint",
+                ..
+            })
         ));
         // The well-formed variant of the same JSON restores fine.
         assert!(StreamingSelector::restore(&build(empty, "null")).is_ok());
@@ -690,7 +696,10 @@ mod tests {
                 finished.iterations_measured(),
                 uninterrupted.iterations_measured()
             );
-            assert_eq!(finished.iterations_total(), uninterrupted.iterations_total());
+            assert_eq!(
+                finished.iterations_total(),
+                uninterrupted.iterations_total()
+            );
             assert_eq!(finished.rounds(), uninterrupted.rounds());
             assert_identical_selection(finished.seqpoints(), uninterrupted.seqpoints());
         }

@@ -3,21 +3,17 @@
 use proptest::prelude::*;
 use seqpoint_core::binning::bin_profiles;
 use seqpoint_core::stream::{select_streaming, StreamConfig};
-use seqpoint_core::{
-    BaselineKind, EpochLog, SeqPointConfig, SeqPointPipeline, SeqPointSet,
-};
+use seqpoint_core::{BaselineKind, EpochLog, SeqPointConfig, SeqPointPipeline, SeqPointSet};
 
 fn arb_log() -> impl Strategy<Value = EpochLog> {
-    proptest::collection::vec((1u32..400, 0.01f64..10.0), 1..500)
-        .prop_map(EpochLog::from_pairs)
+    proptest::collection::vec((1u32..400, 0.01f64..10.0), 1..500).prop_map(EpochLog::from_pairs)
 }
 
 /// Streams for the sharded-selection properties: a narrower SL space so
 /// saturation is reachable, still long-tailed enough to exercise the
 /// count-only phase's on-demand measurements.
 fn arb_stream() -> impl Strategy<Value = EpochLog> {
-    proptest::collection::vec((1u32..120, 0.01f64..10.0), 1..800)
-        .prop_map(EpochLog::from_pairs)
+    proptest::collection::vec((1u32..120, 0.01f64..10.0), 1..800).prop_map(EpochLog::from_pairs)
 }
 
 /// A pipeline configuration that converges on any `arb_stream` log

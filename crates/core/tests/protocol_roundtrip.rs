@@ -1,0 +1,279 @@
+//! Properties of the `seqpoint serve` wire vocabulary: every frame
+//! round-trips bit-exactly through NDJSON, and *no* input line — random
+//! garbage, truncations of valid frames, adversarially deep nesting —
+//! can panic the decoder (it must fail with an error the daemon can
+//! answer, reusing the depth-limited JSON parser's error path).
+
+use proptest::prelude::*;
+use seqpoint_core::protocol::{
+    decode_frame, encode_frame, JobSpec, JobState, Request, Response, WorkerReply, WorkerTask,
+};
+use seqpoint_core::stream::StreamConfig;
+use seqpoint_core::SeqPointConfig;
+
+/// Assert a bit-exact round trip: decode(encode(x)) == x and
+/// re-encoding reproduces the identical line.
+fn assert_round_trips<T>(frame: &T)
+where
+    T: serde::Serialize + for<'de> serde::Deserialize<'de> + PartialEq + std::fmt::Debug,
+{
+    let line = encode_frame(frame);
+    assert!(!line.contains('\n'), "NDJSON frame spans lines: {line}");
+    let back: T = decode_frame(&line).unwrap_or_else(|e| panic!("failed on `{line}`: {e}"));
+    assert_eq!(&back, frame, "decoded frame diverged; line was `{line}`");
+    assert_eq!(encode_frame(&back), line, "re-encoding changed the line");
+}
+
+/// Printable-ASCII text (quotes and backslashes included, so the
+/// encoder's escaping is exercised), up to 40 characters.
+fn arb_text() -> impl Strategy<Value = String> {
+    proptest::collection::vec(32u32..127, 0..40)
+        .prop_map(|v| v.into_iter().filter_map(char::from_u32).collect())
+}
+
+/// Arbitrary Unicode scalars, newlines and controls included — the
+/// garbage that may arrive on a public socket.
+fn arb_garbage() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u32..0xFFFF, 0..120)
+        .prop_map(|v| v.into_iter().filter_map(char::from_u32).collect())
+}
+
+/// Short `[a-z0-9-]` identifiers for job names.
+fn arb_id() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u32..37, 1..16).prop_map(|v| {
+        v.into_iter()
+            .map(|i| match i {
+                0..=25 => (b'a' + i as u8) as char,
+                26..=35 => (b'0' + (i - 26) as u8) as char,
+                _ => '-',
+            })
+            .collect()
+    })
+}
+
+fn arb_spec() -> impl Strategy<Value = JobSpec> {
+    (
+        (arb_id(), arb_id(), 1u64..100_000),
+        (1u32..6, 0u64..1_000, 1u32..256),
+        (1u32..16, 1u32..512),
+        (1u64..10_000, 0.0f64..0.5, 1u32..64),
+        (0u64..100, 0u64..500),
+    )
+        .prop_map(
+            |(
+                (model, dataset, samples),
+                (config, seed, batch),
+                (shards, round_len),
+                (window, unseen, quant),
+                (max_rounds, throttle_ms),
+            )| JobSpec {
+                model,
+                dataset,
+                samples,
+                config,
+                seed,
+                batch,
+                shards,
+                round_len,
+                stream: StreamConfig {
+                    saturation_window: window,
+                    unseen_threshold: unseen,
+                    quantization: quant,
+                    pipeline: SeqPointConfig::default(),
+                },
+                max_rounds: if max_rounds == 0 {
+                    None
+                } else {
+                    Some(max_rounds)
+                },
+                throttle_ms,
+            },
+        )
+}
+
+fn arb_state() -> impl Strategy<Value = JobState> {
+    (0u32..6).prop_map(|i| match i {
+        0 => JobState::Queued,
+        1 => JobState::Running,
+        2 => JobState::Paused,
+        3 => JobState::Done,
+        4 => JobState::Failed,
+        _ => JobState::Cancelled,
+    })
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    ((0u32..7, arb_id(), 0u64..1 << 22), arb_spec()).prop_map(|((variant, job, pid), spec)| {
+        match variant {
+            0 => Request::Ping,
+            1 => Request::Shutdown,
+            2 => Request::Submit {
+                job: Some(job),
+                spec,
+            },
+            3 => Request::Submit { job: None, spec },
+            4 => Request::Status { job },
+            5 => Request::Result {
+                job,
+                wait: pid % 2 == 0,
+            },
+            6 => Request::Cancel { job },
+            _ => Request::WorkerHello { pid },
+        }
+    })
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    (
+        (0u32..9, arb_id(), arb_text()),
+        (1u32..5, 0u64..50, 0u64..50),
+        proptest::collection::vec(0u64..1 << 22, 0..5),
+        arb_state(),
+    )
+        .prop_map(
+            |((variant, job, text), (version, queued, running), workers, state)| match variant {
+                0 => Response::ShuttingDown,
+                1 => Response::Pong {
+                    version,
+                    queued,
+                    running,
+                    workers,
+                },
+                2 => Response::Submitted { job },
+                3 => Response::Rejected { reason: text },
+                4 => Response::Status {
+                    job,
+                    state,
+                    detail: text,
+                },
+                5 => Response::Result { job, output: text },
+                6 => Response::Failed { job, reason: text },
+                7 => Response::Cancelled { job },
+                _ => Response::Error { reason: text },
+            },
+        )
+}
+
+fn arb_worker_task() -> impl Strategy<Value = WorkerTask> {
+    (
+        (0u32..3, arb_id(), 1u32..6, arb_id()),
+        (0u32..16, 1u32..500, 1u32..128),
+        proptest::collection::vec((1u32..500, 1u32..128), 0..40),
+    )
+        .prop_map(
+            |((variant, model, config, stat), (shard, seq_len, samples), batches)| match variant {
+                0 => WorkerTask::Shutdown,
+                1 => WorkerTask::Round {
+                    model,
+                    config,
+                    stat,
+                    shard,
+                    batches,
+                },
+                _ => WorkerTask::Profile {
+                    model,
+                    config,
+                    seq_len,
+                    samples,
+                },
+            },
+        )
+}
+
+fn arb_worker_reply() -> impl Strategy<Value = WorkerReply> {
+    ((0u32..3, 0u32..16, 0.0f64..1e6), arb_text(), arb_text()).prop_map(
+        |((variant, shard, chunk_time_s), a, b)| match variant {
+            0 => WorkerReply::Round {
+                shard,
+                tracker: a,
+                chunk_time_s,
+                shapes: b,
+            },
+            1 => WorkerReply::Profile { profile: a },
+            _ => WorkerReply::Error { reason: a },
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn requests_round_trip(request in arb_request()) {
+        assert_round_trips(&request);
+    }
+
+    #[test]
+    fn responses_round_trip(response in arb_response()) {
+        assert_round_trips(&response);
+    }
+
+    #[test]
+    fn worker_frames_round_trip(task in arb_worker_task(), reply in arb_worker_reply()) {
+        assert_round_trips(&task);
+        assert_round_trips(&reply);
+    }
+
+    /// No input line may panic the decoder — arbitrary bytes decode to
+    /// `Err`, never abort the daemon's connection thread.
+    #[test]
+    fn garbage_lines_error_instead_of_panicking(line in arb_garbage()) {
+        let _ = decode_frame::<Request>(&line);
+        let _ = decode_frame::<Response>(&line);
+        let _ = decode_frame::<WorkerTask>(&line);
+        let _ = decode_frame::<WorkerReply>(&line);
+    }
+
+    /// Truncating a valid frame anywhere yields an error, not a panic or
+    /// a silently different request (prefix-freeness of the framing).
+    #[test]
+    fn truncated_frames_error(request in arb_request(), cut in 0usize..100) {
+        let line = encode_frame(&request);
+        if cut < line.len() {
+            let mut end = cut;
+            while !line.is_char_boundary(end) {
+                end -= 1;
+            }
+            let truncated = &line[..end];
+            if truncated != line {
+                prop_assert!(decode_frame::<Request>(truncated).is_err());
+            }
+        }
+    }
+}
+
+/// Adversarially deep nesting exercises the depth-limited parser's
+/// error path: a ~100k-deep array must fail fast, not overflow the
+/// stack (a process abort, which no `Err` can report).
+#[test]
+fn deeply_nested_requests_are_rejected_not_fatal() {
+    let depth = 100_000;
+    let mut line = String::with_capacity(2 * depth + 20);
+    line.push_str("{\"Submit\":");
+    for _ in 0..depth {
+        line.push('[');
+    }
+    for _ in 0..depth {
+        line.push(']');
+    }
+    line.push('}');
+    let err = decode_frame::<Request>(&line).unwrap_err();
+    assert!(
+        err.to_string().contains("depth") || err.to_string().contains("nest"),
+        "expected a depth-limit error, got: {err}"
+    );
+}
+
+/// The documented submit line from the README parses.
+#[test]
+fn readme_submit_line_parses() {
+    let line = "{\"Submit\":{\"job\":null,\"spec\":{\"model\":\"gnmt\",\"dataset\":\"iwslt15\",\
+                \"samples\":6000,\"batch\":16,\"shards\":3,\"round_len\":32}}}";
+    let request: Request = decode_frame(line).unwrap();
+    let Request::Submit { job: None, spec } = request else {
+        panic!("wrong variant");
+    };
+    assert_eq!(spec.model, "gnmt");
+    assert_eq!(spec.round_len, 32);
+    let spec = spec.normalize();
+    assert_eq!(spec.config, 1, "omitted fields normalize to CLI defaults");
+    assert_eq!(spec.round_len, 32, "provided fields survive normalization");
+}

@@ -34,7 +34,10 @@ where
         .unwrap_or_else(|e| panic!("failed to parse back `{json}`: {e}"));
     assert_eq!(&back, value, "decoded value diverged; JSON was `{json}`");
     let rejson = serde::json::to_string(&back).expect("serialization cannot fail");
-    assert_eq!(rejson, json, "re-encoding changed the JSON (float bits lost?)");
+    assert_eq!(
+        rejson, json,
+        "re-encoding changed the JSON (float bits lost?)"
+    );
 }
 
 /// Statistic values biased toward the f64 edge cases the ISSUE calls out:
@@ -217,7 +220,10 @@ fn non_finite_stats_round_trip_bit_exactly() {
         f64::NEG_INFINITY,
         f64::from_bits(0x7ff8_dead_beef_0001), // NaN with payload
     ] {
-        let record = IterationRecord { seq_len: 7, stat: f };
+        let record = IterationRecord {
+            seq_len: 7,
+            stat: f,
+        };
         let json = serde::json::to_string(&record).unwrap();
         let back: IterationRecord = serde::json::from_str(&json).unwrap();
         assert_eq!(back.seq_len, 7);
@@ -233,7 +239,7 @@ fn malformed_json_is_rejected() {
         "",
         "{",
         "{\"records\":}",
-        "{\"records\":[{\"seq_len\":1}]}",       // missing field
+        "{\"records\":[{\"seq_len\":1}]}", // missing field
         "{\"records\":[{\"seq_len\":-1,\"stat\":0.0}]}", // u32 range
         "[1,2,3]",
     ] {

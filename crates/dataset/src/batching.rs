@@ -112,8 +112,7 @@ impl BatchPolicy {
                 BatchShape {
                     seq_len: max,
                     samples: chunk.len() as u32,
-                    payload_fraction: payload as f64
-                        / (u64::from(max) * chunk.len() as u64) as f64,
+                    payload_fraction: payload as f64 / (u64::from(max) * chunk.len() as u64) as f64,
                 }
             })
             .collect();
@@ -125,10 +124,8 @@ impl BatchPolicy {
             // profiling window ("Prior") non-diverse — the failure mode
             // the paper describes in Section VI-E.
             let bucket_len = batches.len().div_ceil(buckets.max(1) as usize).max(1);
-            let mut groups: Vec<Vec<BatchShape>> = batches
-                .chunks(bucket_len)
-                .map(|c| c.to_vec())
-                .collect();
+            let mut groups: Vec<Vec<BatchShape>> =
+                batches.chunks(bucket_len).map(|c| c.to_vec()).collect();
             groups.shuffle(&mut rng);
             batches = groups.into_iter().flatten().collect();
         }

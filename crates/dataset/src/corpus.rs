@@ -53,7 +53,9 @@ impl Corpus {
         seed: u64,
     ) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        let lengths = (0..samples).map(|_| model.sample(&mut rng).max(1)).collect();
+        let lengths = (0..samples)
+            .map(|_| model.sample(&mut rng).max(1))
+            .collect();
         Corpus {
             name: name.into(),
             lengths,
@@ -237,7 +239,11 @@ mod tests {
         // First bins dominate, as in Fig. 7(a).
         assert!(hist[0].1 + hist[1].1 > c.len() / 2);
         // But a tail exists past SL 250.
-        let tail: usize = hist.iter().filter(|(lo, _)| *lo >= 250).map(|(_, n)| n).sum();
+        let tail: usize = hist
+            .iter()
+            .filter(|(lo, _)| *lo >= 250)
+            .map(|(_, n)| n)
+            .sum();
         assert!(tail > 0);
     }
 
@@ -255,7 +261,10 @@ mod tests {
     #[test]
     fn corpora_are_deterministic_per_seed() {
         assert_eq!(Corpus::iwslt15_like(1000, 9), Corpus::iwslt15_like(1000, 9));
-        assert_ne!(Corpus::iwslt15_like(1000, 9), Corpus::iwslt15_like(1000, 10));
+        assert_ne!(
+            Corpus::iwslt15_like(1000, 9),
+            Corpus::iwslt15_like(1000, 10)
+        );
     }
 
     #[test]

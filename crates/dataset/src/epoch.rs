@@ -134,13 +134,13 @@ impl EpochPlan {
     ///
     /// `num_shards` is clamped to at least 1; a `shard` index at or past
     /// `num_shards` yields an empty stream.
-    pub fn shard(
-        &self,
-        shard: usize,
-        num_shards: usize,
-    ) -> impl Iterator<Item = BatchShape> + '_ {
+    pub fn shard(&self, shard: usize, num_shards: usize) -> impl Iterator<Item = BatchShape> + '_ {
         let num_shards = num_shards.max(1);
-        let assigned = if shard < num_shards { &self.batches[..] } else { &[] };
+        let assigned = if shard < num_shards {
+            &self.batches[..]
+        } else {
+            &[]
+        };
         assigned.iter().skip(shard).step_by(num_shards).copied()
     }
 
@@ -233,8 +233,7 @@ mod tests {
     fn rounds_concatenate_to_the_full_epoch() {
         let p = plan();
         for round_len in [1, 7, 64, 10_000] {
-            let rejoined: Vec<BatchShape> =
-                p.rounds(round_len).flatten().copied().collect();
+            let rejoined: Vec<BatchShape> = p.rounds(round_len).flatten().copied().collect();
             assert_eq!(rejoined, p.batches(), "round_len = {round_len}");
             for (i, round) in p.rounds(round_len).enumerate() {
                 let is_last = (i + 1) * round_len >= p.iterations();

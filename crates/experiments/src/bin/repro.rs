@@ -20,9 +20,8 @@ use std::collections::BTreeSet;
 use std::time::Instant;
 
 use seqpoint_experiments::{
-    extensions, fig03, fig04, fig05, fig06, fig07, fig08, fig09, kmeans_ablation,
-    larger_datasets, profiling_speedup, projection, sensitivity, speedup, streaming, table1,
-    table2, Net, Workloads,
+    extensions, fig03, fig04, fig05, fig06, fig07, fig08, fig09, kmeans_ablation, larger_datasets,
+    profiling_speedup, projection, sensitivity, speedup, streaming, table1, table2, Net, Workloads,
 };
 use sqnn_profiler::report::Table;
 
@@ -31,24 +30,64 @@ use sqnn_profiler::report::Table;
 const ARTIFACTS: &[(&str, &[&str], &str)] = &[
     ("table2", &[], "Table II — hardware configurations"),
     ("fig03", &[], "Fig. 3 — CNN vs SQNN iteration homogeneity"),
-    ("fig04", &[], "Fig. 4 — architectural statistics across iterations"),
+    (
+        "fig04",
+        &[],
+        "Fig. 4 — architectural statistics across iterations",
+    ),
     ("table1", &[], "Table I — GEMM dimensions across iterations"),
-    ("fig05", &[], "Fig. 5 — unique-kernel overlap between iterations"),
+    (
+        "fig05",
+        &[],
+        "Fig. 5 — unique-kernel overlap between iterations",
+    ),
     ("fig06", &[], "Fig. 6 — kernel runtime distribution by SL"),
     ("fig07", &[], "Fig. 7 — sequence-length histograms"),
-    ("fig08", &[], "Fig. 8 — execution-profile similarity of close SLs"),
+    (
+        "fig08",
+        &[],
+        "Fig. 8 — execution-profile similarity of close SLs",
+    ),
     ("fig09", &[], "Fig. 9 — runtime vs SL linearity"),
-    ("fig11", &[], "Fig. 11 — DS2 training-time projection errors"),
-    ("fig12", &[], "Fig. 12 — GNMT training-time projection errors"),
+    (
+        "fig11",
+        &[],
+        "Fig. 11 — DS2 training-time projection errors",
+    ),
+    (
+        "fig12",
+        &[],
+        "Fig. 12 — GNMT training-time projection errors",
+    ),
     ("fig13", &[], "Fig. 13 — GNMT per-SL sensitivity"),
     ("fig14", &[], "Fig. 14 — DS2 per-SL sensitivity"),
     ("fig15", &[], "Fig. 15 — DS2 speedup projection errors"),
     ("fig16", &[], "Fig. 16 — GNMT speedup projection errors"),
-    ("profiling_speedup", &["profiling"], "§VI-F — profiling-time reduction factors"),
-    ("larger_datasets", &["larger"], "§VI-F — larger-dataset scaling"),
-    ("kmeans_ablation", &["kmeans"], "§VII-C — k-means vs SL binning"),
-    ("extensions", &[], "§VII-B/E — Transformer and inference binning"),
-    ("streaming", &["online"], "extension — sharded online selection vs full epoch"),
+    (
+        "profiling_speedup",
+        &["profiling"],
+        "§VI-F — profiling-time reduction factors",
+    ),
+    (
+        "larger_datasets",
+        &["larger"],
+        "§VI-F — larger-dataset scaling",
+    ),
+    (
+        "kmeans_ablation",
+        &["kmeans"],
+        "§VII-C — k-means vs SL binning",
+    ),
+    (
+        "extensions",
+        &[],
+        "§VII-B/E — Transformer and inference binning",
+    ),
+    (
+        "streaming",
+        &["online"],
+        "extension — sharded online selection vs full epoch",
+    ),
 ];
 
 fn canonical_key(key: &str) -> Option<&'static str> {
@@ -118,8 +157,7 @@ fn parse_args() -> Args {
                             set.insert(id.to_owned());
                         }
                         None => {
-                            let known: Vec<&str> =
-                                ARTIFACTS.iter().map(|(id, _, _)| *id).collect();
+                            let known: Vec<&str> = ARTIFACTS.iter().map(|(id, _, _)| *id).collect();
                             eprintln!(
                                 "unknown --only key `{key}`; valid keys are: {}",
                                 known.join(", ")
@@ -209,13 +247,25 @@ fn main() {
         emit("fig11", &projection::run(&mut w, Net::Ds2).table, &args.out);
     }
     if wants("fig12") {
-        emit("fig12", &projection::run(&mut w, Net::Gnmt).table, &args.out);
+        emit(
+            "fig12",
+            &projection::run(&mut w, Net::Gnmt).table,
+            &args.out,
+        );
     }
     if wants("fig13") {
-        emit("fig13", &sensitivity::run(&mut w, Net::Gnmt).table, &args.out);
+        emit(
+            "fig13",
+            &sensitivity::run(&mut w, Net::Gnmt).table,
+            &args.out,
+        );
     }
     if wants("fig14") {
-        emit("fig14", &sensitivity::run(&mut w, Net::Ds2).table, &args.out);
+        emit(
+            "fig14",
+            &sensitivity::run(&mut w, Net::Ds2).table,
+            &args.out,
+        );
     }
     if wants("fig15") {
         emit("fig15", &speedup::run(&mut w, Net::Ds2).table, &args.out);
@@ -224,16 +274,28 @@ fn main() {
         emit("fig16", &speedup::run(&mut w, Net::Gnmt).table, &args.out);
     }
     if wants("profiling_speedup") {
-        emit("profiling_speedup", &profiling_speedup::run(&mut w).table, &args.out);
+        emit(
+            "profiling_speedup",
+            &profiling_speedup::run(&mut w).table,
+            &args.out,
+        );
     }
     if wants("larger_datasets") {
         // Large datasets are sampled at 1/8 scale to keep the run short;
         // the small:large ratio (and thus the speedup scaling) holds.
         let scale = if args.quick { 1.0 } else { 0.125 };
-        emit("larger_datasets", &larger_datasets::run(&mut w, scale).table, &args.out);
+        emit(
+            "larger_datasets",
+            &larger_datasets::run(&mut w, scale).table,
+            &args.out,
+        );
     }
     if wants("kmeans_ablation") {
-        emit("kmeans_ablation", &kmeans_ablation::run(&mut w).table, &args.out);
+        emit(
+            "kmeans_ablation",
+            &kmeans_ablation::run(&mut w).table,
+            &args.out,
+        );
     }
     if wants("extensions") {
         emit("extensions", &extensions::run(&mut w).table, &args.out);

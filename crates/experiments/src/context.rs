@@ -138,9 +138,8 @@ impl Workloads {
         // (both per the paper's Section VI-E discussion).
         let gnmt_plan = EpochPlan::new(&gnmt_corpus, BatchPolicy::bucketed(64, 16), scale.seed)
             .expect("corpus is non-empty");
-        let ds2_plan =
-            EpochPlan::new(&ds2_corpus, BatchPolicy::sorted_first_epoch(64), scale.seed)
-                .expect("corpus is non-empty");
+        let ds2_plan = EpochPlan::new(&ds2_corpus, BatchPolicy::sorted_first_epoch(64), scale.seed)
+            .expect("corpus is non-empty");
         Workloads {
             scale,
             gnmt: gnmt(),
@@ -242,7 +241,10 @@ impl Workloads {
         let batch = self.plan(net).batch_size();
         let profiles =
             Profiler::new().profile_seq_lens(self.network(net), batch, seq_lens, &device);
-        profiles.into_iter().map(|p| (p.seq_len, p.time_s)).collect()
+        profiles
+            .into_iter()
+            .map(|p| (p.seq_len, p.time_s))
+            .collect()
     }
 }
 

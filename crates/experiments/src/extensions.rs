@@ -79,10 +79,8 @@ pub fn run(w: &mut Workloads) -> Extensions {
     // VII-E: GNMT inference serving log (forward-only, small batch).
     {
         let net = w.network(crate::Net::Gnmt);
-        let corpus = Corpus::iwslt15_like(
-            (w.scale().gnmt_sentences / 8).max(200),
-            w.scale().seed + 2,
-        );
+        let corpus =
+            Corpus::iwslt15_like((w.scale().gnmt_sentences / 8).max(200), w.scale().seed + 2);
         let device = Device::new(w.config(0).clone());
         let mut tuner = AutotuneTable::new();
         let mut log = EpochLog::new();

@@ -77,9 +77,18 @@ pub fn run(w: &mut Workloads) -> Fig04 {
                 .expect("SL came from this profile");
             it.stat(kind) / it.launches as f64
         };
-        let stalls: Vec<f64> = lens.iter().map(|&sl| per_op(sl, StatKind::MemWriteStalls)).collect();
-        let valu: Vec<f64> = lens.iter().map(|&sl| per_op(sl, StatKind::ValuInsts)).collect();
-        let load: Vec<f64> = lens.iter().map(|&sl| per_op(sl, StatKind::LoadBytes)).collect();
+        let stalls: Vec<f64> = lens
+            .iter()
+            .map(|&sl| per_op(sl, StatKind::MemWriteStalls))
+            .collect();
+        let valu: Vec<f64> = lens
+            .iter()
+            .map(|&sl| per_op(sl, StatKind::ValuInsts))
+            .collect();
+        let load: Vec<f64> = lens
+            .iter()
+            .map(|&sl| per_op(sl, StatKind::LoadBytes))
+            .collect();
         for (i, &sl) in lens.iter().enumerate() {
             table.push_row([
                 net.label().to_owned(),

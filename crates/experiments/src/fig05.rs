@@ -40,11 +40,9 @@ pub struct Fig05 {
 fn kernel_names(w: &Workloads, net: Net, sl: u32) -> BTreeSet<String> {
     let device = Device::new(w.config(0).clone());
     let mut tuner = AutotuneTable::new();
-    let trace = w.network(net).iteration_trace(
-        &IterationShape::new(64, sl),
-        device.config(),
-        &mut tuner,
-    );
+    let trace =
+        w.network(net)
+            .iteration_trace(&IterationShape::new(64, sl), device.config(), &mut tuner);
     device
         .run_trace(&trace)
         .unique_kernels()
@@ -63,7 +61,13 @@ pub fn run(w: &mut Workloads) -> Fig05 {
     ];
     let mut table = Table::new(
         "Fig. 5 — unique-kernel overlap between iteration pairs (config #1)",
-        ["network", "pair (SLs)", "common %", "only-in-1 %", "only-in-2 %"],
+        [
+            "network",
+            "pair (SLs)",
+            "common %",
+            "only-in-1 %",
+            "only-in-2 %",
+        ],
     );
     let mut rows = Vec::new();
     for (net, (a, b)) in pairs {

@@ -44,11 +44,9 @@ pub struct Fig06 {
 fn shares(w: &Workloads, net: Net, sl: u32) -> ShareRow {
     let device = Device::new(w.config(0).clone());
     let mut tuner = AutotuneTable::new();
-    let trace = w.network(net).iteration_trace(
-        &IterationShape::new(64, sl),
-        device.config(),
-        &mut tuner,
-    );
+    let trace =
+        w.network(net)
+            .iteration_trace(&IterationShape::new(64, sl), device.config(), &mut tuner);
     let profile = device.run_trace(&trace);
     let total = profile.total_time_s();
     // Rank GEMM kernels by time; group the rest by kind.
@@ -129,7 +127,8 @@ mod tests {
         let r = run(&mut w);
         assert_eq!(r.rows.len(), 4);
         for row in &r.rows {
-            let sum = row.gemm1_pct + row.gemm2_pct + row.scalar_pct + row.reduce_pct + row.rest_pct;
+            let sum =
+                row.gemm1_pct + row.gemm2_pct + row.scalar_pct + row.reduce_pct + row.rest_pct;
             assert!((sum - 100.0).abs() < 0.5, "sum = {sum}");
         }
         // The distribution must differ between the two GNMT iterations

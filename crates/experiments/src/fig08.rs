@@ -83,7 +83,13 @@ pub fn run(w: &mut Workloads) -> Fig08 {
             };
             *folded.entry(key).or_insert(0.0) += v;
         }
-        for key in ["GEMM-group-1", "GEMM-group-2", "scalar-op", "reduce", "other"] {
+        for key in [
+            "GEMM-group-1",
+            "GEMM-group-2",
+            "scalar-op",
+            "reduce",
+            "other",
+        ] {
             shares
                 .entry(key.to_owned())
                 .or_default()
@@ -91,9 +97,7 @@ pub fn run(w: &mut Workloads) -> Fig08 {
         }
     }
 
-    let l1 = |a: usize, b: usize| -> f64 {
-        shares.values().map(|v| (v[a] - v[b]).abs()).sum()
-    };
+    let l1 = |a: usize, b: usize| -> f64 { shares.values().map(|v| (v[a] - v[b]).abs()).sum() };
     let close = l1(0, 1);
     let far = l1(1, 2);
 
@@ -133,7 +137,11 @@ mod tests {
             r.close_pair_distance,
             r.far_pair_distance
         );
-        assert!(r.close_pair_distance < 2.0, "close = {}", r.close_pair_distance);
+        assert!(
+            r.close_pair_distance < 2.0,
+            "close = {}",
+            r.close_pair_distance
+        );
         // Shares per SL sum to ~100%.
         for i in 0..4 {
             let total: f64 = r.shares.values().map(|v| v[i]).sum();

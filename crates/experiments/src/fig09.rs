@@ -47,7 +47,11 @@ fn linear_fit(points: &[(f64, f64)]) -> (f64, f64, f64) {
         .iter()
         .map(|p| (p.1 - (slope * p.0 + intercept)).powi(2))
         .sum();
-    let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    let r2 = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        1.0
+    };
     (slope, intercept, r2)
 }
 
@@ -64,8 +68,7 @@ pub fn run(w: &mut Workloads) -> Fig09 {
             Net::Ds2 => (2..=18).map(|i| i * 25).collect(),
         };
         let device = Device::new(w.config(0).clone());
-        let profiles =
-            Profiler::new().profile_seq_lens(w.network(net), 64, &sls, &device);
+        let profiles = Profiler::new().profile_seq_lens(w.network(net), 64, &sls, &device);
         let base = profiles.first().expect("non-empty sweep").time_s;
         let series: Vec<(u32, f64)> = profiles
             .iter()
@@ -74,10 +77,7 @@ pub fn run(w: &mut Workloads) -> Fig09 {
         for &(sl, t) in &series {
             table.push_row([net.label().to_owned(), sl.to_string(), format!("{t:.3}")]);
         }
-        let pts: Vec<(f64, f64)> = series
-            .iter()
-            .map(|&(sl, t)| (f64::from(sl), t))
-            .collect();
+        let pts: Vec<(f64, f64)> = series.iter().map(|&(sl, t)| (f64::from(sl), t)).collect();
         let (slope, intercept, r2) = linear_fit(&pts);
         let max_sl = f64::from(*sls.last().expect("non-empty"));
         nets.push(Fig09Net {

@@ -42,7 +42,13 @@ pub struct KmeansAblation {
 pub fn run(w: &mut Workloads) -> KmeansAblation {
     let mut table = Table::new(
         "Section VII-C — SL binning vs k-means vs SimPoint-style clustering",
-        ["network", "scheme", "points", "self error %", "config#3 error %"],
+        [
+            "network",
+            "scheme",
+            "points",
+            "self error %",
+            "config#3 error %",
+        ],
     );
     let mut rows = Vec::new();
     for net in Net::both() {

@@ -87,7 +87,14 @@ pub fn run(w: &mut Workloads, dataset_scale: f64) -> LargerDatasets {
     ];
     let mut table = Table::new(
         "Section VI-F — larger datasets give larger profiling speedups",
-        ["network", "dataset", "samples", "iterations", "seqpoints", "serial speedup"],
+        [
+            "network",
+            "dataset",
+            "samples",
+            "iterations",
+            "seqpoints",
+            "serial speedup",
+        ],
     );
     let mut rows = Vec::new();
     for (net, dataset, corpus, policy) in cases {
@@ -101,7 +108,8 @@ pub fn run(w: &mut Workloads, dataset_scale: f64) -> LargerDatasets {
             .run(&profile.to_epoch_log())
             .expect("log converges");
         let sls = analysis.seqpoints().seq_lens();
-        let reprofiled = profiler.profile_seq_lens(w.network(net), plan.batch_size(), &sls, &device);
+        let reprofiled =
+            profiler.profile_seq_lens(w.network(net), plan.batch_size(), &sls, &device);
         let serial: f64 = reprofiled.iter().map(|p| p.time_s).sum();
         let row = DatasetRow {
             net,

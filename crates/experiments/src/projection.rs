@@ -114,7 +114,9 @@ pub fn run(w: &mut Workloads, net: Net) -> Projection {
             "{fig} — error (%) in total training-time projections for {}",
             net.label()
         ),
-        ["scheme", "config#1", "config#2", "config#3", "config#4", "config#5", "geomean"],
+        [
+            "scheme", "config#1", "config#2", "config#3", "config#4", "config#5", "geomean",
+        ],
     );
     for row in &scheme_errors {
         let mut cells = vec![row.scheme.clone()];

@@ -59,7 +59,11 @@ pub fn run(w: &mut Workloads, net: Net) -> Sensitivity {
         let min = vals.iter().copied().fold(f64::INFINITY, f64::min);
         let max = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         variation_pp[c] = max - min;
-        variation_rel[c] = if min > 0.0 { (max / min - 1.0) * 100.0 } else { 0.0 };
+        variation_rel[c] = if min > 0.0 {
+            (max / min - 1.0) * 100.0
+        } else {
+            0.0
+        };
     }
     let fig = match net {
         Net::Gnmt => "Fig. 13",
@@ -107,12 +111,12 @@ mod tests {
             }
             // At least one configuration's uplift varies noticeably with
             // SL (the figure's whole point).
-            let max_rel = r
-                .variation_rel_pct
-                .iter()
-                .copied()
-                .fold(0.0, f64::max);
-            assert!(max_rel > 5.0, "{}: max rel variation = {max_rel}", net.label());
+            let max_rel = r.variation_rel_pct.iter().copied().fold(0.0, f64::max);
+            assert!(
+                max_rel > 5.0,
+                "{}: max rel variation = {max_rel}",
+                net.label()
+            );
         }
     }
 
@@ -123,8 +127,7 @@ mod tests {
         // is what breaks `prior` on the #4→#1 speedup.
         let mut w = Workloads::quick();
         let r = run(&mut w, Net::Ds2);
-        let low: Vec<&(u32, [f64; 4])> =
-            r.series.iter().filter(|&&(sl, _)| sl <= 150).collect();
+        let low: Vec<&(u32, [f64; 4])> = r.series.iter().filter(|&&(sl, _)| sl <= 150).collect();
         let rel_var = |c: usize| -> f64 {
             let vals: Vec<f64> = low.iter().map(|&&(_, u)| u[c]).collect();
             let min = vals.iter().copied().fold(f64::INFINITY, f64::min);

@@ -71,7 +71,9 @@ pub fn run(w: &mut Workloads, net: Net) -> Speedup {
 
     // Measured uplift: throughput_1 / throughput_X − 1 = t_X / t_1 − 1
     // over the full epoch (sample counts cancel).
-    let actual_times: Vec<f64> = (0..5).map(|idx| w.profile(net, idx).training_time_s()).collect();
+    let actual_times: Vec<f64> = (0..5)
+        .map(|idx| w.profile(net, idx).training_time_s())
+        .collect();
     let mut actual_uplift = [0.0; 4];
     for c in 1..5 {
         actual_uplift[c - 1] = (actual_times[c] / actual_times[0] - 1.0) * 100.0;

@@ -134,19 +134,21 @@ pub fn run(w: &mut Workloads, shards: usize, checkpoint_dir: Option<&Path>) -> S
                 path.push(format!("{}.ckpt.json", net.label()));
                 let _ = std::fs::remove_file(&path);
                 let policy = CheckpointOptions::new(path);
-                let run_once = |profiler: &Profiler, w: &Workloads| match profile_epoch_streaming_checkpointed(
-                    profiler,
-                    w.network(net),
-                    &plan,
-                    &device,
-                    &options,
-                    &policy,
-                )
-                .expect("checkpointed streaming cannot fail")
-                {
-                    StreamOutcome::Complete(profile) => profile,
-                    StreamOutcome::Paused(_) => {
-                        unreachable!("no max_rounds configured, the run cannot pause")
+                let run_once = |profiler: &Profiler, w: &Workloads| {
+                    match profile_epoch_streaming_checkpointed(
+                        profiler,
+                        w.network(net),
+                        &plan,
+                        &device,
+                        &options,
+                        &policy,
+                    )
+                    .expect("checkpointed streaming cannot fail")
+                    {
+                        StreamOutcome::Complete(profile) => profile,
+                        StreamOutcome::Paused(_) => {
+                            unreachable!("no max_rounds configured, the run cannot pause")
+                        }
                     }
                 };
                 let first = run_once(&profiler, w);
@@ -195,7 +197,11 @@ pub fn run(w: &mut Workloads, shards: usize, checkpoint_dir: Option<&Path>) -> S
         ]);
         nets.push(row);
     }
-    Streaming { nets, shards, table }
+    Streaming {
+        nets,
+        shards,
+        table,
+    }
 }
 
 #[cfg(test)]

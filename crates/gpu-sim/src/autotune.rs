@@ -52,12 +52,7 @@ impl AutotuneTable {
 
     /// Return the tuned GEMM kernel for `shape` with an explicit flavor
     /// (`"nn"`, `"nt"`, `"tn"`, …), tuning on first sight.
-    pub fn gemm_flavored(
-        &mut self,
-        cfg: &GpuConfig,
-        flavor: &str,
-        shape: GemmShape,
-    ) -> KernelDesc {
+    pub fn gemm_flavored(&mut self, cfg: &GpuConfig, flavor: &str, shape: GemmShape) -> KernelDesc {
         let key = (flavor.to_owned(), shape);
         let variant = match self.choices.get(&key) {
             Some(v) => v,
@@ -111,7 +106,7 @@ mod tests {
 
     #[test]
     fn tuned_kernel_is_at_least_as_fast_as_any_fixed_variant() {
-        use crate::{kernel_time, gemm::VARIANTS};
+        use crate::{gemm::VARIANTS, kernel_time};
         let cfg = GpuConfig::vega_fe();
         let mut tuner = AutotuneTable::new();
         for shape in [

@@ -63,7 +63,9 @@ impl GpuConfig {
     /// | #5 | 1.6 GHz | 64 | 16 KiB | 0 MiB |
     pub fn table2_configs() -> [GpuConfig; TABLE2_CONFIG_COUNT] {
         let build = |name: &str, f: &dyn Fn(GpuConfigBuilder) -> GpuConfigBuilder| {
-            f(GpuConfigBuilder::new(name)).build().expect("preset is valid")
+            f(GpuConfigBuilder::new(name))
+                .build()
+                .expect("preset is valid")
         };
         [
             build("config#1", &|b| b),
@@ -322,7 +324,10 @@ mod tests {
         assert!(GpuConfig::builder("x").gclk_ghz(f64::NAN).build().is_err());
         assert!(GpuConfig::builder("x").cu_count(0).build().is_err());
         assert!(GpuConfig::builder("x").dram_gbps(-1.0).build().is_err());
-        assert!(GpuConfig::builder("x").launch_overhead_us(-1.0).build().is_err());
+        assert!(GpuConfig::builder("x")
+            .launch_overhead_us(-1.0)
+            .build()
+            .is_err());
         assert!(GpuConfig::builder("x").lanes_per_cu(0).build().is_err());
     }
 

@@ -122,8 +122,7 @@ pub fn kernel(cfg: &GpuConfig, shape: &ConvShape, pass: ConvPass) -> KernelDesc 
     let base = gemm::kernel_for(g, flavor, variant);
     // The GEMM model's footprint counts the im2col-expanded matrix; the
     // compulsory traffic is really input + weights + output.
-    let footprint =
-        shape.input_bytes() + shape.weight_bytes() + shape.output_bytes();
+    let footprint = shape.input_bytes() + shape.weight_bytes() + shape.output_bytes();
     KernelDesc::builder(format!("conv_{}", base.name()), base.kind())
         .flops(base.flops())
         .read_bytes(base.read_bytes())

@@ -29,8 +29,7 @@ impl KernelCounters {
     /// Derive counters from a kernel's descriptor and its resolved timing.
     pub fn from_timing(cfg: &GpuConfig, kernel: &KernelDesc, timing: &KernelTiming) -> Self {
         // One VALU instruction per lane-wide FMA: flops / (2 * lanes).
-        let valu_insts =
-            kernel.flops() / (2.0 * f64::from(cfg.lanes_per_cu())).max(1.0);
+        let valu_insts = kernel.flops() / (2.0 * f64::from(cfg.lanes_per_cu())).max(1.0);
         let post_l1 = timing.cache.l2_read_bytes + kernel.write_bytes();
         let requested = kernel.read_bytes() + kernel.write_bytes();
         let write_share = if requested > 0.0 {
@@ -256,9 +255,21 @@ mod tests {
     #[test]
     fn kind_shares_sum_to_one() {
         let mut p = TraceProfile::new();
-        p.record(&dummy_kernel("a", KernelKind::Gemm), 2.0, dummy_counters(0.0));
-        p.record(&dummy_kernel("b", KernelKind::Reduce), 1.0, dummy_counters(0.0));
-        p.record(&dummy_kernel("c", KernelKind::Softmax), 1.0, dummy_counters(0.0));
+        p.record(
+            &dummy_kernel("a", KernelKind::Gemm),
+            2.0,
+            dummy_counters(0.0),
+        );
+        p.record(
+            &dummy_kernel("b", KernelKind::Reduce),
+            1.0,
+            dummy_counters(0.0),
+        );
+        p.record(
+            &dummy_kernel("c", KernelKind::Softmax),
+            1.0,
+            dummy_counters(0.0),
+        );
         let shares = p.runtime_shares_by_kind();
         let total: f64 = shares.values().sum();
         assert!((total - 1.0).abs() < 1e-12);
@@ -269,9 +280,21 @@ mod tests {
     fn merge_combines_profiles() {
         let mut p = TraceProfile::new();
         let mut q = TraceProfile::new();
-        p.record(&dummy_kernel("a", KernelKind::Gemm), 1.0, dummy_counters(1.0));
-        q.record(&dummy_kernel("a", KernelKind::Gemm), 2.0, dummy_counters(2.0));
-        q.record(&dummy_kernel("b", KernelKind::Memory), 4.0, dummy_counters(4.0));
+        p.record(
+            &dummy_kernel("a", KernelKind::Gemm),
+            1.0,
+            dummy_counters(1.0),
+        );
+        q.record(
+            &dummy_kernel("a", KernelKind::Gemm),
+            2.0,
+            dummy_counters(2.0),
+        );
+        q.record(
+            &dummy_kernel("b", KernelKind::Memory),
+            4.0,
+            dummy_counters(4.0),
+        );
         p.merge(&q);
         assert_eq!(p.launches(), 3);
         assert!((p.total_time_s() - 7.0).abs() < 1e-12);

@@ -115,8 +115,7 @@ mod tests {
         let device_a = Device::new(base.clone());
         let device_b = Device::new(no_l2.clone());
         let e_with = model.trace_energy_j(&base, &device_a.run_trace(std::slice::from_ref(&k)));
-        let e_without =
-            model.trace_energy_j(&no_l2, &device_b.run_trace(std::slice::from_ref(&k)));
+        let e_without = model.trace_energy_j(&no_l2, &device_b.run_trace(std::slice::from_ref(&k)));
         assert!(e_without > e_with, "{e_without} vs {e_with}");
     }
 

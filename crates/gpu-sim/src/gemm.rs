@@ -69,16 +69,76 @@ pub struct GemmVariant {
 /// The kernel library: macro tiles for large GEMMs down to skinny and
 /// GEMV-like variants for degenerate shapes.
 pub const VARIANTS: &[GemmVariant] = &[
-    GemmVariant { label: "128x128x16", tile_m: 128, tile_n: 128, tile_k: 16, base_efficiency: 0.92 },
-    GemmVariant { label: "128x64x16", tile_m: 128, tile_n: 64, tile_k: 16, base_efficiency: 0.90 },
-    GemmVariant { label: "64x64x16", tile_m: 64, tile_n: 64, tile_k: 16, base_efficiency: 0.87 },
-    GemmVariant { label: "64x32x16", tile_m: 64, tile_n: 32, tile_k: 16, base_efficiency: 0.82 },
-    GemmVariant { label: "32x32x16", tile_m: 32, tile_n: 32, tile_k: 16, base_efficiency: 0.74 },
-    GemmVariant { label: "16x16x16", tile_m: 16, tile_n: 16, tile_k: 16, base_efficiency: 0.58 },
-    GemmVariant { label: "16x128x16", tile_m: 16, tile_n: 128, tile_k: 16, base_efficiency: 0.64 },
-    GemmVariant { label: "128x16x16", tile_m: 128, tile_n: 16, tile_k: 16, base_efficiency: 0.64 },
-    GemmVariant { label: "8x64x32", tile_m: 8, tile_n: 64, tile_k: 32, base_efficiency: 0.42 },
-    GemmVariant { label: "64x8x32", tile_m: 64, tile_n: 8, tile_k: 32, base_efficiency: 0.42 },
+    GemmVariant {
+        label: "128x128x16",
+        tile_m: 128,
+        tile_n: 128,
+        tile_k: 16,
+        base_efficiency: 0.92,
+    },
+    GemmVariant {
+        label: "128x64x16",
+        tile_m: 128,
+        tile_n: 64,
+        tile_k: 16,
+        base_efficiency: 0.90,
+    },
+    GemmVariant {
+        label: "64x64x16",
+        tile_m: 64,
+        tile_n: 64,
+        tile_k: 16,
+        base_efficiency: 0.87,
+    },
+    GemmVariant {
+        label: "64x32x16",
+        tile_m: 64,
+        tile_n: 32,
+        tile_k: 16,
+        base_efficiency: 0.82,
+    },
+    GemmVariant {
+        label: "32x32x16",
+        tile_m: 32,
+        tile_n: 32,
+        tile_k: 16,
+        base_efficiency: 0.74,
+    },
+    GemmVariant {
+        label: "16x16x16",
+        tile_m: 16,
+        tile_n: 16,
+        tile_k: 16,
+        base_efficiency: 0.58,
+    },
+    GemmVariant {
+        label: "16x128x16",
+        tile_m: 16,
+        tile_n: 128,
+        tile_k: 16,
+        base_efficiency: 0.64,
+    },
+    GemmVariant {
+        label: "128x16x16",
+        tile_m: 128,
+        tile_n: 16,
+        tile_k: 16,
+        base_efficiency: 0.64,
+    },
+    GemmVariant {
+        label: "8x64x32",
+        tile_m: 8,
+        tile_n: 64,
+        tile_k: 32,
+        base_efficiency: 0.42,
+    },
+    GemmVariant {
+        label: "64x8x32",
+        tile_m: 64,
+        tile_n: 8,
+        tile_k: 32,
+        base_efficiency: 0.42,
+    },
 ];
 
 fn div_ceil(a: u64, b: u64) -> u64 {
@@ -105,8 +165,16 @@ pub fn kernel_for(shape: GemmShape, flavor: &str, variant: &GemmVariant) -> Kern
     let writes = mf * nf * 4.0;
 
     // Quantization: wasted lanes in partially filled tiles.
-    let quant_m = if tiles_m > 0 { mf / (tiles_m * variant.tile_m) as f64 } else { 0.0 };
-    let quant_n = if tiles_n > 0 { nf / (tiles_n * variant.tile_n) as f64 } else { 0.0 };
+    let quant_m = if tiles_m > 0 {
+        mf / (tiles_m * variant.tile_m) as f64
+    } else {
+        0.0
+    };
+    let quant_n = if tiles_n > 0 {
+        nf / (tiles_n * variant.tile_n) as f64
+    } else {
+        0.0
+    };
     // Short contractions cannot amortize the LDS pipeline.
     let k_ramp = kf / (kf + 32.0);
     let efficiency = (variant.base_efficiency * quant_m * quant_n * k_ramp).max(0.01);
@@ -262,8 +330,6 @@ mod tests {
         let cfg = GpuConfig::vega_fe();
         let small = kernel_for(GemmShape::new(1024, 1024, 64), "nn", &VARIANTS[2]);
         let large = kernel_for(GemmShape::new(1024, 1024, 6400), "nn", &VARIANTS[2]);
-        assert!(
-            kernel_time(&cfg, &large).time_s > kernel_time(&cfg, &small).time_s
-        );
+        assert!(kernel_time(&cfg, &large).time_s > kernel_time(&cfg, &small).time_s);
     }
 }

@@ -26,14 +26,25 @@ pub fn reduce(op: &str, rows: u64, width: u64) -> KernelDesc {
     let two_pass = width > SINGLE_PASS_WIDTH;
     let suffix = if two_pass { "2p" } else { "1p" };
     // A two-pass reduction writes and re-reads per-block partials.
-    let partials = if two_pass { r * (w / SINGLE_PASS_WIDTH as f64).ceil() * 4.0 } else { 0.0 };
+    let partials = if two_pass {
+        r * (w / SINGLE_PASS_WIDTH as f64).ceil() * 4.0
+    } else {
+        0.0
+    };
     KernelDesc::builder(format!("reduce_{op}_{suffix}"), KernelKind::Reduce)
         .flops(r * w)
         .read_bytes(r * w * 4.0 + partials)
         .write_bytes(r * 4.0 + partials)
         .l1_reuse(0.1, w * 4.0)
         .l2_reuse(if two_pass { 0.3 } else { 0.0 }, partials.max(1.0))
-        .workgroups(r.max(1.0) * if two_pass { (w / SINGLE_PASS_WIDTH as f64).ceil() } else { 1.0 })
+        .workgroups(
+            r.max(1.0)
+                * if two_pass {
+                    (w / SINGLE_PASS_WIDTH as f64).ceil()
+                } else {
+                    1.0
+                },
+        )
         .efficiency(0.6)
         .build()
 }

@@ -82,7 +82,10 @@ impl From<std::io::Error> for TraceFormatError {
 }
 
 fn kind_from_label(label: &str) -> Option<KernelKind> {
-    KernelKind::all().iter().copied().find(|k| k.label() == label)
+    KernelKind::all()
+        .iter()
+        .copied()
+        .find(|k| k.label() == label)
 }
 
 /// Write `trace` to `w` in the v1 format.
@@ -228,8 +231,7 @@ mod tests {
 
     #[test]
     fn rejects_unknown_kind() {
-        let input =
-            format!("{TRACE_HEADER}\nk\tnonsense\t0\t0\t0\t0\t0\t0\t0\t0\t1\t0.5\n");
+        let input = format!("{TRACE_HEADER}\nk\tnonsense\t0\t0\t0\t0\t0\t0\t0\t0\t1\t0.5\n");
         let err = read_trace(input.as_bytes()).unwrap_err();
         assert!(err.to_string().contains("nonsense"));
     }

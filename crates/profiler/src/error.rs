@@ -31,6 +31,13 @@ pub enum ProfileError {
         /// What went wrong.
         message: String,
     },
+    /// The placement layer behind a [`crate::stream::RoundExecutor`]
+    /// failed (lost a worker, broken transport, short round). The run's
+    /// last checkpoint is still valid, so callers may resume/retry.
+    Executor {
+        /// What went wrong.
+        message: String,
+    },
 }
 
 impl fmt::Display for ProfileError {
@@ -49,6 +56,9 @@ impl fmt::Display for ProfileError {
             ProfileError::Checkpoint { path, message } => {
                 write!(f, "checkpoint `{path}`: {message}")
             }
+            ProfileError::Executor { message } => {
+                write!(f, "shard executor failed: {message}")
+            }
         }
     }
 }
@@ -61,7 +71,9 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(ProfileError::EmptyPlan.to_string().contains("no iterations"));
+        assert!(ProfileError::EmptyPlan
+            .to_string()
+            .contains("no iterations"));
         let e = ProfileError::Io {
             path: "/tmp/x".into(),
             message: "denied".into(),

@@ -57,11 +57,8 @@ pub fn export_seqpoint_traces(
     let mut traces = Vec::with_capacity(set.len());
     for point in set.points() {
         let file = dir.join(format!("seqpoint_sl{:05}.trace", point.seq_len));
-        let trace = network.iteration_trace(
-            &IterationShape::new(batch, point.seq_len),
-            cfg,
-            &mut tuner,
-        );
+        let trace =
+            network.iteration_trace(&IterationShape::new(batch, point.seq_len), cfg, &mut tuner);
         let mut buf = Vec::new();
         trace_format::write_trace(&mut buf, &trace).map_err(|e| ProfileError::Io {
             path: file.display().to_string(),
@@ -101,8 +98,16 @@ mod tests {
 
     fn small_set() -> SeqPointSet {
         SeqPointSet::from_points(vec![
-            SeqPoint { seq_len: 8, stat: 0.1, weight: 30 },
-            SeqPoint { seq_len: 32, stat: 0.3, weight: 10 },
+            SeqPoint {
+                seq_len: 8,
+                stat: 0.1,
+                weight: 30,
+            },
+            SeqPoint {
+                seq_len: 32,
+                stat: 0.3,
+                weight: 10,
+            },
         ])
     }
 

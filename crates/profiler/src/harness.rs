@@ -271,9 +271,7 @@ impl Profiler {
             };
             iterations.push(profile);
         }
-        let eval_s = self
-            .phases
-            .eval_time_s(network, plan, device, &mut tuner);
+        let eval_s = self.phases.eval_time_s(network, plan, device, &mut tuner);
         Ok(EpochProfile {
             network: network.name().to_owned(),
             config: device.config().name().to_owned(),
@@ -410,7 +408,9 @@ mod tests {
     fn kernel_detail_enables_features() {
         let p = plan(&[10, 40], 1);
         let device = Device::new(GpuConfig::vega_fe());
-        let plain = Profiler::new().profile_epoch(&small_net(), &p, &device).unwrap();
+        let plain = Profiler::new()
+            .profile_epoch(&small_net(), &p, &device)
+            .unwrap();
         assert!(plain.feature_matrix().is_none());
         let detailed = Profiler::new()
             .with_kernel_detail()

@@ -57,10 +57,7 @@ pub struct ProfilingCost {
 pub fn profiling_cost(profiles: &[IterationProfile]) -> ProfilingCost {
     ProfilingCost {
         serial_s: profiles.iter().map(|p| p.time_s).sum(),
-        parallel_s: profiles
-            .iter()
-            .map(|p| p.time_s)
-            .fold(0.0, f64::max),
+        parallel_s: profiles.iter().map(|p| p.time_s).fold(0.0, f64::max),
     }
 }
 

@@ -54,19 +54,16 @@ impl PhaseModel {
         if !self.eval_enabled || self.eval_fraction <= 0.0 {
             return 0.0;
         }
-        let eval_batches =
-            ((plan.iterations() as f64) * self.eval_fraction).ceil().max(1.0) as usize;
+        let eval_batches = ((plan.iterations() as f64) * self.eval_fraction)
+            .ceil()
+            .max(1.0) as usize;
         // Evaluate at a spread of the epoch's sequence lengths (first,
         // middle, last of the unique set) and average.
         let lens = plan.unique_seq_lens();
         if lens.is_empty() {
             return 0.0;
         }
-        let picks = [
-            lens[0],
-            lens[lens.len() / 2],
-            lens[lens.len() - 1],
-        ];
+        let picks = [lens[0], lens[lens.len() / 2], lens[lens.len() - 1]];
         let mean_t: f64 = picks
             .iter()
             .map(|&sl| {
@@ -96,7 +93,9 @@ mod tests {
     #[test]
     fn eval_phase_is_a_few_percent_of_training() {
         let (net, plan, device) = setup();
-        let profile = crate::Profiler::new().profile_epoch(&net, &plan, &device).unwrap();
+        let profile = crate::Profiler::new()
+            .profile_epoch(&net, &plan, &device)
+            .unwrap();
         let share = profile.eval_s() / profile.total_time_s();
         // "it only takes up to 2-3% of the total training time"
         assert!(share > 0.0 && share < 0.06, "share = {share}");

@@ -19,6 +19,18 @@
 //! a fraction of the iterations were ever executed — and the full
 //! per-iteration epoch log never exists anywhere.
 //!
+//! # Placement abstraction
+//!
+//! *Where* a round's shard chunks execute is behind the
+//! [`RoundExecutor`] trait: [`ThreadExecutor`] runs one scoped thread
+//! per shard in this process (the classic `seqpoint stream` path), and
+//! `seqpoint_service` provides a subprocess implementation that ships
+//! each [`ShardChunk`] to a `seqpoint worker` process over a Unix
+//! socket and collects [`ShardReport`]s serialized in the checkpoint
+//! interchange format. Selection is executor independent: chunks are
+//! dealt by [`deal_round`]'s global round-robin rule and merged in
+//! shard order, so any two executors produce bit-identical selections.
+//!
 //! # Fault tolerance
 //!
 //! [`profile_epoch_streaming_checkpointed`] persists the complete run
@@ -33,7 +45,9 @@
 //! a different run configuration is rejected instead of silently
 //! corrupting the selection. The worker shard count is deliberately
 //! *not* fingerprinted: selection is shard-count independent, so a run
-//! may resume on a machine with more or fewer workers.
+//! may resume on a machine with more or fewer workers. A stale
+//! `<path>.tmp` sibling left by a crash between write and rename is
+//! removed on startup before the resume check.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -43,7 +57,7 @@ use seqpoint_core::online::OnlineSlTracker;
 use seqpoint_core::stream::{StreamConfig, StreamingAnalysis, StreamingSelector};
 use serde::{Deserialize, Serialize};
 use sqnn::{IterationShape, Network};
-use sqnn_data::EpochPlan;
+use sqnn_data::{BatchShape, EpochPlan};
 
 use crate::{IterationProfile, ProfileError, Profiler, StatKind};
 
@@ -177,9 +191,205 @@ pub struct StreamPause {
 pub enum StreamOutcome {
     /// The run finished; the selection is final.
     Complete(StreamedEpochProfile),
-    /// [`CheckpointOptions::max_rounds`] was reached; re-run with the
-    /// same checkpoint path to continue.
+    /// [`CheckpointOptions::max_rounds`] was reached (or an interrupt
+    /// fired); re-run with the same checkpoint path to continue.
     Paused(StreamPause),
+}
+
+/// One shard's slice of a round, as dealt by the global round-robin rule
+/// ([`deal_round`]). This is the unit of work a [`RoundExecutor`] places
+/// on a thread, a subprocess, or (eventually) a remote node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardChunk {
+    /// Shard index within the round (0-based, dense).
+    pub shard: usize,
+    /// The batches this shard must profile, in stream order.
+    pub batches: Vec<BatchShape>,
+}
+
+/// What one shard reports back after executing its chunk. Reports are
+/// merged in shard order, so two executors that produce identical
+/// per-chunk trackers produce bit-identical selections.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardReport {
+    /// Per-SL observations over the chunk (one [`OnlineSlTracker`]
+    /// `observe` per batch, in chunk order).
+    pub tracker: OnlineSlTracker,
+    /// Simulated seconds the chunk's iterations take back to back
+    /// (memoized iterations still charge their full runtime, as the
+    /// paper's cost accounting does).
+    pub chunk_time_s: f64,
+    /// The distinct `(seq_len, samples)` shapes appearing in the chunk,
+    /// with their profiles — the runner unions these into the replay
+    /// memo and the checkpoint.
+    pub shapes: Vec<IterationProfile>,
+}
+
+/// Placement abstraction for the streaming harness: something that can
+/// execute one round's shard chunks and profile a single shape on
+/// demand. Implementations must be deterministic per shape — the same
+/// `(seq_len, samples)` must always produce the same profile — which
+/// holds for the simulated device and is what makes executor placement
+/// invisible to the selection.
+pub trait RoundExecutor {
+    /// Execute every chunk of one round and return the reports in shard
+    /// order (`reports[i]` answers `chunks[i]`).
+    ///
+    /// # Errors
+    ///
+    /// [`ProfileError::Executor`] when the placement layer loses a
+    /// worker or cannot complete the round; the caller may retry from
+    /// its last checkpoint.
+    fn execute_round(&mut self, chunks: &[ShardChunk]) -> Result<Vec<ShardReport>, ProfileError>;
+
+    /// Profile one iteration shape (the replay phase's on-demand path
+    /// for shapes never seen during the measured rounds).
+    ///
+    /// # Errors
+    ///
+    /// [`ProfileError::Executor`] when the placement layer cannot
+    /// complete the measurement.
+    fn profile_shape(&mut self, shape: IterationShape) -> Result<IterationProfile, ProfileError>;
+
+    /// Seed already-profiled shapes (from a resumed checkpoint) into the
+    /// executor's memo, so resuming avoids re-simulating them. Profiles
+    /// are deterministic per shape, so ignoring the seeds changes cost
+    /// and selection by nothing — only wall-clock time.
+    fn seed_shapes(&mut self, shapes: &[IterationProfile]) {
+        let _ = shapes;
+    }
+}
+
+/// The in-process [`RoundExecutor`]: one scoped thread per shard, each
+/// with its own `(seq_len, samples)` profile memo, all on clones of one
+/// simulated device — exactly the placement `seqpoint stream` has always
+/// used.
+pub struct ThreadExecutor<'a> {
+    profiler: &'a Profiler,
+    network: &'a Network,
+    device: Device,
+    stat: StatKind,
+    memos: Vec<HashMap<(u32, u32), IterationProfile>>,
+}
+
+impl<'a> ThreadExecutor<'a> {
+    /// An executor running `shards` concurrent worker threads.
+    pub fn new(
+        profiler: &'a Profiler,
+        network: &'a Network,
+        device: Device,
+        stat: StatKind,
+        shards: usize,
+    ) -> Self {
+        ThreadExecutor {
+            profiler,
+            network,
+            device,
+            stat,
+            memos: vec![HashMap::new(); shards.max(1)],
+        }
+    }
+}
+
+impl RoundExecutor for ThreadExecutor<'_> {
+    fn execute_round(&mut self, chunks: &[ShardChunk]) -> Result<Vec<ShardReport>, ProfileError> {
+        if chunks.len() != self.memos.len() {
+            return Err(ProfileError::Executor {
+                message: format!(
+                    "round has {} chunks but the executor holds {} shards",
+                    chunks.len(),
+                    self.memos.len()
+                ),
+            });
+        }
+        let profiler = self.profiler;
+        let network = self.network;
+        let device = &self.device;
+        let stat = self.stat;
+        let reports: Vec<ShardReport> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .memos
+                .iter_mut()
+                .zip(chunks)
+                .map(|(memo, chunk)| {
+                    let device = device.clone();
+                    scope
+                        .spawn(move || execute_chunk(profiler, network, &device, stat, memo, chunk))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("profiling shard panicked"))
+                .collect()
+        });
+        Ok(reports)
+    }
+
+    fn profile_shape(&mut self, shape: IterationShape) -> Result<IterationProfile, ProfileError> {
+        Ok(self
+            .profiler
+            .profile_iteration(self.network, &shape, &self.device))
+    }
+
+    fn seed_shapes(&mut self, shapes: &[IterationProfile]) {
+        for memo in &mut self.memos {
+            memo.extend(shapes.iter().map(|p| ((p.seq_len, p.samples), p.clone())));
+        }
+    }
+}
+
+/// Profile one shard chunk against a memo: the shared leaf both the
+/// thread executor and `seqpoint worker` subprocesses run, so their
+/// reports are bit-identical by construction.
+pub fn execute_chunk(
+    profiler: &Profiler,
+    network: &Network,
+    device: &Device,
+    stat: StatKind,
+    memo: &mut HashMap<(u32, u32), IterationProfile>,
+    chunk: &ShardChunk,
+) -> ShardReport {
+    let mut tracker = OnlineSlTracker::new();
+    let mut chunk_time_s = 0.0;
+    let mut shape_keys: Vec<(u32, u32)> = Vec::new();
+    for batch in &chunk.batches {
+        let key = (batch.seq_len, batch.samples);
+        let profile = memo.entry(key).or_insert_with(|| {
+            let shape = IterationShape::new(batch.samples, batch.seq_len);
+            profiler.profile_iteration(network, &shape, device)
+        });
+        tracker.observe(profile.seq_len, profile.stat(stat));
+        chunk_time_s += profile.time_s;
+        if !shape_keys.contains(&key) {
+            shape_keys.push(key);
+        }
+    }
+    let shapes = shape_keys.iter().map(|key| memo[key].clone()).collect();
+    ShardReport {
+        tracker,
+        chunk_time_s,
+        shapes,
+    }
+}
+
+/// Deal one round block to `shards` chunks by **global** iteration index
+/// (`index % shards` — exactly [`sqnn_data::EpochPlan::shard`]'s rule),
+/// where `consumed` is the global index of the block's first iteration.
+/// Worker `s`'s chunk is a contiguous slice of `plan.shard(s, shards)`,
+/// and the union of all chunks is the block itself.
+pub fn deal_round(block: &[BatchShape], consumed: usize, shards: usize) -> Vec<ShardChunk> {
+    let shards = shards.max(1);
+    (0..shards)
+        .map(|shard| {
+            // First block index dealt to this shard under the global
+            // round-robin rule.
+            let start = (shard + shards - consumed % shards) % shards;
+            ShardChunk {
+                shard,
+                batches: block.iter().skip(start).step_by(shards).copied().collect(),
+            }
+        })
+        .collect()
 }
 
 /// FNV-1a accumulation helper for the run fingerprint.
@@ -194,7 +404,7 @@ fn fnv_mix(hash: &mut u64, bytes: &[u8]) {
 /// plan contents, network, device, statistic, round length, and stop
 /// thresholds — but *not* the shard count (selection is shard-count
 /// independent, so resumes may reshard).
-fn stream_fingerprint(
+pub fn stream_fingerprint(
     network: &Network,
     plan: &EpochPlan,
     device: &Device,
@@ -208,8 +418,7 @@ fn stream_fingerprint(
         fnv_mix(&mut hash, &batch.seq_len.to_le_bytes());
         fnv_mix(&mut hash, &batch.samples.to_le_bytes());
     }
-    let device_json =
-        serde::json::to_string(device).expect("device serialization is infallible");
+    let device_json = serde::json::to_string(device).expect("device serialization is infallible");
     fnv_mix(&mut hash, device_json.as_bytes());
     let stream_json =
         serde::json::to_string(&options.stream).expect("config serialization is infallible");
@@ -226,14 +435,19 @@ fn checkpoint_error(path: &Path, message: impl Into<String>) -> ProfileError {
     }
 }
 
+/// The `<path>.tmp` sibling used for atomic checkpoint writes.
+fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    PathBuf::from(tmp)
+}
+
 /// Atomically persist a checkpoint: write the JSON to `<path>.tmp`, then
 /// rename over `path`, so a crash mid-write never leaves a torn file.
 fn write_checkpoint(path: &Path, checkpoint: &StreamCheckpoint) -> Result<(), ProfileError> {
-    let json = serde::json::to_string(checkpoint)
-        .map_err(|e| checkpoint_error(path, e.to_string()))?;
-    let mut tmp = path.as_os_str().to_owned();
-    tmp.push(".tmp");
-    let tmp = PathBuf::from(tmp);
+    let json =
+        serde::json::to_string(checkpoint).map_err(|e| checkpoint_error(path, e.to_string()))?;
+    let tmp = tmp_sibling(path);
     std::fs::write(&tmp, json)
         .map_err(|e| checkpoint_error(path, format!("writing temp file: {e}")))?;
     std::fs::rename(&tmp, path)
@@ -248,10 +462,9 @@ fn read_checkpoint(path: &Path) -> Result<StreamCheckpoint, ProfileError> {
         serde::json::from_str(&json).map_err(|e| checkpoint_error(path, e.to_string()))?;
     // A parseable but internally inconsistent file (hand-edited, or from
     // a buggy writer) must fail here, not panic later mid-run.
-    checkpoint
-        .selector
-        .validate()
-        .map_err(|reason| checkpoint_error(path, format!("inconsistent selector state: {reason}")))?;
+    checkpoint.selector.validate().map_err(|reason| {
+        checkpoint_error(path, format!("inconsistent selector state: {reason}"))
+    })?;
     Ok(checkpoint)
 }
 
@@ -282,7 +495,15 @@ pub fn profile_epoch_streaming(
     device: &Device,
     options: &StreamOptions,
 ) -> Result<StreamedEpochProfile, ProfileError> {
-    match run_streaming(profiler, network, plan, device, options, None)? {
+    let mut executor = ThreadExecutor::new(
+        profiler,
+        network,
+        device.clone(),
+        options.stat,
+        options.shards,
+    );
+    let fingerprint = stream_fingerprint(network, plan, device, options);
+    match profile_epoch_streaming_with(&mut executor, plan, options, fingerprint, None, None)? {
         StreamOutcome::Complete(profile) => Ok(profile),
         StreamOutcome::Paused(_) => unreachable!("pausing requires a checkpoint policy"),
     }
@@ -308,16 +529,50 @@ pub fn profile_epoch_streaming_checkpointed(
     options: &StreamOptions,
     checkpoint: &CheckpointOptions,
 ) -> Result<StreamOutcome, ProfileError> {
-    run_streaming(profiler, network, plan, device, options, Some(checkpoint))
+    let mut executor = ThreadExecutor::new(
+        profiler,
+        network,
+        device.clone(),
+        options.stat,
+        options.shards,
+    );
+    let fingerprint = stream_fingerprint(network, plan, device, options);
+    profile_epoch_streaming_with(
+        &mut executor,
+        plan,
+        options,
+        fingerprint,
+        Some(checkpoint),
+        None,
+    )
 }
 
-fn run_streaming(
-    profiler: &Profiler,
-    network: &Network,
+/// The placement-generic streaming runner: everything
+/// [`profile_epoch_streaming_checkpointed`] does, but rounds execute on
+/// the given [`RoundExecutor`] — threads, subprocess workers, or
+/// anything else that honors the determinism contract.
+///
+/// `fingerprint` guards checkpoint resume compatibility; compute it with
+/// [`stream_fingerprint`] so in-process and service runs can exchange
+/// checkpoints.
+///
+/// `interrupt` is polled at round boundaries; when it returns `true`
+/// *and* a checkpoint policy is present, the run persists its state and
+/// returns [`StreamOutcome::Paused`] — the graceful-drain hook
+/// `seqpoint serve` uses on SIGTERM. Without a checkpoint policy the
+/// hook is ignored (there is nowhere to persist the pause).
+///
+/// # Errors
+///
+/// As [`profile_epoch_streaming_checkpointed`], plus
+/// [`ProfileError::Executor`] from the placement layer.
+pub fn profile_epoch_streaming_with(
+    executor: &mut dyn RoundExecutor,
     plan: &EpochPlan,
-    device: &Device,
     options: &StreamOptions,
+    fingerprint: u64,
     checkpoint: Option<&CheckpointOptions>,
+    interrupt: Option<&dyn Fn() -> bool>,
 ) -> Result<StreamOutcome, ProfileError> {
     if plan.iterations() == 0 {
         return Err(ProfileError::EmptyPlan);
@@ -342,9 +597,15 @@ fn run_streaming(
             message: "checkpoint every_rounds must be positive".to_owned(),
         });
     }
+    // A zero budget would pause before any work — for a served job that
+    // means an infinite pause/requeue loop, so reject it up front.
+    if checkpoint.is_some_and(|c| c.max_rounds == Some(0)) {
+        return Err(ProfileError::InvalidStream {
+            message: "checkpoint max_rounds must be positive when set".to_owned(),
+        });
+    }
 
     let total_iterations = plan.iterations();
-    let fingerprint = stream_fingerprint(network, plan, device, options);
     let mut selector = StreamingSelector::with_config(options.stream);
     let mut shapes: HashMap<(u32, u32), IterationProfile> = HashMap::new();
     let mut consumed: usize = 0;
@@ -353,6 +614,15 @@ fn run_streaming(
 
     // Resume: adopt the persisted state when a checkpoint file exists.
     if let Some(ckpt) = checkpoint {
+        // A crash between the temp write and the rename leaves a stale
+        // `.tmp` sibling behind; it is dead weight (possibly torn) and
+        // must never be read, so clear it before anything else.
+        let tmp = tmp_sibling(&ckpt.path);
+        if tmp.exists() {
+            std::fs::remove_file(&tmp).map_err(|e| {
+                checkpoint_error(&ckpt.path, format!("removing stale temp file: {e}"))
+            })?;
+        }
         if ckpt.path.exists() {
             let loaded = read_checkpoint(&ckpt.path)?;
             if loaded.version != CHECKPOINT_VERSION {
@@ -379,6 +649,9 @@ fn run_streaming(
             }
             selector = loaded.selector;
             consumed = loaded.consumed as usize;
+            // Seed the executor with the profiled shapes: deterministic
+            // per shape, so this only avoids re-simulating.
+            executor.seed_shapes(&loaded.shapes);
             shapes = loaded
                 .shapes
                 .into_iter()
@@ -389,26 +662,14 @@ fn run_streaming(
         }
     }
 
-    // Every shard memo starts as the union of shapes profiled so far
-    // (empty on a fresh run). Profiles are deterministic per shape, so
-    // seeding resumed shards with each other's work changes nothing
-    // observable — it only avoids re-simulating.
-    let mut memos: Vec<HashMap<(u32, u32), IterationProfile>> =
-        vec![shapes.clone(); options.shards];
-
     let mut blocks_this_run: u64 = 0;
     let mut since_checkpoint: u32 = 0;
     let snapshot = |selector: &StreamingSelector,
                     shapes: &HashMap<(u32, u32), IterationProfile>,
-                    memos: &[HashMap<(u32, u32), IterationProfile>],
                     consumed: usize,
                     serial: f64,
                     wall: f64| {
-        let mut union = shapes.clone();
-        for memo in memos {
-            union.extend(memo.iter().map(|(k, v)| (*k, v.clone())));
-        }
-        let mut shapes: Vec<IterationProfile> = union.into_values().collect();
+        let mut shapes: Vec<IterationProfile> = shapes.values().cloned().collect();
         shapes.sort_by_key(|p| (p.seq_len, p.samples));
         StreamCheckpoint {
             version: CHECKPOINT_VERSION,
@@ -428,6 +689,7 @@ fn run_streaming(
             path: path.to_path_buf(),
         })
     };
+    let interrupted = || interrupt.is_some_and(|f| f());
 
     // Measure phase. `consumed` only ever advances by whole blocks, so
     // div_ceil lands on the correct next block even after the final
@@ -438,11 +700,10 @@ fn run_streaming(
             .skip(consumed.div_ceil(options.round_len))
         {
             if let Some(ckpt) = checkpoint {
-                if ckpt.max_rounds.is_some_and(|m| blocks_this_run >= m) {
+                if ckpt.max_rounds.is_some_and(|m| blocks_this_run >= m) || interrupted() {
                     let state = snapshot(
                         &selector,
                         &shapes,
-                        &memos,
                         consumed,
                         profiled_serial_s,
                         profiled_wall_s,
@@ -451,44 +712,28 @@ fn run_streaming(
                     return Ok(pause(&selector, consumed, &ckpt.path));
                 }
             }
-            let round_results: Vec<(OnlineSlTracker, f64)> = std::thread::scope(|scope| {
-                let handles: Vec<_> = memos
-                    .iter_mut()
-                    .enumerate()
-                    .map(|(shard, memo)| {
-                        let device = device.clone();
-                        // First block index dealt to this shard under the
-                        // global round-robin rule (EpochPlan::shard).
-                        let start = (shard + options.shards - consumed % options.shards)
-                            % options.shards;
-                        scope.spawn(move || {
-                            let mut tracker = OnlineSlTracker::new();
-                            let mut chunk_time_s = 0.0;
-                            for batch in block.iter().skip(start).step_by(options.shards) {
-                                let key = (batch.seq_len, batch.samples);
-                                let profile = memo.entry(key).or_insert_with(|| {
-                                    let shape =
-                                        IterationShape::new(batch.samples, batch.seq_len);
-                                    profiler.profile_iteration(network, &shape, &device)
-                                });
-                                tracker.observe(profile.seq_len, profile.stat(options.stat));
-                                chunk_time_s += profile.time_s;
-                            }
-                            (tracker, chunk_time_s)
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("profiling shard panicked"))
-                    .collect()
-            });
+            let chunks = deal_round(block, consumed, options.shards);
+            let reports = executor.execute_round(&chunks)?;
+            if reports.len() != chunks.len() {
+                return Err(ProfileError::Executor {
+                    message: format!(
+                        "executor answered {} of {} chunks",
+                        reports.len(),
+                        chunks.len()
+                    ),
+                });
+            }
             let mut round = OnlineSlTracker::new();
             let mut slowest_shard_s = 0.0;
-            for (tracker, chunk_time_s) in &round_results {
-                round.merge(tracker);
-                profiled_serial_s += chunk_time_s;
-                slowest_shard_s = f64::max(slowest_shard_s, *chunk_time_s);
+            for report in &reports {
+                round.merge(&report.tracker);
+                profiled_serial_s += report.chunk_time_s;
+                slowest_shard_s = f64::max(slowest_shard_s, report.chunk_time_s);
+                for profile in &report.shapes {
+                    shapes
+                        .entry((profile.seq_len, profile.samples))
+                        .or_insert_with(|| profile.clone());
+                }
             }
             profiled_wall_s += slowest_shard_s;
             consumed += block.len();
@@ -500,7 +745,6 @@ fn run_streaming(
                     let state = snapshot(
                         &selector,
                         &shapes,
-                        &memos,
                         consumed,
                         profiled_serial_s,
                         profiled_wall_s,
@@ -519,16 +763,12 @@ fn run_streaming(
     // pipeline; a shape profiled during the rounds replays its recorded
     // statistic, and only a never-seen shape costs a measurement. Paced
     // in round-sized blocks so checkpoints keep landing.
-    for memo in &memos {
-        shapes.extend(memo.iter().map(|(k, v)| (*k, v.clone())));
-    }
     while consumed < total_iterations {
         if let Some(ckpt) = checkpoint {
-            if ckpt.max_rounds.is_some_and(|m| blocks_this_run >= m) {
+            if ckpt.max_rounds.is_some_and(|m| blocks_this_run >= m) || interrupted() {
                 let state = snapshot(
                     &selector,
                     &shapes,
-                    &[],
                     consumed,
                     profiled_serial_s,
                     profiled_wall_s,
@@ -546,7 +786,7 @@ fn run_streaming(
                 }
                 None => {
                     let shape = IterationShape::new(batch.samples, batch.seq_len);
-                    let profile = profiler.profile_iteration(network, &shape, device);
+                    let profile = executor.profile_shape(shape)?;
                     profiled_serial_s += profile.time_s;
                     profiled_wall_s += profile.time_s;
                     selector.observe_measured(profile.seq_len, profile.stat(options.stat));
@@ -562,7 +802,6 @@ fn run_streaming(
                 let state = snapshot(
                     &selector,
                     &shapes,
-                    &[],
                     consumed,
                     profiled_serial_s,
                     profiled_wall_s,
@@ -582,7 +821,6 @@ fn run_streaming(
         let state = snapshot(
             &selector,
             &shapes,
-            &[],
             consumed,
             profiled_serial_s,
             profiled_wall_s,
@@ -630,10 +868,7 @@ mod tests {
     impl TempCheckpoint {
         fn new(tag: &str) -> Self {
             let mut path = std::env::temp_dir();
-            path.push(format!(
-                "seqpoint-ckpt-{}-{tag}.json",
-                std::process::id()
-            ));
+            path.push(format!("seqpoint-ckpt-{}-{tag}.json", std::process::id()));
             let _ = std::fs::remove_file(&path);
             TempCheckpoint(path)
         }
@@ -646,9 +881,7 @@ mod tests {
     impl Drop for TempCheckpoint {
         fn drop(&mut self) {
             let _ = std::fs::remove_file(&self.0);
-            let mut tmp = self.0.as_os_str().to_owned();
-            tmp.push(".tmp");
-            let _ = std::fs::remove_file(PathBuf::from(tmp));
+            let _ = std::fs::remove_file(tmp_sibling(&self.0));
         }
     }
 
@@ -662,8 +895,7 @@ mod tests {
             ..StreamOptions::default()
         };
         let profiler = Profiler::new();
-        let streamed =
-            profile_epoch_streaming(&profiler, &net, &plan, &device, &options).unwrap();
+        let streamed = profile_epoch_streaming(&profiler, &net, &plan, &device, &options).unwrap();
         assert!(streamed.selection.early_stopped());
         assert!(
             (streamed.selection.iterations_measured() as usize) < plan.iterations(),
@@ -689,8 +921,9 @@ mod tests {
             streamed.selection.seqpoints().seq_lens(),
             full.seqpoints().seq_lens()
         );
-        let weights =
-            |s: &seqpoint_core::SeqPointSet| -> Vec<u64> { s.points().iter().map(|p| p.weight).collect() };
+        let weights = |s: &seqpoint_core::SeqPointSet| -> Vec<u64> {
+            s.points().iter().map(|p| p.weight).collect()
+        };
         assert_eq!(
             weights(streamed.selection.seqpoints()),
             weights(full.seqpoints())
@@ -712,13 +945,11 @@ mod tests {
             round_len: 25,
             ..StreamOptions::default()
         };
-        let streamed =
-            profile_epoch_streaming(&profiler, &net, &plan, &device, &options).unwrap();
+        let streamed = profile_epoch_streaming(&profiler, &net, &plan, &device, &options).unwrap();
         assert!(streamed.selection.early_stopped());
         // At least the short final batch was measured after the stop.
         assert!(
-            streamed.selection.iterations_measured()
-                > streamed.selection.stopped_at().unwrap()
+            streamed.selection.iterations_measured() > streamed.selection.stopped_at().unwrap()
         );
         // Exact per-shape replay ⇒ the streamed selection matches the
         // full-epoch path in SLs, weights, AND statistics.
@@ -752,8 +983,7 @@ mod tests {
             ..StreamOptions::default()
         };
         let profiler = Profiler::new();
-        let streamed =
-            profile_epoch_streaming(&profiler, &net, &plan, &device, &options).unwrap();
+        let streamed = profile_epoch_streaming(&profiler, &net, &plan, &device, &options).unwrap();
         assert!(!streamed.selection.early_stopped());
         assert_eq!(
             streamed.selection.iterations_measured() as usize,
@@ -792,7 +1022,10 @@ mod tests {
                 single.selection.iterations_measured(),
                 "shards = {shards}"
             );
-            assert_eq!(sharded.selection.stopped_at(), single.selection.stopped_at());
+            assert_eq!(
+                sharded.selection.stopped_at(),
+                single.selection.stopped_at()
+            );
             assert_eq!(
                 sharded.selection.seqpoints().seq_lens(),
                 single.selection.seqpoints().seq_lens(),
@@ -845,23 +1078,32 @@ mod tests {
                 Err(ProfileError::InvalidStream { .. })
             ));
         }
-        // Checkpointed flavor: every_rounds must be positive.
+        // Checkpointed flavor: every_rounds must be positive, and a
+        // zero max_rounds budget (pause before any work — an infinite
+        // requeue loop for a served job) is rejected too.
         let ckpt = TempCheckpoint::new("degenerate");
-        let zero_every = CheckpointOptions {
-            every_rounds: 0,
-            ..CheckpointOptions::new(ckpt.path())
-        };
-        assert!(matches!(
-            profile_epoch_streaming_checkpointed(
-                &profiler,
-                &net,
-                &plan,
-                &device,
-                &StreamOptions::default(),
-                &zero_every
-            ),
-            Err(ProfileError::InvalidStream { .. })
-        ));
+        for policy in [
+            CheckpointOptions {
+                every_rounds: 0,
+                ..CheckpointOptions::new(ckpt.path())
+            },
+            CheckpointOptions {
+                max_rounds: Some(0),
+                ..CheckpointOptions::new(ckpt.path())
+            },
+        ] {
+            assert!(matches!(
+                profile_epoch_streaming_checkpointed(
+                    &profiler,
+                    &net,
+                    &plan,
+                    &device,
+                    &StreamOptions::default(),
+                    &policy
+                ),
+                Err(ProfileError::InvalidStream { .. })
+            ));
+        }
     }
 
     #[test]
@@ -1030,6 +1272,147 @@ mod tests {
             ),
             Err(ProfileError::Checkpoint { .. })
         ));
+    }
+
+    #[test]
+    fn stale_tmp_sibling_is_cleaned_on_startup() {
+        let (net, plan) = small_workload();
+        let device = device();
+        let profiler = Profiler::new();
+        let options = StreamOptions {
+            shards: 2,
+            round_len: 32,
+            ..StreamOptions::default()
+        };
+
+        // Case 1: a crash between temp write and rename left only the
+        // `.tmp` sibling (possibly torn). The run must remove it, start
+        // fresh, and complete.
+        let ckpt = TempCheckpoint::new("staletmp");
+        let tmp = tmp_sibling(ckpt.path());
+        std::fs::write(&tmp, "{\"version\":1,\"torn mid-wri").unwrap();
+        let outcome = profile_epoch_streaming_checkpointed(
+            &profiler,
+            &net,
+            &plan,
+            &device,
+            &options,
+            &CheckpointOptions::new(ckpt.path()),
+        )
+        .unwrap();
+        assert!(matches!(outcome, StreamOutcome::Complete(_)));
+        assert!(!tmp.exists(), "stale .tmp must be cleaned on startup");
+        assert!(ckpt.path().exists());
+
+        // Case 2: the crash happened on a later write, so a valid
+        // checkpoint AND a stale tmp coexist. The resume must use the
+        // checkpoint and still clear the sibling.
+        std::fs::write(&tmp, "stale garbage from a killed writer").unwrap();
+        let rerun = profile_epoch_streaming_checkpointed(
+            &profiler,
+            &net,
+            &plan,
+            &device,
+            &options,
+            &CheckpointOptions::new(ckpt.path()),
+        )
+        .unwrap();
+        assert!(!tmp.exists());
+        let (StreamOutcome::Complete(a), StreamOutcome::Complete(b)) = (outcome, rerun) else {
+            panic!("both runs must complete");
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn interrupt_hook_pauses_at_the_next_round_boundary() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+
+        let (net, plan) = big_workload();
+        let device = device();
+        let profiler = Profiler::new();
+        let options = StreamOptions {
+            shards: 3,
+            round_len: 25,
+            ..StreamOptions::default()
+        };
+        let uninterrupted =
+            profile_epoch_streaming(&profiler, &net, &plan, &device, &options).unwrap();
+
+        // Interrupt fires once 2 boundary checks have happened — the
+        // drain signal `seqpoint serve` raises on SIGTERM.
+        let ckpt = TempCheckpoint::new("interrupt");
+        let polls = AtomicU32::new(0);
+        let interrupt = || polls.fetch_add(1, Ordering::SeqCst) >= 2;
+        let mut executor = ThreadExecutor::new(
+            &profiler,
+            &net,
+            device.clone(),
+            options.stat,
+            options.shards,
+        );
+        let fingerprint = stream_fingerprint(&net, &plan, &device, &options);
+        let policy = CheckpointOptions {
+            every_rounds: 1,
+            ..CheckpointOptions::new(ckpt.path())
+        };
+        let outcome = profile_epoch_streaming_with(
+            &mut executor,
+            &plan,
+            &options,
+            fingerprint,
+            Some(&policy),
+            Some(&interrupt),
+        )
+        .unwrap();
+        let StreamOutcome::Paused(pause) = outcome else {
+            panic!("interrupt must pause the run");
+        };
+        assert_eq!(pause.rounds_ingested, 2);
+        assert!(ckpt.path().exists());
+
+        // Resuming without the interrupt completes bit-identically —
+        // including through the public checkpointed entry point, proving
+        // the service and CLI paths share checkpoint compatibility.
+        let resumed = match profile_epoch_streaming_checkpointed(
+            &profiler,
+            &net,
+            &plan,
+            &device,
+            &options,
+            &CheckpointOptions::new(ckpt.path()),
+        )
+        .unwrap()
+        {
+            StreamOutcome::Complete(profile) => profile,
+            StreamOutcome::Paused(_) => panic!("no interrupt, must complete"),
+        };
+        assert_eq!(resumed, uninterrupted);
+    }
+
+    #[test]
+    fn deal_round_partitions_the_block_and_matches_plan_shard() {
+        let (_, plan) = small_workload();
+        let round_len = 32;
+        let shards = 3;
+        let mut consumed = 0;
+        let mut per_shard: Vec<Vec<BatchShape>> = vec![Vec::new(); shards];
+        for block in plan.rounds(round_len) {
+            let chunks = deal_round(block, consumed, shards);
+            assert_eq!(chunks.len(), shards);
+            // The chunks partition the block.
+            let total: usize = chunks.iter().map(|c| c.batches.len()).sum();
+            assert_eq!(total, block.len());
+            for chunk in chunks {
+                per_shard[chunk.shard].extend(chunk.batches);
+            }
+            consumed += block.len();
+        }
+        // Concatenated per-shard chunks reproduce EpochPlan::shard.
+        for (shard, batches) in per_shard.iter().enumerate() {
+            let expected: Vec<BatchShape> = plan.shard(shard, shards).collect();
+            assert_eq!(batches, &expected, "shard {shard}");
+        }
     }
 
     #[test]

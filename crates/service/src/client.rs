@@ -1,0 +1,137 @@
+//! Client side of the service protocol: what `seqpoint submit` (and the
+//! tests) use to talk to a running `seqpoint serve`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use seqpoint_core::protocol::{decode_frame, encode_frame, JobSpec, Request, Response};
+
+use crate::ServiceError;
+
+/// A connected protocol client (one request in flight at a time).
+pub struct Client {
+    writer: UnixStream,
+    reader: BufReader<UnixStream>,
+}
+
+impl Client {
+    /// Connect to a server socket.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Io`] when the socket does not exist or refuses.
+    pub fn connect(socket: &Path) -> Result<Self, ServiceError> {
+        let stream = UnixStream::connect(socket)
+            .map_err(|e| ServiceError::io(format!("connecting to {}", socket.display()), &e))?;
+        let reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| ServiceError::io("cloning socket", &e))?,
+        );
+        Ok(Client {
+            writer: stream,
+            reader,
+        })
+    }
+
+    /// Connect, retrying until the server answers a ping or `timeout`
+    /// elapses — for scripts that just started the daemon.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Io`] when no server comes up in time.
+    pub fn connect_ready(socket: &Path, timeout: Duration) -> Result<Self, ServiceError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Ok(mut client) = Client::connect(socket) {
+                if matches!(client.request(&Request::Ping), Ok(Response::Pong { .. })) {
+                    return Ok(client);
+                }
+            }
+            if Instant::now() >= deadline {
+                return Err(ServiceError::Io {
+                    context: format!("waiting for server at {}", socket.display()),
+                    message: "timed out".to_owned(),
+                });
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+
+    /// Send one request and read its response line.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Io`] on a broken connection,
+    /// [`ServiceError::Protocol`] on an undecodable response.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ServiceError> {
+        let mut line = encode_frame(request);
+        line.push('\n');
+        self.writer
+            .write_all(line.as_bytes())
+            .map_err(|e| ServiceError::io("sending request", &e))?;
+        let mut reply = String::new();
+        let n = self
+            .reader
+            .read_line(&mut reply)
+            .map_err(|e| ServiceError::io("reading response", &e))?;
+        if n == 0 {
+            return Err(ServiceError::Io {
+                context: "reading response".to_owned(),
+                message: "server closed the connection".to_owned(),
+            });
+        }
+        decode_frame(&reply).map_err(|e| ServiceError::Protocol(e.to_string()))
+    }
+
+    /// Submit a job and return its id.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Job`] when the server rejects the submission
+    /// (backpressure, duplicate id, bad spec).
+    pub fn submit(&mut self, job: Option<String>, spec: JobSpec) -> Result<String, ServiceError> {
+        match self.request(&Request::Submit { job, spec })? {
+            Response::Submitted { job } => Ok(job),
+            Response::Rejected { reason } | Response::Error { reason } => Err(ServiceError::Job {
+                job: "<submit>".to_owned(),
+                message: reason,
+            }),
+            other => Err(ServiceError::Protocol(format!(
+                "unexpected submit response: {other:?}"
+            ))),
+        }
+    }
+
+    /// Block until the job is terminal and return its rendered output.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Job`] when the job failed, was cancelled, or the
+    /// server drained mid-wait.
+    pub fn wait_result(&mut self, job: &str) -> Result<String, ServiceError> {
+        match self.request(&Request::Result {
+            job: job.to_owned(),
+            wait: true,
+        })? {
+            Response::Result { output, .. } => Ok(output),
+            Response::Failed { reason, .. } => Err(ServiceError::Job {
+                job: job.to_owned(),
+                message: format!("failed: {reason}"),
+            }),
+            Response::Cancelled { .. } => Err(ServiceError::Job {
+                job: job.to_owned(),
+                message: "cancelled".to_owned(),
+            }),
+            Response::Error { reason } => Err(ServiceError::Job {
+                job: job.to_owned(),
+                message: reason,
+            }),
+            other => Err(ServiceError::Protocol(format!(
+                "unexpected result response: {other:?}"
+            ))),
+        }
+    }
+}

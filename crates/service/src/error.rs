@@ -1,0 +1,67 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the profiling service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ServiceError {
+    /// Invalid configuration or request contents.
+    Usage(String),
+    /// Socket or filesystem failure.
+    Io {
+        /// What was being attempted.
+        context: String,
+        /// The underlying error message.
+        message: String,
+    },
+    /// A malformed or unexpected protocol frame.
+    Protocol(String),
+    /// A job-level failure (unknown job, failed run, …).
+    Job {
+        /// The job id.
+        job: String,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl ServiceError {
+    pub(crate) fn io(context: impl Into<String>, e: &std::io::Error) -> Self {
+        ServiceError::Io {
+            context: context.into(),
+            message: e.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Usage(msg) => write!(f, "{msg}"),
+            ServiceError::Io { context, message } => write!(f, "{context}: {message}"),
+            ServiceError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ServiceError::Job { job, message } => write!(f, "job `{job}`: {message}"),
+        }
+    }
+}
+
+impl Error for ServiceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ServiceError::Io {
+            context: "binding socket".into(),
+            message: "denied".into(),
+        };
+        assert!(e.to_string().contains("binding socket"));
+        let j = ServiceError::Job {
+            job: "job-3".into(),
+            message: "lost".into(),
+        };
+        assert!(j.to_string().contains("job-3"));
+    }
+}

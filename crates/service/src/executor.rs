@@ -1,0 +1,417 @@
+//! Subprocess shard placement: a pool of registered `seqpoint worker`
+//! connections and a [`RoundExecutor`] that ships shard chunks to them.
+//!
+//! Workers connect to the server socket, announce
+//! [`seqpoint_core::protocol::Request::WorkerHello`], and then receive
+//! [`WorkerTask`] frames and answer [`WorkerReply`] frames. Per-shard
+//! round results travel as serialized `OnlineSlTracker` state and
+//! `Vec<IterationProfile>` payloads in the checkpoint interchange
+//! format (round-trip-exact floats), so a subprocess round merges
+//! bit-identically to an in-process one.
+//!
+//! Failure model: a worker that dies mid-round poisons the whole round —
+//! the executor closes every connection it had acquired (their reply
+//! streams can no longer be trusted to stay in sync) and reports
+//! [`ProfileError::Executor`]. The job runner then re-queues the job,
+//! which resumes from its last per-round checkpoint; the supervisor
+//! respawns the worker in the background. Nothing measured before the
+//! lost round is repeated, and the selection is unchanged — the
+//! "reassign from the last shard checkpoint" story the kill-a-worker
+//! test pins end to end.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use seqpoint_core::online::OnlineSlTracker;
+use seqpoint_core::protocol::{decode_frame, encode_frame, WorkerReply, WorkerTask};
+use sqnn::IterationShape;
+use sqnn_profiler::stream::{RoundExecutor, ShardChunk, ShardReport};
+use sqnn_profiler::{IterationProfile, ProfileError};
+
+/// One registered worker connection (the server side of a `seqpoint
+/// worker` socket).
+pub struct WorkerConn {
+    writer: UnixStream,
+    reader: BufReader<UnixStream>,
+    /// The worker's process id, as announced in its hello.
+    pub pid: u64,
+}
+
+impl WorkerConn {
+    fn send(&mut self, task: &WorkerTask) -> std::io::Result<()> {
+        let mut line = encode_frame(task);
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())
+    }
+
+    fn recv(&mut self) -> std::io::Result<WorkerReply> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "worker closed the connection",
+            ));
+        }
+        decode_frame(&line)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+struct PoolInner {
+    idle: Vec<WorkerConn>,
+    draining: bool,
+}
+
+/// A blocking pool of registered worker connections, shared by every
+/// concurrent job under subprocess placement.
+pub struct WorkerPool {
+    inner: Mutex<PoolInner>,
+    cv: Condvar,
+}
+
+impl Default for WorkerPool {
+    fn default() -> Self {
+        WorkerPool::new()
+    }
+}
+
+impl WorkerPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        WorkerPool {
+            inner: Mutex::new(PoolInner {
+                idle: Vec::new(),
+                draining: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Register a connection that announced itself as a worker. Returns
+    /// `false` (and closes the connection) when the pool is draining.
+    pub fn register(&self, stream: UnixStream, pid: u64) -> bool {
+        let reader = match stream.try_clone() {
+            Ok(clone) => BufReader::new(clone),
+            Err(_) => return false,
+        };
+        let mut inner = self.inner.lock().expect("pool lock poisoned");
+        if inner.draining {
+            return false;
+        }
+        inner.idle.push(WorkerConn {
+            writer: stream,
+            reader,
+            pid,
+        });
+        self.cv.notify_all();
+        true
+    }
+
+    /// Take up to `want` idle workers, blocking until at least one is
+    /// available. Returns `None` when draining or after `timeout` with
+    /// no worker (lost pool).
+    pub fn acquire(&self, want: usize, timeout: Duration) -> Option<Vec<WorkerConn>> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.inner.lock().expect("pool lock poisoned");
+        loop {
+            if inner.draining {
+                return None;
+            }
+            if !inner.idle.is_empty() {
+                let take = want.clamp(1, inner.idle.len());
+                return Some(inner.idle.drain(..take).collect());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(inner, deadline - now)
+                .expect("pool lock poisoned");
+            inner = guard;
+        }
+    }
+
+    /// Return healthy connections to the pool (dropped when draining).
+    pub fn release(&self, conns: Vec<WorkerConn>) {
+        let mut inner = self.inner.lock().expect("pool lock poisoned");
+        if !inner.draining {
+            inner.idle.extend(conns);
+            self.cv.notify_all();
+        }
+    }
+
+    /// Pids of the currently idle workers (busy ones are with their
+    /// executor).
+    pub fn idle_pids(&self) -> Vec<u64> {
+        let inner = self.inner.lock().expect("pool lock poisoned");
+        inner.idle.iter().map(|c| c.pid).collect()
+    }
+
+    /// Stop handing out workers and close every idle connection; workers
+    /// observe EOF and exit.
+    pub fn drain(&self) {
+        let mut inner = self.inner.lock().expect("pool lock poisoned");
+        inner.draining = true;
+        inner.idle.clear();
+        self.cv.notify_all();
+    }
+}
+
+fn executor_error(message: impl Into<String>) -> ProfileError {
+    ProfileError::Executor {
+        message: message.into(),
+    }
+}
+
+/// A [`RoundExecutor`] that places shard chunks on pooled `seqpoint
+/// worker` subprocesses, exchanging checkpoint-format shard state over
+/// the socket.
+pub struct SubprocessExecutor<'p> {
+    pool: &'p WorkerPool,
+    model: String,
+    config: u32,
+    stat: &'static str,
+    acquire_timeout: Duration,
+}
+
+impl<'p> SubprocessExecutor<'p> {
+    /// An executor for one job's rounds.
+    pub fn new(
+        pool: &'p WorkerPool,
+        model: impl Into<String>,
+        config: u32,
+        stat: &'static str,
+    ) -> Self {
+        SubprocessExecutor {
+            pool,
+            model: model.into(),
+            config,
+            stat,
+            acquire_timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// Lower the acquire timeout (tests).
+    pub fn with_acquire_timeout(mut self, timeout: Duration) -> Self {
+        self.acquire_timeout = timeout;
+        self
+    }
+
+    fn acquire(&self, want: usize) -> Result<Vec<WorkerConn>, ProfileError> {
+        self.pool
+            .acquire(want, self.acquire_timeout)
+            .ok_or_else(|| executor_error("no workers available (pool drained or lost)"))
+    }
+}
+
+impl RoundExecutor for SubprocessExecutor<'_> {
+    fn execute_round(&mut self, chunks: &[ShardChunk]) -> Result<Vec<ShardReport>, ProfileError> {
+        if chunks.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut conns = self.acquire(chunks.len())?;
+        let workers = conns.len();
+        // Deal chunk i to worker i % workers, then collect each worker's
+        // replies FIFO. A single failure abandons the round and every
+        // acquired connection: replies still in flight would desync any
+        // reuse, and dropping the sockets lets dead workers be respawned
+        // and live ones exit/reconnect... (live ones are closed too —
+        // the supervisor keeps the worker population at target).
+        let result = (|| -> Result<Vec<ShardReport>, ProfileError> {
+            for (i, chunk) in chunks.iter().enumerate() {
+                let task = WorkerTask::Round {
+                    model: self.model.clone(),
+                    config: self.config,
+                    stat: self.stat.to_owned(),
+                    shard: chunk.shard as u32,
+                    batches: chunk
+                        .batches
+                        .iter()
+                        .map(|b| (b.seq_len, b.samples))
+                        .collect(),
+                };
+                conns[i % workers]
+                    .send(&task)
+                    .map_err(|e| executor_error(format!("sending round task: {e}")))?;
+            }
+            let mut reports: Vec<Option<ShardReport>> = (0..chunks.len()).map(|_| None).collect();
+            for (i, _) in chunks.iter().enumerate() {
+                let reply = conns[i % workers]
+                    .recv()
+                    .map_err(|e| executor_error(format!("collecting round reply: {e}")))?;
+                let WorkerReply::Round {
+                    shard,
+                    tracker,
+                    chunk_time_s,
+                    shapes,
+                } = reply
+                else {
+                    if let WorkerReply::Error { reason } = reply {
+                        return Err(executor_error(format!("worker rejected task: {reason}")));
+                    }
+                    return Err(executor_error("unexpected reply to a round task"));
+                };
+                let tracker: OnlineSlTracker = serde::json::from_str(&tracker)
+                    .map_err(|e| executor_error(format!("bad tracker payload: {e}")))?;
+                tracker
+                    .validate()
+                    .map_err(|reason| executor_error(format!("inconsistent tracker: {reason}")))?;
+                let shapes: Vec<IterationProfile> = serde::json::from_str(&shapes)
+                    .map_err(|e| executor_error(format!("bad shapes payload: {e}")))?;
+                let slot = reports
+                    .get_mut(shard as usize)
+                    .ok_or_else(|| executor_error(format!("reply for unknown shard {shard}")))?;
+                if slot.is_some() {
+                    return Err(executor_error(format!("duplicate reply for shard {shard}")));
+                }
+                *slot = Some(ShardReport {
+                    tracker,
+                    chunk_time_s,
+                    shapes,
+                });
+            }
+            reports
+                .into_iter()
+                .enumerate()
+                .map(|(shard, report)| {
+                    report.ok_or_else(|| executor_error(format!("no reply for shard {shard}")))
+                })
+                .collect()
+        })();
+        match result {
+            Ok(reports) => {
+                self.pool.release(conns);
+                Ok(reports)
+            }
+            Err(e) => {
+                drop(conns); // close all: the round is poisoned
+                Err(e)
+            }
+        }
+    }
+
+    fn profile_shape(&mut self, shape: IterationShape) -> Result<IterationProfile, ProfileError> {
+        let mut conns = self.acquire(1)?;
+        let conn = &mut conns[0];
+        let task = WorkerTask::Profile {
+            model: self.model.clone(),
+            config: self.config,
+            seq_len: shape.src_len,
+            samples: shape.batch,
+        };
+        let result = (|| -> Result<IterationProfile, ProfileError> {
+            conn.send(&task)
+                .map_err(|e| executor_error(format!("sending profile task: {e}")))?;
+            match conn
+                .recv()
+                .map_err(|e| executor_error(format!("collecting profile reply: {e}")))?
+            {
+                WorkerReply::Profile { profile } => serde::json::from_str(&profile)
+                    .map_err(|e| executor_error(format!("bad profile payload: {e}"))),
+                WorkerReply::Error { reason } => {
+                    Err(executor_error(format!("worker rejected task: {reason}")))
+                }
+                WorkerReply::Round { .. } => Err(executor_error("unexpected round reply")),
+            }
+        })();
+        match result {
+            Ok(profile) => {
+                self.pool.release(conns);
+                Ok(profile)
+            }
+            Err(e) => {
+                drop(conns);
+                Err(e)
+            }
+        }
+    }
+}
+
+/// A pacing wrapper: sleeps `throttle_ms` before every round (checking
+/// the interrupt flag so drains stay responsive), then delegates. Used
+/// for [`seqpoint_core::protocol::JobSpec::throttle_ms`].
+pub struct ThrottledExecutor<'e> {
+    inner: &'e mut dyn RoundExecutor,
+    throttle: Duration,
+    interrupted: &'e dyn Fn() -> bool,
+}
+
+impl<'e> ThrottledExecutor<'e> {
+    /// Wrap `inner`, sleeping `throttle_ms` before each round unless
+    /// `interrupted` reports true.
+    pub fn new(
+        inner: &'e mut dyn RoundExecutor,
+        throttle_ms: u64,
+        interrupted: &'e dyn Fn() -> bool,
+    ) -> Self {
+        ThrottledExecutor {
+            inner,
+            throttle: Duration::from_millis(throttle_ms),
+            interrupted,
+        }
+    }
+}
+
+impl RoundExecutor for ThrottledExecutor<'_> {
+    fn execute_round(&mut self, chunks: &[ShardChunk]) -> Result<Vec<ShardReport>, ProfileError> {
+        let mut remaining = self.throttle;
+        let slice = Duration::from_millis(20);
+        while !remaining.is_zero() && !(self.interrupted)() {
+            let nap = remaining.min(slice);
+            std::thread::sleep(nap);
+            remaining -= nap;
+        }
+        self.inner.execute_round(chunks)
+    }
+
+    fn profile_shape(&mut self, shape: IterationShape) -> Result<IterationProfile, ProfileError> {
+        self.inner.profile_shape(shape)
+    }
+
+    fn seed_shapes(&mut self, shapes: &[IterationProfile]) {
+        self.inner.seed_shapes(shapes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_times_out_on_an_empty_pool() {
+        let pool = WorkerPool::new();
+        let t0 = Instant::now();
+        assert!(pool.acquire(2, Duration::from_millis(50)).is_none());
+        assert!(t0.elapsed() >= Duration::from_millis(50));
+    }
+
+    #[test]
+    fn drained_pool_rejects_registration_and_acquire() {
+        let pool = WorkerPool::new();
+        pool.drain();
+        assert!(pool.acquire(1, Duration::from_millis(10)).is_none());
+        let (a, _b) = UnixStream::pair().unwrap();
+        assert!(!pool.register(a, 1));
+        assert!(pool.idle_pids().is_empty());
+    }
+
+    #[test]
+    fn register_acquire_release_cycle() {
+        let pool = WorkerPool::new();
+        let (a, _keep_a) = UnixStream::pair().unwrap();
+        let (b, _keep_b) = UnixStream::pair().unwrap();
+        assert!(pool.register(a, 11));
+        assert!(pool.register(b, 22));
+        assert_eq!(pool.idle_pids(), vec![11, 22]);
+        let conns = pool.acquire(5, Duration::from_millis(10)).unwrap();
+        assert_eq!(conns.len(), 2, "acquire caps at availability");
+        assert!(pool.idle_pids().is_empty());
+        pool.release(conns);
+        assert_eq!(pool.idle_pids().len(), 2);
+    }
+}

@@ -1,0 +1,37 @@
+//! # seqpoint-service — the async profiling service
+//!
+//! Turns the streaming SeqPoint selection library into a deployable
+//! system: a long-running daemon (`seqpoint serve`) accepts
+//! profiling/selection jobs over a Unix domain socket as
+//! newline-delimited JSON ([`seqpoint_core::protocol`]), holds them in a
+//! bounded queue with backpressure, and dispatches epoch rounds to a
+//! pool of placement-abstracted executors:
+//!
+//! * **thread placement** — rounds run on
+//!   [`sqnn_profiler::stream::ThreadExecutor`], one scoped thread per
+//!   shard, in the server process;
+//! * **subprocess placement** — rounds ship to `seqpoint worker`
+//!   processes ([`worker`]) over the same socket, each shard chunk's
+//!   result returning as serialized per-shard tracker state in the
+//!   **checkpoint interchange format** — the end-to-end proof of the
+//!   multi-node story on one machine (a TCP transport swaps in under
+//!   the same frames).
+//!
+//! Jobs are crash- and drain-safe: every round persists a
+//! [`sqnn_profiler::stream::StreamCheckpoint`], SIGTERM checkpoints
+//! in-flight jobs and exits (graceful drain), and a restarted server
+//! resumes unfinished jobs from their checkpoints — the served
+//! selection is asserted byte-identical to an offline `seqpoint stream`
+//! run of the same spec.
+
+#![warn(missing_docs)]
+
+pub mod client;
+mod error;
+pub mod executor;
+pub mod server;
+pub mod spec;
+pub mod worker;
+
+pub use error::ServiceError;
+pub use server::{serve, Placement, ServeConfig};

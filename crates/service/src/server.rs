@@ -1,0 +1,992 @@
+//! The `seqpoint serve` daemon: socket accept loop, bounded job queue,
+//! runner pool, worker supervision, and graceful drain.
+//!
+//! # Lifecycle
+//!
+//! * Startup scans the state directory and **recovers** every persisted
+//!   job: finished jobs reload their rendered output, unfinished ones
+//!   re-enter the queue and resume from their per-round checkpoints.
+//! * Clients connect and speak [`Request`]/[`Response`] NDJSON; workers
+//!   announce [`Request::WorkerHello`] and their connection moves into
+//!   the [`WorkerPool`].
+//! * `job_slots` runner threads pop the queue and drive
+//!   [`sqnn_profiler::stream::profile_epoch_streaming_with`], with a
+//!   checkpoint written **every round** — so at most one round of work
+//!   can ever be lost.
+//! * SIGTERM (or a [`Request::Shutdown`] line) **drains**: in-flight
+//!   jobs pause at the next round boundary and checkpoint, queued jobs
+//!   stay persisted, workers are released, and the process exits;
+//!   restarting with the same `--state-dir` finishes everything with
+//!   bit-identical results.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use seqpoint_core::protocol::{
+    decode_frame, encode_frame, JobSpec, JobState, Request, Response, PROTOCOL_VERSION,
+};
+use sqnn_profiler::stream::{
+    profile_epoch_streaming_with, stream_fingerprint, CheckpointOptions, RoundExecutor,
+    StreamOutcome, ThreadExecutor,
+};
+use sqnn_profiler::{ProfileError, Profiler};
+
+use crate::executor::{SubprocessExecutor, ThrottledExecutor, WorkerPool};
+use crate::spec::{render_streamed, resolve};
+use crate::ServiceError;
+
+/// Process-wide SIGTERM/SIGINT latch. A handler may only do
+/// async-signal-safe work; storing a relaxed atomic flag qualifies, and
+/// the accept loop polls it.
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static TERM: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_term(_signum: i32) {
+        TERM.store(true, Ordering::Relaxed);
+    }
+
+    #[cfg(unix)]
+    pub fn install() {
+        // No `libc` crate in the offline workspace; declare the two
+        // symbols we need. `signal(2)` with a plain flag-setting handler
+        // is bulletproof for this use.
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGTERM, on_term);
+            signal(SIGINT, on_term);
+        }
+    }
+
+    #[cfg(not(unix))]
+    pub fn install() {}
+}
+
+/// Where a job's rounds execute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Placement {
+    /// In-process scoped threads
+    /// ([`sqnn_profiler::stream::ThreadExecutor`]).
+    Threads,
+    /// `seqpoint worker` subprocesses connected over the socket, shard
+    /// state exchanged as checkpoints — the single-machine proof of
+    /// multi-node placement.
+    Subprocess {
+        /// Worker processes to spawn and supervise.
+        workers: usize,
+    },
+}
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Unix socket path to listen on (created, removed on drain).
+    pub socket: PathBuf,
+    /// Directory for job specs, checkpoints, and results.
+    pub state_dir: PathBuf,
+    /// Concurrent jobs (runner threads).
+    pub job_slots: usize,
+    /// Bounded queue capacity; submissions beyond it are rejected
+    /// (backpressure).
+    pub queue_cap: usize,
+    /// Shard placement for every job.
+    pub placement: Placement,
+    /// Binary to spawn for subprocess workers (defaults to the current
+    /// executable, which is the `seqpoint` binary under `serve`).
+    pub worker_exe: Option<PathBuf>,
+}
+
+impl ServeConfig {
+    /// A thread-placement server with 2 job slots and a 16-job queue.
+    pub fn new(socket: impl Into<PathBuf>, state_dir: impl Into<PathBuf>) -> Self {
+        ServeConfig {
+            socket: socket.into(),
+            state_dir: state_dir.into(),
+            job_slots: 2,
+            queue_cap: 16,
+            placement: Placement::Threads,
+            worker_exe: None,
+        }
+    }
+}
+
+struct JobEntry {
+    spec: JobSpec,
+    state: JobState,
+    detail: String,
+    output: Option<String>,
+    reason: Option<String>,
+    cancel: Arc<AtomicBool>,
+    attempts: u32,
+    /// Consecutive executor (worker-loss) failures — NOT ordinary
+    /// scheduling attempts, so max_rounds preemptions never eat into
+    /// the retry budget.
+    executor_failures: u32,
+}
+
+impl JobEntry {
+    fn new(spec: JobSpec, state: JobState, detail: impl Into<String>) -> Self {
+        JobEntry {
+            spec,
+            state,
+            detail: detail.into(),
+            output: None,
+            reason: None,
+            cancel: Arc::new(AtomicBool::new(false)),
+            attempts: 0,
+            executor_failures: 0,
+        }
+    }
+}
+
+struct Shared {
+    config: ServeConfig,
+    jobs: Mutex<HashMap<String, JobEntry>>,
+    jobs_cv: Condvar,
+    queue: Mutex<VecDeque<String>>,
+    queue_cv: Condvar,
+    draining: AtomicBool,
+    next_job: AtomicU64,
+    pool: WorkerPool,
+    worker_pids: Mutex<Vec<u64>>,
+}
+
+impl Shared {
+    fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Relaxed) || sig::TERM.load(Ordering::Relaxed)
+    }
+
+    fn start_drain(&self) {
+        self.draining.store(true, Ordering::Relaxed);
+        self.queue_cv.notify_all();
+        self.jobs_cv.notify_all();
+        self.pool.drain();
+    }
+
+    fn spec_path(&self, id: &str) -> PathBuf {
+        self.config.state_dir.join(format!("{id}.spec.json"))
+    }
+
+    fn ckpt_path(&self, id: &str) -> PathBuf {
+        self.config.state_dir.join(format!("{id}.ckpt.json"))
+    }
+
+    fn result_path(&self, id: &str) -> PathBuf {
+        self.config.state_dir.join(format!("{id}.result.txt"))
+    }
+
+    fn error_path(&self, id: &str) -> PathBuf {
+        self.config.state_dir.join(format!("{id}.error.txt"))
+    }
+
+    fn set_state(&self, id: &str, state: JobState, detail: impl Into<String>) {
+        let mut jobs = self.jobs.lock().expect("jobs lock poisoned");
+        if let Some(entry) = jobs.get_mut(id) {
+            entry.state = state;
+            entry.detail = detail.into();
+        }
+        drop(jobs);
+        self.jobs_cv.notify_all();
+    }
+}
+
+/// Atomic write (`<path>.tmp` + rename), so a crash never leaves a torn
+/// spec/result file for recovery to trip on.
+fn write_atomic(path: &Path, contents: &str) -> Result<(), ServiceError> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, contents)
+        .map_err(|e| ServiceError::io(format!("writing {}", tmp.display()), &e))?;
+    std::fs::rename(&tmp, path)
+        .map_err(|e| ServiceError::io(format!("renaming {}", path.display()), &e))?;
+    Ok(())
+}
+
+fn valid_job_id(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= 64
+        && id
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+}
+
+/// Scan the state directory and rebuild the job table: done/failed jobs
+/// reload their outcome, everything else re-enters the queue (resuming
+/// from its checkpoint when one exists). Stale `*.tmp` siblings from a
+/// writer killed between write and rename are swept first, and a job
+/// whose spec no longer parses is surfaced as Failed rather than
+/// silently vanishing. Returns the recovered-unfinished job ids, sorted
+/// for a deterministic queue order.
+fn recover(shared: &Shared) -> Result<Vec<String>, ServiceError> {
+    let dir = std::fs::read_dir(&shared.config.state_dir)
+        .map_err(|e| ServiceError::io("reading state dir", &e))?;
+    let mut queued = Vec::new();
+    let mut max_auto = 0u64;
+    let mut jobs = shared.jobs.lock().expect("jobs lock poisoned");
+    for entry in dir.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        // Atomic-write leftovers (spec/result/error/checkpoint temps)
+        // are dead weight, possibly torn; nothing may ever read them.
+        if name.contains(".tmp") {
+            let _ = std::fs::remove_file(entry.path());
+            continue;
+        }
+        let Some(id) = name.strip_suffix(".spec.json") else {
+            continue;
+        };
+        if let Some(n) = id.strip_prefix("job-").and_then(|n| n.parse::<u64>().ok()) {
+            max_auto = max_auto.max(n);
+        }
+        let spec = match std::fs::read_to_string(entry.path())
+            .map_err(|e| e.to_string())
+            .and_then(|text| decode_frame::<JobSpec>(&text).map_err(|e| e.to_string()))
+        {
+            Ok(spec) => spec,
+            Err(reason) => {
+                // The client was told `Submitted`; it must be able to
+                // learn the job's fate, not get `unknown job` forever.
+                eprintln!("seqpoint serve: job `{id}` spec unreadable at recovery: {reason}");
+                let mut failed = JobEntry::new(
+                    JobSpec::default(),
+                    JobState::Failed,
+                    "recovered with an unreadable spec",
+                );
+                failed.reason = Some(format!("spec unreadable at recovery: {reason}"));
+                jobs.insert(id.to_owned(), failed);
+                continue;
+            }
+        };
+        if let Ok(output) = std::fs::read_to_string(shared.result_path(id)) {
+            let mut done = JobEntry::new(spec, JobState::Done, "recovered finished job");
+            done.output = Some(output);
+            jobs.insert(id.to_owned(), done);
+        } else if let Ok(reason) = std::fs::read_to_string(shared.error_path(id)) {
+            let mut failed = JobEntry::new(spec, JobState::Failed, "recovered failed job");
+            failed.reason = Some(reason);
+            jobs.insert(id.to_owned(), failed);
+        } else {
+            jobs.insert(
+                id.to_owned(),
+                JobEntry::new(spec, JobState::Queued, "recovered; waiting for a slot"),
+            );
+            queued.push(id.to_owned());
+        }
+    }
+    drop(jobs);
+    shared.next_job.store(max_auto + 1, Ordering::Relaxed);
+    queued.sort();
+    Ok(queued)
+}
+
+fn submit(shared: &Shared, requested: Option<String>, spec: JobSpec) -> Response {
+    if shared.is_draining() {
+        return Response::Error {
+            reason: "server is draining".to_owned(),
+        };
+    }
+    let spec = spec.normalize();
+    if spec.model.is_empty() || spec.dataset.is_empty() {
+        return Response::Rejected {
+            reason: "spec needs model and dataset".to_owned(),
+        };
+    }
+    let id = match requested {
+        Some(id) => {
+            if !valid_job_id(&id) {
+                return Response::Rejected {
+                    reason: "job ids are 1-64 chars of [A-Za-z0-9_-]".to_owned(),
+                };
+            }
+            // A client-chosen `job-<n>` must not collide with a later
+            // auto-assigned id, so bump the counter past it.
+            if let Some(n) = id.strip_prefix("job-").and_then(|n| n.parse::<u64>().ok()) {
+                shared
+                    .next_job
+                    .fetch_max(n.saturating_add(1), Ordering::Relaxed);
+            }
+            id
+        }
+        None => format!("job-{}", shared.next_job.fetch_add(1, Ordering::Relaxed)),
+    };
+    // Persist the spec to a connection-unique temp file *before* taking
+    // any lock: the slow filesystem write must not stall runners and
+    // status queries behind the mutexes.
+    static SPEC_TMP: AtomicU64 = AtomicU64::new(0);
+    let spec_path = shared.spec_path(&id);
+    let tmp = shared.config.state_dir.join(format!(
+        "{id}.spec.json.tmp-{}",
+        SPEC_TMP.fetch_add(1, Ordering::Relaxed)
+    ));
+    if let Err(e) = std::fs::write(&tmp, encode_frame(&spec)) {
+        return Response::Error {
+            reason: format!("persisting spec: {e}"),
+        };
+    }
+    // Duplicate check, capacity check, rename-into-place, and insertion
+    // are one critical section (jobs → queue lock order, as everywhere):
+    // two racing submissions of the same id must not both pass the
+    // checks, and concurrent submissions must not overshoot queue_cap.
+    // Rename is a metadata operation, cheap enough to hold locks over.
+    {
+        let mut jobs = shared.jobs.lock().expect("jobs lock poisoned");
+        if jobs.contains_key(&id) {
+            drop(jobs);
+            let _ = std::fs::remove_file(&tmp);
+            return Response::Rejected {
+                reason: format!("job `{id}` already exists"),
+            };
+        }
+        let mut queue = shared.queue.lock().expect("queue lock poisoned");
+        if queue.len() >= shared.config.queue_cap {
+            drop(queue);
+            drop(jobs);
+            let _ = std::fs::remove_file(&tmp);
+            return Response::Rejected {
+                reason: format!("queue full (cap {}); retry later", shared.config.queue_cap),
+            };
+        }
+        if let Err(e) = std::fs::rename(&tmp, &spec_path) {
+            drop(queue);
+            drop(jobs);
+            let _ = std::fs::remove_file(&tmp);
+            return Response::Error {
+                reason: format!("persisting spec: {e}"),
+            };
+        }
+        jobs.insert(id.clone(), JobEntry::new(spec, JobState::Queued, "queued"));
+        queue.push_back(id.clone());
+    }
+    shared.queue_cv.notify_all();
+    Response::Submitted { job: id }
+}
+
+fn cancel(shared: &Shared, id: &str) -> Response {
+    let mut jobs = shared.jobs.lock().expect("jobs lock poisoned");
+    let Some(entry) = jobs.get_mut(id) else {
+        return Response::Error {
+            reason: format!("unknown job `{id}`"),
+        };
+    };
+    match entry.state {
+        JobState::Done | JobState::Failed | JobState::Cancelled => Response::Error {
+            reason: format!("job `{id}` is already {}", entry.state.label()),
+        },
+        JobState::Running => {
+            // Cooperative: the runner pauses at the next round boundary
+            // and finalizes the cancellation.
+            entry.cancel.store(true, Ordering::Relaxed);
+            entry.detail = "cancellation requested".to_owned();
+            Response::Cancelled { job: id.to_owned() }
+        }
+        JobState::Queued | JobState::Paused => {
+            entry.state = JobState::Cancelled;
+            entry.detail = "cancelled before running".to_owned();
+            entry.cancel.store(true, Ordering::Relaxed);
+            drop(jobs);
+            shared
+                .queue
+                .lock()
+                .expect("queue lock poisoned")
+                .retain(|queued| queued != id);
+            let _ = std::fs::remove_file(shared.spec_path(id));
+            let _ = std::fs::remove_file(shared.ckpt_path(id));
+            shared.jobs_cv.notify_all();
+            Response::Cancelled { job: id.to_owned() }
+        }
+    }
+}
+
+fn status(shared: &Shared, id: &str) -> Response {
+    let jobs = shared.jobs.lock().expect("jobs lock poisoned");
+    match jobs.get(id) {
+        None => Response::Error {
+            reason: format!("unknown job `{id}`"),
+        },
+        Some(entry) => Response::Status {
+            job: id.to_owned(),
+            state: entry.state,
+            detail: entry.detail.clone(),
+        },
+    }
+}
+
+fn result(shared: &Shared, id: &str, wait: bool) -> Response {
+    let mut jobs = shared.jobs.lock().expect("jobs lock poisoned");
+    loop {
+        match jobs.get(id) {
+            None => {
+                return Response::Error {
+                    reason: format!("unknown job `{id}`"),
+                }
+            }
+            Some(entry) => match entry.state {
+                JobState::Done => {
+                    return Response::Result {
+                        job: id.to_owned(),
+                        output: entry.output.clone().unwrap_or_default(),
+                    }
+                }
+                JobState::Failed => {
+                    return Response::Failed {
+                        job: id.to_owned(),
+                        reason: entry.reason.clone().unwrap_or_default(),
+                    }
+                }
+                JobState::Cancelled => return Response::Cancelled { job: id.to_owned() },
+                state if !wait => {
+                    return Response::Error {
+                        reason: format!("job `{id}` is {} (use wait)", state.label()),
+                    }
+                }
+                _ => {
+                    if shared.is_draining() {
+                        return Response::Error {
+                            reason: "server is draining; job state is checkpointed".to_owned(),
+                        };
+                    }
+                    let (guard, _) = shared
+                        .jobs_cv
+                        .wait_timeout(jobs, Duration::from_millis(250))
+                        .expect("jobs lock poisoned");
+                    jobs = guard;
+                }
+            },
+        }
+    }
+}
+
+/// Run one job to completion, pause, cancellation, or failure.
+fn run_job(shared: &Arc<Shared>, id: &str) {
+    let (spec, cancel, attempt) = {
+        let mut jobs = shared.jobs.lock().expect("jobs lock poisoned");
+        let Some(entry) = jobs.get_mut(id) else {
+            return;
+        };
+        if entry.state != JobState::Queued && entry.state != JobState::Paused {
+            return; // cancelled while queued
+        }
+        entry.state = JobState::Running;
+        entry.detail = "resolving workload".to_owned();
+        entry.attempts = entry.attempts.saturating_add(1);
+        (entry.spec.clone(), entry.cancel.clone(), entry.attempts)
+    };
+    shared.jobs_cv.notify_all();
+
+    let fail = |message: String| {
+        let _ = write_atomic(&shared.error_path(id), &message);
+        let mut jobs = shared.jobs.lock().expect("jobs lock poisoned");
+        if let Some(entry) = jobs.get_mut(id) {
+            entry.state = JobState::Failed;
+            entry.detail = "failed".to_owned();
+            entry.reason = Some(message);
+        }
+        drop(jobs);
+        shared.jobs_cv.notify_all();
+    };
+
+    let resolved = match resolve(&spec) {
+        Ok(resolved) => resolved,
+        Err(e) => return fail(e.to_string()),
+    };
+    let interrupted = || shared.is_draining() || cancel.load(Ordering::Relaxed);
+    let policy = CheckpointOptions {
+        path: shared.ckpt_path(id),
+        every_rounds: 1,
+        max_rounds: spec.max_rounds,
+    };
+    let fingerprint = stream_fingerprint(
+        &resolved.network,
+        &resolved.plan,
+        &resolved.device,
+        &resolved.options,
+    );
+    shared.set_state(
+        id,
+        JobState::Running,
+        format!(
+            "running ({} iterations, attempt {attempt})",
+            resolved.plan.iterations()
+        ),
+    );
+
+    let run = |executor: &mut dyn RoundExecutor| {
+        if spec.throttle_ms > 0 {
+            let mut throttled = ThrottledExecutor::new(executor, spec.throttle_ms, &interrupted);
+            profile_epoch_streaming_with(
+                &mut throttled,
+                &resolved.plan,
+                &resolved.options,
+                fingerprint,
+                Some(&policy),
+                Some(&interrupted),
+            )
+        } else {
+            profile_epoch_streaming_with(
+                executor,
+                &resolved.plan,
+                &resolved.options,
+                fingerprint,
+                Some(&policy),
+                Some(&interrupted),
+            )
+        }
+    };
+    let profiler = Profiler::new();
+    let outcome = match &shared.config.placement {
+        Placement::Threads => {
+            let mut executor = ThreadExecutor::new(
+                &profiler,
+                &resolved.network,
+                resolved.device.clone(),
+                resolved.options.stat,
+                resolved.options.shards,
+            );
+            run(&mut executor)
+        }
+        Placement::Subprocess { .. } => {
+            let mut executor = SubprocessExecutor::new(
+                &shared.pool,
+                spec.model.clone(),
+                spec.config,
+                resolved.options.stat.label(),
+            );
+            run(&mut executor)
+        }
+    };
+
+    match outcome {
+        Ok(StreamOutcome::Complete(profile)) => {
+            if cancel.load(Ordering::Relaxed) {
+                return finalize_cancel(shared, id);
+            }
+            let output = render_streamed(&spec.model, &spec.dataset, spec.config, &profile);
+            if let Err(e) = write_atomic(&shared.result_path(id), &output) {
+                return fail(format!("persisting result: {e}"));
+            }
+            // The checkpoint is redundant once the result exists (a
+            // restart reloads Done from the result file), so reclaim it
+            // instead of letting the state dir grow per finished job.
+            let _ = std::fs::remove_file(shared.ckpt_path(id));
+            let mut jobs = shared.jobs.lock().expect("jobs lock poisoned");
+            if let Some(entry) = jobs.get_mut(id) {
+                entry.state = JobState::Done;
+                entry.detail = "done".to_owned();
+                entry.output = Some(output);
+            }
+            drop(jobs);
+            shared.jobs_cv.notify_all();
+        }
+        Ok(StreamOutcome::Paused(pause)) => {
+            if cancel.load(Ordering::Relaxed) {
+                return finalize_cancel(shared, id);
+            }
+            if shared.is_draining() {
+                shared.set_state(
+                    id,
+                    JobState::Paused,
+                    format!(
+                        "drained at {}/{} iterations; resumes on restart",
+                        pause.iterations_consumed, pause.iterations_total
+                    ),
+                );
+            } else {
+                // Preemption budget (max_rounds): yield the slot and
+                // requeue, round-robin fairness across jobs. A clean
+                // pause is forward progress, so the worker-loss retry
+                // budget resets.
+                {
+                    let mut jobs = shared.jobs.lock().expect("jobs lock poisoned");
+                    if let Some(entry) = jobs.get_mut(id) {
+                        entry.executor_failures = 0;
+                    }
+                }
+                shared.set_state(
+                    id,
+                    JobState::Paused,
+                    format!(
+                        "preempted at {}/{} iterations; requeued",
+                        pause.iterations_consumed, pause.iterations_total
+                    ),
+                );
+                requeue(shared, id);
+            }
+        }
+        Err(ProfileError::Executor { message }) => {
+            // Budget counts consecutive worker losses only — a job that
+            // was preempted by max_rounds many times keeps its full
+            // retry allowance.
+            let failures = {
+                let mut jobs = shared.jobs.lock().expect("jobs lock poisoned");
+                match jobs.get_mut(id) {
+                    Some(entry) => {
+                        entry.executor_failures = entry.executor_failures.saturating_add(1);
+                        entry.executor_failures
+                    }
+                    None => 1,
+                }
+            };
+            if shared.is_draining() {
+                shared.set_state(id, JobState::Paused, "drained; resumes on restart");
+            } else if failures <= 5 {
+                // The round was lost with a worker; the per-round
+                // checkpoint still holds everything before it. Requeue:
+                // the next attempt reassigns the job to the (respawned)
+                // workers from that checkpoint.
+                shared.set_state(
+                    id,
+                    JobState::Paused,
+                    format!("worker lost ({message}); retrying from last checkpoint"),
+                );
+                requeue(shared, id);
+            } else {
+                fail(format!(
+                    "executor failed {failures} consecutive times: {message}"
+                ));
+            }
+        }
+        Err(e) => fail(e.to_string()),
+    }
+}
+
+fn finalize_cancel(shared: &Shared, id: &str) {
+    let _ = std::fs::remove_file(shared.spec_path(id));
+    let _ = std::fs::remove_file(shared.ckpt_path(id));
+    shared.set_state(id, JobState::Cancelled, "cancelled");
+}
+
+fn requeue(shared: &Shared, id: &str) {
+    shared
+        .queue
+        .lock()
+        .expect("queue lock poisoned")
+        .push_back(id.to_owned());
+    shared.queue_cv.notify_all();
+}
+
+fn runner_loop(shared: Arc<Shared>) {
+    loop {
+        let id = {
+            let mut queue = shared.queue.lock().expect("queue lock poisoned");
+            loop {
+                if shared.is_draining() {
+                    return;
+                }
+                if let Some(id) = queue.pop_front() {
+                    break id;
+                }
+                let (guard, _) = shared
+                    .queue_cv
+                    .wait_timeout(queue, Duration::from_millis(200))
+                    .expect("queue lock poisoned");
+                queue = guard;
+            }
+        };
+        // A panic inside a job (a poisoned lock, a shard-thread panic)
+        // must cost that job, not the runner slot: an unwinding runner
+        // thread would silently halve the daemon's capacity and leave
+        // the job stuck in Running with waiters blocked forever.
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_job(&shared, &id)));
+        if outcome.is_err() {
+            eprintln!("seqpoint serve: job `{id}` panicked; marking it failed");
+            let _ = write_atomic(&shared.error_path(&id), "internal panic while running");
+            shared.set_state(&id, JobState::Failed, "internal panic while running");
+        }
+    }
+}
+
+fn respond(stream: &mut UnixStream, response: &Response) -> std::io::Result<()> {
+    let mut line = encode_frame(response);
+    line.push('\n');
+    stream.write_all(line.as_bytes())
+}
+
+fn handle_connection(shared: Arc<Shared>, mut stream: UnixStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return,
+            Ok(_) => {}
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = match decode_frame::<Request>(&line) {
+            Ok(request) => request,
+            Err(e) => {
+                let _ = respond(
+                    &mut stream,
+                    &Response::Error {
+                        reason: format!("bad request: {e}"),
+                    },
+                );
+                continue;
+            }
+        };
+        let response = match request {
+            Request::WorkerHello { pid } => {
+                // Hand the connection to the pool; nothing else arrives
+                // on it from the worker until it is tasked, so the
+                // handler's read buffer is empty and can be dropped.
+                if !shared.pool.register(stream, pid) {
+                    // draining: dropping the stream tells the worker to
+                    // exit.
+                }
+                return;
+            }
+            Request::Ping => {
+                let queued = shared.queue.lock().expect("queue lock poisoned").len() as u64;
+                let running = {
+                    let jobs = shared.jobs.lock().expect("jobs lock poisoned");
+                    jobs.values()
+                        .filter(|e| e.state == JobState::Running)
+                        .count() as u64
+                };
+                Response::Pong {
+                    version: PROTOCOL_VERSION,
+                    queued,
+                    running,
+                    workers: shared
+                        .worker_pids
+                        .lock()
+                        .expect("pids lock poisoned")
+                        .clone(),
+                }
+            }
+            Request::Submit { job, spec } => submit(&shared, job, spec),
+            Request::Status { job } => status(&shared, &job),
+            Request::Result { job, wait } => result(&shared, &job, wait),
+            Request::Cancel { job } => cancel(&shared, &job),
+            Request::Shutdown => {
+                let _ = respond(&mut stream, &Response::ShuttingDown);
+                shared.start_drain();
+                return;
+            }
+        };
+        if respond(&mut stream, &response).is_err() {
+            return;
+        }
+    }
+}
+
+/// Spawn-and-respawn supervision of one subprocess worker slot. The
+/// worker population stays at the configured size until drain; a killed
+/// worker (the chaos-test case) is replaced within ~100 ms.
+fn supervise_worker(shared: Arc<Shared>) {
+    let exe = shared
+        .config
+        .worker_exe
+        .clone()
+        .or_else(|| std::env::current_exe().ok());
+    let Some(exe) = exe else {
+        eprintln!("seqpoint serve: cannot locate worker executable");
+        return;
+    };
+    while !shared.is_draining() {
+        let child = Command::new(&exe)
+            .arg("worker")
+            .arg("--socket")
+            .arg(&shared.config.socket)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn();
+        let mut child = match child {
+            Ok(child) => child,
+            Err(e) => {
+                eprintln!("seqpoint serve: spawning worker failed: {e}");
+                std::thread::sleep(Duration::from_millis(500));
+                continue;
+            }
+        };
+        let pid = u64::from(child.id());
+        shared
+            .worker_pids
+            .lock()
+            .expect("pids lock poisoned")
+            .push(pid);
+        loop {
+            match child.try_wait() {
+                Ok(Some(_)) => break,
+                Ok(None) => {
+                    if shared.is_draining() {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                Err(_) => break,
+            }
+        }
+        shared
+            .worker_pids
+            .lock()
+            .expect("pids lock poisoned")
+            .retain(|p| *p != pid);
+        if !shared.is_draining() {
+            std::thread::sleep(Duration::from_millis(100));
+        }
+    }
+}
+
+/// Run the daemon until a drain (SIGTERM, SIGINT, or a
+/// [`Request::Shutdown`] line). In-flight jobs are checkpointed before
+/// this returns; re-invoking with the same configuration resumes them.
+///
+/// # Errors
+///
+/// [`ServiceError::Usage`] for a degenerate configuration;
+/// [`ServiceError::Io`] when the state dir or socket cannot be set up.
+pub fn serve(config: ServeConfig) -> Result<(), ServiceError> {
+    if config.job_slots == 0 || config.queue_cap == 0 {
+        return Err(ServiceError::Usage(
+            "job_slots and queue_cap must be positive".to_owned(),
+        ));
+    }
+    if let Placement::Subprocess { workers: 0 } = config.placement {
+        return Err(ServiceError::Usage(
+            "subprocess placement needs at least one worker".to_owned(),
+        ));
+    }
+    std::fs::create_dir_all(&config.state_dir)
+        .map_err(|e| ServiceError::io("creating state dir", &e))?;
+    // Two daemons must never share a state dir (they would race on the
+    // same checkpoint/result files and job ids), regardless of which
+    // sockets they listen on. A pidfile in the state dir is the claim:
+    // refuse when its owner is still alive, replace it when stale.
+    let pidfile = config.state_dir.join("serve.pid");
+    if let Ok(text) = std::fs::read_to_string(&pidfile) {
+        let owner = text.trim().parse::<u32>().ok();
+        let alive = owner.is_some_and(|pid| {
+            pid != std::process::id() && Path::new(&format!("/proc/{pid}")).exists()
+        });
+        if alive {
+            return Err(ServiceError::Usage(format!(
+                "state dir {} is owned by a live server (pid {})",
+                config.state_dir.display(),
+                owner.unwrap_or(0)
+            )));
+        }
+    }
+    write_atomic(&pidfile, &std::process::id().to_string())?;
+    // A stale socket file from a previous (killed) server blocks bind —
+    // but a *live* server must not be hijacked either. Probe first; only
+    // a dead socket (connection refused / not found) is removed.
+    if config.socket.exists() {
+        if UnixStream::connect(&config.socket).is_ok() {
+            return Err(ServiceError::Usage(format!(
+                "a server is already listening on {}",
+                config.socket.display()
+            )));
+        }
+        let _ = std::fs::remove_file(&config.socket);
+    }
+    let listener = UnixListener::bind(&config.socket)
+        .map_err(|e| ServiceError::io(format!("binding {}", config.socket.display()), &e))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| ServiceError::io("setting nonblocking", &e))?;
+    sig::TERM.store(false, Ordering::Relaxed);
+    sig::install();
+
+    let shared = Arc::new(Shared {
+        config,
+        jobs: Mutex::new(HashMap::new()),
+        jobs_cv: Condvar::new(),
+        queue: Mutex::new(VecDeque::new()),
+        queue_cv: Condvar::new(),
+        draining: AtomicBool::new(false),
+        next_job: AtomicU64::new(1),
+        pool: WorkerPool::new(),
+        worker_pids: Mutex::new(Vec::new()),
+    });
+
+    // Recovery: reload finished jobs, requeue unfinished ones.
+    let recovered = recover(&shared)?;
+    {
+        let mut queue = shared.queue.lock().expect("queue lock poisoned");
+        for id in &recovered {
+            queue.push_back(id.clone());
+        }
+    }
+    eprintln!(
+        "seqpoint serve: listening on {} ({} job slot(s), queue cap {}, {} recovered)",
+        shared.config.socket.display(),
+        shared.config.job_slots,
+        shared.config.queue_cap,
+        recovered.len()
+    );
+
+    let mut supervisors = Vec::new();
+    if let Placement::Subprocess { workers } = shared.config.placement {
+        for _ in 0..workers {
+            let shared = shared.clone();
+            supervisors.push(std::thread::spawn(move || supervise_worker(shared)));
+        }
+    }
+    let mut runners = Vec::new();
+    for _ in 0..shared.config.job_slots {
+        let shared = shared.clone();
+        runners.push(std::thread::spawn(move || runner_loop(shared)));
+    }
+
+    // Accept loop: nonblocking + poll, so SIGTERM is noticed promptly
+    // regardless of EINTR semantics.
+    loop {
+        if shared.is_draining() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                let shared = shared.clone();
+                std::thread::spawn(move || handle_connection(shared, stream));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(15));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                eprintln!("seqpoint serve: accept failed: {e}");
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+
+    // Drain: checkpoint in-flight jobs (runners pause at the next round
+    // boundary), release workers, persist everything.
+    shared.start_drain();
+    eprintln!("seqpoint serve: draining (in-flight jobs checkpoint and resume on restart)");
+    for runner in runners {
+        let _ = runner.join();
+    }
+    for supervisor in supervisors {
+        let _ = supervisor.join();
+    }
+    let _ = std::fs::remove_file(&shared.config.socket);
+    let _ = std::fs::remove_file(shared.config.state_dir.join("serve.pid"));
+    let paused = {
+        let jobs = shared.jobs.lock().expect("jobs lock poisoned");
+        jobs.values().filter(|e| !e.state.is_terminal()).count()
+    };
+    eprintln!("seqpoint serve: drained ({paused} unfinished job(s) checkpointed)");
+    Ok(())
+}

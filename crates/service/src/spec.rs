@@ -1,0 +1,257 @@
+//! Resolving a wire-level [`JobSpec`] into a runnable workload, and
+//! rendering a finished run.
+//!
+//! The rendering here is *the* rendering: `seqpoint stream` calls
+//! [`render_streamed`] too, so a served job's output is byte-identical
+//! to the offline command for the same spec — which is what the service
+//! smoke test asserts with a plain `diff`.
+
+use std::fmt::Write as _;
+
+use gpu_sim::{Device, GpuConfig};
+use seqpoint_core::protocol::JobSpec;
+use sqnn::{models, Network};
+use sqnn_data::{BatchPolicy, Corpus, EpochPlan};
+use sqnn_profiler::stream::{StreamOptions, StreamedEpochProfile};
+use sqnn_profiler::StatKind;
+
+use crate::ServiceError;
+
+/// Resolve a bundled model by name.
+///
+/// # Errors
+///
+/// [`ServiceError::Usage`] for an unknown name.
+pub fn model_by_name(name: &str) -> Result<Network, ServiceError> {
+    match name {
+        "gnmt" => Ok(models::gnmt()),
+        "ds2" => Ok(models::ds2()),
+        "cnn" => Ok(models::cnn_reference()),
+        "transformer" => Ok(models::transformer_base()),
+        "convs2s" => Ok(models::conv_s2s()),
+        "seq2seq" => Ok(models::seq2seq()),
+        other => Err(ServiceError::Usage(format!(
+            "unknown model `{other}` (expected gnmt|ds2|cnn|transformer|convs2s|seq2seq)"
+        ))),
+    }
+}
+
+/// Resolve a bundled dataset by name at the given sample count.
+///
+/// # Errors
+///
+/// [`ServiceError::Usage`] for an unknown name.
+pub fn corpus_by_name(name: &str, samples: usize, seed: u64) -> Result<Corpus, ServiceError> {
+    match name {
+        "iwslt15" => Ok(Corpus::iwslt15_like(samples, seed)),
+        "wmt16" => Ok(Corpus::wmt16_like(samples as f64 / 4_500_000.0, seed)),
+        "librispeech100" => {
+            let full = Corpus::librispeech100_like(seed);
+            let n = samples.min(full.len());
+            Ok(Corpus::from_lengths(
+                "librispeech100-like",
+                full.lengths()[..n].to_vec(),
+                full.vocab_size(),
+            ))
+        }
+        other => Err(ServiceError::Usage(format!(
+            "unknown dataset `{other}` (expected iwslt15|wmt16|librispeech100)"
+        ))),
+    }
+}
+
+/// Resolve a statistic by its report label (the wire encoding
+/// [`seqpoint_core::protocol::WorkerTask`] uses).
+///
+/// # Errors
+///
+/// [`ServiceError::Usage`] for an unknown label.
+pub fn stat_by_label(label: &str) -> Result<StatKind, ServiceError> {
+    for kind in [
+        StatKind::Runtime,
+        StatKind::ValuInsts,
+        StatKind::LoadBytes,
+        StatKind::MemWriteStalls,
+        StatKind::DramBytes,
+        StatKind::EnergyJ,
+    ] {
+        if kind.label() == label {
+            return Ok(kind);
+        }
+    }
+    Err(ServiceError::Usage(format!("unknown statistic `{label}`")))
+}
+
+/// Resolve a Table II hardware configuration (1..=5) into a device.
+///
+/// # Errors
+///
+/// [`ServiceError::Usage`] for an out-of-range number.
+pub fn device_by_config(config: u32) -> Result<Device, ServiceError> {
+    if !(1..=5).contains(&config) {
+        return Err(ServiceError::Usage(
+            "config must be 1..=5 (Table II)".to_owned(),
+        ));
+    }
+    let cfg = GpuConfig::table2_configs()[config as usize - 1].clone();
+    Ok(Device::new(cfg))
+}
+
+/// A [`JobSpec`] resolved into the concrete workload the streaming
+/// harness runs.
+pub struct ResolvedJob {
+    /// The network model.
+    pub network: Network,
+    /// The steady-state (shuffled) epoch plan.
+    pub plan: EpochPlan,
+    /// The simulated device.
+    pub device: Device,
+    /// Sharding, pacing, and early-stop options.
+    pub options: StreamOptions,
+}
+
+/// Resolve a (normalized) spec into its workload. This is the same
+/// construction as `seqpoint stream`: every epoch after the first is
+/// shuffled, so the service batches the corpus uniformly.
+///
+/// # Errors
+///
+/// [`ServiceError::Usage`] for unknown names, an out-of-range config, a
+/// zero batch size, or an unplannable corpus.
+pub fn resolve(spec: &JobSpec) -> Result<ResolvedJob, ServiceError> {
+    if spec.batch == 0 {
+        return Err(ServiceError::Usage("batch must be positive".to_owned()));
+    }
+    let network = model_by_name(&spec.model)?;
+    let corpus = corpus_by_name(&spec.dataset, spec.samples as usize, spec.seed)?;
+    let device = device_by_config(spec.config)?;
+    let plan = EpochPlan::new(&corpus, BatchPolicy::shuffled(spec.batch), spec.seed)
+        .map_err(|e| ServiceError::Usage(e.to_string()))?;
+    Ok(ResolvedJob {
+        network,
+        plan,
+        device,
+        options: StreamOptions {
+            shards: spec.shards as usize,
+            round_len: spec.round_len as usize,
+            stat: StatKind::Runtime,
+            stream: spec.stream,
+        },
+    })
+}
+
+/// Render a streamed selection as the `seqpoint stream` report: the
+/// early-stop accounting block followed by the SeqPoints. Shared by the
+/// CLI and the service so served results diff clean against offline
+/// runs.
+pub fn render_streamed(
+    model: &str,
+    dataset: &str,
+    config_no: u32,
+    streamed: &StreamedEpochProfile,
+) -> String {
+    let selection = &streamed.selection;
+    let analysis = selection.analysis();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# streaming selection: {model} on {dataset} (config {config_no}), {} shards",
+        streamed.shards
+    );
+    let _ = writeln!(out, "iterations_total,{}", selection.iterations_total());
+    let _ = writeln!(
+        out,
+        "iterations_measured,{}",
+        selection.iterations_measured()
+    );
+    let _ = writeln!(out, "iterations_skipped,{}", selection.iterations_skipped());
+    let _ = writeln!(out, "rounds,{}", selection.rounds());
+    let _ = writeln!(out, "logging_speedup,{:.2}", selection.logging_speedup());
+    let _ = writeln!(out, "early_stopped,{}", selection.early_stopped());
+    let _ = writeln!(
+        out,
+        "unseen_probability,{:.4}",
+        selection.unseen_probability()
+    );
+    let _ = writeln!(out, "profiled_serial_s,{:.6}", streamed.profiled_serial_s);
+    let _ = writeln!(out, "profiled_wall_s,{:.6}", streamed.profiled_wall_s);
+    let _ = writeln!(out, "shard_speedup,{:.2}", streamed.shard_speedup());
+    let _ = writeln!(
+        out,
+        "# {} SeqPoints for {} iterations ({} unique SLs), k={}, self error {:.4}%",
+        analysis.seqpoints().len(),
+        analysis.iterations(),
+        analysis.unique_sls(),
+        analysis.k(),
+        analysis.self_error_pct()
+    );
+    let _ = writeln!(out, "seq_len,weight,stat");
+    for p in analysis.seqpoints().points() {
+        let _ = writeln!(out, "{},{},{}", p.seq_len, p.weight, p.stat);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_spec() -> JobSpec {
+        JobSpec {
+            model: "gnmt".to_owned(),
+            dataset: "iwslt15".to_owned(),
+            samples: 1_500,
+            batch: 16,
+            shards: 2,
+            round_len: 32,
+            ..JobSpec::default()
+        }
+    }
+
+    #[test]
+    fn resolve_builds_the_stream_workload() {
+        let job = resolve(&quick_spec()).unwrap();
+        assert_eq!(job.plan.iterations(), 1_500usize.div_ceil(16));
+        assert_eq!(job.options.shards, 2);
+        assert_eq!(job.options.round_len, 32);
+    }
+
+    #[test]
+    fn resolve_rejects_bad_specs() {
+        for broken in [
+            JobSpec {
+                model: "nope".to_owned(),
+                ..quick_spec()
+            },
+            JobSpec {
+                dataset: "nope".to_owned(),
+                ..quick_spec()
+            },
+            JobSpec {
+                config: 9,
+                ..quick_spec()
+            },
+            JobSpec {
+                batch: 0,
+                ..quick_spec()
+            },
+        ] {
+            assert!(matches!(resolve(&broken), Err(ServiceError::Usage(_))));
+        }
+    }
+
+    #[test]
+    fn stat_labels_round_trip() {
+        for kind in [
+            StatKind::Runtime,
+            StatKind::ValuInsts,
+            StatKind::LoadBytes,
+            StatKind::MemWriteStalls,
+            StatKind::DramBytes,
+            StatKind::EnergyJ,
+        ] {
+            assert_eq!(stat_by_label(kind.label()).unwrap(), kind);
+        }
+        assert!(stat_by_label("nope").is_err());
+    }
+}

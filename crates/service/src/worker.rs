@@ -1,0 +1,288 @@
+//! The `seqpoint worker` process: connects to a `seqpoint serve`
+//! socket, announces itself, and executes shard chunks until the server
+//! closes the connection.
+//!
+//! The worker runs the exact same leaf as the in-process thread
+//! executor — [`sqnn_profiler::stream::execute_chunk`] — over its own
+//! per-`(model, config)` shape memo, and ships results back as
+//! checkpoint-interchange-format payloads. Placement is therefore
+//! invisible to the selection: thread and subprocess runs are
+//! bit-identical.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use gpu_sim::Device;
+use seqpoint_core::protocol::{decode_frame, encode_frame, Request, WorkerReply, WorkerTask};
+use sqnn::{IterationShape, Network};
+use sqnn_data::BatchShape;
+use sqnn_profiler::stream::{execute_chunk, ShardChunk};
+use sqnn_profiler::{IterationProfile, Profiler};
+
+use crate::spec::{device_by_config, model_by_name, stat_by_label};
+use crate::ServiceError;
+
+/// Cached per-workload state: resolving a model/device per task would
+/// dominate the round time.
+struct WorkerCache {
+    networks: HashMap<String, Network>,
+    devices: HashMap<u32, Device>,
+    memos: HashMap<(String, u32), HashMap<(u32, u32), IterationProfile>>,
+}
+
+impl WorkerCache {
+    fn new() -> Self {
+        WorkerCache {
+            networks: HashMap::new(),
+            devices: HashMap::new(),
+            memos: HashMap::new(),
+        }
+    }
+
+    fn network(&mut self, model: &str) -> Result<&Network, ServiceError> {
+        if !self.networks.contains_key(model) {
+            let network = model_by_name(model)?;
+            self.networks.insert(model.to_owned(), network);
+        }
+        Ok(&self.networks[model])
+    }
+
+    fn device(&mut self, config: u32) -> Result<&Device, ServiceError> {
+        if let std::collections::hash_map::Entry::Vacant(entry) = self.devices.entry(config) {
+            entry.insert(device_by_config(config)?);
+        }
+        Ok(&self.devices[&config])
+    }
+}
+
+fn execute(
+    profiler: &Profiler,
+    cache: &mut WorkerCache,
+    task: WorkerTask,
+) -> Result<Option<WorkerReply>, ServiceError> {
+    match task {
+        WorkerTask::Shutdown => Ok(None),
+        WorkerTask::Round {
+            model,
+            config,
+            stat,
+            shard,
+            batches,
+        } => {
+            let stat = stat_by_label(&stat)?;
+            cache.network(&model)?;
+            cache.device(config)?;
+            let chunk = ShardChunk {
+                shard: shard as usize,
+                batches: batches
+                    .into_iter()
+                    .map(|(seq_len, samples)| BatchShape {
+                        seq_len,
+                        samples,
+                        // The profiled computation is fully determined by
+                        // (seq_len, samples); padding occupancy is stream
+                        // metadata the executor path never reads.
+                        payload_fraction: 1.0,
+                    })
+                    .collect(),
+            };
+            let network = &cache.networks[&model];
+            let device = cache.devices[&config].clone();
+            let memo = cache.memos.entry((model, config)).or_default();
+            let report = execute_chunk(profiler, network, &device, stat, memo, &chunk);
+            let tracker = serde::json::to_string(&report.tracker)
+                .map_err(|e| ServiceError::Protocol(e.to_string()))?;
+            let shapes = serde::json::to_string(&report.shapes)
+                .map_err(|e| ServiceError::Protocol(e.to_string()))?;
+            Ok(Some(WorkerReply::Round {
+                shard,
+                tracker,
+                chunk_time_s: report.chunk_time_s,
+                shapes,
+            }))
+        }
+        WorkerTask::Profile {
+            model,
+            config,
+            seq_len,
+            samples,
+        } => {
+            cache.network(&model)?;
+            cache.device(config)?;
+            let network = &cache.networks[&model];
+            let device = &cache.devices[&config];
+            let shape = IterationShape::new(samples, seq_len);
+            let profile = profiler.profile_iteration(network, &shape, device);
+            let profile = serde::json::to_string(&profile)
+                .map_err(|e| ServiceError::Protocol(e.to_string()))?;
+            Ok(Some(WorkerReply::Profile { profile }))
+        }
+    }
+}
+
+/// Run a worker against the server at `socket` until the server closes
+/// the connection (drain) or sends [`WorkerTask::Shutdown`].
+///
+/// # Errors
+///
+/// [`ServiceError::Io`] when the socket cannot be reached or breaks
+/// mid-reply; [`ServiceError::Protocol`] on an undecodable task line.
+pub fn run_worker(socket: &Path) -> Result<(), ServiceError> {
+    let stream = UnixStream::connect(socket)
+        .map_err(|e| ServiceError::io(format!("connecting to {}", socket.display()), &e))?;
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| ServiceError::io("cloning socket", &e))?;
+    let mut reader = BufReader::new(stream);
+
+    let hello = Request::WorkerHello {
+        pid: u64::from(std::process::id()),
+    };
+    let mut line = encode_frame(&hello);
+    line.push('\n');
+    writer
+        .write_all(line.as_bytes())
+        .map_err(|e| ServiceError::io("announcing worker", &e))?;
+
+    let profiler = Profiler::new();
+    let mut cache = WorkerCache::new();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| ServiceError::io("reading task", &e))?;
+        if n == 0 {
+            return Ok(()); // server closed: drain
+        }
+        let task: WorkerTask =
+            decode_frame(&line).map_err(|e| ServiceError::Protocol(e.to_string()))?;
+        let reply = match execute(&profiler, &mut cache, task) {
+            Ok(None) => return Ok(()),
+            Ok(Some(reply)) => reply,
+            Err(e) => WorkerReply::Error {
+                reason: e.to_string(),
+            },
+        };
+        let mut out = encode_frame(&reply);
+        out.push('\n');
+        writer
+            .write_all(out.as_bytes())
+            .map_err(|e| ServiceError::io("sending reply", &e))?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_task_reports_interchange_payloads() {
+        let profiler = Profiler::new();
+        let mut cache = WorkerCache::new();
+        let task = WorkerTask::Round {
+            model: "gnmt".to_owned(),
+            config: 1,
+            stat: "runtime".to_owned(),
+            shard: 2,
+            batches: vec![(20, 16), (30, 16), (20, 16)],
+        };
+        let Some(WorkerReply::Round {
+            shard,
+            tracker,
+            chunk_time_s,
+            shapes,
+        }) = execute(&profiler, &mut cache, task).unwrap()
+        else {
+            panic!("expected a round reply");
+        };
+        assert_eq!(shard, 2);
+        assert!(chunk_time_s > 0.0);
+        let tracker: seqpoint_core::online::OnlineSlTracker =
+            serde::json::from_str(&tracker).unwrap();
+        assert_eq!(tracker.iterations(), 3);
+        assert_eq!(tracker.unique_count(), 2);
+        let shapes: Vec<IterationProfile> = serde::json::from_str(&shapes).unwrap();
+        assert_eq!(shapes.len(), 2, "two distinct shapes in the chunk");
+    }
+
+    #[test]
+    fn worker_report_is_bit_identical_to_the_thread_leaf() {
+        // The same chunk through the worker's execute() and directly
+        // through execute_chunk must produce identical payloads — the
+        // bit-exactness the subprocess placement rests on.
+        let profiler = Profiler::new();
+        let mut cache = WorkerCache::new();
+        let batches = vec![(25u32, 16u32), (40, 16), (25, 16), (55, 8)];
+        let task = WorkerTask::Round {
+            model: "gnmt".to_owned(),
+            config: 1,
+            stat: "runtime".to_owned(),
+            shard: 0,
+            batches: batches.clone(),
+        };
+        let Some(WorkerReply::Round {
+            tracker, shapes, ..
+        }) = execute(&profiler, &mut cache, task).unwrap()
+        else {
+            panic!("expected a round reply");
+        };
+
+        let network = model_by_name("gnmt").unwrap();
+        let device = device_by_config(1).unwrap();
+        let mut memo = HashMap::new();
+        let chunk = ShardChunk {
+            shard: 0,
+            batches: batches
+                .iter()
+                .map(|&(seq_len, samples)| BatchShape {
+                    seq_len,
+                    samples,
+                    payload_fraction: 1.0,
+                })
+                .collect(),
+        };
+        let direct = execute_chunk(
+            &profiler,
+            &network,
+            &device,
+            sqnn_profiler::StatKind::Runtime,
+            &mut memo,
+            &chunk,
+        );
+        assert_eq!(tracker, serde::json::to_string(&direct.tracker).unwrap());
+        assert_eq!(shapes, serde::json::to_string(&direct.shapes).unwrap());
+    }
+
+    #[test]
+    fn unknown_workloads_reply_with_errors() {
+        let profiler = Profiler::new();
+        let mut cache = WorkerCache::new();
+        for task in [
+            WorkerTask::Round {
+                model: "nope".to_owned(),
+                config: 1,
+                stat: "runtime".to_owned(),
+                shard: 0,
+                batches: vec![],
+            },
+            WorkerTask::Round {
+                model: "gnmt".to_owned(),
+                config: 1,
+                stat: "nope".to_owned(),
+                shard: 0,
+                batches: vec![],
+            },
+            WorkerTask::Profile {
+                model: "gnmt".to_owned(),
+                config: 99,
+                seq_len: 10,
+                samples: 4,
+            },
+        ] {
+            assert!(execute(&profiler, &mut cache, task).is_err());
+        }
+    }
+}

@@ -134,8 +134,16 @@ mod tests {
     use gpu_sim::{AutotuneTable, GpuConfig, KernelDesc};
 
     fn ds2_conv1() -> Conv2d {
-        Conv2d::new("conv1", 1, 32, 161, (41, 11), (2, 2), TimeSpec::PerSourceStep(2))
-            .with_activation("hardtanh")
+        Conv2d::new(
+            "conv1",
+            1,
+            32,
+            161,
+            (41, 11),
+            (2, 2),
+            TimeSpec::PerSourceStep(2),
+        )
+        .with_activation("hardtanh")
     }
 
     fn trace(layer: &Conv2d, shape: IterationShape, backward: bool) -> Vec<KernelDesc> {
@@ -180,17 +188,18 @@ mod tests {
             .iter()
             .map(|k| k.flops())
             .sum();
-        assert!((long / short - 4.0).abs() < 0.05, "ratio = {}", long / short);
+        assert!(
+            (long / short - 4.0).abs() < 0.05,
+            "ratio = {}",
+            long / short
+        );
     }
 
     #[test]
     fn backward_emits_two_conv_passes() {
         let conv = ds2_conv1();
         let bwd = trace(&conv, IterationShape::new(8, 50), true);
-        let conv_kernels = bwd
-            .iter()
-            .filter(|k| k.name().starts_with("conv_"))
-            .count();
+        let conv_kernels = bwd.iter().filter(|k| k.name().starts_with("conv_")).count();
         assert_eq!(conv_kernels, 2);
     }
 

@@ -152,8 +152,14 @@ mod tests {
         let plain = Dense::new("p", 64, 64, RowSpec::PerSample);
         let act = Dense::new("a", 64, 64, RowSpec::PerSample).with_activation("relu");
         let shape = IterationShape::new(4, 4);
-        assert_eq!(trace_of(&act, shape, false).len(), trace_of(&plain, shape, false).len() + 1);
-        assert_eq!(trace_of(&act, shape, true).len(), trace_of(&plain, shape, true).len() + 1);
+        assert_eq!(
+            trace_of(&act, shape, false).len(),
+            trace_of(&plain, shape, false).len() + 1
+        );
+        assert_eq!(
+            trace_of(&act, shape, true).len(),
+            trace_of(&plain, shape, true).len() + 1
+        );
     }
 
     #[test]

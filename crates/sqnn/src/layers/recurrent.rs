@@ -37,8 +37,7 @@ impl RecurrentCore {
     fn param_count(&self) -> u64 {
         // Per direction: W_ih [gates·H × E], W_hh [gates·H × H], biases.
         self.directions()
-            * (self.gates * self.hidden * (self.input + self.hidden)
-                + 2 * self.gates * self.hidden)
+            * (self.gates * self.hidden * (self.input + self.hidden) + 2 * self.gates * self.hidden)
     }
 
     fn emit_forward(&self, shape: &IterationShape, ctx: &mut TraceCtx<'_>) {
@@ -70,12 +69,7 @@ impl RecurrentCore {
         for _dir in 0..self.directions() {
             for _step in 0..t {
                 // Gate derivative.
-                ctx.emit_ew(
-                    &format!("{}_bwd", self.gate_label),
-                    b * gh,
-                    8.0,
-                    3,
-                );
+                ctx.emit_ew(&format!("{}_bwd", self.gate_label), b * gh, 8.0, 3);
                 // dh_{t-1} += W_hhᵀ · dgates_t.
                 ctx.emit_gemm("nt", self.hidden, gh, b);
             }

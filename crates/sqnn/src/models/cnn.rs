@@ -76,7 +76,10 @@ mod tests {
     #[test]
     fn has_convolutions_and_a_head() {
         let net = cnn_reference();
-        let convs = net.layers().filter(|l| l.name().starts_with("conv")).count();
+        let convs = net
+            .layers()
+            .filter(|l| l.name().starts_with("conv"))
+            .count();
         assert_eq!(convs, 4);
         assert!(net.param_count() > 1_000_000);
     }

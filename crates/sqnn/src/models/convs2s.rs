@@ -59,7 +59,12 @@ pub fn conv_s2s_with(vocab: u64, channels: u64, layers: u32) -> Network {
     }
     b = b
         .layer(Attention::new("attention", c))
-        .layer(SoftmaxCrossEntropy::new("classifier", c, vocab, Stream::Target));
+        .layer(SoftmaxCrossEntropy::new(
+            "classifier",
+            c,
+            vocab,
+            Stream::Target,
+        ));
     b.build().expect("conv-s2s layer list is non-empty")
 }
 
@@ -90,8 +95,14 @@ mod tests {
     #[test]
     fn has_conv_stacks_on_both_sides() {
         let net = conv_s2s();
-        let enc = net.layers().filter(|l| l.name().starts_with("enc-conv")).count();
-        let dec = net.layers().filter(|l| l.name().starts_with("dec-conv")).count();
+        let enc = net
+            .layers()
+            .filter(|l| l.name().starts_with("enc-conv"))
+            .count();
+        let dec = net
+            .layers()
+            .filter(|l| l.name().starts_with("dec-conv"))
+            .count();
         assert_eq!(enc, 8);
         assert_eq!(dec, 8);
     }
@@ -101,16 +112,10 @@ mod tests {
         let net = conv_s2s_with(1_000, 128, 2);
         let cfg = GpuConfig::vega_fe();
         let mut tuner = AutotuneTable::new();
-        let short_tgt = net.iteration_trace(
-            &IterationShape::with_lengths(8, 50, 10),
-            &cfg,
-            &mut tuner,
-        );
-        let long_tgt = net.iteration_trace(
-            &IterationShape::with_lengths(8, 50, 100),
-            &cfg,
-            &mut tuner,
-        );
+        let short_tgt =
+            net.iteration_trace(&IterationShape::with_lengths(8, 50, 10), &cfg, &mut tuner);
+        let long_tgt =
+            net.iteration_trace(&IterationShape::with_lengths(8, 50, 100), &cfg, &mut tuner);
         let flops = |t: &[gpu_sim::KernelDesc]| t.iter().map(|k| k.flops()).sum::<f64>();
         assert!(flops(&long_tgt) > flops(&short_tgt) * 1.5);
     }

@@ -12,7 +12,9 @@
 //! (161 frequency bins), so the Table I classifier GEMM is
 //! `M = 29, K = 1600, N = 64·SL`.
 
-use crate::layers::{BatchNorm, Conv2d, CtcLoss, Dense, Gru, RowSpec, SoftmaxCrossEntropy, TimeSpec};
+use crate::layers::{
+    BatchNorm, Conv2d, CtcLoss, Dense, Gru, RowSpec, SoftmaxCrossEntropy, TimeSpec,
+};
 use crate::{Network, Stream};
 
 /// DS2's output alphabet: 26 letters, space, apostrophe, CTC blank.
@@ -42,7 +44,7 @@ pub fn ds2_with(alphabet: u64, gru_hidden: u64) -> Network {
     )
     .with_activation("hardtanh");
     let conv1_out_h = conv1.out_h(); // 81
-    // conv2: 21×11 kernel, stride 2×1 → freq 81→41, time SL→SL.
+                                     // conv2: 21×11 kernel, stride 2×1 → freq 81→41, time SL→SL.
     let conv2 = Conv2d::new(
         "conv2",
         CONV_CHANNELS,
@@ -74,7 +76,12 @@ pub fn ds2_with(alphabet: u64, gru_hidden: u64) -> Network {
     b = b
         // Fully connected classifier onto the alphabet: Table I's
         // M=29, K=1600, N=64·SL GEMM.
-        .layer(Dense::new("fc", 2 * h, alphabet, RowSpec::PerToken(Stream::Source)))
+        .layer(Dense::new(
+            "fc",
+            2 * h,
+            alphabet,
+            RowSpec::PerToken(Stream::Source),
+        ))
         .layer(CtcLoss::new("ctc", alphabet, Stream::Source));
     b.build().expect("ds2 layer list is non-empty")
 }
@@ -115,8 +122,13 @@ pub fn ds2_softmax() -> Network {
     b = b.layer(Gru::new("gru-0", gru_input, GRU_HIDDEN, Stream::Source).bidirectional());
     for i in 1..5 {
         b = b.layer(
-            Gru::new(format!("gru-{i}"), 2 * GRU_HIDDEN, GRU_HIDDEN, Stream::Source)
-                .bidirectional(),
+            Gru::new(
+                format!("gru-{i}"),
+                2 * GRU_HIDDEN,
+                GRU_HIDDEN,
+                Stream::Source,
+            )
+            .bidirectional(),
         );
     }
     b = b.layer(SoftmaxCrossEntropy::new(
@@ -166,7 +178,10 @@ mod tests {
     fn parameter_count_is_ds2_scale() {
         // Published DS2 configurations are in the 35M–120M range.
         let params = ds2().param_count();
-        assert!((30_000_000..130_000_000).contains(&params), "params = {params}");
+        assert!(
+            (30_000_000..130_000_000).contains(&params),
+            "params = {params}"
+        );
     }
 
     #[test]

@@ -58,7 +58,12 @@ pub fn gnmt_with(vocab: u64, hidden: u64) -> Network {
         .layer(Attention::new("attention", h))
         .layer(Dropout::new("dec-drop", h, Stream::Target))
         // Vocabulary classifier (Table I's GEMM-a/GEMM-b).
-        .layer(SoftmaxCrossEntropy::new("classifier", h, vocab, Stream::Target));
+        .layer(SoftmaxCrossEntropy::new(
+            "classifier",
+            h,
+            vocab,
+            Stream::Target,
+        ));
     b.build().expect("gnmt layer list is non-empty")
 }
 
@@ -118,10 +123,13 @@ mod tests {
         let cfg = GpuConfig::vega_fe();
         let device = Device::new(cfg.clone());
         let mut tuner = AutotuneTable::new();
-        let profile = device
-            .run_trace(&net.iteration_trace(&IterationShape::new(64, 80), &cfg, &mut tuner));
+        let profile =
+            device.run_trace(&net.iteration_trace(&IterationShape::new(64, 80), &cfg, &mut tuner));
         let shares = profile.runtime_shares_by_kind();
-        let gemm_share = shares.get(&gpu_sim::KernelKind::Gemm).copied().unwrap_or(0.0);
+        let gemm_share = shares
+            .get(&gpu_sim::KernelKind::Gemm)
+            .copied()
+            .unwrap_or(0.0);
         assert!(gemm_share > 0.4, "gemm share = {gemm_share}");
     }
 

@@ -29,7 +29,12 @@ pub fn seq2seq_with(vocab: u64, hidden: u64, layers_per_side: u32) -> Network {
     }
     b = b
         .layer(Attention::new("attention", h))
-        .layer(SoftmaxCrossEntropy::new("classifier", h, vocab, Stream::Target));
+        .layer(SoftmaxCrossEntropy::new(
+            "classifier",
+            h,
+            vocab,
+            Stream::Target,
+        ));
     b.build().expect("seq2seq layer list is non-empty")
 }
 
@@ -42,8 +47,14 @@ mod tests {
     #[test]
     fn structure_is_4_plus_4() {
         let net = seq2seq();
-        let enc = net.layers().filter(|l| l.name().starts_with("enc-lstm")).count();
-        let dec = net.layers().filter(|l| l.name().starts_with("dec-lstm")).count();
+        let enc = net
+            .layers()
+            .filter(|l| l.name().starts_with("enc-lstm"))
+            .count();
+        let dec = net
+            .layers()
+            .filter(|l| l.name().starts_with("dec-lstm"))
+            .count();
         assert_eq!(enc, 4);
         assert_eq!(dec, 4);
         // ~4x H² per LSTM, 8 LSTMs, two 50k×1000 embeddings + classifier.

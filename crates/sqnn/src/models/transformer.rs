@@ -21,10 +21,20 @@ pub fn transformer_with(vocab: u64, hidden: u64, heads: u64, layers: u32) -> Net
         .layer(Dropout::new("src-drop", h, Stream::Source));
     for i in 0..layers {
         b = b
-            .layer(SelfAttention::new(format!("enc-attn-{i}"), h, heads, Stream::Source))
+            .layer(SelfAttention::new(
+                format!("enc-attn-{i}"),
+                h,
+                heads,
+                Stream::Source,
+            ))
             .layer(
-                Dense::new(format!("enc-ffn1-{i}"), h, ffn, RowSpec::PerToken(Stream::Source))
-                    .with_activation("gelu"),
+                Dense::new(
+                    format!("enc-ffn1-{i}"),
+                    h,
+                    ffn,
+                    RowSpec::PerToken(Stream::Source),
+                )
+                .with_activation("gelu"),
             )
             .layer(Dense::new(
                 format!("enc-ffn2-{i}"),
@@ -38,13 +48,28 @@ pub fn transformer_with(vocab: u64, hidden: u64, heads: u64, layers: u32) -> Net
         .layer(Dropout::new("tgt-drop", h, Stream::Target));
     for i in 0..layers {
         b = b
-            .layer(SelfAttention::new(format!("dec-attn-{i}"), h, heads, Stream::Target))
+            .layer(SelfAttention::new(
+                format!("dec-attn-{i}"),
+                h,
+                heads,
+                Stream::Target,
+            ))
             // Cross-attention approximated as another attention block over
             // the target stream (source/target lengths are equal here).
-            .layer(SelfAttention::new(format!("dec-xattn-{i}"), h, heads, Stream::Target))
+            .layer(SelfAttention::new(
+                format!("dec-xattn-{i}"),
+                h,
+                heads,
+                Stream::Target,
+            ))
             .layer(
-                Dense::new(format!("dec-ffn1-{i}"), h, ffn, RowSpec::PerToken(Stream::Target))
-                    .with_activation("gelu"),
+                Dense::new(
+                    format!("dec-ffn1-{i}"),
+                    h,
+                    ffn,
+                    RowSpec::PerToken(Stream::Target),
+                )
+                .with_activation("gelu"),
             )
             .layer(Dense::new(
                 format!("dec-ffn2-{i}"),
@@ -53,7 +78,12 @@ pub fn transformer_with(vocab: u64, hidden: u64, heads: u64, layers: u32) -> Net
                 RowSpec::PerToken(Stream::Target),
             ));
     }
-    b = b.layer(SoftmaxCrossEntropy::new("classifier", h, vocab, Stream::Target));
+    b = b.layer(SoftmaxCrossEntropy::new(
+        "classifier",
+        h,
+        vocab,
+        Stream::Target,
+    ));
     b.build().expect("transformer layer list is non-empty")
 }
 
@@ -82,10 +112,7 @@ mod tests {
     fn base_configuration_is_sane() {
         let net = transformer_base();
         assert!(net.param_count() > 40_000_000);
-        let attn = net
-            .layers()
-            .filter(|l| l.name().contains("attn"))
-            .count();
+        let attn = net.layers().filter(|l| l.name().contains("attn")).count();
         assert_eq!(attn, 6 + 12);
     }
 }

@@ -157,7 +157,10 @@ impl NetworkBuilder {
     /// Returns [`ModelError::InvalidParameter`] if no layers were added.
     pub fn build(self) -> Result<Network, ModelError> {
         if self.layers.is_empty() {
-            return Err(ModelError::invalid("layers", "network needs at least one layer"));
+            return Err(ModelError::invalid(
+                "layers",
+                "network needs at least one layer",
+            ));
         }
         Ok(Network {
             name: self.name,

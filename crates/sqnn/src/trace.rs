@@ -83,12 +83,14 @@ impl<'a> TraceCtx<'a> {
 
     /// Emit a batch-norm kernel.
     pub fn emit_batchnorm(&mut self, elems: u64, channels: u64, backward: bool) {
-        self.kernels.push(reduce::batchnorm(elems, channels, backward));
+        self.kernels
+            .push(reduce::batchnorm(elems, channels, backward));
     }
 
     /// Emit an embedding-table gather.
     pub fn emit_gather(&mut self, rows: u64, row_bytes: u64, table_bytes: u64) {
-        self.kernels.push(memops::gather(rows, row_bytes, table_bytes));
+        self.kernels
+            .push(memops::gather(rows, row_bytes, table_bytes));
     }
 
     /// Emit an embedding-gradient scatter-add.

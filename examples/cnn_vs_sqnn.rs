@@ -34,7 +34,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let net = gnmt();
     let mut rnn_times = Vec::new();
     let stride = (plan.iterations() / iterations).max(1);
-    for (i, b) in plan.batches().iter().step_by(stride).take(iterations).enumerate() {
+    for (i, b) in plan
+        .batches()
+        .iter()
+        .step_by(stride)
+        .take(iterations)
+        .enumerate()
+    {
         let device =
             Device::with_jitter(GpuConfig::vega_fe(), JitterModel::new(0.02, 100 + i as u64));
         let shape = IterationShape::new(b.samples, b.seq_len);
@@ -46,7 +52,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("iter   CNN (normalized)                RNN (normalized)");
     for i in 0..iterations {
         let (c, r) = (cnn_times[i] / cm, rnn_times[i] / rm);
-        println!("{i:>4}   {c:<5.2} {:<24} {r:<5.2} {}", bar(c, 12.0), bar(r, 12.0));
+        println!(
+            "{i:>4}   {c:<5.2} {:<24} {r:<5.2} {}",
+            bar(c, 12.0),
+            bar(r, 12.0)
+        );
     }
     println!(
         "\ncoefficient of variation: CNN {:.1}%  vs  RNN {:.1}%",

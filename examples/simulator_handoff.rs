@@ -33,11 +33,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Export the bundle a simulator would consume.
     let dir = std::env::temp_dir().join("seqpoint-handoff");
-    let bundle = export_seqpoint_traces(&dir, &network, plan.batch_size(), points, device.config())?;
+    let bundle =
+        export_seqpoint_traces(&dir, &network, plan.batch_size(), points, device.config())?;
     println!("\nexported to {}:", dir.display());
     for path in &bundle.traces {
         let bytes = std::fs::metadata(path)?.len();
-        println!("  {} ({} KiB)", path.file_name().unwrap().to_string_lossy(), bytes / 1024);
+        println!(
+            "  {} ({} KiB)",
+            path.file_name().unwrap().to_string_lossy(),
+            bytes / 1024
+        );
     }
 
     // ---- The "simulator" side: replay traces, apply manifest weights.
@@ -49,11 +54,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let file = fields.next().expect("manifest line has a file");
         let seq_len: u32 = fields.next().expect("has seq_len").parse()?;
         let weight: f64 = fields.next().expect("has weight").parse()?;
-        let trace = seqpoint::gpu_sim::trace_format::read_trace(std::fs::File::open(
-            dir.join(file),
-        )?)?;
+        let trace =
+            seqpoint::gpu_sim::trace_format::read_trace(std::fs::File::open(dir.join(file))?)?;
         let t = device.run_trace(&trace).total_time_s();
-        println!("  SL {seq_len:>4}: {:>6} kernels, {t:.4} s x weight {weight}", trace.len());
+        println!(
+            "  SL {seq_len:>4}: {:>6} kernels, {t:.4} s x weight {weight}",
+            trace.len()
+        );
         reconstructed += t * weight;
     }
     println!(

@@ -34,10 +34,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Candidate designs: sweep L2 capacity and CU count.
     let mut candidates = Vec::new();
     for l2 in [0u32, 2, 4, 8] {
-        candidates.push(GpuConfig::builder(format!("l2-{l2}mb")).l2_mib(l2).build()?);
+        candidates.push(
+            GpuConfig::builder(format!("l2-{l2}mb"))
+                .l2_mib(l2)
+                .build()?,
+        );
     }
     for cu in [16u32, 32, 64, 96] {
-        candidates.push(GpuConfig::builder(format!("cu-{cu}")).cu_count(cu).build()?);
+        candidates.push(
+            GpuConfig::builder(format!("cu-{cu}"))
+                .cu_count(cu)
+                .build()?,
+        );
     }
 
     println!("design      projected samples/s    vs baseline");

@@ -32,7 +32,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for cfg in &configs {
         let device = Device::new(cfg.clone());
         // Ground truth: the full epoch (what SeqPoint lets you avoid).
-        let measured = profiler.profile_epoch(&network, &plan, &device)?.training_time_s();
+        let measured = profiler
+            .profile_epoch(&network, &plan, &device)?
+            .training_time_s();
         // SeqPoint path: re-profile only the representative SLs.
         let reprofiled =
             profiler.profile_seq_lens(&network, plan.batch_size(), &seqpoints.seq_lens(), &device);

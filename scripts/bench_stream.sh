@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Quick-scale perf capture: wall-clock, iterations-measured, and round
+# counts for (a) the offline `seqpoint stream` path and (b) the same job
+# served through `seqpoint serve` with subprocess workers. Emits a JSON
+# report so CI can archive the perf trajectory run over run.
+#
+# Usage: scripts/bench_stream.sh [path/to/seqpoint] [out.json]
+set -euo pipefail
+
+BIN="${1:-target/release/seqpoint}"
+OUT="${2:-BENCH_stream.json}"
+BENCH_DIR="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+  if [[ -n "$SERVE_PID" ]] && kill -0 "$SERVE_PID" 2>/dev/null; then
+    kill -9 "$SERVE_PID" 2>/dev/null || true
+  fi
+  rm -rf "$BENCH_DIR"
+}
+trap cleanup EXIT
+
+SPEC=(--model gnmt --dataset iwslt15 --samples 6000 --batch 16
+      --shards 3 --round 32 --window 128 --quant 8 --seed 20)
+SOCK="$BENCH_DIR/sock"
+
+now_ms() { date +%s%3N; }
+field() { grep "^$2," "$1" | head -n1 | cut -d, -f2; }
+
+# --- offline streaming path
+t0="$(now_ms)"
+"$BIN" stream "${SPEC[@]}" > "$BENCH_DIR/stream.txt"
+t1="$(now_ms)"
+STREAM_MS=$((t1 - t0))
+
+# --- served path (submit + wait through the daemon, subprocess workers)
+"$BIN" serve --socket "$SOCK" --state-dir "$BENCH_DIR/state" --jobs 1 \
+  --placement subprocess --workers 2 2>"$BENCH_DIR/serve.log" &
+SERVE_PID=$!
+for _ in $(seq 1 200); do
+  "$BIN" submit --socket "$SOCK" --ping >/dev/null 2>&1 && break
+  sleep 0.05
+done
+t0="$(now_ms)"
+"$BIN" submit --socket "$SOCK" "${SPEC[@]}" --job bench > "$BENCH_DIR/served.txt"
+t1="$(now_ms)"
+SERVE_MS=$((t1 - t0))
+"$BIN" submit --socket "$SOCK" --shutdown >/dev/null
+wait "$SERVE_PID"
+SERVE_PID=""
+
+# The two paths must agree before their numbers are comparable.
+diff "$BENCH_DIR/stream.txt" "$BENCH_DIR/served.txt"
+
+emit_path() { # file wall_ms
+  printf '{"wall_ms": %s, "iterations_total": %s, "iterations_measured": %s, "rounds": %s, "early_stopped": %s}' \
+    "$2" \
+    "$(field "$1" iterations_total)" \
+    "$(field "$1" iterations_measured)" \
+    "$(field "$1" rounds)" \
+    "$(field "$1" early_stopped)"
+}
+
+{
+  printf '{\n'
+  printf '  "benchmark": "quick-scale gnmt/iwslt15 streaming selection",\n'
+  printf '  "timestamp_utc": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+  printf '  "toolchain": "%s",\n' "$(rustc --version 2>/dev/null || echo unknown)"
+  printf '  "stream": %s,\n' "$(emit_path "$BENCH_DIR/stream.txt" "$STREAM_MS")"
+  printf '  "serve": %s\n' "$(emit_path "$BENCH_DIR/served.txt" "$SERVE_MS")"
+  printf '}\n'
+} > "$OUT"
+
+echo "bench_stream: wrote $OUT"
+cat "$OUT"

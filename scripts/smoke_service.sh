@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# Service smoke test, end to end through the real binary:
+#
+#  1. two quick-scale jobs submitted concurrently to `seqpoint serve`
+#     (subprocess worker placement) must return selections byte-identical
+#     to offline `seqpoint stream` runs of the same specs;
+#  2. SIGTERM mid-job must drain gracefully — the in-flight job's state
+#     is checkpointed, the process exits 0 — and a restarted server must
+#     resume the job from that checkpoint and complete it with the exact
+#     offline selection.
+#
+# Shared by scripts/verify.sh and the CI `service-smoke` job so the two
+# cannot drift apart.
+#
+# Usage: scripts/smoke_service.sh [path/to/seqpoint]
+set -euo pipefail
+
+BIN="${1:-target/release/seqpoint}"
+SMOKE_DIR="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+  if [[ -n "$SERVE_PID" ]] && kill -0 "$SERVE_PID" 2>/dev/null; then
+    kill -9 "$SERVE_PID" 2>/dev/null || true
+  fi
+  rm -rf "$SMOKE_DIR"
+}
+trap cleanup EXIT
+
+SOCK="$SMOKE_DIR/sock"
+STATE="$SMOKE_DIR/state"
+SERVE_ARGS=(serve --socket "$SOCK" --state-dir "$STATE" --jobs 2
+            --placement subprocess --workers 2)
+
+wait_ready() {
+  for _ in $(seq 1 200); do
+    if "$BIN" submit --socket "$SOCK" --ping >/dev/null 2>&1; then
+      return 0
+    fi
+    sleep 0.05
+  done
+  echo "smoke_service: server never became ready" >&2
+  return 1
+}
+
+SPEC_A=(--model gnmt --dataset iwslt15 --samples 6000 --batch 16
+        --shards 3 --round 32 --window 128 --quant 8 --seed 20)
+SPEC_B=(--model gnmt --dataset iwslt15 --samples 5000 --batch 16
+        --shards 3 --round 32 --window 128 --quant 8 --seed 21)
+# A paced job that never early-stops (~16 rounds at 150 ms each), so the
+# SIGTERM below is guaranteed to land mid-run.
+SPEC_LONG=(--model gnmt --dataset iwslt15 --samples 4000 --batch 16
+           --shards 3 --round 16 --window 99999999 --quant 8 --seed 22)
+
+# Offline references.
+"$BIN" stream "${SPEC_A[@]}"    > "$SMOKE_DIR/ref_a.txt"
+"$BIN" stream "${SPEC_B[@]}"    > "$SMOKE_DIR/ref_b.txt"
+"$BIN" stream "${SPEC_LONG[@]}" > "$SMOKE_DIR/ref_long.txt"
+
+# --- Part 1: concurrent served jobs match the offline runs exactly.
+"$BIN" "${SERVE_ARGS[@]}" 2>"$SMOKE_DIR/serve1.log" &
+SERVE_PID=$!
+wait_ready
+"$BIN" submit --socket "$SOCK" "${SPEC_A[@]}" --job smoke-a --detach >/dev/null
+"$BIN" submit --socket "$SOCK" "${SPEC_B[@]}" --job smoke-b --detach >/dev/null
+"$BIN" submit --socket "$SOCK" --result smoke-a > "$SMOKE_DIR/served_a.txt"
+"$BIN" submit --socket "$SOCK" --result smoke-b > "$SMOKE_DIR/served_b.txt"
+diff "$SMOKE_DIR/ref_a.txt" "$SMOKE_DIR/served_a.txt"
+diff "$SMOKE_DIR/ref_b.txt" "$SMOKE_DIR/served_b.txt"
+echo "smoke_service: two concurrent served jobs match offline stream output"
+
+# --- Part 2: SIGTERM drain checkpoints the in-flight job ...
+"$BIN" submit --socket "$SOCK" "${SPEC_LONG[@]}" --throttle-ms 150 \
+  --job smoke-long --detach >/dev/null
+sleep 1
+"$BIN" submit --socket "$SOCK" --status smoke-long | grep -q ",running," \
+  || { echo "smoke_service: long job is not running before SIGTERM" >&2; exit 1; }
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+SERVE_PID=""
+test -s "$STATE/smoke-long.ckpt.json" \
+  || { echo "smoke_service: drain did not checkpoint the in-flight job" >&2; exit 1; }
+test ! -e "$STATE/smoke-long.result.txt" \
+  || { echo "smoke_service: job finished before SIGTERM; drain untested" >&2; exit 1; }
+echo "smoke_service: SIGTERM drained with the in-flight job checkpointed"
+
+# --- ... and a restart resumes it to the exact offline selection.
+"$BIN" "${SERVE_ARGS[@]}" 2>"$SMOKE_DIR/serve2.log" &
+SERVE_PID=$!
+wait_ready
+"$BIN" submit --socket "$SOCK" --result smoke-long > "$SMOKE_DIR/served_long.txt"
+diff "$SMOKE_DIR/ref_long.txt" "$SMOKE_DIR/served_long.txt"
+"$BIN" submit --socket "$SOCK" --shutdown >/dev/null
+wait "$SERVE_PID"
+SERVE_PID=""
+echo "smoke_service: drained job resumed after restart and matches offline stream output"

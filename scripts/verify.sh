@@ -25,6 +25,12 @@ cargo test -q --workspace
 step smoke "checkpoint/resume smoke (seqpoint stream)"
 bash scripts/smoke_stream.sh target/release/seqpoint
 
+step service-smoke "service smoke (serve/submit/worker, SIGTERM drain + resume)"
+bash scripts/smoke_service.sh target/release/seqpoint
+
+step fmt "rustfmt (check)"
+cargo fmt --all --check
+
 step clippy "clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 

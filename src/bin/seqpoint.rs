@@ -8,6 +8,9 @@
 //! seqpoint baselines --log epoch.csv
 //! seqpoint project --log epoch.csv --restats new_hw_stats.csv
 //! seqpoint stream   --model gnmt --dataset iwslt15 --samples 20000 --shards 4
+//! seqpoint serve    --socket /tmp/sp.sock --state-dir /tmp/sp-state --jobs 2
+//! seqpoint submit   --socket /tmp/sp.sock --model gnmt --dataset iwslt15
+//! seqpoint worker   --socket /tmp/sp.sock
 //! ```
 
 use std::fs::File;
@@ -31,6 +34,14 @@ USAGE:
                      [--seed S] [--batch B] [--shards K] [--round R]
                      [--window W] [--unseen P] [--quant Q] [pipeline flags]
                      [--checkpoint FILE] [--checkpoint-every N] [--max-rounds M]
+  seqpoint serve     --socket PATH --state-dir DIR [--jobs N] [--queue-cap N]
+                     [--placement thread|subprocess] [--workers N]
+  seqpoint submit    --socket PATH --model <...> --dataset <...>
+                     [stream flags] [--job ID] [--max-rounds M]
+                     [--throttle-ms MS] [--detach]
+  seqpoint submit    --socket PATH (--ping | --status ID | --result ID |
+                     --cancel ID | --shutdown)
+  seqpoint worker    --socket PATH
 
 `stream` profiles a steady-state (shuffled) epoch with K worker shards,
 stops measuring once the SL space saturates (no new SL bucket within W
@@ -46,7 +57,24 @@ with the exact selection of an uninterrupted one. --max-rounds M stops
 after M rounds in this invocation (writing the checkpoint), simulating
 preemption for tests and batch schedulers.
 
+`serve` runs the async profiling service: jobs arrive as NDJSON over the
+Unix socket, wait in a bounded queue (submissions beyond --queue-cap are
+rejected with backpressure), and execute on --jobs concurrent runners.
+Every round checkpoints into --state-dir; SIGTERM (or `submit
+--shutdown`) drains gracefully and a restart resumes unfinished jobs
+with bit-identical results. --placement subprocess spawns --workers
+`seqpoint worker` processes and ships shard chunks to them over the
+socket, exchanging checkpoint-format shard state — the single-machine
+proof of multi-node placement (a dead worker is respawned and its job
+resumes from the last per-round checkpoint).
+
+`submit` is the client: by default it submits and blocks for the result,
+which is byte-identical to `seqpoint stream` with the same flags.
+
 Epoch-log CSV format: one `seq_len,stat` pair per line (header optional).";
+
+/// Flags that take no value.
+const BOOL_FLAGS: &[&str] = &["detach", "ping", "shutdown"];
 
 struct Flags {
     args: Vec<(String, String)>,
@@ -60,6 +88,10 @@ impl Flags {
             let Some(name) = flag.strip_prefix("--") else {
                 return Err(CliError::Usage(format!("unexpected argument `{flag}`")));
             };
+            if BOOL_FLAGS.contains(&name) {
+                args.push((name.to_owned(), String::from("true")));
+                continue;
+            }
             let value = it
                 .next()
                 .ok_or_else(|| CliError::Usage(format!("--{name} needs a value")))?;
@@ -161,16 +193,72 @@ fn run() -> Result<String, CliError> {
                 checkpoint.as_ref(),
             )
         }
+        "serve" => {
+            let args = cli::ServeArgs {
+                socket: flags.required("socket")?.into(),
+                state_dir: flags.required("state-dir")?.into(),
+                jobs: flags.num("jobs", 2usize)?,
+                queue_cap: flags.num("queue-cap", 16usize)?,
+                placement: flags.get("placement").unwrap_or("thread").to_owned(),
+                workers: flags.num("workers", 2usize)?,
+            };
+            cli::serve(&args)
+        }
+        "worker" => cli::worker(std::path::Path::new(flags.required("socket")?)),
+        "submit" => {
+            let socket = std::path::PathBuf::from(flags.required("socket")?);
+            let action = if flags.get("ping").is_some() {
+                cli::SubmitAction::Ping
+            } else if flags.get("shutdown").is_some() {
+                cli::SubmitAction::Shutdown
+            } else if let Some(job) = flags.get("status") {
+                cli::SubmitAction::Status(job.to_owned())
+            } else if let Some(job) = flags.get("result") {
+                cli::SubmitAction::Result(job.to_owned())
+            } else if let Some(job) = flags.get("cancel") {
+                cli::SubmitAction::Cancel(job.to_owned())
+            } else {
+                let spec = seqpoint::seqpoint_core::protocol::JobSpec {
+                    model: flags.required("model")?.to_owned(),
+                    dataset: flags.required("dataset")?.to_owned(),
+                    samples: flags.num("samples", 20_000u64)?,
+                    config: flags.num("config", 1u32)?,
+                    seed: flags.num("seed", 7u64)?,
+                    batch: flags.num("batch", 64u32)?,
+                    shards: flags.num("shards", 4u32)?,
+                    round_len: flags.num("round", 64u32)?,
+                    stream: seqpoint::seqpoint_core::stream::StreamConfig {
+                        saturation_window: flags.num("window", 256u64)?,
+                        unseen_threshold: flags.num("unseen", 0.05f64)?,
+                        quantization: flags.num("quant", 8u32)?,
+                        pipeline: pipeline_config(&flags)?,
+                    },
+                    max_rounds: if flags.get("max-rounds").is_some() {
+                        Some(flags.num("max-rounds", 0u64)?)
+                    } else {
+                        None
+                    },
+                    throttle_ms: flags.num("throttle-ms", 0u64)?,
+                };
+                cli::SubmitAction::Job {
+                    job: flags.get("job").map(str::to_owned),
+                    spec,
+                    detach: flags.get("detach").is_some(),
+                }
+            };
+            cli::submit(&socket, action)
+        }
         "identify" => cli::identify(&open_log(&flags)?, pipeline_config(&flags)?),
         "baselines" => cli::baselines(&open_log(&flags)?, pipeline_config(&flags)?),
         "project" => {
-            let restats = cli::parse_sl_stats(BufReader::new(File::open(
-                flags.required("restats")?,
-            )?))?;
+            let restats =
+                cli::parse_sl_stats(BufReader::new(File::open(flags.required("restats")?)?))?;
             cli::project(&open_log(&flags)?, &restats, pipeline_config(&flags)?)
         }
         "--help" | "-h" | "help" => Ok(USAGE.to_owned()),
-        other => Err(CliError::Usage(format!("unknown command `{other}`\n\n{USAGE}"))),
+        other => Err(CliError::Usage(format!(
+            "unknown command `{other}`\n\n{USAGE}"
+        ))),
     }
 }
 

@@ -15,15 +15,26 @@
 //! * `project` — combine an identified SeqPoint set with re-profiled
 //!   per-SL statistics to project a whole-epoch total;
 //! * `stream` — profile a steady-state epoch in streaming mode: sharded
-//!   workers, saturation early stop, selection on streamed counts.
+//!   workers, saturation early stop, selection on streamed counts;
+//! * `serve` — run the async profiling service: accept jobs over a Unix
+//!   socket, dispatch rounds to thread or subprocess workers, drain
+//!   gracefully on SIGTERM (checkpointing in-flight jobs);
+//! * `submit` — client for `serve`: submit jobs, query
+//!   status/result/cancel, ping, or request a drain;
+//! * `worker` — subprocess shard executor that serves rounds for
+//!   `serve --placement subprocess`.
 
 use std::fmt::Write as _;
 use std::io::BufRead;
+use std::path::PathBuf;
+
+use seqpoint_core::protocol::{JobSpec, Request, Response};
+use seqpoint_service::client::Client;
+use seqpoint_service::{Placement, ServeConfig};
 
 use gpu_sim::{Device, GpuConfig};
 use seqpoint_core::stats::relative_error_pct;
 use seqpoint_core::{BaselineKind, EpochLog, SeqPointConfig, SeqPointPipeline};
-use sqnn::models;
 use sqnn::Network;
 use sqnn_data::{BatchPolicy, Corpus, EpochPlan};
 use sqnn_profiler::stream::{
@@ -134,47 +145,25 @@ pub fn parse_sl_stats(
         .collect())
 }
 
-/// Resolve a bundled model by name.
+/// Resolve a bundled model by name (delegates to the service's
+/// resolver so the CLI and served jobs can never drift apart).
 ///
 /// # Errors
 ///
 /// [`CliError::Usage`] for an unknown name.
 pub fn model_by_name(name: &str) -> Result<Network, CliError> {
-    match name {
-        "gnmt" => Ok(models::gnmt()),
-        "ds2" => Ok(models::ds2()),
-        "cnn" => Ok(models::cnn_reference()),
-        "transformer" => Ok(models::transformer_base()),
-        "convs2s" => Ok(models::conv_s2s()),
-        "seq2seq" => Ok(models::seq2seq()),
-        other => Err(CliError::Usage(format!(
-            "unknown model `{other}` (expected gnmt|ds2|cnn|transformer|convs2s|seq2seq)"
-        ))),
-    }
+    seqpoint_service::spec::model_by_name(name).map_err(|e| CliError::Usage(e.to_string()))
 }
 
-/// Resolve a bundled dataset by name at the given sample count.
+/// Resolve a bundled dataset by name at the given sample count
+/// (delegates to the service's resolver).
 ///
 /// # Errors
 ///
 /// [`CliError::Usage`] for an unknown name.
 pub fn corpus_by_name(name: &str, samples: usize, seed: u64) -> Result<Corpus, CliError> {
-    match name {
-        "iwslt15" => Ok(Corpus::iwslt15_like(samples, seed)),
-        "wmt16" => Ok(Corpus::wmt16_like(samples as f64 / 4_500_000.0, seed)),
-        "librispeech100" => {
-            let full = Corpus::librispeech100_like(seed);
-            let n = samples.min(full.len());
-            Ok(Corpus::from_lengths(
-                "librispeech100-like",
-                full.lengths()[..n].to_vec(),
-                full.vocab_size(),
-            ))
-        }
-        other => Err(CliError::Usage(format!(
-            "unknown dataset `{other}` (expected iwslt15|wmt16|librispeech100)"
-        ))),
-    }
+    seqpoint_service::spec::corpus_by_name(name, samples, seed)
+        .map_err(|e| CliError::Usage(e.to_string()))
 }
 
 /// `simulate`: profile one epoch and render the log as CSV.
@@ -191,7 +180,9 @@ pub fn simulate(
     seed: u64,
 ) -> Result<String, CliError> {
     if !(1..=5).contains(&config_no) {
-        return Err(CliError::Usage("config must be 1..=5 (Table II)".to_owned()));
+        return Err(CliError::Usage(
+            "config must be 1..=5 (Table II)".to_owned(),
+        ));
     }
     let network = model_by_name(model)?;
     let corpus = corpus_by_name(dataset, samples, seed)?;
@@ -242,7 +233,9 @@ pub fn stream(
     checkpoint: Option<&CheckpointOptions>,
 ) -> Result<String, CliError> {
     if !(1..=5).contains(&config_no) {
-        return Err(CliError::Usage("config must be 1..=5 (Table II)".to_owned()));
+        return Err(CliError::Usage(
+            "config must be 1..=5 (Table II)".to_owned(),
+        ));
     }
     if batch == 0 {
         return Err(CliError::Usage("--batch must be positive".to_owned()));
@@ -280,37 +273,14 @@ pub fn stream(
         )
         .map_err(lib_err)?,
     };
-    let selection = &streamed.selection;
-    let analysis = selection.analysis();
-    let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "# streaming selection: {model} on {dataset} (config {config_no}), {} shards",
-        streamed.shards
-    );
-    let _ = writeln!(out, "iterations_total,{}", selection.iterations_total());
-    let _ = writeln!(out, "iterations_measured,{}", selection.iterations_measured());
-    let _ = writeln!(out, "iterations_skipped,{}", selection.iterations_skipped());
-    let _ = writeln!(out, "logging_speedup,{:.2}", selection.logging_speedup());
-    let _ = writeln!(out, "early_stopped,{}", selection.early_stopped());
-    let _ = writeln!(out, "unseen_probability,{:.4}", selection.unseen_probability());
-    let _ = writeln!(out, "profiled_serial_s,{:.6}", streamed.profiled_serial_s);
-    let _ = writeln!(out, "profiled_wall_s,{:.6}", streamed.profiled_wall_s);
-    let _ = writeln!(out, "shard_speedup,{:.2}", streamed.shard_speedup());
-    let _ = writeln!(
-        out,
-        "# {} SeqPoints for {} iterations ({} unique SLs), k={}, self error {:.4}%",
-        analysis.seqpoints().len(),
-        analysis.iterations(),
-        analysis.unique_sls(),
-        analysis.k(),
-        analysis.self_error_pct()
-    );
-    let _ = writeln!(out, "seq_len,weight,stat");
-    for p in analysis.seqpoints().points() {
-        let _ = writeln!(out, "{},{},{}", p.seq_len, p.weight, p.stat);
-    }
-    Ok(out)
+    // The one renderer, shared with the service: `seqpoint submit`
+    // results diff clean against this command's output.
+    Ok(seqpoint_service::spec::render_streamed(
+        model,
+        dataset,
+        config_no as u32,
+        &streamed,
+    ))
 }
 
 /// `identify`: run the pipeline and render the SeqPoints.
@@ -350,7 +320,8 @@ pub fn baselines(log: &EpochLog, config: SeqPointConfig) -> Result<String, CliEr
     for kind in BaselineKind::paper_set() {
         let sel = kind.select(log).map_err(lib_err)?;
         let pred = sel.project_total_with(|sl| {
-            log.mean_stat_of(sl).expect("selection SLs come from the log")
+            log.mean_stat_of(sl)
+                .expect("selection SLs come from the log")
         });
         let _ = writeln!(
             out,
@@ -399,13 +370,158 @@ pub fn project(
             "re-profiled stats missing SeqPoint SLs {missing:?}"
         )));
     }
-    let projected = analysis
-        .seqpoints()
-        .project_total_with(|sl| restats[&sl]);
+    let projected = analysis.seqpoints().project_total_with(|sl| restats[&sl]);
     Ok(format!(
         "projected_total,{projected:.6}\nseqpoints,{}\n",
         analysis.seqpoints().len()
     ))
+}
+
+/// Arguments of the `serve` subcommand.
+pub struct ServeArgs {
+    /// Unix socket to listen on.
+    pub socket: PathBuf,
+    /// Directory for specs, checkpoints, and results.
+    pub state_dir: PathBuf,
+    /// Concurrent job slots.
+    pub jobs: usize,
+    /// Bounded queue capacity.
+    pub queue_cap: usize,
+    /// `thread` or `subprocess`.
+    pub placement: String,
+    /// Worker processes under subprocess placement.
+    pub workers: usize,
+}
+
+/// `serve`: run the async profiling service until SIGTERM/SIGINT or a
+/// protocol `Shutdown` drains it (in-flight jobs checkpoint and resume
+/// on the next start).
+///
+/// # Errors
+///
+/// Usage errors for an unknown placement; library errors from socket or
+/// state-dir setup.
+pub fn serve(args: &ServeArgs) -> Result<String, CliError> {
+    let placement = match args.placement.as_str() {
+        "thread" | "threads" => Placement::Threads,
+        "subprocess" => Placement::Subprocess {
+            workers: args.workers,
+        },
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown placement `{other}` (expected thread|subprocess)"
+            )))
+        }
+    };
+    seqpoint_service::serve(ServeConfig {
+        socket: args.socket.clone(),
+        state_dir: args.state_dir.clone(),
+        job_slots: args.jobs,
+        queue_cap: args.queue_cap,
+        placement,
+        worker_exe: None,
+    })
+    .map_err(lib_err)?;
+    Ok(String::new())
+}
+
+/// `worker`: serve shard rounds for a `seqpoint serve --placement
+/// subprocess` daemon until the server releases the connection.
+///
+/// # Errors
+///
+/// Library errors when the socket is unreachable or breaks.
+pub fn worker(socket: &std::path::Path) -> Result<String, CliError> {
+    seqpoint_service::worker::run_worker(socket).map_err(lib_err)?;
+    Ok(String::new())
+}
+
+/// What `submit` should do on the socket.
+pub enum SubmitAction {
+    /// Submit a job; unless `detach`, block for and print its result.
+    Job {
+        /// Client-chosen job id (server assigns `job-<n>` otherwise).
+        job: Option<String>,
+        /// The job to run.
+        spec: JobSpec,
+        /// Print `submitted,<id>` instead of waiting.
+        detach: bool,
+    },
+    /// Liveness/stats probe.
+    Ping,
+    /// Print a job's lifecycle state.
+    Status(String),
+    /// Block for and print a job's result.
+    Result(String),
+    /// Cancel a job.
+    Cancel(String),
+    /// Ask the server to drain.
+    Shutdown,
+}
+
+/// `submit`: the scripting client of `seqpoint serve`.
+///
+/// Job results print byte-identically to `seqpoint stream` on the same
+/// spec; queries print one `,`-separated line each (`pong,…`,
+/// `<job>,<state>,<detail>`, `cancelled,<job>`, `shutting-down`).
+///
+/// # Errors
+///
+/// Library errors for unreachable sockets, rejected submissions
+/// (backpressure), failed/cancelled jobs, and unknown job ids.
+pub fn submit(socket: &std::path::Path, action: SubmitAction) -> Result<String, CliError> {
+    let mut client = Client::connect(socket).map_err(lib_err)?;
+    let unexpected =
+        |response: Response| CliError::Library(format!("unexpected server response: {response:?}"));
+    match action {
+        SubmitAction::Job { job, spec, detach } => {
+            let id = client.submit(job, spec).map_err(lib_err)?;
+            if detach {
+                Ok(format!("submitted,{id}\n"))
+            } else {
+                client.wait_result(&id).map_err(lib_err)
+            }
+        }
+        SubmitAction::Ping => match client.request(&Request::Ping).map_err(lib_err)? {
+            Response::Pong {
+                version,
+                queued,
+                running,
+                workers,
+            } => {
+                let workers = workers
+                    .iter()
+                    .map(u64::to_string)
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                Ok(format!(
+                    "pong,version={version},queued={queued},running={running},workers={workers}\n"
+                ))
+            }
+            other => Err(unexpected(other)),
+        },
+        SubmitAction::Status(job) => {
+            match client.request(&Request::Status { job }).map_err(lib_err)? {
+                Response::Status { job, state, detail } => {
+                    Ok(format!("{job},{},{detail}\n", state.label()))
+                }
+                Response::Error { reason } => Err(CliError::Library(reason)),
+                other => Err(unexpected(other)),
+            }
+        }
+        SubmitAction::Result(job) => client.wait_result(&job).map_err(lib_err),
+        SubmitAction::Cancel(job) => {
+            match client.request(&Request::Cancel { job }).map_err(lib_err)? {
+                Response::Cancelled { job } => Ok(format!("cancelled,{job}\n")),
+                Response::Error { reason } => Err(CliError::Library(reason)),
+                other => Err(unexpected(other)),
+            }
+        }
+        SubmitAction::Shutdown => match client.request(&Request::Shutdown).map_err(lib_err)? {
+            Response::ShuttingDown => Ok("shutting-down\n".to_owned()),
+            other => Err(unexpected(other)),
+        },
+    }
 }
 
 #[cfg(test)]
@@ -536,8 +652,7 @@ mod tests {
             },
             ..StreamOptions::default()
         };
-        let reference =
-            stream("gnmt", "iwslt15", 6_000, 1, 20, 16, &options, None).unwrap();
+        let reference = stream("gnmt", "iwslt15", 6_000, 1, 20, 16, &options, None).unwrap();
 
         let mut path = std::env::temp_dir();
         path.push(format!("seqpoint-cli-ckpt-{}.json", std::process::id()));
@@ -604,9 +719,18 @@ mod tests {
 
     #[test]
     fn simulate_validates_inputs() {
-        assert!(matches!(simulate("nope", "iwslt15", 100, 1, 0), Err(CliError::Usage(_))));
-        assert!(matches!(simulate("gnmt", "nope", 100, 1, 0), Err(CliError::Usage(_))));
-        assert!(matches!(simulate("gnmt", "iwslt15", 100, 9, 0), Err(CliError::Usage(_))));
+        assert!(matches!(
+            simulate("nope", "iwslt15", 100, 1, 0),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            simulate("gnmt", "nope", 100, 1, 0),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            simulate("gnmt", "iwslt15", 100, 9, 0),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

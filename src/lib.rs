@@ -18,6 +18,9 @@
 //!   dataset and a simulated device into per-iteration epoch logs.
 //! * [`seqpoint_experiments`] — drivers regenerating every table and figure
 //!   of the paper's evaluation.
+//! * [`seqpoint_service`] — the async profiling service behind
+//!   `seqpoint serve`/`submit`/`worker`: a Unix-socket job queue with
+//!   multi-worker shard placement and checkpoint-based drain/resume.
 //!
 //! ## Quickstart
 //!
@@ -44,6 +47,7 @@
 pub use gpu_sim;
 pub use seqpoint_core;
 pub use seqpoint_experiments;
+pub use seqpoint_service;
 pub use sqnn;
 pub use sqnn_data;
 pub use sqnn_profiler;

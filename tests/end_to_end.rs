@@ -18,7 +18,9 @@ fn projection_error_pct(
     // (identification error compounds into cross-config error, so the
     // default 1% `e` admits a few percent of projection drift).
     let base = Device::new(configs[0].clone());
-    let profile = profiler.profile_epoch(net, &plan, &base).expect("plan non-empty");
+    let profile = profiler
+        .profile_epoch(net, &plan, &base)
+        .expect("plan non-empty");
     let analysis = SeqPointPipeline::with_config(SeqPointConfig {
         error_threshold_pct: 0.05,
         max_k: 64,
@@ -43,15 +45,17 @@ fn projection_error_pct(
             .expect("reprofiled")
             .time_s
     });
-    (points.len(), ((projected - measured) / measured).abs() * 100.0)
+    (
+        points.len(),
+        ((projected - measured) / measured).abs() * 100.0,
+    )
 }
 
 #[test]
 fn gnmt_cross_config_projection_is_accurate() {
     let corpus = Corpus::iwslt15_like(8_000, 42);
     // Config #2 (clock scaling) projects sub-percent …
-    let (points, err) =
-        projection_error_pct(&gnmt(), &corpus, BatchPolicy::bucketed(64, 16), 1);
+    let (points, err) = projection_error_pct(&gnmt(), &corpus, BatchPolicy::bucketed(64, 16), 1);
     assert!(err < 0.5, "config #2 error = {err}%");
     assert!(points <= 25, "{points} points");
     // … while config #3 (quarter CUs) is the harshest target: its uplift
@@ -76,8 +80,12 @@ fn transformer_also_works_end_to_end() {
     let corpus = Corpus::iwslt15_like(3_000, 42);
     // Config #3 (quarter CUs) is the harshest projection target — see the
     // GNMT test above, which bounds it at 5% for the same reason.
-    let (points, err) =
-        projection_error_pct(&transformer_base(), &corpus, BatchPolicy::bucketed(64, 16), 2);
+    let (points, err) = projection_error_pct(
+        &transformer_base(),
+        &corpus,
+        BatchPolicy::bucketed(64, 16),
+        2,
+    );
     assert!(err < 5.0, "error = {err}%");
     assert!(points >= 3);
 }
@@ -88,8 +96,12 @@ fn whole_workflow_is_deterministic() {
         let corpus = Corpus::iwslt15_like(2_000, 9);
         let plan = EpochPlan::new(&corpus, BatchPolicy::bucketed(64, 16), 9).unwrap();
         let device = Device::new(GpuConfig::vega_fe());
-        let profile = Profiler::new().profile_epoch(&gnmt(), &plan, &device).unwrap();
-        let analysis = SeqPointPipeline::new().run(&profile.to_epoch_log()).unwrap();
+        let profile = Profiler::new()
+            .profile_epoch(&gnmt(), &plan, &device)
+            .unwrap();
+        let analysis = SeqPointPipeline::new()
+            .run(&profile.to_epoch_log())
+            .unwrap();
         (
             profile.training_time_s(),
             analysis.seqpoints().seq_lens(),

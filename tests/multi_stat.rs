@@ -24,17 +24,21 @@ fn multi_stat_projection_from_runtime_seqpoints() {
     ];
     let mut log = MultiStatLog::new(kinds.iter().map(|k| k.label())).unwrap();
     for it in profile.iterations() {
-        log.push(it.seq_len, kinds.iter().map(|&k| it.stat(k))).unwrap();
+        log.push(it.seq_len, kinds.iter().map(|&k| it.stat(k)))
+            .unwrap();
     }
 
     let analysis = log
-        .analyze_with_primary(0, seqpoint::seqpoint_core::SeqPointConfig {
-            error_threshold_pct: 0.05,
-            // The 0.05% identification target needs more than 64 bins on
-            // this corpus draw; give refinement room to converge.
-            max_k: 256,
-            ..Default::default()
-        })
+        .analyze_with_primary(
+            0,
+            seqpoint::seqpoint_core::SeqPointConfig {
+                error_threshold_pct: 0.05,
+                // The 0.05% identification target needs more than 64 bins on
+                // this corpus draw; give refinement room to converge.
+                max_k: 256,
+                ..Default::default()
+            },
+        )
         .unwrap();
     for (name, err) in analysis.errors() {
         assert!(*err < 3.0, "{name}: {err}%");
@@ -60,9 +64,7 @@ fn energy_totals_track_runtime_totals_across_configs() {
         .profile_epoch(&net, &plan, &Device::new(configs[1].clone()))
         .unwrap();
     let time_ratio = slow.training_time_s() / base.training_time_s();
-    let energy = |p: &EpochProfile| -> f64 {
-        p.iterations().iter().map(|i| i.energy_j).sum()
-    };
+    let energy = |p: &EpochProfile| -> f64 { p.iterations().iter().map(|i| i.energy_j).sum() };
     let energy_ratio = energy(&slow) / energy(&base);
     assert!(time_ratio > 1.5, "clock halving must slow training");
     assert!(

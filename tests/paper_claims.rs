@@ -22,7 +22,9 @@ fn claim_sqnn_iterations_are_heterogeneous() {
     let cnn = cnn_reference();
     let fixed = Corpus::fixed_length("img", 224, 640);
     let cnn_plan = EpochPlan::new(&fixed, BatchPolicy::shuffled(64), 17).unwrap();
-    let cnn_profile = Profiler::new().profile_epoch(&cnn, &cnn_plan, &device).unwrap();
+    let cnn_profile = Profiler::new()
+        .profile_epoch(&cnn, &cnn_plan, &device)
+        .unwrap();
     let cnn_times: Vec<f64> = cnn_profile.iterations().iter().map(|i| i.time_s).collect();
     assert!(coefficient_of_variation_pct(&cnn_times) < 0.01);
 }
@@ -50,7 +52,9 @@ fn claim_few_seqpoints_cover_the_epoch() {
     let (net, plan) = gnmt_setup();
     let device = Device::new(GpuConfig::vega_fe());
     let profile = Profiler::new().profile_epoch(&net, &plan, &device).unwrap();
-    let analysis = SeqPointPipeline::new().run(&profile.to_epoch_log()).unwrap();
+    let analysis = SeqPointPipeline::new()
+        .run(&profile.to_epoch_log())
+        .unwrap();
     assert!(analysis.seqpoints().len() <= 16);
     assert_eq!(
         analysis.seqpoints().total_weight() as usize,
@@ -67,7 +71,9 @@ fn claim_seqpoints_profile_in_parallel() {
     let device = Device::new(GpuConfig::vega_fe());
     let profiler = Profiler::new();
     let profile = profiler.profile_epoch(&net, &plan, &device).unwrap();
-    let analysis = SeqPointPipeline::new().run(&profile.to_epoch_log()).unwrap();
+    let analysis = SeqPointPipeline::new()
+        .run(&profile.to_epoch_log())
+        .unwrap();
     let sls = analysis.seqpoints().seq_lens();
 
     let serial = profiler.profile_seq_lens(&net, 64, &sls, &device);

@@ -85,9 +85,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let label = format!("{}/{}", self.name, id.into().render());
-        run_one(&label, self.sample_size, &mut |b: &mut Bencher| {
-            f(b, input)
-        });
+        run_one(&label, self.sample_size, &mut |b: &mut Bencher| f(b, input));
         self
     }
 

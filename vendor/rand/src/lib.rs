@@ -179,8 +179,12 @@ impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 pub trait SampleUniform: Sized + PartialOrd {
     /// Draw uniformly from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`
     /// (`inclusive = true`). Bounds are assumed valid.
-    fn sample_between<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R)
-        -> Self;
+    fn sample_between<R: RngCore + ?Sized>(
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self;
 }
 
 macro_rules! impl_sample_uniform_int {

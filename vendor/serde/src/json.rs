@@ -93,7 +93,10 @@ fn write_f64(out: &mut String, f: f64) {
         out.push_str(&format!("{f:?}"));
     } else {
         // JSON has no NaN/Infinity literal: bit-exact hex fallback.
-        write_string(out, &format!("{}{:016x}", crate::F64_HEX_PREFIX, f.to_bits()));
+        write_string(
+            out,
+            &format!("{}{:016x}", crate::F64_HEX_PREFIX, f.to_bits()),
+        );
     }
 }
 
@@ -311,8 +314,7 @@ impl Parser<'_> {
         }
         let hex = std::str::from_utf8(&self.bytes[self.pos..end])
             .map_err(|_| self.fail("invalid \\u escape"))?;
-        let unit =
-            u32::from_str_radix(hex, 16).map_err(|_| self.fail("invalid \\u escape"))?;
+        let unit = u32::from_str_radix(hex, 16).map_err(|_| self.fail("invalid \\u escape"))?;
         self.pos = end;
         Ok(unit)
     }
@@ -333,8 +335,8 @@ impl Parser<'_> {
                 _ => break,
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number bytes are ASCII");
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
         if !is_float {
             if let Some(digits) = text.strip_prefix('-') {
                 if let Ok(n) = digits.parse::<u64>() {
@@ -430,8 +432,17 @@ mod tests {
     #[test]
     fn malformed_inputs_error() {
         for bad in [
-            "", "{", "[1,", "\"abc", "{\"a\":}", "01a", "nul", "[1 2]", "1 2",
-            "{\"a\" 1}", "\"\\q\"",
+            "",
+            "{",
+            "[1,",
+            "\"abc",
+            "{\"a\":}",
+            "01a",
+            "nul",
+            "[1 2]",
+            "1 2",
+            "{\"a\" 1}",
+            "\"\\q\"",
         ] {
             assert!(parse(bad).is_err(), "`{bad}` should not parse");
         }

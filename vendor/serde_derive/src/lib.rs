@@ -50,9 +50,9 @@ fn expand(input: TokenStream, mode: Mode) -> TokenStream {
         Err(message) => Err(message),
     };
     match code {
-        Ok(code) => code
-            .parse()
-            .unwrap_or_else(|e| error_tokens(&format!("serde_derive shim generated invalid code: {e}"))),
+        Ok(code) => code.parse().unwrap_or_else(|e| {
+            error_tokens(&format!("serde_derive shim generated invalid code: {e}"))
+        }),
         Err(message) => error_tokens(&message),
     }
 }
@@ -164,7 +164,9 @@ impl Cursor {
                 let name = i.to_string();
                 Ok(name.strip_prefix("r#").unwrap_or(&name).to_owned())
             }
-            other => Err(format!("serde shim derive: expected identifier, found {other:?}")),
+            other => Err(format!(
+                "serde shim derive: expected identifier, found {other:?}"
+            )),
         }
     }
 
