@@ -28,7 +28,9 @@ use crate::CoreError;
 
 /// Version of the request/response vocabulary. Servers reject lines
 /// whose semantics they cannot honor; bumped on breaking changes.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// Version 2 added the [`Request::Hello`]/[`Response::Welcome`]
+/// handshake that carries the TCP auth token and version check.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Everything that defines one profiling/selection job: the workload
 /// (model × dataset × scale × batch), the device configuration, and the
@@ -162,6 +164,20 @@ impl JobState {
 /// One client → server line.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Request {
+    /// Open a connection: declare the protocol version and present the
+    /// shared-secret token. Mandatory as the **first** frame on a TCP
+    /// connection (any other frame gets one error line and a close);
+    /// optional on a Unix socket, where filesystem permissions already
+    /// gate access. Answered by [`Response::Welcome`] or
+    /// [`Response::Error`].
+    Hello {
+        /// The client's [`PROTOCOL_VERSION`]; mismatches are rejected.
+        version: u32,
+        /// The shared secret from `--token-file` (constant-time
+        /// compared by the server), if the client has one.
+        #[serde(default)]
+        token: Option<String>,
+    },
     /// Liveness/stats probe.
     Ping,
     /// Enqueue a job. `job` names it (idempotent resubmission across
@@ -204,6 +220,12 @@ pub enum Request {
 /// One server → client line.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Response {
+    /// Answer to a successful [`Request::Hello`]: the connection is
+    /// authenticated (where required) and may issue requests.
+    Welcome {
+        /// The server's [`PROTOCOL_VERSION`].
+        version: u32,
+    },
     /// Answer to [`Request::Ping`].
     Pong {
         /// The server's [`PROTOCOL_VERSION`].
@@ -370,6 +392,30 @@ mod tests {
         assert!(decode_frame::<Request>("{\"Nope\":{}}").is_err());
         // A request whose variant exists but whose payload is malformed.
         assert!(decode_frame::<Request>("{\"Status\":{}}").is_err());
+    }
+
+    #[test]
+    fn hello_handshake_round_trips_and_token_defaults_to_none() {
+        let hello = Request::Hello {
+            version: PROTOCOL_VERSION,
+            token: Some("s3cret".to_owned()),
+        };
+        let back: Request = decode_frame(&encode_frame(&hello)).unwrap();
+        assert_eq!(back, hello);
+        // A tokenless hello (Unix-socket handshake) may omit the field.
+        let bare: Request = decode_frame("{\"Hello\":{\"version\":2}}").unwrap();
+        assert_eq!(
+            bare,
+            Request::Hello {
+                version: 2,
+                token: None
+            }
+        );
+        let welcome = Response::Welcome {
+            version: PROTOCOL_VERSION,
+        };
+        let back: Response = decode_frame(&encode_frame(&welcome)).unwrap();
+        assert_eq!(back, welcome);
     }
 
     #[test]

@@ -103,7 +103,7 @@ fn arb_state() -> impl Strategy<Value = JobState> {
 }
 
 fn arb_request() -> impl Strategy<Value = Request> {
-    ((0u32..7, arb_id(), 0u64..1 << 22), arb_spec()).prop_map(|((variant, job, pid), spec)| {
+    ((0u32..9, arb_id(), 0u64..1 << 22), arb_spec()).prop_map(|((variant, job, pid), spec)| {
         match variant {
             0 => Request::Ping,
             1 => Request::Shutdown,
@@ -118,6 +118,10 @@ fn arb_request() -> impl Strategy<Value = Request> {
                 wait: pid % 2 == 0,
             },
             6 => Request::Cancel { job },
+            7 => Request::Hello {
+                version: (pid & 0xFF) as u32,
+                token: if pid % 2 == 0 { Some(job) } else { None },
+            },
             _ => Request::WorkerHello { pid },
         }
     })
@@ -125,7 +129,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
 
 fn arb_response() -> impl Strategy<Value = Response> {
     (
-        (0u32..9, arb_id(), arb_text()),
+        (0u32..10, arb_id(), arb_text()),
         (1u32..5, 0u64..50, 0u64..50),
         proptest::collection::vec(0u64..1 << 22, 0..5),
         arb_state(),
@@ -139,6 +143,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
                     running,
                     workers,
                 },
+                9 => Response::Welcome { version },
                 2 => Response::Submitted { job },
                 3 => Response::Rejected { reason: text },
                 4 => Response::Status {

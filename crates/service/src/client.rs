@@ -1,60 +1,199 @@
 //! Client side of the service protocol: what `seqpoint submit` (and the
-//! tests) use to talk to a running `seqpoint serve`.
+//! tests) use to talk to a running `seqpoint serve`, over a Unix socket
+//! or TCP.
+//!
+//! Every connection carries read/write timeouts (generous by default,
+//! configurable via [`ClientOptions::io_timeout`]) so a stalled or
+//! wedged daemon fails a request with an error instead of hanging the
+//! caller forever. TCP connections (and any connection given a token)
+//! open with a `Hello` handshake that presents the shared secret and
+//! checks protocol versions before the first real request.
 
 use std::io::{BufRead, BufReader, Write};
-use std::os::unix::net::UnixStream;
 use std::path::Path;
 use std::time::{Duration, Instant};
 
 use seqpoint_core::protocol::{decode_frame, encode_frame, JobSpec, Request, Response};
 
+use crate::transport::{client_handshake, Endpoint, Stream};
 use crate::ServiceError;
+
+/// How a [`Client`] connects: credentials and patience.
+#[derive(Debug, Clone)]
+pub struct ClientOptions {
+    /// Shared-secret token presented in the `Hello` handshake. Required
+    /// for TCP endpoints (the server refuses unauthenticated TCP
+    /// connections); optional and ignored by the server on Unix
+    /// sockets.
+    pub token: Option<String>,
+    /// Per-operation socket read/write timeout. `None` blocks forever
+    /// (the pre-timeout behavior). The default is deliberately generous
+    /// — a blocking `wait_result` legitimately idles until the job
+    /// finishes — but finite, so a wedged daemon cannot hang a script
+    /// indefinitely.
+    pub io_timeout: Option<Duration>,
+}
+
+impl Default for ClientOptions {
+    fn default() -> Self {
+        ClientOptions {
+            token: None,
+            io_timeout: Some(Duration::from_secs(600)),
+        }
+    }
+}
+
+impl ClientOptions {
+    /// Options with a specific I/O timeout (`None` = block forever).
+    pub fn with_io_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.io_timeout = timeout;
+        self
+    }
+
+    /// Options presenting a token in the handshake.
+    pub fn with_token(mut self, token: impl Into<String>) -> Self {
+        self.token = Some(token.into());
+        self
+    }
+}
 
 /// A connected protocol client (one request in flight at a time).
 pub struct Client {
-    writer: UnixStream,
-    reader: BufReader<UnixStream>,
+    writer: Stream,
+    reader: BufReader<Stream>,
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("stream", &self.writer)
+            .finish()
+    }
 }
 
 impl Client {
-    /// Connect to a server socket.
+    /// Connect to a server's Unix socket with default options — the
+    /// local, tokenless fast path.
     ///
     /// # Errors
     ///
     /// [`ServiceError::Io`] when the socket does not exist or refuses.
     pub fn connect(socket: &Path) -> Result<Self, ServiceError> {
-        let stream = UnixStream::connect(socket)
-            .map_err(|e| ServiceError::io(format!("connecting to {}", socket.display()), &e))?;
+        Client::open(&Endpoint::unix(socket), &ClientOptions::default())
+    }
+
+    /// Connect to any endpoint, run the `Hello` handshake where one is
+    /// called for (TCP always; Unix when a token is supplied), and
+    /// return the ready client.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Io`] on connect/handshake transport failures,
+    /// [`ServiceError::Auth`] when the server refuses the token or the
+    /// protocol versions mismatch.
+    pub fn open(endpoint: &Endpoint, options: &ClientOptions) -> Result<Self, ServiceError> {
+        let stream = endpoint
+            .connect_timeout(options.io_timeout)
+            .map_err(|e| ServiceError::io(format!("connecting to {endpoint}"), &e))?;
+        stream
+            .set_read_timeout(options.io_timeout)
+            .map_err(|e| ServiceError::io("setting read timeout", &e))?;
+        stream
+            .set_write_timeout(options.io_timeout)
+            .map_err(|e| ServiceError::io("setting write timeout", &e))?;
         let reader = BufReader::new(
             stream
                 .try_clone()
                 .map_err(|e| ServiceError::io("cloning socket", &e))?,
         );
-        Ok(Client {
+        let mut client = Client {
             writer: stream,
             reader,
-        })
+        };
+        if endpoint.is_tcp() || options.token.is_some() {
+            client_handshake(
+                &mut client.writer,
+                &mut client.reader,
+                options.token.as_deref(),
+            )?;
+        }
+        Ok(client)
     }
 
-    /// Connect, retrying until the server answers a ping or `timeout`
-    /// elapses — for scripts that just started the daemon.
+    /// Connect to a Unix socket, retrying until the server answers a
+    /// ping or `timeout` elapses — for scripts that just started the
+    /// daemon.
     ///
     /// # Errors
     ///
-    /// [`ServiceError::Io`] when no server comes up in time.
+    /// [`ServiceError::Io`] when no server comes up in time; the message
+    /// carries the last underlying failure, not a bare "timed out".
     pub fn connect_ready(socket: &Path, timeout: Duration) -> Result<Self, ServiceError> {
+        Client::open_ready(&Endpoint::unix(socket), &ClientOptions::default(), timeout)
+    }
+
+    /// [`Client::open`] with retry: keep attempting connect + ping until
+    /// the server answers or `timeout` elapses. The deadline is checked
+    /// *before* each attempt (no attempt-sized overshoot), each
+    /// attempt's socket timeout is clamped to the time remaining (a
+    /// wedged server cannot pin the loop past its deadline), and the
+    /// error reports the last real failure.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Auth`] immediately on a refused token (retrying
+    /// cannot fix credentials); [`ServiceError::Io`] with the last
+    /// underlying error once the deadline passes.
+    pub fn open_ready(
+        endpoint: &Endpoint,
+        options: &ClientOptions,
+        timeout: Duration,
+    ) -> Result<Self, ServiceError> {
         let deadline = Instant::now() + timeout;
+        let mut last_error: Option<ServiceError> = None;
         loop {
-            if let Ok(mut client) = Client::connect(socket) {
-                if matches!(client.request(&Request::Ping), Ok(Response::Pong { .. })) {
-                    return Ok(client);
+            // At least one attempt always runs; after that, never start
+            // another past the deadline.
+            if let Some(err) = &last_error {
+                if Instant::now() >= deadline {
+                    return Err(ServiceError::Io {
+                        context: format!("waiting for server at {endpoint}"),
+                        message: format!("timed out after {timeout:?}; last error: {err}"),
+                    });
                 }
             }
-            if Instant::now() >= deadline {
-                return Err(ServiceError::Io {
-                    context: format!("waiting for server at {}", socket.display()),
-                    message: "timed out".to_owned(),
-                });
+            // Cap this attempt's socket patience at the time remaining,
+            // so one wedged connect/ping cannot blow through the
+            // deadline.
+            let remaining = deadline
+                .saturating_duration_since(Instant::now())
+                .max(Duration::from_millis(50));
+            let attempt_options = ClientOptions {
+                token: options.token.clone(),
+                io_timeout: Some(match options.io_timeout {
+                    Some(limit) => limit.min(remaining),
+                    None => remaining,
+                }),
+            };
+            match Client::open(endpoint, &attempt_options) {
+                Ok(mut client) => match client.request(&Request::Ping) {
+                    Ok(Response::Pong { .. }) => {
+                        // Restore the caller's configured patience for
+                        // the client's working life.
+                        let _ = client.writer.set_read_timeout(options.io_timeout);
+                        let _ = client.writer.set_write_timeout(options.io_timeout);
+                        return Ok(client);
+                    }
+                    Ok(other) => {
+                        last_error = Some(ServiceError::Protocol(format!(
+                            "unexpected pong: {other:?}"
+                        )));
+                    }
+                    Err(e) => last_error = Some(e),
+                },
+                // A refused token will not become valid by retrying.
+                Err(ServiceError::Auth(reason)) => return Err(ServiceError::Auth(reason)),
+                Err(e) => last_error = Some(e),
             }
             std::thread::sleep(Duration::from_millis(50));
         }
@@ -64,14 +203,22 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// [`ServiceError::Io`] on a broken connection,
+    /// [`ServiceError::Io`] on a broken or timed-out connection,
     /// [`ServiceError::Protocol`] on an undecodable response.
     pub fn request(&mut self, request: &Request) -> Result<Response, ServiceError> {
+        self.send(request)?;
+        self.read_response()
+    }
+
+    fn send(&mut self, request: &Request) -> Result<(), ServiceError> {
         let mut line = encode_frame(request);
         line.push('\n');
         self.writer
             .write_all(line.as_bytes())
-            .map_err(|e| ServiceError::io("sending request", &e))?;
+            .map_err(|e| ServiceError::io("sending request", &e))
+    }
+
+    fn read_response(&mut self) -> Result<Response, ServiceError> {
         let mut reply = String::new();
         let n = self
             .reader
@@ -107,15 +254,28 @@ impl Client {
 
     /// Block until the job is terminal and return its rendered output.
     ///
+    /// While the job runs, the server emits heartbeat `Status` frames
+    /// (every [`crate::ServeConfig::wait_heartbeat`]) that this loop
+    /// skips — so `io_timeout` bounds connection liveness, and a
+    /// healthy job of any duration never trips it.
+    ///
     /// # Errors
     ///
     /// [`ServiceError::Job`] when the job failed, was cancelled, or the
     /// server drained mid-wait.
     pub fn wait_result(&mut self, job: &str) -> Result<String, ServiceError> {
-        match self.request(&Request::Result {
+        self.send(&Request::Result {
             job: job.to_owned(),
             wait: true,
-        })? {
+        })?;
+        let response = loop {
+            match self.read_response()? {
+                // Heartbeat: the job is alive, keep waiting.
+                Response::Status { .. } => continue,
+                other => break other,
+            }
+        };
+        match response {
             Response::Result { output, .. } => Ok(output),
             Response::Failed { reason, .. } => Err(ServiceError::Job {
                 job: job.to_owned(),

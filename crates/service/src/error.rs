@@ -16,6 +16,9 @@ pub enum ServiceError {
     },
     /// A malformed or unexpected protocol frame.
     Protocol(String),
+    /// The server refused the connection handshake (missing or invalid
+    /// token, protocol version mismatch).
+    Auth(String),
     /// A job-level failure (unknown job, failed run, …).
     Job {
         /// The job id.
@@ -40,6 +43,7 @@ impl fmt::Display for ServiceError {
             ServiceError::Usage(msg) => write!(f, "{msg}"),
             ServiceError::Io { context, message } => write!(f, "{context}: {message}"),
             ServiceError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ServiceError::Auth(msg) => write!(f, "handshake refused: {msg}"),
             ServiceError::Job { job, message } => write!(f, "job `{job}`: {message}"),
         }
     }

@@ -20,7 +20,6 @@
 //! test pins end to end.
 
 use std::io::{BufRead, BufReader, Write};
-use std::os::unix::net::UnixStream;
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -30,11 +29,13 @@ use sqnn::IterationShape;
 use sqnn_profiler::stream::{RoundExecutor, ShardChunk, ShardReport};
 use sqnn_profiler::{IterationProfile, ProfileError};
 
+use crate::transport::Stream;
+
 /// One registered worker connection (the server side of a `seqpoint
-/// worker` socket).
+/// worker` socket — Unix or TCP; the pool does not care which).
 pub struct WorkerConn {
-    writer: UnixStream,
-    reader: BufReader<UnixStream>,
+    writer: Stream,
+    reader: BufReader<Stream>,
     /// The worker's process id, as announced in its hello.
     pub pid: u64,
 }
@@ -78,6 +79,14 @@ impl Default for WorkerPool {
     }
 }
 
+/// Upper bound on waiting for one shard-chunk reply. Replies normally
+/// arrive in well under a minute; the bound exists so a worker host
+/// that vanishes *silently* (power loss, network partition — no FIN or
+/// RST ever arrives, unlike a local SIGKILL) cannot wedge a runner slot
+/// and the daemon's drain forever. Hitting it poisons the round like
+/// any other worker loss: the job retries from its last checkpoint.
+const ROUND_RECV_TIMEOUT: Duration = Duration::from_secs(600);
+
 impl WorkerPool {
     /// An empty pool.
     pub fn new() -> Self {
@@ -92,7 +101,12 @@ impl WorkerPool {
 
     /// Register a connection that announced itself as a worker. Returns
     /// `false` (and closes the connection) when the pool is draining.
-    pub fn register(&self, stream: UnixStream, pid: u64) -> bool {
+    pub fn register(&self, stream: Stream, pid: u64) -> bool {
+        // The server only reads from a worker connection while a round
+        // reply is owed, so a permanent receive timeout is purely a
+        // liveness bound (see [`ROUND_RECV_TIMEOUT`]); idle pooled
+        // connections are never read.
+        let _ = stream.set_read_timeout(Some(ROUND_RECV_TIMEOUT));
         let reader = match stream.try_clone() {
             Ok(clone) => BufReader::new(clone),
             Err(_) => return false,
@@ -395,18 +409,18 @@ mod tests {
         let pool = WorkerPool::new();
         pool.drain();
         assert!(pool.acquire(1, Duration::from_millis(10)).is_none());
-        let (a, _b) = UnixStream::pair().unwrap();
-        assert!(!pool.register(a, 1));
+        let (a, _b) = std::os::unix::net::UnixStream::pair().unwrap();
+        assert!(!pool.register(Stream::from(a), 1));
         assert!(pool.idle_pids().is_empty());
     }
 
     #[test]
     fn register_acquire_release_cycle() {
         let pool = WorkerPool::new();
-        let (a, _keep_a) = UnixStream::pair().unwrap();
-        let (b, _keep_b) = UnixStream::pair().unwrap();
-        assert!(pool.register(a, 11));
-        assert!(pool.register(b, 22));
+        let (a, _keep_a) = std::os::unix::net::UnixStream::pair().unwrap();
+        let (b, _keep_b) = std::os::unix::net::UnixStream::pair().unwrap();
+        assert!(pool.register(Stream::from(a), 11));
+        assert!(pool.register(Stream::from(b), 22));
         assert_eq!(pool.idle_pids(), vec![11, 22]);
         let conns = pool.acquire(5, Duration::from_millis(10)).unwrap();
         assert_eq!(conns.len(), 2, "acquire caps at availability");

@@ -2,10 +2,12 @@
 //!
 //! Turns the streaming SeqPoint selection library into a deployable
 //! system: a long-running daemon (`seqpoint serve`) accepts
-//! profiling/selection jobs over a Unix domain socket as
-//! newline-delimited JSON ([`seqpoint_core::protocol`]), holds them in a
-//! bounded queue with backpressure, and dispatches epoch rounds to a
-//! pool of placement-abstracted executors:
+//! profiling/selection jobs over a Unix domain socket — and, with
+//! `--tcp HOST:PORT` plus a shared-secret token, over TCP — as
+//! newline-delimited JSON ([`seqpoint_core::protocol`], framed by the
+//! [`transport`] abstraction), holds them in a bounded queue with
+//! backpressure, and dispatches epoch rounds to a pool of
+//! placement-abstracted executors:
 //!
 //! * **thread placement** — rounds run on
 //!   [`sqnn_profiler::stream::ThreadExecutor`], one scoped thread per
@@ -13,9 +15,10 @@
 //! * **subprocess placement** — rounds ship to `seqpoint worker`
 //!   processes ([`worker`]) over the same socket, each shard chunk's
 //!   result returning as serialized per-shard tracker state in the
-//!   **checkpoint interchange format** — the end-to-end proof of the
-//!   multi-node story on one machine (a TCP transport swaps in under
-//!   the same frames).
+//!   **checkpoint interchange format**. Workers may connect over the
+//!   Unix socket (spawned and supervised locally) *or* over TCP from
+//!   another machine (`seqpoint worker --connect HOST:PORT
+//!   --token-file FILE`) — placement is invisible to the selection.
 //!
 //! Jobs are crash- and drain-safe: every round persists a
 //! [`sqnn_profiler::stream::StreamCheckpoint`], SIGTERM checkpoints
@@ -31,7 +34,9 @@ mod error;
 pub mod executor;
 pub mod server;
 pub mod spec;
+pub mod transport;
 pub mod worker;
 
 pub use error::ServiceError;
 pub use server::{serve, Placement, ServeConfig};
+pub use transport::Endpoint;

@@ -1,14 +1,19 @@
-//! The `seqpoint serve` daemon: socket accept loop, bounded job queue,
-//! runner pool, worker supervision, and graceful drain.
+//! The `seqpoint serve` daemon: socket accept loop (Unix and optional
+//! token-gated TCP), bounded job queue, runner pool, worker
+//! supervision, terminal-job retention, and graceful drain.
 //!
 //! # Lifecycle
 //!
 //! * Startup scans the state directory and **recovers** every persisted
 //!   job: finished jobs reload their rendered output, unfinished ones
 //!   re-enter the queue and resume from their per-round checkpoints.
-//! * Clients connect and speak [`Request`]/[`Response`] NDJSON; workers
-//!   announce [`Request::WorkerHello`] and their connection moves into
-//!   the [`WorkerPool`].
+//!   The retention bound ([`ServeConfig::retain_jobs`]) is applied to
+//!   recovered terminal jobs too.
+//! * Clients connect — over the Unix socket or, authenticated by a
+//!   `Hello` token handshake, over TCP — and speak
+//!   [`Request`]/[`Response`] NDJSON; workers announce
+//!   [`Request::WorkerHello`] and their connection moves into the
+//!   [`WorkerPool`].
 //! * `job_slots` runner threads pop the queue and drive
 //!   [`sqnn_profiler::stream::profile_epoch_streaming_with`], with a
 //!   checkpoint written **every round** — so at most one round of work
@@ -20,13 +25,14 @@
 //!   bit-identical results.
 
 use std::collections::{HashMap, VecDeque};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpListener;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::process::{Command, Stdio};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, SystemTime};
 
 use seqpoint_core::protocol::{
     decode_frame, encode_frame, JobSpec, JobState, Request, Response, PROTOCOL_VERSION,
@@ -39,6 +45,7 @@ use sqnn_profiler::{ProfileError, Profiler};
 
 use crate::executor::{SubprocessExecutor, ThrottledExecutor, WorkerPool};
 use crate::spec::{render_streamed, resolve};
+use crate::transport::{token_matches, Listener, Stream};
 use crate::ServiceError;
 
 /// Process-wide SIGTERM/SIGINT latch. A handler may only do
@@ -93,6 +100,15 @@ pub enum Placement {
 pub struct ServeConfig {
     /// Unix socket path to listen on (created, removed on drain).
     pub socket: PathBuf,
+    /// Additional TCP listener (`host:port`; port 0 picks an ephemeral
+    /// port, written to `<state_dir>/serve.tcp` for scripts to read).
+    /// Requires `token`: every TCP connection must authenticate.
+    pub tcp: Option<String>,
+    /// Shared-secret token TCP connections must present in their
+    /// `Hello`/handshake (constant-time compared). Mandatory when `tcp`
+    /// is set; ignored for Unix-socket connections, which filesystem
+    /// permissions already gate.
+    pub token: Option<String>,
     /// Directory for job specs, checkpoints, and results.
     pub state_dir: PathBuf,
     /// Concurrent jobs (runner threads).
@@ -100,6 +116,17 @@ pub struct ServeConfig {
     /// Bounded queue capacity; submissions beyond it are rejected
     /// (backpressure).
     pub queue_cap: usize,
+    /// While a client blocks in `Result { wait: true }`, emit a
+    /// heartbeat `Status` frame this often so the client's read timeout
+    /// measures *connection* liveness, not job duration — a healthy
+    /// multi-hour job never trips a waiting client's timeout.
+    pub wait_heartbeat: Duration,
+    /// Keep at most this many terminal (done/failed/cancelled) jobs;
+    /// older ones are garbage-collected — in-memory entry, spec, and
+    /// result/error files — oldest-finished first. `None` retains
+    /// everything (the pre-retention behavior); recovery applies the
+    /// same bound before serving.
+    pub retain_jobs: Option<usize>,
     /// Shard placement for every job.
     pub placement: Placement,
     /// Binary to spawn for subprocess workers (defaults to the current
@@ -108,13 +135,18 @@ pub struct ServeConfig {
 }
 
 impl ServeConfig {
-    /// A thread-placement server with 2 job slots and a 16-job queue.
+    /// A thread-placement server with 2 job slots and a 16-job queue,
+    /// Unix socket only, unbounded retention.
     pub fn new(socket: impl Into<PathBuf>, state_dir: impl Into<PathBuf>) -> Self {
         ServeConfig {
             socket: socket.into(),
+            tcp: None,
+            token: None,
             state_dir: state_dir.into(),
             job_slots: 2,
             queue_cap: 16,
+            wait_heartbeat: Duration::from_secs(15),
+            retain_jobs: None,
             placement: Placement::Threads,
             worker_exe: None,
         }
@@ -133,6 +165,15 @@ struct JobEntry {
     /// scheduling attempts, so max_rounds preemptions never eat into
     /// the retry budget.
     executor_failures: u32,
+    /// Monotonic completion order stamp (0 = not terminal yet); the
+    /// retention GC evicts the lowest stamps first.
+    finish_seq: u64,
+    /// Clients currently blocked in a `Result { wait: true }` on this
+    /// job. The retention GC never evicts a job someone is waiting on —
+    /// otherwise a burst of completions could delete a result between
+    /// the job finishing and its waiter waking, turning success into
+    /// `unknown job`.
+    waiters: u32,
 }
 
 impl JobEntry {
@@ -146,6 +187,8 @@ impl JobEntry {
             cancel: Arc::new(AtomicBool::new(false)),
             attempts: 0,
             executor_failures: 0,
+            finish_seq: 0,
+            waiters: 0,
         }
     }
 }
@@ -158,6 +201,8 @@ struct Shared {
     queue_cv: Condvar,
     draining: AtomicBool,
     next_job: AtomicU64,
+    /// Source of [`JobEntry::finish_seq`] stamps (terminal-order clock).
+    finish_counter: AtomicU64,
     pool: WorkerPool,
     worker_pids: Mutex<Vec<u64>>,
 }
@@ -196,8 +241,64 @@ impl Shared {
             entry.state = state;
             entry.detail = detail.into();
         }
+        if state.is_terminal() {
+            self.stamp_terminal(&mut jobs, id);
+        }
         drop(jobs);
         self.jobs_cv.notify_all();
+    }
+
+    /// Stamp a job that just reached a terminal state with its
+    /// completion-order sequence number, then apply the retention bound.
+    /// Must run under the `jobs` lock (the caller passes the guard's
+    /// map).
+    fn stamp_terminal(&self, jobs: &mut HashMap<String, JobEntry>, id: &str) {
+        if let Some(entry) = jobs.get_mut(id) {
+            if entry.state.is_terminal() && entry.finish_seq == 0 {
+                entry.finish_seq = self.finish_counter.fetch_add(1, Ordering::Relaxed) + 1;
+            }
+        }
+        self.gc_terminal(jobs);
+    }
+
+    /// Evict terminal jobs beyond `retain_jobs`, oldest-finished first:
+    /// the in-memory entry (with its rendered output) and every
+    /// persisted file go together, so neither the map nor the state dir
+    /// grows without bound under sustained traffic. Non-terminal jobs
+    /// are never touched.
+    fn gc_terminal(&self, jobs: &mut HashMap<String, JobEntry>) {
+        let Some(cap) = self.config.retain_jobs else {
+            return;
+        };
+        // Every terminal job counts toward the bound, but a job someone
+        // is blocked waiting on is never the victim — the next-oldest
+        // waiter-free job is evicted instead, so a completion burst
+        // cannot delete a result between a job finishing and its waiter
+        // waking to read it.
+        let mut terminal: Vec<(u64, String, bool)> = jobs
+            .iter()
+            .filter(|(_, e)| e.state.is_terminal())
+            .map(|(id, e)| (e.finish_seq, id.clone(), e.waiters > 0))
+            .collect();
+        if terminal.len() <= cap {
+            return;
+        }
+        terminal.sort();
+        let mut evict = terminal.len() - cap;
+        for (_, id, waited_on) in terminal {
+            if evict == 0 {
+                break;
+            }
+            if waited_on {
+                continue;
+            }
+            jobs.remove(&id);
+            let _ = std::fs::remove_file(self.spec_path(&id));
+            let _ = std::fs::remove_file(self.result_path(&id));
+            let _ = std::fs::remove_file(self.error_path(&id));
+            let _ = std::fs::remove_file(self.ckpt_path(&id));
+            evict -= 1;
+        }
     }
 }
 
@@ -234,6 +335,10 @@ fn recover(shared: &Shared) -> Result<Vec<String>, ServiceError> {
         .map_err(|e| ServiceError::io("reading state dir", &e))?;
     let mut queued = Vec::new();
     let mut max_auto = 0u64;
+    // Terminal recovered jobs, with the mtime of the file that made them
+    // terminal: the best completion-order evidence a restart has, so the
+    // retention GC still evicts oldest-first across restarts.
+    let mut terminal: Vec<(SystemTime, String)> = Vec::new();
     let mut jobs = shared.jobs.lock().expect("jobs lock poisoned");
     for entry in dir.flatten() {
         let name = entry.file_name();
@@ -266,17 +371,25 @@ fn recover(shared: &Shared) -> Result<Vec<String>, ServiceError> {
                 );
                 failed.reason = Some(format!("spec unreadable at recovery: {reason}"));
                 jobs.insert(id.to_owned(), failed);
+                terminal.push((SystemTime::UNIX_EPOCH, id.to_owned()));
                 continue;
             }
+        };
+        let file_mtime = |path: PathBuf| {
+            std::fs::metadata(path)
+                .and_then(|m| m.modified())
+                .unwrap_or(SystemTime::UNIX_EPOCH)
         };
         if let Ok(output) = std::fs::read_to_string(shared.result_path(id)) {
             let mut done = JobEntry::new(spec, JobState::Done, "recovered finished job");
             done.output = Some(output);
             jobs.insert(id.to_owned(), done);
+            terminal.push((file_mtime(shared.result_path(id)), id.to_owned()));
         } else if let Ok(reason) = std::fs::read_to_string(shared.error_path(id)) {
             let mut failed = JobEntry::new(spec, JobState::Failed, "recovered failed job");
             failed.reason = Some(reason);
             jobs.insert(id.to_owned(), failed);
+            terminal.push((file_mtime(shared.error_path(id)), id.to_owned()));
         } else {
             jobs.insert(
                 id.to_owned(),
@@ -285,6 +398,20 @@ fn recover(shared: &Shared) -> Result<Vec<String>, ServiceError> {
             queued.push(id.to_owned());
         }
     }
+    // Seed completion-order stamps from the observed mtimes (ties break
+    // on id for determinism), then apply the retention bound exactly as
+    // a running server would — a restart must not resurrect jobs the
+    // bound would have evicted, nor exceed it with recovered ones.
+    terminal.sort();
+    for (seq, (_, id)) in terminal.iter().enumerate() {
+        if let Some(entry) = jobs.get_mut(id) {
+            entry.finish_seq = seq as u64 + 1;
+        }
+    }
+    shared
+        .finish_counter
+        .store(terminal.len() as u64, Ordering::Relaxed);
+    shared.gc_terminal(&mut jobs);
     drop(jobs);
     shared.next_job.store(max_auto + 1, Ordering::Relaxed);
     queued.sort();
@@ -395,6 +522,7 @@ fn cancel(shared: &Shared, id: &str) -> Response {
             entry.state = JobState::Cancelled;
             entry.detail = "cancelled before running".to_owned();
             entry.cancel.store(true, Ordering::Relaxed);
+            shared.stamp_terminal(&mut jobs, id);
             drop(jobs);
             shared
                 .queue
@@ -423,47 +551,109 @@ fn status(shared: &Shared, id: &str) -> Response {
     }
 }
 
-fn result(shared: &Shared, id: &str, wait: bool) -> Response {
+/// The terminal response for a job, or `None` while it is still in
+/// flight. Caller holds the jobs lock.
+fn terminal_response(jobs: &HashMap<String, JobEntry>, id: &str) -> Option<Response> {
+    match jobs.get(id) {
+        None => Some(Response::Error {
+            reason: format!("unknown job `{id}`"),
+        }),
+        Some(entry) => match entry.state {
+            JobState::Done => Some(Response::Result {
+                job: id.to_owned(),
+                output: entry.output.clone().unwrap_or_default(),
+            }),
+            JobState::Failed => Some(Response::Failed {
+                job: id.to_owned(),
+                reason: entry.reason.clone().unwrap_or_default(),
+            }),
+            JobState::Cancelled => Some(Response::Cancelled { job: id.to_owned() }),
+            _ => None,
+        },
+    }
+}
+
+/// Non-blocking result fetch (`Result { wait: false }`).
+fn result(shared: &Shared, id: &str) -> Response {
+    let jobs = shared.jobs.lock().expect("jobs lock poisoned");
+    match terminal_response(&jobs, id) {
+        Some(response) => response,
+        None => {
+            let state = jobs.get(id).map(|e| e.state).unwrap_or(JobState::Queued);
+            Response::Error {
+                reason: format!("job `{id}` is {} (use wait)", state.label()),
+            }
+        }
+    }
+}
+
+/// Blocking result fetch (`Result { wait: true }`): wait until the job
+/// is terminal, writing the final response — and, while waiting, a
+/// heartbeat `Status` frame every [`ServeConfig::wait_heartbeat`] so
+/// the client's read timeout bounds connection liveness rather than job
+/// duration (waiting clients skip `Status` frames).
+///
+/// # Errors
+///
+/// The write failure when the client goes away mid-wait (the caller
+/// closes the connection).
+fn result_wait(shared: &Shared, stream: &mut Stream, id: &str) -> std::io::Result<()> {
+    let mut last_beat = std::time::Instant::now();
     let mut jobs = shared.jobs.lock().expect("jobs lock poisoned");
     loop {
-        match jobs.get(id) {
-            None => {
-                return Response::Error {
-                    reason: format!("unknown job `{id}`"),
+        if let Some(response) = terminal_response(&jobs, id) {
+            drop(jobs);
+            return respond(stream, &response);
+        }
+        if shared.is_draining() {
+            drop(jobs);
+            return respond(
+                stream,
+                &Response::Error {
+                    reason: "server is draining; job state is checkpointed".to_owned(),
+                },
+            );
+        }
+        if last_beat.elapsed() >= shared.config.wait_heartbeat {
+            // Stay registered as a waiter across the unlocked write:
+            // the GC must not treat the heartbeat window as "nobody is
+            // waiting" and evict the job right as it finishes.
+            let beat = jobs.get_mut(id).map(|entry| {
+                entry.waiters += 1;
+                Response::Status {
+                    job: id.to_owned(),
+                    state: entry.state,
+                    detail: entry.detail.clone(),
+                }
+            });
+            drop(jobs);
+            let written = match &beat {
+                Some(beat) => respond(stream, beat),
+                None => Ok(()),
+            };
+            last_beat = std::time::Instant::now();
+            jobs = shared.jobs.lock().expect("jobs lock poisoned");
+            if beat.is_some() {
+                if let Some(entry) = jobs.get_mut(id) {
+                    entry.waiters = entry.waiters.saturating_sub(1);
                 }
             }
-            Some(entry) => match entry.state {
-                JobState::Done => {
-                    return Response::Result {
-                        job: id.to_owned(),
-                        output: entry.output.clone().unwrap_or_default(),
-                    }
-                }
-                JobState::Failed => {
-                    return Response::Failed {
-                        job: id.to_owned(),
-                        reason: entry.reason.clone().unwrap_or_default(),
-                    }
-                }
-                JobState::Cancelled => return Response::Cancelled { job: id.to_owned() },
-                state if !wait => {
-                    return Response::Error {
-                        reason: format!("job `{id}` is {} (use wait)", state.label()),
-                    }
-                }
-                _ => {
-                    if shared.is_draining() {
-                        return Response::Error {
-                            reason: "server is draining; job state is checkpointed".to_owned(),
-                        };
-                    }
-                    let (guard, _) = shared
-                        .jobs_cv
-                        .wait_timeout(jobs, Duration::from_millis(250))
-                        .expect("jobs lock poisoned");
-                    jobs = guard;
-                }
-            },
+            written?;
+            continue;
+        }
+        // Registered under the lock for the duration of the wait, so
+        // the retention GC cannot evict the job in the gap between it
+        // finishing and this waiter waking to read the result.
+        if let Some(entry) = jobs.get_mut(id) {
+            entry.waiters += 1;
+        }
+        let (guard, _) = shared
+            .jobs_cv
+            .wait_timeout(jobs, Duration::from_millis(250))
+            .expect("jobs lock poisoned");
+        jobs = guard;
+        if let Some(entry) = jobs.get_mut(id) {
+            entry.waiters = entry.waiters.saturating_sub(1);
         }
     }
 }
@@ -493,6 +683,7 @@ fn run_job(shared: &Arc<Shared>, id: &str) {
             entry.detail = "failed".to_owned();
             entry.reason = Some(message);
         }
+        shared.stamp_terminal(&mut jobs, id);
         drop(jobs);
         shared.jobs_cv.notify_all();
     };
@@ -586,6 +777,7 @@ fn run_job(shared: &Arc<Shared>, id: &str) {
                 entry.detail = "done".to_owned();
                 entry.output = Some(output);
             }
+            shared.stamp_terminal(&mut jobs, id);
             drop(jobs);
             shared.jobs_cv.notify_all();
         }
@@ -708,17 +900,98 @@ fn runner_loop(shared: Arc<Shared>) {
     }
 }
 
-fn respond(stream: &mut UnixStream, response: &Response) -> std::io::Result<()> {
+fn respond(stream: &mut Stream, response: &Response) -> std::io::Result<()> {
     let mut line = encode_frame(response);
     line.push('\n');
     stream.write_all(line.as_bytes())
 }
 
-fn handle_connection(shared: Arc<Shared>, mut stream: UnixStream) {
+/// How long an unauthenticated TCP connection gets to deliver its
+/// `Hello` line before the server reclaims the handler thread.
+const AUTH_DEADLINE: Duration = Duration::from_secs(10);
+
+/// Longest `Hello` line an unauthenticated connection may send — ample
+/// for any real handshake, small enough that a peer streaming garbage
+/// without newlines cannot grow the read buffer unboundedly.
+const AUTH_LINE_CAP: u64 = 8 * 1024;
+
+/// The auth gate on a just-accepted TCP connection: the **first** line
+/// must be a valid `Hello` with the right version and token, read under
+/// [`AUTH_DEADLINE`] and capped at [`AUTH_LINE_CAP`] bytes. Anything
+/// else — garbage, a blank line, a non-`Hello` frame, a wrong token —
+/// gets at most one error line and the connection is closed, before any
+/// job state is touched. Returns the reader back on success.
+fn authenticate(
+    shared: &Shared,
+    stream: &mut Stream,
+    reader: BufReader<Stream>,
+) -> Option<BufReader<Stream>> {
+    if stream.set_read_timeout(Some(AUTH_DEADLINE)).is_err() {
+        return None;
+    }
+    let mut limited = reader.take(AUTH_LINE_CAP);
+    let mut line = String::new();
+    match limited.read_line(&mut line) {
+        // Silent, vanished, over-long, or empty: nothing is owed.
+        Ok(0) | Err(_) => return None,
+        Ok(_) => {}
+    }
+    let reader = limited.into_inner();
+    let refuse = |stream: &mut Stream, reason: &str| {
+        let _ = respond(
+            stream,
+            &Response::Error {
+                reason: reason.to_owned(),
+            },
+        );
+        None
+    };
+    let Ok(Request::Hello { version, token }) = decode_frame::<Request>(&line) else {
+        return refuse(stream, "authentication required");
+    };
+    if version != PROTOCOL_VERSION {
+        return refuse(
+            stream,
+            &format!(
+                "protocol version mismatch: server speaks {PROTOCOL_VERSION}, \
+                 client sent {version}"
+            ),
+        );
+    }
+    let presented = token.as_deref().unwrap_or("");
+    let expected = shared.config.token.as_deref().unwrap_or("");
+    if expected.is_empty() || !token_matches(expected, presented) {
+        return refuse(stream, "invalid or missing token");
+    }
+    // Authenticated: lift the handshake deadline (clients legitimately
+    // idle between requests) and welcome the peer.
+    if stream.set_read_timeout(None).is_err() {
+        return None;
+    }
+    if respond(
+        stream,
+        &Response::Welcome {
+            version: PROTOCOL_VERSION,
+        },
+    )
+    .is_err()
+    {
+        return None;
+    }
+    Some(reader)
+}
+
+fn handle_connection(shared: Arc<Shared>, mut stream: Stream, requires_auth: bool) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
     let mut reader = BufReader::new(read_half);
+    if requires_auth {
+        match authenticate(&shared, &mut stream, reader) {
+            Some(r) => reader = r,
+            None => return,
+        }
+    }
     let mut line = String::new();
     loop {
         line.clear();
@@ -742,6 +1015,25 @@ fn handle_connection(shared: Arc<Shared>, mut stream: UnixStream) {
             }
         };
         let response = match request {
+            // A Hello on an already-authenticated (or Unix) connection:
+            // just the version check and the welcome.
+            Request::Hello { version, .. } => {
+                if version != PROTOCOL_VERSION {
+                    let _ = respond(
+                        &mut stream,
+                        &Response::Error {
+                            reason: format!(
+                                "protocol version mismatch: server speaks {PROTOCOL_VERSION}, \
+                                 client sent {version}"
+                            ),
+                        },
+                    );
+                    return;
+                }
+                Response::Welcome {
+                    version: PROTOCOL_VERSION,
+                }
+            }
             Request::WorkerHello { pid } => {
                 // Hand the connection to the pool; nothing else arrives
                 // on it from the worker until it is tasked, so the
@@ -773,7 +1065,16 @@ fn handle_connection(shared: Arc<Shared>, mut stream: UnixStream) {
             }
             Request::Submit { job, spec } => submit(&shared, job, spec),
             Request::Status { job } => status(&shared, &job),
-            Request::Result { job, wait } => result(&shared, &job, wait),
+            Request::Result { job, wait } => {
+                if wait {
+                    // Streams its own heartbeat + final frames.
+                    if result_wait(&shared, &mut stream, &job).is_err() {
+                        return;
+                    }
+                    continue;
+                }
+                result(&shared, &job)
+            }
             Request::Cancel { job } => cancel(&shared, &job),
             Request::Shutdown => {
                 let _ = respond(&mut stream, &Response::ShuttingDown);
@@ -862,9 +1163,26 @@ pub fn serve(config: ServeConfig) -> Result<(), ServiceError> {
             "job_slots and queue_cap must be positive".to_owned(),
         ));
     }
-    if let Placement::Subprocess { workers: 0 } = config.placement {
+    // `Subprocess { workers: 0 }` is legitimate now: it means "spawn no
+    // local workers; externally started `seqpoint worker --connect`
+    // processes will register over the socket" — the multi-node shape.
+    if config.wait_heartbeat.is_zero() {
         return Err(ServiceError::Usage(
-            "subprocess placement needs at least one worker".to_owned(),
+            "wait_heartbeat must be positive (a zero interval would spin)".to_owned(),
+        ));
+    }
+    if config.retain_jobs == Some(0) {
+        return Err(ServiceError::Usage(
+            "retain_jobs must keep at least 1 terminal job (a waiting client \
+             must be able to read the result it just produced)"
+                .to_owned(),
+        ));
+    }
+    if config.tcp.is_some() && config.token.as_deref().is_none_or(str::is_empty) {
+        return Err(ServiceError::Usage(
+            "a TCP listener requires a token (--token-file): every TCP \
+             connection must authenticate"
+                .to_owned(),
         ));
     }
     std::fs::create_dir_all(&config.state_dir)
@@ -888,6 +1206,10 @@ pub fn serve(config: ServeConfig) -> Result<(), ServiceError> {
         }
     }
     write_atomic(&pidfile, &std::process::id().to_string())?;
+    // A crash never removed the published TCP address; clear it before
+    // binding so nothing can discover a stale (possibly reused) port.
+    // Rewritten below once the new listener is actually bound.
+    let _ = std::fs::remove_file(config.state_dir.join("serve.tcp"));
     // A stale socket file from a previous (killed) server blocks bind —
     // but a *live* server must not be hijacked either. Probe first; only
     // a dead socket (connection refused / not found) is removed.
@@ -900,11 +1222,27 @@ pub fn serve(config: ServeConfig) -> Result<(), ServiceError> {
         }
         let _ = std::fs::remove_file(&config.socket);
     }
-    let listener = UnixListener::bind(&config.socket)
+    let unix_listener = UnixListener::bind(&config.socket)
         .map_err(|e| ServiceError::io(format!("binding {}", config.socket.display()), &e))?;
-    listener
-        .set_nonblocking(true)
-        .map_err(|e| ServiceError::io("setting nonblocking", &e))?;
+    let mut listeners = vec![Listener::Unix(unix_listener)];
+    let mut tcp_bound = None;
+    if let Some(addr) = &config.tcp {
+        let tcp = TcpListener::bind(addr.as_str())
+            .map_err(|e| ServiceError::io(format!("binding tcp {addr}"), &e))?;
+        let listener = Listener::Tcp(tcp);
+        // Publish the *actual* bound address (`:0` requests an ephemeral
+        // port) so scripts and remote workers can find it.
+        if let Some(local) = listener.tcp_addr() {
+            write_atomic(&config.state_dir.join("serve.tcp"), &local.to_string())?;
+            tcp_bound = Some(local);
+        }
+        listeners.push(listener);
+    }
+    for listener in &listeners {
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| ServiceError::io("setting nonblocking", &e))?;
+    }
     sig::TERM.store(false, Ordering::Relaxed);
     sig::install();
 
@@ -916,6 +1254,7 @@ pub fn serve(config: ServeConfig) -> Result<(), ServiceError> {
         queue_cv: Condvar::new(),
         draining: AtomicBool::new(false),
         next_job: AtomicU64::new(1),
+        finish_counter: AtomicU64::new(0),
         pool: WorkerPool::new(),
         worker_pids: Mutex::new(Vec::new()),
     });
@@ -928,8 +1267,12 @@ pub fn serve(config: ServeConfig) -> Result<(), ServiceError> {
             queue.push_back(id.clone());
         }
     }
+    let tcp_note = match tcp_bound {
+        Some(addr) => format!(" + tcp {addr} (token auth)"),
+        None => String::new(),
+    };
     eprintln!(
-        "seqpoint serve: listening on {} ({} job slot(s), queue cap {}, {} recovered)",
+        "seqpoint serve: listening on {}{tcp_note} ({} job slot(s), queue cap {}, {} recovered)",
         shared.config.socket.display(),
         shared.config.job_slots,
         shared.config.queue_cap,
@@ -949,25 +1292,31 @@ pub fn serve(config: ServeConfig) -> Result<(), ServiceError> {
         runners.push(std::thread::spawn(move || runner_loop(shared)));
     }
 
-    // Accept loop: nonblocking + poll, so SIGTERM is noticed promptly
-    // regardless of EINTR semantics.
+    // Accept loop: every listener nonblocking, polled in turn, so
+    // SIGTERM is noticed promptly regardless of EINTR semantics and one
+    // transport cannot starve the other.
     loop {
         if shared.is_draining() {
             break;
         }
-        match listener.accept() {
-            Ok((stream, _addr)) => {
-                let shared = shared.clone();
-                std::thread::spawn(move || handle_connection(shared, stream));
+        let mut accepted_any = false;
+        for listener in &listeners {
+            match listener.accept() {
+                Ok(stream) => {
+                    accepted_any = true;
+                    let requires_auth = listener.requires_auth();
+                    let shared = shared.clone();
+                    std::thread::spawn(move || handle_connection(shared, stream, requires_auth));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    eprintln!("seqpoint serve: accept failed: {e}");
+                }
             }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(15));
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(e) => {
-                eprintln!("seqpoint serve: accept failed: {e}");
-                std::thread::sleep(Duration::from_millis(50));
-            }
+        }
+        if !accepted_any {
+            std::thread::sleep(Duration::from_millis(15));
         }
     }
 
@@ -983,6 +1332,7 @@ pub fn serve(config: ServeConfig) -> Result<(), ServiceError> {
     }
     let _ = std::fs::remove_file(&shared.config.socket);
     let _ = std::fs::remove_file(shared.config.state_dir.join("serve.pid"));
+    let _ = std::fs::remove_file(shared.config.state_dir.join("serve.tcp"));
     let paused = {
         let jobs = shared.jobs.lock().expect("jobs lock poisoned");
         jobs.values().filter(|e| !e.state.is_terminal()).count()

@@ -1,0 +1,418 @@
+//! Transport abstraction under the NDJSON protocol: the same
+//! [`seqpoint_core::protocol`] frames served over a Unix domain socket
+//! *or* a TCP socket.
+//!
+//! The protocol vocabulary was transport-agnostic from the start; this
+//! module supplies the three missing pieces so the daemon, clients, and
+//! shard workers can all speak over the network:
+//!
+//! * [`Stream`] — a connected byte stream (Unix or TCP) implementing
+//!   `Read`/`Write`, cloneable into a reader/writer pair, with
+//!   per-direction timeouts;
+//! * [`Listener`] — a bound accept socket, pollable in the daemon's
+//!   nonblocking accept loop alongside listeners of the other flavor;
+//! * [`Endpoint`] — a connect target (`--socket PATH` or
+//!   `--connect HOST:PORT`) clients and workers dial.
+//!
+//! # Security model
+//!
+//! A Unix socket is guarded by filesystem permissions, so local
+//! connections are trusted as before. A TCP listener has no such guard:
+//! every TCP connection must authenticate with a shared-secret token
+//! ([`token_matches`], constant-time) presented in a `Hello` frame
+//! before any other request is honored. The NDJSON itself is plaintext —
+//! the trust boundary is "hosts that hold the token file, on a network
+//! you trust"; put TLS or an SSH tunnel in front for anything wider.
+
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use seqpoint_core::protocol::{decode_frame, encode_frame, Request, Response, PROTOCOL_VERSION};
+
+use crate::ServiceError;
+
+/// A connected protocol stream: one client, worker, or server-side
+/// connection, over either transport.
+#[derive(Debug)]
+pub enum Stream {
+    /// A Unix-domain connection (local, trusted by file permissions).
+    Unix(UnixStream),
+    /// A TCP connection (gated by token auth on the server).
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    /// Clone the handle so one half can read while the other writes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS `dup` failure.
+    pub fn try_clone(&self) -> io::Result<Stream> {
+        match self {
+            Stream::Unix(s) => s.try_clone().map(Stream::Unix),
+            Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
+        }
+    }
+
+    /// Set the read timeout (`None` blocks forever).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS setsockopt failure (e.g. a zero duration).
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_read_timeout(timeout),
+            Stream::Tcp(s) => s.set_read_timeout(timeout),
+        }
+    }
+
+    /// Set the write timeout (`None` blocks forever).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS setsockopt failure (e.g. a zero duration).
+    pub fn set_write_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_write_timeout(timeout),
+            Stream::Tcp(s) => s.set_write_timeout(timeout),
+        }
+    }
+
+    /// Whether this connection arrived over TCP (and therefore crossed
+    /// the network trust boundary).
+    pub fn is_tcp(&self) -> bool {
+        matches!(self, Stream::Tcp(_))
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+impl From<UnixStream> for Stream {
+    fn from(s: UnixStream) -> Self {
+        Stream::Unix(s)
+    }
+}
+
+impl From<TcpStream> for Stream {
+    fn from(s: TcpStream) -> Self {
+        // One request/response line at a time: Nagle would add tens of
+        // milliseconds to every round trip for nothing.
+        let _ = s.set_nodelay(true);
+        Stream::Tcp(s)
+    }
+}
+
+/// A bound accept socket of either flavor. The daemon polls several of
+/// these (nonblocking) in one accept loop.
+#[derive(Debug)]
+pub enum Listener {
+    /// A bound Unix-domain listener.
+    Unix(UnixListener),
+    /// A bound TCP listener.
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    /// Accept one pending connection. The accepted stream is switched
+    /// back to blocking regardless of the listener's mode (inheritance
+    /// is platform-dependent).
+    ///
+    /// # Errors
+    ///
+    /// `WouldBlock` when nonblocking with nothing pending; otherwise the
+    /// OS accept failure.
+    pub fn accept(&self) -> io::Result<Stream> {
+        match self {
+            Listener::Unix(l) => {
+                let (stream, _addr) = l.accept()?;
+                stream.set_nonblocking(false)?;
+                Ok(Stream::Unix(stream))
+            }
+            Listener::Tcp(l) => {
+                let (stream, _addr) = l.accept()?;
+                stream.set_nonblocking(false)?;
+                Ok(Stream::from(stream))
+            }
+        }
+    }
+
+    /// Switch the listener between blocking and nonblocking accepts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS failure.
+    pub fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        match self {
+            Listener::Unix(l) => l.set_nonblocking(nonblocking),
+            Listener::Tcp(l) => l.set_nonblocking(nonblocking),
+        }
+    }
+
+    /// The actual bound TCP address (resolves `:0` to the real port);
+    /// `None` for Unix listeners.
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        match self {
+            Listener::Unix(_) => None,
+            Listener::Tcp(l) => l.local_addr().ok(),
+        }
+    }
+
+    /// Whether connections accepted here crossed the network trust
+    /// boundary and must authenticate before anything else.
+    pub fn requires_auth(&self) -> bool {
+        matches!(self, Listener::Tcp(_))
+    }
+}
+
+/// A connect target: where a client or worker dials the daemon.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A Unix socket path (`--socket PATH`).
+    Unix(PathBuf),
+    /// A TCP `host:port` (`--connect HOST:PORT`).
+    Tcp(String),
+}
+
+impl Endpoint {
+    /// A Unix-socket endpoint.
+    pub fn unix(path: impl Into<PathBuf>) -> Self {
+        Endpoint::Unix(path.into())
+    }
+
+    /// A TCP endpoint (`host:port`).
+    pub fn tcp(addr: impl Into<String>) -> Self {
+        Endpoint::Tcp(addr.into())
+    }
+
+    /// Whether this endpoint crosses the network trust boundary (and so
+    /// needs a token).
+    pub fn is_tcp(&self) -> bool {
+        matches!(self, Endpoint::Tcp(_))
+    }
+
+    /// Open a connection to this endpoint with no connect bound (the OS
+    /// default, which on a SYN-blackholed host can be minutes).
+    ///
+    /// # Errors
+    ///
+    /// The OS connect failure (missing socket file, refused, unresolvable
+    /// host, …).
+    pub fn connect(&self) -> io::Result<Stream> {
+        self.connect_timeout(None)
+    }
+
+    /// Open a connection, bounding the TCP connect itself by `timeout` —
+    /// without this, a firewalled host that silently drops SYNs would
+    /// hang the caller for the OS default (~2 minutes) before any
+    /// read/write timeout could apply. Unix connects are local and
+    /// effectively immediate, so the bound is a no-op there.
+    ///
+    /// # Errors
+    ///
+    /// As [`Endpoint::connect`]; additionally `TimedOut` when no
+    /// resolved address answers within `timeout`.
+    pub fn connect_timeout(&self, timeout: Option<Duration>) -> io::Result<Stream> {
+        match self {
+            Endpoint::Unix(path) => UnixStream::connect(path).map(Stream::Unix),
+            Endpoint::Tcp(addr) => {
+                let Some(limit) = timeout else {
+                    return TcpStream::connect(addr.as_str()).map(Stream::from);
+                };
+                use std::net::ToSocketAddrs;
+                let mut last = io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("`{addr}` resolved to no addresses"),
+                );
+                for resolved in addr.as_str().to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&resolved, limit) {
+                        Ok(stream) => return Ok(Stream::from(stream)),
+                        Err(e) => last = e,
+                    }
+                }
+                Err(last)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Unix(path) => write!(f, "{}", path.display()),
+            Endpoint::Tcp(addr) => write!(f, "{addr}"),
+        }
+    }
+}
+
+/// Run the client side of the `Hello`/`Welcome` handshake on a freshly
+/// connected stream: present the protocol version and the token, and
+/// interpret the server's one-line verdict. Shared by [`crate::client`]
+/// and [`crate::worker`] so the two can never drift apart.
+///
+/// # Errors
+///
+/// [`ServiceError::Io`] when the transport breaks mid-handshake;
+/// [`ServiceError::Auth`] when the server refuses (or closes without a
+/// verdict); [`ServiceError::Protocol`] on an undecodable response.
+pub fn client_handshake(
+    writer: &mut Stream,
+    reader: &mut BufReader<Stream>,
+    token: Option<&str>,
+) -> Result<(), ServiceError> {
+    let mut line = encode_frame(&Request::Hello {
+        version: PROTOCOL_VERSION,
+        token: token.map(str::to_owned),
+    });
+    line.push('\n');
+    writer
+        .write_all(line.as_bytes())
+        .map_err(|e| ServiceError::io("sending handshake", &e))?;
+    let mut reply = String::new();
+    let n = reader
+        .read_line(&mut reply)
+        .map_err(|e| ServiceError::io("reading handshake response", &e))?;
+    if n == 0 {
+        return Err(ServiceError::Auth(
+            "server closed the connection during the handshake".to_owned(),
+        ));
+    }
+    match decode_frame::<Response>(&reply).map_err(|e| ServiceError::Protocol(e.to_string()))? {
+        Response::Welcome { .. } => Ok(()),
+        Response::Error { reason } => Err(ServiceError::Auth(reason)),
+        other => Err(ServiceError::Protocol(format!(
+            "unexpected handshake response: {other:?}"
+        ))),
+    }
+}
+
+/// Compare a presented token against the expected one in time
+/// independent of where they first differ, so the comparison leaks
+/// nothing an attacker can use to guess the token byte by byte. (Length
+/// is folded into the accumulator rather than short-circuited.)
+pub fn token_matches(expected: &str, presented: &str) -> bool {
+    let a = expected.as_bytes();
+    let b = presented.as_bytes();
+    let mut diff = a.len() ^ b.len();
+    for i in 0..a.len().max(b.len()) {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        diff |= usize::from(x ^ y);
+    }
+    diff == 0
+}
+
+/// Read a shared-secret token from a file (`--token-file`). Surrounding
+/// whitespace — in particular the trailing newline every editor adds —
+/// is not part of the secret.
+///
+/// # Errors
+///
+/// [`ServiceError::Io`] when the file is unreadable;
+/// [`ServiceError::Usage`] when it holds no token or the token spans
+/// lines (an NDJSON frame could not carry it).
+pub fn load_token(path: &Path) -> Result<String, ServiceError> {
+    let raw = std::fs::read_to_string(path)
+        .map_err(|e| ServiceError::io(format!("reading token file {}", path.display()), &e))?;
+    let token = raw.trim();
+    if token.is_empty() {
+        return Err(ServiceError::Usage(format!(
+            "token file {} is empty",
+            path.display()
+        )));
+    }
+    if token.lines().count() != 1 {
+        return Err(ServiceError::Usage(format!(
+            "token file {} must hold a single-line token",
+            path.display()
+        )));
+    }
+    Ok(token.to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_comparison_is_exact() {
+        assert!(token_matches("s3cret", "s3cret"));
+        assert!(!token_matches("s3cret", "s3cres"));
+        assert!(!token_matches("s3cret", "s3cre"));
+        assert!(!token_matches("s3cret", "s3crets"));
+        assert!(!token_matches("s3cret", ""));
+        assert!(token_matches("", ""));
+    }
+
+    #[test]
+    fn load_token_trims_and_validates() {
+        let dir = std::env::temp_dir().join(format!("seqpoint-token-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tok");
+        std::fs::write(&path, "  hunter2\n").unwrap();
+        assert_eq!(load_token(&path).unwrap(), "hunter2");
+        std::fs::write(&path, "\n \n").unwrap();
+        assert!(matches!(load_token(&path), Err(ServiceError::Usage(_))));
+        std::fs::write(&path, "a\nb\n").unwrap();
+        assert!(matches!(load_token(&path), Err(ServiceError::Usage(_))));
+        assert!(load_token(&dir.join("missing")).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn endpoints_render_and_connect_errors_are_io() {
+        let unix = Endpoint::unix("/tmp/nope.sock");
+        assert_eq!(unix.to_string(), "/tmp/nope.sock");
+        assert!(!unix.is_tcp());
+        assert!(unix.connect().is_err());
+        let tcp = Endpoint::tcp("127.0.0.1:9");
+        assert_eq!(tcp.to_string(), "127.0.0.1:9");
+        assert!(tcp.is_tcp());
+    }
+
+    #[test]
+    fn tcp_listener_round_trips_a_line() {
+        let listener = Listener::Tcp(TcpListener::bind("127.0.0.1:0").unwrap());
+        let addr = listener.tcp_addr().unwrap();
+        assert!(listener.requires_auth());
+        let endpoint = Endpoint::tcp(addr.to_string());
+        let join = std::thread::spawn(move || {
+            let mut conn = listener.accept().unwrap();
+            let mut buf = [0u8; 5];
+            conn.read_exact(&mut buf).unwrap();
+            conn.write_all(&buf).unwrap();
+        });
+        let mut stream = endpoint.connect().unwrap();
+        stream.write_all(b"hello").unwrap();
+        let mut echo = [0u8; 5];
+        stream.read_exact(&mut echo).unwrap();
+        assert_eq!(&echo, b"hello");
+        join.join().unwrap();
+    }
+}

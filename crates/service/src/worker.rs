@@ -1,6 +1,9 @@
 //! The `seqpoint worker` process: connects to a `seqpoint serve`
-//! socket, announces itself, and executes shard chunks until the server
-//! closes the connection.
+//! socket — Unix or TCP — announces itself, and executes shard chunks
+//! until the server closes the connection. Over TCP the worker first
+//! authenticates with the shared-secret token in a `Hello` handshake,
+//! which is what makes "a worker on another machine" a pure config
+//! change (`--connect HOST:PORT --token-file FILE`).
 //!
 //! The worker runs the exact same leaf as the in-process thread
 //! executor — [`sqnn_profiler::stream::execute_chunk`] — over its own
@@ -11,8 +14,8 @@
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
-use std::os::unix::net::UnixStream;
 use std::path::Path;
+use std::time::Duration;
 
 use gpu_sim::Device;
 use seqpoint_core::protocol::{decode_frame, encode_frame, Request, WorkerReply, WorkerTask};
@@ -22,6 +25,7 @@ use sqnn_profiler::stream::{execute_chunk, ShardChunk};
 use sqnn_profiler::{IterationProfile, Profiler};
 
 use crate::spec::{device_by_config, model_by_name, stat_by_label};
+use crate::transport::{client_handshake, Endpoint};
 use crate::ServiceError;
 
 /// Cached per-workload state: resolving a model/device per task would
@@ -122,45 +126,189 @@ fn execute(
     }
 }
 
-/// Run a worker against the server at `socket` until the server closes
-/// the connection (drain) or sends [`WorkerTask::Shutdown`].
+/// The default patience for the connect-phase handshake read.
+pub const DEFAULT_HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Why one worker session ended without a fatal error.
+enum SessionEnd {
+    /// The server sent an explicit [`WorkerTask::Shutdown`].
+    Shutdown,
+    /// The server closed the connection while the worker was idle —
+    /// either a drain, or the executor poisoning a round it was part
+    /// of. Indistinguishable from here; a resilient worker reconnects
+    /// and lets the connect attempt decide.
+    Closed,
+    /// The connection broke *after* the worker had registered (a reply
+    /// write or task read failed mid-flight). The server was provably
+    /// alive and reachable, so a resilient worker reconnects with a
+    /// fresh patience window regardless of how long the session ran.
+    Broken(ServiceError),
+}
+
+/// Run a worker against the server at `socket` (a Unix socket path)
+/// until the server closes the connection (drain) or sends
+/// [`WorkerTask::Shutdown`]. One session, no reconnection — the shape
+/// the local supervisor expects (it respawns the process itself).
 ///
 /// # Errors
 ///
-/// [`ServiceError::Io`] when the socket cannot be reached or breaks
-/// mid-reply; [`ServiceError::Protocol`] on an undecodable task line.
+/// As [`run_worker_at`].
 pub fn run_worker(socket: &Path) -> Result<(), ServiceError> {
-    let stream = UnixStream::connect(socket)
-        .map_err(|e| ServiceError::io(format!("connecting to {}", socket.display()), &e))?;
+    run_worker_at(&Endpoint::unix(socket), None)
+}
+
+/// Run a single worker session against the server at `endpoint`. A TCP
+/// endpoint (or any endpoint with a token) first authenticates with a
+/// `Hello` handshake.
+///
+/// # Errors
+///
+/// [`ServiceError::Io`] when the endpoint cannot be reached or breaks
+/// mid-reply; [`ServiceError::Auth`] when the server refuses the
+/// handshake; [`ServiceError::Protocol`] on an undecodable task line.
+pub fn run_worker_at(endpoint: &Endpoint, token: Option<&str>) -> Result<(), ServiceError> {
+    let profiler = Profiler::new();
+    let mut cache = WorkerCache::new();
+    match run_session(
+        endpoint,
+        token,
+        Some(DEFAULT_HANDSHAKE_TIMEOUT),
+        &profiler,
+        &mut cache,
+    )? {
+        SessionEnd::Broken(e) => Err(e),
+        SessionEnd::Shutdown | SessionEnd::Closed => Ok(()),
+    }
+}
+
+/// Run a worker that **reconnects**: the remote (TCP) entry point.
+///
+/// The executor deliberately closes every connection it had acquired
+/// when a round is poisoned (a sibling worker died mid-round), and a
+/// drain closes idle connections too — so for a worker on another
+/// machine, a closed or broken connection is routine, not fatal. This
+/// loop serves sessions back to back; any session that got as far as
+/// registering resets the patience window, and connect/handshake
+/// attempts are retried for up to `retry_window` before giving up. An
+/// explicit [`WorkerTask::Shutdown`] still exits immediately.
+/// `handshake_timeout` bounds each attempt's handshake read (`None`
+/// blocks; the task loop itself never times out — an idle worker
+/// legitimately waits indefinitely, and a dead server surfaces as a
+/// closed connection).
+///
+/// # Errors
+///
+/// [`ServiceError::Auth`]/[`ServiceError::Protocol`] immediately (a bad
+/// token or incompatible server will not heal by retrying);
+/// [`ServiceError::Io`] when no server was ever reached within the
+/// window. Once at least one session was served, an unreachable server
+/// is treated as a drain and the worker exits cleanly.
+pub fn run_worker_resilient(
+    endpoint: &Endpoint,
+    token: Option<&str>,
+    retry_window: Duration,
+    handshake_timeout: Option<Duration>,
+) -> Result<(), ServiceError> {
+    let profiler = Profiler::new();
+    let mut cache = WorkerCache::new();
+    let mut window_start = std::time::Instant::now();
+    let mut served_once = false;
+    loop {
+        match run_session(endpoint, token, handshake_timeout, &profiler, &mut cache) {
+            Ok(SessionEnd::Shutdown) => return Ok(()),
+            Ok(SessionEnd::Closed) => {
+                // A healthy session ended; reconnect with a fresh
+                // patience window (the shape memo in `cache` carries
+                // over, so a reconnected worker is warm).
+                window_start = std::time::Instant::now();
+                served_once = true;
+            }
+            Ok(SessionEnd::Broken(e)) => {
+                // Same, minus the clean goodbye: the server was alive
+                // when the connection died, so keep serving it.
+                eprintln!("seqpoint worker: connection broke ({e}); reconnecting");
+                window_start = std::time::Instant::now();
+                served_once = true;
+            }
+            // Credentials and protocol compatibility do not improve
+            // with retries.
+            Err(e @ (ServiceError::Auth(_) | ServiceError::Protocol(_))) => return Err(e),
+            Err(e) => {
+                if window_start.elapsed() >= retry_window {
+                    if served_once {
+                        eprintln!("seqpoint worker: server gone ({e}); exiting after drain");
+                        return Ok(());
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(250));
+    }
+}
+
+/// One connect → handshake → announce → serve-tasks session. Failures
+/// before the worker registers are hard `Err`s (the resilient loop's
+/// retry window counts them down); failures after registration return
+/// [`SessionEnd::Broken`] so the caller knows the server was reachable.
+fn run_session(
+    endpoint: &Endpoint,
+    token: Option<&str>,
+    handshake_timeout: Option<Duration>,
+    profiler: &Profiler,
+    cache: &mut WorkerCache,
+) -> Result<SessionEnd, ServiceError> {
+    let stream = endpoint
+        .connect_timeout(handshake_timeout)
+        .map_err(|e| ServiceError::io(format!("connecting to {endpoint}"), &e))?;
     let mut writer = stream
         .try_clone()
         .map_err(|e| ServiceError::io("cloning socket", &e))?;
     let mut reader = BufReader::new(stream);
 
-    let hello = Request::WorkerHello {
-        pid: u64::from(std::process::id()),
-    };
-    let mut line = encode_frame(&hello);
-    line.push('\n');
-    writer
-        .write_all(line.as_bytes())
-        .map_err(|e| ServiceError::io("announcing worker", &e))?;
+    if endpoint.is_tcp() || token.is_some() {
+        // Handshake under a finite timeout — a wedged server must not
+        // hang the worker before it even registers. Cleared afterwards:
+        // the task loop legitimately idles between rounds.
+        let _ = reader.get_ref().set_read_timeout(handshake_timeout);
+        client_handshake(&mut writer, &mut reader, token)?;
+        let _ = reader.get_ref().set_read_timeout(None);
+    }
 
-    let profiler = Profiler::new();
-    let mut cache = WorkerCache::new();
+    let mut line = encode_frame(&Request::WorkerHello {
+        pid: u64::from(std::process::id()),
+    });
+    line.push('\n');
+    if let Err(e) = writer.write_all(line.as_bytes()) {
+        return Ok(SessionEnd::Broken(ServiceError::io(
+            "announcing worker",
+            &e,
+        )));
+    }
+
     let mut line = String::new();
     loop {
         line.clear();
-        let n = reader
-            .read_line(&mut line)
-            .map_err(|e| ServiceError::io("reading task", &e))?;
+        let n = match reader.read_line(&mut line) {
+            Ok(n) => n,
+            Err(e) => return Ok(SessionEnd::Broken(ServiceError::io("reading task", &e))),
+        };
         if n == 0 {
-            return Ok(()); // server closed: drain
+            return Ok(SessionEnd::Closed); // drain or poisoned round
+        }
+        if !line.ends_with('\n') {
+            // A line without its newline means EOF mid-frame: the server
+            // died while writing. That is a broken connection (retry),
+            // not a protocol violation (fatal).
+            return Ok(SessionEnd::Broken(ServiceError::Io {
+                context: "reading task".to_owned(),
+                message: "connection closed mid-line".to_owned(),
+            }));
         }
         let task: WorkerTask =
             decode_frame(&line).map_err(|e| ServiceError::Protocol(e.to_string()))?;
-        let reply = match execute(&profiler, &mut cache, task) {
-            Ok(None) => return Ok(()),
+        let reply = match execute(profiler, cache, task) {
+            Ok(None) => return Ok(SessionEnd::Shutdown),
             Ok(Some(reply)) => reply,
             Err(e) => WorkerReply::Error {
                 reason: e.to_string(),
@@ -168,9 +316,9 @@ pub fn run_worker(socket: &Path) -> Result<(), ServiceError> {
         };
         let mut out = encode_frame(&reply);
         out.push('\n');
-        writer
-            .write_all(out.as_bytes())
-            .map_err(|e| ServiceError::io("sending reply", &e))?;
+        if let Err(e) = writer.write_all(out.as_bytes()) {
+            return Ok(SessionEnd::Broken(ServiceError::io("sending reply", &e)));
+        }
     }
 }
 

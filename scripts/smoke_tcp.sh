@@ -1,0 +1,128 @@
+#!/usr/bin/env bash
+# TCP-transport smoke test, end to end through the real binary:
+#
+#  1. a daemon listening on the Unix socket AND a token-gated TCP port
+#     serves a job submitted over TCP byte-identically to the offline
+#     `seqpoint stream` run of the same spec;
+#  2. a TCP client with a wrong (or missing) token is rejected before
+#     any job state is touched;
+#  3. SIGTERM mid-job drains gracefully, and a restarted daemon resumes
+#     the job from its checkpoint — driven entirely over TCP with the
+#     token — to the exact offline selection.
+#
+# Shared by scripts/verify.sh and the CI `service-smoke` job so the two
+# cannot drift apart.
+#
+# Usage: scripts/smoke_tcp.sh [path/to/seqpoint]
+set -euo pipefail
+
+BIN="${1:-target/release/seqpoint}"
+SMOKE_DIR="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+  if [[ -n "$SERVE_PID" ]] && kill -0 "$SERVE_PID" 2>/dev/null; then
+    kill -9 "$SERVE_PID" 2>/dev/null || true
+  fi
+  rm -rf "$SMOKE_DIR"
+}
+trap cleanup EXIT
+
+SOCK="$SMOKE_DIR/sock"
+STATE="$SMOKE_DIR/state"
+TOKEN="$SMOKE_DIR/token"
+BAD_TOKEN="$SMOKE_DIR/bad-token"
+printf 'smoke-tcp-%s\n' "$RANDOM$RANDOM" > "$TOKEN"
+printf 'not-the-token\n' > "$BAD_TOKEN"
+
+SERVE_ARGS=(serve --socket "$SOCK" --state-dir "$STATE" --jobs 2
+            --placement subprocess --workers 2
+            --tcp 127.0.0.1:0 --token-file "$TOKEN" --retain-jobs 8)
+
+# The daemon publishes its actual TCP address (port 0 = ephemeral) in
+# STATE/serve.tcp; wait for it, then wait for an authenticated pong.
+tcp_addr() {
+  for _ in $(seq 1 200); do
+    if [[ -s "$STATE/serve.tcp" ]]; then
+      cat "$STATE/serve.tcp"
+      return 0
+    fi
+    sleep 0.05
+  done
+  echo "smoke_tcp: serve.tcp never appeared" >&2
+  return 1
+}
+
+wait_ready() {
+  for _ in $(seq 1 200); do
+    if "$BIN" submit --connect "$ADDR" --token-file "$TOKEN" --ping >/dev/null 2>&1; then
+      return 0
+    fi
+    sleep 0.05
+  done
+  echo "smoke_tcp: server never became ready over TCP" >&2
+  return 1
+}
+
+SPEC=(--model gnmt --dataset iwslt15 --samples 6000 --batch 16
+      --shards 3 --round 32 --window 128 --quant 8 --seed 20)
+# A paced job that never early-stops, so the SIGTERM lands mid-run.
+SPEC_LONG=(--model gnmt --dataset iwslt15 --samples 4000 --batch 16
+           --shards 3 --round 16 --window 99999999 --quant 8 --seed 22)
+
+# Offline references.
+"$BIN" stream "${SPEC[@]}"      > "$SMOKE_DIR/ref.txt"
+"$BIN" stream "${SPEC_LONG[@]}" > "$SMOKE_DIR/ref_long.txt"
+
+# --- Part 1: a TCP-served job matches the offline run exactly.
+"$BIN" "${SERVE_ARGS[@]}" 2>"$SMOKE_DIR/serve1.log" &
+SERVE_PID=$!
+ADDR="$(tcp_addr)"
+wait_ready
+"$BIN" submit --connect "$ADDR" --token-file "$TOKEN" "${SPEC[@]}" \
+  --job smoke-tcp > "$SMOKE_DIR/served_tcp.txt"
+diff "$SMOKE_DIR/ref.txt" "$SMOKE_DIR/served_tcp.txt"
+# The same result read over the Unix socket is the same bytes.
+"$BIN" submit --socket "$SOCK" --result smoke-tcp > "$SMOKE_DIR/served_unix.txt"
+diff "$SMOKE_DIR/served_tcp.txt" "$SMOKE_DIR/served_unix.txt"
+echo "smoke_tcp: TCP-served job matches offline stream output (and the Unix view)"
+
+# --- Part 2: wrong/missing tokens are rejected.
+if "$BIN" submit --connect "$ADDR" --token-file "$BAD_TOKEN" --ping \
+    >/dev/null 2>"$SMOKE_DIR/bad.log"; then
+  echo "smoke_tcp: a wrong token was accepted" >&2
+  exit 1
+fi
+grep -qi "token\|handshake" "$SMOKE_DIR/bad.log" \
+  || { echo "smoke_tcp: wrong-token error is unhelpful:" >&2; cat "$SMOKE_DIR/bad.log" >&2; exit 1; }
+if "$BIN" submit --connect "$ADDR" --ping >/dev/null 2>&1; then
+  echo "smoke_tcp: a missing token was accepted" >&2
+  exit 1
+fi
+echo "smoke_tcp: wrong and missing tokens are rejected"
+
+# --- Part 3: drain/resume, driven over TCP.
+"$BIN" submit --connect "$ADDR" --token-file "$TOKEN" "${SPEC_LONG[@]}" \
+  --throttle-ms 150 --job smoke-tcp-long --detach >/dev/null
+sleep 1
+"$BIN" submit --connect "$ADDR" --token-file "$TOKEN" --status smoke-tcp-long \
+  | grep -q ",running," \
+  || { echo "smoke_tcp: long job is not running before SIGTERM" >&2; exit 1; }
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+SERVE_PID=""
+test -s "$STATE/smoke-tcp-long.ckpt.json" \
+  || { echo "smoke_tcp: drain did not checkpoint the in-flight job" >&2; exit 1; }
+test ! -e "$STATE/serve.tcp" \
+  || { echo "smoke_tcp: drain left the serve.tcp address file behind" >&2; exit 1; }
+
+"$BIN" "${SERVE_ARGS[@]}" 2>"$SMOKE_DIR/serve2.log" &
+SERVE_PID=$!
+ADDR="$(tcp_addr)"
+wait_ready
+"$BIN" submit --connect "$ADDR" --token-file "$TOKEN" --result smoke-tcp-long \
+  > "$SMOKE_DIR/served_long.txt"
+diff "$SMOKE_DIR/ref_long.txt" "$SMOKE_DIR/served_long.txt"
+"$BIN" submit --connect "$ADDR" --token-file "$TOKEN" --shutdown >/dev/null
+wait "$SERVE_PID"
+SERVE_PID=""
+echo "smoke_tcp: drained job resumed after restart over TCP and matches offline stream output"

@@ -28,6 +28,9 @@ bash scripts/smoke_stream.sh target/release/seqpoint
 step service-smoke "service smoke (serve/submit/worker, SIGTERM drain + resume)"
 bash scripts/smoke_service.sh target/release/seqpoint
 
+step tcp-smoke "TCP transport smoke (token auth, served-vs-offline diff, drain/resume over TCP)"
+bash scripts/smoke_tcp.sh target/release/seqpoint
+
 step fmt "rustfmt (check)"
 cargo fmt --all --check
 

@@ -36,12 +36,15 @@ USAGE:
                      [--checkpoint FILE] [--checkpoint-every N] [--max-rounds M]
   seqpoint serve     --socket PATH --state-dir DIR [--jobs N] [--queue-cap N]
                      [--placement thread|subprocess] [--workers N]
-  seqpoint submit    --socket PATH --model <...> --dataset <...>
-                     [stream flags] [--job ID] [--max-rounds M]
-                     [--throttle-ms MS] [--detach]
-  seqpoint submit    --socket PATH (--ping | --status ID | --result ID |
+                     [--tcp HOST:PORT --token-file FILE] [--retain-jobs N]
+  seqpoint submit    (--socket PATH | --connect HOST:PORT)
+                     [--token-file FILE] [--io-timeout SECS]
+                     --model <...> --dataset <...> [stream flags]
+                     [--job ID] [--max-rounds M] [--throttle-ms MS] [--detach]
+  seqpoint submit    (--socket PATH | --connect HOST:PORT) [--token-file FILE]
+                     (--ping | --status ID | --result ID |
                      --cancel ID | --shutdown)
-  seqpoint worker    --socket PATH
+  seqpoint worker    (--socket PATH | --connect HOST:PORT) [--token-file FILE]
 
 `stream` profiles a steady-state (shuffled) epoch with K worker shards,
 stops measuring once the SL space saturates (no new SL bucket within W
@@ -64,12 +67,29 @@ Every round checkpoints into --state-dir; SIGTERM (or `submit
 --shutdown`) drains gracefully and a restart resumes unfinished jobs
 with bit-identical results. --placement subprocess spawns --workers
 `seqpoint worker` processes and ships shard chunks to them over the
-socket, exchanging checkpoint-format shard state — the single-machine
-proof of multi-node placement (a dead worker is respawned and its job
-resumes from the last per-round checkpoint).
+socket, exchanging checkpoint-format shard state (a dead worker is
+respawned and its job resumes from the last per-round checkpoint; pass
+--workers 0 to rely solely on externally started workers).
+
+--tcp HOST:PORT adds a TCP listener next to the Unix socket, making
+remote clients and remote shard workers a pure config change. It
+requires --token-file: every TCP connection must present the
+single-line shared secret in its handshake (constant-time compared;
+unauthenticated frames get one error line and a close). The bound
+address — useful with port 0 — is written to STATE_DIR/serve.tcp. The
+NDJSON itself is plaintext: tunnel it (TLS, SSH) on untrusted networks.
+--retain-jobs N keeps at most N finished/failed/cancelled jobs (memory
+and state files), evicting oldest-first; recovery applies the bound.
 
 `submit` is the client: by default it submits and blocks for the result,
-which is byte-identical to `seqpoint stream` with the same flags.
+which is byte-identical to `seqpoint stream` with the same flags —
+whichever transport carried it. --io-timeout SECS bounds every socket
+read/write (default 600, 0 disables) so a wedged daemon fails the
+command instead of hanging it.
+
+`worker` connects to a daemon and serves shard rounds: `--socket` for a
+local daemon, `--connect HOST:PORT --token-file FILE` for one on
+another machine.
 
 Epoch-log CSV format: one `seq_len,stat` pair per line (header optional).";
 
@@ -136,6 +156,34 @@ fn open_log(flags: &Flags) -> Result<seqpoint::seqpoint_core::EpochLog, CliError
     cli::parse_epoch_log(BufReader::new(File::open(path)?))
 }
 
+/// Resolve the client-side connection flags: exactly one of `--socket
+/// PATH` (Unix) or `--connect HOST:PORT` (TCP), plus the optional
+/// credential and patience flags.
+fn connect_args(flags: &Flags) -> Result<cli::ConnectArgs, CliError> {
+    let endpoint = match (flags.get("socket"), flags.get("connect")) {
+        (Some(path), None) => seqpoint::seqpoint_service::Endpoint::unix(path),
+        (None, Some(addr)) => seqpoint::seqpoint_service::Endpoint::tcp(addr),
+        (Some(_), Some(_)) => {
+            return Err(CliError::Usage(
+                "give either --socket PATH or --connect HOST:PORT, not both".to_owned(),
+            ))
+        }
+        (None, None) => {
+            return Err(CliError::Usage(
+                "--socket PATH or --connect HOST:PORT is required".to_owned(),
+            ))
+        }
+    };
+    Ok(cli::ConnectArgs {
+        endpoint,
+        token_file: flags.get("token-file").map(std::path::PathBuf::from),
+        io_timeout_secs: match flags.get("io-timeout") {
+            Some(_) => Some(flags.num("io-timeout", 600u64)?),
+            None => None,
+        },
+    })
+}
+
 fn run() -> Result<String, CliError> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = argv.split_first() else {
@@ -196,17 +244,23 @@ fn run() -> Result<String, CliError> {
         "serve" => {
             let args = cli::ServeArgs {
                 socket: flags.required("socket")?.into(),
+                tcp: flags.get("tcp").map(str::to_owned),
+                token_file: flags.get("token-file").map(std::path::PathBuf::from),
                 state_dir: flags.required("state-dir")?.into(),
                 jobs: flags.num("jobs", 2usize)?,
                 queue_cap: flags.num("queue-cap", 16usize)?,
+                retain_jobs: match flags.get("retain-jobs") {
+                    Some(_) => Some(flags.num("retain-jobs", 0usize)?),
+                    None => None,
+                },
                 placement: flags.get("placement").unwrap_or("thread").to_owned(),
                 workers: flags.num("workers", 2usize)?,
             };
             cli::serve(&args)
         }
-        "worker" => cli::worker(std::path::Path::new(flags.required("socket")?)),
+        "worker" => cli::worker(&connect_args(&flags)?),
         "submit" => {
-            let socket = std::path::PathBuf::from(flags.required("socket")?);
+            let conn = connect_args(&flags)?;
             let action = if flags.get("ping").is_some() {
                 cli::SubmitAction::Ping
             } else if flags.get("shutdown").is_some() {
@@ -246,7 +300,7 @@ fn run() -> Result<String, CliError> {
                     detach: flags.get("detach").is_some(),
                 }
             };
-            cli::submit(&socket, action)
+            cli::submit(&conn, action)
         }
         "identify" => cli::identify(&open_log(&flags)?, pipeline_config(&flags)?),
         "baselines" => cli::baselines(&open_log(&flags)?, pipeline_config(&flags)?),

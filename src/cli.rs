@@ -17,20 +17,24 @@
 //! * `stream` — profile a steady-state epoch in streaming mode: sharded
 //!   workers, saturation early stop, selection on streamed counts;
 //! * `serve` — run the async profiling service: accept jobs over a Unix
-//!   socket, dispatch rounds to thread or subprocess workers, drain
+//!   socket (and, with `--tcp` + `--token-file`, over authenticated
+//!   TCP), dispatch rounds to thread or subprocess workers, drain
 //!   gracefully on SIGTERM (checkpointing in-flight jobs);
 //! * `submit` — client for `serve`: submit jobs, query
-//!   status/result/cancel, ping, or request a drain;
+//!   status/result/cancel, ping, or request a drain — over the Unix
+//!   socket or TCP (`--connect HOST:PORT --token-file FILE`);
 //! * `worker` — subprocess shard executor that serves rounds for
-//!   `serve --placement subprocess`.
+//!   `serve --placement subprocess`, locally over the Unix socket or
+//!   from another machine over TCP.
 
 use std::fmt::Write as _;
 use std::io::BufRead;
 use std::path::PathBuf;
 
 use seqpoint_core::protocol::{JobSpec, Request, Response};
-use seqpoint_service::client::Client;
-use seqpoint_service::{Placement, ServeConfig};
+use seqpoint_service::client::{Client, ClientOptions};
+use seqpoint_service::transport::load_token;
+use seqpoint_service::{Endpoint, Placement, ServeConfig};
 
 use gpu_sim::{Device, GpuConfig};
 use seqpoint_core::stats::relative_error_pct;
@@ -381,15 +385,22 @@ pub fn project(
 pub struct ServeArgs {
     /// Unix socket to listen on.
     pub socket: PathBuf,
+    /// Additional TCP listener (`host:port`; requires `token_file`).
+    pub tcp: Option<String>,
+    /// Shared-secret token file gating TCP connections.
+    pub token_file: Option<PathBuf>,
     /// Directory for specs, checkpoints, and results.
     pub state_dir: PathBuf,
     /// Concurrent job slots.
     pub jobs: usize,
     /// Bounded queue capacity.
     pub queue_cap: usize,
+    /// Keep at most this many terminal jobs (`None` = keep all).
+    pub retain_jobs: Option<usize>,
     /// `thread` or `subprocess`.
     pub placement: String,
-    /// Worker processes under subprocess placement.
+    /// Worker processes under subprocess placement (0 = rely on
+    /// externally connected `seqpoint worker` processes).
     pub workers: usize,
 }
 
@@ -413,11 +424,19 @@ pub fn serve(args: &ServeArgs) -> Result<String, CliError> {
             )))
         }
     };
+    let token = match &args.token_file {
+        Some(path) => Some(load_token(path).map_err(lib_err)?),
+        None => None,
+    };
     seqpoint_service::serve(ServeConfig {
         socket: args.socket.clone(),
+        tcp: args.tcp.clone(),
+        token,
         state_dir: args.state_dir.clone(),
         job_slots: args.jobs,
         queue_cap: args.queue_cap,
+        wait_heartbeat: std::time::Duration::from_secs(15),
+        retain_jobs: args.retain_jobs,
         placement,
         worker_exe: None,
     })
@@ -425,14 +444,69 @@ pub fn serve(args: &ServeArgs) -> Result<String, CliError> {
     Ok(String::new())
 }
 
+/// Connection flags shared by `submit` and `worker`: where to dial and
+/// what credential to present.
+pub struct ConnectArgs {
+    /// The server endpoint (`--socket PATH` or `--connect HOST:PORT`).
+    pub endpoint: Endpoint,
+    /// Shared-secret token file (`--token-file`), required over TCP.
+    pub token_file: Option<PathBuf>,
+    /// Socket I/O timeout in seconds (`--io-timeout`; 0 disables it).
+    pub io_timeout_secs: Option<u64>,
+}
+
+impl ConnectArgs {
+    fn client_options(&self) -> Result<ClientOptions, CliError> {
+        let mut options = ClientOptions::default();
+        if let Some(path) = &self.token_file {
+            options.token = Some(load_token(path).map_err(lib_err)?);
+        }
+        if let Some(secs) = self.io_timeout_secs {
+            options.io_timeout = if secs == 0 {
+                None
+            } else {
+                Some(std::time::Duration::from_secs(secs))
+            };
+        }
+        Ok(options)
+    }
+}
+
 /// `worker`: serve shard rounds for a `seqpoint serve --placement
-/// subprocess` daemon until the server releases the connection.
+/// subprocess` daemon. Over the Unix socket this is one session (the
+/// local supervisor respawns the process); over TCP — the
+/// remote-machine entry point — the worker authenticates with the
+/// token and **reconnects** after the server closes its connection (a
+/// poisoned round or a sibling worker's death is routine there),
+/// exiting once the server stays unreachable.
 ///
 /// # Errors
 ///
-/// Library errors when the socket is unreachable or breaks.
-pub fn worker(socket: &std::path::Path) -> Result<String, CliError> {
-    seqpoint_service::worker::run_worker(socket).map_err(lib_err)?;
+/// Library errors when the endpoint is unreachable, the handshake is
+/// refused, or the connection breaks.
+pub fn worker(conn: &ConnectArgs) -> Result<String, CliError> {
+    let options = conn.client_options()?;
+    if conn.endpoint.is_tcp() {
+        // `--io-timeout` governs the connect-phase handshake read here;
+        // the task loop deliberately never times out (an idle worker
+        // waits indefinitely, and a dead server surfaces as a closed
+        // connection).
+        let handshake_timeout = match conn.io_timeout_secs {
+            None => Some(seqpoint_service::worker::DEFAULT_HANDSHAKE_TIMEOUT),
+            Some(0) => None,
+            Some(secs) => Some(std::time::Duration::from_secs(secs)),
+        };
+        seqpoint_service::worker::run_worker_resilient(
+            &conn.endpoint,
+            options.token.as_deref(),
+            std::time::Duration::from_secs(10),
+            handshake_timeout,
+        )
+        .map_err(lib_err)?;
+    } else {
+        seqpoint_service::worker::run_worker_at(&conn.endpoint, options.token.as_deref())
+            .map_err(lib_err)?;
+    }
     Ok(String::new())
 }
 
@@ -462,15 +536,18 @@ pub enum SubmitAction {
 /// `submit`: the scripting client of `seqpoint serve`.
 ///
 /// Job results print byte-identically to `seqpoint stream` on the same
-/// spec; queries print one `,`-separated line each (`pong,…`,
+/// spec — whether the connection is the Unix socket or authenticated
+/// TCP; queries print one `,`-separated line each (`pong,…`,
 /// `<job>,<state>,<detail>`, `cancelled,<job>`, `shutting-down`).
 ///
 /// # Errors
 ///
-/// Library errors for unreachable sockets, rejected submissions
-/// (backpressure), failed/cancelled jobs, and unknown job ids.
-pub fn submit(socket: &std::path::Path, action: SubmitAction) -> Result<String, CliError> {
-    let mut client = Client::connect(socket).map_err(lib_err)?;
+/// Library errors for unreachable endpoints, refused handshakes,
+/// rejected submissions (backpressure), failed/cancelled jobs, and
+/// unknown job ids.
+pub fn submit(conn: &ConnectArgs, action: SubmitAction) -> Result<String, CliError> {
+    let options = conn.client_options()?;
+    let mut client = Client::open(&conn.endpoint, &options).map_err(lib_err)?;
     let unexpected =
         |response: Response| CliError::Library(format!("unexpected server response: {response:?}"));
     match action {

@@ -8,7 +8,12 @@
 //!   reassigned from its last per-round checkpoint, the supervisor
 //!   respawns the worker, and the final selection is byte-identical to
 //!   the offline `seqpoint stream` run;
-//! * concurrent jobs are served correctly side by side.
+//! * concurrent jobs are served correctly side by side;
+//! * the same story holds over **TCP with token auth**: externally
+//!   started `seqpoint worker --connect` processes serve rounds for a
+//!   job submitted over `submit --connect`, a SIGKILLed TCP worker
+//!   costs at most one round, and the result is byte-identical to the
+//!   offline run.
 
 #![cfg(unix)]
 
@@ -77,6 +82,45 @@ impl Harness {
             .args(args)
             .output()
             .expect("running submit")
+    }
+
+    fn token_file(&self) -> PathBuf {
+        self.dir.join("token")
+    }
+
+    /// Write the shared secret the TCP tests hand to serve/submit/worker.
+    fn write_token(&self) -> PathBuf {
+        let path = self.token_file();
+        std::fs::write(&path, "e2e-tcp-secret\n").unwrap();
+        path
+    }
+
+    /// The daemon's published TCP address (waits for `serve.tcp`).
+    fn tcp_addr(&self) -> String {
+        let path = self.state().join("serve.tcp");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            if let Ok(addr) = std::fs::read_to_string(&path) {
+                if !addr.trim().is_empty() {
+                    return addr.trim().to_owned();
+                }
+            }
+            assert!(Instant::now() < deadline, "serve.tcp never appeared");
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+
+    /// `seqpoint submit --connect <tcp> --token-file <token> …`.
+    fn submit_tcp(&self, addr: &str, args: &[&str]) -> Output {
+        Command::new(bin())
+            .arg("submit")
+            .arg("--connect")
+            .arg(addr)
+            .arg("--token-file")
+            .arg(self.token_file())
+            .args(args)
+            .output()
+            .expect("running submit over tcp")
     }
 
     fn shutdown_and_join(&mut self) {
@@ -290,6 +334,100 @@ fn concurrent_submissions_serve_distinct_correct_results() {
     assert_ne!(out_a, out_b);
 
     harness.shutdown_and_join();
+}
+
+#[test]
+fn killing_a_tcp_worker_mid_round_costs_at_most_one_round() {
+    let mut harness = Harness::new("killtcpworker");
+    let token = harness.write_token();
+    // `--workers 0`: the daemon spawns no local workers — every round is
+    // served by the externally started TCP workers below, exactly the
+    // multi-node topology (workers on another machine are the same
+    // command with a remote host).
+    harness.start_server(&[
+        "--jobs",
+        "1",
+        "--placement",
+        "subprocess",
+        "--workers",
+        "0",
+        "--tcp",
+        "127.0.0.1:0",
+        "--token-file",
+        token.to_str().unwrap(),
+    ]);
+    let addr = harness.tcp_addr();
+
+    let mut workers: Vec<Child> = (0..2)
+        .map(|_| {
+            Command::new(bin())
+                .arg("worker")
+                .arg("--connect")
+                .arg(&addr)
+                .arg("--token-file")
+                .arg(&token)
+                .stdin(Stdio::null())
+                .stdout(Stdio::null())
+                .stderr(Stdio::null())
+                .spawn()
+                .expect("spawning tcp worker")
+        })
+        .collect();
+
+    let reference = offline_stream(CHAOS_SPEC);
+
+    // Submit over TCP, throttled so the kill lands mid-run.
+    let mut submit_args = CHAOS_SPEC.to_vec();
+    submit_args.extend(["--throttle-ms", "150", "--job", "tcp-chaos", "--detach"]);
+    let line = stdout_of(&harness.submit_tcp(&addr, &submit_args));
+    assert_eq!(line.trim(), "submitted,tcp-chaos");
+
+    std::thread::sleep(Duration::from_millis(700));
+    let status = stdout_of(&harness.submit_tcp(&addr, &["--status", "tcp-chaos"]));
+    assert!(status.contains(",running,"), "not mid-run: {status}");
+
+    // SIGKILL one of the two TCP workers. The poisoned round is retried
+    // from the last per-round checkpoint on the surviving worker — at
+    // most one round of work is repeated, none is lost, and the
+    // selection is unchanged.
+    let victim = workers.remove(0);
+    let victim_pid = victim.id();
+    let killed = Command::new("sh")
+        .arg("-c")
+        .arg(format!("kill -9 {victim_pid}"))
+        .status()
+        .unwrap();
+    assert!(killed.success());
+    {
+        let mut victim = victim;
+        let _ = victim.wait();
+    }
+    let status = stdout_of(&harness.submit_tcp(&addr, &["--status", "tcp-chaos"]));
+    assert!(
+        !status.contains(",done,"),
+        "job finished before the kill; chaos untested: {status}"
+    );
+
+    let result = stdout_of(&harness.submit_tcp(&addr, &["--result", "tcp-chaos"]));
+    assert_eq!(result, reference, "post-kill TCP selection diverged");
+
+    // An unauthenticated client is still locked out while all this runs.
+    let unauthenticated = Command::new(bin())
+        .arg("submit")
+        .arg("--connect")
+        .arg(&addr)
+        .arg("--ping")
+        .output()
+        .unwrap();
+    assert!(!unauthenticated.status.success());
+
+    harness.shutdown_and_join();
+    for mut worker in workers {
+        // Drain closed the pooled connections; the survivor exits on its
+        // own. Reap it (kill first in case the drain raced).
+        let _ = worker.kill();
+        let _ = worker.wait();
+    }
 }
 
 #[test]
