@@ -7,14 +7,35 @@
 //! iterations as they execute and reports when the SL space has
 //! saturated, plus a Good–Turing estimate of the probability that the
 //! next iteration shows an unseen SL.
+//!
+//! The tracker's per-iteration cost must stay negligible next to the
+//! SQNN work it measures, so the per-SL state lives in dense columnar
+//! lanes (one contiguous count lane plus compensated sum /
+//! sum-of-squares lanes) indexed by a compact SL lookup table — the hot
+//! [`OnlineSlTracker::observe`] path is one table load and three lane
+//! updates, with no tree walk.
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error, JsonKey, Serialize, Value};
 
 use crate::stats::CompensatedSum;
 
+/// SLs below this bound get a direct-indexed lookup-table entry; larger
+/// SLs (none of the paper's workloads come close) fall back to a binary
+/// search of the sorted SL table. Bounds the table at 256 KiB.
+const SL_LUT_CAP: usize = 1 << 16;
+
 /// Streaming tracker of the sequence-length space observed so far.
+///
+/// Internally a dense columnar layout: `sls` holds the observed SLs in
+/// ascending order, and `counts` / `stat_sums` / `stat_sq_sums` are
+/// parallel lanes indexed by slot. `lut[sl]` maps a small SL directly
+/// to `slot + 1` (0 = absent), so the observe hot path is branch-light.
+/// The serialized form is unchanged from the original BTreeMap-keyed
+/// representation: three JSON maps with ascending stringified SL keys —
+/// the BTreeMap ordering semantics are the canonical serialization
+/// order, and checkpoints round-trip bit-identically.
 ///
 /// ```
 /// use seqpoint_core::online::OnlineSlTracker;
@@ -26,21 +47,97 @@ use crate::stats::CompensatedSum;
 /// assert_eq!(tracker.unique_count(), 3);
 /// assert!(tracker.saturated(5)); // no new SL in the last 5 iterations
 /// ```
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct OnlineSlTracker {
-    counts: BTreeMap<u32, u64>,
+    /// Observed SLs, strictly ascending; slot order for all lanes.
+    sls: Vec<u32>,
+    counts: Vec<u64>,
     // Neumaier-compensated so that sharded merges and sequential scans
     // of the same stream produce bit-identical per-SL statistics.
-    stat_sums: BTreeMap<u32, CompensatedSum>,
-    stat_sq_sums: BTreeMap<u32, CompensatedSum>,
+    stat_sums: Vec<CompensatedSum>,
+    stat_sq_sums: Vec<CompensatedSum>,
+    /// `lut[sl] == slot + 1` for every observed `sl < SL_LUT_CAP`;
+    /// 0 marks an unobserved SL. Derived from `sls`, excluded from
+    /// equality and serialization.
+    lut: Vec<u32>,
     iterations: u64,
     last_new_sl_at: u64,
+}
+
+/// Equality over the observation state; the lookup table is a pure
+/// function of `sls` and is skipped.
+impl PartialEq for OnlineSlTracker {
+    fn eq(&self, other: &Self) -> bool {
+        self.sls == other.sls
+            && self.counts == other.counts
+            && self.stat_sums == other.stat_sums
+            && self.stat_sq_sums == other.stat_sq_sums
+            && self.iterations == other.iterations
+            && self.last_new_sl_at == other.last_new_sl_at
+    }
 }
 
 impl OnlineSlTracker {
     /// Create an empty tracker.
     pub fn new() -> Self {
         OnlineSlTracker::default()
+    }
+
+    /// Slot of `seq_len`, if observed.
+    #[inline]
+    fn slot_of(&self, seq_len: u32) -> Option<usize> {
+        let i = seq_len as usize;
+        if i < self.lut.len() {
+            let slot = self.lut[i];
+            (slot != 0).then(|| slot as usize - 1)
+        } else if i < SL_LUT_CAP {
+            None
+        } else {
+            self.sls.binary_search(&seq_len).ok()
+        }
+    }
+
+    /// Open a zeroed slot for a new SL, keeping `sls` ascending. Cold:
+    /// runs once per distinct SL, never in the saturated steady state.
+    #[cold]
+    fn insert_slot(&mut self, seq_len: u32) -> usize {
+        let slot = self.sls.partition_point(|&s| s < seq_len);
+        self.sls.insert(slot, seq_len);
+        self.counts.insert(slot, 0);
+        self.stat_sums.insert(slot, CompensatedSum::default());
+        self.stat_sq_sums.insert(slot, CompensatedSum::default());
+        // Every slot at or after the insertion point shifted right.
+        for &moved in &self.sls[slot + 1..] {
+            if let Some(entry) = self.lut.get_mut(moved as usize) {
+                *entry += 1;
+            }
+        }
+        let i = seq_len as usize;
+        if i < SL_LUT_CAP {
+            if i >= self.lut.len() {
+                self.lut.resize(i + 1, 0);
+            }
+            self.lut[i] = slot as u32 + 1;
+        }
+        slot
+    }
+
+    /// Recompute the lookup table from the SL column.
+    fn rebuild_lut(&mut self) {
+        self.lut.clear();
+        if let Some(&max_small) = self
+            .sls
+            .iter()
+            .filter(|&&sl| (sl as usize) < SL_LUT_CAP)
+            .max()
+        {
+            self.lut.resize(max_small as usize + 1, 0);
+        }
+        for (slot, &sl) in self.sls.iter().enumerate() {
+            if let Some(entry) = self.lut.get_mut(sl as usize) {
+                *entry = slot as u32 + 1;
+            }
+        }
     }
 
     /// Record one iteration's sequence length and statistic.
@@ -54,20 +151,17 @@ impl OnlineSlTracker {
         if n == 0 {
             return;
         }
-        let count = self.counts.entry(seq_len).or_insert(0);
-        if *count == 0 {
+        let slot = match self.slot_of(seq_len) {
+            Some(slot) => slot,
+            None => self.insert_slot(seq_len),
+        };
+        if self.counts[slot] == 0 {
             self.last_new_sl_at = self.iterations + 1;
         }
-        *count += n;
+        self.counts[slot] += n;
         self.iterations += n;
-        self.stat_sums
-            .entry(seq_len)
-            .or_default()
-            .add_scaled(stat, n);
-        self.stat_sq_sums
-            .entry(seq_len)
-            .or_default()
-            .add_scaled(stat * stat, n);
+        self.stat_sums[slot].add_scaled(stat, n);
+        self.stat_sq_sums[slot].add_scaled(stat * stat, n);
     }
 
     /// Iterations observed so far.
@@ -77,23 +171,26 @@ impl OnlineSlTracker {
 
     /// Distinct sequence lengths observed so far.
     pub fn unique_count(&self) -> usize {
-        self.counts.len()
+        self.sls.len()
     }
 
     /// Whether this sequence length has been observed.
     pub fn contains(&self, seq_len: u32) -> bool {
-        self.counts.contains_key(&seq_len)
+        self.slot_of(seq_len).is_some()
     }
 
     /// `(seq_len, count)` pairs observed so far, ascending by SL.
     pub fn sl_counts(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
-        self.counts.iter().map(|(&sl, &count)| (sl, count))
+        self.sls
+            .iter()
+            .zip(&self.counts)
+            .map(|(&sl, &count)| (sl, count))
     }
 
     /// Mean statistic of a sequence length, if observed.
     pub fn mean_stat_of(&self, seq_len: u32) -> Option<f64> {
-        let count = *self.counts.get(&seq_len)?;
-        Some(self.stat_sums[&seq_len].value() / count as f64)
+        let slot = self.slot_of(seq_len)?;
+        Some(self.stat_sums[slot].value() / self.counts[slot] as f64)
     }
 
     /// Population variance of a sequence length's statistic, if observed
@@ -116,9 +213,10 @@ impl OnlineSlTracker {
     /// way, but is not suitable for, say, ULP-level jitter measurement
     /// of billion-scale counter statistics.
     pub fn stat_variance_of(&self, seq_len: u32) -> Option<f64> {
-        let count = *self.counts.get(&seq_len)?;
-        let mean = self.stat_sums[&seq_len].value() / count as f64;
-        let mean_sq = self.stat_sq_sums[&seq_len].value() / count as f64;
+        let slot = self.slot_of(seq_len)?;
+        let count = self.counts[slot];
+        let mean = self.stat_sums[slot].value() / count as f64;
+        let mean_sq = self.stat_sq_sums[slot].value() / count as f64;
         Some((mean_sq - mean * mean).max(0.0))
     }
 
@@ -141,48 +239,118 @@ impl OnlineSlTracker {
     /// last-new-SL marker is placed there (never earlier than the true
     /// position — merging can only delay [`Self::saturated`], not fire it
     /// early).
+    ///
+    /// One pass over both SL columns: while `other`'s SLs all land on
+    /// existing slots — the steady state once the SL space closes — the
+    /// lanes add in place; the first genuinely new SL switches to a
+    /// two-pointer column splice for the remainder, and doubles as the
+    /// new-SL detection (no separate key scan).
     pub fn merge(&mut self, other: &OnlineSlTracker) {
         if other.iterations == 0 {
             return;
         }
-        let introduces_new = other.counts.keys().any(|sl| !self.counts.contains_key(sl));
-        if introduces_new {
-            self.last_new_sl_at = self.iterations + other.last_new_sl_at;
+        let pre_iterations = self.iterations;
+        let mut i = 0; // slot cursor in self
+        let mut j = 0; // slot cursor in other
+        while j < other.sls.len() {
+            while i < self.sls.len() && self.sls[i] < other.sls[j] {
+                i += 1;
+            }
+            if i < self.sls.len() && self.sls[i] == other.sls[j] {
+                self.counts[i] += other.counts[j];
+                self.stat_sums[i].merge(other.stat_sums[j]);
+                self.stat_sq_sums[i].merge(other.stat_sq_sums[j]);
+                i += 1;
+                j += 1;
+            } else {
+                break;
+            }
+        }
+        if j < other.sls.len() {
+            self.splice_tail(other, i, j);
+            self.last_new_sl_at = pre_iterations + other.last_new_sl_at;
+            self.rebuild_lut();
         }
         self.iterations += other.iterations;
-        for (&sl, &count) in &other.counts {
-            *self.counts.entry(sl).or_insert(0) += count;
+    }
+
+    /// Merge `other`'s columns from slot `from_other` into this
+    /// tracker's columns from slot `from_self` (both tails unprocessed
+    /// by the in-place pass; `other.sls[from_other]` is new to `self`).
+    fn splice_tail(&mut self, other: &OnlineSlTracker, from_self: usize, from_other: usize) {
+        let cap = (self.sls.len() - from_self) + (other.sls.len() - from_other);
+        let mut sls = Vec::with_capacity(cap);
+        let mut counts = Vec::with_capacity(cap);
+        let mut stat_sums = Vec::with_capacity(cap);
+        let mut stat_sq_sums = Vec::with_capacity(cap);
+        let (mut i, mut j) = (from_self, from_other);
+        while i < self.sls.len() || j < other.sls.len() {
+            let take_self =
+                j >= other.sls.len() || (i < self.sls.len() && self.sls[i] <= other.sls[j]);
+            if take_self {
+                let both = j < other.sls.len() && self.sls[i] == other.sls[j];
+                sls.push(self.sls[i]);
+                let mut count = self.counts[i];
+                let mut sum = self.stat_sums[i];
+                let mut sq = self.stat_sq_sums[i];
+                if both {
+                    count += other.counts[j];
+                    sum.merge(other.stat_sums[j]);
+                    sq.merge(other.stat_sq_sums[j]);
+                    j += 1;
+                }
+                counts.push(count);
+                stat_sums.push(sum);
+                stat_sq_sums.push(sq);
+                i += 1;
+            } else {
+                // A new SL: land it exactly as the map-keyed merge did —
+                // a fresh accumulator absorbing the shard's sum, not a
+                // field copy (the internal split can differ bit-wise).
+                sls.push(other.sls[j]);
+                counts.push(other.counts[j]);
+                let mut sum = CompensatedSum::default();
+                sum.merge(other.stat_sums[j]);
+                let mut sq = CompensatedSum::default();
+                sq.merge(other.stat_sq_sums[j]);
+                stat_sums.push(sum);
+                stat_sq_sums.push(sq);
+                j += 1;
+            }
         }
-        for (&sl, &sum) in &other.stat_sums {
-            self.stat_sums.entry(sl).or_default().merge(sum);
-        }
-        for (&sl, &sum) in &other.stat_sq_sums {
-            self.stat_sq_sums.entry(sl).or_default().merge(sum);
-        }
+        self.sls.truncate(from_self);
+        self.counts.truncate(from_self);
+        self.stat_sums.truncate(from_self);
+        self.stat_sq_sums.truncate(from_self);
+        self.sls.append(&mut sls);
+        self.counts.append(&mut counts);
+        self.stat_sums.append(&mut stat_sums);
+        self.stat_sq_sums.append(&mut stat_sq_sums);
     }
 
     /// Structural consistency check for state adopted from outside the
-    /// type's own methods (a deserialized checkpoint): the three per-SL
-    /// maps must cover the same SLs, the counts must sum to the
-    /// iteration total, and the last-new-SL marker must lie inside the
-    /// stream. Every accessor indexes the maps on the assumption these
-    /// hold, so adopting unvalidated state would turn a corrupt (but
-    /// parseable) checkpoint into a later panic instead of an error.
+    /// type's own methods (a deserialized checkpoint): the per-SL lanes
+    /// must align with a strictly ascending SL column, the counts must
+    /// sum to the iteration total, and the last-new-SL marker must lie
+    /// inside the stream. Every accessor indexes the lanes on the
+    /// assumption these hold, so adopting unvalidated state would turn a
+    /// corrupt (but parseable) checkpoint into a later panic instead of
+    /// an error.
     ///
     /// # Errors
     ///
     /// A human-readable description of the first violated invariant.
     pub fn validate(&self) -> Result<(), String> {
-        if self.stat_sums.len() != self.counts.len()
-            || self.stat_sq_sums.len() != self.counts.len()
-            || self
-                .counts
-                .keys()
-                .any(|sl| !self.stat_sums.contains_key(sl) || !self.stat_sq_sums.contains_key(sl))
+        if self.stat_sums.len() != self.sls.len()
+            || self.stat_sq_sums.len() != self.sls.len()
+            || self.counts.len() != self.sls.len()
         {
             return Err("per-SL counts and statistic sums cover different SLs".to_owned());
         }
-        let total: u64 = self.counts.values().sum();
+        if self.sls.windows(2).any(|w| w[0] >= w[1]) {
+            return Err("per-SL table is not strictly ascending".to_owned());
+        }
+        let total: u64 = self.counts.iter().sum();
         if total != self.iterations {
             return Err(format!(
                 "per-SL counts sum to {total} but the tracker claims {} iterations",
@@ -204,7 +372,7 @@ impl OnlineSlTracker {
         if self.iterations == 0 {
             return 1.0;
         }
-        let singletons = self.counts.values().filter(|&&c| c == 1).count();
+        let singletons = self.counts.iter().filter(|&&c| c == 1).count();
         singletons as f64 / self.iterations as f64
     }
 
@@ -212,12 +380,11 @@ impl OnlineSlTracker {
     /// ready for [`crate::SeqPointPipeline::run_profiles`] without
     /// materializing a per-iteration log.
     pub fn to_sl_profiles(&self) -> Vec<crate::SlProfile> {
-        self.counts
-            .iter()
-            .map(|(&seq_len, &count)| crate::SlProfile {
-                seq_len,
-                count,
-                mean_stat: self.stat_sums[&seq_len].value() / count as f64,
+        (0..self.sls.len())
+            .map(|slot| crate::SlProfile {
+                seq_len: self.sls[slot],
+                count: self.counts[slot],
+                mean_stat: self.stat_sums[slot].value() / self.counts[slot] as f64,
             })
             .collect()
     }
@@ -234,13 +401,180 @@ impl OnlineSlTracker {
     /// [`Self::stat_variance_of`] instead.
     pub fn to_epoch_log(&self) -> crate::EpochLog {
         let mut log = crate::EpochLog::new();
-        for (&sl, &count) in &self.counts {
-            let mean = self.stat_sums[&sl].value() / count as f64;
-            for _ in 0..count {
-                log.push(sl, mean);
+        for slot in 0..self.sls.len() {
+            let mean = self.stat_sums[slot].value() / self.counts[slot] as f64;
+            for _ in 0..self.counts[slot] {
+                log.push(self.sls[slot], mean);
             }
         }
         log
+    }
+}
+
+/// A per-SL lane rendered as a JSON map with ascending stringified SL
+/// keys — byte-identical to the original `BTreeMap<u32, _>` encoding.
+fn lane_to_value<T: Serialize>(sls: &[u32], lane: &[T]) -> Value {
+    Value::Map(
+        sls.iter()
+            .zip(lane)
+            .map(|(sl, v)| (sl.to_key(), v.to_value()))
+            .collect(),
+    )
+}
+
+impl Serialize for OnlineSlTracker {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("counts".to_owned(), lane_to_value(&self.sls, &self.counts)),
+            (
+                "stat_sums".to_owned(),
+                lane_to_value(&self.sls, &self.stat_sums),
+            ),
+            (
+                "stat_sq_sums".to_owned(),
+                lane_to_value(&self.sls, &self.stat_sq_sums),
+            ),
+            ("iterations".to_owned(), self.iterations.to_value()),
+            ("last_new_sl_at".to_owned(), self.last_new_sl_at.to_value()),
+        ])
+    }
+}
+
+impl<'de> Deserialize<'de> for OnlineSlTracker {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        if value.as_map().is_none() {
+            return Err(Error::expected("map", "OnlineSlTracker"));
+        }
+        let field = |name: &str| {
+            value
+                .get_field(name)
+                .ok_or_else(|| Error::missing_field(name, "OnlineSlTracker"))
+        };
+        let counts: BTreeMap<u32, u64> = Deserialize::from_value(field("counts")?)?;
+        let stat_sums: BTreeMap<u32, CompensatedSum> =
+            Deserialize::from_value(field("stat_sums")?)?;
+        let stat_sq_sums: BTreeMap<u32, CompensatedSum> =
+            Deserialize::from_value(field("stat_sq_sums")?)?;
+        let iterations = u64::from_value(field("iterations")?)?;
+        let last_new_sl_at = u64::from_value(field("last_new_sl_at")?)?;
+        // The dense layout cannot even represent misaligned lanes, so a
+        // checkpoint whose maps cover different SLs fails here instead
+        // of at a later `validate`.
+        if !stat_sums.keys().eq(counts.keys()) || !stat_sq_sums.keys().eq(counts.keys()) {
+            return Err(Error::custom(
+                "per-SL counts and statistic sums cover different SLs",
+            ));
+        }
+        let mut tracker = OnlineSlTracker {
+            sls: counts.keys().copied().collect(),
+            counts: counts.values().copied().collect(),
+            stat_sums: stat_sums.values().copied().collect(),
+            stat_sq_sums: stat_sq_sums.values().copied().collect(),
+            lut: Vec::new(),
+            iterations,
+            last_new_sl_at,
+        };
+        tracker.rebuild_lut();
+        Ok(tracker)
+    }
+}
+
+/// The original `BTreeMap`-keyed tracker, kept verbatim as the oracle
+/// for the dense layout's bit-identity property tests.
+#[cfg(test)]
+pub(crate) mod reference {
+    use std::collections::BTreeMap;
+
+    use serde::{Deserialize, Serialize};
+
+    use crate::stats::CompensatedSum;
+
+    #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+    pub(crate) struct ReferenceSlTracker {
+        counts: BTreeMap<u32, u64>,
+        stat_sums: BTreeMap<u32, CompensatedSum>,
+        stat_sq_sums: BTreeMap<u32, CompensatedSum>,
+        iterations: u64,
+        last_new_sl_at: u64,
+    }
+
+    impl ReferenceSlTracker {
+        pub(crate) fn new() -> Self {
+            ReferenceSlTracker::default()
+        }
+
+        pub(crate) fn observe(&mut self, seq_len: u32, stat: f64) {
+            self.observe_n(seq_len, stat, 1);
+        }
+
+        pub(crate) fn observe_n(&mut self, seq_len: u32, stat: f64, n: u64) {
+            if n == 0 {
+                return;
+            }
+            let count = self.counts.entry(seq_len).or_insert(0);
+            if *count == 0 {
+                self.last_new_sl_at = self.iterations + 1;
+            }
+            *count += n;
+            self.iterations += n;
+            self.stat_sums
+                .entry(seq_len)
+                .or_default()
+                .add_scaled(stat, n);
+            self.stat_sq_sums
+                .entry(seq_len)
+                .or_default()
+                .add_scaled(stat * stat, n);
+        }
+
+        pub(crate) fn merge(&mut self, other: &ReferenceSlTracker) {
+            if other.iterations == 0 {
+                return;
+            }
+            let introduces_new = other.counts.keys().any(|sl| !self.counts.contains_key(sl));
+            if introduces_new {
+                self.last_new_sl_at = self.iterations + other.last_new_sl_at;
+            }
+            self.iterations += other.iterations;
+            for (&sl, &count) in &other.counts {
+                *self.counts.entry(sl).or_insert(0) += count;
+            }
+            for (&sl, &sum) in &other.stat_sums {
+                self.stat_sums.entry(sl).or_default().merge(sum);
+            }
+            for (&sl, &sum) in &other.stat_sq_sums {
+                self.stat_sq_sums.entry(sl).or_default().merge(sum);
+            }
+        }
+
+        pub(crate) fn saturated(&self, window: u64) -> bool {
+            self.iterations >= window.max(1)
+                && self.iterations - self.last_new_sl_at >= window.max(1)
+        }
+
+        pub(crate) fn unseen_probability(&self) -> f64 {
+            if self.iterations == 0 {
+                return 1.0;
+            }
+            let singletons = self.counts.values().filter(|&&c| c == 1).count();
+            singletons as f64 / self.iterations as f64
+        }
+
+        pub(crate) fn sl_counts(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+            self.counts.iter().map(|(&sl, &count)| (sl, count))
+        }
+
+        pub(crate) fn mean_stat_of(&self, seq_len: u32) -> Option<f64> {
+            let count = *self.counts.get(&seq_len)?;
+            Some(self.stat_sums[&seq_len].value() / count as f64)
+        }
+
+        pub(crate) fn stat_variance_of(&self, seq_len: u32) -> Option<f64> {
+            let count = *self.counts.get(&seq_len)?;
+            let mean = self.stat_sums[&seq_len].value() / count as f64;
+            let mean_sq = self.stat_sq_sums[&seq_len].value() / count as f64;
+            Some((mean_sq - mean * mean).max(0.0))
+        }
     }
 }
 
@@ -454,5 +788,186 @@ mod tests {
         let full_mean: f64 = all.iter().map(|&(_, s)| s).sum::<f64>() / all.len() as f64;
         let rel = ((prefix_mean - full_mean) / full_mean).abs();
         assert!(rel < 0.05, "rel = {rel}");
+    }
+
+    #[test]
+    fn large_sls_fall_back_to_binary_search() {
+        // SLs past the lookup-table cap take the binary-search path and
+        // must behave identically to small ones.
+        let mut t = OnlineSlTracker::new();
+        let big = (SL_LUT_CAP as u32) + 17;
+        t.observe(big, 2.0);
+        t.observe(5, 1.0);
+        t.observe(big, 4.0);
+        assert!(t.contains(big));
+        assert!(t.contains(5));
+        assert!(!t.contains(big + 1));
+        assert_eq!(t.mean_stat_of(big), Some(3.0));
+        assert_eq!(t.sl_counts().collect::<Vec<_>>(), vec![(5, 1), (big, 2)]);
+        let json = serde::json::to_string(&t).unwrap();
+        let back: OnlineSlTracker = serde::json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+        assert!(back.validate().is_ok());
+    }
+
+    #[test]
+    fn deserialize_rejects_misaligned_lanes() {
+        let json = r#"{"counts":{"5":2},"stat_sums":{},"stat_sq_sums":{"5":{"sum":1.0,"compensation":0.0}},"iterations":2,"last_new_sl_at":1}"#;
+        let err = serde::json::from_str::<OnlineSlTracker>(json).unwrap_err();
+        assert!(err.to_string().contains("cover different SLs"), "{err}");
+    }
+}
+
+/// Bit-identity of the dense columnar tracker against the original
+/// `BTreeMap`-keyed implementation ([`reference::ReferenceSlTracker`]):
+/// same observations in the same order must yield the same serialized
+/// checkpoint bytes, the same saturation/Good–Turing decisions, and the
+/// same per-SL statistics — bit-for-bit, not merely up to rounding.
+#[cfg(test)]
+mod parity_tests {
+    use super::reference::ReferenceSlTracker;
+    use super::*;
+    use proptest::prelude::*;
+
+    /// One step of an interleaved workload: observe on the main pair,
+    /// observe on a side (shard) pair, or merge the side pair into the
+    /// main pair — the three entry points that mutate tracker state.
+    #[derive(Debug, Clone)]
+    enum Op {
+        Main(u32, f64, u64),
+        Side(u32, f64, u64),
+        MergeSide,
+    }
+
+    /// SLs hugging both sides of the lookup-table cap so the direct
+    /// index and the binary-search fallback are both exercised.
+    fn arb_sl() -> impl Strategy<Value = u32> {
+        (0u32..48, 0u32..2).prop_map(|(sl, big)| {
+            if big == 1 {
+                super::SL_LUT_CAP as u32 + sl
+            } else {
+                sl
+            }
+        })
+    }
+
+    fn arb_op() -> impl Strategy<Value = Op> {
+        (0u32..8, arb_sl(), -1.0e3f64..1.0e3, 0u64..4).prop_map(|(kind, sl, stat, n)| match kind {
+            0..=3 => Op::Main(sl, stat, n),
+            4..=6 => Op::Side(sl, stat, n),
+            _ => Op::MergeSide,
+        })
+    }
+
+    /// Both serializations, bit-for-bit.
+    fn same_bytes(dense: &OnlineSlTracker, oracle: &ReferenceSlTracker) -> (String, String) {
+        (
+            serde::json::to_string(dense).expect("dense serializes"),
+            serde::json::to_string(oracle).expect("oracle serializes"),
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn interleavings_match_the_reference_bit_for_bit(ops in proptest::collection::vec(arb_op(), 0..60)) {
+            let mut dense = OnlineSlTracker::new();
+            let mut oracle = ReferenceSlTracker::new();
+            let mut side_dense = OnlineSlTracker::new();
+            let mut side_oracle = ReferenceSlTracker::new();
+            for op in ops {
+                match op {
+                    Op::Main(sl, stat, n) => {
+                        dense.observe_n(sl, stat, n);
+                        oracle.observe_n(sl, stat, n);
+                    }
+                    Op::Side(sl, stat, n) => {
+                        side_dense.observe_n(sl, stat, n);
+                        side_oracle.observe_n(sl, stat, n);
+                    }
+                    Op::MergeSide => {
+                        dense.merge(&side_dense);
+                        oracle.merge(&side_oracle);
+                        side_dense = OnlineSlTracker::new();
+                        side_oracle = ReferenceSlTracker::new();
+                    }
+                }
+                let (d, o) = same_bytes(&dense, &oracle);
+                prop_assert_eq!(d, o);
+            }
+            prop_assert!(dense.validate().is_ok());
+            // Selection-facing signals agree bit-for-bit.
+            prop_assert_eq!(
+                dense.unseen_probability().to_bits(),
+                oracle.unseen_probability().to_bits()
+            );
+            for window in [1u64, 2, 5, 50] {
+                prop_assert_eq!(dense.saturated(window), oracle.saturated(window));
+            }
+            prop_assert_eq!(
+                dense.sl_counts().collect::<Vec<_>>(),
+                oracle.sl_counts().collect::<Vec<_>>()
+            );
+            for (sl, _) in oracle.sl_counts() {
+                prop_assert_eq!(
+                    dense.mean_stat_of(sl).map(f64::to_bits),
+                    oracle.mean_stat_of(sl).map(f64::to_bits)
+                );
+                prop_assert_eq!(
+                    dense.stat_variance_of(sl).map(f64::to_bits),
+                    oracle.stat_variance_of(sl).map(f64::to_bits)
+                );
+            }
+        }
+
+        #[test]
+        fn checkpoints_round_trip_through_either_implementation(
+            obs in proptest::collection::vec((arb_sl(), -10.0f64..10.0, 1u64..4), 0..40)
+        ) {
+            let mut dense = OnlineSlTracker::new();
+            let mut oracle = ReferenceSlTracker::new();
+            for &(sl, stat, n) in &obs {
+                dense.observe_n(sl, stat, n);
+                oracle.observe_n(sl, stat, n);
+            }
+            let (d, o) = same_bytes(&dense, &oracle);
+            prop_assert_eq!(&d, &o);
+            // A dense tracker restored from an oracle-written checkpoint
+            // (and vice versa) continues the stream identically.
+            let mut restored_dense: OnlineSlTracker =
+                serde::json::from_str(&o).expect("dense reads oracle bytes");
+            let mut restored_oracle: ReferenceSlTracker =
+                serde::json::from_str(&d).expect("oracle reads dense bytes");
+            prop_assert_eq!(&restored_dense, &dense);
+            for &(sl, stat, n) in &obs {
+                restored_dense.observe_n(sl.wrapping_add(1), stat, n);
+                restored_oracle.observe_n(sl.wrapping_add(1), stat, n);
+            }
+            let (d2, o2) = same_bytes(&restored_dense, &restored_oracle);
+            prop_assert_eq!(d2, o2);
+        }
+
+        #[test]
+        fn sharded_merges_match_the_reference_bit_for_bit(
+            stream in proptest::collection::vec((arb_sl(), -5.0f64..5.0), 1..200),
+            shards in 1usize..5
+        ) {
+            let mut dense_shards = vec![OnlineSlTracker::new(); shards];
+            let mut oracle_shards = vec![ReferenceSlTracker::new(); shards];
+            for (i, &(sl, stat)) in stream.iter().enumerate() {
+                dense_shards[i % shards].observe(sl, stat);
+                oracle_shards[i % shards].observe(sl, stat);
+            }
+            let mut dense = OnlineSlTracker::new();
+            let mut oracle = ReferenceSlTracker::new();
+            for (d, o) in dense_shards.iter().zip(&oracle_shards) {
+                dense.merge(d);
+                oracle.merge(o);
+                let (db, ob) = same_bytes(&dense, &oracle);
+                prop_assert_eq!(db, ob);
+            }
+            prop_assert!(dense.validate().is_ok());
+        }
     }
 }

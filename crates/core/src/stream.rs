@@ -190,6 +190,18 @@ impl StreamingSelector {
         saturated
     }
 
+    /// Conservatively, whether the early-stop rule could hold after up
+    /// to `upcoming` more measured iterations are ingested. `false` is a
+    /// guarantee — the stop rule requires a full saturation window of
+    /// ingested iterations, so until the window can complete no stop
+    /// fires and a caller may overlap work across the next merge.
+    /// `true` only means a stop is possible, not that it will happen.
+    pub fn stop_possible_after(&self, upcoming: u64) -> bool {
+        self.stopped_at.is_some()
+            || self.novelty.iterations().saturating_add(upcoming)
+                >= self.config.saturation_window.max(1)
+    }
+
     /// Record a measured iteration outside the round flow (a shape never
     /// profiled before surfacing during the replay phase).
     pub fn observe_measured(&mut self, seq_len: u32, stat: f64) {
@@ -730,6 +742,33 @@ mod tests {
         // 200 iterations of one SL: well past the window, stop holds.
         assert!(selector.should_stop());
         assert!(selector.stopped_at().unwrap() >= window);
+    }
+
+    #[test]
+    fn stop_possible_after_bounds_the_window() {
+        let config = StreamConfig {
+            saturation_window: 100,
+            ..StreamConfig::default()
+        };
+        let mut selector = StreamingSelector::with_config(config);
+        // Empty selector: a stop needs the full window.
+        assert!(!selector.stop_possible_after(99));
+        assert!(selector.stop_possible_after(100));
+        let mut round = OnlineSlTracker::new();
+        for _ in 0..40 {
+            round.observe(42, 1.0);
+        }
+        assert!(!selector.ingest_round(&round));
+        // 40 ingested: 59 more cannot complete the window, 60 can.
+        assert!(!selector.stop_possible_after(59));
+        assert!(selector.stop_possible_after(60));
+        // Once stopped, any horizon reports possible.
+        let mut big = OnlineSlTracker::new();
+        for _ in 0..160 {
+            big.observe(42, 1.0);
+        }
+        assert!(selector.ingest_round(&big));
+        assert!(selector.stop_possible_after(0));
     }
 
     #[test]

@@ -8,7 +8,12 @@
 //! profile concurrently on their own thread (one simulated device each,
 //! as in [`crate::parallel`]), and the per-shard
 //! [`OnlineSlTracker`] states are merged into a
-//! [`StreamingSelector`] after every round. Once the sequence-length
+//! [`StreamingSelector`] after every round. The round loop is
+//! software-pipelined: while round N's reports merge (and its periodic
+//! checkpoint writes) on a helper thread, round N+1 is already
+//! executing on the placement — the stop/pause decision lands one round
+//! late, and the speculatively executed round is simply discarded,
+//! exactly what a resumed run would redo. Once the sequence-length
 //! space saturates, the harness stops *executing* iterations and keeps
 //! consuming the rest of the plan as free shape metadata: an iteration
 //! whose `(seq_len, samples)` shape was already profiled is replayed
@@ -562,6 +567,13 @@ pub fn profile_epoch_streaming_checkpointed(
 /// `seqpoint serve` uses on SIGTERM. Without a checkpoint policy the
 /// hook is ignored (there is nowhere to persist the pause).
 ///
+/// The measure phase overlaps round N+1's execution with round N's
+/// merge and checkpoint, so a pause or stop may discard one
+/// speculatively executed round; the persisted state never includes it,
+/// and the resumed run re-executes it bit-identically. Executors see at
+/// most one `execute_round` call at a time — the overlap never calls
+/// the executor concurrently with itself.
+///
 /// # Errors
 ///
 /// As [`profile_epoch_streaming_checkpointed`], plus
@@ -691,43 +703,40 @@ pub fn profile_epoch_streaming_with(
     };
     let interrupted = || interrupt.is_some_and(|f| f());
 
-    // Measure phase. `consumed` only ever advances by whole blocks, so
-    // div_ceil lands on the correct next block even after the final
-    // (possibly short) one.
+    // Measure phase, software-pipelined through the RoundExecutor seam:
+    // while round N's reports merge into the selector (and its
+    // checkpoint writes) on a helper thread, round N+1 is already
+    // executing on this thread. Speculation is gated on the selector's
+    // saturation window: while a stop provably cannot fire at the next
+    // merge, round N+1 launches eagerly; once a stop becomes possible,
+    // the merge outcome is awaited first so an early stop never pays for
+    // a round it would immediately throw away. A speculatively executed
+    // round discarded by a pause is exactly what a resumed run redoes,
+    // so the round-boundary resume contract is unchanged. `consumed`
+    // only ever advances by whole *merged* blocks (so div_ceil lands on
+    // the correct next block even after the final, possibly short, one),
+    // while `dealt` tracks the blocks handed to the executor and drives
+    // the round-robin dealing offsets.
     if !selector.should_stop() && consumed < total_iterations {
-        for block in plan
-            .rounds(options.round_len)
-            .skip(consumed.div_ceil(options.round_len))
-        {
-            if let Some(ckpt) = checkpoint {
-                if ckpt.max_rounds.is_some_and(|m| blocks_this_run >= m) || interrupted() {
-                    let state = snapshot(
-                        &selector,
-                        &shapes,
-                        consumed,
-                        profiled_serial_s,
-                        profiled_wall_s,
-                    );
-                    write_checkpoint(&ckpt.path, &state)?;
-                    return Ok(pause(&selector, consumed, &ckpt.path));
-                }
-            }
-            let chunks = deal_round(block, consumed, options.shards);
-            let reports = executor.execute_round(&chunks)?;
-            if reports.len() != chunks.len() {
-                return Err(ProfileError::Executor {
-                    message: format!(
-                        "executor answered {} of {} chunks",
-                        reports.len(),
-                        chunks.len()
-                    ),
-                });
-            }
+        // Merge one round's reports: cost accounting, shape-memo union,
+        // selector ingestion, and the periodic checkpoint — everything
+        // the sequential loop did between execute and the stop check.
+        // Returns whether the selector called the stop.
+        let merge_round = |reports: Vec<ShardReport>,
+                           block_len: usize,
+                           selector: &mut StreamingSelector,
+                           shapes: &mut HashMap<(u32, u32), IterationProfile>,
+                           consumed: &mut usize,
+                           profiled_serial_s: &mut f64,
+                           profiled_wall_s: &mut f64,
+                           blocks_this_run: &mut u64,
+                           since_checkpoint: &mut u32|
+         -> Result<bool, ProfileError> {
             let mut round = OnlineSlTracker::new();
             let mut slowest_shard_s = 0.0;
             for report in &reports {
                 round.merge(&report.tracker);
-                profiled_serial_s += report.chunk_time_s;
+                *profiled_serial_s += report.chunk_time_s;
                 slowest_shard_s = f64::max(slowest_shard_s, report.chunk_time_s);
                 for profile in &report.shapes {
                     shapes
@@ -735,26 +744,159 @@ pub fn profile_epoch_streaming_with(
                         .or_insert_with(|| profile.clone());
                 }
             }
-            profiled_wall_s += slowest_shard_s;
-            consumed += block.len();
-            blocks_this_run += 1;
-            since_checkpoint += 1;
+            *profiled_wall_s += slowest_shard_s;
+            *consumed += block_len;
+            *blocks_this_run += 1;
+            *since_checkpoint += 1;
             let stopped = selector.ingest_round(&round);
             if let Some(ckpt) = checkpoint {
-                if since_checkpoint >= ckpt.every_rounds {
+                if *since_checkpoint >= ckpt.every_rounds {
                     let state = snapshot(
-                        &selector,
-                        &shapes,
-                        consumed,
-                        profiled_serial_s,
-                        profiled_wall_s,
+                        selector,
+                        shapes,
+                        *consumed,
+                        *profiled_serial_s,
+                        *profiled_wall_s,
                     );
                     write_checkpoint(&ckpt.path, &state)?;
-                    since_checkpoint = 0;
+                    *since_checkpoint = 0;
                 }
             }
+            Ok(stopped)
+        };
+
+        let mut blocks = plan
+            .rounds(options.round_len)
+            .skip(consumed.div_ceil(options.round_len));
+        let mut dealt = consumed;
+        // The round handed to the executor but not yet merged, with its
+        // block length. An executor error parks here until the merge
+        // boundary — after the previous round's checkpoint landed, the
+        // same position the sequential loop surfaced it from.
+        let mut inflight: Option<(Result<Vec<ShardReport>, ProfileError>, usize)> = None;
+        loop {
+            // Reports of round N, error-checked before any new work is
+            // dispatched on a placement that just failed.
+            let pending = match inflight.take() {
+                Some((result, block_len)) => {
+                    let reports = result?;
+                    if reports.len() != options.shards {
+                        return Err(ProfileError::Executor {
+                            message: format!(
+                                "executor answered {} of {} chunks",
+                                reports.len(),
+                                options.shards
+                            ),
+                        });
+                    }
+                    Some((reports, block_len))
+                }
+                None => None,
+            };
+            let mut next_launch = || {
+                blocks.next().map(|block| {
+                    let chunks = deal_round(block, dealt, options.shards);
+                    dealt += block.len();
+                    (chunks, block.len())
+                })
+            };
+            let stopped = match pending {
+                Some((reports, block_len)) => {
+                    if selector.stop_possible_after(block_len as u64) {
+                        // Merging round N may fire the stop, so round N+1
+                        // waits for the outcome — speculating here would
+                        // measure a full round the stop then discards.
+                        let stopped = merge_round(
+                            reports,
+                            block_len,
+                            &mut selector,
+                            &mut shapes,
+                            &mut consumed,
+                            &mut profiled_serial_s,
+                            &mut profiled_wall_s,
+                            &mut blocks_this_run,
+                            &mut since_checkpoint,
+                        )?;
+                        if !stopped {
+                            if let Some((chunks, launch_len)) = next_launch() {
+                                inflight = Some((executor.execute_round(&chunks), launch_len));
+                            }
+                        }
+                        stopped
+                    } else if let Some((chunks, launch_len)) = next_launch() {
+                        // Steady state: the stop provably cannot fire at
+                        // this merge (the saturation window cannot complete
+                        // yet), so round N+1 executes while round N merges
+                        // and checkpoints on a helper thread.
+                        let (merge_result, exec_result) = std::thread::scope(|scope| {
+                            let merger = scope.spawn(|| {
+                                merge_round(
+                                    reports,
+                                    block_len,
+                                    &mut selector,
+                                    &mut shapes,
+                                    &mut consumed,
+                                    &mut profiled_serial_s,
+                                    &mut profiled_wall_s,
+                                    &mut blocks_this_run,
+                                    &mut since_checkpoint,
+                                )
+                            });
+                            let exec_result = executor.execute_round(&chunks);
+                            let merge_result = merger.join().expect("round merge panicked");
+                            (merge_result, exec_result)
+                        });
+                        inflight = Some((exec_result, launch_len));
+                        merge_result?
+                    } else {
+                        // Plan exhausted: drain the last round, nothing
+                        // overlaps.
+                        merge_round(
+                            reports,
+                            block_len,
+                            &mut selector,
+                            &mut shapes,
+                            &mut consumed,
+                            &mut profiled_serial_s,
+                            &mut profiled_wall_s,
+                            &mut blocks_this_run,
+                            &mut since_checkpoint,
+                        )?
+                    }
+                }
+                // Pipeline fill: the very first round has no predecessor.
+                None => match next_launch() {
+                    Some((chunks, launch_len)) => {
+                        inflight = Some((executor.execute_round(&chunks), launch_len));
+                        false
+                    }
+                    None => break,
+                },
+            };
             if stopped {
+                // Discard any speculative round: the replay phase covers
+                // those iterations from the shape memo.
                 break;
+            }
+            // Round-boundary pause check, polled once per launched round
+            // exactly as the sequential loop polled once per executed
+            // round. Only while more measure work is in flight — a fully
+            // drained measure phase hands control to the replay loop,
+            // which runs its own boundary checks.
+            if inflight.is_some() {
+                if let Some(ckpt) = checkpoint {
+                    if ckpt.max_rounds.is_some_and(|m| blocks_this_run >= m) || interrupted() {
+                        let state = snapshot(
+                            &selector,
+                            &shapes,
+                            consumed,
+                            profiled_serial_s,
+                            profiled_wall_s,
+                        );
+                        write_checkpoint(&ckpt.path, &state)?;
+                        return Ok(pause(&selector, consumed, &ckpt.path));
+                    }
+                }
             }
         }
     }
@@ -1446,5 +1588,266 @@ mod tests {
         assert_eq!(state.consumed(), 64);
         assert!(state.shapes_profiled() > 0);
         assert_eq!(state.selector().rounds(), pause.rounds_ingested);
+    }
+
+    /// A [`ThreadExecutor`] wrapper recording the (sorted) batch
+    /// multiset of every `execute_round` call — the witness that the
+    /// pipelined loop speculated, discarded, and replayed.
+    struct RecordingExecutor<'a> {
+        inner: ThreadExecutor<'a>,
+        rounds: Vec<Vec<BatchShape>>,
+    }
+
+    impl<'a> RecordingExecutor<'a> {
+        fn new(
+            profiler: &'a Profiler,
+            network: &'a Network,
+            device: Device,
+            options: &StreamOptions,
+        ) -> Self {
+            RecordingExecutor {
+                inner: ThreadExecutor::new(profiler, network, device, options.stat, options.shards),
+                rounds: Vec::new(),
+            }
+        }
+    }
+
+    impl RoundExecutor for RecordingExecutor<'_> {
+        fn execute_round(
+            &mut self,
+            chunks: &[ShardChunk],
+        ) -> Result<Vec<ShardReport>, ProfileError> {
+            let mut batches: Vec<BatchShape> = chunks
+                .iter()
+                .flat_map(|c| c.batches.iter().copied())
+                .collect();
+            batches.sort_by_key(|b| (b.seq_len, b.samples));
+            self.rounds.push(batches);
+            self.inner.execute_round(chunks)
+        }
+
+        fn profile_shape(
+            &mut self,
+            shape: IterationShape,
+        ) -> Result<IterationProfile, ProfileError> {
+            self.inner.profile_shape(shape)
+        }
+
+        fn seed_shapes(&mut self, shapes: &[IterationProfile]) {
+            self.inner.seed_shapes(shapes);
+        }
+    }
+
+    /// A [`ThreadExecutor`] wrapper that loses its workers on the
+    /// `fail_on`-th round.
+    struct FlakyExecutor<'a> {
+        inner: ThreadExecutor<'a>,
+        calls: u32,
+        fail_on: u32,
+    }
+
+    impl RoundExecutor for FlakyExecutor<'_> {
+        fn execute_round(
+            &mut self,
+            chunks: &[ShardChunk],
+        ) -> Result<Vec<ShardReport>, ProfileError> {
+            self.calls += 1;
+            if self.calls == self.fail_on {
+                return Err(ProfileError::Executor {
+                    message: "injected worker loss".to_owned(),
+                });
+            }
+            self.inner.execute_round(chunks)
+        }
+
+        fn profile_shape(
+            &mut self,
+            shape: IterationShape,
+        ) -> Result<IterationProfile, ProfileError> {
+            self.inner.profile_shape(shape)
+        }
+
+        fn seed_shapes(&mut self, shapes: &[IterationProfile]) {
+            self.inner.seed_shapes(shapes);
+        }
+    }
+
+    #[test]
+    fn every_round_boundary_discards_the_speculative_round_and_replays_it() {
+        // A 6k-sentence epoch saturates in a handful of rounds, keeping
+        // the boundary sweep (a full resume per boundary) affordable.
+        let corpus = Corpus::iwslt15_like(6_000, 13);
+        let plan = EpochPlan::new(&corpus, BatchPolicy::shuffled(16), 13).unwrap();
+        let net = gnmt_with(400, 48);
+        let device = device();
+        let profiler = Profiler::new();
+        let options = StreamOptions {
+            shards: 3,
+            round_len: 25,
+            ..StreamOptions::default()
+        };
+        let fingerprint = stream_fingerprint(&net, &plan, &device, &options);
+        let uninterrupted =
+            profile_epoch_streaming(&profiler, &net, &plan, &device, &options).unwrap();
+
+        // Kill at every round boundary in turn (fresh checkpoint each
+        // time). Every boundary of the pipelined measure loop is
+        // exercised; once the pauses move into the (sequential) replay
+        // phase, two more suffice — nothing speculates there.
+        let mut boundary: u64 = 0;
+        let mut replay_pauses = 0;
+        loop {
+            boundary += 1;
+            assert!(boundary < 100, "the kill loop never exhausted the run");
+            if replay_pauses >= 2 {
+                break;
+            }
+            let ckpt = TempCheckpoint::new(&format!("boundary{boundary}"));
+            let mut killed = RecordingExecutor::new(&profiler, &net, device.clone(), &options);
+            let outcome = profile_epoch_streaming_with(
+                &mut killed,
+                &plan,
+                &options,
+                fingerprint,
+                Some(&CheckpointOptions {
+                    every_rounds: 1,
+                    max_rounds: Some(boundary),
+                    ..CheckpointOptions::new(ckpt.path())
+                }),
+                None,
+            )
+            .unwrap();
+            let StreamOutcome::Paused(pause) = outcome else {
+                break; // budget outlived the run: every boundary covered
+            };
+            let merged = pause.rounds_ingested as usize;
+            // While measurement was still running, the loop had already
+            // launched exactly one round beyond what it merged — the
+            // speculation. (A pause inside the replay phase launches
+            // nothing new.)
+            if killed.rounds.len() > merged {
+                assert_eq!(
+                    killed.rounds.len(),
+                    merged + 1,
+                    "boundary {boundary}: exactly one speculative round"
+                );
+            } else {
+                replay_pauses += 1;
+            }
+            let mut resumed_exec =
+                RecordingExecutor::new(&profiler, &net, device.clone(), &options);
+            let resumed = match profile_epoch_streaming_with(
+                &mut resumed_exec,
+                &plan,
+                &options,
+                fingerprint,
+                Some(&CheckpointOptions::new(ckpt.path())),
+                None,
+            )
+            .unwrap()
+            {
+                StreamOutcome::Complete(profile) => profile,
+                StreamOutcome::Paused(_) => panic!("resume without a budget must complete"),
+            };
+            // The in-flight round was not persisted: the resumed run
+            // re-executes that exact block first, and the end-to-end
+            // outcome is bit-identical to the uninterrupted run.
+            assert_eq!(resumed, uninterrupted, "boundary {boundary}");
+            if killed.rounds.len() > merged && !resumed_exec.rounds.is_empty() {
+                assert_eq!(
+                    resumed_exec.rounds[0], killed.rounds[merged],
+                    "boundary {boundary}: the discarded round is replayed first"
+                );
+            }
+        }
+        assert!(boundary > 3, "expected several boundaries, got {boundary}");
+    }
+
+    #[test]
+    fn speculative_round_failure_is_discarded_by_a_pause_and_surfaces_at_a_merge() {
+        let (net, plan) = big_workload();
+        let device = device();
+        let profiler = Profiler::new();
+        let options = StreamOptions {
+            shards: 3,
+            round_len: 25,
+            ..StreamOptions::default()
+        };
+        let fingerprint = stream_fingerprint(&net, &plan, &device, &options);
+        let uninterrupted =
+            profile_epoch_streaming(&profiler, &net, &plan, &device, &options).unwrap();
+        let executor = |fail_on| FlakyExecutor {
+            inner: ThreadExecutor::new(
+                &profiler,
+                &net,
+                device.clone(),
+                options.stat,
+                options.shards,
+            ),
+            calls: 0,
+            fail_on,
+        };
+
+        // With a 2-round budget the 3rd round is still speculative at
+        // the pause boundary, so its injected failure is discarded with
+        // it — the pause wins, not the error.
+        let ckpt = TempCheckpoint::new("flaky-paused");
+        let outcome = profile_epoch_streaming_with(
+            &mut executor(3),
+            &plan,
+            &options,
+            fingerprint,
+            Some(&CheckpointOptions {
+                every_rounds: 1,
+                max_rounds: Some(2),
+                ..CheckpointOptions::new(ckpt.path())
+            }),
+            None,
+        )
+        .unwrap();
+        assert!(matches!(outcome, StreamOutcome::Paused(_)));
+
+        // Without the budget the same failure surfaces as an executor
+        // error at the next merge boundary — after round 2's checkpoint
+        // landed, so the state on disk is still consistent.
+        let ckpt2 = TempCheckpoint::new("flaky-error");
+        let err = profile_epoch_streaming_with(
+            &mut executor(3),
+            &plan,
+            &options,
+            fingerprint,
+            Some(&CheckpointOptions {
+                every_rounds: 1,
+                ..CheckpointOptions::new(ckpt2.path())
+            }),
+            None,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ProfileError::Executor { .. }));
+
+        // Both leftovers resume to the uninterrupted result.
+        for path in [ckpt.path(), ckpt2.path()] {
+            let mut healthy = ThreadExecutor::new(
+                &profiler,
+                &net,
+                device.clone(),
+                options.stat,
+                options.shards,
+            );
+            let resumed = match profile_epoch_streaming_with(
+                &mut healthy,
+                &plan,
+                &options,
+                fingerprint,
+                Some(&CheckpointOptions::new(path)),
+                None,
+            )
+            .unwrap()
+            {
+                StreamOutcome::Complete(profile) => profile,
+                StreamOutcome::Paused(_) => panic!("resume without a budget must complete"),
+            };
+            assert_eq!(resumed, uninterrupted);
+        }
     }
 }

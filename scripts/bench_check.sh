@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Regression gate over the committed perf trajectory: compare a freshly
+# captured BENCH_stream.json (scripts/bench_stream.sh) against the
+# baseline committed in the repo and fail if the stream path's median
+# wall-clock regressed past the threshold. Machine-independent identity
+# fields (iteration/round counts, early-stop decision) must match the
+# baseline exactly — a drift there means the workload changed and the
+# baseline needs a deliberate refresh, not a silent pass.
+#
+# Usage: scripts/bench_check.sh [fresh.json] [baseline.json]
+#   BENCH_THRESHOLD_PCT  allowed median regression in percent (default 15)
+set -euo pipefail
+
+FRESH="${1:-BENCH_fresh.json}"
+BASELINE="${2:-BENCH_stream.json}"
+THRESHOLD_PCT="${BENCH_THRESHOLD_PCT:-15}"
+
+[[ -f "$FRESH" ]] || { echo "bench_check: fresh report '$FRESH' not found" >&2; exit 1; }
+[[ -f "$BASELINE" ]] || { echo "bench_check: baseline '$BASELINE' not found" >&2; exit 1; }
+
+# Pull one field out of the report's single-line "stream" object.
+stream_field() { # file field
+  grep '"stream"' "$1" | grep -o "\"$2\": [^,}]*" | head -n1 | sed 's/.*: //'
+}
+
+require_field() { # file field
+  local v
+  v="$(stream_field "$1" "$2")"
+  [[ -n "$v" ]] || { echo "bench_check: '$1' has no stream field '$2'" >&2; exit 1; }
+  echo "$v"
+}
+
+fail=0
+for field in iterations_total iterations_measured rounds early_stopped; do
+  fresh_v="$(require_field "$FRESH" "$field")"
+  base_v="$(require_field "$BASELINE" "$field")"
+  if [[ "$fresh_v" != "$base_v" ]]; then
+    echo "bench_check: identity drift in '$field': fresh=$fresh_v baseline=$base_v" >&2
+    fail=1
+  fi
+done
+if [[ "$fail" -ne 0 ]]; then
+  echo "bench_check: FAILED — the benchmark no longer runs the baseline's workload;" >&2
+  echo "bench_check: refresh $BASELINE deliberately if the change is intended" >&2
+  exit 1
+fi
+
+fresh_median="$(require_field "$FRESH" median_wall_ms)"
+base_median="$(require_field "$BASELINE" median_wall_ms)"
+limit_x100=$((base_median * (100 + THRESHOLD_PCT)))
+
+echo "bench_check: stream median_wall_ms fresh=$fresh_median baseline=$base_median (threshold +$THRESHOLD_PCT%)"
+if ((fresh_median * 100 > limit_x100)); then
+  echo "bench_check: FAILED — median regressed past ${THRESHOLD_PCT}% of the committed baseline" >&2
+  exit 1
+fi
+echo "bench_check: OK"

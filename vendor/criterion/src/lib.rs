@@ -3,11 +3,14 @@
 //! The build environment has no crates.io access, so this crate provides
 //! the benchmark-definition API the workspace's `benches/` targets use —
 //! [`Criterion`], [`BenchmarkId`], benchmark groups, `Bencher::iter`, and
-//! the [`criterion_group!`] / [`criterion_main!`] macros — backed by a
-//! plain wall-clock loop instead of criterion's statistical engine. Each
-//! bench warms up once, runs `sample_size` timed iterations, and prints
-//! the mean per-iteration time. No outlier analysis, no HTML reports.
-//! Swap in the real crate once network access exists (`vendor/README.md`).
+//! the [`criterion_group!`] / [`criterion_main!`] macros — with a small
+//! statistical engine modeled on criterion's: a wall-clock warm-up phase
+//! before measurement, Tukey 1.5×IQR outlier rejection over the samples,
+//! and a bootstrap 95% confidence interval on the median (deterministic
+//! resampling, seeded from the benchmark label). Each line reports the
+//! median with its CI, the outlier-filtered mean, and how many samples
+//! were rejected. No HTML reports. Swap in the real crate once network
+//! access exists (`vendor/README.md`).
 
 #![forbid(unsafe_code)]
 
@@ -15,6 +18,13 @@ use std::fmt::Display;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Wall-clock budget of the warm-up phase preceding measurement.
+const WARM_UP: Duration = Duration::from_millis(100);
+/// Most warm-up calls before measurement starts regardless of budget.
+const WARM_UP_MAX_CALLS: usize = 10;
+/// Bootstrap resamples behind each confidence interval.
+const BOOTSTRAP_RESAMPLES: usize = 200;
 
 /// Top-level benchmark driver (mirror of `criterion::Criterion`).
 #[derive(Debug)]
@@ -150,49 +160,184 @@ impl From<String> for BenchmarkId {
 /// and times the workload.
 #[derive(Debug, Default)]
 pub struct Bencher {
-    samples: Vec<Duration>,
-    iters_per_sample: usize,
+    samples: Vec<f64>,
 }
 
 impl Bencher {
-    /// Time `routine`, called repeatedly; results are averaged.
+    /// Time `routine`: one timed batch per call, recorded as one
+    /// per-iteration sample.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
-        // Warm-up also sizes the batch so very fast routines get a
+        // An untimed call sizes the batch so very fast routines get a
         // measurable number of calls per sample.
-        let warm = Instant::now();
+        let sizing = Instant::now();
         black_box(routine());
-        let once = warm.elapsed();
+        let once = sizing.elapsed();
         let per_sample = if once < Duration::from_micros(50) {
             (Duration::from_micros(200).as_nanos() / once.as_nanos().max(1)) as usize + 1
         } else {
             1
         };
-        self.iters_per_sample = per_sample;
         let start = Instant::now();
         for _ in 0..per_sample {
             black_box(routine());
         }
-        self.samples.push(start.elapsed());
+        let nanos = start.elapsed().as_secs_f64() * 1e9;
+        self.samples.push(nanos / per_sample as f64);
     }
 }
 
+/// The statistics behind one report line, exposed for the unit tests.
+#[derive(Debug, Clone, PartialEq)]
+struct Analysis {
+    median: f64,
+    ci_lo: f64,
+    ci_hi: f64,
+    mean: f64,
+    kept: usize,
+    outliers: usize,
+}
+
 fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, f: &mut F) {
+    // Warm-up phase: run the routine unmeasured until the budget is
+    // spent, so caches, branch predictors, and allocator state settle
+    // before anything is recorded.
+    let warm_start = Instant::now();
+    let mut warm_calls = 0;
+    while warm_calls == 0 || (warm_start.elapsed() < WARM_UP && warm_calls < WARM_UP_MAX_CALLS) {
+        let mut b = Bencher::default();
+        f(&mut b);
+        if b.samples.is_empty() {
+            println!("{label:<60} (no measurement: bencher.iter never called)");
+            return;
+        }
+        warm_calls += 1;
+    }
+    // Measurement phase.
     let mut samples = Vec::with_capacity(sample_size);
-    let mut iters = 1usize;
     for _ in 0..sample_size {
         let mut b = Bencher::default();
         f(&mut b);
-        iters = b.iters_per_sample.max(1);
         samples.extend(b.samples);
     }
-    if samples.is_empty() {
-        println!("{label:<60} (no measurement: bencher.iter never called)");
-        return;
+    let analysis = analyze(&mut samples, seed_from_label(label));
+    println!(
+        "{label:<48} median {:>10} [{}, {}] (95% CI)   mean {:>10}   {} samples, {} outliers",
+        fmt_ns(analysis.median),
+        fmt_ns(analysis.ci_lo),
+        fmt_ns(analysis.ci_hi),
+        fmt_ns(analysis.mean),
+        analysis.kept,
+        analysis.outliers,
+    );
+}
+
+/// Tukey-filter the samples, then bootstrap a 95% CI on the median.
+/// Sorts `samples` in place.
+fn analyze(samples: &mut [f64], seed: u64) -> Analysis {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+    let (lo_fence, hi_fence) = tukey_fences(samples);
+    let kept: Vec<f64> = samples
+        .iter()
+        .copied()
+        .filter(|&s| s >= lo_fence && s <= hi_fence)
+        .collect();
+    let outliers = samples.len() - kept.len();
+    let mean = kept.iter().sum::<f64>() / kept.len() as f64;
+    let (ci_lo, ci_hi) = bootstrap_median_ci(&kept, seed);
+    Analysis {
+        median: median_of_sorted(samples),
+        ci_lo,
+        ci_hi,
+        mean,
+        kept: kept.len(),
+        outliers,
     }
-    let total: Duration = samples.iter().sum();
-    let mean = total / (samples.len() as u32 * iters as u32).max(1);
-    let best = *samples.iter().min().expect("non-empty") / iters as u32;
-    println!("{label:<60} mean {mean:>12?}   best {best:>12?}");
+}
+
+/// Median of an ascending-sorted, non-empty slice.
+fn median_of_sorted(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// Linear-interpolation quantile of an ascending-sorted, non-empty
+/// slice (the R-7 rule, what criterion's Tukey pass uses).
+fn quantile_of_sorted(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let rank = q * (n - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Tukey fences at 1.5×IQR outside the quartiles.
+fn tukey_fences(sorted: &[f64]) -> (f64, f64) {
+    let q1 = quantile_of_sorted(sorted, 0.25);
+    let q3 = quantile_of_sorted(sorted, 0.75);
+    let iqr = q3 - q1;
+    (q1 - 1.5 * iqr, q3 + 1.5 * iqr)
+}
+
+/// SplitMix64: a tiny deterministic generator for bootstrap resampling
+/// (no external RNG dependency, reproducible per label).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a of the label: the bootstrap seed, stable across runs.
+fn seed_from_label(label: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in label.as_bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Percentile-method bootstrap 95% confidence interval on the median:
+/// resample with replacement, take each resample's median, and read the
+/// 2.5th/97.5th percentiles of that distribution.
+fn bootstrap_median_ci(kept: &[f64], mut seed: u64) -> (f64, f64) {
+    let mut medians = Vec::with_capacity(BOOTSTRAP_RESAMPLES);
+    let mut resample = vec![0.0; kept.len()];
+    for _ in 0..BOOTSTRAP_RESAMPLES {
+        for slot in &mut resample {
+            let idx = (splitmix64(&mut seed) % kept.len() as u64) as usize;
+            *slot = kept[idx];
+        }
+        resample.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+        medians.push(median_of_sorted(&resample));
+    }
+    medians.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+    (
+        quantile_of_sorted(&medians, 0.025),
+        quantile_of_sorted(&medians, 0.975),
+    )
+}
+
+/// Render nanoseconds with the unit a human would pick.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1}ns")
+    } else if ns < 1e6 {
+        format!("{:.2}µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2}ms", ns / 1e6)
+    } else {
+        format!("{:.3}s", ns / 1e9)
+    }
 }
 
 /// Bundle benchmark functions into one group runner (mirror of
@@ -242,5 +387,62 @@ mod tests {
         assert_eq!(BenchmarkId::new("f", 32).render(), "f/32");
         assert_eq!(BenchmarkId::from(String::from("plain")).render(), "plain");
         assert_eq!(BenchmarkId::from_parameter(9).render(), "9");
+    }
+
+    #[test]
+    fn median_and_quantiles_interpolate() {
+        assert_eq!(median_of_sorted(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(median_of_sorted(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+        let sorted = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(quantile_of_sorted(&sorted, 0.0), 10.0);
+        assert_eq!(quantile_of_sorted(&sorted, 0.5), 30.0);
+        assert_eq!(quantile_of_sorted(&sorted, 1.0), 50.0);
+        assert_eq!(quantile_of_sorted(&sorted, 0.25), 20.0);
+        assert_eq!(quantile_of_sorted(&[7.0], 0.75), 7.0);
+    }
+
+    #[test]
+    fn tukey_rejects_the_stray_sample() {
+        // 19 tight samples and one 100× straggler (a GC pause, say).
+        let mut samples: Vec<f64> = (0..19).map(|i| 100.0 + i as f64).collect();
+        samples.push(10_000.0);
+        let analysis = analyze(&mut samples, 1);
+        assert_eq!(analysis.outliers, 1);
+        assert_eq!(analysis.kept, 19);
+        // The filtered mean sits in the tight cluster; an unfiltered
+        // mean would be dragged to ~600.
+        assert!(analysis.mean < 120.0, "mean = {}", analysis.mean);
+        assert!(analysis.ci_lo <= analysis.median && analysis.median <= analysis.ci_hi);
+    }
+
+    #[test]
+    fn bootstrap_ci_is_deterministic_and_brackets_the_median() {
+        let mut a: Vec<f64> = (0..50).map(|i| 200.0 + (i % 7) as f64).collect();
+        let mut b = a.clone();
+        let one = analyze(&mut a, seed_from_label("x"));
+        let two = analyze(&mut b, seed_from_label("x"));
+        assert_eq!(one, two, "same samples + seed ⇒ same analysis");
+        assert!(one.ci_lo <= one.median && one.median <= one.ci_hi);
+        // A different seed still brackets the median.
+        let three = analyze(&mut b.clone(), seed_from_label("y"));
+        assert!(three.ci_lo <= three.median && three.median <= three.ci_hi);
+    }
+
+    #[test]
+    fn constant_samples_collapse_the_interval() {
+        let mut samples = vec![42.0; 30];
+        let analysis = analyze(&mut samples, 9);
+        assert_eq!(analysis.median, 42.0);
+        assert_eq!(analysis.ci_lo, 42.0);
+        assert_eq!(analysis.ci_hi, 42.0);
+        assert_eq!(analysis.outliers, 0);
+    }
+
+    #[test]
+    fn formats_pick_sensible_units() {
+        assert_eq!(fmt_ns(12.34), "12.3ns");
+        assert_eq!(fmt_ns(12_345.0), "12.35µs");
+        assert_eq!(fmt_ns(12_345_678.0), "12.35ms");
+        assert_eq!(fmt_ns(2_500_000_000.0), "2.500s");
     }
 }

@@ -9,10 +9,14 @@
 //! deterministically from the test's name, so failures reproduce across
 //! runs.
 //!
-//! **Not implemented:** shrinking. A failing case reports the inputs via
-//! their `Debug`-free panic message (case index + seed) instead of a
-//! minimized counterexample. Swap in the real crate once network access
-//! exists (`vendor/README.md`).
+//! Shrinking is minimal but real: integer and float ranges shrink toward
+//! their lower bound, tuples shrink one component at a time, and vectors
+//! shrink first by length and then element-wise. A failing case is
+//! re-run against progressively simpler candidates (bounded by a fixed
+//! budget) and the panic reports both the original and the minimized
+//! counterexample. `prop_map` outputs do not shrink (the mapping is not
+//! invertible without the value-tree machinery of the real crate). Swap
+//! in the real crate once network access exists (`vendor/README.md`).
 
 #![forbid(unsafe_code)]
 
@@ -114,13 +118,21 @@ pub mod test_runner {
 pub use test_runner::Config as ProptestConfig;
 
 /// A recipe for generating random values (mirror of
-/// `proptest::strategy::Strategy`, minus shrinking).
+/// `proptest::strategy::Strategy`, with list-based shrinking in place of
+/// the real crate's value trees).
 pub trait Strategy {
     /// The type of value this strategy produces.
     type Value;
 
     /// Draw one value.
     fn new_value(&self, runner: &mut test_runner::TestRunner) -> Self::Value;
+
+    /// Candidate simplifications of `value`, simplest first. The
+    /// default — no candidates — makes a strategy opaque to shrinking
+    /// (notably [`prop_map`](Strategy::prop_map) outputs).
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 
     /// A strategy that applies `f` to every generated value.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
@@ -142,6 +154,58 @@ pub trait Strategy {
             inner: self,
             f,
             whence,
+        }
+    }
+}
+
+/// Pin a case closure's parameter type to the strategy's value type so
+/// its body type-checks at the definition site (used by [`proptest!`]).
+#[doc(hidden)]
+pub fn case_fn<S, F>(_strategy: &S, f: F) -> F
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> test_runner::TestCaseResult,
+{
+    f
+}
+
+/// Greedily minimize a failing input: repeatedly take the first shrink
+/// candidate that still fails, until none does or the re-run budget is
+/// spent. Candidates that pass or hit `prop_assume!` are skipped.
+/// Returns the minimized value, its failure message, and how many
+/// shrink steps were taken.
+#[doc(hidden)]
+pub fn shrink_failure<S, F>(
+    strategy: &S,
+    original: S::Value,
+    first_msg: &str,
+    run: &F,
+) -> (S::Value, String, usize)
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> test_runner::TestCaseResult,
+{
+    let mut current = original;
+    let mut msg = first_msg.to_string();
+    let mut steps = 0usize;
+    let mut budget = 512usize;
+    loop {
+        let mut advanced = false;
+        for candidate in strategy.shrink(&current) {
+            if budget == 0 {
+                return (current, msg, steps);
+            }
+            budget -= 1;
+            if let Err(test_runner::TestCaseError::Fail(m)) = run(&candidate) {
+                current = candidate;
+                msg = m;
+                steps += 1;
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            return (current, msg, steps);
         }
     }
 }
@@ -181,6 +245,14 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
         }
         panic!("prop_filter `{}` rejected 1024 draws in a row", self.whence);
     }
+
+    fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        self.inner
+            .shrink(value)
+            .into_iter()
+            .filter(|v| (self.f)(v))
+            .collect()
+    }
 }
 
 /// A strategy that always yields clones of one value (mirror of
@@ -196,13 +268,17 @@ impl<T: Clone> Strategy for Just<T> {
     }
 }
 
-macro_rules! impl_range_strategy {
+macro_rules! impl_int_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for core::ops::Range<$t> {
             type Value = $t;
 
             fn new_value(&self, runner: &mut test_runner::TestRunner) -> $t {
                 rand::Rng::gen_range(runner.rng(), self.clone())
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink(self.start, *value)
             }
         }
 
@@ -212,14 +288,104 @@ macro_rules! impl_range_strategy {
             fn new_value(&self, runner: &mut test_runner::TestRunner) -> $t {
                 rand::Rng::gen_range(runner.rng(), self.clone())
             }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink(*self.start(), *value)
+            }
+        }
+
+        impl IntShrink for $t {
+            fn int_shrink(lo: Self, v: Self) -> Vec<Self> {
+                let mut out = Vec::new();
+                if v > lo {
+                    out.push(lo);
+                    // `checked_sub` dodges signed overflow on extreme
+                    // ranges; the fallback still moves toward zero.
+                    let mid = match v.checked_sub(lo) {
+                        Some(span) => lo + span / 2,
+                        None => v / 2,
+                    };
+                    if mid != lo && mid != v {
+                        out.push(mid);
+                    }
+                    let dec = v - 1;
+                    if dec != lo && dec != mid {
+                        out.push(dec);
+                    }
+                }
+                out
+            }
         }
     )*};
 }
-impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Lower-bound / halfway / decrement shrink candidates for one integer
+/// type (implemented by `impl_int_range_strategy!`).
+trait IntShrink: Sized {
+    fn int_shrink(lo: Self, v: Self) -> Vec<Self>;
+}
+
+fn int_shrink<T: IntShrink>(lo: T, v: T) -> Vec<T> {
+    T::int_shrink(lo, v)
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, runner: &mut test_runner::TestRunner) -> $t {
+                rand::Rng::gen_range(runner.rng(), self.clone())
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                float_shrink(self.start as f64, *value as f64)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, runner: &mut test_runner::TestRunner) -> $t {
+                rand::Rng::gen_range(runner.rng(), self.clone())
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                float_shrink(*self.start() as f64, *value as f64)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
+        }
+    )*};
+}
+impl_float_range_strategy!(f32, f64);
+
+/// Lower-bound / halfway shrink candidates for a float drawn from a
+/// range starting at `lo`.
+fn float_shrink(lo: f64, v: f64) -> Vec<f64> {
+    let mut out = Vec::new();
+    if v > lo {
+        out.push(lo);
+        let mid = lo + (v - lo) / 2.0;
+        if mid != lo && mid != v && mid.is_finite() {
+            out.push(mid);
+        }
+    }
+    out
+}
 
 macro_rules! impl_tuple_strategy {
-    ($($name:ident),+) => {
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+    ($(($name:ident, $idx:tt)),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone,)+
+        {
             type Value = ($($name::Value,)+);
 
             #[allow(non_snake_case)]
@@ -227,21 +393,88 @@ macro_rules! impl_tuple_strategy {
                 let ($($name,)+) = self;
                 ($($name.new_value(runner),)+)
             }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = candidate;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
         }
     };
 }
-impl_tuple_strategy!(A);
-impl_tuple_strategy!(A, B);
-impl_tuple_strategy!(A, B, C);
-impl_tuple_strategy!(A, B, C, D);
-impl_tuple_strategy!(A, B, C, D, E);
-impl_tuple_strategy!(A, B, C, D, E, F);
-impl_tuple_strategy!(A, B, C, D, E, F, G);
-impl_tuple_strategy!(A, B, C, D, E, F, G, H);
-impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
-impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
-impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K);
-impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K, L);
+impl_tuple_strategy!((A, 0));
+impl_tuple_strategy!((A, 0), (B, 1));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4), (F, 5));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4), (F, 5), (G, 6));
+impl_tuple_strategy!(
+    (A, 0),
+    (B, 1),
+    (C, 2),
+    (D, 3),
+    (E, 4),
+    (F, 5),
+    (G, 6),
+    (H, 7)
+);
+impl_tuple_strategy!(
+    (A, 0),
+    (B, 1),
+    (C, 2),
+    (D, 3),
+    (E, 4),
+    (F, 5),
+    (G, 6),
+    (H, 7),
+    (I, 8)
+);
+impl_tuple_strategy!(
+    (A, 0),
+    (B, 1),
+    (C, 2),
+    (D, 3),
+    (E, 4),
+    (F, 5),
+    (G, 6),
+    (H, 7),
+    (I, 8),
+    (J, 9)
+);
+impl_tuple_strategy!(
+    (A, 0),
+    (B, 1),
+    (C, 2),
+    (D, 3),
+    (E, 4),
+    (F, 5),
+    (G, 6),
+    (H, 7),
+    (I, 8),
+    (J, 9),
+    (K, 10)
+);
+impl_tuple_strategy!(
+    (A, 0),
+    (B, 1),
+    (C, 2),
+    (D, 3),
+    (E, 4),
+    (F, 5),
+    (G, 6),
+    (H, 7),
+    (I, 8),
+    (J, 9),
+    (K, 10),
+    (L, 11)
+);
 
 pub mod collection {
     //! Collection strategies (mirror of `proptest::collection`).
@@ -296,13 +529,42 @@ pub mod collection {
         size: SizeRange,
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
 
         fn new_value(&self, runner: &mut test_runner::TestRunner) -> Vec<S::Value> {
             assert!(self.size.lo < self.size.hi, "empty collection size range");
             let n = (self.size.lo..self.size.hi).new_value(runner);
             (0..n).map(|_| self.element.new_value(runner)).collect()
+        }
+
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            let lo = self.size.lo;
+            let n = value.len();
+            // Length first — dropping elements simplifies far faster
+            // than shrinking them in place.
+            if n > lo {
+                out.push(value[..lo].to_vec());
+                let half = lo + (n - lo) / 2;
+                if half != lo && half != n {
+                    out.push(value[..half].to_vec());
+                }
+                if n - 1 != lo && n - 1 != half {
+                    out.push(value[..n - 1].to_vec());
+                }
+            }
+            for (i, element) in value.iter().enumerate() {
+                for candidate in self.element.shrink(element) {
+                    let mut next = value.clone();
+                    next[i] = candidate;
+                    out.push(next);
+                }
+            }
+            out
         }
     }
 }
@@ -390,6 +652,11 @@ macro_rules! prop_assume {
 ///     fn my_property(x in 0u32..10, mut v in my_strategy()) { ... }
 /// }
 /// ```
+///
+/// A failing case is shrunk before the panic: the report carries the
+/// originally drawn inputs and the minimized counterexample. Generated
+/// values must be `Clone + Debug` for this (every strategy in the
+/// workspace produces such values).
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($config:expr)] $($rest:tt)*) => {
@@ -404,15 +671,17 @@ macro_rules! proptest {
             let config: $crate::test_runner::Config = $config;
             let mut runner =
                 $crate::test_runner::TestRunner::new(config, concat!(module_path!(), "::", stringify!($name)));
+            let strategies = ($($strategy,)+);
+            let run_case = $crate::case_fn(&strategies, |vals| {
+                let ($($pat,)+) = ::core::clone::Clone::clone(vals);
+                $body
+                ::core::result::Result::Ok(())
+            });
             let mut passed = 0u32;
             let mut rejected = 0u32;
             while passed < runner.cases() {
-                let case: $crate::test_runner::TestCaseResult = (|| {
-                    $(let $pat = $crate::Strategy::new_value(&($strategy), &mut runner);)+
-                    $body
-                    ::core::result::Result::Ok(())
-                })();
-                match case {
+                let vals = $crate::Strategy::new_value(&strategies, &mut runner);
+                match run_case(&vals) {
                     ::core::result::Result::Ok(()) => passed += 1,
                     ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(why)) => {
                         rejected += 1;
@@ -424,9 +693,16 @@ macro_rules! proptest {
                         }
                     }
                     ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        let original = ::core::clone::Clone::clone(&vals);
+                        let (minimal, minimal_msg, steps) =
+                            $crate::shrink_failure(&strategies, vals, &msg, &run_case);
                         panic!(
-                            "property `{}` failed at case {} (seed {:#x}, after {} rejects): {}",
-                            stringify!($name), passed, runner.seed(), rejected, msg
+                            "property `{}` failed at case {} (seed {:#x}, after {} rejects): {}\n\
+                             original: {:?}\n\
+                             minimal after {} shrink steps: {:?}\n\
+                             minimal failure: {}",
+                            stringify!($name), passed, runner.seed(), rejected, msg,
+                            original, steps, minimal, minimal_msg
                         );
                     }
                 }
@@ -441,6 +717,7 @@ macro_rules! proptest {
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
+    use crate::test_runner::{TestCaseError, TestCaseResult};
 
     fn arb_even() -> impl Strategy<Value = u32> {
         (0u32..1000).prop_map(|x| x * 2)
@@ -484,5 +761,89 @@ mod tests {
         let va: Vec<u64> = (0..32).map(|_| s.new_value(&mut a)).collect();
         let vb: Vec<u64> = (0..32).map(|_| s.new_value(&mut b)).collect();
         assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn int_ranges_shrink_toward_the_lower_bound() {
+        assert_eq!((5u32..100).shrink(&50), vec![5, 27, 49]);
+        assert_eq!((5u32..100).shrink(&5), Vec::<u32>::new());
+        assert_eq!((5u32..100).shrink(&6), vec![5]);
+        assert_eq!((0i64..=9).shrink(&2), vec![0, 1]);
+    }
+
+    #[test]
+    fn float_ranges_shrink_toward_the_lower_bound() {
+        assert_eq!((-8.0f64..8.0).shrink(&4.0), vec![-8.0, -2.0]);
+        assert_eq!((-8.0f64..8.0).shrink(&-8.0), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn tuples_shrink_one_component_at_a_time() {
+        let s = (0u32..10, 0u32..10);
+        let candidates = s.shrink(&(4, 6));
+        assert!(candidates.contains(&(0, 6)), "{candidates:?}");
+        assert!(candidates.contains(&(4, 0)), "{candidates:?}");
+        assert!(
+            candidates.iter().all(|&(a, b)| a == 4 || b == 6),
+            "a candidate changed both components: {candidates:?}"
+        );
+    }
+
+    #[test]
+    fn filters_drop_candidates_their_predicate_rejects() {
+        let s = (0u32..100).prop_filter("nonzero", |&x| x != 0);
+        assert_eq!(s.shrink(&50), vec![25, 49]);
+    }
+
+    #[test]
+    fn shrinking_minimizes_a_failing_int() {
+        let strategy = (0u32..1000,);
+        let run = |vals: &(u32,)| -> TestCaseResult {
+            if vals.0 >= 10 {
+                Err(TestCaseError::Fail("too big".into()))
+            } else {
+                Ok(())
+            }
+        };
+        let (minimal, msg, steps) = crate::shrink_failure(&strategy, (907,), "too big", &run);
+        assert_eq!(minimal, (10,));
+        assert_eq!(msg, "too big");
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn shrinking_minimizes_a_failing_vec() {
+        let strategy = (crate::collection::vec(0u32..100, 0..10),);
+        let run = |vals: &(Vec<u32>,)| -> TestCaseResult {
+            if vals.0.iter().any(|&x| x >= 4) {
+                Err(TestCaseError::Fail("has a big element".into()))
+            } else {
+                Ok(())
+            }
+        };
+        let (minimal, _, _) =
+            crate::shrink_failure(&strategy, (vec![50, 3, 80],), "has a big element", &run);
+        assert_eq!(minimal, (vec![4],));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        // Deliberately failing; driven via catch_unwind below (no
+        // #[test] attribute, so the harness never runs it directly).
+        fn failing_property_for_report_test(x in 0u32..1000) {
+            prop_assert!(x < 10, "x = {x} is not small");
+        }
+    }
+
+    #[test]
+    fn failures_report_the_minimized_counterexample() {
+        let err = std::panic::catch_unwind(failing_property_for_report_test)
+            .expect_err("the property must fail");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("panic carries a formatted message");
+        assert!(msg.contains("original:"), "{msg}");
+        assert!(msg.contains("(10,)"), "minimal should be exactly 10: {msg}");
     }
 }
