@@ -30,7 +30,57 @@ use crate::CoreError;
 /// whose semantics they cannot honor; bumped on breaking changes.
 /// Version 2 added the [`Request::Hello`]/[`Response::Welcome`]
 /// handshake that carries the TCP auth token and version check.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// Version 3 added multi-tenant scheduling: client identity in the
+/// handshake, scheduling class/client fields in [`JobSpec`], the
+/// [`Request::Register`]/[`WorkerTask::Lease`] fleet frames, and
+/// cache/fleet accounting in [`Response::Pong`]/[`Response::Status`].
+pub const PROTOCOL_VERSION: u32 = 3;
+
+/// Scheduling class of a job under the weighted-fair scheduler.
+///
+/// Classes partition the queue: the scheduler picks the eligible class
+/// with the smallest weighted virtual time, so a flood of `batch`
+/// submissions cannot starve an `interactive` job — it only slows it by
+/// the inverse weight ratio. The class is *not* part of the result
+/// cache key: an interactive and a batch submission of the same work
+/// share one profiling run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum JobClass {
+    /// Latency-sensitive, human-in-the-loop work (the default).
+    #[default]
+    Interactive,
+    /// Throughput work that tolerates queueing behind interactive jobs.
+    Batch,
+}
+
+impl JobClass {
+    /// Lowercase label for human-facing output and CLI flags.
+    pub fn label(self) -> &'static str {
+        match self {
+            JobClass::Interactive => "interactive",
+            JobClass::Batch => "batch",
+        }
+    }
+
+    /// Scheduler weight: virtual time advances by `1 / weight` per
+    /// dispatched job, so a class with weight 4 gets ~4 slots for every
+    /// 1 a weight-1 class gets under contention.
+    pub fn weight(self) -> u64 {
+        match self {
+            JobClass::Interactive => 4,
+            JobClass::Batch => 1,
+        }
+    }
+
+    /// Parse a CLI/wire label (`interactive`/`batch`).
+    pub fn parse(label: &str) -> Option<JobClass> {
+        match label {
+            "interactive" => Some(JobClass::Interactive),
+            "batch" => Some(JobClass::Batch),
+            _ => None,
+        }
+    }
+}
 
 /// Everything that defines one profiling/selection job: the workload
 /// (model × dataset × scale × batch), the device configuration, and the
@@ -75,6 +125,16 @@ pub struct JobSpec {
     /// and for deterministic mid-run drain in the smoke tests).
     #[serde(default)]
     pub throttle_ms: u64,
+    /// Scheduling class (weighted-fair queueing); not part of the
+    /// result-cache key.
+    #[serde(default)]
+    pub class: JobClass,
+    /// Submitting client identity. Stamped by the server from the
+    /// `Hello` handshake (or the `--client` tag on Unix sockets); used
+    /// for per-client fair scheduling and in-flight quotas, never for
+    /// the result-cache key.
+    #[serde(default)]
+    pub client: String,
 }
 
 impl Default for JobSpec {
@@ -91,6 +151,8 @@ impl Default for JobSpec {
             stream: StreamConfig::default(),
             max_rounds: None,
             throttle_ms: 0,
+            class: JobClass::Interactive,
+            client: String::new(),
         }
     }
 }
@@ -177,6 +239,11 @@ pub enum Request {
         /// compared by the server), if the client has one.
         #[serde(default)]
         token: Option<String>,
+        /// Client identity for fair scheduling and quotas. Optional for
+        /// backward compatibility; connections that omit it are binned
+        /// under the anonymous client.
+        #[serde(default)]
+        client: Option<String>,
     },
     /// Liveness/stats probe.
     Ping,
@@ -215,6 +282,15 @@ pub enum Request {
         /// The worker process id (for supervision and the kill tests).
         pid: u64,
     },
+    /// Register this connection into the elastic worker fleet: the
+    /// worker joins the shared pool, is leased per-round to whichever
+    /// job the scheduler picks, and is reclaimed on disconnect. The
+    /// version-3 spelling of [`Request::WorkerHello`] (which the server
+    /// still accepts as an alias).
+    Register {
+        /// The worker process id (for supervision and the kill tests).
+        pid: u64,
+    },
 }
 
 /// One server → client line.
@@ -237,6 +313,23 @@ pub enum Response {
         /// Pids of the live subprocess workers (empty under thread
         /// placement).
         workers: Vec<u64>,
+        /// Submissions answered from the result cache (retained result
+        /// or single-flight attach) since the daemon started.
+        #[serde(default)]
+        cache_hits: u64,
+        /// Terminal results currently retained by the cache.
+        #[serde(default)]
+        cache_entries: u64,
+        /// Pids of registered fleet workers currently idle in the pool.
+        #[serde(default)]
+        fleet_idle: Vec<u64>,
+        /// Per-round worker leases granted since the daemon started.
+        #[serde(default)]
+        fleet_leases: u64,
+        /// Leased workers reclaimed dead (disconnect/SIGKILL) since the
+        /// daemon started; each costs the holding job at most 1 round.
+        #[serde(default)]
+        fleet_reclaimed: u64,
     },
     /// The job was accepted.
     Submitted {
@@ -256,6 +349,10 @@ pub enum Response {
         state: JobState,
         /// Human-readable progress detail.
         detail: String,
+        /// Whether this job was (or will be) answered from the result
+        /// cache instead of its own profiling run.
+        #[serde(default)]
+        cache_hit: bool,
     },
     /// A finished job's rendered output.
     Result {
@@ -312,6 +409,14 @@ pub enum WorkerTask {
         seq_len: u32,
         /// The shape's batch size.
         samples: u32,
+    },
+    /// The round that follows is on behalf of this job: a fleet worker
+    /// is being leased for one round. Informational — the worker
+    /// records it (for diagnostics) and must **not** reply; the round
+    /// tasks that follow are answered as usual.
+    Lease {
+        /// The job id holding the lease.
+        job: String,
     },
     /// Exit cleanly (drain).
     Shutdown,
@@ -399,16 +504,19 @@ mod tests {
         let hello = Request::Hello {
             version: PROTOCOL_VERSION,
             token: Some("s3cret".to_owned()),
+            client: Some("alice".to_owned()),
         };
         let back: Request = decode_frame(&encode_frame(&hello)).unwrap();
         assert_eq!(back, hello);
-        // A tokenless hello (Unix-socket handshake) may omit the field.
+        // A tokenless, clientless hello (a version-2 Unix-socket
+        // handshake) may omit both optional fields.
         let bare: Request = decode_frame("{\"Hello\":{\"version\":2}}").unwrap();
         assert_eq!(
             bare,
             Request::Hello {
                 version: 2,
-                token: None
+                token: None,
+                client: None
             }
         );
         let welcome = Response::Welcome {
@@ -416,6 +524,19 @@ mod tests {
         };
         let back: Response = decode_frame(&encode_frame(&welcome)).unwrap();
         assert_eq!(back, welcome);
+    }
+
+    #[test]
+    fn job_class_labels_weights_and_parsing() {
+        assert_eq!(JobClass::default(), JobClass::Interactive);
+        assert_eq!(JobClass::Interactive.label(), "interactive");
+        assert_eq!(JobClass::Batch.label(), "batch");
+        assert!(JobClass::Interactive.weight() > JobClass::Batch.weight());
+        assert_eq!(JobClass::parse("interactive"), Some(JobClass::Interactive));
+        assert_eq!(JobClass::parse("batch"), Some(JobClass::Batch));
+        assert_eq!(JobClass::parse("bulk"), None);
+        let back: JobClass = decode_frame(&encode_frame(&JobClass::Batch)).unwrap();
+        assert_eq!(back, JobClass::Batch);
     }
 
     #[test]
@@ -440,6 +561,10 @@ mod tests {
         assert_eq!(spec.samples, 20_000);
         assert_eq!(spec.stream, StreamConfig::default());
         assert_eq!(spec.max_rounds, None);
+        // Version-2 submissions carry no class/client; they land in the
+        // default class under the anonymous client.
+        assert_eq!(spec.class, JobClass::Interactive);
+        assert_eq!(spec.client, "");
         // Normalization never touches explicitly provided fields.
         let explicit: JobSpec =
             decode_frame("{\"model\":\"gnmt\",\"dataset\":\"iwslt15\",\"batch\":16,\"shards\":3}")

@@ -6,7 +6,8 @@
 
 use proptest::prelude::*;
 use seqpoint_core::protocol::{
-    decode_frame, encode_frame, JobSpec, JobState, Request, Response, WorkerReply, WorkerTask,
+    decode_frame, encode_frame, JobClass, JobSpec, JobState, Request, Response, WorkerReply,
+    WorkerTask,
 };
 use seqpoint_core::stream::StreamConfig;
 use seqpoint_core::SeqPointConfig;
@@ -87,6 +88,12 @@ fn arb_spec() -> impl Strategy<Value = JobSpec> {
                     Some(max_rounds)
                 },
                 throttle_ms,
+                class: if seed % 2 == 0 {
+                    JobClass::Interactive
+                } else {
+                    JobClass::Batch
+                },
+                client: format!("tenant-{}", seed % 3),
             },
         )
 }
@@ -103,7 +110,7 @@ fn arb_state() -> impl Strategy<Value = JobState> {
 }
 
 fn arb_request() -> impl Strategy<Value = Request> {
-    ((0u32..9, arb_id(), 0u64..1 << 22), arb_spec()).prop_map(|((variant, job, pid), spec)| {
+    ((0u32..10, arb_id(), 0u64..1 << 22), arb_spec()).prop_map(|((variant, job, pid), spec)| {
         match variant {
             0 => Request::Ping,
             1 => Request::Shutdown,
@@ -120,8 +127,14 @@ fn arb_request() -> impl Strategy<Value = Request> {
             6 => Request::Cancel { job },
             7 => Request::Hello {
                 version: (pid & 0xFF) as u32,
-                token: if pid % 2 == 0 { Some(job) } else { None },
+                token: if pid % 2 == 0 {
+                    Some(job.clone())
+                } else {
+                    None
+                },
+                client: if pid % 3 == 0 { Some(job) } else { None },
             },
+            8 => Request::Register { pid },
             _ => Request::WorkerHello { pid },
         }
     })
@@ -141,7 +154,12 @@ fn arb_response() -> impl Strategy<Value = Response> {
                     version,
                     queued,
                     running,
-                    workers,
+                    workers: workers.clone(),
+                    cache_hits: queued * 3,
+                    cache_entries: running,
+                    fleet_idle: workers,
+                    fleet_leases: queued + running,
+                    fleet_reclaimed: queued % 2,
                 },
                 9 => Response::Welcome { version },
                 2 => Response::Submitted { job },
@@ -150,6 +168,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
                     job,
                     state,
                     detail: text,
+                    cache_hit: queued % 2 == 0,
                 },
                 5 => Response::Result { job, output: text },
                 6 => Response::Failed { job, reason: text },
@@ -161,7 +180,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
 
 fn arb_worker_task() -> impl Strategy<Value = WorkerTask> {
     (
-        (0u32..3, arb_id(), 1u32..6, arb_id()),
+        (0u32..4, arb_id(), 1u32..6, arb_id()),
         (0u32..16, 1u32..500, 1u32..128),
         proptest::collection::vec((1u32..500, 1u32..128), 0..40),
     )
@@ -175,6 +194,7 @@ fn arb_worker_task() -> impl Strategy<Value = WorkerTask> {
                     shard,
                     batches,
                 },
+                3 => WorkerTask::Lease { job: stat },
                 _ => WorkerTask::Profile {
                     model,
                     config,

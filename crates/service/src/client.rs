@@ -32,6 +32,11 @@ pub struct ClientOptions {
     /// finishes — but finite, so a wedged daemon cannot hang a script
     /// indefinitely.
     pub io_timeout: Option<Duration>,
+    /// Client identity announced in the `Hello` handshake. The server
+    /// accounts every submission on this connection to it (per-client
+    /// fairness and quotas); setting it forces a handshake even on a
+    /// Unix socket.
+    pub client: Option<String>,
 }
 
 impl Default for ClientOptions {
@@ -39,6 +44,7 @@ impl Default for ClientOptions {
         ClientOptions {
             token: None,
             io_timeout: Some(Duration::from_secs(600)),
+            client: None,
         }
     }
 }
@@ -53,6 +59,12 @@ impl ClientOptions {
     /// Options presenting a token in the handshake.
     pub fn with_token(mut self, token: impl Into<String>) -> Self {
         self.token = Some(token.into());
+        self
+    }
+
+    /// Options announcing a client identity in the handshake.
+    pub fn with_client(mut self, client: impl Into<String>) -> Self {
+        self.client = Some(client.into());
         self
     }
 }
@@ -110,11 +122,12 @@ impl Client {
             writer: stream,
             reader,
         };
-        if endpoint.is_tcp() || options.token.is_some() {
+        if endpoint.is_tcp() || options.token.is_some() || options.client.is_some() {
             client_handshake(
                 &mut client.writer,
                 &mut client.reader,
                 options.token.as_deref(),
+                options.client.as_deref(),
             )?;
         }
         Ok(client)
@@ -174,6 +187,7 @@ impl Client {
                     Some(limit) => limit.min(remaining),
                     None => remaining,
                 }),
+                client: options.client.clone(),
             };
             match Client::open(endpoint, &attempt_options) {
                 Ok(mut client) => match client.request(&Request::Ping) {

@@ -1,13 +1,18 @@
-//! Subprocess shard placement: a pool of registered `seqpoint worker`
-//! connections and a [`RoundExecutor`] that ships shard chunks to them.
+//! Subprocess shard placement: an elastic fleet of registered
+//! `seqpoint worker` connections and a [`RoundExecutor`] that ships
+//! shard chunks to them.
 //!
-//! Workers connect to the server socket, announce
-//! [`seqpoint_core::protocol::Request::WorkerHello`], and then receive
-//! [`WorkerTask`] frames and answer [`WorkerReply`] frames. Per-shard
-//! round results travel as serialized `OnlineSlTracker` state and
-//! `Vec<IterationProfile>` payloads in the checkpoint interchange
-//! format (round-trip-exact floats), so a subprocess round merges
-//! bit-identically to an in-process one.
+//! Workers connect to the server socket (Unix or TCP), announce
+//! [`seqpoint_core::protocol::Request::Register`] (or the legacy
+//! `WorkerHello`), and join the shared pool. They are **leased
+//! per-round** to whichever job the scheduler picked: at lease time the
+//! pool probes the connection's liveness and sends a
+//! [`WorkerTask::Lease`] frame naming the holder, then the executor's
+//! [`WorkerTask`] round frames follow, answered by [`WorkerReply`]
+//! frames. Per-shard round results travel as serialized
+//! `OnlineSlTracker` state and `Vec<IterationProfile>` payloads in the
+//! checkpoint interchange format (round-trip-exact floats), so a
+//! subprocess round merges bit-identically to an in-process one.
 //!
 //! Failure model: a worker that dies mid-round poisons the whole round —
 //! the executor closes every connection it had acquired (their reply
@@ -19,7 +24,7 @@
 //! "reassign from the last shard checkpoint" story the kill-a-worker
 //! test pins end to end.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -59,11 +64,34 @@ impl WorkerConn {
         decode_frame(&line)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
     }
+
+    /// Whether the worker behind this pooled connection is still there.
+    /// An idle worker never sends unsolicited bytes and its reader
+    /// buffer is empty between rounds, so a nonblocking 1-byte read
+    /// distinguishes the cases exactly: `WouldBlock` means alive and
+    /// idle; EOF, stray bytes, or any other error mean the connection
+    /// is dead or desynced and must be reclaimed, not leased.
+    fn is_alive(&mut self) -> bool {
+        if self.writer.set_nonblocking(true).is_err() {
+            return false;
+        }
+        let mut probe = [0u8; 1];
+        let verdict = match self.writer.read(&mut probe) {
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => true,
+            Ok(_) | Err(_) => false,
+        };
+        verdict && self.writer.set_nonblocking(false).is_ok()
+    }
 }
 
 struct PoolInner {
     idle: Vec<WorkerConn>,
     draining: bool,
+    /// Per-round leases granted over the pool's lifetime.
+    leases: u64,
+    /// Connections found dead at lease time (or unable to take the
+    /// lease frame) and reclaimed from the pool.
+    reclaimed: u64,
 }
 
 /// A blocking pool of registered worker connections, shared by every
@@ -94,6 +122,8 @@ impl WorkerPool {
             inner: Mutex::new(PoolInner {
                 idle: Vec::new(),
                 draining: false,
+                leases: 0,
+                reclaimed: 0,
             }),
             cv: Condvar::new(),
         }
@@ -124,10 +154,16 @@ impl WorkerPool {
         true
     }
 
-    /// Take up to `want` idle workers, blocking until at least one is
-    /// available. Returns `None` when draining or after `timeout` with
-    /// no worker (lost pool).
-    pub fn acquire(&self, want: usize, timeout: Duration) -> Option<Vec<WorkerConn>> {
+    /// Lease up to `want` idle workers to `job` for one round, blocking
+    /// until at least one is available. Every candidate is liveness-
+    /// probed first and sent a [`WorkerTask::Lease`] frame; a
+    /// connection that fails either is **reclaimed** (dropped and
+    /// counted) instead of handed to the executor — so a worker that
+    /// was SIGKILLed while idle in the pool costs nothing, and one
+    /// killed mid-round costs the holding job at most that round.
+    /// Returns `None` when draining or after `timeout` with no live
+    /// worker (lost pool).
+    pub fn lease(&self, want: usize, timeout: Duration, job: &str) -> Option<Vec<WorkerConn>> {
         let deadline = Instant::now() + timeout;
         let mut inner = self.inner.lock().expect("pool lock poisoned");
         loop {
@@ -136,7 +172,28 @@ impl WorkerPool {
             }
             if !inner.idle.is_empty() {
                 let take = want.clamp(1, inner.idle.len());
-                return Some(inner.idle.drain(..take).collect());
+                let candidates: Vec<WorkerConn> = inner.idle.drain(..take).collect();
+                let mut leased = Vec::new();
+                for mut conn in candidates {
+                    let lease = WorkerTask::Lease {
+                        job: job.to_owned(),
+                    };
+                    if conn.is_alive() && conn.send(&lease).is_ok() {
+                        leased.push(conn);
+                    } else {
+                        // Dead registration: drop the connection. The
+                        // supervisor (or the remote operator) brings a
+                        // replacement; nothing here blocks on it.
+                        inner.reclaimed += 1;
+                    }
+                }
+                if !leased.is_empty() {
+                    inner.leases += leased.len() as u64;
+                    return Some(leased);
+                }
+                // Every candidate was dead; retry immediately — more
+                // registrations may be idle or arriving.
+                continue;
             }
             let now = Instant::now();
             if now >= deadline {
@@ -148,6 +205,13 @@ impl WorkerPool {
                 .expect("pool lock poisoned");
             inner = guard;
         }
+    }
+
+    /// `(leases granted, connections reclaimed dead)` over the pool's
+    /// lifetime, for `Ping` accounting.
+    pub fn fleet_stats(&self) -> (u64, u64) {
+        let inner = self.inner.lock().expect("pool lock poisoned");
+        (inner.leases, inner.reclaimed)
     }
 
     /// Return healthy connections to the pool (dropped when draining).
@@ -187,6 +251,7 @@ fn executor_error(message: impl Into<String>) -> ProfileError {
 /// the socket.
 pub struct SubprocessExecutor<'p> {
     pool: &'p WorkerPool,
+    job: String,
     model: String,
     config: u32,
     stat: &'static str,
@@ -194,15 +259,18 @@ pub struct SubprocessExecutor<'p> {
 }
 
 impl<'p> SubprocessExecutor<'p> {
-    /// An executor for one job's rounds.
+    /// An executor for one job's rounds; `job` names the lease holder
+    /// in the [`WorkerTask::Lease`] frames sent to leased workers.
     pub fn new(
         pool: &'p WorkerPool,
+        job: impl Into<String>,
         model: impl Into<String>,
         config: u32,
         stat: &'static str,
     ) -> Self {
         SubprocessExecutor {
             pool,
+            job: job.into(),
             model: model.into(),
             config,
             stat,
@@ -218,7 +286,7 @@ impl<'p> SubprocessExecutor<'p> {
 
     fn acquire(&self, want: usize) -> Result<Vec<WorkerConn>, ProfileError> {
         self.pool
-            .acquire(want, self.acquire_timeout)
+            .lease(want, self.acquire_timeout, &self.job)
             .ok_or_else(|| executor_error("no workers available (pool drained or lost)"))
     }
 }
@@ -400,7 +468,7 @@ mod tests {
     fn acquire_times_out_on_an_empty_pool() {
         let pool = WorkerPool::new();
         let t0 = Instant::now();
-        assert!(pool.acquire(2, Duration::from_millis(50)).is_none());
+        assert!(pool.lease(2, Duration::from_millis(50), "job").is_none());
         assert!(t0.elapsed() >= Duration::from_millis(50));
     }
 
@@ -408,24 +476,60 @@ mod tests {
     fn drained_pool_rejects_registration_and_acquire() {
         let pool = WorkerPool::new();
         pool.drain();
-        assert!(pool.acquire(1, Duration::from_millis(10)).is_none());
+        assert!(pool.lease(1, Duration::from_millis(10), "job").is_none());
         let (a, _b) = std::os::unix::net::UnixStream::pair().unwrap();
         assert!(!pool.register(Stream::from(a), 1));
         assert!(pool.idle_pids().is_empty());
     }
 
     #[test]
-    fn register_acquire_release_cycle() {
+    fn register_lease_release_cycle() {
         let pool = WorkerPool::new();
         let (a, _keep_a) = std::os::unix::net::UnixStream::pair().unwrap();
         let (b, _keep_b) = std::os::unix::net::UnixStream::pair().unwrap();
         assert!(pool.register(Stream::from(a), 11));
         assert!(pool.register(Stream::from(b), 22));
         assert_eq!(pool.idle_pids(), vec![11, 22]);
-        let conns = pool.acquire(5, Duration::from_millis(10)).unwrap();
-        assert_eq!(conns.len(), 2, "acquire caps at availability");
+        let conns = pool.lease(5, Duration::from_millis(10), "job").unwrap();
+        assert_eq!(conns.len(), 2, "lease caps at availability");
         assert!(pool.idle_pids().is_empty());
         pool.release(conns);
         assert_eq!(pool.idle_pids().len(), 2);
+        assert_eq!(pool.fleet_stats(), (2, 0));
+    }
+
+    #[test]
+    fn dead_registrations_are_reclaimed_at_lease_time() {
+        let pool = WorkerPool::new();
+        let (dead, hangup) = std::os::unix::net::UnixStream::pair().unwrap();
+        let (live, _keep_live) = std::os::unix::net::UnixStream::pair().unwrap();
+        assert!(pool.register(Stream::from(dead), 11));
+        assert!(pool.register(Stream::from(live), 22));
+        drop(hangup); // pid 11's peer vanishes (SIGKILL while idle)
+        let conns = pool.lease(2, Duration::from_millis(50), "job").unwrap();
+        assert_eq!(conns.len(), 1, "dead connection is not leased");
+        assert_eq!(conns[0].pid, 22);
+        let (leases, reclaimed) = pool.fleet_stats();
+        assert_eq!(leases, 1);
+        assert_eq!(reclaimed, 1);
+    }
+
+    #[test]
+    fn leased_worker_receives_the_lease_frame() {
+        let pool = WorkerPool::new();
+        let (server_side, worker_side) = std::os::unix::net::UnixStream::pair().unwrap();
+        assert!(pool.register(Stream::from(server_side), 7));
+        let conns = pool.lease(1, Duration::from_millis(50), "job-42").unwrap();
+        let mut reader = BufReader::new(worker_side);
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let task: WorkerTask = decode_frame(&line).unwrap();
+        assert_eq!(
+            task,
+            WorkerTask::Lease {
+                job: "job-42".to_owned()
+            }
+        );
+        pool.release(conns);
     }
 }

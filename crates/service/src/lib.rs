@@ -29,9 +29,11 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod client;
 mod error;
 pub mod executor;
+pub mod sched;
 pub mod server;
 pub mod spec;
 pub mod transport;

@@ -24,7 +24,7 @@
 //!   restarting with the same `--state-dir` finishes everything with
 //!   bit-identical results.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpListener;
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -35,7 +35,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, SystemTime};
 
 use seqpoint_core::protocol::{
-    decode_frame, encode_frame, JobSpec, JobState, Request, Response, PROTOCOL_VERSION,
+    decode_frame, encode_frame, JobClass, JobSpec, JobState, Request, Response, PROTOCOL_VERSION,
 };
 use sqnn_profiler::stream::{
     profile_epoch_streaming_with, stream_fingerprint, CheckpointOptions, RoundExecutor,
@@ -43,8 +43,10 @@ use sqnn_profiler::stream::{
 };
 use sqnn_profiler::{ProfileError, Profiler};
 
+use crate::cache::{Admission, CacheKey, ResultCache};
 use crate::executor::{SubprocessExecutor, ThrottledExecutor, WorkerPool};
-use crate::spec::{render_streamed, resolve};
+use crate::sched::Scheduler;
+use crate::spec::{render_streamed, resolve, ResolvedJob};
 use crate::transport::{token_matches, Listener, Stream};
 use crate::ServiceError;
 
@@ -132,6 +134,15 @@ pub struct ServeConfig {
     /// Binary to spawn for subprocess workers (defaults to the current
     /// executable, which is the `seqpoint` binary under `serve`).
     pub worker_exe: Option<PathBuf>,
+    /// Weighted-fair queueing across [`JobClass`]es with round-robin
+    /// service among clients (see [`crate::sched`]). With one client
+    /// and one class this degenerates to FIFO, so it is on by default;
+    /// `false` restores strict global FIFO.
+    pub fair: bool,
+    /// At most this many non-terminal jobs per client identity;
+    /// submissions beyond it are rejected (admission error) instead of
+    /// queueing unboundedly. `None` is unlimited.
+    pub client_quota: Option<usize>,
 }
 
 impl ServeConfig {
@@ -149,6 +160,8 @@ impl ServeConfig {
             retain_jobs: None,
             placement: Placement::Threads,
             worker_exe: None,
+            fair: true,
+            client_quota: None,
         }
     }
 }
@@ -174,10 +187,29 @@ struct JobEntry {
     /// the job finishing and its waiter waking, turning success into
     /// `unknown job`.
     waiters: u32,
+    /// Scheduling class (copied out of the spec at admission).
+    class: JobClass,
+    /// Submitting client identity (copied out of the spec).
+    client: String,
+    /// The result-cache key, when the spec resolved. `None` means the
+    /// job is uncacheable (it will fail at run time with the real
+    /// resolution error).
+    key: Option<CacheKey>,
+    /// Single-flight: the primary job this entry is a follower of. A
+    /// follower is never scheduled; it is settled when its primary
+    /// reaches a terminal state (or promoted if the primary cancels).
+    follows: Option<String>,
+    /// Single-flight: follower jobs settled by this entry's outcome.
+    followers: Vec<String>,
+    /// Whether this job was (or will be) answered from the result cache
+    /// rather than its own profiling run.
+    cache_hit: bool,
 }
 
 impl JobEntry {
     fn new(spec: JobSpec, state: JobState, detail: impl Into<String>) -> Self {
+        let class = spec.class;
+        let client = spec.client.clone();
         JobEntry {
             spec,
             state,
@@ -189,6 +221,12 @@ impl JobEntry {
             executor_failures: 0,
             finish_seq: 0,
             waiters: 0,
+            class,
+            client,
+            key: None,
+            follows: None,
+            followers: Vec::new(),
+            cache_hit: false,
         }
     }
 }
@@ -197,8 +235,8 @@ struct Shared {
     config: ServeConfig,
     jobs: Mutex<HashMap<String, JobEntry>>,
     jobs_cv: Condvar,
-    queue: Mutex<VecDeque<String>>,
-    queue_cv: Condvar,
+    sched: Scheduler,
+    cache: ResultCache,
     draining: AtomicBool,
     next_job: AtomicU64,
     /// Source of [`JobEntry::finish_seq`] stamps (terminal-order clock).
@@ -214,9 +252,27 @@ impl Shared {
 
     fn start_drain(&self) {
         self.draining.store(true, Ordering::Relaxed);
-        self.queue_cv.notify_all();
+        self.sched.notify_all();
         self.jobs_cv.notify_all();
         self.pool.drain();
+    }
+
+    /// The result-cache key of a resolved job: the stream fingerprint
+    /// plus the two semantic fields it does not pin down on its own
+    /// (shard count — part of the rendered output — and corpus seed,
+    /// which the fingerprint only sees through the shuffled batch
+    /// order).
+    fn cache_key(resolved: &ResolvedJob, spec: &JobSpec) -> CacheKey {
+        CacheKey {
+            fingerprint: stream_fingerprint(
+                &resolved.network,
+                &resolved.plan,
+                &resolved.device,
+                &resolved.options,
+            ),
+            shards: resolved.options.shards as u32,
+            seed: spec.seed,
+        }
     }
 
     fn spec_path(&self, id: &str) -> PathBuf {
@@ -249,16 +305,117 @@ impl Shared {
     }
 
     /// Stamp a job that just reached a terminal state with its
-    /// completion-order sequence number, then apply the retention bound.
-    /// Must run under the `jobs` lock (the caller passes the guard's
-    /// map).
+    /// completion-order sequence number, settle its single-flight
+    /// followers, then apply the retention bound. Must run under the
+    /// `jobs` lock (the caller passes the guard's map) — the single
+    /// funnel every terminal transition goes through.
     fn stamp_terminal(&self, jobs: &mut HashMap<String, JobEntry>, id: &str) {
-        if let Some(entry) = jobs.get_mut(id) {
-            if entry.state.is_terminal() && entry.finish_seq == 0 {
+        let newly_terminal = match jobs.get_mut(id) {
+            Some(entry) if entry.state.is_terminal() && entry.finish_seq == 0 => {
                 entry.finish_seq = self.finish_counter.fetch_add(1, Ordering::Relaxed) + 1;
+                true
             }
+            _ => false,
+        };
+        if newly_terminal {
+            self.settle_followers(jobs, id);
         }
         self.gc_terminal(jobs);
+    }
+
+    /// Settle the single-flight followers of a primary that just turned
+    /// terminal: `Done` fans the result out to every follower
+    /// (byte-identical, persisted like a real result), `Failed`
+    /// propagates the failure, and `Cancelled` promotes the oldest
+    /// follower into a scheduled primary so the group still gets its
+    /// one profiling run. Runs under the `jobs` lock.
+    fn settle_followers(&self, jobs: &mut HashMap<String, JobEntry>, id: &str) {
+        let (state, key, output, reason, mut followers) = {
+            let Some(entry) = jobs.get_mut(id) else {
+                return;
+            };
+            (
+                entry.state,
+                entry.key,
+                entry.output.clone(),
+                entry.reason.clone(),
+                std::mem::take(&mut entry.followers),
+            )
+        };
+        match state {
+            JobState::Done => {
+                if let Some(key) = key {
+                    self.cache.complete(key, id);
+                }
+                let output = output.unwrap_or_default();
+                for fid in followers {
+                    let _ = write_atomic(&self.result_path(&fid), &output);
+                    if let Some(f) = jobs.get_mut(&fid) {
+                        f.state = JobState::Done;
+                        f.detail = format!("done (served by job `{id}`)");
+                        f.output = Some(output.clone());
+                        f.follows = None;
+                        if f.finish_seq == 0 {
+                            f.finish_seq = self.finish_counter.fetch_add(1, Ordering::Relaxed) + 1;
+                        }
+                    }
+                }
+            }
+            JobState::Failed => {
+                if let Some(key) = key {
+                    self.cache.abandon(key, id);
+                }
+                let reason = format!("primary job `{id}` failed: {}", reason.unwrap_or_default());
+                for fid in followers {
+                    let _ = write_atomic(&self.error_path(&fid), &reason);
+                    if let Some(f) = jobs.get_mut(&fid) {
+                        f.state = JobState::Failed;
+                        f.detail = "failed with its single-flight primary".to_owned();
+                        f.reason = Some(reason.clone());
+                        f.follows = None;
+                        if f.finish_seq == 0 {
+                            f.finish_seq = self.finish_counter.fetch_add(1, Ordering::Relaxed) + 1;
+                        }
+                    }
+                }
+            }
+            JobState::Cancelled => {
+                // Oldest follower (sorted id order is deterministic)
+                // takes over; any follower cancelled meanwhile is gone
+                // from the list already, but stay defensive.
+                followers.sort();
+                followers.retain(|fid| jobs.get(fid).is_some_and(|f| !f.state.is_terminal()));
+                let Some(new_primary) = followers.first().cloned() else {
+                    if let Some(key) = key {
+                        self.cache.abandon(key, id);
+                    }
+                    return;
+                };
+                followers.remove(0);
+                if let Some(key) = key {
+                    self.cache.promote(key, id, &new_primary);
+                }
+                let (class, client) = {
+                    let f = jobs
+                        .get_mut(&new_primary)
+                        .expect("promoted follower exists");
+                    f.follows = None;
+                    f.followers = followers.clone();
+                    f.cache_hit = false;
+                    f.detail = format!("promoted to primary (job `{id}` cancelled)");
+                    (f.class, f.client.clone())
+                };
+                for fid in &followers {
+                    if let Some(f) = jobs.get_mut(fid) {
+                        f.follows = Some(new_primary.clone());
+                        f.detail = format!("single-flight: attached to job `{new_primary}`");
+                    }
+                }
+                // jobs → sched lock order, as everywhere.
+                self.sched.requeue(&new_primary, class, &client);
+            }
+            _ => {}
+        }
     }
 
     /// Evict terminal jobs beyond `retain_jobs`, oldest-finished first:
@@ -292,7 +449,15 @@ impl Shared {
             if waited_on {
                 continue;
             }
-            jobs.remove(&id);
+            if let Some(entry) = jobs.remove(&id) {
+                // A retained-result mapping goes with the entry that
+                // held the output.
+                if entry.state == JobState::Done {
+                    if let Some(key) = entry.key {
+                        self.cache.evict(key, &id);
+                    }
+                }
+            }
             let _ = std::fs::remove_file(self.spec_path(&id));
             let _ = std::fs::remove_file(self.result_path(&id));
             let _ = std::fs::remove_file(self.error_path(&id));
@@ -411,20 +576,96 @@ fn recover(shared: &Shared) -> Result<Vec<String>, ServiceError> {
     shared
         .finish_counter
         .store(terminal.len() as u64, Ordering::Relaxed);
+    // Rebuild the result cache and single-flight groups (before the GC,
+    // which needs the keys to keep the cache index consistent under
+    // eviction). Sorted-id iteration keeps recovery deterministic.
+    let mut ids: Vec<String> = jobs.keys().cloned().collect();
+    ids.sort();
+    for id in &ids {
+        let Some(entry) = jobs.get_mut(id) else {
+            continue;
+        };
+        if entry.spec.model.is_empty() {
+            continue; // unreadable-spec placeholder
+        }
+        entry.key = resolve(&entry.spec)
+            .ok()
+            .map(|r| Shared::cache_key(&r, &entry.spec));
+    }
+    for id in &ids {
+        let Some(entry) = jobs.get(id) else { continue };
+        if entry.state == JobState::Done {
+            if let Some(key) = entry.key {
+                shared.cache.register_ready(key, id);
+            }
+        }
+    }
+    // Unfinished jobs sharing a key collapse back into one primary plus
+    // followers; a key whose result is already retained settles its
+    // recovered duplicates outright. This is what makes a waiter that
+    // was attached to an in-flight job at SIGTERM receive the resumed
+    // run's result instead of triggering a second profiling run.
+    queued.sort();
+    let mut requeue_ids = Vec::new();
+    let mut primaries: HashMap<CacheKey, String> = HashMap::new();
+    for id in &queued {
+        let Some(key) = jobs.get(id).and_then(|e| e.key) else {
+            requeue_ids.push(id.clone());
+            continue;
+        };
+        if let Some(done) = shared.cache.lookup_ready(key) {
+            if let Some(output) = jobs.get(&done).and_then(|p| p.output.clone()) {
+                let _ = write_atomic(&shared.result_path(id), &output);
+                if let Some(entry) = jobs.get_mut(id) {
+                    entry.state = JobState::Done;
+                    entry.detail = format!("recovered: served from cache (job `{done}`)");
+                    entry.output = Some(output);
+                    entry.cache_hit = true;
+                    entry.finish_seq = shared.finish_counter.fetch_add(1, Ordering::Relaxed) + 1;
+                }
+                continue;
+            }
+        }
+        if let Some(primary) = primaries.get(&key) {
+            let primary = primary.clone();
+            if let Some(entry) = jobs.get_mut(id) {
+                entry.follows = Some(primary.clone());
+                entry.cache_hit = true;
+                entry.detail = format!("single-flight: attached to job `{primary}`");
+            }
+            if let Some(p) = jobs.get_mut(&primary) {
+                p.followers.push(id.clone());
+            }
+        } else {
+            primaries.insert(key, id.clone());
+            shared.cache.register_inflight(key, id);
+            requeue_ids.push(id.clone());
+        }
+    }
     shared.gc_terminal(&mut jobs);
     drop(jobs);
     shared.next_job.store(max_auto + 1, Ordering::Relaxed);
-    queued.sort();
-    Ok(queued)
+    Ok(requeue_ids)
 }
 
-fn submit(shared: &Shared, requested: Option<String>, spec: JobSpec) -> Response {
+fn submit(
+    shared: &Shared,
+    requested: Option<String>,
+    spec: JobSpec,
+    conn_client: &Option<String>,
+) -> Response {
     if shared.is_draining() {
         return Response::Error {
             reason: "server is draining".to_owned(),
         };
     }
-    let spec = spec.normalize();
+    let mut spec = spec.normalize();
+    // The connection's identity (TCP `Hello` handshake, or a Unix-socket
+    // `Hello` with a client tag) is authoritative: a peer that announced
+    // itself as `alice` cannot submit jobs accounted to `bob`.
+    if let Some(client) = conn_client {
+        spec.client = client.clone();
+    }
     if spec.model.is_empty() || spec.dataset.is_empty() {
         return Response::Rejected {
             reason: "spec needs model and dataset".to_owned(),
@@ -448,6 +689,10 @@ fn submit(shared: &Shared, requested: Option<String>, spec: JobSpec) -> Response
         }
         None => format!("job-{}", shared.next_job.fetch_add(1, Ordering::Relaxed)),
     };
+    // Resolve the spec outside every lock to derive the result-cache
+    // key. A spec that does not resolve is admitted uncached and fails
+    // at run time with the real resolution error, exactly as before.
+    let key = resolve(&spec).ok().map(|r| Shared::cache_key(&r, &spec));
     // Persist the spec to a connection-unique temp file *before* taking
     // any lock: the slow filesystem write must not stall runners and
     // status queries behind the mutexes.
@@ -462,41 +707,134 @@ fn submit(shared: &Shared, requested: Option<String>, spec: JobSpec) -> Response
             reason: format!("persisting spec: {e}"),
         };
     }
-    // Duplicate check, capacity check, rename-into-place, and insertion
-    // are one critical section (jobs → queue lock order, as everywhere):
-    // two racing submissions of the same id must not both pass the
-    // checks, and concurrent submissions must not overshoot queue_cap.
-    // Rename is a metadata operation, cheap enough to hold locks over.
-    {
-        let mut jobs = shared.jobs.lock().expect("jobs lock poisoned");
-        if jobs.contains_key(&id) {
-            drop(jobs);
-            let _ = std::fs::remove_file(&tmp);
-            return Response::Rejected {
-                reason: format!("job `{id}` already exists"),
-            };
-        }
-        let mut queue = shared.queue.lock().expect("queue lock poisoned");
-        if queue.len() >= shared.config.queue_cap {
-            drop(queue);
-            drop(jobs);
-            let _ = std::fs::remove_file(&tmp);
-            return Response::Rejected {
-                reason: format!("queue full (cap {}); retry later", shared.config.queue_cap),
-            };
-        }
-        if let Err(e) = std::fs::rename(&tmp, &spec_path) {
-            drop(queue);
-            drop(jobs);
-            let _ = std::fs::remove_file(&tmp);
-            return Response::Error {
-                reason: format!("persisting spec: {e}"),
-            };
-        }
-        jobs.insert(id.clone(), JobEntry::new(spec, JobState::Queued, "queued"));
-        queue.push_back(id.clone());
+    // Duplicate check, quota check, cache admission, capacity check,
+    // rename-into-place, and insertion are one critical section (jobs →
+    // sched/cache lock order, as everywhere): two racing submissions of
+    // the same id or key must not both pass the checks. Rename is a
+    // metadata operation, cheap enough to hold locks over.
+    let mut jobs = shared.jobs.lock().expect("jobs lock poisoned");
+    if jobs.contains_key(&id) {
+        drop(jobs);
+        let _ = std::fs::remove_file(&tmp);
+        return Response::Rejected {
+            reason: format!("job `{id}` already exists"),
+        };
     }
-    shared.queue_cv.notify_all();
+    // Per-client admission quota, checked before the cache: a client at
+    // its in-flight bound is rejected even for would-be cache hits, so
+    // a quota cannot be laundered through duplicate submissions.
+    if let Some(quota) = shared.config.client_quota {
+        let open = jobs
+            .values()
+            .filter(|e| e.client == spec.client && !e.state.is_terminal())
+            .count();
+        if open >= quota {
+            drop(jobs);
+            let _ = std::fs::remove_file(&tmp);
+            return Response::Rejected {
+                reason: format!(
+                    "client `{}` has {open} job(s) in flight (quota {quota}); retry later",
+                    spec.client
+                ),
+            };
+        }
+    }
+    let persist = |jobs: std::sync::MutexGuard<'_, HashMap<String, JobEntry>>,
+                   e: std::io::Error|
+     -> Response {
+        drop(jobs);
+        let _ = std::fs::remove_file(&tmp);
+        Response::Error {
+            reason: format!("persisting spec: {e}"),
+        }
+    };
+    let admission = match key {
+        Some(key) => shared.cache.admit(key, &id),
+        None => Admission::Miss,
+    };
+    if let Admission::Ready(primary) = &admission {
+        // Retained result: answer immediately, byte-identical, without
+        // a profiling run.
+        if let Some(output) = jobs.get(primary.as_str()).and_then(|p| p.output.clone()) {
+            if let Err(e) = std::fs::rename(&tmp, &spec_path) {
+                return persist(jobs, e);
+            }
+            let _ = write_atomic(&shared.result_path(&id), &output);
+            let mut entry = JobEntry::new(
+                spec,
+                JobState::Done,
+                format!("served from cache (job `{primary}`)"),
+            );
+            entry.key = key;
+            entry.cache_hit = true;
+            entry.output = Some(output);
+            jobs.insert(id.clone(), entry);
+            shared.stamp_terminal(&mut jobs, &id);
+            drop(jobs);
+            shared.jobs_cv.notify_all();
+            return Response::Submitted { job: id };
+        }
+        // The entry the index pointed at lost its output (evicted out
+        // from under the cache): heal by taking over as the in-flight
+        // primary and profiling fresh.
+        let key = key.expect("Ready admission implies a key");
+        shared.cache.evict(key, primary);
+        shared.cache.register_inflight(key, &id);
+    } else if let Admission::InFlight(primary) = &admission {
+        if jobs
+            .get(primary.as_str())
+            .is_some_and(|p| !p.state.is_terminal())
+        {
+            // Single-flight: attach as a follower of the queued/running
+            // primary. Never scheduled — settled by the primary's
+            // outcome.
+            if let Err(e) = std::fs::rename(&tmp, &spec_path) {
+                return persist(jobs, e);
+            }
+            let mut entry = JobEntry::new(
+                spec,
+                JobState::Queued,
+                format!("single-flight: attached to job `{primary}`"),
+            );
+            entry.key = key;
+            entry.cache_hit = true;
+            entry.follows = Some(primary.clone());
+            let primary = primary.clone();
+            jobs.insert(id.clone(), entry);
+            jobs.get_mut(&primary)
+                .expect("in-flight primary exists")
+                .followers
+                .push(id.clone());
+            drop(jobs);
+            shared.jobs_cv.notify_all();
+            return Response::Submitted { job: id };
+        }
+        // Stale in-flight record (its primary is gone): take over.
+        let key = key.expect("InFlight admission implies a key");
+        shared.cache.promote(key, primary, &id);
+    }
+    // Miss (or a healed stale hit): schedule a real profiling run.
+    if !shared.sched.push(&id, spec.class, &spec.client) {
+        if let Some(key) = key {
+            shared.cache.abandon(key, &id);
+        }
+        drop(jobs);
+        let _ = std::fs::remove_file(&tmp);
+        return Response::Rejected {
+            reason: format!("queue full (cap {}); retry later", shared.config.queue_cap),
+        };
+    }
+    if let Err(e) = std::fs::rename(&tmp, &spec_path) {
+        shared.sched.remove(&id);
+        if let Some(key) = key {
+            shared.cache.abandon(key, &id);
+        }
+        return persist(jobs, e);
+    }
+    let mut entry = JobEntry::new(spec, JobState::Queued, "queued");
+    entry.key = key;
+    jobs.insert(id.clone(), entry);
+    drop(jobs);
     Response::Submitted { job: id }
 }
 
@@ -522,13 +860,18 @@ fn cancel(shared: &Shared, id: &str) -> Response {
             entry.state = JobState::Cancelled;
             entry.detail = "cancelled before running".to_owned();
             entry.cancel.store(true, Ordering::Relaxed);
+            // A follower detaches from its primary before settlement so
+            // the primary's outcome no longer touches it; a primary's
+            // own followers are settled (promoted) by stamp_terminal.
+            if let Some(primary) = entry.follows.take() {
+                if let Some(p) = jobs.get_mut(&primary) {
+                    p.followers.retain(|f| f != id);
+                }
+            } else {
+                shared.sched.remove(id);
+            }
             shared.stamp_terminal(&mut jobs, id);
             drop(jobs);
-            shared
-                .queue
-                .lock()
-                .expect("queue lock poisoned")
-                .retain(|queued| queued != id);
             let _ = std::fs::remove_file(shared.spec_path(id));
             let _ = std::fs::remove_file(shared.ckpt_path(id));
             shared.jobs_cv.notify_all();
@@ -547,6 +890,7 @@ fn status(shared: &Shared, id: &str) -> Response {
             job: id.to_owned(),
             state: entry.state,
             detail: entry.detail.clone(),
+            cache_hit: entry.cache_hit,
         },
     }
 }
@@ -624,6 +968,7 @@ fn result_wait(shared: &Shared, stream: &mut Stream, id: &str) -> std::io::Resul
                     job: id.to_owned(),
                     state: entry.state,
                     detail: entry.detail.clone(),
+                    cache_hit: entry.cache_hit,
                 }
             });
             drop(jobs);
@@ -667,6 +1012,9 @@ fn run_job(shared: &Arc<Shared>, id: &str) {
         };
         if entry.state != JobState::Queued && entry.state != JobState::Paused {
             return; // cancelled while queued
+        }
+        if entry.follows.is_some() {
+            return; // single-flight follower; settled by its primary
         }
         entry.state = JobState::Running;
         entry.detail = "resolving workload".to_owned();
@@ -750,6 +1098,7 @@ fn run_job(shared: &Arc<Shared>, id: &str) {
         Placement::Subprocess { .. } => {
             let mut executor = SubprocessExecutor::new(
                 &shared.pool,
+                id,
                 spec.model.clone(),
                 spec.config,
                 resolved.options.stat.label(),
@@ -860,31 +1209,23 @@ fn finalize_cancel(shared: &Shared, id: &str) {
 }
 
 fn requeue(shared: &Shared, id: &str) {
-    shared
-        .queue
-        .lock()
-        .expect("queue lock poisoned")
-        .push_back(id.to_owned());
-    shared.queue_cv.notify_all();
+    let (class, client) = {
+        let jobs = shared.jobs.lock().expect("jobs lock poisoned");
+        match jobs.get(id) {
+            Some(entry) => (entry.class, entry.client.clone()),
+            None => return,
+        }
+    };
+    shared.sched.requeue(id, class, &client);
 }
 
 fn runner_loop(shared: Arc<Shared>) {
     loop {
-        let id = {
-            let mut queue = shared.queue.lock().expect("queue lock poisoned");
-            loop {
-                if shared.is_draining() {
-                    return;
-                }
-                if let Some(id) = queue.pop_front() {
-                    break id;
-                }
-                let (guard, _) = shared
-                    .queue_cv
-                    .wait_timeout(queue, Duration::from_millis(200))
-                    .expect("queue lock poisoned");
-                queue = guard;
-            }
+        if shared.is_draining() {
+            return;
+        }
+        let Some(id) = shared.sched.pop_timeout(Duration::from_millis(200)) else {
+            continue;
         };
         // A panic inside a job (a poisoned lock, a shard-thread panic)
         // must cost that job, not the runner slot: an unwinding runner
@@ -920,12 +1261,13 @@ const AUTH_LINE_CAP: u64 = 8 * 1024;
 /// [`AUTH_DEADLINE`] and capped at [`AUTH_LINE_CAP`] bytes. Anything
 /// else — garbage, a blank line, a non-`Hello` frame, a wrong token —
 /// gets at most one error line and the connection is closed, before any
-/// job state is touched. Returns the reader back on success.
+/// job state is touched. Returns the reader back on success, plus the
+/// client identity the `Hello` announced (if any).
 fn authenticate(
     shared: &Shared,
     stream: &mut Stream,
     reader: BufReader<Stream>,
-) -> Option<BufReader<Stream>> {
+) -> Option<(BufReader<Stream>, Option<String>)> {
     if stream.set_read_timeout(Some(AUTH_DEADLINE)).is_err() {
         return None;
     }
@@ -946,7 +1288,12 @@ fn authenticate(
         );
         None
     };
-    let Ok(Request::Hello { version, token }) = decode_frame::<Request>(&line) else {
+    let Ok(Request::Hello {
+        version,
+        token,
+        client,
+    }) = decode_frame::<Request>(&line)
+    else {
         return refuse(stream, "authentication required");
     };
     if version != PROTOCOL_VERSION {
@@ -978,7 +1325,7 @@ fn authenticate(
     {
         return None;
     }
-    Some(reader)
+    Some((reader, client))
 }
 
 fn handle_connection(shared: Arc<Shared>, mut stream: Stream, requires_auth: bool) {
@@ -986,9 +1333,16 @@ fn handle_connection(shared: Arc<Shared>, mut stream: Stream, requires_auth: boo
         return;
     };
     let mut reader = BufReader::new(read_half);
+    // The identity this connection submits jobs under: set by the TCP
+    // auth handshake, or by any `Hello` with a client tag (Unix-socket
+    // clients use `submit --client`).
+    let mut conn_client: Option<String> = None;
     if requires_auth {
         match authenticate(&shared, &mut stream, reader) {
-            Some(r) => reader = r,
+            Some((r, client)) => {
+                reader = r;
+                conn_client = client;
+            }
             None => return,
         }
     }
@@ -1016,8 +1370,10 @@ fn handle_connection(shared: Arc<Shared>, mut stream: Stream, requires_auth: boo
         };
         let response = match request {
             // A Hello on an already-authenticated (or Unix) connection:
-            // just the version check and the welcome.
-            Request::Hello { version, .. } => {
+            // version check, adopt the announced identity, welcome.
+            Request::Hello {
+                version, client, ..
+            } => {
                 if version != PROTOCOL_VERSION {
                     let _ = respond(
                         &mut stream,
@@ -1030,14 +1386,17 @@ fn handle_connection(shared: Arc<Shared>, mut stream: Stream, requires_auth: boo
                     );
                     return;
                 }
+                if let Some(client) = client {
+                    conn_client = Some(client);
+                }
                 Response::Welcome {
                     version: PROTOCOL_VERSION,
                 }
             }
-            Request::WorkerHello { pid } => {
-                // Hand the connection to the pool; nothing else arrives
-                // on it from the worker until it is tasked, so the
-                // handler's read buffer is empty and can be dropped.
+            Request::Register { pid } | Request::WorkerHello { pid } => {
+                // Hand the connection to the fleet pool; nothing else
+                // arrives on it from the worker until it is leased, so
+                // the handler's read buffer is empty and can be dropped.
                 if !shared.pool.register(stream, pid) {
                     // draining: dropping the stream tells the worker to
                     // exit.
@@ -1045,13 +1404,15 @@ fn handle_connection(shared: Arc<Shared>, mut stream: Stream, requires_auth: boo
                 return;
             }
             Request::Ping => {
-                let queued = shared.queue.lock().expect("queue lock poisoned").len() as u64;
+                let queued = shared.sched.len() as u64;
                 let running = {
                     let jobs = shared.jobs.lock().expect("jobs lock poisoned");
                     jobs.values()
                         .filter(|e| e.state == JobState::Running)
                         .count() as u64
                 };
+                let (cache_hits, cache_entries) = shared.cache.stats();
+                let (fleet_leases, fleet_reclaimed) = shared.pool.fleet_stats();
                 Response::Pong {
                     version: PROTOCOL_VERSION,
                     queued,
@@ -1061,9 +1422,14 @@ fn handle_connection(shared: Arc<Shared>, mut stream: Stream, requires_auth: boo
                         .lock()
                         .expect("pids lock poisoned")
                         .clone(),
+                    cache_hits,
+                    cache_entries,
+                    fleet_idle: shared.pool.idle_pids(),
+                    fleet_leases,
+                    fleet_reclaimed,
                 }
             }
-            Request::Submit { job, spec } => submit(&shared, job, spec),
+            Request::Submit { job, spec } => submit(&shared, job, spec, &conn_client),
             Request::Status { job } => status(&shared, &job),
             Request::Result { job, wait } => {
                 if wait {
@@ -1178,6 +1544,11 @@ pub fn serve(config: ServeConfig) -> Result<(), ServiceError> {
                 .to_owned(),
         ));
     }
+    if config.client_quota == Some(0) {
+        return Err(ServiceError::Usage(
+            "client quota must admit at least 1 job per client".to_owned(),
+        ));
+    }
     if config.tcp.is_some() && config.token.as_deref().is_none_or(str::is_empty) {
         return Err(ServiceError::Usage(
             "a TCP listener requires a token (--token-file): every TCP \
@@ -1246,12 +1617,13 @@ pub fn serve(config: ServeConfig) -> Result<(), ServiceError> {
     sig::TERM.store(false, Ordering::Relaxed);
     sig::install();
 
+    let sched = Scheduler::new(config.fair, config.queue_cap);
     let shared = Arc::new(Shared {
         config,
         jobs: Mutex::new(HashMap::new()),
         jobs_cv: Condvar::new(),
-        queue: Mutex::new(VecDeque::new()),
-        queue_cv: Condvar::new(),
+        sched,
+        cache: ResultCache::new(),
         draining: AtomicBool::new(false),
         next_job: AtomicU64::new(1),
         finish_counter: AtomicU64::new(0),
@@ -1259,13 +1631,11 @@ pub fn serve(config: ServeConfig) -> Result<(), ServiceError> {
         worker_pids: Mutex::new(Vec::new()),
     });
 
-    // Recovery: reload finished jobs, requeue unfinished ones.
+    // Recovery: reload finished jobs, requeue unfinished primaries
+    // (with their recovered class/client identity).
     let recovered = recover(&shared)?;
-    {
-        let mut queue = shared.queue.lock().expect("queue lock poisoned");
-        for id in &recovered {
-            queue.push_back(id.clone());
-        }
+    for id in &recovered {
+        requeue(&shared, id);
     }
     let tcp_note = match tcp_bound {
         Some(addr) => format!(" + tcp {addr} (token auth)"),

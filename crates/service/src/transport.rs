@@ -82,6 +82,20 @@ impl Stream {
         }
     }
 
+    /// Switch the stream between blocking and nonblocking I/O. The
+    /// worker pool uses a nonblocking 1-byte read to probe a pooled
+    /// connection's liveness before leasing it out.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS failure.
+    pub fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_nonblocking(nonblocking),
+            Stream::Tcp(s) => s.set_nonblocking(nonblocking),
+        }
+    }
+
     /// Whether this connection arrived over TCP (and therefore crossed
     /// the network trust boundary).
     pub fn is_tcp(&self) -> bool {
@@ -285,10 +299,12 @@ pub fn client_handshake(
     writer: &mut Stream,
     reader: &mut BufReader<Stream>,
     token: Option<&str>,
+    client: Option<&str>,
 ) -> Result<(), ServiceError> {
     let mut line = encode_frame(&Request::Hello {
         version: PROTOCOL_VERSION,
         token: token.map(str::to_owned),
+        client: client.map(str::to_owned),
     });
     line.push('\n');
     writer

@@ -61,13 +61,18 @@ impl WorkerCache {
     }
 }
 
+/// Execute one **work** frame (round or profile). The control frames —
+/// `Shutdown` and `Lease`, which carry no work and must not be answered
+/// — are handled by the session loop before this is called.
 fn execute(
     profiler: &Profiler,
     cache: &mut WorkerCache,
     task: WorkerTask,
-) -> Result<Option<WorkerReply>, ServiceError> {
+) -> Result<WorkerReply, ServiceError> {
     match task {
-        WorkerTask::Shutdown => Ok(None),
+        WorkerTask::Shutdown | WorkerTask::Lease { .. } => Err(ServiceError::Protocol(
+            "control frame reached the worker's execute path".to_owned(),
+        )),
         WorkerTask::Round {
             model,
             config,
@@ -100,12 +105,12 @@ fn execute(
                 .map_err(|e| ServiceError::Protocol(e.to_string()))?;
             let shapes = serde::json::to_string(&report.shapes)
                 .map_err(|e| ServiceError::Protocol(e.to_string()))?;
-            Ok(Some(WorkerReply::Round {
+            Ok(WorkerReply::Round {
                 shard,
                 tracker,
                 chunk_time_s: report.chunk_time_s,
                 shapes,
-            }))
+            })
         }
         WorkerTask::Profile {
             model,
@@ -121,7 +126,7 @@ fn execute(
             let profile = profiler.profile_iteration(network, &shape, device);
             let profile = serde::json::to_string(&profile)
                 .map_err(|e| ServiceError::Protocol(e.to_string()))?;
-            Ok(Some(WorkerReply::Profile { profile }))
+            Ok(WorkerReply::Profile { profile })
         }
     }
 }
@@ -271,11 +276,11 @@ fn run_session(
         // hang the worker before it even registers. Cleared afterwards:
         // the task loop legitimately idles between rounds.
         let _ = reader.get_ref().set_read_timeout(handshake_timeout);
-        client_handshake(&mut writer, &mut reader, token)?;
+        client_handshake(&mut writer, &mut reader, token, None)?;
         let _ = reader.get_ref().set_read_timeout(None);
     }
 
-    let mut line = encode_frame(&Request::WorkerHello {
+    let mut line = encode_frame(&Request::Register {
         pid: u64::from(std::process::id()),
     });
     line.push('\n');
@@ -287,6 +292,7 @@ fn run_session(
     }
 
     let mut line = String::new();
+    let mut lease: Option<String> = None;
     loop {
         line.clear();
         let n = match reader.read_line(&mut line) {
@@ -307,17 +313,30 @@ fn run_session(
         }
         let task: WorkerTask =
             decode_frame(&line).map_err(|e| ServiceError::Protocol(e.to_string()))?;
-        let reply = match execute(profiler, cache, task) {
-            Ok(None) => return Ok(SessionEnd::Shutdown),
-            Ok(Some(reply)) => reply,
-            Err(e) => WorkerReply::Error {
-                reason: e.to_string(),
+        let reply = match task {
+            WorkerTask::Shutdown => return Ok(SessionEnd::Shutdown),
+            // A lease announcement: the rounds that follow belong to
+            // this job. Informational only — recorded for diagnostics,
+            // never answered (a reply would desync the round FIFO).
+            WorkerTask::Lease { job } => {
+                lease = Some(job);
+                continue;
+            }
+            task => match execute(profiler, cache, task) {
+                Ok(reply) => reply,
+                Err(e) => WorkerReply::Error {
+                    reason: e.to_string(),
+                },
             },
         };
         let mut out = encode_frame(&reply);
         out.push('\n');
         if let Err(e) = writer.write_all(out.as_bytes()) {
-            return Ok(SessionEnd::Broken(ServiceError::io("sending reply", &e)));
+            let context = match &lease {
+                Some(job) => format!("sending reply (leased to {job})"),
+                None => "sending reply".to_owned(),
+            };
+            return Ok(SessionEnd::Broken(ServiceError::io(context, &e)));
         }
     }
 }
@@ -337,12 +356,12 @@ mod tests {
             shard: 2,
             batches: vec![(20, 16), (30, 16), (20, 16)],
         };
-        let Some(WorkerReply::Round {
+        let WorkerReply::Round {
             shard,
             tracker,
             chunk_time_s,
             shapes,
-        }) = execute(&profiler, &mut cache, task).unwrap()
+        } = execute(&profiler, &mut cache, task).unwrap()
         else {
             panic!("expected a round reply");
         };
@@ -371,9 +390,9 @@ mod tests {
             shard: 0,
             batches: batches.clone(),
         };
-        let Some(WorkerReply::Round {
+        let WorkerReply::Round {
             tracker, shapes, ..
-        }) = execute(&profiler, &mut cache, task).unwrap()
+        } = execute(&profiler, &mut cache, task).unwrap()
         else {
             panic!("expected a round reply");
         };
@@ -432,5 +451,12 @@ mod tests {
         ] {
             assert!(execute(&profiler, &mut cache, task).is_err());
         }
+        // Control frames never reach execute(); defensively they error
+        // rather than fabricating a reply.
+        assert!(execute(&profiler, &mut cache, WorkerTask::Shutdown).is_err());
+        let lease = WorkerTask::Lease {
+            job: "j".to_owned(),
+        };
+        assert!(execute(&profiler, &mut cache, lease).is_err());
     }
 }

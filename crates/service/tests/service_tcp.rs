@@ -216,6 +216,7 @@ fn unauthenticated_tcp_connections_are_rejected_before_any_job_state() {
         &Request::Hello {
             version: PROTOCOL_VERSION,
             token: Some("not-the-token".to_owned()),
+            client: None,
         },
     );
     assert!(matches!(reply, Response::Error { .. }), "{reply:?}");
@@ -231,6 +232,7 @@ fn unauthenticated_tcp_connections_are_rejected_before_any_job_state() {
         &Request::Hello {
             version: PROTOCOL_VERSION + 1,
             token: Some(TOKEN.to_owned()),
+            client: None,
         },
     );
     match reply {
@@ -498,12 +500,14 @@ fn resilient_worker_outlives_its_retry_window_and_exits_cleanly_on_drain() {
         let mut writer = conn;
         let mut line = String::new();
         reader.read_line(&mut line).unwrap(); // Hello
-        let mut welcome = encode_frame(&Response::Welcome { version: 2 });
+        let mut welcome = encode_frame(&Response::Welcome {
+            version: PROTOCOL_VERSION,
+        });
         welcome.push('\n');
         writer.write_all(welcome.as_bytes()).unwrap();
         line.clear();
-        reader.read_line(&mut line).unwrap(); // WorkerHello
-        assert!(line.contains("WorkerHello"), "{line}");
+        reader.read_line(&mut line).unwrap(); // Register
+        assert!(line.contains("Register"), "{line}");
         std::thread::sleep(session_len);
         drop(writer); // close; further connects are refused once the
         drop(reader); // listener is dropped with this thread

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Regression gate over the committed perf trajectory: compare a freshly
 # captured BENCH_stream.json (scripts/bench_stream.sh) against the
-# baseline committed in the repo and fail if the stream path's median
+# baseline committed in the repo and fail if either path's median
 # wall-clock regressed past the threshold. Machine-independent identity
 # fields (iteration/round counts, early-stop decision) must match the
 # baseline exactly — a drift there means the workload changed and the
-# baseline needs a deliberate refresh, not a silent pass.
+# baseline needs a deliberate refresh, not a silent pass. An absent or
+# non-numeric (NaN/null) field in either report is a hard failure: a
+# malformed report must never read as "no regression".
 #
 # Usage: scripts/bench_check.sh [fresh.json] [baseline.json]
 #   BENCH_THRESHOLD_PCT  allowed median regression in percent (default 15)
@@ -18,40 +20,75 @@ THRESHOLD_PCT="${BENCH_THRESHOLD_PCT:-15}"
 [[ -f "$FRESH" ]] || { echo "bench_check: fresh report '$FRESH' not found" >&2; exit 1; }
 [[ -f "$BASELINE" ]] || { echo "bench_check: baseline '$BASELINE' not found" >&2; exit 1; }
 
-# Pull one field out of the report's single-line "stream" object.
-stream_field() { # file field
-  grep '"stream"' "$1" | grep -o "\"$2\": [^,}]*" | head -n1 | sed 's/.*: //'
+# Pull one field out of a report's single-line "stream"/"serve" object.
+path_field() { # file path field
+  grep "\"$2\"" "$1" | grep -o "\"$3\": [^,}]*" | head -n1 | sed 's/.*: //'
 }
 
-require_field() { # file field
+# A field that must exist and be a plain non-negative integer. "NaN",
+# "null", an empty match, or scientific notation all hard-fail.
+require_int() { # file path field
   local v
-  v="$(stream_field "$1" "$2")"
-  [[ -n "$v" ]] || { echo "bench_check: '$1' has no stream field '$2'" >&2; exit 1; }
+  v="$(path_field "$1" "$2" "$3")"
+  if [[ -z "$v" ]]; then
+    echo "bench_check: '$1' is missing $2.$3" >&2
+    exit 1
+  fi
+  if ! [[ "$v" =~ ^[0-9]+$ ]]; then
+    echo "bench_check: '$1' has non-numeric $2.$3 = '$v'" >&2
+    exit 1
+  fi
   echo "$v"
 }
 
-fail=0
-for field in iterations_total iterations_measured rounds early_stopped; do
-  fresh_v="$(require_field "$FRESH" "$field")"
-  base_v="$(require_field "$BASELINE" "$field")"
+# A field that must exist and be a JSON boolean.
+require_bool() { # file path field
+  local v
+  v="$(path_field "$1" "$2" "$3")"
+  if ! [[ "$v" == "true" || "$v" == "false" ]]; then
+    echo "bench_check: '$1' has missing/malformed $2.$3 = '$v'" >&2
+    exit 1
+  fi
+  echo "$v"
+}
+
+check_path() { # stream|serve
+  local path="$1" fail=0 fresh_v base_v
+  for field in iterations_total iterations_measured rounds; do
+    fresh_v="$(require_int "$FRESH" "$path" "$field")"
+    base_v="$(require_int "$BASELINE" "$path" "$field")"
+    if [[ "$fresh_v" != "$base_v" ]]; then
+      echo "bench_check: identity drift in $path.$field: fresh=$fresh_v baseline=$base_v" >&2
+      fail=1
+    fi
+  done
+  fresh_v="$(require_bool "$FRESH" "$path" early_stopped)"
+  base_v="$(require_bool "$BASELINE" "$path" early_stopped)"
   if [[ "$fresh_v" != "$base_v" ]]; then
-    echo "bench_check: identity drift in '$field': fresh=$fresh_v baseline=$base_v" >&2
+    echo "bench_check: identity drift in $path.early_stopped: fresh=$fresh_v baseline=$base_v" >&2
     fail=1
   fi
-done
-if [[ "$fail" -ne 0 ]]; then
-  echo "bench_check: FAILED — the benchmark no longer runs the baseline's workload;" >&2
-  echo "bench_check: refresh $BASELINE deliberately if the change is intended" >&2
-  exit 1
-fi
+  if [[ "$fail" -ne 0 ]]; then
+    echo "bench_check: FAILED — the benchmark no longer runs the baseline's workload;" >&2
+    echo "bench_check: refresh $BASELINE deliberately if the change is intended" >&2
+    exit 1
+  fi
 
-fresh_median="$(require_field "$FRESH" median_wall_ms)"
-base_median="$(require_field "$BASELINE" median_wall_ms)"
-limit_x100=$((base_median * (100 + THRESHOLD_PCT)))
+  local fresh_median base_median limit_x100
+  fresh_median="$(require_int "$FRESH" "$path" median_wall_ms)"
+  base_median="$(require_int "$BASELINE" "$path" median_wall_ms)"
+  if [[ "$base_median" -eq 0 ]]; then
+    echo "bench_check: baseline $path.median_wall_ms is 0; the baseline is malformed" >&2
+    exit 1
+  fi
+  limit_x100=$((base_median * (100 + THRESHOLD_PCT)))
+  echo "bench_check: $path median_wall_ms fresh=$fresh_median baseline=$base_median (threshold +$THRESHOLD_PCT%)"
+  if ((fresh_median * 100 > limit_x100)); then
+    echo "bench_check: FAILED — $path median regressed past ${THRESHOLD_PCT}% of the committed baseline" >&2
+    exit 1
+  fi
+}
 
-echo "bench_check: stream median_wall_ms fresh=$fresh_median baseline=$base_median (threshold +$THRESHOLD_PCT%)"
-if ((fresh_median * 100 > limit_x100)); then
-  echo "bench_check: FAILED — median regressed past ${THRESHOLD_PCT}% of the committed baseline" >&2
-  exit 1
-fi
+check_path stream
+check_path serve
 echo "bench_check: OK"

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Quick-scale perf capture: wall-clock, iterations-measured, and round
 # counts for (a) the offline `seqpoint stream` path and (b) the same job
-# served through `seqpoint serve` with subprocess workers. The stream
-# path runs BENCH_REPS times (default 5) and the report carries the
-# median wall-clock alongside the first run's, so one noisy run cannot
-# poison the trajectory. Emits a JSON report so CI can archive the perf
-# trajectory run over run and scripts/bench_check.sh can gate on it.
+# served through `seqpoint serve` with subprocess workers. Both paths
+# run BENCH_REPS times (default 5) and the report carries the median
+# wall-clock alongside the first run's, so one noisy run cannot poison
+# the trajectory. Each served rep restarts the daemon on a fresh state
+# dir, so the result cache cannot answer rep N with rep 1's bytes and
+# every timing covers a real profiling run. Emits a JSON report so CI
+# can archive the perf trajectory run over run and
+# scripts/bench_check.sh can gate on it.
 #
 # Usage: scripts/bench_stream.sh [path/to/seqpoint] [out.json]
 set -euo pipefail
@@ -29,6 +32,14 @@ SOCK="$BENCH_DIR/sock"
 
 now_ms() { date +%s%3N; }
 field() { grep "^$2," "$1" | head -n1 | cut -d, -f2; }
+median() { # one value per argument
+  printf '%s\n' "$@" | sort -n | awk '
+    { v[NR] = $1 }
+    END {
+      if (NR % 2) { print v[(NR + 1) / 2] }
+      else { print int((v[NR / 2] + v[NR / 2 + 1]) / 2) }
+    }'
+}
 
 # --- offline streaming path, repeated so the median is meaningful
 STREAM_RUNS=()
@@ -43,28 +54,31 @@ for rep in $(seq 1 "$REPS"); do
 done
 cp "$BENCH_DIR/stream.1.txt" "$BENCH_DIR/stream.txt"
 STREAM_MS="${STREAM_RUNS[0]}"
-STREAM_MEDIAN_MS="$(printf '%s\n' "${STREAM_RUNS[@]}" | sort -n | awk '
-  { v[NR] = $1 }
-  END {
-    if (NR % 2) { print v[(NR + 1) / 2] }
-    else { print int((v[NR / 2] + v[NR / 2 + 1]) / 2) }
-  }')"
+STREAM_MEDIAN_MS="$(median "${STREAM_RUNS[@]}")"
 
-# --- served path (submit + wait through the daemon, subprocess workers)
-"$BIN" serve --socket "$SOCK" --state-dir "$BENCH_DIR/state" --jobs 1 \
-  --placement subprocess --workers 2 2>"$BENCH_DIR/serve.log" &
-SERVE_PID=$!
-for _ in $(seq 1 200); do
-  "$BIN" submit --socket "$SOCK" --ping >/dev/null 2>&1 && break
-  sleep 0.05
+# --- served path (submit + wait through the daemon, subprocess
+# workers), one fresh daemon per rep so every timing is an uncached run
+SERVE_RUNS=()
+for rep in $(seq 1 "$REPS"); do
+  "$BIN" serve --socket "$SOCK" --state-dir "$BENCH_DIR/state.$rep" --jobs 1 \
+    --placement subprocess --workers 2 2>"$BENCH_DIR/serve.$rep.log" &
+  SERVE_PID=$!
+  for _ in $(seq 1 200); do
+    "$BIN" submit --socket "$SOCK" --ping >/dev/null 2>&1 && break
+    sleep 0.05
+  done
+  t0="$(now_ms)"
+  "$BIN" submit --socket "$SOCK" "${SPEC[@]}" --job bench > "$BENCH_DIR/served.$rep.txt"
+  t1="$(now_ms)"
+  SERVE_RUNS+=($((t1 - t0)))
+  "$BIN" submit --socket "$SOCK" --shutdown >/dev/null
+  wait "$SERVE_PID"
+  SERVE_PID=""
+  diff "$BENCH_DIR/served.1.txt" "$BENCH_DIR/served.$rep.txt"
 done
-t0="$(now_ms)"
-"$BIN" submit --socket "$SOCK" "${SPEC[@]}" --job bench > "$BENCH_DIR/served.txt"
-t1="$(now_ms)"
-SERVE_MS=$((t1 - t0))
-"$BIN" submit --socket "$SOCK" --shutdown >/dev/null
-wait "$SERVE_PID"
-SERVE_PID=""
+cp "$BENCH_DIR/served.1.txt" "$BENCH_DIR/served.txt"
+SERVE_MS="${SERVE_RUNS[0]}"
+SERVE_MEDIAN_MS="$(median "${SERVE_RUNS[@]}")"
 
 # The two paths must agree before their numbers are comparable.
 diff "$BENCH_DIR/stream.txt" "$BENCH_DIR/served.txt"
@@ -85,7 +99,8 @@ emit_path() { # file wall_ms
   printf '  "toolchain": "%s",\n' "$(rustc --version 2>/dev/null || echo unknown)"
   printf '  "stream": %s,\n' "$(emit_path "$BENCH_DIR/stream.txt" "$STREAM_MS" \
     | sed "s/}$/, \"median_wall_ms\": $STREAM_MEDIAN_MS, \"reps\": $REPS}/")"
-  printf '  "serve": %s\n' "$(emit_path "$BENCH_DIR/served.txt" "$SERVE_MS")"
+  printf '  "serve": %s\n' "$(emit_path "$BENCH_DIR/served.txt" "$SERVE_MS" \
+    | sed "s/}$/, \"median_wall_ms\": $SERVE_MEDIAN_MS, \"reps\": $REPS}/")"
   printf '}\n'
 } > "$OUT"
 

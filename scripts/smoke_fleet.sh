@@ -1,0 +1,197 @@
+#!/usr/bin/env bash
+# Fleet + multi-tenancy smoke test, end to end through the real binary:
+#
+#  1. a daemon with NO supervised workers (--workers 0) is fed by three
+#     externally started `seqpoint worker --connect` processes that
+#     register into the fleet pool over token-gated TCP;
+#  2. two client identities submit a duplicate pair and a distinct job:
+#     the duplicate is answered from the result cache (single-flight) —
+#     byte-identical bytes, `cache_hit=true` in `--stats`, and the
+#     daemon's `cache_hits` counter moves — while the distinct job runs
+#     fresh;
+#  3. a batch-class flood from one tenant does not starve another
+#     tenant's interactive job: the interactive job finishes while
+#     flood jobs are still queued behind it;
+#  4. SIGKILLing one pooled worker mid-job costs at most one round: the
+#     job still completes byte-identically to the offline run on the
+#     surviving workers, and the daemon accounts the reclaimed lease.
+#
+# Shared by scripts/verify.sh and the CI `fleet-smoke` job so the two
+# cannot drift apart.
+#
+# On failure, daemon/worker logs are copied to $SMOKE_ARTIFACT_DIR (when
+# set) so CI can upload them.
+#
+# Usage: scripts/smoke_fleet.sh [path/to/seqpoint]
+set -euo pipefail
+
+BIN="${1:-target/release/seqpoint}"
+SMOKE_DIR="$(mktemp -d)"
+SERVE_PID=""
+WORKER_PIDS=()
+cleanup() {
+  status=$?
+  if [[ $status -ne 0 && -n "${SMOKE_ARTIFACT_DIR:-}" ]]; then
+    mkdir -p "$SMOKE_ARTIFACT_DIR"
+    cp "$SMOKE_DIR"/*.log "$SMOKE_ARTIFACT_DIR"/ 2>/dev/null || true
+  fi
+  for pid in "${WORKER_PIDS[@]:-}"; do
+    kill -9 "$pid" 2>/dev/null || true
+  done
+  if [[ -n "$SERVE_PID" ]] && kill -0 "$SERVE_PID" 2>/dev/null; then
+    kill -9 "$SERVE_PID" 2>/dev/null || true
+  fi
+  rm -rf "$SMOKE_DIR"
+}
+trap cleanup EXIT
+
+SOCK="$SMOKE_DIR/sock"
+STATE="$SMOKE_DIR/state"
+TOKEN="$SMOKE_DIR/token"
+printf 'smoke-fleet-%s\n' "$RANDOM$RANDOM" > "$TOKEN"
+
+# One job slot so fairness ordering is observable; no supervised
+# workers — every round must be leased from the external fleet.
+SERVE_ARGS=(serve --socket "$SOCK" --state-dir "$STATE" --jobs 1
+            --placement subprocess --workers 0 --fair --quota 8
+            --tcp 127.0.0.1:0 --token-file "$TOKEN" --retain-jobs 32)
+
+tcp_addr() {
+  for _ in $(seq 1 200); do
+    if [[ -s "$STATE/serve.tcp" ]]; then
+      cat "$STATE/serve.tcp"
+      return 0
+    fi
+    sleep 0.05
+  done
+  echo "smoke_fleet: serve.tcp never appeared" >&2
+  return 1
+}
+
+ping_line() {
+  "$BIN" submit --connect "$ADDR" --token-file "$TOKEN" --ping
+}
+
+# Extract a `name=value` field from a pong line (fleet_idle may hold a
+# space-separated pid list, so split on commas, not spaces).
+pong_field() {
+  ping_line | tr ',' '\n' | sed -n "s/^$1=//p"
+}
+
+wait_ready() {
+  for _ in $(seq 1 200); do
+    if ping_line >/dev/null 2>&1; then
+      return 0
+    fi
+    sleep 0.05
+  done
+  echo "smoke_fleet: server never became ready over TCP" >&2
+  return 1
+}
+
+wait_fleet() {
+  want=$1
+  for _ in $(seq 1 200); do
+    if [[ "$(pong_field fleet_idle | wc -w)" -ge "$want" ]]; then
+      return 0
+    fi
+    sleep 0.05
+  done
+  echo "smoke_fleet: fleet never reached $want idle workers" >&2
+  return 1
+}
+
+submit() {
+  "$BIN" submit --connect "$ADDR" --token-file "$TOKEN" "$@"
+}
+
+SPEC_A=(--model gnmt --dataset iwslt15 --samples 6000 --batch 16
+        --shards 3 --round 32 --window 128 --quant 8 --seed 20)
+SPEC_B=(--model gnmt --dataset iwslt15 --samples 5000 --batch 16
+        --shards 3 --round 32 --window 128 --quant 8 --seed 21)
+# Paced and never early-stopping: the SIGKILL lands mid-job.
+SPEC_LONG=(--model gnmt --dataset iwslt15 --samples 4000 --batch 16
+           --shards 3 --round 16 --window 99999999 --quant 8 --seed 22)
+
+# Offline references.
+"$BIN" stream "${SPEC_A[@]}"    > "$SMOKE_DIR/ref_a.txt"
+"$BIN" stream "${SPEC_B[@]}"    > "$SMOKE_DIR/ref_b.txt"
+"$BIN" stream "${SPEC_LONG[@]}" > "$SMOKE_DIR/ref_long.txt"
+
+# --- Part 1: bring up the daemon and a 3-worker external fleet.
+"$BIN" "${SERVE_ARGS[@]}" 2>"$SMOKE_DIR/serve.log" &
+SERVE_PID=$!
+ADDR="$(tcp_addr)"
+wait_ready
+for i in 1 2 3; do
+  "$BIN" worker --connect "$ADDR" --token-file "$TOKEN" \
+    2>"$SMOKE_DIR/worker$i.log" &
+  WORKER_PIDS+=($!)
+  disown $!
+done
+wait_fleet 3
+echo "smoke_fleet: 3 external workers registered into the pool"
+
+# --- Part 2: duplicate pair across two tenants is single-flighted.
+submit --client alice --class interactive "${SPEC_A[@]}" \
+  --job fleet-a1 > "$SMOKE_DIR/served_a1.txt"
+diff "$SMOKE_DIR/ref_a.txt" "$SMOKE_DIR/served_a1.txt"
+# Bob submits the identical experiment: answered from the cache, not
+# re-profiled — same bytes, cache_hit=true, hit counter moves.
+submit --client bob --class interactive "${SPEC_A[@]}" \
+  --job fleet-a2 --stats > "$SMOKE_DIR/served_a2.txt" 2> "$SMOKE_DIR/stats_a2.log"
+diff "$SMOKE_DIR/served_a1.txt" "$SMOKE_DIR/served_a2.txt"
+grep -q "cache_hit=true" "$SMOKE_DIR/stats_a2.log" \
+  || { echo "smoke_fleet: duplicate was not a cache hit:" >&2; cat "$SMOKE_DIR/stats_a2.log" >&2; exit 1; }
+[[ "$(pong_field cache_hits)" -ge 1 ]] \
+  || { echo "smoke_fleet: cache_hits counter did not move" >&2; exit 1; }
+# A distinct job runs fresh (no hit-count change) and matches offline.
+HITS_BEFORE="$(pong_field cache_hits)"
+submit --client bob "${SPEC_B[@]}" --job fleet-b1 > "$SMOKE_DIR/served_b1.txt"
+diff "$SMOKE_DIR/ref_b.txt" "$SMOKE_DIR/served_b1.txt"
+[[ "$(pong_field cache_hits)" -eq "$HITS_BEFORE" ]] \
+  || { echo "smoke_fleet: a distinct job was wrongly served from cache" >&2; exit 1; }
+echo "smoke_fleet: duplicate submission single-flighted (byte-identical, counted); distinct job ran fresh"
+
+# --- Part 3: a batch flood does not starve an interactive job.
+for i in 1 2 3 4 5; do
+  submit --client flood --class batch \
+    --model gnmt --dataset iwslt15 --samples 4000 --batch 16 \
+    --shards 3 --round 16 --window 99999999 --quant 8 --seed "3$i" \
+    --throttle-ms 100 --job "flood-$i" --detach >/dev/null
+done
+submit --client alice --class interactive \
+  --model gnmt --dataset iwslt15 --samples 6000 --batch 16 \
+  --shards 3 --round 32 --window 128 --quant 8 --seed 40 \
+  --job vip --detach >/dev/null
+submit --result vip >/dev/null
+# The interactive job finished; under fair weighted queueing at least
+# the tail of the flood must still be waiting behind it.
+submit --status flood-5 | grep -q ",queued," \
+  || { echo "smoke_fleet: batch flood starved the interactive job" >&2;
+       submit --status flood-5 >&2; exit 1; }
+echo "smoke_fleet: interactive job finished ahead of the batch flood tail"
+for i in 1 2 3 4 5; do
+  submit --result "flood-$i" >/dev/null
+done
+
+# --- Part 4: SIGKILL one pooled worker mid-job; the survivors finish
+# the job byte-identically and the dead lease is reclaimed.
+submit --client alice "${SPEC_LONG[@]}" --throttle-ms 100 \
+  --job fleet-long --detach >/dev/null
+sleep 1
+submit --status fleet-long | grep -q ",running," \
+  || { echo "smoke_fleet: long job is not running before SIGKILL" >&2; exit 1; }
+kill -9 "${WORKER_PIDS[0]}"
+submit --result fleet-long > "$SMOKE_DIR/served_long.txt"
+diff "$SMOKE_DIR/ref_long.txt" "$SMOKE_DIR/served_long.txt"
+[[ "$(pong_field fleet_reclaimed)" -ge 1 ]] \
+  || { echo "smoke_fleet: SIGKILLed worker was never reclaimed" >&2; exit 1; }
+[[ "$(pong_field fleet_idle | wc -w)" -eq 2 ]] \
+  || { echo "smoke_fleet: idle fleet should be down to the 2 survivors" >&2; ping_line >&2; exit 1; }
+echo "smoke_fleet: job survived a SIGKILLed pooled worker and matches offline stream output"
+
+submit --shutdown >/dev/null
+wait "$SERVE_PID"
+SERVE_PID=""
+echo "smoke_fleet: OK"

@@ -19,6 +19,11 @@ BIN="${1:-target/release/seqpoint}"
 SMOKE_DIR="$(mktemp -d)"
 SERVE_PID=""
 cleanup() {
+  status=$?
+  if [[ $status -ne 0 && -n "${SMOKE_ARTIFACT_DIR:-}" ]]; then
+    mkdir -p "$SMOKE_ARTIFACT_DIR"
+    cp "$SMOKE_DIR"/*.log "$SMOKE_ARTIFACT_DIR"/ 2>/dev/null || true
+  fi
   if [[ -n "$SERVE_PID" ]] && kill -0 "$SERVE_PID" 2>/dev/null; then
     kill -9 "$SERVE_PID" 2>/dev/null || true
   fi

@@ -31,6 +31,9 @@ bash scripts/smoke_service.sh target/release/seqpoint
 step tcp-smoke "TCP transport smoke (token auth, served-vs-offline diff, drain/resume over TCP)"
 bash scripts/smoke_tcp.sh target/release/seqpoint
 
+step fleet-smoke "fleet smoke (external worker pool, single-flight cache, fairness, SIGKILL survival)"
+bash scripts/smoke_fleet.sh target/release/seqpoint
+
 step bench-gate "perf capture + regression gate vs committed BENCH_stream.json"
 BENCH_FRESH="$(mktemp)"
 bash scripts/bench_stream.sh target/release/seqpoint "$BENCH_FRESH"

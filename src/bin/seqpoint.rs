@@ -37,10 +37,12 @@ USAGE:
   seqpoint serve     --socket PATH --state-dir DIR [--jobs N] [--queue-cap N]
                      [--placement thread|subprocess] [--workers N]
                      [--tcp HOST:PORT --token-file FILE] [--retain-jobs N]
+                     [--fair | --fifo] [--quota N]
   seqpoint submit    (--socket PATH | --connect HOST:PORT)
-                     [--token-file FILE] [--io-timeout SECS]
+                     [--token-file FILE] [--io-timeout SECS] [--client NAME]
                      --model <...> --dataset <...> [stream flags]
-                     [--job ID] [--max-rounds M] [--throttle-ms MS] [--detach]
+                     [--job ID] [--class interactive|batch] [--max-rounds M]
+                     [--throttle-ms MS] [--detach] [--stats]
   seqpoint submit    (--socket PATH | --connect HOST:PORT) [--token-file FILE]
                      (--ping | --status ID | --result ID |
                      --cancel ID | --shutdown)
@@ -81,6 +83,19 @@ NDJSON itself is plaintext: tunnel it (TLS, SSH) on untrusted networks.
 --retain-jobs N keeps at most N finished/failed/cancelled jobs (memory
 and state files), evicting oldest-first; recovery applies the bound.
 
+The server is multi-tenant: submissions carry a job class (--class
+interactive|batch) and a client identity (--client NAME, or the TCP
+handshake identity). Weighted-fair queueing (on by default; --fifo
+restores strict FIFO) gives interactive jobs 4 slots for every batch
+slot under contention and serves clients round-robin within a class;
+--quota N rejects a client's submissions beyond N in-flight jobs.
+Identical specs are served from a selection result cache: a duplicate
+of an in-flight job attaches to it (single-flight, one profiling run),
+a duplicate of a retained result returns immediately — byte-identical
+either way. `submit --stats` prints a `stats,<job>,state=…,cache_hit=…`
+line to stderr; `submit --ping` reports cache and worker-fleet
+counters.
+
 `submit` is the client: by default it submits and blocks for the result,
 which is byte-identical to `seqpoint stream` with the same flags —
 whichever transport carried it. --io-timeout SECS bounds every socket
@@ -94,7 +109,7 @@ another machine.
 Epoch-log CSV format: one `seq_len,stat` pair per line (header optional).";
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["detach", "ping", "shutdown"];
+const BOOL_FLAGS: &[&str] = &["detach", "ping", "shutdown", "stats", "fair", "fifo"];
 
 struct Flags {
     args: Vec<(String, String)>,
@@ -181,6 +196,7 @@ fn connect_args(flags: &Flags) -> Result<cli::ConnectArgs, CliError> {
             Some(_) => Some(flags.num("io-timeout", 600u64)?),
             None => None,
         },
+        client: flags.get("client").map(str::to_owned),
     })
 }
 
@@ -255,6 +271,19 @@ fn run() -> Result<String, CliError> {
                 },
                 placement: flags.get("placement").unwrap_or("thread").to_owned(),
                 workers: flags.num("workers", 2usize)?,
+                fair: match (flags.get("fair"), flags.get("fifo")) {
+                    (Some(_), Some(_)) => {
+                        return Err(CliError::Usage(
+                            "give either --fair or --fifo, not both".to_owned(),
+                        ))
+                    }
+                    (_, Some(_)) => false,
+                    _ => true,
+                },
+                quota: match flags.get("quota") {
+                    Some(_) => Some(flags.num("quota", 0usize)?),
+                    None => None,
+                },
             };
             cli::serve(&args)
         }
@@ -293,11 +322,23 @@ fn run() -> Result<String, CliError> {
                         None
                     },
                     throttle_ms: flags.num("throttle-ms", 0u64)?,
+                    class: match flags.get("class") {
+                        None => seqpoint::seqpoint_core::protocol::JobClass::Interactive,
+                        Some(label) => seqpoint::seqpoint_core::protocol::JobClass::parse(label)
+                            .ok_or_else(|| {
+                                CliError::Usage(format!(
+                                    "--class: unknown class `{label}` \
+                                         (expected interactive|batch)"
+                                ))
+                            })?,
+                    },
+                    client: flags.get("client").unwrap_or("").to_owned(),
                 };
                 cli::SubmitAction::Job {
                     job: flags.get("job").map(str::to_owned),
                     spec,
                     detach: flags.get("detach").is_some(),
+                    stats: flags.get("stats").is_some(),
                 }
             };
             cli::submit(&conn, action)

@@ -402,6 +402,11 @@ pub struct ServeArgs {
     /// Worker processes under subprocess placement (0 = rely on
     /// externally connected `seqpoint worker` processes).
     pub workers: usize,
+    /// Weighted-fair queueing across job classes (`--fair`, the
+    /// default; `--fifo` restores strict global FIFO).
+    pub fair: bool,
+    /// Per-client in-flight job quota (`--quota N`; `None` unlimited).
+    pub quota: Option<usize>,
 }
 
 /// `serve`: run the async profiling service until SIGTERM/SIGINT or a
@@ -439,6 +444,8 @@ pub fn serve(args: &ServeArgs) -> Result<String, CliError> {
         retain_jobs: args.retain_jobs,
         placement,
         worker_exe: None,
+        fair: args.fair,
+        client_quota: args.quota,
     })
     .map_err(lib_err)?;
     Ok(String::new())
@@ -453,6 +460,9 @@ pub struct ConnectArgs {
     pub token_file: Option<PathBuf>,
     /// Socket I/O timeout in seconds (`--io-timeout`; 0 disables it).
     pub io_timeout_secs: Option<u64>,
+    /// Client identity announced in the handshake (`--client NAME`);
+    /// the server accounts fairness and quotas to it.
+    pub client: Option<String>,
 }
 
 impl ConnectArgs {
@@ -468,6 +478,7 @@ impl ConnectArgs {
                 Some(std::time::Duration::from_secs(secs))
             };
         }
+        options.client = self.client.clone();
         Ok(options)
     }
 }
@@ -520,6 +531,10 @@ pub enum SubmitAction {
         spec: JobSpec,
         /// Print `submitted,<id>` instead of waiting.
         detach: bool,
+        /// After the job settles, print a `stats,…` accounting line
+        /// (state, cache hit) to **stderr**, so stdout stays
+        /// byte-identical to `seqpoint stream`.
+        stats: bool,
     },
     /// Liveness/stats probe.
     Ping,
@@ -551,13 +566,34 @@ pub fn submit(conn: &ConnectArgs, action: SubmitAction) -> Result<String, CliErr
     let unexpected =
         |response: Response| CliError::Library(format!("unexpected server response: {response:?}"));
     match action {
-        SubmitAction::Job { job, spec, detach } => {
+        SubmitAction::Job {
+            job,
+            spec,
+            detach,
+            stats,
+        } => {
             let id = client.submit(job, spec).map_err(lib_err)?;
-            if detach {
+            let output = if detach {
                 Ok(format!("submitted,{id}\n"))
             } else {
                 client.wait_result(&id).map_err(lib_err)
+            };
+            if stats && output.is_ok() {
+                // Accounting goes to stderr: stdout must stay
+                // byte-identical to `seqpoint stream` on the same spec.
+                match client
+                    .request(&Request::Status { job: id.clone() })
+                    .map_err(lib_err)?
+                {
+                    Response::Status {
+                        state, cache_hit, ..
+                    } => {
+                        eprintln!("stats,{id},state={},cache_hit={cache_hit}", state.label());
+                    }
+                    other => return Err(unexpected(other)),
+                }
             }
+            output
         }
         SubmitAction::Ping => match client.request(&Request::Ping).map_err(lib_err)? {
             Response::Pong {
@@ -565,23 +601,42 @@ pub fn submit(conn: &ConnectArgs, action: SubmitAction) -> Result<String, CliErr
                 queued,
                 running,
                 workers,
+                cache_hits,
+                cache_entries,
+                fleet_idle,
+                fleet_leases,
+                fleet_reclaimed,
             } => {
                 let workers = workers
                     .iter()
                     .map(u64::to_string)
                     .collect::<Vec<_>>()
                     .join(" ");
+                let fleet_idle = fleet_idle
+                    .iter()
+                    .map(u64::to_string)
+                    .collect::<Vec<_>>()
+                    .join(" ");
                 Ok(format!(
-                    "pong,version={version},queued={queued},running={running},workers={workers}\n"
+                    "pong,version={version},queued={queued},running={running},\
+                     workers={workers},cache_hits={cache_hits},cache_entries={cache_entries},\
+                     fleet_idle={fleet_idle},fleet_leases={fleet_leases},\
+                     fleet_reclaimed={fleet_reclaimed}\n"
                 ))
             }
             other => Err(unexpected(other)),
         },
         SubmitAction::Status(job) => {
             match client.request(&Request::Status { job }).map_err(lib_err)? {
-                Response::Status { job, state, detail } => {
-                    Ok(format!("{job},{},{detail}\n", state.label()))
-                }
+                Response::Status {
+                    job,
+                    state,
+                    detail,
+                    cache_hit,
+                } => Ok(format!(
+                    "{job},{},{detail},cache_hit={cache_hit}\n",
+                    state.label()
+                )),
                 Response::Error { reason } => Err(CliError::Library(reason)),
                 other => Err(unexpected(other)),
             }
