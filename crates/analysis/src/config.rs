@@ -1,0 +1,355 @@
+//! Minimal TOML-subset reader for the committed analysis data files
+//! (`analysis/lock_order.toml`, `analysis/panic_waivers.toml`,
+//! `analysis/protocol_digest.toml`). Supported grammar, which is all
+//! those files use: `#` comments, `key = "string" | integer | bool |
+//! ["array", "of", "strings"]` (arrays may span lines), `[section]`
+//! headers, and `[[array-of-tables]]` headers. Hand-rolled because the
+//! analyzer is dependency-free by design — see vendor/README.md.
+
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Str(String),
+    Int(i64),
+    Bool(bool),
+    List(Vec<String>),
+}
+
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    pub entries: Vec<(String, Value)>,
+}
+
+impl Table {
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        match self.get(key) {
+            Some(Value::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn get_int(&self, key: &str) -> Option<i64> {
+        match self.get(key) {
+            Some(Value::Int(i)) => Some(*i),
+            _ => None,
+        }
+    }
+
+    pub fn get_bool(&self, key: &str) -> Option<bool> {
+        match self.get(key) {
+            Some(Value::Bool(b)) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn get_list(&self, key: &str) -> Option<&[String]> {
+        match self.get(key) {
+            Some(Value::List(l)) => Some(l),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+pub struct TomlDoc {
+    /// Top-level keys before any header.
+    pub root: Table,
+    /// `[name]` sections, in file order.
+    pub sections: Vec<(String, Table)>,
+    /// `[[name]]` array-of-tables entries, in file order.
+    pub arrays: Vec<(String, Table)>,
+}
+
+impl TomlDoc {
+    pub fn section(&self, name: &str) -> Option<&Table> {
+        self.sections
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t)
+    }
+
+    pub fn array<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Table> + 'a {
+        self.arrays
+            .iter()
+            .filter(move |(n, _)| n == name)
+            .map(|(_, t)| t)
+    }
+}
+
+/// Parse a TOML-subset document. Errors carry a 1-based line number.
+pub fn parse(text: &str) -> Result<TomlDoc, String> {
+    let mut doc = TomlDoc::default();
+    // Which table new keys land in: root until a header appears.
+    enum Target {
+        Root,
+        Section,
+        Array,
+    }
+    let mut target = Target::Root;
+
+    let lines: Vec<&str> = text.lines().collect();
+    let mut ln = 0usize;
+    while ln < lines.len() {
+        let lineno = ln + 1;
+        let line = strip_comment(lines[ln]).trim().to_string();
+        ln += 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix("[[").and_then(|r| r.strip_suffix("]]")) {
+            doc.arrays.push((name.trim().to_string(), Table::default()));
+            target = Target::Array;
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+            doc.sections
+                .push((name.trim().to_string(), Table::default()));
+            target = Target::Section;
+            continue;
+        }
+        let eq = line
+            .find('=')
+            .ok_or_else(|| format!("line {lineno}: expected `key = value`"))?;
+        let key = line[..eq].trim().to_string();
+        let mut rhs = line[eq + 1..].trim().to_string();
+        // Multi-line array: keep consuming lines until brackets close
+        // outside of string literals.
+        while rhs.starts_with('[') && !bracket_closed(&rhs) {
+            if ln >= lines.len() {
+                return Err(format!("line {lineno}: unterminated array for `{key}`"));
+            }
+            rhs.push(' ');
+            rhs.push_str(strip_comment(lines[ln]).trim());
+            ln += 1;
+        }
+        let value = parse_value(&rhs).map_err(|e| format!("line {lineno}: {e}"))?;
+        let table = match target {
+            Target::Root => &mut doc.root,
+            Target::Section => &mut doc.sections.last_mut().expect("section pushed").1,
+            Target::Array => &mut doc.arrays.last_mut().expect("array pushed").1,
+        };
+        table.entries.push((key, value));
+    }
+    Ok(doc)
+}
+
+/// Drop a trailing `#` comment, respecting `"…"` string contents.
+fn strip_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_str = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_str => i += 1,
+            b'"' => in_str = !in_str,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+/// Whether a `[...]` array literal has a matching close bracket outside
+/// any string.
+fn bracket_closed(s: &str) -> bool {
+    let bytes = s.as_bytes();
+    let mut in_str = false;
+    let mut depth = 0i32;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_str => i += 1,
+            b'"' => in_str = !in_str,
+            b'[' if !in_str => depth += 1,
+            b']' if !in_str => {
+                depth -= 1;
+                if depth == 0 {
+                    return true;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    false
+}
+
+fn parse_value(rhs: &str) -> Result<Value, String> {
+    let rhs = rhs.trim();
+    if let Some(inner) = rhs.strip_prefix('[') {
+        let inner = inner
+            .strip_suffix(']')
+            .ok_or_else(|| "unterminated array".to_string())?;
+        let mut items = Vec::new();
+        for part in split_array(inner) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            match parse_value(part)? {
+                Value::Str(s) => items.push(s),
+                other => return Err(format!("only string arrays are supported, got {other:?}")),
+            }
+        }
+        return Ok(Value::List(items));
+    }
+    if let Some(inner) = rhs.strip_prefix('"') {
+        let inner = inner
+            .strip_suffix('"')
+            .ok_or_else(|| "unterminated string".to_string())?;
+        return Ok(Value::Str(unescape(inner)));
+    }
+    match rhs {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    rhs.parse::<i64>()
+        .map(Value::Int)
+        .map_err(|_| format!("unsupported value `{rhs}`"))
+}
+
+/// Split array items on commas outside strings.
+fn split_array(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    let mut chars = s.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' if in_str => {
+                cur.push(c);
+                if let Some(n) = chars.next() {
+                    cur.push(n);
+                }
+            }
+            '"' => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            ',' if !in_str => {
+                out.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Escape a string for emission into a TOML-subset file (used by
+/// `--bless-protocol`).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_root_sections_and_arrays_of_tables() {
+        let doc = parse(
+            "# header comment\n\
+             version = 3\n\
+             digest = \"fnv:abc\"\n\
+             strict = true\n\
+             \n\
+             [protocol]\n\
+             source = \"crates/core/src/protocol.rs\"\n\
+             \n\
+             [[waiver]]\n\
+             file = \"a.rs\"\n\
+             count = 2\n\
+             [[waiver]]\n\
+             file = \"b.rs\" # trailing comment\n",
+        )
+        .unwrap();
+        assert_eq!(doc.root.get_int("version"), Some(3));
+        assert_eq!(doc.root.get_str("digest"), Some("fnv:abc"));
+        assert_eq!(doc.root.get_bool("strict"), Some(true));
+        assert_eq!(
+            doc.section("protocol").unwrap().get_str("source"),
+            Some("crates/core/src/protocol.rs")
+        );
+        let waivers: Vec<&Table> = doc.array("waiver").collect();
+        assert_eq!(waivers.len(), 2);
+        assert_eq!(waivers[0].get_str("file"), Some("a.rs"));
+        assert_eq!(waivers[0].get_int("count"), Some(2));
+        assert_eq!(waivers[1].get_str("file"), Some("b.rs"));
+    }
+
+    #[test]
+    fn multiline_string_arrays() {
+        let doc = parse(
+            "order = [\n\
+               \"jobs\",   # outermost\n\
+               \"sched\",\n\
+               \"cache\",\n\
+             ]\n",
+        )
+        .unwrap();
+        assert_eq!(
+            doc.root.get_list("order").unwrap(),
+            &["jobs".to_string(), "sched".to_string(), "cache".to_string()]
+        );
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let doc = parse("contains = \"#[attr] index\"\n").unwrap();
+        assert_eq!(doc.root.get_str("contains"), Some("#[attr] index"));
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let original = "say \"hi\"\\path";
+        let doc = parse(&format!("k = \"{}\"\n", escape(original))).unwrap();
+        assert_eq!(doc.root.get_str("k"), Some(original));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse("ok = 1\nbroken line\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+}

@@ -1,0 +1,125 @@
+//! seqpoint-lint: offline, dependency-free static analysis over the
+//! workspace's own Rust sources. Three passes — lock-order analysis
+//! against a committed manifest, a panic-path lint governed by a
+//! justified waiver file, and a protocol-drift check against a
+//! committed frame digest. See the README "Static analysis" section
+//! for the data-file formats, and `analysis/` for the committed
+//! records themselves.
+
+pub mod config;
+pub mod lockorder;
+pub mod model;
+pub mod panics;
+pub mod protocol;
+pub mod report;
+pub mod scrub;
+
+use std::path::Path;
+
+use model::SourceFile;
+use report::{Finding, Pass};
+
+/// Load and parse every `.rs` file under the given scan entries
+/// (repo-relative files or directories). Returns the parsed sources
+/// plus any read errors as strings; order is deterministic.
+pub fn load_sources(root: &Path, scan: &[String]) -> (Vec<SourceFile>, Vec<String>) {
+    let mut paths: Vec<String> = Vec::new();
+    let mut errors = Vec::new();
+    for entry in scan {
+        let abs = root.join(entry);
+        if abs.is_dir() {
+            collect_rs(&abs, entry, &mut paths, &mut errors);
+        } else if abs.is_file() {
+            paths.push(entry.clone());
+        } else {
+            errors.push(format!("scan entry `{entry}` does not exist"));
+        }
+    }
+    paths.sort();
+    paths.dedup();
+    let mut files = Vec::new();
+    for rel in paths {
+        match std::fs::read_to_string(root.join(&rel)) {
+            Ok(raw) => files.push(SourceFile::parse(rel, raw)),
+            Err(e) => errors.push(format!("cannot read `{rel}`: {e}")),
+        }
+    }
+    (files, errors)
+}
+
+fn collect_rs(dir: &Path, rel: &str, out: &mut Vec<String>, errors: &mut Vec<String>) {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) => {
+            errors.push(format!("cannot read dir `{rel}`: {e}"));
+            return;
+        }
+    };
+    let mut names: Vec<(String, bool)> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| {
+            let name = e.file_name().to_string_lossy().into_owned();
+            let is_dir = e.file_type().map(|t| t.is_dir()).unwrap_or(false);
+            (name, is_dir)
+        })
+        .collect();
+    names.sort();
+    for (name, is_dir) in names {
+        if name == "target" || name.starts_with('.') {
+            continue;
+        }
+        let child_rel = format!("{rel}/{name}");
+        if is_dir {
+            collect_rs(&dir.join(&name), &child_rel, out, errors);
+        } else if name.ends_with(".rs") {
+            out.push(child_rel);
+        }
+    }
+}
+
+/// Run the selected passes against the repo at `root`. Configuration
+/// problems (missing manifest, unreadable scan entries) surface as
+/// findings so the tool still exits non-zero instead of silently
+/// passing.
+pub fn run_passes(root: &Path, passes: &[Pass]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut seen = Vec::new();
+    for &pass in passes {
+        if seen.contains(&pass) {
+            continue;
+        }
+        seen.push(pass);
+        match pass {
+            Pass::LockOrder => match lockorder::LockManifest::load(root) {
+                Ok(manifest) => {
+                    let (files, errors) = load_sources(root, &manifest.scan);
+                    for e in errors {
+                        findings.push(Finding::new(pass, lockorder::MANIFEST_PATH, 0, e));
+                    }
+                    findings.extend(lockorder::run(&manifest, &files));
+                }
+                Err(e) => findings.push(Finding::new(pass, lockorder::MANIFEST_PATH, 0, e)),
+            },
+            Pass::Panics => match panics::PanicWaivers::load(root) {
+                Ok(waivers) => {
+                    let (files, errors) = load_sources(root, &waivers.scan);
+                    for e in errors {
+                        findings.push(Finding::new(pass, panics::WAIVERS_PATH, 0, e));
+                    }
+                    findings.extend(panics::run(&waivers, &files));
+                }
+                Err(e) => findings.push(Finding::new(pass, panics::WAIVERS_PATH, 0, e)),
+            },
+            Pass::Protocol => match protocol::ProtocolConfig::load(root) {
+                Ok(cfg) => findings.extend(protocol::run(root, &cfg)),
+                Err(e) => findings.push(Finding::new(pass, protocol::DIGEST_PATH, 0, e)),
+            },
+        }
+    }
+    findings
+}
+
+/// All passes, in report order.
+pub fn all_passes() -> Vec<Pass> {
+    vec![Pass::LockOrder, Pass::Panics, Pass::Protocol]
+}

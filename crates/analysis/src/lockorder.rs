@@ -1,0 +1,1231 @@
+//! Lock-order analysis. Extracts `.lock()` / condvar-wait acquisition
+//! sites per function, simulates guard scopes inside each function
+//! body (let-bindings, `drop()`, guard moves through condvar waits,
+//! statement temporaries), resolves intra-crate call edges through
+//! typed receiver chains, and propagates may-acquire sets to a fixed
+//! point. Every observed acquisition edge is checked against the
+//! committed partial order in `analysis/lock_order.toml`; violations,
+//! cycles, double-acquires, unmanifested lock sites, and stale manifest
+//! entries are all findings.
+//!
+//! The simulation is deliberately conservative-but-honest about its
+//! heuristics: statement temporaries are assumed released at `;` and at
+//! top-level `,`, and unresolvable calls (trait objects, std methods)
+//! are ignored rather than guessed.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::path::Path;
+
+use crate::config;
+use crate::model::{tokenize, FnItem, SourceFile, Tok, Token};
+use crate::report::{ChainLink, Finding, Pass};
+
+pub const MANIFEST_PATH: &str = "analysis/lock_order.toml";
+
+#[derive(Clone, Debug)]
+pub struct LockClass {
+    pub name: String,
+    /// Files (repo-relative) in which this lock's receivers live.
+    pub files: Vec<String>,
+    /// Last path segment of the receiver at acquisition sites
+    /// (`shared.jobs.lock()` → `jobs`, `self.inner.lock()` → `inner`).
+    pub receivers: Vec<String>,
+    /// Condvar receiver names whose `wait*` calls release + reacquire
+    /// this lock.
+    pub cvs: Vec<String>,
+}
+
+#[derive(Clone, Debug)]
+pub struct LockManifest {
+    pub scan: Vec<String>,
+    pub order: Vec<String>,
+    pub ignore_receivers: Vec<String>,
+    pub lock_methods: Vec<String>,
+    pub wait_methods: Vec<String>,
+    pub classes: Vec<LockClass>,
+}
+
+impl LockManifest {
+    pub fn load(root: &Path) -> Result<LockManifest, String> {
+        let path = root.join(MANIFEST_PATH);
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let doc = config::parse(&text).map_err(|e| format!("{MANIFEST_PATH}: {e}"))?;
+        let list = |t: &config::Table, k: &str| -> Vec<String> {
+            t.get_list(k).map(|l| l.to_vec()).unwrap_or_default()
+        };
+        let mut classes = Vec::new();
+        for entry in doc.array("lock") {
+            classes.push(LockClass {
+                name: entry
+                    .get_str("name")
+                    .ok_or_else(|| format!("{MANIFEST_PATH}: [[lock]] entry missing `name`"))?
+                    .to_string(),
+                files: list(entry, "files"),
+                receivers: list(entry, "receivers"),
+                cvs: list(entry, "cvs"),
+            });
+        }
+        let mut lock_methods = list(&doc.root, "lock_methods");
+        if lock_methods.is_empty() {
+            lock_methods = vec!["lock".into(), "lock_recover".into()];
+        }
+        let mut wait_methods = list(&doc.root, "wait_methods");
+        if wait_methods.is_empty() {
+            wait_methods = vec![
+                "wait".into(),
+                "wait_timeout".into(),
+                "wait_while".into(),
+                "wait_timeout_recover".into(),
+            ];
+        }
+        Ok(LockManifest {
+            scan: list(&doc.root, "scan"),
+            order: list(&doc.root, "order"),
+            ignore_receivers: list(&doc.root, "ignore_receivers"),
+            lock_methods,
+            wait_methods,
+            classes,
+        })
+    }
+}
+
+/// A lock acquisition site: file + 1-based line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Site {
+    file: String,
+    line: usize,
+}
+
+impl Site {
+    fn link(&self, note: String) -> ChainLink {
+        ChainLink {
+            file: self.file.clone(),
+            line: self.line,
+            note,
+        }
+    }
+}
+
+/// A held guard during simulation.
+#[derive(Clone, Debug)]
+struct Guard {
+    class: usize,
+    var: Option<String>,
+    depth: usize,
+    site: Site,
+}
+
+/// A resolved intra-crate call made while holding locks.
+#[derive(Clone, Debug)]
+struct CallSite {
+    callee: usize,
+    site: Site,
+    callee_name: String,
+    held: Vec<(usize, Site)>,
+}
+
+#[derive(Default)]
+struct FnSummary {
+    /// Direct acquisitions: (class, site).
+    direct: Vec<(usize, Site)>,
+    calls: Vec<CallSite>,
+}
+
+/// Run the lock-order pass. `files` must be the parsed sources of the
+/// manifest's `scan` set.
+pub fn run(manifest: &LockManifest, files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // Global maps: functions, methods, structs.
+    let mut fns: Vec<(usize, &FnItem)> = Vec::new();
+    let mut method_map: HashMap<(String, String), usize> = HashMap::new();
+    let mut free_map: HashMap<String, Vec<usize>> = HashMap::new();
+    let mut struct_map: HashMap<&str, &crate::model::StructItem> = HashMap::new();
+    let mut field_counts: HashMap<&str, Vec<&str>> = HashMap::new();
+    for (fi, file) in files.iter().enumerate() {
+        for f in &file.fns {
+            if f.is_test {
+                continue;
+            }
+            let idx = fns.len();
+            fns.push((fi, f));
+            match &f.self_ty {
+                Some(ty) => {
+                    method_map
+                        .entry((ty.clone(), f.name.clone()))
+                        .or_insert(idx);
+                }
+                None => free_map.entry(f.name.clone()).or_default().push(idx),
+            }
+        }
+        for s in &file.structs {
+            struct_map.entry(s.name.as_str()).or_insert(s);
+            for (fname, fty) in &s.fields {
+                field_counts.entry(fname.as_str()).or_default().push(fty);
+            }
+        }
+    }
+
+    // Simulate each function.
+    let resolver = Resolver {
+        method_map: &method_map,
+        free_map: &free_map,
+        struct_map: &struct_map,
+        field_counts: &field_counts,
+    };
+    let mut summaries: Vec<FnSummary> = Vec::new();
+    let mut class_hit = vec![false; manifest.classes.len()];
+    // Deduped edge witnesses: (from, to) → chain.
+    let mut edges: BTreeMap<(usize, usize), Vec<ChainLink>> = BTreeMap::new();
+    for &(fi, item) in &fns {
+        let file = &files[fi];
+        let mut sim = Simulator::new(manifest, file, item, &resolver, &fns);
+        sim.run();
+        for &(c, _) in &sim.summary.direct {
+            class_hit[c] = true;
+        }
+        for (key, chain) in sim.edges {
+            edges.entry(key).or_insert(chain);
+        }
+        findings.extend(sim.findings);
+        summaries.push(sim.summary);
+    }
+
+    // Fixed-point: transitive may-acquire sets with witness paths.
+    let mut reach: Vec<BTreeMap<usize, Vec<ChainLink>>> = summaries
+        .iter()
+        .map(|s| {
+            s.direct
+                .iter()
+                .map(|(c, site)| {
+                    (
+                        *c,
+                        vec![site.link(format!("acquires '{}'", manifest.classes[*c].name))],
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for (idx, s) in summaries.iter().enumerate() {
+            for call in &s.calls {
+                let callee_reach: Vec<(usize, Vec<ChainLink>)> = reach[call.callee]
+                    .iter()
+                    .map(|(c, chain)| (*c, chain.clone()))
+                    .collect();
+                for (c, chain) in callee_reach {
+                    if let std::collections::btree_map::Entry::Vacant(slot) = reach[idx].entry(c) {
+                        let mut path = vec![call.site.link(format!("calls {}", call.callee_name))];
+                        path.extend(chain.into_iter().take(5));
+                        slot.insert(path);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Interprocedural edges: held at a call site × everything the
+    // callee may transitively acquire.
+    for s in &summaries {
+        for call in &s.calls {
+            for &(held_class, ref held_site) in &call.held {
+                for (acq_class, path) in &reach[call.callee] {
+                    let key = (held_class, *acq_class);
+                    if edges.contains_key(&key) {
+                        continue;
+                    }
+                    let mut chain =
+                        vec![held_site
+                            .link(format!("acquires '{}'", manifest.classes[held_class].name))];
+                    chain.push(call.site.link(format!(
+                        "calls {} while holding '{}'",
+                        call.callee_name, manifest.classes[held_class].name
+                    )));
+                    chain.extend(path.iter().take(5).cloned());
+                    edges.insert(key, chain);
+                }
+            }
+        }
+    }
+
+    // Check edges against the manifest order.
+    let order_idx: HashMap<&str, usize> = manifest
+        .order
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), i))
+        .collect();
+    for name in &manifest.order {
+        if !manifest.classes.iter().any(|c| &c.name == name) {
+            findings.push(Finding::new(
+                Pass::LockOrder,
+                MANIFEST_PATH,
+                0,
+                format!("order entry '{name}' names no [[lock]] class"),
+            ));
+        }
+    }
+    for (&(a, b), chain) in &edges {
+        let (an, bn) = (&manifest.classes[a].name, &manifest.classes[b].name);
+        if a == b {
+            findings.push(
+                Finding::new(
+                    Pass::LockOrder,
+                    chain.last().map(|l| l.file.clone()).unwrap_or_default(),
+                    chain.last().map(|l| l.line).unwrap_or(0),
+                    format!("lock '{an}' acquired while already held (self-deadlock)"),
+                )
+                .with_chain(chain.clone()),
+            );
+            continue;
+        }
+        match (order_idx.get(an.as_str()), order_idx.get(bn.as_str())) {
+            (Some(&ia), Some(&ib)) if ia > ib => {
+                findings.push(
+                    Finding::new(
+                        Pass::LockOrder,
+                        chain.last().map(|l| l.file.clone()).unwrap_or_default(),
+                        chain.last().map(|l| l.line).unwrap_or(0),
+                        format!(
+                            "lock '{bn}' acquired while holding '{an}', but the manifest \
+                             orders '{bn}' before '{an}'"
+                        ),
+                    )
+                    .with_chain(chain.clone()),
+                );
+            }
+            (Some(_), Some(_)) => {}
+            _ => {
+                let missing = if order_idx.contains_key(an.as_str()) {
+                    bn
+                } else {
+                    an
+                };
+                findings.push(
+                    Finding::new(
+                        Pass::LockOrder,
+                        MANIFEST_PATH,
+                        0,
+                        format!(
+                            "acquisition edge '{an}' -> '{bn}' involves lock '{missing}' \
+                             which is missing from the manifest `order` list"
+                        ),
+                    )
+                    .with_chain(chain.clone()),
+                );
+            }
+        }
+    }
+
+    // Cycle detection over the edge graph (independent of the declared
+    // order, so a manifest that legalises a cycle still fails).
+    findings.extend(find_cycles(manifest, &edges));
+
+    // Stale manifest entries.
+    for (c, hit) in class_hit.iter().enumerate() {
+        if !hit {
+            findings.push(Finding::new(
+                Pass::LockOrder,
+                MANIFEST_PATH,
+                0,
+                format!(
+                    "[[lock]] '{}' matched no acquisition site (stale manifest entry)",
+                    manifest.classes[c].name
+                ),
+            ));
+        }
+    }
+
+    findings.sort_by(|x, y| (&x.file, x.line, &x.message).cmp(&(&y.file, y.line, &y.message)));
+    findings
+}
+
+fn find_cycles(
+    manifest: &LockManifest,
+    edges: &BTreeMap<(usize, usize), Vec<ChainLink>>,
+) -> Vec<Finding> {
+    let mut adj: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for &(a, b) in edges.keys() {
+        if a != b {
+            adj.entry(a).or_default().push(b);
+        }
+    }
+    let mut findings = Vec::new();
+    let mut reported: BTreeSet<BTreeSet<usize>> = BTreeSet::new();
+    // DFS from every node; report each distinct cycle node-set once.
+    for &start in adj.keys() {
+        let mut path: Vec<usize> = Vec::new();
+        fn dfs(
+            node: usize,
+            start: usize,
+            adj: &BTreeMap<usize, Vec<usize>>,
+            path: &mut Vec<usize>,
+            found: &mut Vec<Vec<usize>>,
+        ) {
+            path.push(node);
+            if let Some(nexts) = adj.get(&node) {
+                for &n in nexts {
+                    if n == start {
+                        found.push(path.clone());
+                    } else if !path.contains(&n) {
+                        dfs(n, start, adj, path, found);
+                    }
+                }
+            }
+            path.pop();
+        }
+        let mut found = Vec::new();
+        dfs(start, start, &adj, &mut path, &mut found);
+        for cycle in found {
+            let set: BTreeSet<usize> = cycle.iter().copied().collect();
+            if !reported.insert(set) {
+                continue;
+            }
+            let names: Vec<&str> = cycle
+                .iter()
+                .chain(std::iter::once(&cycle[0]))
+                .map(|&c| manifest.classes[c].name.as_str())
+                .collect();
+            let mut chain = Vec::new();
+            for w in cycle.windows(2) {
+                if let Some(c) = edges.get(&(w[0], w[1])) {
+                    chain.extend(c.iter().cloned());
+                }
+            }
+            if let Some(c) = edges.get(&(cycle[cycle.len() - 1], cycle[0])) {
+                chain.extend(c.iter().cloned());
+            }
+            let anchor = chain.first().cloned().unwrap_or(ChainLink {
+                file: MANIFEST_PATH.into(),
+                line: 0,
+                note: String::new(),
+            });
+            findings.push(
+                Finding::new(
+                    Pass::LockOrder,
+                    anchor.file,
+                    anchor.line,
+                    format!("lock-order cycle: {}", names.join(" -> ")),
+                )
+                .with_chain(chain),
+            );
+        }
+    }
+    findings
+}
+
+struct Resolver<'a> {
+    method_map: &'a HashMap<(String, String), usize>,
+    free_map: &'a HashMap<String, Vec<usize>>,
+    struct_map: &'a HashMap<&'a str, &'a crate::model::StructItem>,
+    field_counts: &'a HashMap<&'a str, Vec<&'a str>>,
+}
+
+impl<'a> Resolver<'a> {
+    fn field_ty(&self, ty: &str, field: &str) -> Option<String> {
+        self.struct_map
+            .get(ty)?
+            .fields
+            .iter()
+            .find(|(n, _)| n == field)
+            .map(|(_, t)| t.clone())
+    }
+
+    /// Resolve a call to a function index. `chain` is the receiver path
+    /// (`shared.sched.push(..)` → ["shared", "sched"], method "push");
+    /// empty chain = free call; `path_call` marks `Type::method(..)`.
+    fn resolve(
+        &self,
+        chain: &[String],
+        method: &str,
+        path_call: bool,
+        current: &FnItem,
+    ) -> Option<usize> {
+        if path_call {
+            let ty = chain.last()?;
+            return self
+                .method_map
+                .get(&(ty.clone(), method.to_string()))
+                .copied();
+        }
+        if chain.is_empty() {
+            let cands = self.free_map.get(method)?;
+            return if cands.len() == 1 {
+                Some(cands[0])
+            } else {
+                None
+            };
+        }
+        let mut ty: Option<String> = None;
+        let mut rest: &[String] = &[];
+        if chain[0] == "self" {
+            ty = current.self_ty.clone();
+            rest = &chain[1..];
+        } else if let Some((_, pty)) = current.params.iter().find(|(n, _)| n == &chain[0]) {
+            ty = Some(pty.clone());
+            rest = &chain[1..];
+        } else {
+            // Unique-field fallback: if some segment of the chain is a
+            // field name that occurs in exactly one struct, pick up the
+            // walk from there.
+            for (k, seg) in chain.iter().enumerate() {
+                if let Some(types) = self.field_counts.get(seg.as_str()) {
+                    let uniq: BTreeSet<&&str> = types.iter().collect();
+                    if uniq.len() == 1 {
+                        ty = Some(types[0].to_string());
+                        rest = &chain[k + 1..];
+                        break;
+                    }
+                }
+            }
+        }
+        let mut ty = ty?;
+        for seg in rest {
+            ty = self.field_ty(&ty, seg)?;
+        }
+        self.method_map.get(&(ty, method.to_string())).copied()
+    }
+}
+
+struct Simulator<'a> {
+    manifest: &'a LockManifest,
+    file: &'a SourceFile,
+    item: &'a FnItem,
+    resolver: &'a Resolver<'a>,
+    fns: &'a [(usize, &'a FnItem)],
+    tokens: Vec<Token>,
+    held: Vec<Guard>,
+    depth: usize,
+    paren: i32,
+    pending_bind: Option<String>,
+    bind_used: bool,
+    rhs_count: usize,
+    rhs_ident: Option<String>,
+    stmt_start: bool,
+    summary: FnSummary,
+    edges: BTreeMap<(usize, usize), Vec<ChainLink>>,
+    findings: Vec<Finding>,
+}
+
+impl<'a> Simulator<'a> {
+    fn new(
+        manifest: &'a LockManifest,
+        file: &'a SourceFile,
+        item: &'a FnItem,
+        resolver: &'a Resolver<'a>,
+        fns: &'a [(usize, &'a FnItem)],
+    ) -> Simulator<'a> {
+        // Body tokens, minus the bodies of nested fn items (they are
+        // analysed as their own functions).
+        let nested: Vec<(usize, usize)> = file
+            .fns
+            .iter()
+            .filter(|f| f.body.0 > item.body.0 && f.body.1 <= item.body.1)
+            .map(|f| f.body)
+            .collect();
+        let all = tokenize(&file.scrubbed);
+        let tokens: Vec<Token> = all
+            .into_iter()
+            .filter(|t| {
+                t.off >= item.body.0
+                    && t.off < item.body.1
+                    && !nested.iter().any(|&(s, e)| t.off >= s && t.off < e)
+            })
+            .collect();
+        Simulator {
+            manifest,
+            file,
+            item,
+            resolver,
+            fns,
+            tokens,
+            held: Vec::new(),
+            depth: 0,
+            paren: 0,
+            pending_bind: None,
+            bind_used: false,
+            rhs_count: 0,
+            rhs_ident: None,
+            stmt_start: true,
+            summary: FnSummary::default(),
+            edges: BTreeMap::new(),
+            findings: Vec::new(),
+        }
+    }
+
+    fn site(&self, off: usize) -> Site {
+        Site {
+            file: self.file.path.clone(),
+            line: self.file.line_of(off),
+        }
+    }
+
+    /// Lock class for an acquisition receiver, by (file, last segment).
+    fn class_for(&self, recv: &str) -> Option<usize> {
+        self.manifest.classes.iter().position(|c| {
+            c.receivers.iter().any(|r| r == recv) && c.files.iter().any(|f| f == &self.file.path)
+        })
+    }
+
+    /// Lock class whose condvar list contains `recv`.
+    fn class_for_cv(&self, recv: &str) -> Option<usize> {
+        self.manifest.classes.iter().position(|c| {
+            c.cvs.iter().any(|r| r == recv) && c.files.iter().any(|f| f == &self.file.path)
+        })
+    }
+
+    fn release_var(&mut self, var: &str) {
+        self.held.retain(|g| g.var.as_deref() != Some(var));
+    }
+
+    fn release_temps(&mut self) {
+        self.held.retain(|g| g.var.is_some());
+    }
+
+    fn end_statement(&mut self) {
+        // `x = y;` guard transfer: single-ident RHS naming a held guard.
+        if let Some(bind) = self.pending_bind.take() {
+            if !self.bind_used && self.rhs_count == 1 {
+                if let Some(r) = self.rhs_ident.take() {
+                    for g in &mut self.held {
+                        if g.var.as_deref() == Some(r.as_str()) {
+                            g.var = Some(bind.clone());
+                        }
+                    }
+                }
+            }
+        }
+        self.bind_used = false;
+        self.rhs_count = 0;
+        self.rhs_ident = None;
+        self.release_temps();
+        self.stmt_start = true;
+        self.paren = 0;
+    }
+
+    /// Index just past the `)` matching the `(` at `open_idx`.
+    fn skip_parens(&self, open_idx: usize) -> usize {
+        let mut depth = 0i32;
+        let mut j = open_idx;
+        while j < self.tokens.len() {
+            match &self.tokens[j].tok {
+                Tok::Punct(b'(') => depth += 1,
+                Tok::Punct(b')') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j + 1;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        j
+    }
+
+    /// Whether the guard produced by the lock/wait call at `i` (whose
+    /// args open at `i + 1`) escapes into the enclosing binding: true
+    /// when the method chain ends after optional `.unwrap()` /
+    /// `.expect(..)` adapters; false when the chain continues
+    /// (`.clone()`, `.len()`, …), in which case the guard is a
+    /// statement temporary.
+    fn guard_escapes(&self, i: usize) -> bool {
+        let mut j = self.skip_parens(i + 1);
+        loop {
+            if !self.peek(j, b'.') {
+                return true;
+            }
+            match self.tokens.get(j + 1).and_then(|t| t.ident()) {
+                Some("unwrap") | Some("expect") if self.peek(j + 2, b'(') => {
+                    j = self.skip_parens(j + 2);
+                }
+                _ => return false,
+            }
+        }
+    }
+
+    fn acquire(&mut self, class: usize, off: usize, binds: bool) {
+        let site = self.site(off);
+        for g in &self.held {
+            let key = (g.class, class);
+            if !self.edges.contains_key(&key) {
+                let chain = vec![
+                    g.site.link(format!(
+                        "acquires '{}'",
+                        self.manifest.classes[g.class].name
+                    )),
+                    site.link(format!(
+                        "acquires '{}' while holding '{}'",
+                        self.manifest.classes[class].name, self.manifest.classes[g.class].name
+                    )),
+                ];
+                self.edges.insert(key, chain);
+            }
+        }
+        self.summary.direct.push((class, site.clone()));
+        let var = if binds && self.pending_bind.is_some() && !self.bind_used {
+            self.bind_used = true;
+            let name = self.pending_bind.clone();
+            if let Some(n) = name.clone() {
+                // Reassignment: the old guard under this name dies first.
+                self.release_var(&n);
+            }
+            name
+        } else {
+            None
+        };
+        self.held.push(Guard {
+            class,
+            var,
+            depth: self.depth,
+            site,
+        });
+    }
+
+    /// Receiver chain ending just before the `.` at `dot_idx`
+    /// (`shared.pool.inner` → ["shared", "pool", "inner"]). A call
+    /// result in the chain (`stdout()`) contributes its callee name.
+    fn receiver_chain(&self, dot_idx: usize) -> Vec<String> {
+        let mut chain = Vec::new();
+        let mut j = dot_idx; // tokens[j] is the `.`
+        loop {
+            if j == 0 {
+                break;
+            }
+            let prev = &self.tokens[j - 1];
+            match &prev.tok {
+                Tok::Ident(id) => {
+                    chain.push(id.clone());
+                    if j >= 3
+                        && self.tokens[j - 2].is_punct(b'.')
+                        && self.tokens[j - 3].ident().is_some()
+                    {
+                        j -= 2;
+                        continue;
+                    }
+                    break;
+                }
+                Tok::Punct(b')') => {
+                    // Walk back over the call's parens to its name.
+                    let mut depth = 0i32;
+                    let mut k = j - 1;
+                    loop {
+                        match &self.tokens[k].tok {
+                            Tok::Punct(b')') => depth += 1,
+                            Tok::Punct(b'(') => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        if k == 0 {
+                            break;
+                        }
+                        k -= 1;
+                    }
+                    if k > 0 {
+                        if let Some(id) = self.tokens[k - 1].ident() {
+                            chain.push(id.to_string());
+                        }
+                    }
+                    break;
+                }
+                _ => break,
+            }
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// First ident inside the parens opening at `open_idx`.
+    fn first_arg_ident(&self, open_idx: usize) -> Option<String> {
+        let mut depth = 0i32;
+        for t in &self.tokens[open_idx..] {
+            match &t.tok {
+                Tok::Punct(b'(') => depth += 1,
+                Tok::Punct(b')') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return None;
+                    }
+                }
+                Tok::Ident(id) if depth == 1 => return Some(id.clone()),
+                _ => {}
+            }
+        }
+        None
+    }
+
+    fn peek(&self, idx: usize, b: u8) -> bool {
+        self.tokens.get(idx).is_some_and(|t| t.is_punct(b))
+    }
+
+    fn run(&mut self) {
+        const KEYWORDS: &[&str] = &[
+            "if", "else", "while", "for", "loop", "match", "return", "let", "fn", "move", "in",
+            "as", "break", "continue", "mut", "ref", "use", "pub", "unsafe", "where", "true",
+            "false", "Some", "Ok", "Err", "None",
+        ];
+        let mut i = 0;
+        while i < self.tokens.len() {
+            let t = self.tokens[i].clone();
+            match &t.tok {
+                Tok::Punct(b'{') => {
+                    self.depth += 1;
+                    self.stmt_start = true;
+                    i += 1;
+                }
+                Tok::Punct(b'}') => {
+                    self.release_temps();
+                    self.depth = self.depth.saturating_sub(1);
+                    let d = self.depth;
+                    self.held.retain(|g| g.depth <= d);
+                    self.stmt_start = true;
+                    i += 1;
+                }
+                Tok::Punct(b';') => {
+                    self.end_statement();
+                    i += 1;
+                }
+                Tok::Punct(b'(') => {
+                    self.paren += 1;
+                    self.bump_rhs(None);
+                    i += 1;
+                }
+                Tok::Punct(b')') => {
+                    self.paren -= 1;
+                    self.bump_rhs(None);
+                    i += 1;
+                }
+                Tok::Punct(b',') => {
+                    if self.paren <= 0 {
+                        self.release_temps();
+                    }
+                    self.bump_rhs(None);
+                    i += 1;
+                }
+                Tok::Ident(id) if id == "let" => {
+                    // Collect the binding pattern up to the `=`.
+                    let mut j = i + 1;
+                    let mut bind: Option<String> = None;
+                    let mut after_colon = false;
+                    while j < self.tokens.len() {
+                        match &self.tokens[j].tok {
+                            Tok::Punct(b'=') => {
+                                if next_eq_is_cmp(&self.tokens, j) {
+                                    j += 2;
+                                    continue;
+                                }
+                                break;
+                            }
+                            Tok::Punct(b';') | Tok::Punct(b'{') => break,
+                            Tok::Punct(b':') => after_colon = true,
+                            Tok::Ident(p)
+                                if bind.is_none()
+                                    && !after_colon
+                                    && p != "mut"
+                                    && p != "ref"
+                                    && p.chars()
+                                        .next()
+                                        .is_some_and(|c| c.is_ascii_lowercase() || c == '_') =>
+                            {
+                                bind = Some(p.clone());
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    self.pending_bind = bind;
+                    self.bind_used = false;
+                    self.rhs_count = 0;
+                    self.rhs_ident = None;
+                    self.stmt_start = false;
+                    i = j + 1; // past the `=` (or terminator)
+                }
+                Tok::Ident(id) if id == "drop" && self.peek(i + 1, b'(') => {
+                    if let Some(var) = self
+                        .tokens
+                        .get(i + 2)
+                        .and_then(|t| t.ident())
+                        .map(|s| s.to_string())
+                    {
+                        if self.peek(i + 3, b')') {
+                            self.release_var(&var);
+                        }
+                    }
+                    self.stmt_start = false;
+                    i += 1;
+                }
+                Tok::Ident(id) => {
+                    let is_method = i > 0 && self.tokens[i - 1].is_punct(b'.');
+                    let is_path = i >= 2
+                        && self.tokens[i - 1].is_punct(b':')
+                        && self.tokens[i - 2].is_punct(b':');
+                    let is_call = self.peek(i + 1, b'(');
+                    let is_macro = self.peek(i + 1, b'!');
+
+                    if is_method && is_call && self.manifest.lock_methods.iter().any(|m| m == id) {
+                        let chain = self.receiver_chain(i - 1);
+                        let recv = chain.last().cloned().unwrap_or_default();
+                        if let Some(class) = self.class_for(&recv) {
+                            let binds = self.guard_escapes(i);
+                            self.acquire(class, t.off, binds);
+                        } else if !self.manifest.ignore_receivers.iter().any(|r| r == &recv) {
+                            let line = self.file.line_of(t.off);
+                            self.findings.push(Finding::new(
+                                Pass::LockOrder,
+                                self.file.path.clone(),
+                                line,
+                                format!(
+                                    ".{id}() on receiver '{recv}' matches no [[lock]] entry \
+                                     in {MANIFEST_PATH}"
+                                ),
+                            ));
+                        }
+                        self.stmt_start = false;
+                        i += 1;
+                        continue;
+                    }
+                    if is_method && is_call && self.manifest.wait_methods.iter().any(|m| m == id) {
+                        let chain = self.receiver_chain(i - 1);
+                        let recv = chain.last().cloned().unwrap_or_default();
+                        if let Some(class) = self.class_for_cv(&recv) {
+                            // The guard is moved into the wait: released
+                            // now, reacquired by the wait's return value.
+                            if let Some(arg) = self.first_arg_ident(i + 1) {
+                                self.release_var(&arg);
+                            }
+                            for g in &self.held {
+                                let line = self.file.line_of(t.off);
+                                self.findings.push(Finding::new(
+                                    Pass::LockOrder,
+                                    self.file.path.clone(),
+                                    line,
+                                    format!(
+                                        "condvar wait for '{}' while holding '{}' \
+                                         (stall risk: the held lock blocks wakers)",
+                                        self.manifest.classes[class].name,
+                                        self.manifest.classes[g.class].name
+                                    ),
+                                ));
+                            }
+                            let binds = self.guard_escapes(i);
+                            self.acquire(class, t.off, binds);
+                        }
+                        self.stmt_start = false;
+                        i += 1;
+                        continue;
+                    }
+                    if is_call && !is_macro && !KEYWORDS.contains(&id.as_str()) {
+                        let (chain, path_call) = if is_method {
+                            (self.receiver_chain(i - 1), false)
+                        } else if is_path {
+                            let ty = self
+                                .tokens
+                                .get(i.wrapping_sub(3))
+                                .and_then(|t| t.ident())
+                                .map(|s| s.to_string());
+                            (ty.into_iter().collect(), true)
+                        } else {
+                            (Vec::new(), false)
+                        };
+                        if let Some(callee) =
+                            self.resolver.resolve(&chain, id, path_call, self.item)
+                        {
+                            self.summary.calls.push(CallSite {
+                                callee,
+                                site: self.site(t.off),
+                                callee_name: describe_fn(self.fns[callee].1),
+                                held: self
+                                    .held
+                                    .iter()
+                                    .map(|g| (g.class, g.site.clone()))
+                                    .collect(),
+                            });
+                        }
+                    }
+                    // Statement-start `x = …` assignment binds like let.
+                    if self.stmt_start
+                        && self.peek(i + 1, b'=')
+                        && !self.peek(i + 2, b'=')
+                        && !KEYWORDS.contains(&id.as_str())
+                    {
+                        self.pending_bind = Some(id.clone());
+                        self.bind_used = false;
+                        self.rhs_count = 0;
+                        self.rhs_ident = None;
+                        self.stmt_start = false;
+                        i += 2;
+                        continue;
+                    }
+                    self.bump_rhs(Some(id.clone()));
+                    self.stmt_start = false;
+                    i += 1;
+                }
+                _ => {
+                    self.bump_rhs(None);
+                    self.stmt_start = false;
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    fn bump_rhs(&mut self, ident: Option<String>) {
+        if self.pending_bind.is_some() && !self.bind_used {
+            self.rhs_count += 1;
+            if self.rhs_count == 1 {
+                self.rhs_ident = ident;
+            }
+        }
+    }
+}
+
+/// `==`, `<=`, `>=`, `!=`, `+=` etc. around an `=` token: true when the
+/// `=` at `j` is part of a two-char operator rather than a binding.
+fn next_eq_is_cmp(tokens: &[Token], j: usize) -> bool {
+    tokens.get(j + 1).is_some_and(|t| t.is_punct(b'='))
+        || (j > 0
+            && matches!(
+                tokens[j - 1].tok,
+                Tok::Punct(b'=')
+                    | Tok::Punct(b'!')
+                    | Tok::Punct(b'<')
+                    | Tok::Punct(b'>')
+                    | Tok::Punct(b'+')
+                    | Tok::Punct(b'-')
+                    | Tok::Punct(b'*')
+                    | Tok::Punct(b'/')
+            ))
+}
+
+fn describe_fn(f: &FnItem) -> String {
+    match &f.self_ty {
+        Some(ty) => format!("{ty}::{}", f.name),
+        None => f.name.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SourceFile;
+
+    fn manifest_two(a_file: &str, b_file: &str) -> LockManifest {
+        LockManifest {
+            scan: vec![],
+            order: vec!["left".into(), "right".into()],
+            ignore_receivers: vec!["stdout".into(), "stderr".into()],
+            lock_methods: vec!["lock".into(), "lock_recover".into()],
+            wait_methods: vec!["wait".into(), "wait_timeout".into()],
+            classes: vec![
+                LockClass {
+                    name: "left".into(),
+                    files: vec![a_file.into()],
+                    receivers: vec!["left".into()],
+                    cvs: vec!["left_cv".into()],
+                },
+                LockClass {
+                    name: "right".into(),
+                    files: vec![b_file.into()],
+                    receivers: vec!["right".into()],
+                    cvs: vec![],
+                },
+            ],
+        }
+    }
+
+    fn analyse(src: &str) -> Vec<Finding> {
+        let m = manifest_two("m.rs", "m.rs");
+        let f = SourceFile::parse("m.rs".into(), src.into());
+        run(&m, &[f])
+    }
+
+    #[test]
+    fn ordered_nesting_is_clean() {
+        let findings = analyse(
+            "struct S { left: Mutex<u32>, right: Mutex<u32> }\n\
+             impl S {\n\
+               fn ok(&self) {\n\
+                 let a = self.left.lock().unwrap();\n\
+                 let b = self.right.lock().unwrap();\n\
+                 drop(b); drop(a);\n\
+               }\n\
+             }",
+        );
+        assert!(findings.is_empty(), "{findings:#?}");
+    }
+
+    #[test]
+    fn reversed_nesting_violates_order() {
+        let findings = analyse(
+            "struct S { left: Mutex<u32>, right: Mutex<u32> }\n\
+             impl S {\n\
+               fn bad(&self) {\n\
+                 let b = self.right.lock().unwrap();\n\
+                 let a = self.left.lock().unwrap();\n\
+                 drop(a); drop(b);\n\
+               }\n\
+             }",
+        );
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.message.contains("orders 'left' before 'right'")),
+            "{findings:#?}"
+        );
+    }
+
+    #[test]
+    fn two_fn_cycle_is_detected_with_chain() {
+        let findings = analyse(
+            "struct S { left: Mutex<u32>, right: Mutex<u32> }\n\
+             impl S {\n\
+               fn ab(&self) {\n\
+                 let a = self.left.lock().unwrap();\n\
+                 let b = self.right.lock().unwrap();\n\
+                 drop(b); drop(a);\n\
+               }\n\
+               fn ba(&self) {\n\
+                 let b = self.right.lock().unwrap();\n\
+                 let a = self.left.lock().unwrap();\n\
+                 drop(a); drop(b);\n\
+               }\n\
+             }",
+        );
+        let cycle = findings
+            .iter()
+            .find(|f| f.message.contains("lock-order cycle"))
+            .unwrap_or_else(|| panic!("no cycle finding: {findings:#?}"));
+        assert!(
+            cycle.message.contains("left -> right -> left")
+                || cycle.message.contains("right -> left -> right")
+        );
+        assert!(cycle.chain.len() >= 4, "chain shows both edges: {cycle:#?}");
+        assert!(cycle.chain.iter().all(|l| l.file == "m.rs" && l.line > 0));
+    }
+
+    #[test]
+    fn guard_drop_breaks_the_edge() {
+        let findings = analyse(
+            "struct S { left: Mutex<u32>, right: Mutex<u32> }\n\
+             impl S {\n\
+               fn ok(&self) {\n\
+                 let b = self.right.lock().unwrap();\n\
+                 drop(b);\n\
+                 let a = self.left.lock().unwrap();\n\
+                 drop(a);\n\
+               }\n\
+             }",
+        );
+        assert!(findings.is_empty(), "{findings:#?}");
+    }
+
+    #[test]
+    fn interprocedural_edge_through_method_call() {
+        let findings = analyse(
+            "struct S { left: Mutex<u32>, right: Mutex<u32> }\n\
+             impl S {\n\
+               fn inner_right(&self) { let g = self.right.lock().unwrap(); drop(g); }\n\
+               fn outer(&self) {\n\
+                 let a = self.left.lock().unwrap();\n\
+                 self.inner_right();\n\
+                 drop(a);\n\
+               }\n\
+               fn reversed(&self) {\n\
+                 let b = self.right.lock().unwrap();\n\
+                 self.inner_left();\n\
+                 drop(b);\n\
+               }\n\
+               fn inner_left(&self) { let g = self.left.lock().unwrap(); drop(g); }\n\
+             }",
+        );
+        // outer: left->right (fine); reversed: right->left via call =>
+        // both an order violation and a cycle.
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.message.contains("lock-order cycle")),
+            "{findings:#?}"
+        );
+        let violation = findings
+            .iter()
+            .find(|f| f.message.contains("orders 'left' before 'right'"))
+            .unwrap_or_else(|| panic!("{findings:#?}"));
+        assert!(violation
+            .chain
+            .iter()
+            .any(|l| l.note.contains("calls S::inner_left")));
+    }
+
+    #[test]
+    fn condvar_wait_releases_and_reacquires() {
+        let findings = analyse(
+            "struct S { left: Mutex<u32>, left_cv: Condvar }\n\
+             impl S {\n\
+               fn wait_for_it(&self) {\n\
+                 let mut g = self.left.lock().unwrap();\n\
+                 loop {\n\
+                   let (guard, _) = self.left_cv.wait_timeout(g, timeout).unwrap();\n\
+                   g = guard;\n\
+                 }\n\
+               }\n\
+             }",
+        );
+        // No self-deadlock finding: the wait releases before reacquiring.
+        assert!(
+            !findings.iter().any(|f| f.message.contains("self-deadlock")),
+            "{findings:#?}"
+        );
+    }
+
+    #[test]
+    fn unmanifested_lock_is_reported() {
+        let findings = analyse(
+            "struct S { left: Mutex<u32>, mystery: Mutex<u32> }\n\
+             impl S { fn f(&self) { let g = self.mystery.lock().unwrap(); drop(g); } }",
+        );
+        assert!(
+            findings.iter().any(|f| f.message.contains("'mystery'")),
+            "{findings:#?}"
+        );
+    }
+
+    #[test]
+    fn stale_manifest_entry_is_reported() {
+        let findings = analyse("fn nothing() {}");
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.message.contains("stale manifest entry")),
+            "{findings:#?}"
+        );
+    }
+
+    #[test]
+    fn temporaries_release_at_statement_end() {
+        let findings = analyse(
+            "struct S { left: Mutex<u32>, right: Mutex<u32> }\n\
+             impl S {\n\
+               fn f(&self) {\n\
+                 let n = self.right.lock().unwrap().clone();\n\
+                 let g = self.left.lock().unwrap();\n\
+                 drop(g);\n\
+               }\n\
+             }",
+        );
+        // right temp dies at `;`, so no right->left edge.
+        assert!(
+            !findings.iter().any(|f| f.message.contains("orders")),
+            "{findings:#?}"
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! `seqpoint-lint` — run the workspace static-analysis passes.
+//!
+//! Usage:
+//!   seqpoint-lint [--root PATH] [--pass lock-order,panics,protocol]
+//!                 [--github] [--bless-protocol]
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or configuration error.
+
+use std::path::PathBuf;
+
+use seqpoint_analysis::report::Pass;
+use seqpoint_analysis::{all_passes, protocol, run_passes};
+
+const USAGE: &str = "\
+seqpoint-lint: workspace static analysis (lock-order, panics, protocol drift)
+
+USAGE:
+    seqpoint-lint [OPTIONS]
+
+OPTIONS:
+    --root <PATH>        Repository root (default: current directory)
+    --pass <LIST>        Comma-separated passes to run:
+                         lock-order, panics, protocol (default: all)
+    --github             Emit findings as GitHub workflow annotations
+                         (::error file=...,line=...::message)
+    --bless-protocol     Recompute and commit the protocol frame digest
+                         into analysis/protocol_digest.toml, then exit
+    -h, --help           Show this help
+";
+
+fn main() {
+    std::process::exit(real_main());
+}
+
+fn real_main() -> i32 {
+    let mut root = PathBuf::from(".");
+    let mut passes = all_passes();
+    let mut github = false;
+    let mut bless = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => return usage_error("--root requires a path"),
+            },
+            "--pass" => match args.next() {
+                Some(list) => {
+                    let mut selected = Vec::new();
+                    for name in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                        match Pass::from_name(name) {
+                            Some(p) => selected.push(p),
+                            None => {
+                                return usage_error(&format!(
+                                    "unknown pass `{name}` (expected lock-order, panics, protocol)"
+                                ))
+                            }
+                        }
+                    }
+                    if selected.is_empty() {
+                        return usage_error("--pass requires at least one pass name");
+                    }
+                    passes = selected;
+                }
+                None => return usage_error("--pass requires a comma-separated list"),
+            },
+            "--github" => github = true,
+            "--bless-protocol" => bless = true,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return 0;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    if bless {
+        return match protocol::bless(&root) {
+            Ok(()) => {
+                println!(
+                    "seqpoint-lint: blessed {} from current sources",
+                    protocol::DIGEST_PATH
+                );
+                0
+            }
+            Err(e) => {
+                eprintln!("seqpoint-lint: {e}");
+                2
+            }
+        };
+    }
+
+    let findings = run_passes(&root, &passes);
+    for f in &findings {
+        if github {
+            println!("{}", f.render_github());
+        } else {
+            println!("{}", f.render_human());
+        }
+    }
+    let pass_names: Vec<&str> = passes.iter().map(|p| p.name()).collect();
+    if findings.is_empty() {
+        eprintln!("seqpoint-lint: clean ({})", pass_names.join(", "));
+        0
+    } else {
+        eprintln!(
+            "seqpoint-lint: {} finding(s) ({})",
+            findings.len(),
+            pass_names.join(", ")
+        );
+        1
+    }
+}
+
+fn usage_error(msg: &str) -> i32 {
+    eprintln!("seqpoint-lint: {msg}\n\n{USAGE}");
+    2
+}

@@ -1,0 +1,820 @@
+//! Lightweight item model for Rust sources: a byte-offset tokenizer and
+//! a scope-tracking walk that recovers just enough structure for the
+//! lint passes — structs (field name → type), enums (variant names),
+//! impl blocks (method → self type), free functions with param types,
+//! and `#[cfg(test)]` / `#[test]` regions. This is deliberately not a
+//! grammar-complete parser; it only needs to be right for the
+//! workspace's own style of code, and every heuristic is covered by the
+//! fixture tests.
+
+use crate::scrub::scrub;
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier, keyword, or numeric literal run (`[A-Za-z0-9_]+`).
+    Ident(String),
+    /// Any other non-whitespace byte.
+    Punct(u8),
+}
+
+#[derive(Clone, Debug)]
+pub struct Token {
+    pub tok: Tok,
+    /// Byte offset of the token start in the (scrubbed == raw) buffer.
+    pub off: usize,
+}
+
+impl Token {
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(s) => Some(s),
+            Tok::Punct(_) => None,
+        }
+    }
+
+    pub fn is_punct(&self, b: u8) -> bool {
+        self.tok == Tok::Punct(b)
+    }
+}
+
+/// Tokenize a scrubbed buffer. Literal delimiters survive scrubbing and
+/// show up as puncts; blanked contents are whitespace and vanish.
+pub fn tokenize(scrubbed: &[u8]) -> Vec<Token> {
+    let mut out = Vec::new();
+    let n = scrubbed.len();
+    let mut i = 0;
+    while i < n {
+        let b = scrubbed[i];
+        if b.is_ascii_whitespace() {
+            i += 1;
+        } else if b.is_ascii_alphanumeric() || b == b'_' {
+            let start = i;
+            while i < n && (scrubbed[i].is_ascii_alphanumeric() || scrubbed[i] == b'_') {
+                i += 1;
+            }
+            out.push(Token {
+                tok: Tok::Ident(String::from_utf8_lossy(&scrubbed[start..i]).into_owned()),
+                off: start,
+            });
+        } else {
+            out.push(Token {
+                tok: Tok::Punct(b),
+                off: i,
+            });
+            i += 1;
+        }
+    }
+    out
+}
+
+/// A function item (free or method), with its body byte range.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    pub name: String,
+    /// Enclosing `impl` type, if this is a method.
+    pub self_ty: Option<String>,
+    /// Parameter name → principal type name (wrappers stripped).
+    pub params: Vec<(String, String)>,
+    /// Byte offset of the `fn` keyword.
+    pub sig_off: usize,
+    /// Byte range of the body including both braces.
+    pub body: (usize, usize),
+    /// `#[test]`, or defined inside a `#[cfg(test)]` module.
+    pub is_test: bool,
+}
+
+#[derive(Clone, Debug)]
+pub struct StructItem {
+    pub name: String,
+    /// Field name → principal type name.
+    pub fields: Vec<(String, String)>,
+    /// Byte range from the `struct` keyword through the item end.
+    pub span: (usize, usize),
+}
+
+#[derive(Clone, Debug)]
+pub struct EnumItem {
+    pub name: String,
+    pub variants: Vec<String>,
+    /// Byte range from the `enum` keyword through the close brace.
+    pub span: (usize, usize),
+}
+
+/// One parsed source file.
+pub struct SourceFile {
+    /// Path relative to the analysis root, forward slashes.
+    pub path: String,
+    pub raw: String,
+    pub scrubbed: Vec<u8>,
+    line_starts: Vec<usize>,
+    pub fns: Vec<FnItem>,
+    pub structs: Vec<StructItem>,
+    pub enums: Vec<EnumItem>,
+    /// Byte ranges of `#[cfg(test)]` module bodies and `#[test]` fn
+    /// bodies — everything the panic pass must ignore.
+    pub test_ranges: Vec<(usize, usize)>,
+}
+
+impl SourceFile {
+    pub fn parse(path: String, raw: String) -> SourceFile {
+        let scrubbed = scrub(&raw);
+        let line_starts = std::iter::once(0)
+            .chain(
+                raw.bytes()
+                    .enumerate()
+                    .filter(|(_, b)| *b == b'\n')
+                    .map(|(i, _)| i + 1),
+            )
+            .collect();
+        let mut file = SourceFile {
+            path,
+            raw,
+            scrubbed,
+            line_starts,
+            fns: Vec::new(),
+            structs: Vec::new(),
+            enums: Vec::new(),
+            test_ranges: Vec::new(),
+        };
+        let tokens = tokenize(&file.scrubbed);
+        Walker::new(&mut file, &tokens).walk();
+        file
+    }
+
+    /// 1-based line number of a byte offset.
+    pub fn line_of(&self, off: usize) -> usize {
+        match self.line_starts.binary_search(&off) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+
+    /// The raw text of the 1-based line.
+    pub fn line_text(&self, line: usize) -> &str {
+        let start = self.line_starts[line - 1];
+        let end = self
+            .line_starts
+            .get(line)
+            .map(|e| e.saturating_sub(1))
+            .unwrap_or(self.raw.len());
+        &self.raw[start..end.max(start)]
+    }
+
+    pub fn in_test_code(&self, off: usize) -> bool {
+        self.test_ranges.iter().any(|&(s, e)| off >= s && off < e)
+    }
+}
+
+/// Find the byte offset of the `}` matching the `{` at `open` in a
+/// scrubbed buffer (string contents are blanked, so counting is safe).
+pub fn matching_brace(scrubbed: &[u8], open: usize) -> usize {
+    debug_assert_eq!(scrubbed.get(open), Some(&b'{'));
+    let mut depth = 0usize;
+    for (i, b) in scrubbed.iter().enumerate().skip(open) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+    }
+    scrubbed.len().saturating_sub(1)
+}
+
+/// Principal type name of a type token span: the first capitalized or
+/// primitive ident that is not a smart-pointer wrapper. `&Arc<Shared>`
+/// → `Shared`, `&mut TcpStream` → `TcpStream`, `u64` → `u64`.
+pub fn principal_type(tokens: &[Token]) -> String {
+    const WRAPPERS: &[&str] = &["Arc", "Rc", "Box", "dyn", "impl", "mut", "const"];
+    for t in tokens {
+        if let Some(id) = t.ident() {
+            if id.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+                continue;
+            }
+            if WRAPPERS.contains(&id) {
+                continue;
+            }
+            // For `Arc<Shared>` the first non-wrapper ident IS the
+            // payload, so first hit wins.
+            return id.to_string();
+        }
+    }
+    String::new()
+}
+
+struct Walker<'a> {
+    file: &'a mut SourceFile,
+    tokens: &'a [Token],
+    i: usize,
+    /// Stack of (impl type if any, is_test_mod) per open brace scope.
+    scopes: Vec<(Option<String>, bool)>,
+    pending_test_attr: bool,
+    pending_cfg_test: bool,
+}
+
+impl<'a> Walker<'a> {
+    fn new(file: &'a mut SourceFile, tokens: &'a [Token]) -> Walker<'a> {
+        Walker {
+            file,
+            tokens,
+            i: 0,
+            scopes: Vec::new(),
+            pending_test_attr: false,
+            pending_cfg_test: false,
+        }
+    }
+
+    fn in_test_scope(&self) -> bool {
+        self.scopes.iter().any(|(_, t)| *t)
+    }
+
+    fn impl_ty(&self) -> Option<String> {
+        self.scopes.iter().rev().find_map(|(ty, _)| ty.clone())
+    }
+
+    fn walk(&mut self) {
+        while self.i < self.tokens.len() {
+            let t = &self.tokens[self.i];
+            match &t.tok {
+                Tok::Punct(b'#') => self.take_attr(),
+                Tok::Punct(b'{') => {
+                    self.scopes.push((None, false));
+                    self.clear_attrs();
+                    self.i += 1;
+                }
+                Tok::Punct(b'}') => {
+                    self.scopes.pop();
+                    self.clear_attrs();
+                    self.i += 1;
+                }
+                Tok::Ident(id) => match id.as_str() {
+                    "fn" => self.take_fn(),
+                    "impl" => self.take_impl(),
+                    "mod" => self.take_mod(),
+                    "struct" => self.take_struct(),
+                    "enum" => self.take_enum(),
+                    // Visibility / qualifiers keep pending attrs alive.
+                    "pub" | "unsafe" | "async" | "crate" | "in" => self.i += 1,
+                    _ => {
+                        self.clear_attrs();
+                        self.i += 1;
+                    }
+                },
+                Tok::Punct(b'(') | Tok::Punct(b')') => self.i += 1,
+                _ => {
+                    self.clear_attrs();
+                    self.i += 1;
+                }
+            }
+        }
+    }
+
+    fn clear_attrs(&mut self) {
+        self.pending_test_attr = false;
+        self.pending_cfg_test = false;
+    }
+
+    /// Consume `#[...]`, noting `#[test]` and `#[cfg(test)]`-style
+    /// attributes (any cfg attr whose args mention `test`).
+    fn take_attr(&mut self) {
+        self.i += 1; // '#'
+        if self.i < self.tokens.len() && self.tokens[self.i].is_punct(b'!') {
+            self.i += 1; // inner attr `#![...]`
+        }
+        if self.i >= self.tokens.len() || !self.tokens[self.i].is_punct(b'[') {
+            return;
+        }
+        let mut depth = 0usize;
+        let mut idents: Vec<&str> = Vec::new();
+        while self.i < self.tokens.len() {
+            match &self.tokens[self.i].tok {
+                Tok::Punct(b'[') => depth += 1,
+                Tok::Punct(b']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        self.i += 1;
+                        break;
+                    }
+                }
+                Tok::Ident(id) => idents.push(id),
+                _ => {}
+            }
+            self.i += 1;
+        }
+        if idents.as_slice() == ["test"] {
+            self.pending_test_attr = true;
+        }
+        if idents.first() == Some(&"cfg") && idents.contains(&"test") {
+            self.pending_cfg_test = true;
+        }
+    }
+
+    /// Advance to the first `{` or depth-0 `;`, tracking (), [] and <>
+    /// depth so generic args and array types don't fool the scan.
+    /// Returns the token index of the terminator (not consumed).
+    fn scan_to_body(&self, mut j: usize) -> usize {
+        let (mut paren, mut brack, mut angle) = (0i32, 0i32, 0i32);
+        while j < self.tokens.len() {
+            match &self.tokens[j].tok {
+                Tok::Punct(b'(') => paren += 1,
+                Tok::Punct(b')') => paren -= 1,
+                Tok::Punct(b'[') => brack += 1,
+                Tok::Punct(b']') => brack -= 1,
+                Tok::Punct(b'<') => angle += 1,
+                Tok::Punct(b'>') => {
+                    // `->` is not a closing angle bracket.
+                    if j > 0 && self.tokens[j - 1].is_punct(b'-') {
+                    } else {
+                        angle -= 1;
+                    }
+                }
+                Tok::Punct(b'{') if paren == 0 && brack == 0 && angle <= 0 => return j,
+                Tok::Punct(b';') if paren == 0 && brack == 0 => return j,
+                _ => {}
+            }
+            j += 1;
+        }
+        j
+    }
+
+    fn take_fn(&mut self) {
+        let sig_off = self.tokens[self.i].off;
+        let is_test = self.pending_test_attr || self.in_test_scope();
+        self.clear_attrs();
+        self.i += 1; // 'fn'
+        let name = match self.tokens.get(self.i).and_then(|t| t.ident()) {
+            Some(n) => n.to_string(),
+            None => return,
+        };
+        self.i += 1;
+        // Optional generics.
+        if self.tokens.get(self.i).is_some_and(|t| t.is_punct(b'<')) {
+            let mut depth = 0i32;
+            while self.i < self.tokens.len() {
+                match &self.tokens[self.i].tok {
+                    Tok::Punct(b'<') => depth += 1,
+                    Tok::Punct(b'>') if !self.tokens[self.i - 1].is_punct(b'-') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            self.i += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                self.i += 1;
+            }
+        }
+        // Params.
+        let mut params = Vec::new();
+        if self.tokens.get(self.i).is_some_and(|t| t.is_punct(b'(')) {
+            let start = self.i + 1;
+            let mut depth = 0i32;
+            let mut j = self.i;
+            while j < self.tokens.len() {
+                match &self.tokens[j].tok {
+                    Tok::Punct(b'(') => depth += 1,
+                    Tok::Punct(b')') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            params = parse_params(&self.tokens[start..j]);
+            self.i = j + 1;
+        }
+        // Body or `;` for trait declarations.
+        let term = self.scan_to_body(self.i);
+        if term >= self.tokens.len() || self.tokens[term].is_punct(b';') {
+            self.i = term.saturating_add(1).min(self.tokens.len());
+            return;
+        }
+        let open = self.tokens[term].off;
+        let close = matching_brace(&self.file.scrubbed, open);
+        self.file.fns.push(FnItem {
+            name,
+            self_ty: self.impl_ty(),
+            params,
+            sig_off,
+            body: (open, close + 1),
+            is_test,
+        });
+        if is_test {
+            self.file.test_ranges.push((open, close + 1));
+        }
+        // Descend into the body so nested items are seen.
+        self.scopes.push((None, false));
+        self.i = term + 1;
+    }
+
+    fn take_impl(&mut self) {
+        self.clear_attrs();
+        let start = self.i;
+        let term = self.scan_to_body(self.i + 1);
+        if term >= self.tokens.len() || self.tokens[term].is_punct(b';') {
+            self.i = term + 1;
+            return;
+        }
+        // Header tokens between `impl` and `{`; the self type is the
+        // first path ident after the last `for` (trait impls) or after
+        // the impl generics (inherent impls).
+        let header = &self.tokens[start + 1..term];
+        let mut type_start = 0usize;
+        // Skip `impl<...>` generics.
+        if header.first().is_some_and(|t| t.is_punct(b'<')) {
+            let mut depth = 0i32;
+            for (k, t) in header.iter().enumerate() {
+                match &t.tok {
+                    Tok::Punct(b'<') => depth += 1,
+                    Tok::Punct(b'>') if k == 0 || !header[k - 1].is_punct(b'-') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            type_start = k + 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for (k, t) in header.iter().enumerate() {
+            if t.ident() == Some("for") {
+                type_start = k + 1;
+            }
+        }
+        let ty = header[type_start.min(header.len())..]
+            .iter()
+            .find_map(|t| t.ident())
+            .map(|s| s.to_string());
+        self.scopes.push((ty, false));
+        self.i = term + 1;
+    }
+
+    fn take_mod(&mut self) {
+        let is_test = self.pending_cfg_test || self.in_test_scope();
+        self.clear_attrs();
+        self.i += 1; // 'mod'
+        self.i += 1; // name
+        match self.tokens.get(self.i).map(|t| &t.tok) {
+            Some(Tok::Punct(b'{')) => {
+                let open = self.tokens[self.i].off;
+                if is_test {
+                    let close = matching_brace(&self.file.scrubbed, open);
+                    self.file.test_ranges.push((open, close + 1));
+                }
+                self.scopes.push((None, is_test));
+                self.i += 1;
+            }
+            _ => self.i += 1, // `mod name;`
+        }
+    }
+
+    fn take_struct(&mut self) {
+        self.clear_attrs();
+        let kw_off = self.tokens[self.i].off;
+        self.i += 1; // 'struct'
+        let name = match self.tokens.get(self.i).and_then(|t| t.ident()) {
+            Some(n) => n.to_string(),
+            None => return,
+        };
+        self.i += 1;
+        let term = self.scan_to_body(self.i);
+        if term >= self.tokens.len() || self.tokens[term].is_punct(b';') {
+            // Unit or tuple struct (`struct Foo;` / `struct Foo(T);`).
+            let end = self
+                .tokens
+                .get(term)
+                .map(|t| t.off + 1)
+                .unwrap_or(self.file.scrubbed.len());
+            self.file.structs.push(StructItem {
+                name,
+                fields: Vec::new(),
+                span: (kw_off, end),
+            });
+            self.i = term + 1;
+            return;
+        }
+        let open = self.tokens[term].off;
+        let close = matching_brace(&self.file.scrubbed, open);
+        // Fields: at depth 1 inside the braces, `name : Type` split on
+        // top-level commas.
+        let mut fields = Vec::new();
+        let body: Vec<&Token> = self.tokens[term + 1..]
+            .iter()
+            .take_while(|t| t.off < close)
+            .collect();
+        let mut field_toks: Vec<Vec<Token>> = vec![Vec::new()];
+        let (mut paren, mut brack, mut angle, mut brace) = (0i32, 0i32, 0i32, 0i32);
+        for (k, t) in body.iter().enumerate() {
+            match &t.tok {
+                Tok::Punct(b'(') => paren += 1,
+                Tok::Punct(b')') => paren -= 1,
+                Tok::Punct(b'[') => brack += 1,
+                Tok::Punct(b']') => brack -= 1,
+                Tok::Punct(b'{') => brace += 1,
+                Tok::Punct(b'}') => brace -= 1,
+                Tok::Punct(b'<') => angle += 1,
+                Tok::Punct(b'>') if k == 0 || !body[k - 1].is_punct(b'-') => angle -= 1,
+                Tok::Punct(b',') if paren == 0 && brack == 0 && angle == 0 && brace == 0 => {
+                    field_toks.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+            field_toks.last_mut().expect("non-empty").push((*t).clone());
+        }
+        for ft in &field_toks {
+            // Strip attributes and `pub`/`pub(crate)` prefixes.
+            let mut k = 0;
+            while k < ft.len() {
+                if ft[k].is_punct(b'#') {
+                    let mut depth = 0i32;
+                    k += 1;
+                    while k < ft.len() {
+                        match &ft[k].tok {
+                            Tok::Punct(b'[') => depth += 1,
+                            Tok::Punct(b']') => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    k += 1;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                } else if ft[k].ident() == Some("pub") {
+                    k += 1;
+                    if ft.get(k).is_some_and(|t| t.is_punct(b'(')) {
+                        while k < ft.len() && !ft[k].is_punct(b')') {
+                            k += 1;
+                        }
+                        k += 1;
+                    }
+                } else {
+                    break;
+                }
+            }
+            if k + 1 < ft.len() && ft[k + 1].is_punct(b':') {
+                if let Some(fname) = ft[k].ident() {
+                    fields.push((fname.to_string(), principal_type(&ft[k + 2..])));
+                }
+            }
+        }
+        self.file.structs.push(StructItem {
+            name,
+            fields,
+            span: (kw_off, close + 1),
+        });
+        // Skip past the struct body entirely — no items inside.
+        while self.i < self.tokens.len() && self.tokens[self.i].off <= close {
+            self.i += 1;
+        }
+    }
+
+    fn take_enum(&mut self) {
+        self.clear_attrs();
+        let kw_off = self.tokens[self.i].off;
+        self.i += 1; // 'enum'
+        let name = match self.tokens.get(self.i).and_then(|t| t.ident()) {
+            Some(n) => n.to_string(),
+            None => return,
+        };
+        self.i += 1;
+        let term = self.scan_to_body(self.i);
+        if term >= self.tokens.len() || self.tokens[term].is_punct(b';') {
+            self.i = term + 1;
+            return;
+        }
+        let open = self.tokens[term].off;
+        let close = matching_brace(&self.file.scrubbed, open);
+        let body: Vec<&Token> = self.tokens[term + 1..]
+            .iter()
+            .take_while(|t| t.off < close)
+            .collect();
+        let mut variants = Vec::new();
+        let mut at_variant = true;
+        let (mut paren, mut brack, mut angle, mut brace) = (0i32, 0i32, 0i32, 0i32);
+        let mut k = 0;
+        while k < body.len() {
+            let t = body[k];
+            match &t.tok {
+                Tok::Punct(b'#') if at_variant && paren + brack + brace == 0 => {
+                    // Skip variant attributes.
+                    let mut depth = 0i32;
+                    k += 1;
+                    while k < body.len() {
+                        match &body[k].tok {
+                            Tok::Punct(b'[') => depth += 1,
+                            Tok::Punct(b']') => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                }
+                Tok::Punct(b'(') => paren += 1,
+                Tok::Punct(b')') => paren -= 1,
+                Tok::Punct(b'[') => brack += 1,
+                Tok::Punct(b']') => brack -= 1,
+                Tok::Punct(b'{') => brace += 1,
+                Tok::Punct(b'}') => brace -= 1,
+                Tok::Punct(b'<') => angle += 1,
+                Tok::Punct(b'>') if k == 0 || !body[k - 1].is_punct(b'-') => angle -= 1,
+                Tok::Punct(b',') if paren == 0 && brack == 0 && angle == 0 && brace == 0 => {
+                    at_variant = true;
+                }
+                Tok::Ident(id) if at_variant && paren + brack + brace == 0 => {
+                    variants.push(id.clone());
+                    at_variant = false;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        self.file.enums.push(EnumItem {
+            name,
+            variants,
+            span: (kw_off, close + 1),
+        });
+        while self.i < self.tokens.len() && self.tokens[self.i].off <= close {
+            self.i += 1;
+        }
+    }
+}
+
+/// Split a parameter token span on top-level commas and extract
+/// `name: Type` pairs, skipping `self` receivers.
+fn parse_params(tokens: &[Token]) -> Vec<(String, String)> {
+    let mut groups: Vec<Vec<Token>> = vec![Vec::new()];
+    let (mut paren, mut brack, mut angle) = (0i32, 0i32, 0i32);
+    for (k, t) in tokens.iter().enumerate() {
+        match &t.tok {
+            Tok::Punct(b'(') => paren += 1,
+            Tok::Punct(b')') => paren -= 1,
+            Tok::Punct(b'[') => brack += 1,
+            Tok::Punct(b']') => brack -= 1,
+            Tok::Punct(b'<') => angle += 1,
+            Tok::Punct(b'>') if k == 0 || !tokens[k - 1].is_punct(b'-') => angle -= 1,
+            Tok::Punct(b',') if paren == 0 && brack == 0 && angle == 0 => {
+                groups.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        groups.last_mut().expect("non-empty").push(t.clone());
+    }
+    let mut params = Vec::new();
+    for g in &groups {
+        // Skip leading `mut` / `&` / lifetimes.
+        let mut k = 0;
+        while k < g.len() {
+            match &g[k].tok {
+                Tok::Punct(b'&') | Tok::Punct(b'\'') => k += 1,
+                Tok::Ident(id) if id == "mut" => k += 1,
+                Tok::Ident(id) if k > 0 && g[k - 1].is_punct(b'\'') => {
+                    let _ = id;
+                    k += 1;
+                }
+                _ => break,
+            }
+        }
+        if g.get(k).and_then(|t| t.ident()) == Some("self") {
+            continue;
+        }
+        if k + 1 < g.len() && g[k + 1].is_punct(b':') {
+            if let Some(name) = g[k].ident() {
+                params.push((name.to_string(), principal_type(&g[k + 2..])));
+            }
+        }
+    }
+    params
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> SourceFile {
+        SourceFile::parse("test.rs".into(), src.into())
+    }
+
+    #[test]
+    fn finds_free_fn_with_params() {
+        let f = parse("pub fn handle(shared: &Arc<Shared>, stream: TcpStream) -> u64 { 1 }");
+        assert_eq!(f.fns.len(), 1);
+        let fun = &f.fns[0];
+        assert_eq!(fun.name, "handle");
+        assert_eq!(fun.self_ty, None);
+        assert_eq!(
+            fun.params,
+            vec![
+                ("shared".to_string(), "Shared".to_string()),
+                ("stream".to_string(), "TcpStream".to_string())
+            ]
+        );
+        assert!(!fun.is_test);
+    }
+
+    #[test]
+    fn finds_methods_with_impl_type() {
+        let f = parse(
+            "struct Sched { q: Vec<u64> }\n\
+             impl Sched {\n  pub fn push(&mut self, x: u64) { self.q.push(x) }\n}\n\
+             impl std::fmt::Display for Sched {\n  fn fmt(&self, w: &mut Formatter) -> Result { Ok(()) }\n}",
+        );
+        assert_eq!(f.fns.len(), 2);
+        assert_eq!(f.fns[0].name, "push");
+        assert_eq!(f.fns[0].self_ty.as_deref(), Some("Sched"));
+        assert_eq!(f.fns[0].params, vec![("x".to_string(), "u64".to_string())]);
+        assert_eq!(f.fns[1].name, "fmt");
+        assert_eq!(f.fns[1].self_ty.as_deref(), Some("Sched"));
+    }
+
+    #[test]
+    fn struct_fields_resolve_principal_types() {
+        let f = parse(
+            "pub struct Shared {\n\
+               pub config: ServiceConfig,\n\
+               pub jobs: Mutex<HashMap<String, JobEntry>>,\n\
+               pub sched: Scheduler,\n\
+               pub pool: Arc<WorkerPool>,\n\
+             }",
+        );
+        let s = &f.structs[0];
+        assert_eq!(s.name, "Shared");
+        let get = |n: &str| {
+            s.fields
+                .iter()
+                .find(|(f, _)| f == n)
+                .map(|(_, t)| t.as_str())
+        };
+        assert_eq!(get("config"), Some("ServiceConfig"));
+        assert_eq!(get("jobs"), Some("Mutex"));
+        assert_eq!(get("sched"), Some("Scheduler"));
+        assert_eq!(get("pool"), Some("WorkerPool"));
+    }
+
+    #[test]
+    fn enum_variants_parse_with_payloads() {
+        let f = parse(
+            "pub enum Response {\n\
+               Welcome { version: u32 },\n\
+               #[allow(dead_code)]\n\
+               Pong,\n\
+               Result(String, Vec<u8>),\n\
+             }",
+        );
+        let e = &f.enums[0];
+        assert_eq!(e.name, "Response");
+        assert_eq!(e.variants, vec!["Welcome", "Pong", "Result"]);
+    }
+
+    #[test]
+    fn cfg_test_mod_and_test_attr_are_marked() {
+        let f = parse(
+            "fn live() { x.unwrap(); }\n\
+             #[test]\nfn t1() { y.unwrap(); }\n\
+             #[cfg(test)]\nmod tests {\n  fn helper() {}\n  #[test]\n  fn t2() {}\n}",
+        );
+        let by_name = |n: &str| f.fns.iter().find(|x| x.name == n).unwrap();
+        assert!(!by_name("live").is_test);
+        assert!(by_name("t1").is_test);
+        assert!(by_name("helper").is_test);
+        assert!(by_name("t2").is_test);
+        let unwrap_off = f.raw.find(".unwrap").unwrap();
+        assert!(!f.in_test_code(unwrap_off));
+        let t1_unwrap = f.raw.rfind("y.unwrap").unwrap();
+        assert!(f.in_test_code(t1_unwrap));
+    }
+
+    #[test]
+    fn trait_method_decls_without_bodies_are_skipped() {
+        let f = parse("trait LockExt {\n  fn lock_recover(&self) -> u32;\n}\nfn after() {}");
+        assert_eq!(f.fns.len(), 1);
+        assert_eq!(f.fns[0].name, "after");
+    }
+
+    #[test]
+    fn generic_fn_and_return_impl_do_not_confuse_parser() {
+        let f = parse(
+            "fn spawn<F: FnOnce() -> u64>(f: F) -> impl Iterator<Item = u64> {\n\
+               std::iter::once(f())\n}",
+        );
+        assert_eq!(f.fns.len(), 1);
+        assert_eq!(f.fns[0].name, "spawn");
+    }
+}

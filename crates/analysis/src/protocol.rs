@@ -1,0 +1,322 @@
+//! Protocol-drift check. Two invariants, cross-checked against the
+//! committed record in `analysis/protocol_digest.toml`:
+//!
+//! 1. every variant of the wire enums (`Request`, `Response`,
+//!    `WorkerTask`, `WorkerReply`) is exercised by the round-trip
+//!    tests (`Enum::Variant` must appear in the test sources), and
+//! 2. whenever the frame surface changes (detected by an FNV-1a-64
+//!    digest over the normalized token stream of the wire types),
+//!    `PROTOCOL_VERSION` must be bumped and the record re-blessed with
+//!    `seqpoint-lint --bless-protocol`.
+
+use std::path::Path;
+
+use crate::config;
+use crate::model::{tokenize, SourceFile, Tok};
+use crate::report::{Finding, Pass};
+
+pub const DIGEST_PATH: &str = "analysis/protocol_digest.toml";
+
+#[derive(Clone, Debug)]
+pub struct ProtocolConfig {
+    /// Repo-relative path of the protocol source.
+    pub source: String,
+    /// Repo-relative paths of the round-trip test sources.
+    pub tests: Vec<String>,
+    /// Wire enums whose variants must appear in the tests.
+    pub frames: Vec<String>,
+    /// Additional types included in the frame-surface digest.
+    pub types: Vec<String>,
+    /// PROTOCOL_VERSION recorded at the last bless.
+    pub version: u32,
+    /// Frame-surface digest recorded at the last bless.
+    pub digest: String,
+}
+
+impl ProtocolConfig {
+    pub fn load(root: &Path) -> Result<ProtocolConfig, String> {
+        let path = root.join(DIGEST_PATH);
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let doc = config::parse(&text).map_err(|e| format!("{DIGEST_PATH}: {e}"))?;
+        let list = |k: &str| -> Vec<String> {
+            doc.root.get_list(k).map(|l| l.to_vec()).unwrap_or_default()
+        };
+        Ok(ProtocolConfig {
+            source: doc
+                .root
+                .get_str("source")
+                .ok_or_else(|| format!("{DIGEST_PATH}: missing `source`"))?
+                .to_string(),
+            tests: list("tests"),
+            frames: list("frames"),
+            types: list("types"),
+            version: doc.root.get_int("version").unwrap_or(0).max(0) as u32,
+            digest: doc.root.get_str("digest").unwrap_or("").to_string(),
+        })
+    }
+}
+
+/// FNV-1a-64 over the normalized token stream of the named items (in
+/// declared order). Whitespace and comments do not affect the digest;
+/// any token change — a field, a variant, a type — does. Returns the
+/// digest string and the names that were not found in the source.
+pub fn compute_digest(file: &SourceFile, names: &[String]) -> (String, Vec<String>) {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    let mut feed = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(PRIME);
+        }
+    };
+    let mut missing = Vec::new();
+    for name in names {
+        let span = file
+            .enums
+            .iter()
+            .find(|e| &e.name == name)
+            .map(|e| e.span)
+            .or_else(|| {
+                file.structs
+                    .iter()
+                    .find(|s| &s.name == name)
+                    .map(|s| s.span)
+            });
+        let Some((start, end)) = span else {
+            missing.push(name.clone());
+            continue;
+        };
+        for t in tokenize(&file.scrubbed[start..end.min(file.scrubbed.len())]) {
+            match &t.tok {
+                Tok::Ident(id) => feed(id.as_bytes()),
+                Tok::Punct(b) => feed(&[*b]),
+            }
+            feed(&[0xff]); // token separator
+        }
+        feed(&[0xfe]); // item separator
+    }
+    (format!("fnv1a64:{hash:016x}"), missing)
+}
+
+/// Extract `PROTOCOL_VERSION` from `const PROTOCOL_VERSION: u32 = N;`.
+pub fn current_version(file: &SourceFile) -> Option<u32> {
+    let tokens = tokenize(&file.scrubbed);
+    let pos = tokens
+        .iter()
+        .position(|t| t.ident() == Some("PROTOCOL_VERSION"))?;
+    let eq = tokens[pos..].iter().position(|t| t.is_punct(b'='))? + pos;
+    tokens[eq + 1..]
+        .iter()
+        .find_map(|t| t.ident())
+        .and_then(|s| s.parse().ok())
+}
+
+/// Run the protocol-drift pass.
+pub fn run(root: &Path, cfg: &ProtocolConfig) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let src_path = root.join(&cfg.source);
+    let raw = match std::fs::read_to_string(&src_path) {
+        Ok(r) => r,
+        Err(e) => {
+            findings.push(Finding::new(
+                Pass::Protocol,
+                DIGEST_PATH,
+                0,
+                format!("cannot read protocol source {}: {e}", cfg.source),
+            ));
+            return findings;
+        }
+    };
+    let file = SourceFile::parse(cfg.source.clone(), raw);
+
+    // Digest + version drift.
+    let all_names: Vec<String> = cfg.frames.iter().chain(cfg.types.iter()).cloned().collect();
+    let (digest, missing) = compute_digest(&file, &all_names);
+    for name in &missing {
+        findings.push(Finding::new(
+            Pass::Protocol,
+            cfg.source.clone(),
+            0,
+            format!("wire type `{name}` listed in {DIGEST_PATH} not found in source"),
+        ));
+    }
+    let version = current_version(&file);
+    match version {
+        None => findings.push(Finding::new(
+            Pass::Protocol,
+            cfg.source.clone(),
+            0,
+            "PROTOCOL_VERSION const not found in protocol source".to_string(),
+        )),
+        Some(v) => {
+            if digest != cfg.digest && v == cfg.version {
+                findings.push(Finding::new(
+                    Pass::Protocol,
+                    cfg.source.clone(),
+                    0,
+                    format!(
+                        "frame surface changed (digest {digest} != recorded {}) without a \
+                         PROTOCOL_VERSION bump — bump the version, then run \
+                         `seqpoint-lint --bless-protocol`",
+                        if cfg.digest.is_empty() {
+                            "<none>"
+                        } else {
+                            &cfg.digest
+                        }
+                    ),
+                ));
+            } else if digest != cfg.digest {
+                findings.push(Finding::new(
+                    Pass::Protocol,
+                    DIGEST_PATH,
+                    0,
+                    format!(
+                        "frame digest is stale (surface changed and version bumped to {v}); \
+                         run `seqpoint-lint --bless-protocol` to re-record"
+                    ),
+                ));
+            } else if v != cfg.version {
+                findings.push(Finding::new(
+                    Pass::Protocol,
+                    DIGEST_PATH,
+                    0,
+                    format!(
+                        "PROTOCOL_VERSION is {v} but {DIGEST_PATH} records {}; run \
+                         `seqpoint-lint --bless-protocol` to re-record",
+                        cfg.version
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Variant coverage in the round-trip tests.
+    let mut test_texts = Vec::new();
+    for t in &cfg.tests {
+        match std::fs::read_to_string(root.join(t)) {
+            Ok(text) => test_texts.push(text),
+            Err(e) => findings.push(Finding::new(
+                Pass::Protocol,
+                DIGEST_PATH,
+                0,
+                format!("cannot read round-trip test source {t}: {e}"),
+            )),
+        }
+    }
+    for frame in &cfg.frames {
+        let Some(en) = file.enums.iter().find(|e| &e.name == frame) else {
+            continue; // already reported as missing
+        };
+        let line = file.line_of(en.span.0);
+        for variant in &en.variants {
+            let needle = format!("{frame}::{variant}");
+            if !test_texts.iter().any(|t| t.contains(&needle)) {
+                findings.push(Finding::new(
+                    Pass::Protocol,
+                    cfg.source.clone(),
+                    line,
+                    format!(
+                        "`{needle}` is not exercised by the round-trip tests ({})",
+                        cfg.tests.join(", ")
+                    ),
+                ));
+            }
+        }
+    }
+
+    findings.sort_by(|x, y| (&x.file, x.line, &x.message).cmp(&(&y.file, y.line, &y.message)));
+    findings
+}
+
+/// Recompute the digest and current version and rewrite the committed
+/// record, preserving the configured source/tests/frames/types lists.
+pub fn bless(root: &Path) -> Result<(), String> {
+    let cfg = ProtocolConfig::load(root)?;
+    let src_path = root.join(&cfg.source);
+    let raw =
+        std::fs::read_to_string(&src_path).map_err(|e| format!("{}: {e}", src_path.display()))?;
+    let file = SourceFile::parse(cfg.source.clone(), raw);
+    let all_names: Vec<String> = cfg.frames.iter().chain(cfg.types.iter()).cloned().collect();
+    let (digest, missing) = compute_digest(&file, &all_names);
+    if !missing.is_empty() {
+        return Err(format!(
+            "cannot bless: wire types not found in {}: {}",
+            cfg.source,
+            missing.join(", ")
+        ));
+    }
+    let version = current_version(&file)
+        .ok_or_else(|| format!("cannot bless: PROTOCOL_VERSION not found in {}", cfg.source))?;
+    let quoted = |items: &[String]| -> String {
+        items
+            .iter()
+            .map(|i| format!("\"{}\"", config::escape(i)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let out = format!(
+        "# Protocol frame digest — maintained by `seqpoint-lint --bless-protocol`.\n\
+         # The digest covers the normalized token stream of the wire types below;\n\
+         # any surface change requires a PROTOCOL_VERSION bump and a re-bless.\n\
+         source = \"{}\"\n\
+         tests = [{}]\n\
+         frames = [{}]\n\
+         types = [{}]\n\
+         version = {}\n\
+         digest = \"{}\"\n",
+        config::escape(&cfg.source),
+        quoted(&cfg.tests),
+        quoted(&cfg.frames),
+        quoted(&cfg.types),
+        version,
+        digest,
+    );
+    std::fs::write(root.join(DIGEST_PATH), out).map_err(|e| format!("write {DIGEST_PATH}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "pub const PROTOCOL_VERSION: u32 = 3;\n\
+                       pub enum Request { Ping, Submit { spec: JobSpec } }\n\
+                       pub struct JobSpec { pub name: String }\n";
+
+    fn parse(src: &str) -> SourceFile {
+        SourceFile::parse("protocol.rs".into(), src.into())
+    }
+
+    #[test]
+    fn version_extraction() {
+        assert_eq!(current_version(&parse(SRC)), Some(3));
+        assert_eq!(current_version(&parse("fn x() {}")), None);
+    }
+
+    #[test]
+    fn digest_ignores_whitespace_but_sees_surface() {
+        let names = vec!["Request".to_string(), "JobSpec".to_string()];
+        let (d1, m1) = compute_digest(&parse(SRC), &names);
+        assert!(m1.is_empty());
+        // Reformatting only: same digest.
+        let reformatted = SRC.replace("{ Ping, Submit", "{\n  Ping,\n  Submit");
+        let (d2, _) = compute_digest(&parse(&reformatted), &names);
+        assert_eq!(d1, d2);
+        // Comment-only change: same digest.
+        let commented = SRC.replace("pub enum Request", "/* wire */ pub enum Request");
+        let (d3, _) = compute_digest(&parse(&commented), &names);
+        assert_eq!(d1, d3);
+        // New variant: digest changes.
+        let grown = SRC.replace("Ping,", "Ping, Cancel { id: String },");
+        let (d4, _) = compute_digest(&parse(&grown), &names);
+        assert_ne!(d1, d4);
+    }
+
+    #[test]
+    fn missing_items_are_reported() {
+        let names = vec!["Nope".to_string()];
+        let (_, missing) = compute_digest(&parse(SRC), &names);
+        assert_eq!(missing, vec!["Nope".to_string()]);
+    }
+}

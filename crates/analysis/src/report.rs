@@ -1,0 +1,145 @@
+//! Finding type and output formatting. Two renderings: a human format
+//! (`file:line: [pass] message`, with optional indented chain lines)
+//! and GitHub workflow-annotation format
+//! (`::error file=…,line=…::message`) for the CI lint job.
+
+/// Which pass produced a finding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Pass {
+    LockOrder,
+    Panics,
+    Protocol,
+}
+
+impl Pass {
+    pub fn name(self) -> &'static str {
+        match self {
+            Pass::LockOrder => "lock-order",
+            Pass::Panics => "panics",
+            Pass::Protocol => "protocol",
+        }
+    }
+
+    pub fn from_name(name: &str) -> Option<Pass> {
+        match name {
+            "lock-order" | "lockorder" | "locks" => Some(Pass::LockOrder),
+            "panics" | "panic" => Some(Pass::Panics),
+            "protocol" | "drift" => Some(Pass::Protocol),
+            _ => None,
+        }
+    }
+}
+
+/// One step in an evidence chain (e.g. a lock-acquisition path).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChainLink {
+    pub file: String,
+    pub line: usize,
+    pub note: String,
+}
+
+#[derive(Clone, Debug)]
+pub struct Finding {
+    pub pass: Pass,
+    /// Repo-relative path the finding anchors to.
+    pub file: String,
+    /// 1-based line, or 0 when the finding is file-level.
+    pub line: usize,
+    pub message: String,
+    /// Supporting `file:line` steps, printed indented under the finding.
+    pub chain: Vec<ChainLink>,
+}
+
+impl Finding {
+    pub fn new(
+        pass: Pass,
+        file: impl Into<String>,
+        line: usize,
+        message: impl Into<String>,
+    ) -> Finding {
+        Finding {
+            pass,
+            file: file.into(),
+            line,
+            message: message.into(),
+            chain: Vec::new(),
+        }
+    }
+
+    pub fn with_chain(mut self, chain: Vec<ChainLink>) -> Finding {
+        self.chain = chain;
+        self
+    }
+
+    /// `file:line: [pass] message` plus indented chain steps.
+    pub fn render_human(&self) -> String {
+        let mut out = if self.line > 0 {
+            format!(
+                "{}:{}: [{}] {}",
+                self.file,
+                self.line,
+                self.pass.name(),
+                self.message
+            )
+        } else {
+            format!("{}: [{}] {}", self.file, self.pass.name(), self.message)
+        };
+        for link in &self.chain {
+            out.push_str(&format!("\n    {}:{}: {}", link.file, link.line, link.note));
+        }
+        out
+    }
+
+    /// GitHub workflow annotation. Chains are folded into the message
+    /// with `%0A` (annotation newline escape) so the full path shows in
+    /// the PR UI.
+    pub fn render_github(&self) -> String {
+        let mut msg = format!("[{}] {}", self.pass.name(), self.message);
+        for link in &self.chain {
+            msg.push_str(&format!(
+                "%0A    {}:{}: {}",
+                link.file, link.line, link.note
+            ));
+        }
+        if self.line > 0 {
+            format!("::error file={},line={}::{}", self.file, self.line, msg)
+        } else {
+            format!("::error file={}::{}", self.file, msg)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_format_includes_chain() {
+        let f = Finding::new(Pass::LockOrder, "crates/service/src/server.rs", 42, "cycle")
+            .with_chain(vec![ChainLink {
+                file: "crates/service/src/sched.rs".into(),
+                line: 7,
+                note: "acquires sched".into(),
+            }]);
+        let s = f.render_human();
+        assert!(s.starts_with("crates/service/src/server.rs:42: [lock-order] cycle"));
+        assert!(s.contains("\n    crates/service/src/sched.rs:7: acquires sched"));
+    }
+
+    #[test]
+    fn github_format_is_an_error_annotation() {
+        let f = Finding::new(Pass::Panics, "a.rs", 3, "unwaived unwrap()");
+        assert_eq!(
+            f.render_github(),
+            "::error file=a.rs,line=3::[panics] unwaived unwrap()"
+        );
+    }
+
+    #[test]
+    fn pass_names_round_trip() {
+        for p in [Pass::LockOrder, Pass::Panics, Pass::Protocol] {
+            assert_eq!(Pass::from_name(p.name()), Some(p));
+        }
+        assert_eq!(Pass::from_name("nope"), None);
+    }
+}

@@ -1,0 +1,267 @@
+//! Source scrubbing: blank out comments and literal contents while
+//! preserving byte offsets and newlines, so every downstream pass can
+//! pattern-match tokens without being fooled by `"…lock()…"` inside a
+//! string or a commented-out `unwrap()`. The scrubbed buffer has the
+//! same length as the input and the same newline positions, so byte
+//! offsets map to identical line numbers in both.
+//!
+//! Handled syntax: `//` line comments, nested `/* */` block comments,
+//! `"…"` strings with escapes, `r"…"`/`r#"…"#` raw strings (any hash
+//! count, `b`/`br` prefixes too), character literals including escapes,
+//! and lifetimes (`'a`, which must *not* be eaten as an unterminated
+//! char literal).
+
+/// Blank comments and literal contents in `src`, returning a same-length
+/// byte buffer. Newlines inside comments/strings are preserved so line
+/// numbers stay aligned; every other masked byte becomes a space.
+/// String/char delimiters themselves are kept (so token scanners still
+/// see that *a* literal sat there).
+pub fn scrub(src: &str) -> Vec<u8> {
+    let bytes = src.as_bytes();
+    let mut out = bytes.to_vec();
+    let n = bytes.len();
+    let mut i = 0;
+
+    // Blank the half-open byte range, keeping newlines.
+    let blank = |out: &mut [u8], from: usize, to: usize| {
+        for b in &mut out[from..to.min(n)] {
+            if *b != b'\n' {
+                *b = b' ';
+            }
+        }
+    };
+
+    while i < n {
+        match bytes[i] {
+            b'/' if i + 1 < n && bytes[i + 1] == b'/' => {
+                let start = i;
+                while i < n && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                blank(&mut out, start, i);
+            }
+            b'/' if i + 1 < n && bytes[i + 1] == b'*' => {
+                let start = i;
+                let mut depth = 1usize;
+                i += 2;
+                while i < n && depth > 0 {
+                    if i + 1 < n && bytes[i] == b'/' && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if i + 1 < n && bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                blank(&mut out, start, i);
+            }
+            b'r' | b'b' if is_raw_string_start(bytes, i) => {
+                // r"…", r#"…"#, br#"…"# …: count hashes, find the
+                // matching `"##…#` terminator.
+                let mut j = i + 1;
+                if bytes[i] == b'b' && j < n && bytes[j] == b'r' {
+                    j += 1;
+                }
+                let mut hashes = 0usize;
+                while j < n && bytes[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                debug_assert!(j < n && bytes[j] == b'"');
+                let content_start = j + 1;
+                let mut k = content_start;
+                'scan: while k < n {
+                    if bytes[k] == b'"' {
+                        let mut h = 0usize;
+                        while h < hashes && k + 1 + h < n && bytes[k + 1 + h] == b'#' {
+                            h += 1;
+                        }
+                        if h == hashes {
+                            break 'scan;
+                        }
+                    }
+                    k += 1;
+                }
+                blank(&mut out, content_start, k);
+                i = (k + 1 + hashes).min(n);
+            }
+            b'b' if i + 1 < n && bytes[i + 1] == b'"' => {
+                // Byte string: delegate to the normal string scan.
+                i = scrub_plain_string(bytes, &mut out, i + 1, blank);
+            }
+            b'"' => {
+                i = scrub_plain_string(bytes, &mut out, i, blank);
+            }
+            b'\'' => {
+                i = scrub_char_or_lifetime(bytes, &mut out, i, blank);
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Whether `r` / `b` at `i` starts a raw (byte) string literal rather
+/// than an identifier like `rounds` or a lone `b`.
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    // Must not be the tail of a longer identifier (`encoder"…"` etc.).
+    if i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
+        return false;
+    }
+    let mut j = i + 1;
+    if bytes[i] == b'b' {
+        if j < bytes.len() && bytes[j] == b'r' {
+            j += 1;
+        } else {
+            return false;
+        }
+    }
+    while j < bytes.len() && bytes[j] == b'#' {
+        j += 1;
+    }
+    j < bytes.len() && bytes[j] == b'"'
+}
+
+/// Scrub a `"…"` string starting at the opening quote; returns the
+/// index one past the closing quote.
+fn scrub_plain_string(
+    bytes: &[u8],
+    out: &mut [u8],
+    open: usize,
+    blank: impl Fn(&mut [u8], usize, usize),
+) -> usize {
+    let n = bytes.len();
+    let mut k = open + 1;
+    while k < n {
+        match bytes[k] {
+            b'\\' => k += 2,
+            b'"' => break,
+            _ => k += 1,
+        }
+    }
+    blank(out, open + 1, k.min(n));
+    (k + 1).min(n)
+}
+
+/// Distinguish `'a'` / `'\n'` (char literal, scrub contents) from `'a`
+/// (lifetime, keep). Returns the index to resume scanning at.
+fn scrub_char_or_lifetime(
+    bytes: &[u8],
+    out: &mut [u8],
+    open: usize,
+    blank: impl Fn(&mut [u8], usize, usize),
+) -> usize {
+    let n = bytes.len();
+    let next = open + 1;
+    if next >= n {
+        return n;
+    }
+    if bytes[next] == b'\\' {
+        // Escaped char literal: scan to the closing quote.
+        let mut k = next + 1;
+        while k < n && bytes[k] != b'\'' {
+            k += 1;
+        }
+        blank(out, open + 1, k);
+        return (k + 1).min(n);
+    }
+    // `'X'` for any single char (possibly multibyte): find a closing
+    // quote within the longest UTF-8 scalar (4 bytes).
+    for len in 1..=4usize {
+        if next + len < n && bytes[next + len] == b'\'' {
+            // `''` is not a char literal and `'a'` where `a` would also
+            // read as a lifetime is resolved in favor of the literal,
+            // matching rustc.
+            if len == 1 && bytes[next] == b'\'' {
+                break;
+            }
+            blank(out, open + 1, next + len);
+            return next + len + 1;
+        }
+    }
+    // Lifetime (`'a`, `'static`, `'_`) or stray quote: keep as-is.
+    next
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scrubbed(src: &str) -> String {
+        String::from_utf8(scrub(src)).unwrap()
+    }
+
+    #[test]
+    fn line_and_block_comments_are_blanked() {
+        let s = scrubbed("a(); // x.lock()\nb(); /* unwrap()\n still */ c();");
+        assert!(!s.contains("lock"));
+        assert!(!s.contains("unwrap"));
+        assert!(s.contains("a();"));
+        assert!(s.contains("c();"));
+        assert_eq!(s.matches('\n').count(), 2, "newlines preserved");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let s = scrubbed("x /* a /* b */ c */ y");
+        assert!(s.starts_with('x'));
+        assert!(s.ends_with('y'));
+        assert!(!s.contains('a'));
+        assert!(!s.contains('c'));
+    }
+
+    #[test]
+    fn string_contents_are_blanked_but_quotes_stay() {
+        let s = scrubbed(r#"let x = "foo.unwrap()"; y"#);
+        assert!(!s.contains("unwrap"));
+        assert!(s.contains('"'));
+        assert!(s.contains("let x ="));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_the_string() {
+        let s = scrubbed(r#"f("a\"b.lock()"); g()"#);
+        assert!(!s.contains("lock"));
+        assert!(s.contains("g()"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let s = scrubbed("let x = r#\"panic!()\"#; done()");
+        assert!(!s.contains("panic"));
+        assert!(s.contains("done()"));
+        let s = scrubbed("let x = br##\"x.expect(\"y\")\"##; done()");
+        assert!(!s.contains("expect"));
+        assert!(s.contains("done()"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let s = scrubbed("let c = 'x'; fn f<'a>(v: &'a str) {} let n = '\\n';");
+        assert!(!s.contains('x'), "char literal content blanked");
+        assert!(s.contains("'a>"), "lifetime kept");
+        assert!(s.contains("&'a str"), "lifetime in reference kept");
+    }
+
+    #[test]
+    fn same_length_and_line_structure() {
+        let src = "a\n\"two\nlines\"\n// c\n";
+        let out = scrub(src);
+        assert_eq!(out.len(), src.len());
+        let lines_in: Vec<usize> = src
+            .bytes()
+            .enumerate()
+            .filter(|(_, b)| *b == b'\n')
+            .map(|(i, _)| i)
+            .collect();
+        let lines_out: Vec<usize> = out
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| **b == b'\n')
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(lines_in, lines_out);
+    }
+}

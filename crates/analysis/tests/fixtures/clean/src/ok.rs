@@ -1,0 +1,31 @@
+use std::sync::Mutex;
+
+pub struct Pair {
+    left: Mutex<u32>,
+    right: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn both(&self) -> u32 {
+        let l = self.left.lock();
+        let r = self.right.lock();
+        match (l, r) {
+            (Ok(a), Ok(b)) => *a + *b,
+            _ => 0,
+        }
+    }
+
+    pub fn nested_in_order(&self) -> u32 {
+        let l = self.left.lock();
+        let inner = self.right_value();
+        drop(l);
+        inner
+    }
+
+    fn right_value(&self) -> u32 {
+        match self.right.lock() {
+            Ok(g) => *g,
+            Err(_) => 0,
+        }
+    }
+}

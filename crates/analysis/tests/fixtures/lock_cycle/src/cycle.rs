@@ -1,0 +1,22 @@
+use std::sync::Mutex;
+
+pub struct Pair {
+    left: Mutex<u32>,
+    right: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) {
+        let l = self.left.lock().unwrap();
+        let r = self.right.lock().unwrap();
+        drop(r);
+        drop(l);
+    }
+
+    pub fn backward(&self) {
+        let r = self.right.lock().unwrap();
+        let l = self.left.lock().unwrap();
+        drop(l);
+        drop(r);
+    }
+}

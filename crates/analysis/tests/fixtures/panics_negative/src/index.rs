@@ -1,0 +1,3 @@
+pub fn seeded(v: &[u32]) -> u32 {
+    v[0]
+}

@@ -1,0 +1,6 @@
+pub fn seeded(flag: bool) {
+    if flag {
+        panic!("seeded panic");
+    }
+    unreachable!()
+}

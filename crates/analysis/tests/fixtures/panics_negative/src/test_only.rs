@@ -1,0 +1,12 @@
+pub fn fine(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_allowed() {
+        let v = [1u32, 2];
+        assert_eq!(Some(v[0]).unwrap(), 1);
+    }
+}

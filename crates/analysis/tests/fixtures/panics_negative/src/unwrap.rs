@@ -1,0 +1,3 @@
+pub fn seeded(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

@@ -1,0 +1,10 @@
+pub const PROTOCOL_VERSION: u32 = 1;
+
+pub struct Payload {
+    pub body: String,
+}
+
+pub enum Ping {
+    Hello,
+    Bye,
+}

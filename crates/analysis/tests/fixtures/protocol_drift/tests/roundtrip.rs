@@ -1,0 +1,3 @@
+// Fixture round-trip tests: every Ping variant must be named here.
+// Ping::Hello
+// Ping::Bye

@@ -1,0 +1,3 @@
+pub fn get(lookup: Option<u32>) -> u32 {
+    lookup.unwrap()
+}

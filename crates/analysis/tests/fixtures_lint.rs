@@ -1,0 +1,184 @@
+//! Fixture-driven end-to-end tests for the three passes. Each fixture
+//! under `tests/fixtures/` is a miniature repo root (its own
+//! `analysis/` data files plus sources); the tests run the real pass
+//! entry points against them and assert on the findings, down to the
+//! `file:line` chains for the seeded deadlock.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use seqpoint_analysis::report::{Finding, Pass};
+use seqpoint_analysis::{protocol, run_passes};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn render(findings: &[Finding]) -> String {
+    findings
+        .iter()
+        .map(Finding::render_human)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn seeded_two_lock_cycle_is_detected_with_line_chain() {
+    let findings = run_passes(&fixture("lock_cycle"), &[Pass::LockOrder]);
+
+    // The inverted acquisition in `backward`: `left` (line 18) taken
+    // while holding `right` (line 17).
+    let violation = findings
+        .iter()
+        .find(|f| f.message.contains("acquired while holding"))
+        .unwrap_or_else(|| panic!("no order violation in:\n{}", render(&findings)));
+    assert_eq!(violation.file, "src/cycle.rs");
+    assert_eq!(violation.line, 18);
+    let chain_lines: Vec<usize> = violation.chain.iter().map(|l| l.line).collect();
+    assert_eq!(chain_lines, vec![17, 18], "{}", render(&findings));
+    assert!(violation.chain.iter().all(|l| l.file == "src/cycle.rs"));
+
+    // The cycle itself, witnessed by both functions' acquisition sites.
+    let cycle = findings
+        .iter()
+        .find(|f| f.message.contains("lock-order cycle"))
+        .unwrap_or_else(|| panic!("no cycle finding in:\n{}", render(&findings)));
+    assert!(
+        cycle.message.contains("left") && cycle.message.contains("right"),
+        "{}",
+        cycle.message
+    );
+    let cycle_lines: Vec<usize> = cycle.chain.iter().map(|l| l.line).collect();
+    for expected in [10, 11, 17, 18] {
+        assert!(
+            cycle_lines.contains(&expected),
+            "cycle chain {cycle_lines:?} missing line {expected}:\n{}",
+            render(&findings)
+        );
+    }
+}
+
+#[test]
+fn clean_fixture_produces_no_findings() {
+    let findings = run_passes(&fixture("clean"), &[Pass::LockOrder, Pass::Panics]);
+    assert!(findings.is_empty(), "{}", render(&findings));
+}
+
+#[test]
+fn unjustified_waiver_fails_even_when_it_matches() {
+    let findings = run_passes(&fixture("unjustified_waiver"), &[Pass::Panics]);
+    assert_eq!(findings.len(), 1, "{}", render(&findings));
+    assert!(
+        findings[0].message.contains("no justification"),
+        "{}",
+        findings[0].message
+    );
+}
+
+#[test]
+fn every_seeded_panic_site_is_flagged_and_test_code_is_not() {
+    let findings = run_passes(&fixture("panics_negative"), &[Pass::Panics]);
+    let flagged: Vec<&str> = findings.iter().map(|f| f.file.as_str()).collect();
+    for file in [
+        "src/unwrap.rs",
+        "src/expect.rs",
+        "src/panic_macro.rs",
+        "src/index.rs",
+    ] {
+        assert!(
+            flagged.contains(&file),
+            "{file} not flagged in:\n{}",
+            render(&findings)
+        );
+    }
+    // panic_macro.rs seeds two macros; everything else one site each.
+    assert_eq!(findings.len(), 5, "{}", render(&findings));
+    assert!(
+        !flagged.contains(&"src/test_only.rs"),
+        "test-only code was flagged:\n{}",
+        render(&findings)
+    );
+}
+
+/// Copy a fixture tree into a scratch dir so the drift test can mutate
+/// the protocol source and re-bless without touching the checkout.
+fn copy_tree(from: &Path, to: &Path) {
+    fs::create_dir_all(to).expect("create scratch dir");
+    for entry in fs::read_dir(from).expect("read fixture dir") {
+        let entry = entry.expect("fixture dir entry");
+        let target = to.join(entry.file_name());
+        if entry.file_type().expect("file type").is_dir() {
+            copy_tree(&entry.path(), &target);
+        } else {
+            fs::copy(entry.path(), &target).expect("copy fixture file");
+        }
+    }
+}
+
+fn patch(path: &Path, from: &str, to: &str) {
+    let text = fs::read_to_string(path).expect("read file to patch");
+    assert!(text.contains(from), "`{from}` not found in {path:?}");
+    fs::write(path, text.replace(from, to)).expect("write patched file");
+}
+
+#[test]
+fn protocol_addition_without_version_bump_fails() {
+    let scratch = std::env::temp_dir().join(format!(
+        "seqpoint-lint-protocol-drift-{}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&scratch);
+    copy_tree(&fixture("protocol_drift"), &scratch);
+
+    // Bless the pristine copy: the recorded digest now matches.
+    protocol::bless(&scratch).expect("bless pristine fixture");
+    let findings = run_passes(&scratch, &[Pass::Protocol]);
+    assert!(findings.is_empty(), "{}", render(&findings));
+
+    // Add a wire variant without bumping PROTOCOL_VERSION.
+    let source = scratch.join("src/protocol.rs");
+    patch(&source, "    Bye,\n}", "    Bye,\n    Extra,\n}");
+    let findings = run_passes(&scratch, &[Pass::Protocol]);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.message.contains("without a") && f.message.contains("PROTOCOL_VERSION")),
+        "{}",
+        render(&findings)
+    );
+
+    // Bump the version: the recorded digest is now merely stale.
+    patch(
+        &source,
+        "PROTOCOL_VERSION: u32 = 1",
+        "PROTOCOL_VERSION: u32 = 2",
+    );
+    let findings = run_passes(&scratch, &[Pass::Protocol]);
+    assert!(
+        findings.iter().any(|f| f.message.contains("stale")),
+        "{}",
+        render(&findings)
+    );
+
+    // Re-bless: the only remaining gap is round-trip coverage of the
+    // new variant.
+    protocol::bless(&scratch).expect("re-bless after bump");
+    let findings = run_passes(&scratch, &[Pass::Protocol]);
+    assert_eq!(findings.len(), 1, "{}", render(&findings));
+    assert!(
+        findings[0].message.contains("Ping::Extra"),
+        "{}",
+        findings[0].message
+    );
+
+    // Exercise it in the round-trip tests: clean again.
+    let tests = scratch.join("tests/roundtrip.rs");
+    let text = fs::read_to_string(&tests).expect("read fixture tests");
+    fs::write(&tests, format!("{text}// Ping::Extra\n")).expect("extend fixture tests");
+    let findings = run_passes(&scratch, &[Pass::Protocol]);
+    assert!(findings.is_empty(), "{}", render(&findings));
+
+    let _ = fs::remove_dir_all(&scratch);
+}

@@ -1,0 +1,23 @@
+//! The lint gate: all three passes must be clean against the real
+//! repository. This is what makes a new `unwrap()` in
+//! `crates/service/src`, a lock-order inversion, or a protocol change
+//! without a `PROTOCOL_VERSION` bump fail `cargo test` — not just the
+//! standalone `seqpoint-lint` binary.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let findings = seqpoint_analysis::run_passes(&root, &seqpoint_analysis::all_passes());
+    assert!(
+        findings.is_empty(),
+        "seqpoint-lint findings (fix the site, waive it in analysis/panic_waivers.toml, \
+         or re-bless the protocol digest):\n{}",
+        findings
+            .iter()
+            .map(|f| f.render_human())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -31,6 +31,8 @@
 use std::collections::HashMap;
 use std::sync::Mutex;
 
+use crate::sync::LockExt;
+
 /// Identity of one selection experiment (see the module docs for why
 /// shards and seed ride alongside the fingerprint).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -79,7 +81,7 @@ impl ResultCache {
     /// `Miss` that registers `candidate` as the key's in-flight
     /// primary.
     pub fn admit(&self, key: CacheKey, candidate: &str) -> Admission {
-        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        let mut inner = self.inner.lock_recover();
         if let Some(done) = inner.ready.get(&key) {
             let done = done.clone();
             inner.hits += 1;
@@ -97,27 +99,27 @@ impl ResultCache {
     /// Register `id` as a key's in-flight primary without hit
     /// accounting (recovery).
     pub fn register_inflight(&self, key: CacheKey, id: &str) {
-        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        let mut inner = self.inner.lock_recover();
         inner.inflight.entry(key).or_insert_with(|| id.to_owned());
     }
 
     /// Register `id` as a key's retained result without hit accounting
     /// (recovery of a finished job).
     pub fn register_ready(&self, key: CacheKey, id: &str) {
-        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        let mut inner = self.inner.lock_recover();
         inner.ready.entry(key).or_insert_with(|| id.to_owned());
     }
 
     /// The job id holding a retained result for `key`, if any.
     pub fn lookup_ready(&self, key: CacheKey) -> Option<String> {
-        let inner = self.inner.lock().expect("cache lock poisoned");
+        let inner = self.inner.lock_recover();
         inner.ready.get(&key).cloned()
     }
 
     /// The primary `id` finished with a result: retire its in-flight
     /// registration and retain the result mapping.
     pub fn complete(&self, key: CacheKey, id: &str) {
-        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        let mut inner = self.inner.lock_recover();
         if inner.inflight.get(&key).is_some_and(|p| p == id) {
             inner.inflight.remove(&key);
         }
@@ -128,7 +130,7 @@ impl ResultCache {
     /// cancellation with no follower to promote): drop its in-flight
     /// registration so the next submission profiles fresh.
     pub fn abandon(&self, key: CacheKey, id: &str) {
-        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        let mut inner = self.inner.lock_recover();
         if inner.inflight.get(&key).is_some_and(|p| p == id) {
             inner.inflight.remove(&key);
         }
@@ -137,7 +139,7 @@ impl ResultCache {
     /// Repoint a key's in-flight registration from a cancelled primary
     /// to the follower promoted in its place.
     pub fn promote(&self, key: CacheKey, old: &str, new: &str) {
-        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        let mut inner = self.inner.lock_recover();
         if inner.inflight.get(&key).is_none_or(|p| p == old) {
             inner.inflight.insert(key, new.to_owned());
         }
@@ -146,7 +148,7 @@ impl ResultCache {
     /// The retention GC evicted job `id`: drop the retained mapping if
     /// it still points at that job.
     pub fn evict(&self, key: CacheKey, id: &str) {
-        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        let mut inner = self.inner.lock_recover();
         if inner.ready.get(&key).is_some_and(|p| p == id) {
             inner.ready.remove(&key);
         }
@@ -154,7 +156,7 @@ impl ResultCache {
 
     /// `(hits so far, retained results)` for `Ping` accounting.
     pub fn stats(&self) -> (u64, u64) {
-        let inner = self.inner.lock().expect("cache lock poisoned");
+        let inner = self.inner.lock_recover();
         (inner.hits, inner.ready.len() as u64)
     }
 }

@@ -34,6 +34,7 @@ use sqnn::IterationShape;
 use sqnn_profiler::stream::{RoundExecutor, ShardChunk, ShardReport};
 use sqnn_profiler::{IterationProfile, ProfileError};
 
+use crate::sync::{CondvarExt, LockExt};
 use crate::transport::Stream;
 
 /// One registered worker connection (the server side of a `seqpoint
@@ -141,7 +142,7 @@ impl WorkerPool {
             Ok(clone) => BufReader::new(clone),
             Err(_) => return false,
         };
-        let mut inner = self.inner.lock().expect("pool lock poisoned");
+        let mut inner = self.inner.lock_recover();
         if inner.draining {
             return false;
         }
@@ -165,7 +166,7 @@ impl WorkerPool {
     /// worker (lost pool).
     pub fn lease(&self, want: usize, timeout: Duration, job: &str) -> Option<Vec<WorkerConn>> {
         let deadline = Instant::now() + timeout;
-        let mut inner = self.inner.lock().expect("pool lock poisoned");
+        let mut inner = self.inner.lock_recover();
         loop {
             if inner.draining {
                 return None;
@@ -199,10 +200,7 @@ impl WorkerPool {
             if now >= deadline {
                 return None;
             }
-            let (guard, _) = self
-                .cv
-                .wait_timeout(inner, deadline - now)
-                .expect("pool lock poisoned");
+            let (guard, _) = self.cv.wait_timeout_recover(inner, deadline - now);
             inner = guard;
         }
     }
@@ -210,13 +208,13 @@ impl WorkerPool {
     /// `(leases granted, connections reclaimed dead)` over the pool's
     /// lifetime, for `Ping` accounting.
     pub fn fleet_stats(&self) -> (u64, u64) {
-        let inner = self.inner.lock().expect("pool lock poisoned");
+        let inner = self.inner.lock_recover();
         (inner.leases, inner.reclaimed)
     }
 
     /// Return healthy connections to the pool (dropped when draining).
     pub fn release(&self, conns: Vec<WorkerConn>) {
-        let mut inner = self.inner.lock().expect("pool lock poisoned");
+        let mut inner = self.inner.lock_recover();
         if !inner.draining {
             inner.idle.extend(conns);
             self.cv.notify_all();
@@ -226,14 +224,14 @@ impl WorkerPool {
     /// Pids of the currently idle workers (busy ones are with their
     /// executor).
     pub fn idle_pids(&self) -> Vec<u64> {
-        let inner = self.inner.lock().expect("pool lock poisoned");
+        let inner = self.inner.lock_recover();
         inner.idle.iter().map(|c| c.pid).collect()
     }
 
     /// Stop handing out workers and close every idle connection; workers
     /// observe EOF and exit.
     pub fn drain(&self) {
-        let mut inner = self.inner.lock().expect("pool lock poisoned");
+        let mut inner = self.inner.lock_recover();
         inner.draining = true;
         inner.idle.clear();
         self.cv.notify_all();
@@ -297,6 +295,9 @@ impl RoundExecutor for SubprocessExecutor<'_> {
             return Ok(Vec::new());
         }
         let mut conns = self.acquire(chunks.len())?;
+        if conns.is_empty() {
+            return Err(executor_error("no workers acquired for the round"));
+        }
         let workers = conns.len();
         // Deal chunk i to worker i % workers, then collect each worker's
         // replies FIFO. A single failure abandons the round and every
@@ -317,13 +318,17 @@ impl RoundExecutor for SubprocessExecutor<'_> {
                         .map(|b| (b.seq_len, b.samples))
                         .collect(),
                 };
-                conns[i % workers]
+                conns
+                    .get_mut(i % workers)
+                    .ok_or_else(|| executor_error("worker connection vanished mid-round"))?
                     .send(&task)
                     .map_err(|e| executor_error(format!("sending round task: {e}")))?;
             }
             let mut reports: Vec<Option<ShardReport>> = (0..chunks.len()).map(|_| None).collect();
             for (i, _) in chunks.iter().enumerate() {
-                let reply = conns[i % workers]
+                let reply = conns
+                    .get_mut(i % workers)
+                    .ok_or_else(|| executor_error("worker connection vanished mid-round"))?
                     .recv()
                     .map_err(|e| executor_error(format!("collecting round reply: {e}")))?;
                 let WorkerReply::Round {
@@ -379,7 +384,9 @@ impl RoundExecutor for SubprocessExecutor<'_> {
 
     fn profile_shape(&mut self, shape: IterationShape) -> Result<IterationProfile, ProfileError> {
         let mut conns = self.acquire(1)?;
-        let conn = &mut conns[0];
+        let Some(conn) = conns.first_mut() else {
+            return Err(executor_error("no worker acquired for the profile task"));
+        };
         let task = WorkerTask::Profile {
             model: self.model.clone(),
             config: self.config,

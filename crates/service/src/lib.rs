@@ -36,6 +36,7 @@ pub mod executor;
 pub mod sched;
 pub mod server;
 pub mod spec;
+pub mod sync;
 pub mod transport;
 pub mod worker;
 

@@ -28,6 +28,8 @@ use std::time::{Duration, Instant};
 
 use seqpoint_core::protocol::JobClass;
 
+use crate::sync::{CondvarExt, LockExt};
+
 /// Fixed-point scale for class virtual time; divisible by every class
 /// weight so the arithmetic stays exact.
 const SCALE: u64 = 840;
@@ -172,7 +174,7 @@ impl Scheduler {
     /// Enqueue a new submission. Returns `false` when the queue is at
     /// capacity (admission control: the caller rejects the submission).
     pub fn push(&self, id: &str, class: JobClass, client: &str) -> bool {
-        let mut inner = self.inner.lock().expect("sched lock poisoned");
+        let mut inner = self.inner.lock_recover();
         if inner.len >= self.cap {
             return false;
         }
@@ -186,7 +188,7 @@ impl Scheduler {
     /// capacity bound — the job was already admitted once; dropping it
     /// now would strand a client that was told `Submitted`.
     pub fn requeue(&self, id: &str, class: JobClass, client: &str) {
-        let mut inner = self.inner.lock().expect("sched lock poisoned");
+        let mut inner = self.inner.lock_recover();
         self.enqueue(&mut inner, id, class, client);
         drop(inner);
         self.cv.notify_all();
@@ -218,7 +220,7 @@ impl Scheduler {
     /// drain flag and calls again.
     pub fn pop_timeout(&self, timeout: Duration) -> Option<String> {
         let deadline = Instant::now() + timeout;
-        let mut inner = self.inner.lock().expect("sched lock poisoned");
+        let mut inner = self.inner.lock_recover();
         loop {
             if let Some(id) = self.pop_locked(&mut inner) {
                 return Some(id);
@@ -227,10 +229,7 @@ impl Scheduler {
             if now >= deadline {
                 return None;
             }
-            let (guard, _) = self
-                .cv
-                .wait_timeout(inner, deadline - now)
-                .expect("sched lock poisoned");
+            let (guard, _) = self.cv.wait_timeout_recover(inner, deadline - now);
             inner = guard;
         }
     }
@@ -238,29 +237,39 @@ impl Scheduler {
     fn pop_locked(&self, inner: &mut SchedInner) -> Option<String> {
         let pick = if self.fair {
             // Smallest virtual time among backlogged classes; CLASSES
-            // order breaks ties (interactive first).
+            // order breaks ties (interactive first) because min_by_key
+            // keeps the first of equal minima.
             CLASSES
                 .iter()
                 .copied()
-                .filter(|c| inner.classes.get(c).is_some_and(|q| !q.is_empty()))
-                .min_by_key(|c| inner.classes[c].vtime)?
-        } else {
-            // Global FIFO: the class holding the oldest arrival.
-            let (_, idx) = CLASSES
-                .iter()
-                .enumerate()
-                .filter_map(|(i, c)| {
+                .filter_map(|c| {
                     inner
                         .classes
-                        .get(c)
-                        .and_then(ClassQueue::oldest_seq)
-                        .map(|s| (s, i))
+                        .get(&c)
+                        .filter(|q| !q.is_empty())
+                        .map(|q| (c, q.vtime))
                 })
-                .min()?;
-            CLASSES[idx]
+                .min_by_key(|(_, vtime)| *vtime)
+                .map(|(c, _)| c)?
+        } else {
+            // Global FIFO: the class holding the oldest arrival.
+            // Ties on seq (impossible — seq is unique) would break by
+            // CLASSES order, as above.
+            CLASSES
+                .iter()
+                .copied()
+                .filter_map(|c| {
+                    inner
+                        .classes
+                        .get(&c)
+                        .and_then(ClassQueue::oldest_seq)
+                        .map(|s| (c, s))
+                })
+                .min_by_key(|(_, seq)| *seq)
+                .map(|(c, _)| c)?
         };
-        let vclock = inner.classes[&pick].vtime;
         let queue = inner.classes.get_mut(&pick)?;
+        let vclock = queue.vtime;
         let id = if self.fair {
             let id = queue.pop_fair();
             queue.vtime += SCALE / pick.weight();
@@ -276,7 +285,7 @@ impl Scheduler {
     /// Remove a queued job (cancellation). Returns whether it was
     /// queued.
     pub fn remove(&self, id: &str) -> bool {
-        let mut inner = self.inner.lock().expect("sched lock poisoned");
+        let mut inner = self.inner.lock_recover();
         for class in CLASSES {
             if let Some(queue) = inner.classes.get_mut(&class) {
                 if queue.remove(id) {
@@ -290,7 +299,7 @@ impl Scheduler {
 
     /// Queued jobs across all classes and clients.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("sched lock poisoned").len
+        self.inner.lock_recover().len
     }
 
     /// Whether no jobs are queued.

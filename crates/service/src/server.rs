@@ -47,6 +47,7 @@ use crate::cache::{Admission, CacheKey, ResultCache};
 use crate::executor::{SubprocessExecutor, ThrottledExecutor, WorkerPool};
 use crate::sched::Scheduler;
 use crate::spec::{render_streamed, resolve, ResolvedJob};
+use crate::sync::{CondvarExt, LockExt};
 use crate::transport::{token_matches, Listener, Stream};
 use crate::ServiceError;
 
@@ -292,7 +293,7 @@ impl Shared {
     }
 
     fn set_state(&self, id: &str, state: JobState, detail: impl Into<String>) {
-        let mut jobs = self.jobs.lock().expect("jobs lock poisoned");
+        let mut jobs = self.jobs.lock_recover();
         if let Some(entry) = jobs.get_mut(id) {
             entry.state = state;
             entry.detail = detail.into();
@@ -392,19 +393,23 @@ impl Shared {
                     return;
                 };
                 followers.remove(0);
+                // Filtered as live just above, but if the entry vanished
+                // anyway, give the cache slot back instead of panicking
+                // mid-settle with the jobs lock held.
+                let Some(f) = jobs.get_mut(&new_primary) else {
+                    if let Some(key) = key {
+                        self.cache.abandon(key, id);
+                    }
+                    return;
+                };
+                f.follows = None;
+                f.followers = followers.clone();
+                f.cache_hit = false;
+                f.detail = format!("promoted to primary (job `{id}` cancelled)");
+                let (class, client) = (f.class, f.client.clone());
                 if let Some(key) = key {
                     self.cache.promote(key, id, &new_primary);
                 }
-                let (class, client) = {
-                    let f = jobs
-                        .get_mut(&new_primary)
-                        .expect("promoted follower exists");
-                    f.follows = None;
-                    f.followers = followers.clone();
-                    f.cache_hit = false;
-                    f.detail = format!("promoted to primary (job `{id}` cancelled)");
-                    (f.class, f.client.clone())
-                };
                 for fid in &followers {
                     if let Some(f) = jobs.get_mut(fid) {
                         f.follows = Some(new_primary.clone());
@@ -504,7 +509,7 @@ fn recover(shared: &Shared) -> Result<Vec<String>, ServiceError> {
     // terminal: the best completion-order evidence a restart has, so the
     // retention GC still evicts oldest-first across restarts.
     let mut terminal: Vec<(SystemTime, String)> = Vec::new();
-    let mut jobs = shared.jobs.lock().expect("jobs lock poisoned");
+    let mut jobs = shared.jobs.lock_recover();
     for entry in dir.flatten() {
         let name = entry.file_name();
         let Some(name) = name.to_str() else { continue };
@@ -712,7 +717,7 @@ fn submit(
     // sched/cache lock order, as everywhere): two racing submissions of
     // the same id or key must not both pass the checks. Rename is a
     // metadata operation, cheap enough to hold locks over.
-    let mut jobs = shared.jobs.lock().expect("jobs lock poisoned");
+    let mut jobs = shared.jobs.lock_recover();
     if jobs.contains_key(&id) {
         drop(jobs);
         let _ = std::fs::remove_file(&tmp);
@@ -776,10 +781,12 @@ fn submit(
         }
         // The entry the index pointed at lost its output (evicted out
         // from under the cache): heal by taking over as the in-flight
-        // primary and profiling fresh.
-        let key = key.expect("Ready admission implies a key");
-        shared.cache.evict(key, primary);
-        shared.cache.register_inflight(key, &id);
+        // primary and profiling fresh. A Ready admission implies a key;
+        // if it is somehow absent, skip the healing and just reprofile.
+        if let Some(key) = key {
+            shared.cache.evict(key, primary);
+            shared.cache.register_inflight(key, &id);
+        }
     } else if let Admission::InFlight(primary) = &admission {
         if jobs
             .get(primary.as_str())
@@ -801,17 +808,20 @@ fn submit(
             entry.follows = Some(primary.clone());
             let primary = primary.clone();
             jobs.insert(id.clone(), entry);
-            jobs.get_mut(&primary)
-                .expect("in-flight primary exists")
-                .followers
-                .push(id.clone());
+            // Checked non-terminal at the top of this branch and the
+            // lock has been held since, so the primary is still there.
+            if let Some(p) = jobs.get_mut(&primary) {
+                p.followers.push(id.clone());
+            }
             drop(jobs);
             shared.jobs_cv.notify_all();
             return Response::Submitted { job: id };
         }
-        // Stale in-flight record (its primary is gone): take over.
-        let key = key.expect("InFlight admission implies a key");
-        shared.cache.promote(key, primary, &id);
+        // Stale in-flight record (its primary is gone): take over. An
+        // InFlight admission implies a key; nothing to fix up if not.
+        if let Some(key) = key {
+            shared.cache.promote(key, primary, &id);
+        }
     }
     // Miss (or a healed stale hit): schedule a real profiling run.
     if !shared.sched.push(&id, spec.class, &spec.client) {
@@ -839,7 +849,7 @@ fn submit(
 }
 
 fn cancel(shared: &Shared, id: &str) -> Response {
-    let mut jobs = shared.jobs.lock().expect("jobs lock poisoned");
+    let mut jobs = shared.jobs.lock_recover();
     let Some(entry) = jobs.get_mut(id) else {
         return Response::Error {
             reason: format!("unknown job `{id}`"),
@@ -881,7 +891,7 @@ fn cancel(shared: &Shared, id: &str) -> Response {
 }
 
 fn status(shared: &Shared, id: &str) -> Response {
-    let jobs = shared.jobs.lock().expect("jobs lock poisoned");
+    let jobs = shared.jobs.lock_recover();
     match jobs.get(id) {
         None => Response::Error {
             reason: format!("unknown job `{id}`"),
@@ -919,7 +929,7 @@ fn terminal_response(jobs: &HashMap<String, JobEntry>, id: &str) -> Option<Respo
 
 /// Non-blocking result fetch (`Result { wait: false }`).
 fn result(shared: &Shared, id: &str) -> Response {
-    let jobs = shared.jobs.lock().expect("jobs lock poisoned");
+    let jobs = shared.jobs.lock_recover();
     match terminal_response(&jobs, id) {
         Some(response) => response,
         None => {
@@ -943,7 +953,7 @@ fn result(shared: &Shared, id: &str) -> Response {
 /// closes the connection).
 fn result_wait(shared: &Shared, stream: &mut Stream, id: &str) -> std::io::Result<()> {
     let mut last_beat = std::time::Instant::now();
-    let mut jobs = shared.jobs.lock().expect("jobs lock poisoned");
+    let mut jobs = shared.jobs.lock_recover();
     loop {
         if let Some(response) = terminal_response(&jobs, id) {
             drop(jobs);
@@ -977,7 +987,7 @@ fn result_wait(shared: &Shared, stream: &mut Stream, id: &str) -> std::io::Resul
                 None => Ok(()),
             };
             last_beat = std::time::Instant::now();
-            jobs = shared.jobs.lock().expect("jobs lock poisoned");
+            jobs = shared.jobs.lock_recover();
             if beat.is_some() {
                 if let Some(entry) = jobs.get_mut(id) {
                     entry.waiters = entry.waiters.saturating_sub(1);
@@ -994,8 +1004,7 @@ fn result_wait(shared: &Shared, stream: &mut Stream, id: &str) -> std::io::Resul
         }
         let (guard, _) = shared
             .jobs_cv
-            .wait_timeout(jobs, Duration::from_millis(250))
-            .expect("jobs lock poisoned");
+            .wait_timeout_recover(jobs, Duration::from_millis(250));
         jobs = guard;
         if let Some(entry) = jobs.get_mut(id) {
             entry.waiters = entry.waiters.saturating_sub(1);
@@ -1006,7 +1015,7 @@ fn result_wait(shared: &Shared, stream: &mut Stream, id: &str) -> std::io::Resul
 /// Run one job to completion, pause, cancellation, or failure.
 fn run_job(shared: &Arc<Shared>, id: &str) {
     let (spec, cancel, attempt) = {
-        let mut jobs = shared.jobs.lock().expect("jobs lock poisoned");
+        let mut jobs = shared.jobs.lock_recover();
         let Some(entry) = jobs.get_mut(id) else {
             return;
         };
@@ -1025,7 +1034,7 @@ fn run_job(shared: &Arc<Shared>, id: &str) {
 
     let fail = |message: String| {
         let _ = write_atomic(&shared.error_path(id), &message);
-        let mut jobs = shared.jobs.lock().expect("jobs lock poisoned");
+        let mut jobs = shared.jobs.lock_recover();
         if let Some(entry) = jobs.get_mut(id) {
             entry.state = JobState::Failed;
             entry.detail = "failed".to_owned();
@@ -1120,7 +1129,7 @@ fn run_job(shared: &Arc<Shared>, id: &str) {
             // restart reloads Done from the result file), so reclaim it
             // instead of letting the state dir grow per finished job.
             let _ = std::fs::remove_file(shared.ckpt_path(id));
-            let mut jobs = shared.jobs.lock().expect("jobs lock poisoned");
+            let mut jobs = shared.jobs.lock_recover();
             if let Some(entry) = jobs.get_mut(id) {
                 entry.state = JobState::Done;
                 entry.detail = "done".to_owned();
@@ -1149,7 +1158,7 @@ fn run_job(shared: &Arc<Shared>, id: &str) {
                 // pause is forward progress, so the worker-loss retry
                 // budget resets.
                 {
-                    let mut jobs = shared.jobs.lock().expect("jobs lock poisoned");
+                    let mut jobs = shared.jobs.lock_recover();
                     if let Some(entry) = jobs.get_mut(id) {
                         entry.executor_failures = 0;
                     }
@@ -1170,7 +1179,7 @@ fn run_job(shared: &Arc<Shared>, id: &str) {
             // was preempted by max_rounds many times keeps its full
             // retry allowance.
             let failures = {
-                let mut jobs = shared.jobs.lock().expect("jobs lock poisoned");
+                let mut jobs = shared.jobs.lock_recover();
                 match jobs.get_mut(id) {
                     Some(entry) => {
                         entry.executor_failures = entry.executor_failures.saturating_add(1);
@@ -1210,7 +1219,7 @@ fn finalize_cancel(shared: &Shared, id: &str) {
 
 fn requeue(shared: &Shared, id: &str) {
     let (class, client) = {
-        let jobs = shared.jobs.lock().expect("jobs lock poisoned");
+        let jobs = shared.jobs.lock_recover();
         match jobs.get(id) {
             Some(entry) => (entry.class, entry.client.clone()),
             None => return,
@@ -1406,7 +1415,7 @@ fn handle_connection(shared: Arc<Shared>, mut stream: Stream, requires_auth: boo
             Request::Ping => {
                 let queued = shared.sched.len() as u64;
                 let running = {
-                    let jobs = shared.jobs.lock().expect("jobs lock poisoned");
+                    let jobs = shared.jobs.lock_recover();
                     jobs.values()
                         .filter(|e| e.state == JobState::Running)
                         .count() as u64
@@ -1417,11 +1426,7 @@ fn handle_connection(shared: Arc<Shared>, mut stream: Stream, requires_auth: boo
                     version: PROTOCOL_VERSION,
                     queued,
                     running,
-                    workers: shared
-                        .worker_pids
-                        .lock()
-                        .expect("pids lock poisoned")
-                        .clone(),
+                    workers: shared.worker_pids.lock_recover().clone(),
                     cache_hits,
                     cache_entries,
                     fleet_idle: shared.pool.idle_pids(),
@@ -1485,11 +1490,7 @@ fn supervise_worker(shared: Arc<Shared>) {
             }
         };
         let pid = u64::from(child.id());
-        shared
-            .worker_pids
-            .lock()
-            .expect("pids lock poisoned")
-            .push(pid);
+        shared.worker_pids.lock_recover().push(pid);
         loop {
             match child.try_wait() {
                 Ok(Some(_)) => break,
@@ -1504,11 +1505,7 @@ fn supervise_worker(shared: Arc<Shared>) {
                 Err(_) => break,
             }
         }
-        shared
-            .worker_pids
-            .lock()
-            .expect("pids lock poisoned")
-            .retain(|p| *p != pid);
+        shared.worker_pids.lock_recover().retain(|p| *p != pid);
         if !shared.is_draining() {
             std::thread::sleep(Duration::from_millis(100));
         }
@@ -1704,7 +1701,7 @@ pub fn serve(config: ServeConfig) -> Result<(), ServiceError> {
     let _ = std::fs::remove_file(shared.config.state_dir.join("serve.pid"));
     let _ = std::fs::remove_file(shared.config.state_dir.join("serve.tcp"));
     let paused = {
-        let jobs = shared.jobs.lock().expect("jobs lock poisoned");
+        let jobs = shared.jobs.lock_recover();
         jobs.values().filter(|e| !e.state.is_terminal()).count()
     };
     eprintln!("seqpoint serve: drained ({paused} unfinished job(s) checkpointed)");

@@ -50,7 +50,7 @@ pub fn corpus_by_name(name: &str, samples: usize, seed: u64) -> Result<Corpus, S
             let n = samples.min(full.len());
             Ok(Corpus::from_lengths(
                 "librispeech100-like",
-                full.lengths()[..n].to_vec(),
+                full.lengths().iter().take(n).copied().collect::<Vec<_>>(),
                 full.vocab_size(),
             ))
         }
@@ -88,12 +88,15 @@ pub fn stat_by_label(label: &str) -> Result<StatKind, ServiceError> {
 ///
 /// [`ServiceError::Usage`] for an out-of-range number.
 pub fn device_by_config(config: u32) -> Result<Device, ServiceError> {
-    if !(1..=5).contains(&config) {
-        return Err(ServiceError::Usage(
-            "config must be 1..=5 (Table II)".to_owned(),
-        ));
-    }
-    let cfg = GpuConfig::table2_configs()[config as usize - 1].clone();
+    let cfg = (1..=5)
+        .contains(&config)
+        .then(|| {
+            GpuConfig::table2_configs()
+                .get(config as usize - 1)
+                .cloned()
+        })
+        .flatten()
+        .ok_or_else(|| ServiceError::Usage("config must be 1..=5 (Table II)".to_owned()))?;
     Ok(Device::new(cfg))
 }
 

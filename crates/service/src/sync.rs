@@ -1,0 +1,83 @@
+//! Poison-recovering lock helpers.
+//!
+//! Every mutex in this crate guards state that is re-validated under
+//! the lock on each use (job maps keyed by id, scheduler queues, cache
+//! entries with their own state machines), and job panics are already
+//! caught by `catch_unwind` in the runner loop. A poisoned mutex here
+//! therefore signals "a thread died mid-update", not "the data is
+//! unusable" — and propagating the `PoisonError` with `expect()` turns
+//! one dead thread into a cascade that takes down every connection
+//! handler. These helpers recover the guard instead; callers keep the
+//! plain method-call syntax (`self.inner.lock_recover()`), which also
+//! keeps the receiver-based lock mapping in `seqpoint-lint`'s
+//! lock-order pass working unchanged.
+//!
+//! A bare `self.lock()` receiver only ever appears inside these wrapper
+//! impls; `analysis/lock_order.toml` ignores the `self` receiver for
+//! exactly that reason.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError, WaitTimeoutResult};
+use std::time::Duration;
+
+/// `Mutex::lock` that recovers from poisoning instead of panicking.
+pub trait LockExt<T> {
+    /// Lock, recovering the guard if a previous holder panicked.
+    fn lock_recover(&self) -> MutexGuard<'_, T>;
+}
+
+impl<T> LockExt<T> for Mutex<T> {
+    fn lock_recover(&self) -> MutexGuard<'_, T> {
+        self.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Condvar waits that recover the guard from poisoning instead of
+/// panicking, mirroring [`LockExt`].
+pub trait CondvarExt {
+    /// `Condvar::wait_timeout`, recovering the guard from poisoning.
+    fn wait_timeout_recover<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> (MutexGuard<'a, T>, WaitTimeoutResult);
+}
+
+impl CondvarExt for Condvar {
+    fn wait_timeout_recover<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+        self.wait_timeout(guard, dur)
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_recover_returns_data_after_poison() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        assert_eq!(*m.lock_recover(), 7);
+    }
+
+    #[test]
+    fn wait_timeout_recover_round_trips_the_guard() {
+        let m = Mutex::new(1u32);
+        let cv = Condvar::new();
+        let g = m.lock_recover();
+        let (g, res) = cv.wait_timeout_recover(g, Duration::from_millis(1));
+        assert!(res.timed_out());
+        assert_eq!(*g, 1);
+    }
+}

@@ -50,14 +50,18 @@ impl WorkerCache {
             let network = model_by_name(model)?;
             self.networks.insert(model.to_owned(), network);
         }
-        Ok(&self.networks[model])
+        self.networks
+            .get(model)
+            .ok_or_else(|| ServiceError::Usage(format!("unknown model `{model}`")))
     }
 
     fn device(&mut self, config: u32) -> Result<&Device, ServiceError> {
         if let std::collections::hash_map::Entry::Vacant(entry) = self.devices.entry(config) {
             entry.insert(device_by_config(config)?);
         }
-        Ok(&self.devices[&config])
+        self.devices
+            .get(&config)
+            .ok_or_else(|| ServiceError::Usage(format!("unknown device config `{config}`")))
     }
 }
 
@@ -97,8 +101,14 @@ fn execute(
                     })
                     .collect(),
             };
-            let network = &cache.networks[&model];
-            let device = cache.devices[&config].clone();
+            let network = cache
+                .networks
+                .get(&model)
+                .ok_or_else(|| ServiceError::Usage(format!("unknown model `{model}`")))?;
+            let device =
+                cache.devices.get(&config).cloned().ok_or_else(|| {
+                    ServiceError::Usage(format!("unknown device config `{config}`"))
+                })?;
             let memo = cache.memos.entry((model, config)).or_default();
             let report = execute_chunk(profiler, network, &device, stat, memo, &chunk);
             let tracker = serde::json::to_string(&report.tracker)
@@ -120,8 +130,14 @@ fn execute(
         } => {
             cache.network(&model)?;
             cache.device(config)?;
-            let network = &cache.networks[&model];
-            let device = &cache.devices[&config];
+            let network = cache
+                .networks
+                .get(&model)
+                .ok_or_else(|| ServiceError::Usage(format!("unknown model `{model}`")))?;
+            let device = cache
+                .devices
+                .get(&config)
+                .ok_or_else(|| ServiceError::Usage(format!("unknown device config `{config}`")))?;
             let shape = IterationShape::new(samples, seq_len);
             let profile = profiler.profile_iteration(network, &shape, device);
             let profile = serde::json::to_string(&profile)

@@ -43,6 +43,9 @@ rm -f "$BENCH_FRESH"
 step fmt "rustfmt (check)"
 cargo fmt --all --check
 
+step lint "seqpoint-lint (lock order, panic paths, protocol drift)"
+cargo run --release -q -p seqpoint_analysis --bin seqpoint-lint
+
 step clippy "clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -47,6 +47,8 @@ USAGE:
                      (--ping | --status ID | --result ID |
                      --cancel ID | --shutdown)
   seqpoint worker    (--socket PATH | --connect HOST:PORT) [--token-file FILE]
+  seqpoint lint      [--root DIR] [--pass lock-order,panics,protocol]
+                     [--github] [--bless-protocol]
 
 `stream` profiles a steady-state (shuffled) epoch with K worker shards,
 stops measuring once the SL space saturates (no new SL bucket within W
@@ -106,10 +108,26 @@ command instead of hanging it.
 local daemon, `--connect HOST:PORT --token-file FILE` for one on
 another machine.
 
+`lint` runs the workspace's own static analysis (the `seqpoint-lint`
+binary behind a subcommand): lock-order simulation against
+analysis/lock_order.toml, the justified-waiver panic-path lint, and
+the protocol frame-digest drift check. Findings make the command fail;
+--github renders them as workflow annotations, --bless-protocol
+re-records the frame digest after a deliberate PROTOCOL_VERSION bump.
+
 Epoch-log CSV format: one `seq_len,stat` pair per line (header optional).";
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["detach", "ping", "shutdown", "stats", "fair", "fifo"];
+const BOOL_FLAGS: &[&str] = &[
+    "detach",
+    "ping",
+    "shutdown",
+    "stats",
+    "fair",
+    "fifo",
+    "github",
+    "bless-protocol",
+];
 
 struct Flags {
     args: Vec<(String, String)>,
@@ -343,6 +361,12 @@ fn run() -> Result<String, CliError> {
             };
             cli::submit(&conn, action)
         }
+        "lint" => cli::lint(
+            std::path::Path::new(flags.get("root").unwrap_or(".")),
+            flags.get("pass"),
+            flags.get("github").is_some(),
+            flags.get("bless-protocol").is_some(),
+        ),
         "identify" => cli::identify(&open_log(&flags)?, pipeline_config(&flags)?),
         "baselines" => cli::baselines(&open_log(&flags)?, pipeline_config(&flags)?),
         "project" => {

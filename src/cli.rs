@@ -656,6 +656,76 @@ pub fn submit(conn: &ConnectArgs, action: SubmitAction) -> Result<String, CliErr
     }
 }
 
+/// Run the `seqpoint-lint` static-analysis passes (`seqpoint lint`).
+///
+/// `passes` is the comma-separated selection (`None` runs all three);
+/// `bless` re-records the protocol digest instead of checking. Findings
+/// are an error — the command exits non-zero, same as the standalone
+/// `seqpoint-lint` binary.
+///
+/// # Errors
+///
+/// [`CliError::Usage`] for an unknown pass name; [`CliError::Library`]
+/// carrying the rendered findings when any pass fails.
+pub fn lint(
+    root: &std::path::Path,
+    passes: Option<&str>,
+    github: bool,
+    bless: bool,
+) -> Result<String, CliError> {
+    use seqpoint_analysis::report::{Finding, Pass};
+
+    if bless {
+        seqpoint_analysis::protocol::bless(root).map_err(CliError::Library)?;
+        return Ok(format!(
+            "seqpoint-lint: blessed {} from current sources\n",
+            seqpoint_analysis::protocol::DIGEST_PATH
+        ));
+    }
+
+    let selected = match passes {
+        None => seqpoint_analysis::all_passes(),
+        Some(list) => {
+            let mut selected = Vec::new();
+            for name in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                selected.push(Pass::from_name(name).ok_or_else(|| {
+                    CliError::Usage(format!(
+                        "--pass: unknown pass `{name}` (expected lock-order, panics, protocol)"
+                    ))
+                })?);
+            }
+            if selected.is_empty() {
+                return Err(CliError::Usage(
+                    "--pass requires at least one pass name".to_owned(),
+                ));
+            }
+            selected
+        }
+    };
+
+    let findings = seqpoint_analysis::run_passes(root, &selected);
+    let names: Vec<&str> = selected.iter().map(|p| p.name()).collect();
+    if findings.is_empty() {
+        return Ok(format!("seqpoint-lint: clean ({})\n", names.join(", ")));
+    }
+    let render = if github {
+        Finding::render_github
+    } else {
+        Finding::render_human
+    };
+    let mut out = String::new();
+    for f in &findings {
+        let _ = writeln!(out, "{}", render(f));
+    }
+    let _ = write!(
+        out,
+        "seqpoint-lint: {} finding(s) ({})",
+        findings.len(),
+        names.join(", ")
+    );
+    Err(CliError::Library(out))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -21,6 +21,8 @@
 //! * [`seqpoint_service`] — the async profiling service behind
 //!   `seqpoint serve`/`submit`/`worker`: a Unix-socket job queue with
 //!   multi-worker shard placement and checkpoint-based drain/resume.
+//! * [`seqpoint_analysis`] — the `seqpoint-lint` static-analysis passes
+//!   (lock order, panic paths, protocol drift) behind `seqpoint lint`.
 //!
 //! ## Quickstart
 //!
@@ -45,6 +47,7 @@
 //! ```
 
 pub use gpu_sim;
+pub use seqpoint_analysis;
 pub use seqpoint_core;
 pub use seqpoint_experiments;
 pub use seqpoint_service;
