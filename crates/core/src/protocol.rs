@@ -34,7 +34,9 @@ use crate::CoreError;
 /// handshake, scheduling class/client fields in [`JobSpec`], the
 /// [`Request::Register`]/[`WorkerTask::Lease`] fleet frames, and
 /// cache/fleet accounting in [`Response::Pong`]/[`Response::Status`].
-pub const PROTOCOL_VERSION: u32 = 3;
+/// Version 4 added the [`Request::Metrics`]/[`Response::Metrics`] live
+/// metrics frames (full registry exposition over the wire).
+pub const PROTOCOL_VERSION: u32 = 4;
 
 /// Scheduling class of a job under the weighted-fair scheduler.
 ///
@@ -291,6 +293,10 @@ pub enum Request {
         /// The worker process id (for supervision and the kill tests).
         pid: u64,
     },
+    /// Fetch the live metrics exposition. Gated exactly like every
+    /// other request: over TCP the connection must have authenticated
+    /// via [`Request::Hello`] first. Answered by [`Response::Metrics`].
+    Metrics,
 }
 
 /// One server → client line.
@@ -372,6 +378,13 @@ pub enum Response {
     Cancelled {
         /// The job id.
         job: String,
+    },
+    /// Answer to [`Request::Metrics`].
+    Metrics {
+        /// The full registry in Prometheus-style text exposition —
+        /// byte-identical to what the `--metrics-addr` scrape endpoint
+        /// serves at the same instant.
+        text: String,
     },
     /// The server acknowledged a drain request and is shutting down.
     ShuttingDown,

@@ -1,0 +1,194 @@
+//! Keeps `docs/protocol.md` honest: every protocol frame variant must
+//! be documented, and the documented version history must end at the
+//! current [`PROTOCOL_VERSION`].
+//!
+//! The variant name lists below are guarded by exhaustive matches with
+//! no wildcard arm — adding a variant to any frame enum breaks this
+//! test's *compilation* until the list (and therefore the doc) is
+//! updated, so the doc cannot silently fall behind the wire.
+
+use seqpoint_core::protocol::{
+    JobClass, JobState, Request, Response, WorkerReply, WorkerTask, PROTOCOL_VERSION,
+};
+
+/// The doc variant inventory for one enum: every name here must appear
+/// in `docs/protocol.md` as the qualified form `Enum::Variant`.
+struct Inventory {
+    enum_name: &'static str,
+    variants: &'static [&'static str],
+}
+
+// Each `_exhaustive_*` function exists only for its match expression:
+// no wildcard arm, so a new variant is a compile error pointing here,
+// next to the list that must gain the new name.
+
+fn _exhaustive_request(r: &Request) -> &'static str {
+    match r {
+        Request::Hello { .. } => "Hello",
+        Request::Ping => "Ping",
+        Request::Submit { .. } => "Submit",
+        Request::Status { .. } => "Status",
+        Request::Result { .. } => "Result",
+        Request::Cancel { .. } => "Cancel",
+        Request::Shutdown => "Shutdown",
+        Request::WorkerHello { .. } => "WorkerHello",
+        Request::Register { .. } => "Register",
+        Request::Metrics => "Metrics",
+    }
+}
+
+const REQUEST: Inventory = Inventory {
+    enum_name: "Request",
+    variants: &[
+        "Hello",
+        "Ping",
+        "Submit",
+        "Status",
+        "Result",
+        "Cancel",
+        "Shutdown",
+        "WorkerHello",
+        "Register",
+        "Metrics",
+    ],
+};
+
+fn _exhaustive_response(r: &Response) -> &'static str {
+    match r {
+        Response::Welcome { .. } => "Welcome",
+        Response::Pong { .. } => "Pong",
+        Response::Submitted { .. } => "Submitted",
+        Response::Rejected { .. } => "Rejected",
+        Response::Status { .. } => "Status",
+        Response::Result { .. } => "Result",
+        Response::Failed { .. } => "Failed",
+        Response::Cancelled { .. } => "Cancelled",
+        Response::Metrics { .. } => "Metrics",
+        Response::ShuttingDown => "ShuttingDown",
+        Response::Error { .. } => "Error",
+    }
+}
+
+const RESPONSE: Inventory = Inventory {
+    enum_name: "Response",
+    variants: &[
+        "Welcome",
+        "Pong",
+        "Submitted",
+        "Rejected",
+        "Status",
+        "Result",
+        "Failed",
+        "Cancelled",
+        "Metrics",
+        "ShuttingDown",
+        "Error",
+    ],
+};
+
+fn _exhaustive_worker_task(t: &WorkerTask) -> &'static str {
+    match t {
+        WorkerTask::Round { .. } => "Round",
+        WorkerTask::Profile { .. } => "Profile",
+        WorkerTask::Lease { .. } => "Lease",
+        WorkerTask::Shutdown => "Shutdown",
+    }
+}
+
+const WORKER_TASK: Inventory = Inventory {
+    enum_name: "WorkerTask",
+    variants: &["Round", "Profile", "Lease", "Shutdown"],
+};
+
+fn _exhaustive_worker_reply(r: &WorkerReply) -> &'static str {
+    match r {
+        WorkerReply::Round { .. } => "Round",
+        WorkerReply::Profile { .. } => "Profile",
+        WorkerReply::Error { .. } => "Error",
+    }
+}
+
+const WORKER_REPLY: Inventory = Inventory {
+    enum_name: "WorkerReply",
+    variants: &["Round", "Profile", "Error"],
+};
+
+fn _exhaustive_job_state(s: JobState) -> &'static str {
+    match s {
+        JobState::Queued => "Queued",
+        JobState::Running => "Running",
+        JobState::Paused => "Paused",
+        JobState::Done => "Done",
+        JobState::Failed => "Failed",
+        JobState::Cancelled => "Cancelled",
+    }
+}
+
+const JOB_STATES: &[&str] = &["Queued", "Running", "Paused", "Done", "Failed", "Cancelled"];
+
+fn _exhaustive_job_class(c: JobClass) -> &'static str {
+    match c {
+        JobClass::Interactive => "Interactive",
+        JobClass::Batch => "Batch",
+    }
+}
+
+fn protocol_doc() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/protocol.md");
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+#[test]
+fn every_frame_variant_is_documented() {
+    let doc = protocol_doc();
+    for inv in [REQUEST, RESPONSE, WORKER_TASK, WORKER_REPLY] {
+        for variant in inv.variants {
+            let qualified = format!("{}::{variant}", inv.enum_name);
+            assert!(
+                doc.contains(&qualified),
+                "docs/protocol.md does not mention `{qualified}`"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_job_state_is_documented() {
+    let doc = protocol_doc();
+    for state in JOB_STATES {
+        assert!(
+            doc.contains(state),
+            "docs/protocol.md does not mention the `{state}` job state"
+        );
+    }
+}
+
+#[test]
+fn job_classes_are_documented_by_label() {
+    let doc = protocol_doc();
+    for class in [JobClass::Interactive, JobClass::Batch] {
+        let label = class.label();
+        assert!(
+            doc.to_lowercase().contains(label),
+            "docs/protocol.md does not mention the `{label}` class"
+        );
+    }
+}
+
+#[test]
+fn version_history_reaches_the_current_version() {
+    let doc = protocol_doc();
+    // The version-history table documents each version as a `| N |` row.
+    for version in 1..=PROTOCOL_VERSION {
+        let row = format!("| {version} |");
+        assert!(
+            doc.contains(&row),
+            "docs/protocol.md version history is missing version {version}"
+        );
+    }
+    let future = format!("| {} |", PROTOCOL_VERSION + 1);
+    assert!(
+        !doc.contains(&future),
+        "docs/protocol.md documents a version the code does not define"
+    );
+}

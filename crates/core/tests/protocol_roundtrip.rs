@@ -110,10 +110,11 @@ fn arb_state() -> impl Strategy<Value = JobState> {
 }
 
 fn arb_request() -> impl Strategy<Value = Request> {
-    ((0u32..10, arb_id(), 0u64..1 << 22), arb_spec()).prop_map(|((variant, job, pid), spec)| {
+    ((0u32..11, arb_id(), 0u64..1 << 22), arb_spec()).prop_map(|((variant, job, pid), spec)| {
         match variant {
             0 => Request::Ping,
             1 => Request::Shutdown,
+            10 => Request::Metrics,
             2 => Request::Submit {
                 job: Some(job),
                 spec,
@@ -142,7 +143,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
 
 fn arb_response() -> impl Strategy<Value = Response> {
     (
-        (0u32..10, arb_id(), arb_text()),
+        (0u32..11, arb_id(), arb_text()),
         (1u32..5, 0u64..50, 0u64..50),
         proptest::collection::vec(0u64..1 << 22, 0..5),
         arb_state(),
@@ -150,6 +151,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
         .prop_map(
             |((variant, job, text), (version, queued, running), workers, state)| match variant {
                 0 => Response::ShuttingDown,
+                10 => Response::Metrics { text },
                 1 => Response::Pong {
                     version,
                     queued,

@@ -25,7 +25,7 @@
 //! test pins end to end.
 
 use std::io::{BufRead, BufReader, Read, Write};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use seqpoint_core::online::OnlineSlTracker;
@@ -34,6 +34,7 @@ use sqnn::IterationShape;
 use sqnn_profiler::stream::{RoundExecutor, ShardChunk, ShardReport};
 use sqnn_profiler::{IterationProfile, ProfileError};
 
+use crate::metrics::MetricsRegistry;
 use crate::sync::{CondvarExt, LockExt};
 use crate::transport::Stream;
 
@@ -44,12 +45,18 @@ pub struct WorkerConn {
     reader: BufReader<Stream>,
     /// The worker's process id, as announced in its hello.
     pub pid: u64,
+    /// Registry snapshot taken at registration time; `None` in library
+    /// tests, where worker wire traffic is simply not recorded.
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl WorkerConn {
     fn send(&mut self, task: &WorkerTask) -> std::io::Result<()> {
         let mut line = encode_frame(task);
         line.push('\n');
+        if let Some(metrics) = &self.metrics {
+            metrics.worker_out(line.len() as u64);
+        }
         self.writer.write_all(line.as_bytes())
     }
 
@@ -61,6 +68,9 @@ impl WorkerConn {
                 std::io::ErrorKind::UnexpectedEof,
                 "worker closed the connection",
             ));
+        }
+        if let Some(metrics) = &self.metrics {
+            metrics.worker_in(n as u64);
         }
         decode_frame(&line)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
@@ -100,6 +110,9 @@ struct PoolInner {
 pub struct WorkerPool {
     inner: Mutex<PoolInner>,
     cv: Condvar,
+    /// Attached by the daemon after construction; absent in library
+    /// tests, where fleet metrics are simply not recorded.
+    metrics: OnceLock<Arc<MetricsRegistry>>,
 }
 
 impl Default for WorkerPool {
@@ -127,7 +140,15 @@ impl WorkerPool {
                 reclaimed: 0,
             }),
             cv: Condvar::new(),
+            metrics: OnceLock::new(),
         }
+    }
+
+    /// Attach the daemon's metrics registry: from here on the pool
+    /// records lease/reclaim events and worker wire traffic. First
+    /// call wins.
+    pub fn attach_metrics(&self, metrics: Arc<MetricsRegistry>) {
+        let _ = self.metrics.set(metrics);
     }
 
     /// Register a connection that announced itself as a worker. Returns
@@ -150,6 +171,7 @@ impl WorkerPool {
             writer: stream,
             reader,
             pid,
+            metrics: self.metrics.get().cloned(),
         });
         self.cv.notify_all();
         true
@@ -186,10 +208,16 @@ impl WorkerPool {
                         // supervisor (or the remote operator) brings a
                         // replacement; nothing here blocks on it.
                         inner.reclaimed += 1;
+                        if let Some(metrics) = self.metrics.get() {
+                            metrics.fleet_reclaimed(1);
+                        }
                     }
                 }
                 if !leased.is_empty() {
                     inner.leases += leased.len() as u64;
+                    if let Some(metrics) = self.metrics.get() {
+                        metrics.fleet_leased(leased.len() as u64);
+                    }
                     return Some(leased);
                 }
                 // Every candidate was dead; retry immediately — more

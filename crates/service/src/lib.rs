@@ -33,6 +33,7 @@ pub mod cache;
 pub mod client;
 mod error;
 pub mod executor;
+pub mod metrics;
 pub mod sched;
 pub mod server;
 pub mod spec;

@@ -23,11 +23,12 @@
 //! server's `jobs` lock (never the other way around).
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use seqpoint_core::protocol::JobClass;
 
+use crate::metrics::MetricsRegistry;
 use crate::sync::{CondvarExt, LockExt};
 
 /// Fixed-point scale for class virtual time; divisible by every class
@@ -42,6 +43,8 @@ const CLASSES: [JobClass; 2] = [JobClass::Interactive, JobClass::Batch];
 struct QueuedJob {
     seq: u64,
     id: String,
+    /// Arrival instant, for the queue-wait metric at dispatch.
+    queued_at: Instant,
 }
 
 /// A class's backlog: one FIFO per client, served round-robin.
@@ -76,7 +79,7 @@ impl ClassQueue {
     }
 
     /// Pop the next job round-robin across clients.
-    fn pop_fair(&mut self) -> Option<String> {
+    fn pop_fair(&mut self) -> Option<QueuedJob> {
         let client = self.ring.pop_front()?;
         let backlog = self.by_client.get_mut(&client)?;
         let job = backlog.pop_front();
@@ -85,7 +88,7 @@ impl ClassQueue {
         } else {
             self.ring.push_back(client);
         }
-        job.map(|j| j.id)
+        job
     }
 
     /// Arrival stamp of the oldest job in this class (FIFO mode).
@@ -97,7 +100,7 @@ impl ClassQueue {
     }
 
     /// Pop the oldest job by arrival (FIFO mode).
-    fn pop_oldest(&mut self) -> Option<String> {
+    fn pop_oldest(&mut self) -> Option<QueuedJob> {
         let client = self
             .by_client
             .iter()
@@ -110,7 +113,7 @@ impl ClassQueue {
             self.by_client.remove(&client);
             self.ring.retain(|c| *c != client);
         }
-        job.map(|j| j.id)
+        job
     }
 
     fn remove(&mut self, id: &str) -> bool {
@@ -152,6 +155,9 @@ pub struct Scheduler {
     cap: usize,
     inner: Mutex<SchedInner>,
     cv: Condvar,
+    /// Attached by the daemon after construction; absent in library
+    /// tests, where queue metrics are simply not recorded.
+    metrics: OnceLock<Arc<MetricsRegistry>>,
 }
 
 impl Scheduler {
@@ -168,7 +174,15 @@ impl Scheduler {
                 vclock: 0,
             }),
             cv: Condvar::new(),
+            metrics: OnceLock::new(),
         }
+    }
+
+    /// Attach the daemon's metrics registry: from here on the scheduler
+    /// records per-class queue depth, wait time, and dispatch counts.
+    /// First call wins.
+    pub fn attach_metrics(&self, metrics: Arc<MetricsRegistry>) {
+        let _ = self.metrics.set(metrics);
     }
 
     /// Enqueue a new submission. Returns `false` when the queue is at
@@ -210,9 +224,13 @@ impl Scheduler {
             QueuedJob {
                 seq,
                 id: id.to_owned(),
+                queued_at: Instant::now(),
             },
         );
         inner.len += 1;
+        if let Some(metrics) = self.metrics.get() {
+            metrics.class(class).enqueued();
+        }
     }
 
     /// Pop the next job to run, waiting up to `timeout` for one to
@@ -270,16 +288,21 @@ impl Scheduler {
         };
         let queue = inner.classes.get_mut(&pick)?;
         let vclock = queue.vtime;
-        let id = if self.fair {
-            let id = queue.pop_fair();
+        let job = if self.fair {
+            let job = queue.pop_fair();
             queue.vtime += SCALE / pick.weight();
-            id
+            job
         } else {
             queue.pop_oldest()
         }?;
         inner.vclock = vclock;
         inner.len -= 1;
-        Some(id)
+        if let Some(metrics) = self.metrics.get() {
+            metrics
+                .class(pick)
+                .dequeued(job.queued_at.elapsed().as_millis() as u64);
+        }
+        Some(job.id)
     }
 
     /// Remove a queued job (cancellation). Returns whether it was
@@ -290,6 +313,9 @@ impl Scheduler {
             if let Some(queue) = inner.classes.get_mut(&class) {
                 if queue.remove(id) {
                     inner.len -= 1;
+                    if let Some(metrics) = self.metrics.get() {
+                        metrics.class(class).removed();
+                    }
                     return true;
                 }
             }

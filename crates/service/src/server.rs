@@ -32,19 +32,21 @@ use std::path::{Path, PathBuf};
 use std::process::{Command, Stdio};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::{Duration, SystemTime};
+use std::time::{Duration, Instant, SystemTime};
 
 use seqpoint_core::protocol::{
     decode_frame, encode_frame, JobClass, JobSpec, JobState, Request, Response, PROTOCOL_VERSION,
 };
+use sqnn::IterationShape;
 use sqnn_profiler::stream::{
-    profile_epoch_streaming_with, stream_fingerprint, CheckpointOptions, RoundExecutor,
-    StreamOutcome, ThreadExecutor,
+    profile_epoch_streaming_with, stream_fingerprint, CheckpointOptions, RoundExecutor, ShardChunk,
+    ShardReport, StreamOutcome, ThreadExecutor,
 };
-use sqnn_profiler::{ProfileError, Profiler};
+use sqnn_profiler::{IterationProfile, ProfileError, Profiler};
 
 use crate::cache::{Admission, CacheKey, ResultCache};
 use crate::executor::{SubprocessExecutor, ThrottledExecutor, WorkerPool};
+use crate::metrics::{ConnMetrics, MetricsRegistry, RenderGauges};
 use crate::sched::Scheduler;
 use crate::spec::{render_streamed, resolve, ResolvedJob};
 use crate::sync::{CondvarExt, LockExt};
@@ -144,6 +146,12 @@ pub struct ServeConfig {
     /// submissions beyond it are rejected (admission error) instead of
     /// queueing unboundedly. `None` is unlimited.
     pub client_quota: Option<usize>,
+    /// Optional plaintext metrics scrape endpoint (`host:port`; port 0
+    /// picks an ephemeral port, written to `<state_dir>/serve.metrics`
+    /// for scripts to read). Serves the registry's Prometheus-style
+    /// text exposition to any `GET` request. **Unauthenticated** —
+    /// bind it to loopback or a trusted network only.
+    pub metrics_addr: Option<String>,
 }
 
 impl ServeConfig {
@@ -163,6 +171,7 @@ impl ServeConfig {
             worker_exe: None,
             fair: true,
             client_quota: None,
+            metrics_addr: None,
         }
     }
 }
@@ -244,6 +253,7 @@ struct Shared {
     finish_counter: AtomicU64,
     pool: WorkerPool,
     worker_pids: Mutex<Vec<u64>>,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl Shared {
@@ -314,6 +324,12 @@ impl Shared {
         let newly_terminal = match jobs.get_mut(id) {
             Some(entry) if entry.state.is_terminal() && entry.finish_seq == 0 => {
                 entry.finish_seq = self.finish_counter.fetch_add(1, Ordering::Relaxed) + 1;
+                match entry.state {
+                    JobState::Done => self.metrics.job_completed(),
+                    JobState::Failed => self.metrics.job_failed(),
+                    JobState::Cancelled => self.metrics.job_cancelled(),
+                    _ => {}
+                }
                 true
             }
             _ => false,
@@ -358,6 +374,7 @@ impl Shared {
                         f.follows = None;
                         if f.finish_seq == 0 {
                             f.finish_seq = self.finish_counter.fetch_add(1, Ordering::Relaxed) + 1;
+                            self.metrics.job_completed();
                         }
                     }
                 }
@@ -376,6 +393,7 @@ impl Shared {
                         f.follows = None;
                         if f.finish_seq == 0 {
                             f.finish_seq = self.finish_counter.fetch_add(1, Ordering::Relaxed) + 1;
+                            self.metrics.job_failed();
                         }
                     }
                 }
@@ -676,6 +694,7 @@ fn submit(
             reason: "spec needs model and dataset".to_owned(),
         };
     }
+    let client = spec.client.clone();
     let id = match requested {
         Some(id) => {
             if !valid_job_id(&id) {
@@ -776,6 +795,8 @@ fn submit(
             jobs.insert(id.clone(), entry);
             shared.stamp_terminal(&mut jobs, &id);
             drop(jobs);
+            shared.metrics.cache_hit();
+            shared.metrics.job_submitted(&client);
             shared.jobs_cv.notify_all();
             return Response::Submitted { job: id };
         }
@@ -814,6 +835,8 @@ fn submit(
                 p.followers.push(id.clone());
             }
             drop(jobs);
+            shared.metrics.cache_follower();
+            shared.metrics.job_submitted(&client);
             shared.jobs_cv.notify_all();
             return Response::Submitted { job: id };
         }
@@ -845,6 +868,8 @@ fn submit(
     entry.key = key;
     jobs.insert(id.clone(), entry);
     drop(jobs);
+    shared.metrics.cache_miss();
+    shared.metrics.job_submitted(&client);
     Response::Submitted { job: id }
 }
 
@@ -951,18 +976,24 @@ fn result(shared: &Shared, id: &str) -> Response {
 ///
 /// The write failure when the client goes away mid-wait (the caller
 /// closes the connection).
-fn result_wait(shared: &Shared, stream: &mut Stream, id: &str) -> std::io::Result<()> {
+fn result_wait(
+    shared: &Shared,
+    stream: &mut Stream,
+    metrics: &ConnMetrics,
+    id: &str,
+) -> std::io::Result<()> {
     let mut last_beat = std::time::Instant::now();
     let mut jobs = shared.jobs.lock_recover();
     loop {
         if let Some(response) = terminal_response(&jobs, id) {
             drop(jobs);
-            return respond(stream, &response);
+            return respond(stream, metrics, &response);
         }
         if shared.is_draining() {
             drop(jobs);
             return respond(
                 stream,
+                metrics,
                 &Response::Error {
                     reason: "server is draining; job state is checkpointed".to_owned(),
                 },
@@ -983,7 +1014,7 @@ fn result_wait(shared: &Shared, stream: &mut Stream, id: &str) -> std::io::Resul
             });
             drop(jobs);
             let written = match &beat {
-                Some(beat) => respond(stream, beat),
+                Some(beat) => respond(stream, metrics, beat),
                 None => Ok(()),
             };
             last_beat = std::time::Instant::now();
@@ -1071,8 +1102,15 @@ fn run_job(shared: &Arc<Shared>, id: &str) {
     );
 
     let run = |executor: &mut dyn RoundExecutor| {
+        // Innermost wrapper, so the recorded wall time is the round's
+        // actual execution — tenancy throttling sleeps are excluded.
+        let mut metered = MeteredExecutor {
+            inner: executor,
+            metrics: &shared.metrics,
+        };
         if spec.throttle_ms > 0 {
-            let mut throttled = ThrottledExecutor::new(executor, spec.throttle_ms, &interrupted);
+            let mut throttled =
+                ThrottledExecutor::new(&mut metered, spec.throttle_ms, &interrupted);
             profile_epoch_streaming_with(
                 &mut throttled,
                 &resolved.plan,
@@ -1083,7 +1121,7 @@ fn run_job(shared: &Arc<Shared>, id: &str) {
             )
         } else {
             profile_epoch_streaming_with(
-                executor,
+                &mut metered,
                 &resolved.plan,
                 &resolved.options,
                 fingerprint,
@@ -1211,6 +1249,37 @@ fn run_job(shared: &Arc<Shared>, id: &str) {
     }
 }
 
+/// [`RoundExecutor`] shim that meters round boundaries — wall time per
+/// round and items measured — into the shared registry. Placement-
+/// agnostic: it wraps whichever executor `run_job` picked.
+struct MeteredExecutor<'a> {
+    inner: &'a mut dyn RoundExecutor,
+    metrics: &'a MetricsRegistry,
+}
+
+impl RoundExecutor for MeteredExecutor<'_> {
+    fn execute_round(&mut self, chunks: &[ShardChunk]) -> Result<Vec<ShardReport>, ProfileError> {
+        let started = Instant::now();
+        let reports = self.inner.execute_round(chunks)?;
+        let items: u64 = chunks
+            .iter()
+            .flat_map(|c| c.batches.iter())
+            .map(|b| u64::from(b.samples))
+            .sum();
+        self.metrics
+            .round_completed(started.elapsed().as_millis() as u64, items);
+        Ok(reports)
+    }
+
+    fn profile_shape(&mut self, shape: IterationShape) -> Result<IterationProfile, ProfileError> {
+        self.inner.profile_shape(shape)
+    }
+
+    fn seed_shapes(&mut self, shapes: &[IterationProfile]) {
+        self.inner.seed_shapes(shapes);
+    }
+}
+
 fn finalize_cancel(shared: &Shared, id: &str) {
     let _ = std::fs::remove_file(shared.spec_path(id));
     let _ = std::fs::remove_file(shared.ckpt_path(id));
@@ -1250,9 +1319,10 @@ fn runner_loop(shared: Arc<Shared>) {
     }
 }
 
-fn respond(stream: &mut Stream, response: &Response) -> std::io::Result<()> {
+fn respond(stream: &mut Stream, metrics: &ConnMetrics, response: &Response) -> std::io::Result<()> {
     let mut line = encode_frame(response);
     line.push('\n');
+    metrics.record_out(line.len() as u64);
     stream.write_all(line.as_bytes())
 }
 
@@ -1276,6 +1346,7 @@ fn authenticate(
     shared: &Shared,
     stream: &mut Stream,
     reader: BufReader<Stream>,
+    metrics: &ConnMetrics,
 ) -> Option<(BufReader<Stream>, Option<String>)> {
     if stream.set_read_timeout(Some(AUTH_DEADLINE)).is_err() {
         return None;
@@ -1288,9 +1359,14 @@ fn authenticate(
         Ok(_) => {}
     }
     let reader = limited.into_inner();
+    // Counted pre-identity (global + connection scope only): client
+    // attribution starts once the Hello below actually authenticates,
+    // so an unauthenticated peer cannot mint per-client label series.
+    metrics.record_in(line.len() as u64);
     let refuse = |stream: &mut Stream, reason: &str| {
         let _ = respond(
             stream,
+            metrics,
             &Response::Error {
                 reason: reason.to_owned(),
             },
@@ -1326,6 +1402,7 @@ fn authenticate(
     }
     if respond(
         stream,
+        metrics,
         &Response::Welcome {
             version: PROTOCOL_VERSION,
         },
@@ -1334,6 +1411,9 @@ fn authenticate(
     {
         return None;
     }
+    if let Some(client) = &client {
+        metrics.set_client(client);
+    }
     Some((reader, client))
 }
 
@@ -1341,13 +1421,16 @@ fn handle_connection(shared: Arc<Shared>, mut stream: Stream, requires_auth: boo
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
+    // Wire accounting for this connection; dropping the handle (every
+    // return path) retires the per-connection series.
+    let conn_metrics = shared.metrics.conn_opened();
     let mut reader = BufReader::new(read_half);
     // The identity this connection submits jobs under: set by the TCP
     // auth handshake, or by any `Hello` with a client tag (Unix-socket
     // clients use `submit --client`).
     let mut conn_client: Option<String> = None;
     if requires_auth {
-        match authenticate(&shared, &mut stream, reader) {
+        match authenticate(&shared, &mut stream, reader, &conn_metrics) {
             Some((r, client)) => {
                 reader = r;
                 conn_client = client;
@@ -1365,11 +1448,13 @@ fn handle_connection(shared: Arc<Shared>, mut stream: Stream, requires_auth: boo
         if line.trim().is_empty() {
             continue;
         }
+        conn_metrics.record_in(line.len() as u64);
         let request = match decode_frame::<Request>(&line) {
             Ok(request) => request,
             Err(e) => {
                 let _ = respond(
                     &mut stream,
+                    &conn_metrics,
                     &Response::Error {
                         reason: format!("bad request: {e}"),
                     },
@@ -1386,6 +1471,7 @@ fn handle_connection(shared: Arc<Shared>, mut stream: Stream, requires_auth: boo
                 if version != PROTOCOL_VERSION {
                     let _ = respond(
                         &mut stream,
+                        &conn_metrics,
                         &Response::Error {
                             reason: format!(
                                 "protocol version mismatch: server speaks {PROTOCOL_VERSION}, \
@@ -1396,6 +1482,7 @@ fn handle_connection(shared: Arc<Shared>, mut stream: Stream, requires_auth: boo
                     return;
                 }
                 if let Some(client) = client {
+                    conn_metrics.set_client(&client);
                     conn_client = Some(client);
                 }
                 Response::Welcome {
@@ -1434,12 +1521,15 @@ fn handle_connection(shared: Arc<Shared>, mut stream: Stream, requires_auth: boo
                     fleet_reclaimed,
                 }
             }
+            Request::Metrics => Response::Metrics {
+                text: metrics_text(&shared),
+            },
             Request::Submit { job, spec } => submit(&shared, job, spec, &conn_client),
             Request::Status { job } => status(&shared, &job),
             Request::Result { job, wait } => {
                 if wait {
                     // Streams its own heartbeat + final frames.
-                    if result_wait(&shared, &mut stream, &job).is_err() {
+                    if result_wait(&shared, &mut stream, &conn_metrics, &job).is_err() {
                         return;
                     }
                     continue;
@@ -1448,15 +1538,91 @@ fn handle_connection(shared: Arc<Shared>, mut stream: Stream, requires_auth: boo
             }
             Request::Cancel { job } => cancel(&shared, &job),
             Request::Shutdown => {
-                let _ = respond(&mut stream, &Response::ShuttingDown);
+                let _ = respond(&mut stream, &conn_metrics, &Response::ShuttingDown);
                 shared.start_drain();
                 return;
             }
         };
-        if respond(&mut stream, &response).is_err() {
+        if respond(&mut stream, &conn_metrics, &response).is_err() {
             return;
         }
     }
+}
+
+/// Render the live metrics exposition: sample the point-in-time gauges
+/// owned by other subsystems (running jobs, cache entries, idle fleet)
+/// and hand them to the registry's renderer — so the wire frame, the
+/// `submit --stats` view, and the scrape endpoint all serve the
+/// identical text.
+fn metrics_text(shared: &Shared) -> String {
+    let jobs_running = {
+        let jobs = shared.jobs.lock_recover();
+        jobs.values()
+            .filter(|e| e.state == JobState::Running)
+            .count() as u64
+    };
+    let (_, cache_entries) = shared.cache.stats();
+    let fleet_idle = shared.pool.idle_pids().len() as u64;
+    shared.metrics.render(&RenderGauges {
+        jobs_running,
+        cache_entries,
+        fleet_idle,
+    })
+}
+
+/// Accept loop for the plaintext metrics endpoint: one short-lived
+/// connection per scrape, polled nonblocking so a drain is noticed
+/// within one poll interval, exactly like the RPC accept loop.
+fn metrics_scrape_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    while !shared.is_draining() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // A failed scrape (slow peer, vanished peer) costs that
+                // scrape only.
+                let _ = serve_scrape(shared, stream);
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::Interrupted =>
+            {
+                std::thread::sleep(Duration::from_millis(15));
+            }
+            Err(e) => {
+                eprintln!("seqpoint serve: metrics accept failed: {e}");
+                std::thread::sleep(Duration::from_millis(15));
+            }
+        }
+    }
+}
+
+/// Answer one scrape connection: any request whose first line is a
+/// `GET` gets the full text exposition as an HTTP/1.0 response;
+/// anything else is refused with a 400. Hand-rolled on purpose — the
+/// daemon takes no HTTP dependency for a protocol this small.
+fn serve_scrape(shared: &Shared, mut stream: std::net::TcpStream) -> std::io::Result<()> {
+    // The accepted socket must block (with a bound) so one slow or
+    // silent scraper cannot wedge the endpoint thread forever.
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut line = String::new();
+    let mut limited = BufReader::new(stream.try_clone()?).take(AUTH_LINE_CAP);
+    let _ = limited.read_line(&mut line);
+    let (status, body) = if line.starts_with("GET ") {
+        ("200 OK", metrics_text(shared))
+    } else {
+        (
+            "400 Bad Request",
+            "seqpoint metrics endpoint: send `GET / HTTP/1.0`\n".to_owned(),
+        )
+    };
+    let head = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: text/plain; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())
 }
 
 /// Spawn-and-respawn supervision of one subprocess worker slot. The
@@ -1576,8 +1742,10 @@ pub fn serve(config: ServeConfig) -> Result<(), ServiceError> {
     write_atomic(&pidfile, &std::process::id().to_string())?;
     // A crash never removed the published TCP address; clear it before
     // binding so nothing can discover a stale (possibly reused) port.
-    // Rewritten below once the new listener is actually bound.
+    // Rewritten below once the new listener is actually bound. Same for
+    // the published metrics address.
     let _ = std::fs::remove_file(config.state_dir.join("serve.tcp"));
+    let _ = std::fs::remove_file(config.state_dir.join("serve.metrics"));
     // A stale socket file from a previous (killed) server blocks bind —
     // but a *live* server must not be hijacked either. Probe first; only
     // a dead socket (connection refused / not found) is removed.
@@ -1611,10 +1779,32 @@ pub fn serve(config: ServeConfig) -> Result<(), ServiceError> {
             .set_nonblocking(true)
             .map_err(|e| ServiceError::io("setting nonblocking", &e))?;
     }
+    // The optional metrics scrape endpoint gets its own TCP listener —
+    // plaintext, read-only — with the actual bound address published
+    // like the RPC one, so scripts can discover an ephemeral port.
+    let mut metrics_listener = None;
+    let mut metrics_bound = None;
+    if let Some(addr) = &config.metrics_addr {
+        let listener = TcpListener::bind(addr.as_str())
+            .map_err(|e| ServiceError::io(format!("binding metrics {addr}"), &e))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| ServiceError::io("setting nonblocking", &e))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| ServiceError::io("reading metrics listener address", &e))?;
+        write_atomic(&config.state_dir.join("serve.metrics"), &local.to_string())?;
+        metrics_bound = Some(local);
+        metrics_listener = Some(listener);
+    }
     sig::TERM.store(false, Ordering::Relaxed);
     sig::install();
 
+    let metrics = MetricsRegistry::new();
     let sched = Scheduler::new(config.fair, config.queue_cap);
+    sched.attach_metrics(Arc::clone(&metrics));
+    let pool = WorkerPool::new();
+    pool.attach_metrics(Arc::clone(&metrics));
     let shared = Arc::new(Shared {
         config,
         jobs: Mutex::new(HashMap::new()),
@@ -1624,8 +1814,9 @@ pub fn serve(config: ServeConfig) -> Result<(), ServiceError> {
         draining: AtomicBool::new(false),
         next_job: AtomicU64::new(1),
         finish_counter: AtomicU64::new(0),
-        pool: WorkerPool::new(),
+        pool,
         worker_pids: Mutex::new(Vec::new()),
+        metrics,
     });
 
     // Recovery: reload finished jobs, requeue unfinished primaries
@@ -1638,8 +1829,13 @@ pub fn serve(config: ServeConfig) -> Result<(), ServiceError> {
         Some(addr) => format!(" + tcp {addr} (token auth)"),
         None => String::new(),
     };
+    let metrics_note = match metrics_bound {
+        Some(addr) => format!(" + metrics {addr}"),
+        None => String::new(),
+    };
     eprintln!(
-        "seqpoint serve: listening on {}{tcp_note} ({} job slot(s), queue cap {}, {} recovered)",
+        "seqpoint serve: listening on {}{tcp_note}{metrics_note} \
+         ({} job slot(s), queue cap {}, {} recovered)",
         shared.config.socket.display(),
         shared.config.job_slots,
         shared.config.queue_cap,
@@ -1657,6 +1853,13 @@ pub fn serve(config: ServeConfig) -> Result<(), ServiceError> {
     for _ in 0..shared.config.job_slots {
         let shared = shared.clone();
         runners.push(std::thread::spawn(move || runner_loop(shared)));
+    }
+    let mut scraper = None;
+    if let Some(listener) = metrics_listener {
+        let shared = shared.clone();
+        scraper = Some(std::thread::spawn(move || {
+            metrics_scrape_loop(&shared, &listener);
+        }));
     }
 
     // Accept loop: every listener nonblocking, polled in turn, so
@@ -1697,9 +1900,13 @@ pub fn serve(config: ServeConfig) -> Result<(), ServiceError> {
     for supervisor in supervisors {
         let _ = supervisor.join();
     }
+    if let Some(scraper) = scraper {
+        let _ = scraper.join();
+    }
     let _ = std::fs::remove_file(&shared.config.socket);
     let _ = std::fs::remove_file(shared.config.state_dir.join("serve.pid"));
     let _ = std::fs::remove_file(shared.config.state_dir.join("serve.tcp"));
+    let _ = std::fs::remove_file(shared.config.state_dir.join("serve.metrics"));
     let paused = {
         let jobs = shared.jobs.lock_recover();
         jobs.values().filter(|e| !e.state.is_terminal()).count()

@@ -34,7 +34,8 @@ trap cleanup EXIT
 SOCK="$SMOKE_DIR/sock"
 STATE="$SMOKE_DIR/state"
 SERVE_ARGS=(serve --socket "$SOCK" --state-dir "$STATE" --jobs 2
-            --placement subprocess --workers 2)
+            --placement subprocess --workers 2
+            --metrics-addr 127.0.0.1:0)
 
 wait_ready() {
   for _ in $(seq 1 200); do
@@ -72,6 +73,29 @@ wait_ready
 diff "$SMOKE_DIR/ref_a.txt" "$SMOKE_DIR/served_a.txt"
 diff "$SMOKE_DIR/ref_b.txt" "$SMOKE_DIR/served_b.txt"
 echo "smoke_service: two concurrent served jobs match offline stream output"
+
+# --- Metrics: scrape the plaintext endpoint (ephemeral port published
+# in STATE/serve.metrics) and assert the counters the dashboards rely
+# on are exported. The snapshot lands next to the daemon logs so a
+# failing run uploads it as a CI artifact.
+METRICS_ADDR="$(cat "$STATE/serve.metrics")"
+exec 3<>"/dev/tcp/${METRICS_ADDR%:*}/${METRICS_ADDR##*:}"
+printf 'GET / HTTP/1.0\r\n\r\n' >&3
+cat <&3 > "$SMOKE_DIR/metrics.snapshot.log"
+exec 3<&- 3>&-
+grep -q '^HTTP/1.0 200 OK' "$SMOKE_DIR/metrics.snapshot.log" \
+  || { echo "smoke_service: metrics scrape did not return 200" >&2; exit 1; }
+for name in seqpoint_uptime_seconds seqpoint_connections_opened_total \
+            seqpoint_bytes_in_total seqpoint_bytes_out_total \
+            seqpoint_jobs_submitted_total seqpoint_jobs_completed_total \
+            seqpoint_rounds_total seqpoint_items_total \
+            seqpoint_queue_dequeued_total seqpoint_cache_misses_total; do
+  grep -q "^$name" "$SMOKE_DIR/metrics.snapshot.log" \
+    || { echo "smoke_service: scrape is missing $name" >&2; exit 1; }
+done
+grep -q '^seqpoint_jobs_completed_total 2$' "$SMOKE_DIR/metrics.snapshot.log" \
+  || { echo "smoke_service: expected 2 completed jobs in the scrape" >&2; exit 1; }
+echo "smoke_service: metrics endpoint serves the expected counters"
 
 # --- Part 2: SIGTERM drain checkpoints the in-flight job ...
 "$BIN" submit --socket "$SOCK" "${SPEC_LONG[@]}" --throttle-ms 150 \

@@ -37,7 +37,7 @@ USAGE:
   seqpoint serve     --socket PATH --state-dir DIR [--jobs N] [--queue-cap N]
                      [--placement thread|subprocess] [--workers N]
                      [--tcp HOST:PORT --token-file FILE] [--retain-jobs N]
-                     [--fair | --fifo] [--quota N]
+                     [--fair | --fifo] [--quota N] [--metrics-addr HOST:PORT]
   seqpoint submit    (--socket PATH | --connect HOST:PORT)
                      [--token-file FILE] [--io-timeout SECS] [--client NAME]
                      --model <...> --dataset <...> [stream flags]
@@ -95,8 +95,11 @@ Identical specs are served from a selection result cache: a duplicate
 of an in-flight job attaches to it (single-flight, one profiling run),
 a duplicate of a retained result returns immediately — byte-identical
 either way. `submit --stats` prints a `stats,<job>,state=…,cache_hit=…`
-line to stderr; `submit --ping` reports cache and worker-fleet
-counters.
+line followed by the server's live metrics to stderr; `submit --ping`
+reports cache and worker-fleet counters. --metrics-addr HOST:PORT adds
+a plaintext scrape endpoint serving the same metrics to any GET request
+(port 0 publishes the bound address to STATE_DIR/serve.metrics); see
+docs/metrics.md for the catalog.
 
 `submit` is the client: by default it submits and blocks for the result,
 which is byte-identical to `seqpoint stream` with the same flags —
@@ -302,6 +305,7 @@ fn run() -> Result<String, CliError> {
                     Some(_) => Some(flags.num("quota", 0usize)?),
                     None => None,
                 },
+                metrics_addr: flags.get("metrics-addr").map(str::to_owned),
             };
             cli::serve(&args)
         }

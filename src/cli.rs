@@ -407,6 +407,10 @@ pub struct ServeArgs {
     pub fair: bool,
     /// Per-client in-flight job quota (`--quota N`; `None` unlimited).
     pub quota: Option<usize>,
+    /// Plaintext metrics scrape endpoint (`--metrics-addr HOST:PORT`;
+    /// port 0 picks an ephemeral port published to
+    /// `<state_dir>/serve.metrics`).
+    pub metrics_addr: Option<String>,
 }
 
 /// `serve`: run the async profiling service until SIGTERM/SIGINT or a
@@ -446,6 +450,7 @@ pub fn serve(args: &ServeArgs) -> Result<String, CliError> {
         worker_exe: None,
         fair: args.fair,
         client_quota: args.quota,
+        metrics_addr: args.metrics_addr.clone(),
     })
     .map_err(lib_err)?;
     Ok(String::new())
@@ -532,8 +537,9 @@ pub enum SubmitAction {
         /// Print `submitted,<id>` instead of waiting.
         detach: bool,
         /// After the job settles, print a `stats,…` accounting line
-        /// (state, cache hit) to **stderr**, so stdout stays
-        /// byte-identical to `seqpoint stream`.
+        /// (state, cache hit) followed by the server's live metrics
+        /// exposition to **stderr**, so stdout stays byte-identical to
+        /// `seqpoint stream`.
         stats: bool,
     },
     /// Liveness/stats probe.
@@ -590,6 +596,12 @@ pub fn submit(conn: &ConnectArgs, action: SubmitAction) -> Result<String, CliErr
                     } => {
                         eprintln!("stats,{id},state={},cache_hit={cache_hit}", state.label());
                     }
+                    other => return Err(unexpected(other)),
+                }
+                // The live registry view: the same text exposition the
+                // scrape endpoint serves, fetched over the socket.
+                match client.request(&Request::Metrics).map_err(lib_err)? {
+                    Response::Metrics { text } => eprint!("{text}"),
                     other => return Err(unexpected(other)),
                 }
             }
