@@ -15,10 +15,11 @@ use std::path::Path;
 use gpu_sim::Device;
 use seqpoint_core::stream::StreamConfig;
 use seqpoint_core::SeqPointPipeline;
+use sqnn_profiler::pipeline::{StageId, StreamGraph, TallyMeter};
 use sqnn_profiler::report::{fmt_f, Table};
 use sqnn_profiler::stream::{
-    profile_epoch_streaming, profile_epoch_streaming_checkpointed, CheckpointOptions,
-    StreamOptions, StreamOutcome,
+    profile_epoch_streaming_checkpointed, stream_fingerprint, CheckpointOptions, StreamOptions,
+    StreamOutcome, ThreadExecutor,
 };
 use sqnn_profiler::Profiler;
 
@@ -123,11 +124,47 @@ pub fn run(w: &mut Workloads, shards: usize, checkpoint_dir: Option<&Path>) -> S
             ..StreamOptions::default()
         };
         let (streamed, resume_verified) = match checkpoint_dir {
-            None => (
-                profile_epoch_streaming(&profiler, w.network(net), &plan, &device, &options)
-                    .expect("streaming the same plan cannot fail"),
-                None,
-            ),
+            None => {
+                // Assemble the operator graph directly — a second
+                // consumer of the pipeline API beyond the library entry
+                // points, with the in-process meter standing in for the
+                // service's metrics registry.
+                let meter = TallyMeter::new();
+                let net_ref = w.network(net);
+                let fingerprint = stream_fingerprint(net_ref, &plan, &device, &options);
+                let mut executor = ThreadExecutor::new(
+                    &profiler,
+                    net_ref,
+                    device.clone(),
+                    options.stat,
+                    options.shards,
+                );
+                let profile = match StreamGraph::new(&mut executor, &plan, &options, fingerprint)
+                    .with_meter(&meter)
+                    .run()
+                    .expect("streaming the same plan cannot fail")
+                {
+                    StreamOutcome::Complete(profile) => profile,
+                    StreamOutcome::Paused(_) => {
+                        unreachable!("no checkpoint policy, the run cannot pause")
+                    }
+                };
+                // An early stop leaves the tail of the epoch undealt
+                // (the replay phase covers it from the shape memo), but
+                // every round the source did deal must have been folded.
+                let dealt = meter.tally(StageId::Source).items_in;
+                assert!(
+                    dealt > 0 && dealt <= plan.iterations() as u64,
+                    "the source dealt {dealt} of {} iterations",
+                    plan.iterations()
+                );
+                assert_eq!(
+                    meter.tally(StageId::Fold).items_in,
+                    dealt,
+                    "every dealt round is folded"
+                );
+                (profile, None)
+            }
             Some(dir) => {
                 std::fs::create_dir_all(dir).expect("checkpoint directory is creatable");
                 let mut path = dir.to_path_buf();

@@ -38,6 +38,7 @@ mod phases;
 
 pub mod export;
 pub mod parallel;
+pub mod pipeline;
 pub mod report;
 pub mod stream;
 

@@ -64,6 +64,7 @@ use serde::{Deserialize, Serialize};
 use sqnn::{IterationShape, Network};
 use sqnn_data::{BatchShape, EpochPlan};
 
+use crate::pipeline::StreamGraph;
 use crate::{IterationProfile, ProfileError, Profiler, StatKind};
 
 /// How the streaming harness shards and paces ingestion.
@@ -123,13 +124,13 @@ pub const CHECKPOINT_VERSION: u32 = 1;
 /// resume bit-identically after a crash or preemption.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StreamCheckpoint {
-    version: u32,
-    fingerprint: u64,
-    selector: StreamingSelector,
-    consumed: u64,
-    shapes: Vec<IterationProfile>,
-    profiled_serial_s: f64,
-    profiled_wall_s: f64,
+    pub(crate) version: u32,
+    pub(crate) fingerprint: u64,
+    pub(crate) selector: StreamingSelector,
+    pub(crate) consumed: u64,
+    pub(crate) shapes: Vec<IterationProfile>,
+    pub(crate) profiled_serial_s: f64,
+    pub(crate) profiled_wall_s: f64,
 }
 
 impl StreamCheckpoint {
@@ -433,7 +434,7 @@ pub fn stream_fingerprint(
     hash
 }
 
-fn checkpoint_error(path: &Path, message: impl Into<String>) -> ProfileError {
+pub(crate) fn checkpoint_error(path: &Path, message: impl Into<String>) -> ProfileError {
     ProfileError::Checkpoint {
         path: path.display().to_string(),
         message: message.into(),
@@ -441,7 +442,7 @@ fn checkpoint_error(path: &Path, message: impl Into<String>) -> ProfileError {
 }
 
 /// The `<path>.tmp` sibling used for atomic checkpoint writes.
-fn tmp_sibling(path: &Path) -> PathBuf {
+pub(crate) fn tmp_sibling(path: &Path) -> PathBuf {
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
     PathBuf::from(tmp)
@@ -449,7 +450,10 @@ fn tmp_sibling(path: &Path) -> PathBuf {
 
 /// Atomically persist a checkpoint: write the JSON to `<path>.tmp`, then
 /// rename over `path`, so a crash mid-write never leaves a torn file.
-fn write_checkpoint(path: &Path, checkpoint: &StreamCheckpoint) -> Result<(), ProfileError> {
+pub(crate) fn write_checkpoint(
+    path: &Path,
+    checkpoint: &StreamCheckpoint,
+) -> Result<(), ProfileError> {
     let json =
         serde::json::to_string(checkpoint).map_err(|e| checkpoint_error(path, e.to_string()))?;
     let tmp = tmp_sibling(path);
@@ -460,7 +464,7 @@ fn write_checkpoint(path: &Path, checkpoint: &StreamCheckpoint) -> Result<(), Pr
     Ok(())
 }
 
-fn read_checkpoint(path: &Path) -> Result<StreamCheckpoint, ProfileError> {
+pub(crate) fn read_checkpoint(path: &Path) -> Result<StreamCheckpoint, ProfileError> {
     let json = std::fs::read_to_string(path)
         .map_err(|e| checkpoint_error(path, format!("reading: {e}")))?;
     let checkpoint: StreamCheckpoint =
@@ -574,6 +578,10 @@ pub fn profile_epoch_streaming_checkpointed(
 /// most one `execute_round` call at a time — the overlap never calls
 /// the executor concurrently with itself.
 ///
+/// This is a thin assembly wrapper over the canonical operator graph,
+/// [`crate::pipeline::StreamGraph`]; callers that want per-stage
+/// metrics or custom operators assemble the graph directly.
+///
 /// # Errors
 ///
 /// As [`profile_epoch_streaming_checkpointed`], plus
@@ -586,395 +594,14 @@ pub fn profile_epoch_streaming_with(
     checkpoint: Option<&CheckpointOptions>,
     interrupt: Option<&dyn Fn() -> bool>,
 ) -> Result<StreamOutcome, ProfileError> {
-    if plan.iterations() == 0 {
-        return Err(ProfileError::EmptyPlan);
-    }
-    if options.shards == 0 || options.round_len == 0 {
-        return Err(ProfileError::InvalidStream {
-            message: "shards and round_len must be positive".to_owned(),
-        });
-    }
-    if options.stream.unseen_threshold < 0.0 || !options.stream.unseen_threshold.is_finite() {
-        return Err(ProfileError::InvalidStream {
-            message: "unseen_threshold must be non-negative and finite".to_owned(),
-        });
-    }
-    if options.stream.quantization == 0 {
-        return Err(ProfileError::InvalidStream {
-            message: "quantization must be positive".to_owned(),
-        });
-    }
-    if checkpoint.is_some_and(|c| c.every_rounds == 0) {
-        return Err(ProfileError::InvalidStream {
-            message: "checkpoint every_rounds must be positive".to_owned(),
-        });
-    }
-    // A zero budget would pause before any work — for a served job that
-    // means an infinite pause/requeue loop, so reject it up front.
-    if checkpoint.is_some_and(|c| c.max_rounds == Some(0)) {
-        return Err(ProfileError::InvalidStream {
-            message: "checkpoint max_rounds must be positive when set".to_owned(),
-        });
-    }
-
-    let total_iterations = plan.iterations();
-    let mut selector = StreamingSelector::with_config(options.stream);
-    let mut shapes: HashMap<(u32, u32), IterationProfile> = HashMap::new();
-    let mut consumed: usize = 0;
-    let mut profiled_serial_s = 0.0;
-    let mut profiled_wall_s = 0.0;
-
-    // Resume: adopt the persisted state when a checkpoint file exists.
+    let mut graph = StreamGraph::new(executor, plan, options, fingerprint);
     if let Some(ckpt) = checkpoint {
-        // A crash between the temp write and the rename leaves a stale
-        // `.tmp` sibling behind; it is dead weight (possibly torn) and
-        // must never be read, so clear it before anything else.
-        let tmp = tmp_sibling(&ckpt.path);
-        if tmp.exists() {
-            std::fs::remove_file(&tmp).map_err(|e| {
-                checkpoint_error(&ckpt.path, format!("removing stale temp file: {e}"))
-            })?;
-        }
-        if ckpt.path.exists() {
-            let loaded = read_checkpoint(&ckpt.path)?;
-            if loaded.version != CHECKPOINT_VERSION {
-                return Err(checkpoint_error(
-                    &ckpt.path,
-                    format!(
-                        "version {} is not the supported {CHECKPOINT_VERSION}",
-                        loaded.version
-                    ),
-                ));
-            }
-            if loaded.fingerprint != fingerprint {
-                return Err(checkpoint_error(
-                    &ckpt.path,
-                    "checkpoint was written by a different run configuration \
-                     (plan, network, device, statistic, round length, or thresholds differ)",
-                ));
-            }
-            if loaded.consumed as usize > total_iterations {
-                return Err(checkpoint_error(
-                    &ckpt.path,
-                    "checkpoint is ahead of the plan it claims to match",
-                ));
-            }
-            selector = loaded.selector;
-            consumed = loaded.consumed as usize;
-            // Seed the executor with the profiled shapes: deterministic
-            // per shape, so this only avoids re-simulating.
-            executor.seed_shapes(&loaded.shapes);
-            shapes = loaded
-                .shapes
-                .into_iter()
-                .map(|p| ((p.seq_len, p.samples), p))
-                .collect();
-            profiled_serial_s = loaded.profiled_serial_s;
-            profiled_wall_s = loaded.profiled_wall_s;
-        }
+        graph = graph.with_checkpoint(ckpt);
     }
-
-    let mut blocks_this_run: u64 = 0;
-    let mut since_checkpoint: u32 = 0;
-    let snapshot = |selector: &StreamingSelector,
-                    shapes: &HashMap<(u32, u32), IterationProfile>,
-                    consumed: usize,
-                    serial: f64,
-                    wall: f64| {
-        let mut shapes: Vec<IterationProfile> = shapes.values().cloned().collect();
-        shapes.sort_by_key(|p| (p.seq_len, p.samples));
-        StreamCheckpoint {
-            version: CHECKPOINT_VERSION,
-            fingerprint,
-            selector: selector.clone(),
-            consumed: consumed as u64,
-            shapes,
-            profiled_serial_s: serial,
-            profiled_wall_s: wall,
-        }
-    };
-    let pause = |selector: &StreamingSelector, consumed: usize, path: &Path| {
-        StreamOutcome::Paused(StreamPause {
-            rounds_ingested: selector.rounds(),
-            iterations_consumed: consumed as u64,
-            iterations_total: total_iterations as u64,
-            path: path.to_path_buf(),
-        })
-    };
-    let interrupted = || interrupt.is_some_and(|f| f());
-
-    // Measure phase, software-pipelined through the RoundExecutor seam:
-    // while round N's reports merge into the selector (and its
-    // checkpoint writes) on a helper thread, round N+1 is already
-    // executing on this thread. Speculation is gated on the selector's
-    // saturation window: while a stop provably cannot fire at the next
-    // merge, round N+1 launches eagerly; once a stop becomes possible,
-    // the merge outcome is awaited first so an early stop never pays for
-    // a round it would immediately throw away. A speculatively executed
-    // round discarded by a pause is exactly what a resumed run redoes,
-    // so the round-boundary resume contract is unchanged. `consumed`
-    // only ever advances by whole *merged* blocks (so div_ceil lands on
-    // the correct next block even after the final, possibly short, one),
-    // while `dealt` tracks the blocks handed to the executor and drives
-    // the round-robin dealing offsets.
-    if !selector.should_stop() && consumed < total_iterations {
-        // Merge one round's reports: cost accounting, shape-memo union,
-        // selector ingestion, and the periodic checkpoint — everything
-        // the sequential loop did between execute and the stop check.
-        // Returns whether the selector called the stop.
-        let merge_round = |reports: Vec<ShardReport>,
-                           block_len: usize,
-                           selector: &mut StreamingSelector,
-                           shapes: &mut HashMap<(u32, u32), IterationProfile>,
-                           consumed: &mut usize,
-                           profiled_serial_s: &mut f64,
-                           profiled_wall_s: &mut f64,
-                           blocks_this_run: &mut u64,
-                           since_checkpoint: &mut u32|
-         -> Result<bool, ProfileError> {
-            let mut round = OnlineSlTracker::new();
-            let mut slowest_shard_s = 0.0;
-            for report in &reports {
-                round.merge(&report.tracker);
-                *profiled_serial_s += report.chunk_time_s;
-                slowest_shard_s = f64::max(slowest_shard_s, report.chunk_time_s);
-                for profile in &report.shapes {
-                    shapes
-                        .entry((profile.seq_len, profile.samples))
-                        .or_insert_with(|| profile.clone());
-                }
-            }
-            *profiled_wall_s += slowest_shard_s;
-            *consumed += block_len;
-            *blocks_this_run += 1;
-            *since_checkpoint += 1;
-            let stopped = selector.ingest_round(&round);
-            if let Some(ckpt) = checkpoint {
-                if *since_checkpoint >= ckpt.every_rounds {
-                    let state = snapshot(
-                        selector,
-                        shapes,
-                        *consumed,
-                        *profiled_serial_s,
-                        *profiled_wall_s,
-                    );
-                    write_checkpoint(&ckpt.path, &state)?;
-                    *since_checkpoint = 0;
-                }
-            }
-            Ok(stopped)
-        };
-
-        let mut blocks = plan
-            .rounds(options.round_len)
-            .skip(consumed.div_ceil(options.round_len));
-        let mut dealt = consumed;
-        // The round handed to the executor but not yet merged, with its
-        // block length. An executor error parks here until the merge
-        // boundary — after the previous round's checkpoint landed, the
-        // same position the sequential loop surfaced it from.
-        let mut inflight: Option<(Result<Vec<ShardReport>, ProfileError>, usize)> = None;
-        loop {
-            // Reports of round N, error-checked before any new work is
-            // dispatched on a placement that just failed.
-            let pending = match inflight.take() {
-                Some((result, block_len)) => {
-                    let reports = result?;
-                    if reports.len() != options.shards {
-                        return Err(ProfileError::Executor {
-                            message: format!(
-                                "executor answered {} of {} chunks",
-                                reports.len(),
-                                options.shards
-                            ),
-                        });
-                    }
-                    Some((reports, block_len))
-                }
-                None => None,
-            };
-            let mut next_launch = || {
-                blocks.next().map(|block| {
-                    let chunks = deal_round(block, dealt, options.shards);
-                    dealt += block.len();
-                    (chunks, block.len())
-                })
-            };
-            let stopped = match pending {
-                Some((reports, block_len)) => {
-                    if selector.stop_possible_after(block_len as u64) {
-                        // Merging round N may fire the stop, so round N+1
-                        // waits for the outcome — speculating here would
-                        // measure a full round the stop then discards.
-                        let stopped = merge_round(
-                            reports,
-                            block_len,
-                            &mut selector,
-                            &mut shapes,
-                            &mut consumed,
-                            &mut profiled_serial_s,
-                            &mut profiled_wall_s,
-                            &mut blocks_this_run,
-                            &mut since_checkpoint,
-                        )?;
-                        if !stopped {
-                            if let Some((chunks, launch_len)) = next_launch() {
-                                inflight = Some((executor.execute_round(&chunks), launch_len));
-                            }
-                        }
-                        stopped
-                    } else if let Some((chunks, launch_len)) = next_launch() {
-                        // Steady state: the stop provably cannot fire at
-                        // this merge (the saturation window cannot complete
-                        // yet), so round N+1 executes while round N merges
-                        // and checkpoints on a helper thread.
-                        let (merge_result, exec_result) = std::thread::scope(|scope| {
-                            let merger = scope.spawn(|| {
-                                merge_round(
-                                    reports,
-                                    block_len,
-                                    &mut selector,
-                                    &mut shapes,
-                                    &mut consumed,
-                                    &mut profiled_serial_s,
-                                    &mut profiled_wall_s,
-                                    &mut blocks_this_run,
-                                    &mut since_checkpoint,
-                                )
-                            });
-                            let exec_result = executor.execute_round(&chunks);
-                            let merge_result = merger.join().expect("round merge panicked");
-                            (merge_result, exec_result)
-                        });
-                        inflight = Some((exec_result, launch_len));
-                        merge_result?
-                    } else {
-                        // Plan exhausted: drain the last round, nothing
-                        // overlaps.
-                        merge_round(
-                            reports,
-                            block_len,
-                            &mut selector,
-                            &mut shapes,
-                            &mut consumed,
-                            &mut profiled_serial_s,
-                            &mut profiled_wall_s,
-                            &mut blocks_this_run,
-                            &mut since_checkpoint,
-                        )?
-                    }
-                }
-                // Pipeline fill: the very first round has no predecessor.
-                None => match next_launch() {
-                    Some((chunks, launch_len)) => {
-                        inflight = Some((executor.execute_round(&chunks), launch_len));
-                        false
-                    }
-                    None => break,
-                },
-            };
-            if stopped {
-                // Discard any speculative round: the replay phase covers
-                // those iterations from the shape memo.
-                break;
-            }
-            // Round-boundary pause check, polled once per launched round
-            // exactly as the sequential loop polled once per executed
-            // round. Only while more measure work is in flight — a fully
-            // drained measure phase hands control to the replay loop,
-            // which runs its own boundary checks.
-            if inflight.is_some() {
-                if let Some(ckpt) = checkpoint {
-                    if ckpt.max_rounds.is_some_and(|m| blocks_this_run >= m) || interrupted() {
-                        let state = snapshot(
-                            &selector,
-                            &shapes,
-                            consumed,
-                            profiled_serial_s,
-                            profiled_wall_s,
-                        );
-                        write_checkpoint(&ckpt.path, &state)?;
-                        return Ok(pause(&selector, consumed, &ckpt.path));
-                    }
-                }
-            }
-        }
+    if let Some(hook) = interrupt {
+        graph = graph.with_interrupt(hook);
     }
-
-    // Replay phase: batch shapes are free metadata from the data
-    // pipeline; a shape profiled during the rounds replays its recorded
-    // statistic, and only a never-seen shape costs a measurement. Paced
-    // in round-sized blocks so checkpoints keep landing.
-    while consumed < total_iterations {
-        if let Some(ckpt) = checkpoint {
-            if ckpt.max_rounds.is_some_and(|m| blocks_this_run >= m) || interrupted() {
-                let state = snapshot(
-                    &selector,
-                    &shapes,
-                    consumed,
-                    profiled_serial_s,
-                    profiled_wall_s,
-                );
-                write_checkpoint(&ckpt.path, &state)?;
-                return Ok(pause(&selector, consumed, &ckpt.path));
-            }
-        }
-        let end = (consumed + options.round_len).min(total_iterations);
-        for batch in &plan.batches()[consumed..end] {
-            let key = (batch.seq_len, batch.samples);
-            match shapes.get(&key) {
-                Some(profile) => {
-                    selector.observe_replayed(profile.seq_len, profile.stat(options.stat));
-                }
-                None => {
-                    let shape = IterationShape::new(batch.samples, batch.seq_len);
-                    let profile = executor.profile_shape(shape)?;
-                    profiled_serial_s += profile.time_s;
-                    profiled_wall_s += profile.time_s;
-                    selector.observe_measured(profile.seq_len, profile.stat(options.stat));
-                    shapes.insert(key, profile);
-                }
-            }
-        }
-        consumed = end;
-        blocks_this_run += 1;
-        since_checkpoint += 1;
-        if let Some(ckpt) = checkpoint {
-            if since_checkpoint >= ckpt.every_rounds {
-                let state = snapshot(
-                    &selector,
-                    &shapes,
-                    consumed,
-                    profiled_serial_s,
-                    profiled_wall_s,
-                );
-                write_checkpoint(&ckpt.path, &state)?;
-                since_checkpoint = 0;
-            }
-        }
-    }
-
-    let selection = selector.finalize().map_err(|e| ProfileError::Selection {
-        message: e.to_string(),
-    })?;
-    if let Some(ckpt) = checkpoint {
-        // Final state: a re-run with the same path resumes straight to
-        // this completed selection without re-profiling anything.
-        let state = snapshot(
-            &selector,
-            &shapes,
-            consumed,
-            profiled_serial_s,
-            profiled_wall_s,
-        );
-        write_checkpoint(&ckpt.path, &state)?;
-    }
-    Ok(StreamOutcome::Complete(StreamedEpochProfile {
-        selection,
-        shards: options.shards,
-        profiled_serial_s,
-        profiled_wall_s,
-    }))
+    graph.run()
 }
 
 #[cfg(test)]

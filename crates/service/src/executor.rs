@@ -275,6 +275,12 @@ fn executor_error(message: impl Into<String>) -> ProfileError {
 /// A [`RoundExecutor`] that places shard chunks on pooled `seqpoint
 /// worker` subprocesses, exchanging checkpoint-format shard state over
 /// the socket.
+///
+/// In the operator graph (`sqnn_profiler::pipeline`) this executor *is*
+/// the `ShardFold` stage's placement: workers are leased when the fold
+/// runs a round and released when its reports are collected, so the
+/// scheduler's per-round lease points sit exactly at the fold stage
+/// boundary — never across a merge, gate, or checkpoint write.
 pub struct SubprocessExecutor<'p> {
     pool: &'p WorkerPool,
     job: String,

@@ -37,6 +37,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use seqpoint_core::protocol::JobClass;
+use sqnn_profiler::pipeline::{StageId, StageMeter, StageSample};
 
 use crate::sync::LockExt;
 
@@ -224,6 +225,26 @@ pub const CATALOG: &[MetricDef] = &[
         "seqpoint_items_total",
         "",
         "Iterations (batch items) measured across all completed rounds.",
+    ),
+    counter(
+        "seqpoint_stage_items_in_total",
+        "stage",
+        "Items consumed per streaming-pipeline stage (operator-graph runs).",
+    ),
+    counter(
+        "seqpoint_stage_items_out_total",
+        "stage",
+        "Items produced per streaming-pipeline stage (operator-graph runs).",
+    ),
+    counter(
+        "seqpoint_stage_wall_ms_total",
+        "stage",
+        "Wall milliseconds spent per streaming-pipeline stage.",
+    ),
+    gauge(
+        "seqpoint_stage_channel_depth",
+        "stage",
+        "High-water input-channel depth observed per pipeline stage.",
     ),
     gauge(
         "seqpoint_queue_depth",
@@ -439,6 +460,17 @@ impl ClassCounters {
     }
 }
 
+/// Per-pipeline-stage accumulation, fed by the [`StageMeter`] hook the
+/// round runner attaches at operator construction.
+#[derive(Debug, Default)]
+struct StageCounters {
+    items_in: AtomicU64,
+    items_out: AtomicU64,
+    wall_ms: AtomicU64,
+    /// High-water input-channel depth (backpressure indicator).
+    depth: AtomicU64,
+}
+
 /// Per-client accumulation (wire traffic + job submissions).
 #[derive(Debug, Default)]
 struct ClientScope {
@@ -491,6 +523,7 @@ pub struct MetricsRegistry {
     round_wall_ms_total: AtomicU64,
     round_wall_ms_last: AtomicU64,
     items_total: AtomicU64,
+    stages: [StageCounters; 5],
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     cache_followers: AtomicU64,
@@ -526,6 +559,7 @@ impl MetricsRegistry {
             round_wall_ms_total: AtomicU64::new(0),
             round_wall_ms_last: AtomicU64::new(0),
             items_total: AtomicU64::new(0),
+            stages: Default::default(),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             cache_followers: AtomicU64::new(0),
@@ -721,6 +755,17 @@ impl MetricsRegistry {
                     );
                 }
             };
+            let by_stage = |out: &mut String, pick: fn(&StageCounters) -> &AtomicU64| {
+                for (stage, slot) in StageId::ALL.iter().zip(&self.stages) {
+                    let _ = writeln!(
+                        out,
+                        "{}{{stage=\"{}\"}} {}",
+                        def.name,
+                        stage.label(),
+                        load(pick(slot))
+                    );
+                }
+            };
             let by_conn = |out: &mut String, pick: fn(&WireCounters) -> &AtomicU64| {
                 for (id, client, wire) in &conns {
                     let who = client.as_deref().unwrap_or("");
@@ -775,6 +820,10 @@ impl MetricsRegistry {
                 }
                 "seqpoint_round_wall_ms_last" => plain(&mut out, load(&self.round_wall_ms_last)),
                 "seqpoint_items_total" => plain(&mut out, load(&self.items_total)),
+                "seqpoint_stage_items_in_total" => by_stage(&mut out, |s| &s.items_in),
+                "seqpoint_stage_items_out_total" => by_stage(&mut out, |s| &s.items_out),
+                "seqpoint_stage_wall_ms_total" => by_stage(&mut out, |s| &s.wall_ms),
+                "seqpoint_stage_channel_depth" => by_stage(&mut out, |s| &s.depth),
                 "seqpoint_queue_depth" => by_class(&mut out, |c| &c.queue_depth),
                 "seqpoint_queue_wait_ms_total" => by_class(&mut out, |c| &c.queue_wait_ms_total),
                 "seqpoint_queue_dequeued_total" => by_class(&mut out, |c| &c.dequeued_total),
@@ -812,6 +861,23 @@ impl MetricsRegistry {
             }
         }
         out
+    }
+}
+
+/// The registry doubles as the streaming pipeline's per-stage meter:
+/// `run_job` attaches it at operator construction, so every served
+/// round's source/fold/merge/gate/sink work lands in the `stage`-labeled
+/// families — atomic adds only, preserving the hot-path-cost rule.
+impl StageMeter for MetricsRegistry {
+    fn record(&self, stage: StageId, sample: StageSample) {
+        if let Some(slot) = self.stages.get(stage.index()) {
+            slot.items_in.fetch_add(sample.items_in, Ordering::Relaxed);
+            slot.items_out
+                .fetch_add(sample.items_out, Ordering::Relaxed);
+            slot.wall_ms.fetch_add(sample.wall_ms, Ordering::Relaxed);
+            slot.depth
+                .fetch_max(sample.channel_depth, Ordering::Relaxed);
+        }
     }
 }
 
@@ -914,8 +980,59 @@ mod tests {
         registry.class(JobClass::Interactive).dequeued(7);
         registry.class(JobClass::Batch).enqueued();
         registry.class(JobClass::Batch).removed();
+        registry.record(
+            StageId::Fold,
+            StageSample {
+                items_in: 64,
+                items_out: 3,
+                wall_ms: 9,
+                channel_depth: 0,
+            },
+        );
         std::mem::forget(conn); // keep the per-conn series alive
         registry
+    }
+
+    /// Stage samples accumulate into the `stage`-labeled families, and
+    /// every stage renders a series even before it has recorded work.
+    #[test]
+    fn stage_samples_land_in_labeled_families() {
+        let registry = MetricsRegistry::new();
+        registry.record(
+            StageId::Merge,
+            StageSample {
+                items_in: 4,
+                items_out: 1,
+                wall_ms: 2,
+                channel_depth: 0,
+            },
+        );
+        registry.record(
+            StageId::Merge,
+            StageSample {
+                items_in: 0,
+                items_out: 0,
+                wall_ms: 0,
+                channel_depth: 1,
+            },
+        );
+        // Depth is a high-water mark: a later zero sample keeps it.
+        registry.record(
+            StageId::Merge,
+            StageSample {
+                items_in: 4,
+                items_out: 1,
+                wall_ms: 1,
+                channel_depth: 0,
+            },
+        );
+        let text = registry.render(&RenderGauges::default());
+        assert!(text.contains("seqpoint_stage_items_in_total{stage=\"merge\"} 8"));
+        assert!(text.contains("seqpoint_stage_items_out_total{stage=\"merge\"} 2"));
+        assert!(text.contains("seqpoint_stage_wall_ms_total{stage=\"merge\"} 3"));
+        assert!(text.contains("seqpoint_stage_channel_depth{stage=\"merge\"} 1"));
+        // Idle stages still expose their series at zero.
+        assert!(text.contains("seqpoint_stage_items_in_total{stage=\"sink\"} 0"));
     }
 
     /// Every catalog entry must produce at least one sample line when

@@ -14,8 +14,9 @@
 //!   [`Request`]/[`Response`] NDJSON; workers announce
 //!   [`Request::WorkerHello`] and their connection moves into the
 //!   [`WorkerPool`].
-//! * `job_slots` runner threads pop the queue and drive
-//!   [`sqnn_profiler::stream::profile_epoch_streaming_with`], with a
+//! * `job_slots` runner threads pop the queue and assemble the
+//!   streaming operator graph ([`sqnn_profiler::pipeline::StreamGraph`])
+//!   with the metrics registry attached as its per-stage meter, with a
 //!   checkpoint written **every round** — so at most one round of work
 //!   can ever be lost.
 //! * SIGTERM (or a [`Request::Shutdown`] line) **drains**: in-flight
@@ -38,9 +39,10 @@ use seqpoint_core::protocol::{
     decode_frame, encode_frame, JobClass, JobSpec, JobState, Request, Response, PROTOCOL_VERSION,
 };
 use sqnn::IterationShape;
+use sqnn_profiler::pipeline::StreamGraph;
 use sqnn_profiler::stream::{
-    profile_epoch_streaming_with, stream_fingerprint, CheckpointOptions, RoundExecutor, ShardChunk,
-    ShardReport, StreamOutcome, ThreadExecutor,
+    stream_fingerprint, CheckpointOptions, RoundExecutor, ShardChunk, ShardReport, StreamOutcome,
+    ThreadExecutor,
 };
 use sqnn_profiler::{IterationProfile, ProfileError, Profiler};
 
@@ -132,6 +134,11 @@ pub struct ServeConfig {
     /// everything (the pre-retention behavior); recovery applies the
     /// same bound before serving.
     pub retain_jobs: Option<usize>,
+    /// Evict terminal jobs older than this, age measured from the
+    /// moment the job turned terminal (recovery rebuilds the age from
+    /// the result/error file's mtime). Composes with `retain_jobs`:
+    /// whichever bound trips first evicts. `None` retains indefinitely.
+    pub retain_for: Option<Duration>,
     /// Shard placement for every job.
     pub placement: Placement,
     /// Binary to spawn for subprocess workers (defaults to the current
@@ -167,6 +174,7 @@ impl ServeConfig {
             queue_cap: 16,
             wait_heartbeat: Duration::from_secs(15),
             retain_jobs: None,
+            retain_for: None,
             placement: Placement::Threads,
             worker_exe: None,
             fair: true,
@@ -191,6 +199,10 @@ struct JobEntry {
     /// Monotonic completion order stamp (0 = not terminal yet); the
     /// retention GC evicts the lowest stamps first.
     finish_seq: u64,
+    /// When the job turned terminal (`None` until then); the TTL bound
+    /// ([`ServeConfig::retain_for`]) measures age from here. Recovery
+    /// seeds it from the result/error file's mtime.
+    finished_at: Option<SystemTime>,
     /// Clients currently blocked in a `Result { wait: true }` on this
     /// job. The retention GC never evicts a job someone is waiting on —
     /// otherwise a burst of completions could delete a result between
@@ -230,6 +242,7 @@ impl JobEntry {
             attempts: 0,
             executor_failures: 0,
             finish_seq: 0,
+            finished_at: None,
             waiters: 0,
             class,
             client,
@@ -324,6 +337,7 @@ impl Shared {
         let newly_terminal = match jobs.get_mut(id) {
             Some(entry) if entry.state.is_terminal() && entry.finish_seq == 0 => {
                 entry.finish_seq = self.finish_counter.fetch_add(1, Ordering::Relaxed) + 1;
+                entry.finished_at = Some(SystemTime::now());
                 match entry.state {
                     JobState::Done => self.metrics.job_completed(),
                     JobState::Failed => self.metrics.job_failed(),
@@ -374,6 +388,7 @@ impl Shared {
                         f.follows = None;
                         if f.finish_seq == 0 {
                             f.finish_seq = self.finish_counter.fetch_add(1, Ordering::Relaxed) + 1;
+                            f.finished_at = Some(SystemTime::now());
                             self.metrics.job_completed();
                         }
                     }
@@ -393,6 +408,7 @@ impl Shared {
                         f.follows = None;
                         if f.finish_seq == 0 {
                             f.finish_seq = self.finish_counter.fetch_add(1, Ordering::Relaxed) + 1;
+                            f.finished_at = Some(SystemTime::now());
                             self.metrics.job_failed();
                         }
                     }
@@ -441,33 +457,44 @@ impl Shared {
         }
     }
 
-    /// Evict terminal jobs beyond `retain_jobs`, oldest-finished first:
-    /// the in-memory entry (with its rendered output) and every
-    /// persisted file go together, so neither the map nor the state dir
-    /// grows without bound under sustained traffic. Non-terminal jobs
-    /// are never touched.
+    /// Evict terminal jobs past either retention bound — beyond the
+    /// `retain_jobs` count cap (oldest-finished first) or older than
+    /// the `retain_for` TTL; whichever bound trips first evicts. The
+    /// in-memory entry (with its rendered output) and every persisted
+    /// file go together, so neither the map nor the state dir grows
+    /// without bound under sustained traffic. Non-terminal jobs are
+    /// never touched.
     fn gc_terminal(&self, jobs: &mut HashMap<String, JobEntry>) {
-        let Some(cap) = self.config.retain_jobs else {
+        let cap = self.config.retain_jobs;
+        let ttl = self.config.retain_for;
+        if cap.is_none() && ttl.is_none() {
             return;
+        }
+        let now = SystemTime::now();
+        let expired = |e: &JobEntry| {
+            ttl.is_some_and(|ttl| {
+                e.finished_at
+                    .and_then(|at| now.duration_since(at).ok())
+                    .is_some_and(|age| age >= ttl)
+            })
         };
-        // Every terminal job counts toward the bound, but a job someone
+        // Every terminal job counts toward the bounds, but a job someone
         // is blocked waiting on is never the victim — the next-oldest
         // waiter-free job is evicted instead, so a completion burst
         // cannot delete a result between a job finishing and its waiter
         // waking to read it.
-        let mut terminal: Vec<(u64, String, bool)> = jobs
+        let mut terminal: Vec<(u64, String, bool, bool)> = jobs
             .iter()
             .filter(|(_, e)| e.state.is_terminal())
-            .map(|(id, e)| (e.finish_seq, id.clone(), e.waiters > 0))
+            .map(|(id, e)| (e.finish_seq, id.clone(), e.waiters > 0, expired(e)))
             .collect();
-        if terminal.len() <= cap {
-            return;
-        }
         terminal.sort();
-        let mut evict = terminal.len() - cap;
-        for (_, id, waited_on) in terminal {
-            if evict == 0 {
-                break;
+        // Evictions still owed to the count cap; any eviction (cap or
+        // TTL) shrinks the terminal set, so both pay it down.
+        let mut over_cap = cap.map_or(0, |cap| terminal.len().saturating_sub(cap));
+        for (_, id, waited_on, expired) in terminal {
+            if over_cap == 0 && !expired {
+                continue;
             }
             if waited_on {
                 continue;
@@ -485,7 +512,7 @@ impl Shared {
             let _ = std::fs::remove_file(self.result_path(&id));
             let _ = std::fs::remove_file(self.error_path(&id));
             let _ = std::fs::remove_file(self.ckpt_path(&id));
-            evict -= 1;
+            over_cap = over_cap.saturating_sub(1);
         }
     }
 }
@@ -591,9 +618,10 @@ fn recover(shared: &Shared) -> Result<Vec<String>, ServiceError> {
     // a running server would — a restart must not resurrect jobs the
     // bound would have evicted, nor exceed it with recovered ones.
     terminal.sort();
-    for (seq, (_, id)) in terminal.iter().enumerate() {
+    for (seq, (mtime, id)) in terminal.iter().enumerate() {
         if let Some(entry) = jobs.get_mut(id) {
             entry.finish_seq = seq as u64 + 1;
+            entry.finished_at = Some(*mtime);
         }
     }
     shared
@@ -645,6 +673,7 @@ fn recover(shared: &Shared) -> Result<Vec<String>, ServiceError> {
                     entry.output = Some(output);
                     entry.cache_hit = true;
                     entry.finish_seq = shared.finish_counter.fetch_add(1, Ordering::Relaxed) + 1;
+                    entry.finished_at = Some(SystemTime::now());
                 }
                 continue;
             }
@@ -1108,26 +1137,23 @@ fn run_job(shared: &Arc<Shared>, id: &str) {
             inner: executor,
             metrics: &shared.metrics,
         };
+        // One canonical operator-graph assembly per attempt, with the
+        // shared registry attached as the per-stage meter: source/fold/
+        // merge/gate/sink items, wall time, and channel backpressure
+        // land in the `stage`-labeled scrape families.
+        let assemble = |executor: &mut dyn RoundExecutor| {
+            StreamGraph::new(executor, &resolved.plan, &resolved.options, fingerprint)
+                .with_checkpoint(&policy)
+                .with_interrupt(&interrupted)
+                .with_meter(shared.metrics.as_ref())
+                .run()
+        };
         if spec.throttle_ms > 0 {
             let mut throttled =
                 ThrottledExecutor::new(&mut metered, spec.throttle_ms, &interrupted);
-            profile_epoch_streaming_with(
-                &mut throttled,
-                &resolved.plan,
-                &resolved.options,
-                fingerprint,
-                Some(&policy),
-                Some(&interrupted),
-            )
+            assemble(&mut throttled)
         } else {
-            profile_epoch_streaming_with(
-                &mut metered,
-                &resolved.plan,
-                &resolved.options,
-                fingerprint,
-                Some(&policy),
-                Some(&interrupted),
-            )
+            assemble(&mut metered)
         }
     };
     let profiler = Profiler::new();
@@ -1707,6 +1733,13 @@ pub fn serve(config: ServeConfig) -> Result<(), ServiceError> {
                 .to_owned(),
         ));
     }
+    if config.retain_for == Some(Duration::ZERO) {
+        return Err(ServiceError::Usage(
+            "retain_for must be a positive duration (use None to retain \
+             terminal jobs indefinitely)"
+                .to_owned(),
+        ));
+    }
     if config.client_quota == Some(0) {
         return Err(ServiceError::Usage(
             "client quota must admit at least 1 job per client".to_owned(),
@@ -1865,6 +1898,7 @@ pub fn serve(config: ServeConfig) -> Result<(), ServiceError> {
     // Accept loop: every listener nonblocking, polled in turn, so
     // SIGTERM is noticed promptly regardless of EINTR semantics and one
     // transport cannot starve the other.
+    let mut last_ttl_sweep = Instant::now();
     loop {
         if shared.is_draining() {
             break;
@@ -1884,6 +1918,16 @@ pub fn serve(config: ServeConfig) -> Result<(), ServiceError> {
                     eprintln!("seqpoint serve: accept failed: {e}");
                 }
             }
+        }
+        // The TTL bound fires by clock, not by event, so the accept
+        // loop doubles as its sweeper: a terminal job is evicted within
+        // about a second of its age crossing `retain_for` even when no
+        // new completion triggers the GC.
+        if shared.config.retain_for.is_some() && last_ttl_sweep.elapsed() >= Duration::from_secs(1)
+        {
+            last_ttl_sweep = Instant::now();
+            let mut jobs = shared.jobs.lock_recover();
+            shared.gc_terminal(&mut jobs);
         }
         if !accepted_any {
             std::thread::sleep(Duration::from_millis(15));

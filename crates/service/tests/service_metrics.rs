@@ -135,6 +135,20 @@ fn counters_are_monotone_across_a_served_job() {
     assert!(metric(&after, "seqpoint_rounds_total") > metric(&before, "seqpoint_rounds_total"));
     assert!(metric(&after, "seqpoint_items_total") > metric(&before, "seqpoint_items_total"));
 
+    // The job ran through the operator graph with the registry attached
+    // as its per-stage meter, so every pipeline stage shows traffic.
+    for stage in ["source", "fold", "merge", "gate"] {
+        let series = format!("seqpoint_stage_items_in_total{{stage=\"{stage}\"}}");
+        assert!(
+            metric(&after, &series) > metric(&before, &series),
+            "{series} did not move across a served job"
+        );
+    }
+    assert!(
+        metric(&after, "seqpoint_stage_wall_ms_total{stage=\"fold\"}")
+            >= metric(&before, "seqpoint_stage_wall_ms_total{stage=\"fold\"}")
+    );
+
     // Counters never move backwards, whatever else the daemon did.
     let final_view = fetch_metrics(&mut client);
     for series in [
@@ -283,6 +297,8 @@ fn scrape_endpoint_serves_get_and_rejects_garbage() {
         "seqpoint_rounds_total",
         "seqpoint_cache_misses_total",
         "seqpoint_fleet_idle",
+        "seqpoint_stage_items_in_total{stage=\"source\"}",
+        "seqpoint_stage_channel_depth{stage=\"merge\"}",
     ] {
         assert!(ok.contains(name), "scrape is missing {name}:\n{ok}");
     }
@@ -306,6 +322,48 @@ fn scrape_endpoint_serves_get_and_rejects_garbage() {
         !scratch.state().join("serve.metrics").exists(),
         "drain must remove the published metrics address"
     );
+}
+
+#[test]
+fn stale_metrics_address_from_a_crash_is_cleared_at_startup() {
+    let scratch = Scratch::new("stalemet");
+    std::fs::create_dir_all(scratch.state()).unwrap();
+    let stale_path = scratch.state().join("serve.metrics");
+
+    // A daemon killed with SIGKILL leaves its published metrics address
+    // behind. A restart without a metrics endpoint must clear it before
+    // serving, or scripts would keep discovering a dead (possibly
+    // reused) port — the same hazard `serve.tcp` already guards.
+    std::fs::write(&stale_path, "127.0.0.1:1\n").unwrap();
+    let handle = start_server(ServeConfig::new(scratch.socket(), scratch.state()));
+    let socket = scratch.socket();
+    drop(Client::connect_ready(&socket, Duration::from_secs(10)).unwrap());
+    assert!(
+        !stale_path.exists(),
+        "stale serve.metrics survived a metrics-less restart"
+    );
+    shutdown(&socket);
+    handle.join().unwrap();
+
+    // With a metrics endpoint configured, the stale address is replaced
+    // by the freshly bound one — and that one actually answers.
+    std::fs::write(&stale_path, "127.0.0.1:1\n").unwrap();
+    let handle = start_server(ServeConfig {
+        metrics_addr: Some("127.0.0.1:0".to_owned()),
+        ..ServeConfig::new(scratch.socket(), scratch.state())
+    });
+    drop(Client::connect_ready(&socket, Duration::from_secs(10)).unwrap());
+    let published = std::fs::read_to_string(&stale_path).unwrap();
+    let published = published.trim();
+    assert_ne!(published, "127.0.0.1:1", "stale address was republished");
+    let mut conn = TcpStream::connect(published).unwrap();
+    conn.write_all(b"GET / HTTP/1.0\r\n\r\n").unwrap();
+    let mut response = String::new();
+    conn.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.0 200 OK\r\n"), "{response}");
+
+    shutdown(&socket);
+    handle.join().unwrap();
 }
 
 #[test]

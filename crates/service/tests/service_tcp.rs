@@ -278,6 +278,13 @@ fn serve_refuses_tcp_without_a_token_and_zero_retention() {
     };
     let err = serve(zero_retention).unwrap_err();
     assert!(err.to_string().contains("retain"), "{err}");
+
+    let zero_ttl = ServeConfig {
+        retain_for: Some(Duration::ZERO),
+        ..ServeConfig::new(scratch.socket(), scratch.state())
+    };
+    let err = serve(zero_ttl).unwrap_err();
+    assert!(err.to_string().contains("retain_for"), "{err}");
 }
 
 #[test]
@@ -342,6 +349,64 @@ fn terminal_job_retention_evicts_oldest_first_and_survives_restart() {
         Response::Error { .. }
     ));
     assert!(!scratch.state().join("ret-2.result.txt").exists());
+
+    shutdown(&socket);
+    handle.join().unwrap();
+}
+
+#[test]
+fn terminal_job_ttl_evicts_aged_jobs_without_new_traffic() {
+    let scratch = Scratch::new("ttl");
+    let config = ServeConfig {
+        job_slots: 1,
+        retain_for: Some(Duration::from_secs(1)),
+        ..ServeConfig::new(scratch.socket(), scratch.state())
+    };
+    let handle = start_server(config);
+    let socket = scratch.socket();
+    let mut client = Client::connect_ready(&socket, Duration::from_secs(10)).unwrap();
+
+    // Two sequential jobs; both exist the moment they finish (the TTL
+    // has not elapsed yet), proving the bound is age-based rather than
+    // evict-on-completion.
+    for (i, seed) in [1u64, 2].iter().enumerate() {
+        let id = format!("ttl-{i}");
+        client
+            .submit(Some(id.clone()), quick_spec(2_000, *seed))
+            .unwrap();
+        client.wait_result(&id).unwrap();
+    }
+    assert!(client.wait_result("ttl-0").is_ok());
+    assert!(client.wait_result("ttl-1").is_ok());
+
+    // With no further submissions, the accept loop's periodic sweep
+    // must evict both once they age past the TTL — map entries and
+    // state files alike.
+    let deadline = Instant::now() + Duration::from_secs(15);
+    loop {
+        let evicted = ["ttl-0", "ttl-1"].iter().all(|id| {
+            matches!(
+                client
+                    .request(&Request::Status {
+                        job: (*id).to_owned()
+                    })
+                    .unwrap(),
+                Response::Error { .. }
+            )
+        });
+        if evicted {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "TTL-expired jobs were never evicted"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    for gone in ["ttl-0", "ttl-1"] {
+        assert!(!scratch.state().join(format!("{gone}.spec.json")).exists());
+        assert!(!scratch.state().join(format!("{gone}.result.txt")).exists());
+    }
 
     shutdown(&socket);
     handle.join().unwrap();

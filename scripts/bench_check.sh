@@ -20,6 +20,19 @@ THRESHOLD_PCT="${BENCH_THRESHOLD_PCT:-15}"
 [[ -f "$FRESH" ]] || { echo "bench_check: fresh report '$FRESH' not found" >&2; exit 1; }
 [[ -f "$BASELINE" ]] || { echo "bench_check: baseline '$BASELINE' not found" >&2; exit 1; }
 
+# The gate is pinned to the operator-graph streaming engine: both
+# reports must declare it, so a future engine swap has to refresh the
+# baseline (and this check) deliberately instead of inheriting a stale
+# trajectory. Reports predating the field hard-fail as malformed.
+require_engine() { # file
+  local v
+  v="$(grep -o '"engine": "[^"]*"' "$1" | head -n1 | sed 's/.*: "//; s/"$//')"
+  if [[ "$v" != "operator-graph" ]]; then
+    echo "bench_check: '$1' engine is '${v:-missing}', expected 'operator-graph'" >&2
+    exit 1
+  fi
+}
+
 # Pull one field out of a report's single-line "stream"/"serve" object.
 path_field() { # file path field
   grep "\"$2\"" "$1" | grep -o "\"$3\": [^,}]*" | head -n1 | sed 's/.*: //'
@@ -89,6 +102,8 @@ check_path() { # stream|serve
   fi
 }
 
+require_engine "$FRESH"
+require_engine "$BASELINE"
 check_path stream
 check_path serve
 echo "bench_check: OK"

@@ -95,6 +95,10 @@ emit_path() { # file wall_ms
 {
   printf '{\n'
   printf '  "benchmark": "quick-scale gnmt/iwslt15 streaming selection",\n'
+  # The streaming implementation these timings cover. Bumped in
+  # lockstep with bench_check.sh when the engine is replaced, so the
+  # committed trajectory can never silently compare across engines.
+  printf '  "engine": "operator-graph",\n'
   printf '  "timestamp_utc": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
   printf '  "toolchain": "%s",\n' "$(rustc --version 2>/dev/null || echo unknown)"
   printf '  "stream": %s,\n' "$(emit_path "$BENCH_DIR/stream.txt" "$STREAM_MS" \

@@ -37,7 +37,8 @@ USAGE:
   seqpoint serve     --socket PATH --state-dir DIR [--jobs N] [--queue-cap N]
                      [--placement thread|subprocess] [--workers N]
                      [--tcp HOST:PORT --token-file FILE] [--retain-jobs N]
-                     [--fair | --fifo] [--quota N] [--metrics-addr HOST:PORT]
+                     [--retain-for SECS] [--fair | --fifo] [--quota N]
+                     [--metrics-addr HOST:PORT]
   seqpoint submit    (--socket PATH | --connect HOST:PORT)
                      [--token-file FILE] [--io-timeout SECS] [--client NAME]
                      --model <...> --dataset <...> [stream flags]
@@ -84,6 +85,8 @@ address — useful with port 0 — is written to STATE_DIR/serve.tcp. The
 NDJSON itself is plaintext: tunnel it (TLS, SSH) on untrusted networks.
 --retain-jobs N keeps at most N finished/failed/cancelled jobs (memory
 and state files), evicting oldest-first; recovery applies the bound.
+--retain-for SECS additionally evicts terminal jobs older than SECS
+seconds (0 disables the TTL); whichever bound trips first evicts.
 
 The server is multi-tenant: submissions carry a job class (--class
 interactive|batch) and a client identity (--client NAME, or the TCP
@@ -288,6 +291,10 @@ fn run() -> Result<String, CliError> {
                 queue_cap: flags.num("queue-cap", 16usize)?,
                 retain_jobs: match flags.get("retain-jobs") {
                     Some(_) => Some(flags.num("retain-jobs", 0usize)?),
+                    None => None,
+                },
+                retain_for: match flags.get("retain-for") {
+                    Some(_) => Some(flags.num("retain-for", 0u64)?),
                     None => None,
                 },
                 placement: flags.get("placement").unwrap_or("thread").to_owned(),

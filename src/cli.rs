@@ -397,6 +397,10 @@ pub struct ServeArgs {
     pub queue_cap: usize,
     /// Keep at most this many terminal jobs (`None` = keep all).
     pub retain_jobs: Option<usize>,
+    /// Evict terminal jobs older than this many seconds (`None` = keep
+    /// forever). Composes with `retain_jobs`: whichever bound trips
+    /// first evicts.
+    pub retain_for: Option<u64>,
     /// `thread` or `subprocess`.
     pub placement: String,
     /// Worker processes under subprocess placement (0 = rely on
@@ -446,6 +450,10 @@ pub fn serve(args: &ServeArgs) -> Result<String, CliError> {
         queue_cap: args.queue_cap,
         wait_heartbeat: std::time::Duration::from_secs(15),
         retain_jobs: args.retain_jobs,
+        retain_for: args
+            .retain_for
+            .filter(|secs| *secs > 0)
+            .map(std::time::Duration::from_secs),
         placement,
         worker_exe: None,
         fair: args.fair,
